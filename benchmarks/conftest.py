@@ -1,0 +1,97 @@
+"""Shared fixtures of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§V) on the simulated Grid'5000 platform, prints the resulting series next to
+the paper's approximate values, and stores the raw numbers as CSV under
+``results/``.
+
+Two sweep sizes are supported:
+
+* the default ("reduced") sweep keeps the full M range but fewer points and
+  only the narrowest/widest column counts, so the whole benchmark suite runs
+  in a few minutes;
+* setting the environment variable ``REPRO_BENCH_FULL=1`` switches to the
+  paper's complete sweeps (all four column counts, every power-of-two M),
+  which takes substantially longer.
+
+The :class:`~repro.experiments.runner.ExperimentRunner` is session-scoped so
+identical evaluation points (e.g. those shared by Fig. 4/5 and Fig. 8) are
+simulated once and reused.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.experiments.report import ascii_series, ascii_table, format_points, write_csv
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.workloads import PAPER_N_VALUES, paper_m_values, reduced_m_values
+
+#: Directory where benchmark outputs (CSV series) are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def full_sweep() -> bool:
+    """True when the complete paper sweep was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+def bench_n_values() -> tuple[int, ...]:
+    """Column counts exercised by the figure benchmarks."""
+    return PAPER_N_VALUES if full_sweep() else (64, 512)
+
+
+def bench_m_values(n: int, points: int = 3) -> list[int]:
+    """Row counts exercised for column count ``n``."""
+    return paper_m_values(n) if full_sweep() else reduced_m_values(n, points=points)
+
+
+def bench_domain_counts() -> tuple[int, ...]:
+    """Domains-per-cluster sweep of the Fig. 6/7 benchmarks."""
+    return (1, 2, 4, 8, 16, 32, 64) if full_sweep() else (1, 4, 16, 64)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide experiment runner (shared point cache)."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory for CSV outputs, created on demand."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def report_figure(figure: FigureData, results_dir: Path, *, note: str = "") -> None:
+    """Print a figure's series (table + ASCII sketch) and persist them as CSV."""
+    print(f"\n=== {figure.figure_id}: {figure.title} ===")
+    if note:
+        print(note)
+    print(format_points(figure.as_rows()))
+    print()
+    print(ascii_series(figure.as_mapping(), xlabel=figure.xlabel, ylabel=figure.ylabel))
+    write_csv(results_dir / f"{figure.figure_id}.csv", figure.as_rows())
+
+
+def report_rows(title: str, rows: list[dict], results_dir: Path, filename: str) -> None:
+    """Print tabular benchmark output and persist it as CSV."""
+    print(f"\n=== {title} ===")
+    print(format_points(rows))
+    write_csv(results_dir / filename, rows)
+
+
+__all__ = [
+    "ascii_table",
+    "bench_domain_counts",
+    "bench_m_values",
+    "bench_n_values",
+    "full_sweep",
+    "report_figure",
+    "report_rows",
+]

@@ -1,0 +1,29 @@
+"""Benchmark: Fig. 3(a) — Grid'5000 communication characteristics.
+
+Measures, with simulated ping-pong exchanges, the latency and throughput
+between every pair of sites of the simulated platform and prints them next to
+the values published in the paper's Table/Fig. 3(a).  The measured latencies
+must match the published ones (they are inputs of the platform model); this
+benchmark is the sanity check that the substrate is calibrated to the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure3_network
+
+from benchmarks.conftest import report_rows
+
+
+def test_fig03_network_characteristics(benchmark, runner, results_dir):
+    rows = benchmark.pedantic(figure3_network, args=(runner,), rounds=1, iterations=1)
+    report_rows("Fig. 3(a): inter/intra-cluster latency and throughput", rows, results_dir,
+                "fig03_network.csv")
+    for row in rows:
+        measured = row["measured latency (ms)"]
+        published = row["paper latency (ms)"]
+        # Latencies must reproduce the published matrix within 10% + MPI overhead.
+        assert abs(measured - published) <= 0.1 * published + 0.05, row
+        # Throughput within 15% of the published value.
+        assert abs(row["measured throughput (Mb/s)"] - row["paper throughput (Mb/s)"]) <= (
+            0.15 * row["paper throughput (Mb/s)"]
+        ), row

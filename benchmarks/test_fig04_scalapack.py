@@ -1,0 +1,52 @@
+"""Benchmark: Fig. 4 — ScaLAPACK performance versus M on 1, 2 and 4 sites.
+
+Expected shape (paper §V-C): overall performance is a small fraction of the
+~940 Gflop/s practical peak; it grows with M and with N; for small-to-moderate
+M the single-site run is the fastest (using the grid *slows the baseline
+down*), and only for very tall matrices does the multi-site run overtake it,
+with a speed-up that hardly exceeds 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure4
+from repro.experiments.paper_data import paper_reference
+from repro.model.properties import check_monotone_increase
+
+from benchmarks.conftest import bench_m_values, bench_n_values, report_figure
+
+
+@pytest.mark.parametrize("n", bench_n_values())
+def test_fig04_scalapack_performance(benchmark, runner, results_dir, n):
+    m_values = bench_m_values(n)
+    fig = benchmark.pedantic(
+        figure4, args=(runner, n), kwargs={"m_values": m_values}, rounds=1, iterations=1
+    )
+    reference = paper_reference("fig4", n, 4)
+    report_figure(
+        fig,
+        results_dir,
+        note=f"paper (approx.): {reference} Gflop/s at the largest M on 4 sites",
+    )
+
+    one_site = fig.series_by_label("1 site(s)")
+    four_sites = fig.series_by_label("4 site(s)")
+
+    # Shape check 1: performance grows with M on a single site (Property 3).
+    assert check_monotone_increase(one_site.xs(), one_site.ys(), slack=0.15).holds
+
+    # Shape check 2: the grid does NOT help for small/moderate M...
+    assert one_site.ys()[0] > four_sites.ys()[0]
+    # ... and the multi-site speed-up at the largest M stays modest (<~2.5x).
+    speedup = four_sites.ys()[-1] / one_site.ys()[-1]
+    assert speedup < 2.5
+
+    # Shape check 3: everything far below the practical peak (Property 2).
+    peak = runner.platform(4).practical_peak_gflops()
+    assert max(four_sites.ys()) < 0.25 * peak
+
+    # Magnitude check: within a factor ~2 of the paper's reading at largest M.
+    if reference is not None:
+        assert four_sites.ys()[-1] == pytest.approx(reference, rel=1.0)

@@ -1,0 +1,58 @@
+"""Benchmark: Fig. 5 — QCG-TSQR performance (best #domains) versus M.
+
+Expected shape (paper §V-D): performance grows with M and N; for moderate to
+very tall matrices the four-site run is the fastest, and for very tall
+matrices it scales almost linearly with the number of sites (speed-up close
+to 4 over one site) — the central claim of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure5
+from repro.experiments.paper_data import paper_reference
+from repro.model.properties import check_monotone_increase
+
+from benchmarks.conftest import bench_m_values, bench_n_values, full_sweep, report_figure
+
+
+@pytest.mark.parametrize("n", bench_n_values())
+def test_fig05_tsqr_performance(benchmark, runner, results_dir, n):
+    m_values = bench_m_values(n)
+    candidates = (1, 2, 4, 8, 16, 32, 64) if full_sweep() else (32, 64)
+    fig = benchmark.pedantic(
+        figure5,
+        args=(runner, n),
+        kwargs={"m_values": m_values, "domain_candidates": candidates},
+        rounds=1,
+        iterations=1,
+    )
+    reference = paper_reference("fig5", n, 4)
+    report_figure(
+        fig,
+        results_dir,
+        note=f"paper (approx.): {reference} Gflop/s at the largest M on 4 sites",
+    )
+
+    one_site = fig.series_by_label("1 site(s)")
+    four_sites = fig.series_by_label("4 site(s)")
+
+    # Shape check 1: monotone growth with M (Property 3).
+    assert check_monotone_increase(four_sites.xs(), four_sites.ys(), slack=0.15).holds
+
+    # Shape check 2: near-linear scaling with the number of sites at the
+    # largest M — the paper's headline result.
+    speedup = four_sites.ys()[-1] / one_site.ys()[-1]
+    assert speedup > 3.0
+
+    # Shape check 3: the four-site run is the fastest for tall matrices.
+    assert four_sites.ys()[-1] == max(s.ys()[-1] for s in fig.series)
+
+    # Shape check 4: still well below the practical peak (Property 2).
+    peak = runner.platform(4).practical_peak_gflops()
+    assert max(four_sites.ys()) < 0.5 * peak
+
+    # Magnitude check: within a factor ~2 of the paper's reading at largest M.
+    if reference is not None:
+        assert four_sites.ys()[-1] == pytest.approx(reference, rel=1.0)

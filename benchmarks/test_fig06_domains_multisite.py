@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 6 — effect of the number of domains per cluster (4 sites).
+
+Expected shape (paper §V-D): performance globally increases with the number
+of domains per cluster (grouped ScaLAPACK domains pay per-column reductions
+that pure TSQR leaves avoid); for very tall matrices the effect is limited
+but not negligible because computation dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure6
+from repro.experiments.workloads import figure67_m_values
+
+from benchmarks.conftest import bench_domain_counts, bench_n_values, full_sweep, report_figure
+
+
+@pytest.mark.parametrize("n", bench_n_values())
+def test_fig06_domains_per_cluster_four_sites(benchmark, runner, results_dir, n):
+    m_values = figure67_m_values(n) if full_sweep() else figure67_m_values(n)[-2:]
+    domain_counts = bench_domain_counts()
+    fig = benchmark.pedantic(
+        figure6,
+        args=(runner, n),
+        kwargs={"m_values": m_values, "domain_counts": domain_counts},
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(fig, results_dir, note="paper: performance increases with #domains/cluster")
+
+    for series in fig.series:
+        ys = series.ys()
+        # More domains never hurt by much, and the best configuration uses
+        # many domains per cluster (the paper finds 32 or 64 optimal).
+        assert max(ys) == pytest.approx(max(ys[-2:]), rel=0.05), series.label
+        # Going from 1 domain/cluster to the maximum helps substantially for
+        # the smaller matrices of the panel and at least a little for the tallest.
+        assert ys[-1] > ys[0] * 1.02, series.label

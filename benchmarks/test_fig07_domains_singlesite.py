@@ -1,0 +1,45 @@
+"""Benchmark: Fig. 7 — effect of the number of domains on a single site.
+
+Expected shape (paper §V-D): same trend as Fig. 6 without the wide-area
+links — performance increases with the number of domains, the effect being
+strongest for matrices of limited height where the per-column reductions of
+grouped (ScaLAPACK) domains are not amortised by computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure7
+from repro.experiments.workloads import figure67_m_values
+
+from benchmarks.conftest import bench_domain_counts, bench_n_values, full_sweep, report_figure
+
+
+@pytest.mark.parametrize("n", bench_n_values())
+def test_fig07_domains_single_site(benchmark, runner, results_dir, n):
+    m_values = (
+        figure67_m_values(n, single_site=True)
+        if full_sweep()
+        else figure67_m_values(n, single_site=True)[-2:]
+    )
+    domain_counts = bench_domain_counts()
+    fig = benchmark.pedantic(
+        figure7,
+        args=(runner, n),
+        kwargs={"m_values": m_values, "domain_counts": domain_counts},
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(fig, results_dir, note="paper: performance increases with #domains (one site)")
+
+    for series in fig.series:
+        ys = series.ys()
+        # The best configuration uses one domain per node or per processor.
+        assert max(ys) == pytest.approx(max(ys[-2:]), rel=0.05), series.label
+        assert ys[-1] >= ys[0], series.label
+
+    # The single-domain configuration is plain ScaLAPACK on one site: it must
+    # be the slowest point of every curve by a clear margin for the smaller M.
+    smallest_m_series = fig.series[0]
+    assert smallest_m_series.ys()[0] < 0.9 * max(smallest_m_series.ys())

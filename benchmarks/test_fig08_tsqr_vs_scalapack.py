@@ -1,0 +1,57 @@
+"""Benchmark: Fig. 8 — TSQR (best configuration) vs ScaLAPACK (best configuration).
+
+Expected shape (paper §V-E): for every matrix shape considered, QCG-TSQR's
+best configuration achieves a significantly higher performance than
+ScaLAPACK's best configuration; the gap narrows for the widest (not so
+skinny) matrices (Property 5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure8
+
+from benchmarks.conftest import bench_m_values, bench_n_values, full_sweep, report_figure
+
+
+@pytest.mark.parametrize("n", bench_n_values())
+def test_fig08_best_tsqr_vs_best_scalapack(benchmark, runner, results_dir, n):
+    m_values = bench_m_values(n)
+    candidates = (1, 4, 16, 32, 64) if full_sweep() else (32, 64)
+    fig = benchmark.pedantic(
+        figure8,
+        args=(runner, n),
+        kwargs={"m_values": m_values, "domain_candidates": candidates},
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(fig, results_dir, note="paper: TSQR consistently above ScaLAPACK")
+
+    tsqr_series = fig.series_by_label("TSQR (best)")
+    scal_series = fig.series_by_label("ScaLAPACK (best)")
+
+    # TSQR wins at every measured point.
+    for (m, ts), (_, sc) in zip(tsqr_series.points, scal_series.points):
+        assert ts > sc, f"ScaLAPACK unexpectedly faster at M={m}"
+
+    # The advantage is large for skinny matrices and narrows as N grows
+    # (checked across the parametrised panels through the recorded CSVs);
+    # within one panel the advantage at the largest M stays above ~1.3x.
+    assert tsqr_series.ys()[-1] / scal_series.ys()[-1] > 1.3
+
+
+def test_fig08_advantage_narrows_with_n(runner, results_dir):
+    """Property 5 across panels: the TSQR/ScaLAPACK ratio shrinks from N=64 to N=512."""
+    m64 = bench_m_values(64)[-1]
+    m512 = bench_m_values(512)[-1]
+    ratio_64 = (
+        runner.best_over_sites("tsqr", m64, 64, domain_candidates=(64,)).gflops
+        / runner.best_over_sites("scalapack", m64, 64).gflops
+    )
+    ratio_512 = (
+        runner.best_over_sites("tsqr", m512, 512, domain_candidates=(64,)).gflops
+        / runner.best_over_sites("scalapack", m512, 512).gflops
+    )
+    print(f"\nTSQR/ScaLAPACK best-vs-best ratio: N=64 -> {ratio_64:.2f}x, N=512 -> {ratio_512:.2f}x")
+    assert ratio_512 < ratio_64

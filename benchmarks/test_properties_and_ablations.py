@@ -1,0 +1,128 @@
+"""Benchmarks: the §IV properties and the design-choice ablations.
+
+* Property 1 — computing Q and R costs about twice computing R only;
+* Property 5 — TSQR wins for mid-range N, the advantage fades for large N
+  (crossover analysis with the Eq. (1) predictor);
+* tree ablation — grid-hierarchical vs topology-oblivious binary vs flat
+  reduction trees, and block vs round-robin process placement: the ablation
+  that isolates the contribution of the topology-aware middleware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.grid5000 import Grid5000Settings, grid5000_grid, grid5000_kernel_model, grid5000_network
+from repro.gridsim.platform import Platform
+from repro.gridsim.topology import block_placement, round_robin_placement
+from repro.model.predictor import MachineParameters, crossover_n, predict_pair
+from repro.model.properties import check_property1_q_costs_double
+from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
+
+from benchmarks.conftest import report_rows
+
+
+def test_property1_q_and_r_costs_double(benchmark, runner, results_dir):
+    m, n = 4_194_304, 64
+
+    def measure():
+        r_only = runner.tsqr_point(m, n, 4, 64, want_q=False)
+        with_q = runner.tsqr_point(m, n, 4, 64, want_q=True)
+        return r_only, with_q
+
+    r_only, with_q = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        {"mode": "R only", "time (s)": round(r_only.time_s, 4), "Gflop/s": round(r_only.gflops, 1)},
+        {"mode": "Q and R", "time (s)": round(with_q.time_s, 4), "Gflop/s": round(with_q.gflops, 1)},
+        {"mode": "ratio", "time (s)": round(with_q.time_s / r_only.time_s, 3), "Gflop/s": "-"},
+    ]
+    report_rows("Property 1: time(Q,R) vs time(R)", rows, results_dir, "property1.csv")
+    assert check_property1_q_costs_double(r_only.time_s, with_q.time_s).holds
+
+
+def test_property5_crossover_in_n(benchmark, runner, results_dir):
+    platform = runner.platform(4)
+    machine = MachineParameters.from_link(
+        latency_s=8e-3,
+        bandwidth_bytes_per_s=1.125e7,
+        domain_gflops=platform.kernel_model.rate("qr_leaf", 256) / 1e9,
+    )
+    m = 1_048_576
+    rows = []
+    for n in (16, 64, 256, 1024, 4096):
+        scal, ts = predict_pair(m, n, 256, machine)
+        rows.append(
+            {
+                "N": n,
+                "model ScaLAPACK time (s)": round(scal.time_s, 3),
+                "model TSQR time (s)": round(ts.time_s, 3),
+                "TSQR advantage": round(scal.time_s / ts.time_s, 2),
+            }
+        )
+    crossover = benchmark.pedantic(
+        crossover_n, args=(m, 256, machine), kwargs={"n_candidates": range(16, 8193, 16)},
+        rounds=1, iterations=1,
+    )
+    rows.append({"N": f"crossover ~ {crossover}", "model ScaLAPACK time (s)": "-",
+                 "model TSQR time (s)": "-", "TSQR advantage": 1.0})
+    report_rows("Property 5: TSQR advantage versus N (Eq. (1) model)", rows, results_dir,
+                "property5_crossover.csv")
+    advantages = [r["TSQR advantage"] for r in rows[:-1]]
+    assert advantages[1] > 1.0  # mid-range N: TSQR wins
+    assert advantages[-1] < advantages[1]  # advantage fades as N grows
+
+
+def _platform_with_placement(placement_kind: str) -> Platform:
+    settings = Grid5000Settings(nodes_per_cluster=8, processes_per_node=2)
+    grid = grid5000_grid(settings)
+    network = grid5000_network(settings)
+    if placement_kind == "block":
+        placement = block_placement(grid, nodes_per_cluster=8, processes_per_node=2)
+    else:
+        placement = round_robin_placement(grid, 64, processes_per_node=2)
+    return Platform(grid=grid, network=network, placement=placement,
+                    kernel_model=grid5000_kernel_model(settings), name=placement_kind)
+
+
+def test_ablation_reduction_tree_and_placement(benchmark, results_dir):
+    """Isolate the paper's contribution: the topology-aware tree.
+
+    Same matrix, same processes; only the reduction tree (grid-hierarchical /
+    binary / flat) and the rank placement (block per cluster / round-robin
+    across clusters) change.  The tuned tree on the block placement must send
+    the minimal number of wide-area messages and be the fastest configuration.
+    """
+    m, n = 2_097_152, 64
+
+    def run_all():
+        results = {}
+        for placement_kind in ("block", "round-robin"):
+            platform = _platform_with_placement(placement_kind)
+            for tree in ("grid-hierarchical", "binary", "flat"):
+                res = run_parallel_tsqr(platform, TSQRConfig(m=m, n=n, tree_kind=tree))
+                results[(placement_kind, tree)] = res
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        {
+            "placement": placement,
+            "reduction tree": tree,
+            "time (s)": round(res.makespan_s, 4),
+            "Gflop/s": round(res.gflops, 1),
+            "WAN messages": res.trace.inter_cluster_messages,
+        }
+        for (placement, tree), res in results.items()
+    ]
+    report_rows("Ablation: reduction tree x process placement", rows, results_dir,
+                "ablation_trees.csv")
+
+    tuned = results[("block", "grid-hierarchical")]
+    # Minimal WAN traffic: one message per extra site.
+    assert tuned.trace.inter_cluster_messages == 3
+    # The tuned tree is at least as fast as every other configuration.
+    for key, res in results.items():
+        assert tuned.makespan_s <= res.makespan_s * 1.001, key
+    # And the oblivious configurations cross the WAN strictly more often.
+    assert results[("round-robin", "binary")].trace.inter_cluster_messages > 3
+    assert results[("block", "flat")].trace.inter_cluster_messages >= 3

@@ -1,0 +1,62 @@
+"""Benchmark: Table I — message / volume / flop counts when only R is needed.
+
+Compares the analytic model of paper Table I with the counts actually
+measured from the simulation traces (messages on the busiest rank, bytes
+moved, flops on the busiest rank) for both algorithms on the four-site
+platform.  The headline structural facts must hold exactly:
+
+* TSQR's message count is independent of N and smaller than ScaLAPACK's by a
+  factor of order 2N;
+* the exchanged volume per process is of the same order for both algorithms;
+* TSQR does slightly more flops (the 2/3 log2(P) N^3 term).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import table1
+
+from benchmarks.conftest import report_rows
+
+
+def test_table1_counts_r_only(benchmark, runner, results_dir):
+    rows = benchmark.pedantic(
+        table1, args=(runner,), kwargs={"m": 1_048_576, "n": 64, "n_sites": 4},
+        rounds=1, iterations=1,
+    )
+    report_rows("Table I: counts with R factor only (M=1,048,576, N=64, P=256)", rows,
+                results_dir, "table1_costs.csv")
+    scal = next(r for r in rows if r["algorithm"] == "ScaLAPACK QR2")
+    ts = next(r for r in rows if r["algorithm"] == "TSQR")
+
+    # Messages: ScaLAPACK ~ 2 N log2 P on the critical path, TSQR ~ log2 P.
+    assert scal["measured # msg (max per rank)"] > 20 * ts["measured # msg (max per rank)"]
+    assert scal["model # msg (critical path)"] == pytest.approx(2 * 64 * 8)
+    assert ts["model # msg (critical path)"] == pytest.approx(8)
+
+    # Flops: TSQR pays the extra 2/3 log2(P) N^3 term but stays within ~20%.
+    assert ts["measured flops (max per rank)"] >= scal["measured flops (max per rank)"]
+    assert ts["measured flops (max per rank)"] <= 1.3 * scal["measured flops (max per rank)"]
+
+    # Both measured per-rank flop counts are close to the model's per-domain count.
+    for row in rows:
+        assert row["measured flops (max per rank)"] == pytest.approx(
+            row["model flops (per domain)"], rel=0.25
+        )
+
+    # TSQR is faster despite the extra flops.
+    assert ts["Gflop/s"] > scal["Gflop/s"]
+
+
+def test_table1_message_count_independent_of_n(runner, results_dir):
+    """The defining property: TSQR messages do not grow with N, ScaLAPACK's do."""
+    rows = []
+    for n in (64, 128, 256):
+        for row in table1(runner, m=1_048_576, n=n, n_sites=2):
+            rows.append(row)
+    report_rows("Table I sweep over N (P=128)", rows, results_dir, "table1_n_sweep.csv")
+    ts_msgs = [r["measured # msg (max per rank)"] for r in rows if r["algorithm"] == "TSQR"]
+    scal_msgs = [r["measured # msg (max per rank)"] for r in rows if r["algorithm"] == "ScaLAPACK QR2"]
+    assert max(ts_msgs) == min(ts_msgs)  # constant in N
+    assert scal_msgs[-1] > 3.5 * scal_msgs[0]  # grows roughly linearly with N

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Block eigensolver with pluggable orthogonalization (the paper's §II-E scope).
+
+Block iterative eigensolvers repeatedly orthonormalize a block of long
+vectors; to save messages they often use cheap but unstable schemes.  This
+example runs the same block subspace iteration with four orthogonalization
+back-ends — TSQR, Householder QR, classical Gram-Schmidt and CholeskyQR —
+on an operator whose iterated blocks become very ill-conditioned, and reports
+convergence, basis orthogonality and eigenvalue accuracy for each.
+
+Run with::
+
+    python examples/block_eigensolver.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.linalg.eigensolver import ORTHO_SCHEMES, block_subspace_iteration
+from repro.util.random_matrices import default_rng
+from repro.util.validation import orthogonality_error
+
+
+def make_operator(n: int = 400, decay: float = 0.985, seed: int = 3):
+    """Symmetric operator with a slowly decaying spectrum.
+
+    The slow decay makes the power iterates of a block nearly collinear, which
+    is exactly the regime where classical Gram-Schmidt and CholeskyQR lose
+    orthogonality (or break down) while TSQR does not.
+    """
+    rng = default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigenvalues = decay ** np.arange(n) * 100.0
+    return (q * eigenvalues) @ q.T, eigenvalues
+
+
+def main() -> None:
+    n, block_size = 400, 6
+    operator, spectrum = make_operator(n)
+    reference = spectrum[:block_size]
+    print(f"Operator: {n} x {n} symmetric, seeking the {block_size} dominant eigenpairs")
+    print(f"Reference eigenvalues: {np.array2string(reference, precision=3)}\n")
+
+    header = f"{'scheme':<12} {'converged':<10} {'iters':<6} {'basis orth.':<12} {'max eig. error':<14}"
+    print(header)
+    print("-" * len(header))
+    for scheme in ("tsqr", "householder", "cgs", "cholqr"):
+        assert scheme in ORTHO_SCHEMES
+        try:
+            result = block_subspace_iteration(
+                operator,
+                n,
+                block_size,
+                ortho=scheme,
+                max_iterations=400,
+                tolerance=1e-9,
+                seed=1,
+            )
+            orth = orthogonality_error(result.eigenvectors)
+            err = float(np.max(np.abs(result.eigenvalues - reference)))
+            print(
+                f"{scheme:<12} {str(result.converged):<10} {result.iterations:<6} "
+                f"{orth:<12.2e} {err:<14.2e}"
+            )
+        except ReproError as exc:
+            print(f"{scheme:<12} breakdown: {exc}")
+
+    print(
+        "\nTSQR gives the same single-reduction communication pattern as CGS/CholeskyQR "
+        "but keeps the basis orthogonal to machine precision — the §II-E motivation."
+    )
+
+
+if __name__ == "__main__":
+    main()

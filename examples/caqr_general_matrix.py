@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""CAQR on a general matrix: the paper's "next step" (§VI), working today.
+
+TSQR is the panel factorization of CAQR; the paper presents its grid TSQR as
+a first step towards factoring *general* matrices on the grid.  This example
+runs the tiled CAQR implementation on a general (not tall-and-skinny) matrix,
+compares the flat-tree and binary-tree panel reductions, validates the factors
+against LAPACK, and uses the implicit Q to solve an overdetermined system.
+
+Run with::
+
+    python examples/caqr_general_matrix.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.tsqr import caqr
+from repro.util.random_matrices import random_matrix
+from repro.util.validation import factorization_residual, orthogonality_error
+
+
+def main() -> None:
+    m, n, tile = 900, 600, 64
+    a = random_matrix(m, n, seed=11)
+    print(f"General matrix: {m} x {n}, tile size {tile}\n")
+
+    for tree in ("flat", "binary"):
+        factors = caqr(a, tile_size=tile, panel_tree=tree)
+        q = factors.thin_q()
+        print(f"panel reduction tree = {tree!r}")
+        print(f"  ||A - QR|| / ||A||  = {factorization_residual(a, q, factors.r):.2e}")
+        print(f"  ||I - Q^T Q||       = {orthogonality_error(q):.2e}")
+        r_ref = np.linalg.qr(a, mode="r")
+        agreement = np.linalg.norm(np.abs(factors.r) - np.abs(r_ref)) / np.linalg.norm(r_ref)
+        print(f"  |R| vs LAPACK       = {agreement:.2e}\n")
+
+    # Least squares with the implicit Q: x = R^{-1} (Q^T b).
+    factors = caqr(a, tile_size=tile, panel_tree="binary")
+    x_true = np.linspace(0.0, 1.0, n)
+    b = a @ x_true + 1e-8 * np.random.default_rng(2).standard_normal(m)
+    qtb = factors.apply_qt(b)[:n]
+    x = solve_triangular(factors.r[:n, :n], qtb, lower=False)
+    print("Overdetermined solve via the implicit Q")
+    print(f"  ||x - x_true||      = {np.linalg.norm(x - x_true):.2e}")
+
+    # The communication argument, in counts: every panel is a single reduction
+    # over its row tiles instead of one reduction per column.
+    mt = (m + tile - 1) // tile
+    nt = (n + tile - 1) // tile
+    print("\nCommunication structure (per panel):")
+    print(f"  CAQR panel reduction:  {mt - 1} combine messages, independent of the panel width")
+    print(f"  ScaLAPACK-style panel: ~{2 * tile} reductions (two per column of the panel)")
+    print(f"  panels: {nt}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Stability study: loss of orthogonality versus condition number.
+
+TSQR is unconditionally backward stable (like Householder QR); the cheap
+communication-avoiding alternatives it replaces are not.  This example sweeps
+the condition number of a tall matrix from 1e2 to 1e14 and tabulates
+``||I - Q^T Q||`` for
+
+* TSQR,
+* classical and modified Gram-Schmidt,
+* CGS with re-orthogonalization,
+* CholeskyQR and CholeskyQR2,
+
+marking breakdowns (CholeskyQR's Gram matrix stops being positive definite
+around kappa ~ 1e8).
+
+Run with::
+
+    python examples/stability_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.kernels.cholqr import cholqr, cholqr2
+from repro.kernels.gram_schmidt import cgs, cgs2, mgs
+from repro.tsqr import tsqr
+from repro.util.random_matrices import matrix_with_condition_number
+from repro.util.validation import orthogonality_error
+
+
+def orthogonality_of(scheme, a: np.ndarray) -> str:
+    """Return the loss of orthogonality of ``scheme`` on ``a`` as a string."""
+    try:
+        if scheme == "tsqr":
+            q = tsqr(a, n_domains=16, want_q=True).q.explicit()
+        else:
+            q, _ = {"cgs": cgs, "mgs": mgs, "cgs2": cgs2, "cholqr": cholqr, "cholqr2": cholqr2}[
+                scheme
+            ](a)
+        return f"{orthogonality_error(q):.1e}"
+    except ReproError:
+        return "breakdown"
+
+
+def main() -> None:
+    m, n = 4000, 24
+    schemes = ("tsqr", "mgs", "cgs", "cgs2", "cholqr", "cholqr2")
+    conditions = [1e2, 1e4, 1e6, 1e8, 1e10, 1e12, 1e14]
+
+    print(f"Loss of orthogonality ||I - Q^T Q|| for a {m} x {n} matrix\n")
+    header = f"{'kappa(A)':>10} | " + " | ".join(f"{s:>9}" for s in schemes)
+    print(header)
+    print("-" * len(header))
+    for cond in conditions:
+        a = matrix_with_condition_number(m, n, cond, seed=int(np.log10(cond)))
+        row = " | ".join(f"{orthogonality_of(s, a):>9}" for s in schemes)
+        print(f"{cond:>10.0e} | {row}")
+
+    print(
+        "\nReading guide: TSQR (and CGS2/CholeskyQR2 at twice the flops) stays at machine "
+        "precision for every conditioning; CGS degrades like kappa^2, MGS like kappa, and "
+        "CholeskyQR breaks down once kappa exceeds ~1/sqrt(machine epsilon)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the legacy
+(`--no-use-pep517`) editable install path used in offline environments.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows without writing Python:
+
+``factor``
+    Factor a random tall-and-skinny matrix in memory with TSQR and report the
+    numerical quality (residual, orthogonality, agreement with LAPACK).
+
+``simulate``
+    Run one evaluation point of the paper on the simulated Grid'5000 platform
+    (QCG-TSQR or the ScaLAPACK baseline) and report simulated time, Gflop/s
+    and message counts.
+
+``figure``
+    Regenerate one of the paper's figures or tables and print/save its series.
+
+Examples
+--------
+::
+
+    python -m repro factor --rows 200000 --cols 64 --domains 64 --want-q
+    python -m repro simulate --algorithm tsqr --rows 33554432 --cols 64 \
+        --sites 4 --domains-per-cluster 64
+    python -m repro figure --id fig5 --cols 64 --points 3 --csv results/fig5.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentRunner,
+    figure3_network,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    format_points,
+    reduced_m_values,
+    table1,
+    table2,
+    write_csv,
+)
+from repro.tsqr.sequential import tsqr
+from repro.util.random_matrices import random_tall_skinny
+from repro.util.validation import factorization_residual, orthogonality_error, r_factors_match
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TSQR on the grid: reproduction of Agullo et al., IPDPS 2010.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    factor = sub.add_parser("factor", help="factor a random tall-and-skinny matrix with TSQR")
+    factor.add_argument("--rows", type=int, default=100_000, help="number of rows M")
+    factor.add_argument("--cols", type=int, default=32, help="number of columns N")
+    factor.add_argument("--domains", type=int, default=None, help="number of block-row domains")
+    factor.add_argument(
+        "--tree",
+        choices=("binary", "flat", "grid-hierarchical"),
+        default="binary",
+        help="reduction tree family",
+    )
+    factor.add_argument("--want-q", action="store_true", help="also build the implicit Q factor")
+    factor.add_argument("--seed", type=int, default=0, help="random seed of the test matrix")
+
+    simulate = sub.add_parser("simulate", help="run one evaluation point on the simulated grid")
+    simulate.add_argument(
+        "--algorithm", choices=("tsqr", "scalapack"), default="tsqr", help="algorithm to run"
+    )
+    simulate.add_argument("--rows", type=int, default=1_048_576, help="number of rows M")
+    simulate.add_argument("--cols", type=int, default=64, help="number of columns N")
+    simulate.add_argument("--sites", type=int, choices=(1, 2, 4), default=4, help="grid sites used")
+    simulate.add_argument(
+        "--domains-per-cluster", type=int, default=64, help="TSQR domains per cluster"
+    )
+    simulate.add_argument("--want-q", action="store_true", help="also produce the Q factor")
+
+    figure = sub.add_parser("figure", help="regenerate a figure or table of the paper")
+    figure.add_argument(
+        "--id",
+        dest="figure_id",
+        required=True,
+        choices=("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2"),
+        help="which artefact to regenerate",
+    )
+    figure.add_argument("--cols", type=int, default=64, help="column count N of the panel")
+    figure.add_argument("--points", type=int, default=3, help="number of M values to sweep")
+    figure.add_argument("--csv", type=str, default=None, help="write the series to this CSV file")
+    return parser
+
+
+def _cmd_factor(args: argparse.Namespace) -> int:
+    a = random_tall_skinny(args.rows, args.cols, seed=args.seed)
+    result = tsqr(a, args.domains, tree=args.tree, want_q=args.want_q)
+    r_ref = np.linalg.qr(a, mode="r")
+    print(f"TSQR factorization of a {args.rows:,} x {args.cols} matrix "
+          f"({args.domains or 'auto'} domains, {args.tree} tree)")
+    print(f"  |R| agreement with LAPACK : {'yes' if r_factors_match(result.r, r_ref) else 'NO'}")
+    if args.want_q and result.q is not None:
+        q = result.q.explicit()
+        print(f"  ||A - QR|| / ||A||        : {factorization_residual(a, q, result.r):.2e}")
+        print(f"  ||I - Q^T Q||             : {orthogonality_error(q):.2e}")
+    print(f"  reduction tree            : {result.tree.describe()}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    if args.algorithm == "scalapack":
+        point = runner.scalapack_point(args.rows, args.cols, args.sites, want_q=args.want_q)
+    else:
+        point = runner.tsqr_point(
+            args.rows, args.cols, args.sites, args.domains_per_cluster, want_q=args.want_q
+        )
+    print(format_points([point.as_row()]))
+    peak = runner.platform(args.sites).practical_peak_gflops()
+    print(f"\npractical peak of the reservation: {peak:.0f} Gflop/s "
+          f"({point.gflops / peak * 100:.1f}% achieved)")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    n = args.cols
+    if args.figure_id == "fig3":
+        rows = figure3_network(runner)
+    elif args.figure_id == "table1":
+        rows = table1(runner, n=n)
+    elif args.figure_id == "table2":
+        rows = table2(runner, n=n)
+    else:
+        builder = {"fig4": figure4, "fig5": figure5, "fig6": figure6, "fig7": figure7,
+                   "fig8": figure8}[args.figure_id]
+        kwargs = {}
+        if args.figure_id in ("fig4", "fig5", "fig8"):
+            kwargs["m_values"] = reduced_m_values(n, points=args.points)
+        fig = builder(runner, n, **kwargs)
+        print(f"{fig.figure_id}: {fig.title}")
+        rows = fig.as_rows()
+    print(format_points(rows))
+    if args.csv:
+        path = write_csv(args.csv, rows)
+        print(f"\nseries written to {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro`` and the ``repro-grid`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"factor": _cmd_factor, "simulate": _cmd_simulate, "figure": _cmd_figure}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

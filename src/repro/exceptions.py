@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so downstream
+users can catch the whole family with a single ``except`` clause while still
+being able to distinguish configuration problems from numerical or
+simulation-level failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "PlacementError",
+    "AllocationError",
+    "CommunicatorError",
+    "SimulationError",
+    "DeadlockError",
+    "DistributionError",
+    "FactorizationError",
+    "TreeError",
+    "ShapeError",
+    "VirtualPayloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, platform or algorithm configuration is invalid."""
+
+
+class TopologyError(ConfigurationError):
+    """A grid/cluster/node topology description is inconsistent."""
+
+
+class PlacementError(ConfigurationError):
+    """A process placement does not match the platform it targets."""
+
+
+class AllocationError(ReproError):
+    """The meta-scheduler could not satisfy a :class:`JobProfile` request."""
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the simulated MPI communicator (bad rank, tag, or group)."""
+
+
+class SimulationError(ReproError):
+    """A rank program raised, or the SPMD execution could not complete."""
+
+
+class DeadlockError(SimulationError):
+    """The SPMD execution stalled: some ranks are blocked forever."""
+
+
+class DistributionError(ReproError):
+    """A distributed matrix descriptor or redistribution request is invalid."""
+
+
+class FactorizationError(ReproError):
+    """A QR factorization could not be computed (bad shapes, rank deficiency
+    in algorithms that require full column rank, ...)."""
+
+
+class TreeError(ReproError):
+    """A reduction tree is malformed (not spanning, wrong leaf count, ...)."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or virtual matrix has an incompatible shape."""
+
+
+class VirtualPayloadError(ReproError):
+    """An operation requiring real numeric data was attempted on a
+    :class:`~repro.virtual.matrix.VirtualMatrix` payload."""

@@ -1,0 +1,85 @@
+"""Experiment harness: the paper's evaluation (§V) end to end.
+
+* :mod:`grid5000`  — the simulated Grid'5000 platform (machine + network +
+  reservation + calibrated kernel rates);
+* :mod:`workloads` — the matrix-shape and domain-count sweeps of the figures;
+* :mod:`runner`    — cached execution of individual evaluation points;
+* :mod:`figures`   — regeneration of Figs. 3-8 and Tables I-II;
+* :mod:`paper_data`— approximate published values for shape comparison;
+* :mod:`report`    — text/CSV rendering of the results.
+"""
+
+from repro.experiments.figures import (
+    FigureData,
+    FigureSeries,
+    figure3_network,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+    table2,
+)
+from repro.experiments.grid5000 import (
+    CLUSTER_NAMES,
+    Grid5000Settings,
+    grid5000_grid,
+    grid5000_kernel_model,
+    grid5000_network,
+    grid5000_platform,
+    site_subsets,
+)
+from repro.experiments.paper_data import (
+    PAPER_FIG4_GFLOPS,
+    PAPER_FIG5_GFLOPS,
+    PAPER_QUALITATIVE_CLAIMS,
+    paper_reference,
+)
+from repro.experiments.report import ascii_series, ascii_table, format_points, write_csv
+from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
+from repro.experiments.workloads import (
+    DOMAIN_COUNTS_PER_CLUSTER,
+    PAPER_N_VALUES,
+    figure67_m_values,
+    generate_matrix,
+    paper_m_values,
+    reduced_m_values,
+)
+
+__all__ = [
+    "FigureData",
+    "FigureSeries",
+    "figure3_network",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "table1",
+    "table2",
+    "CLUSTER_NAMES",
+    "Grid5000Settings",
+    "grid5000_grid",
+    "grid5000_kernel_model",
+    "grid5000_network",
+    "grid5000_platform",
+    "site_subsets",
+    "PAPER_FIG4_GFLOPS",
+    "PAPER_FIG5_GFLOPS",
+    "PAPER_QUALITATIVE_CLAIMS",
+    "paper_reference",
+    "ascii_series",
+    "ascii_table",
+    "format_points",
+    "write_csv",
+    "ExperimentPoint",
+    "ExperimentRunner",
+    "PointSpec",
+    "DOMAIN_COUNTS_PER_CLUSTER",
+    "PAPER_N_VALUES",
+    "figure67_m_values",
+    "generate_matrix",
+    "paper_m_values",
+    "reduced_m_values",
+]

@@ -1,0 +1,342 @@
+"""Regeneration of every figure and table of the paper's evaluation (§V).
+
+Each ``figure*``/``table*`` function returns a :class:`FigureData` (series of
+(x, y) points plus metadata) or a list of comparison rows; the benchmark
+harness prints them and EXPERIMENTS.md records them against the paper's
+curves.  The underlying simulations run at paper scale with virtual payloads
+through :class:`~repro.experiments.runner.ExperimentRunner`.
+
+Index
+-----
+* :func:`figure3_network`  — Fig. 3(a): inter/intra-cluster latency & throughput.
+* :func:`figure4`          — Fig. 4: ScaLAPACK Gflop/s vs M (1/2/4 sites).
+* :func:`figure5`          — Fig. 5: QCG-TSQR (best #domains) Gflop/s vs M.
+* :func:`figure6`          — Fig. 6: #domains/cluster sweep on four sites.
+* :func:`figure7`          — Fig. 7: #domains sweep on a single site.
+* :func:`figure8`          — Fig. 8: TSQR (best) vs ScaLAPACK (best).
+* :func:`table1` / :func:`table2` — Tables I/II: message / volume / flop counts,
+  analytic model vs counts measured from the simulation traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.grid5000 import CLUSTER_NAMES, PAPER_LATENCY_MS, PAPER_THROUGHPUT_MBITS
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.workloads import (
+    DOMAIN_COUNTS_PER_CLUSTER,
+    figure67_m_values,
+    reduced_m_values,
+)
+from repro.gridsim.executor import run_spmd
+from repro.model.costs import scalapack_costs, tsqr_costs
+from repro.util.units import DOUBLE_BYTES
+
+__all__ = [
+    "FigureSeries",
+    "FigureData",
+    "figure3_network",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "table1",
+    "table2",
+]
+
+
+@dataclass
+class FigureSeries:
+    """One curve of a figure."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def xs(self) -> list[float]:
+        """X coordinates of the curve."""
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        """Y coordinates of the curve."""
+        return [y for _, y in self.points]
+
+
+@dataclass
+class FigureData:
+    """All curves of one figure panel, plus labelling metadata."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[FigureSeries] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> FigureSeries:
+        """Return the curve with the given label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def as_mapping(self) -> dict[str, list[tuple[float, float]]]:
+        """Mapping form used by the ASCII plotting helper."""
+        return {s.label: list(s.points) for s in self.series}
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Long-form rows (one per point) for CSV output."""
+        rows = []
+        for s in self.series:
+            for x, y in s.points:
+                rows.append(
+                    {"figure": self.figure_id, "series": s.label, self.xlabel: x, self.ylabel: y}
+                )
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3(a): network characteristics
+# ---------------------------------------------------------------------------
+
+def figure3_network(runner: ExperimentRunner | None = None) -> list[dict[str, object]]:
+    """Measure the simulated latency/throughput matrix with ping-pong runs.
+
+    For every cluster pair the first rank of each cluster exchanges an empty
+    message (latency estimate) and a 4 MB message (throughput estimate); the
+    measured values are reported next to the published Table 3(a) numbers.
+    """
+    runner = runner or ExperimentRunner()
+    platform = runner.platform(4)
+    placement = platform.placement
+    per_cluster = {name: placement.ranks_of_cluster(name) for name in CLUSTER_NAMES}
+    payload_bytes = 4 * 1024 * 1024
+
+    def _pingpong(ctx, rank_a: int, rank_b: int, nbytes: int):
+        me = ctx.comm.rank
+        if me == rank_a:
+            ctx.comm.send(None, dest=rank_b, tag="ping", nbytes=nbytes)
+            ctx.comm.recv(source=rank_b, tag="pong")
+            return ctx.clock()
+        if me == rank_b:
+            ctx.comm.recv(source=rank_a, tag="ping")
+            ctx.comm.send(None, dest=rank_a, tag="pong", nbytes=nbytes)
+        return None
+
+    rows: list[dict[str, object]] = []
+    for i, a in enumerate(CLUSTER_NAMES):
+        for b in CLUSTER_NAMES[i:]:
+            if a == b:
+                rank_a, rank_b = per_cluster[a][0], per_cluster[a][2]
+            else:
+                rank_a, rank_b = per_cluster[a][0], per_cluster[b][0]
+            small = run_spmd(platform, _pingpong, rank_a, rank_b, 0)
+            large = run_spmd(platform, _pingpong, rank_a, rank_b, payload_bytes)
+            rtt_small = small.results[rank_a]
+            rtt_large = large.results[rank_a]
+            latency_ms = rtt_small / 2.0 * 1e3
+            transfer_s = max((rtt_large - rtt_small) / 2.0, 1e-12)
+            throughput_mbits = payload_bytes * 8.0 / transfer_s / 1e6
+            key = (a, b) if (a, b) in PAPER_LATENCY_MS else (b, a)
+            rows.append(
+                {
+                    "from": a,
+                    "to": b,
+                    "measured latency (ms)": round(latency_ms, 3),
+                    "paper latency (ms)": PAPER_LATENCY_MS[key],
+                    "measured throughput (Mb/s)": round(throughput_mbits, 1),
+                    "paper throughput (Mb/s)": PAPER_THROUGHPUT_MBITS[key],
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 / Fig. 5: performance versus M for 1, 2 and 4 sites
+# ---------------------------------------------------------------------------
+
+def figure4(
+    runner: ExperimentRunner,
+    n: int,
+    *,
+    m_values: list[int] | None = None,
+    sites: tuple[int, ...] = (1, 2, 4),
+) -> FigureData:
+    """ScaLAPACK performance versus the number of rows (paper Fig. 4)."""
+    m_values = m_values or reduced_m_values(n)
+    data = FigureData(
+        figure_id=f"fig4-N{n}",
+        title=f"ScaLAPACK performance, N={n}",
+        xlabel="M",
+        ylabel="Gflop/s",
+    )
+    for s in sites:
+        series = FigureSeries(label=f"{s} site(s)")
+        for m in m_values:
+            point = runner.scalapack_point(m, n, s)
+            series.points.append((float(m), point.gflops))
+        data.series.append(series)
+    return data
+
+
+def figure5(
+    runner: ExperimentRunner,
+    n: int,
+    *,
+    m_values: list[int] | None = None,
+    sites: tuple[int, ...] = (1, 2, 4),
+    domain_candidates: tuple[int, ...] = (32, 64),
+) -> FigureData:
+    """QCG-TSQR performance (best #domains) versus M (paper Fig. 5)."""
+    m_values = m_values or reduced_m_values(n)
+    data = FigureData(
+        figure_id=f"fig5-N{n}",
+        title=f"TSQR performance (best #domains), N={n}",
+        xlabel="M",
+        ylabel="Gflop/s",
+    )
+    for s in sites:
+        series = FigureSeries(label=f"{s} site(s)")
+        for m in m_values:
+            point = runner.best_tsqr_point(m, n, s, domain_candidates)
+            series.points.append((float(m), point.gflops))
+        data.series.append(series)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 / Fig. 7: effect of the number of domains
+# ---------------------------------------------------------------------------
+
+def figure6(
+    runner: ExperimentRunner,
+    n: int,
+    *,
+    m_values: list[int] | None = None,
+    domain_counts: tuple[int, ...] = DOMAIN_COUNTS_PER_CLUSTER,
+) -> FigureData:
+    """Effect of domains/cluster on TSQR over all four sites (paper Fig. 6)."""
+    m_values = m_values or figure67_m_values(n)
+    data = FigureData(
+        figure_id=f"fig6-N{n}",
+        title=f"Effect of #domains per cluster (4 sites), N={n}",
+        xlabel="domains per cluster",
+        ylabel="Gflop/s",
+    )
+    for m in m_values:
+        series = FigureSeries(label=f"M = {m:,}")
+        for dpc in domain_counts:
+            point = runner.tsqr_point(m, n, 4, dpc)
+            series.points.append((float(dpc), point.gflops))
+        data.series.append(series)
+    return data
+
+
+def figure7(
+    runner: ExperimentRunner,
+    n: int,
+    *,
+    m_values: list[int] | None = None,
+    domain_counts: tuple[int, ...] = DOMAIN_COUNTS_PER_CLUSTER,
+) -> FigureData:
+    """Effect of the number of domains on TSQR on a single site (paper Fig. 7)."""
+    m_values = m_values or figure67_m_values(n, single_site=True)
+    data = FigureData(
+        figure_id=f"fig7-N{n}",
+        title=f"Effect of #domains (1 site), N={n}",
+        xlabel="domains",
+        ylabel="Gflop/s",
+    )
+    for m in m_values:
+        series = FigureSeries(label=f"M = {m:,}")
+        for dpc in domain_counts:
+            point = runner.tsqr_point(m, n, 1, dpc)
+            series.points.append((float(dpc), point.gflops))
+        data.series.append(series)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8: best TSQR against best ScaLAPACK
+# ---------------------------------------------------------------------------
+
+def figure8(
+    runner: ExperimentRunner,
+    n: int,
+    *,
+    m_values: list[int] | None = None,
+    sites: tuple[int, ...] = (1, 2, 4),
+    domain_candidates: tuple[int, ...] = (32, 64),
+) -> FigureData:
+    """TSQR (best configuration) versus ScaLAPACK (best configuration), Fig. 8."""
+    m_values = m_values or reduced_m_values(n)
+    data = FigureData(
+        figure_id=f"fig8-N{n}",
+        title=f"TSQR (best) vs ScaLAPACK (best), N={n}",
+        xlabel="M",
+        ylabel="Gflop/s",
+    )
+    tsqr_series = FigureSeries(label="TSQR (best)")
+    scal_series = FigureSeries(label="ScaLAPACK (best)")
+    for m in m_values:
+        best_tsqr = runner.best_over_sites("tsqr", m, n, sites, domain_candidates=domain_candidates)
+        best_scal = runner.best_over_sites("scalapack", m, n, sites)
+        tsqr_series.points.append((float(m), best_tsqr.gflops))
+        scal_series.points.append((float(m), best_scal.gflops))
+    data.series = [tsqr_series, scal_series]
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Tables I and II: counts measured from traces vs analytic model
+# ---------------------------------------------------------------------------
+
+def _count_rows(
+    runner: ExperimentRunner, m: int, n: int, n_sites: int, *, want_q: bool
+) -> list[dict[str, object]]:
+    p = runner.processes(n_sites)
+    dpc = runner.processes_per_cluster(n_sites)
+    scal_model = scalapack_costs(m, n, p, want_q=want_q)
+    tsqr_model = tsqr_costs(m, n, p, want_q=want_q)
+    scal_point = runner.scalapack_point(m, n, n_sites, want_q=want_q)
+    tsqr_point = runner.tsqr_point(m, n, n_sites, dpc, want_q=want_q)
+    rows = []
+    for name, model, point in (
+        ("ScaLAPACK QR2", scal_model, scal_point),
+        ("TSQR", tsqr_model, tsqr_point),
+    ):
+        trace = point.trace
+        volume_doubles = sum(trace.bytes_by_link.values()) / DOUBLE_BYTES
+        rows.append(
+            {
+                "algorithm": name,
+                "M": m,
+                "N": n,
+                "P": p,
+                "Q requested": want_q,
+                "model # msg (critical path)": round(model.messages, 1),
+                "measured # msg (max per rank)": trace.messages_per_rank_max,
+                "model volume (doubles)": round(model.volume_doubles, 0),
+                "measured volume (doubles, total/P)": round(volume_doubles / p, 0),
+                "model flops (per domain)": round(model.flops, 0),
+                "measured flops (max per rank)": round(trace.flops_per_rank_max, 0),
+                "Gflop/s": round(point.gflops, 2),
+            }
+        )
+    return rows
+
+
+def table1(
+    runner: ExperimentRunner, *, m: int = 1_048_576, n: int = 64, n_sites: int = 4
+) -> list[dict[str, object]]:
+    """Table I: counts when only the R factor is requested."""
+    return _count_rows(runner, m, n, n_sites, want_q=False)
+
+
+def table2(
+    runner: ExperimentRunner, *, m: int = 1_048_576, n: int = 64, n_sites: int = 4
+) -> list[dict[str, object]]:
+    """Table II: counts when both the Q and the R factors are requested."""
+    return _count_rows(runner, m, n, n_sites, want_q=True)

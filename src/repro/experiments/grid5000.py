@@ -1,0 +1,186 @@
+"""The experimental platform of paper §V-A: Grid'5000, as a simulated grid.
+
+Everything quantitative in this module comes from the paper:
+
+* four clusters — Bordeaux (93 nodes), Orsay (312), Toulouse (80),
+  Sophia-Antipolis (56) — of dual-processor AMD Opteron nodes
+  (2.0–2.6 GHz, theoretical peak 8.0–10.4 Gflop/s per processor);
+* 32 nodes reserved per cluster, two single-threaded processes per node,
+  serial GotoBLAS DGEMM at about 3.67 Gflop/s per process (§V-B), giving the
+  "practical upper bound" of ~940 Gflop/s for 256 processes;
+* the communication matrix of Fig. 3(a): 890 Mb/s and 0.03–0.07 ms inside a
+  cluster, 61–102 Mb/s and 6–9 ms between clusters, 17 µs / 5 Gb/s between
+  two processes of one node.
+
+The only quantities not taken from the paper are the small per-message
+software overheads (MPI stack cost on top of the raw ping latency); they are
+calibration knobs documented in DESIGN.md and default to modest values
+(30 µs per intra-cluster message, 5 µs intra-node, nothing extra on the
+wide-area links whose millisecond latencies already dominate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.gridsim.kernelmodel import KernelEfficiency, KernelRateModel
+from repro.gridsim.machine import ClusterSpec, GridSpec, NodeSpec, ProcessorSpec
+from repro.gridsim.network import LinkSpec, NetworkModel
+from repro.gridsim.platform import Platform
+from repro.gridsim.topology import block_placement
+
+__all__ = [
+    "CLUSTER_NAMES",
+    "PAPER_LATENCY_MS",
+    "PAPER_THROUGHPUT_MBITS",
+    "Grid5000Settings",
+    "grid5000_grid",
+    "grid5000_network",
+    "grid5000_kernel_model",
+    "grid5000_platform",
+    "site_subsets",
+]
+
+#: Site order used throughout the experiments (1 site = the first, 2 sites =
+#: the first two, 4 sites = all of them), matching the paper's cluster list.
+CLUSTER_NAMES = ("orsay", "toulouse", "bordeaux", "sophia")
+
+#: Number of nodes each Grid'5000 cluster had at the time of the paper (§V-A).
+CLUSTER_NODE_COUNTS = {"bordeaux": 93, "orsay": 312, "toulouse": 80, "sophia": 56}
+
+#: Fig. 3(a), upper table: one-way latency in milliseconds.
+PAPER_LATENCY_MS = {
+    ("orsay", "orsay"): 0.07,
+    ("toulouse", "toulouse"): 0.03,
+    ("bordeaux", "bordeaux"): 0.05,
+    ("sophia", "sophia"): 0.06,
+    ("orsay", "toulouse"): 7.97,
+    ("orsay", "bordeaux"): 6.98,
+    ("orsay", "sophia"): 6.12,
+    ("toulouse", "bordeaux"): 9.03,
+    ("toulouse", "sophia"): 8.18,
+    ("bordeaux", "sophia"): 7.18,
+}
+
+#: Fig. 3(a), lower table: throughput in Mb/s.
+PAPER_THROUGHPUT_MBITS = {
+    ("orsay", "orsay"): 890.0,
+    ("toulouse", "toulouse"): 890.0,
+    ("bordeaux", "bordeaux"): 890.0,
+    ("sophia", "sophia"): 890.0,
+    ("orsay", "toulouse"): 78.0,
+    ("orsay", "bordeaux"): 90.0,
+    ("orsay", "sophia"): 102.0,
+    ("toulouse", "bordeaux"): 77.0,
+    ("toulouse", "sophia"): 90.0,
+    ("bordeaux", "sophia"): 83.0,
+}
+
+
+@dataclass(frozen=True)
+class Grid5000Settings:
+    """Tunable parameters of the simulated Grid'5000 platform.
+
+    The paper-fixed quantities (cluster sizes, link matrix, DGEMM rate) are
+    not settable here on purpose; these knobs cover the reservation size and
+    the calibration overheads only.
+    """
+
+    nodes_per_cluster: int = 32
+    processes_per_node: int = 2
+    dgemm_gflops_per_process: float = 3.67
+    processor_peak_gflops: float = 10.4
+    intra_node_latency_us: float = 17.0
+    intra_node_throughput_mbits: float = 5000.0
+    wan_message_overhead_ms: float = 0.0
+    lan_message_overhead_us: float = 30.0
+    node_message_overhead_us: float = 5.0
+    kernel_efficiency: KernelEfficiency = KernelEfficiency()
+
+
+def grid5000_grid(settings: Grid5000Settings | None = None) -> GridSpec:
+    """The four-cluster Grid'5000 subset used by the paper."""
+    settings = settings or Grid5000Settings()
+    processor = ProcessorSpec(
+        name="AMD Opteron (Grid'5000)",
+        peak_gflops=settings.processor_peak_gflops,
+        dgemm_gflops=settings.dgemm_gflops_per_process,
+    )
+    node = NodeSpec(processor=processor, processes_per_node=settings.processes_per_node)
+    clusters = tuple(
+        ClusterSpec(name=name, n_nodes=CLUSTER_NODE_COUNTS[name], node=node)
+        for name in CLUSTER_NAMES
+    )
+    return GridSpec(name="grid5000", clusters=clusters)
+
+
+def grid5000_network(settings: Grid5000Settings | None = None) -> NetworkModel:
+    """The Fig. 3(a) communication matrix as a :class:`NetworkModel`."""
+    settings = settings or Grid5000Settings()
+    intra_overrides = {}
+    inter: dict[tuple[str, str], LinkSpec] = {}
+    for (a, b), latency_ms in PAPER_LATENCY_MS.items():
+        throughput = PAPER_THROUGHPUT_MBITS[(a, b)]
+        if a == b:
+            intra_overrides[a] = LinkSpec.from_ms_mbits(
+                latency_ms,
+                throughput,
+                overhead_ms=settings.lan_message_overhead_us / 1000.0,
+            )
+        else:
+            inter[(a, b)] = LinkSpec.from_ms_mbits(
+                latency_ms, throughput, overhead_ms=settings.wan_message_overhead_ms
+            )
+    return NetworkModel(
+        intra_node=LinkSpec.from_us_mbits(
+            settings.intra_node_latency_us,
+            settings.intra_node_throughput_mbits,
+            overhead_us=settings.node_message_overhead_us,
+        ),
+        intra_cluster=LinkSpec.from_ms_mbits(
+            0.06, 890.0, overhead_ms=settings.lan_message_overhead_us / 1000.0
+        ),
+        intra_cluster_overrides=intra_overrides,
+        inter_cluster=inter,
+    )
+
+
+def grid5000_kernel_model(settings: Grid5000Settings | None = None) -> KernelRateModel:
+    """Per-process kernel rates calibrated against the paper's §V-B numbers."""
+    settings = settings or Grid5000Settings()
+    processor = ProcessorSpec(
+        name="AMD Opteron (Grid'5000)",
+        peak_gflops=settings.processor_peak_gflops,
+        dgemm_gflops=settings.dgemm_gflops_per_process,
+    )
+    return KernelRateModel(processor=processor, efficiency=settings.kernel_efficiency)
+
+
+def site_subsets(n_sites: int) -> list[str]:
+    """Cluster names used for a 1-, 2- or 4-site experiment."""
+    if n_sites not in (1, 2, 4):
+        raise ConfigurationError(f"the paper uses 1, 2 or 4 sites, got {n_sites}")
+    return list(CLUSTER_NAMES[:n_sites])
+
+
+def grid5000_platform(
+    n_sites: int = 4, settings: Grid5000Settings | None = None
+) -> Platform:
+    """The reserved platform of a 1-, 2- or 4-site experiment (32 nodes/site)."""
+    settings = settings or Grid5000Settings()
+    grid = grid5000_grid(settings)
+    network = grid5000_network(settings)
+    placement = block_placement(
+        grid,
+        nodes_per_cluster=settings.nodes_per_cluster,
+        processes_per_node=settings.processes_per_node,
+        clusters=site_subsets(n_sites),
+    )
+    return Platform(
+        grid=grid,
+        network=network,
+        placement=placement,
+        kernel_model=grid5000_kernel_model(settings),
+        name=f"grid5000-{n_sites}site",
+    )

@@ -1,0 +1,74 @@
+"""Reference values reported by the paper, for shape comparisons.
+
+The paper publishes its results as line plots, not tables, so the values
+below are *approximate readings* of the figures (digitised by eye, +/- 10-20%).
+They are used only to check that the reproduction preserves the qualitative
+shape of each result — who wins, by roughly what factor, how curves scale —
+never to assert exact agreement.  EXPERIMENTS.md records the measured values
+next to these references.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_FIG4_GFLOPS",
+    "PAPER_FIG5_GFLOPS",
+    "PAPER_QUALITATIVE_CLAIMS",
+    "paper_reference",
+]
+
+#: Fig. 4 (ScaLAPACK): approximate Gflop/s at the largest M of each panel,
+#: keyed by (N, number of sites).
+PAPER_FIG4_GFLOPS: dict[tuple[int, int], float] = {
+    (64, 1): 22.0,
+    (64, 2): 28.0,
+    (64, 4): 33.0,
+    (128, 1): 28.0,
+    (128, 2): 40.0,
+    (128, 4): 55.0,
+    (256, 1): 42.0,
+    (256, 2): 50.0,
+    (256, 4): 55.0,
+    (512, 1): 70.0,
+    (512, 2): 78.0,
+    (512, 4): 85.0,
+}
+
+#: Fig. 5 (QCG-TSQR, best domain count): approximate Gflop/s at the largest M
+#: of each panel, keyed by (N, number of sites).
+PAPER_FIG5_GFLOPS: dict[tuple[int, int], float] = {
+    (64, 1): 26.0,
+    (64, 2): 50.0,
+    (64, 4): 95.0,
+    (128, 1): 37.0,
+    (128, 2): 72.0,
+    (128, 4): 140.0,
+    (256, 1): 48.0,
+    (256, 2): 90.0,
+    (256, 4): 175.0,
+    (512, 1): 70.0,
+    (512, 2): 135.0,
+    (512, 4): 256.0,
+}
+
+#: The headline qualitative claims of §V, with the section they come from.
+PAPER_QUALITATIVE_CLAIMS: dict[str, str] = {
+    "tsqr_beats_scalapack": "TSQR consistently achieves higher performance than ScaLAPACK (Fig. 8).",
+    "tsqr_scales_with_sites": "For very tall matrices TSQR performance scales almost linearly with the number of sites (speed-up close to 4 on 4 sites, Fig. 5).",
+    "scalapack_limited_speedup": "ScaLAPACK's grid speed-up hardly surpasses 2.0 on four sites and only for very tall matrices (Fig. 4).",
+    "scalapack_single_site_small_m": "For M <= 5e6 the fastest ScaLAPACK execution uses a single site (Fig. 4).",
+    "tsqr_multi_site_moderate_m": "For M >= 5e5 the fastest TSQR execution uses all four sites (Fig. 5).",
+    "domains_help": "TSQR performance globally increases with the number of domains per cluster (Figs. 6-7).",
+    "performance_below_practical_peak": "All measured rates are a small fraction of the ~940 Gflop/s practical upper bound (Property 2).",
+    "two_inter_cluster_messages": "The tuned reduction tree needs one inter-cluster message per additional site per reduction, independent of N (Fig. 2).",
+}
+
+
+def paper_reference(figure: str, n: int, n_sites: int) -> float | None:
+    """Approximate paper value (Gflop/s at the largest M) for a figure panel.
+
+    ``figure`` is ``"fig4"`` or ``"fig5"``; returns ``None`` when the paper
+    does not report that combination.
+    """
+    table = PAPER_FIG4_GFLOPS if figure == "fig4" else PAPER_FIG5_GFLOPS
+    return table.get((n, n_sites))

@@ -1,0 +1,106 @@
+"""Plain-text and CSV reporting of experiment results.
+
+The original figures are line plots; the harness reproduces them as plain
+text (one table per curve plus a crude ASCII sketch of each series) and as
+CSV files so the data can be re-plotted with any tool.  Nothing here depends
+on matplotlib: the environment is assumed to be headless and offline.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["ascii_table", "ascii_series", "write_csv", "format_points"]
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Very small ASCII scatter of several (x, y) series on a log-x axis.
+
+    Good enough to eyeball the shape of a figure in the terminal; the exact
+    values are in the accompanying tables/CSV.
+    """
+    import math
+
+    points = [(x, y, label) for label, pts in series.items() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [math.log10(max(p[0], 1e-12)) for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = 0.0, max(ys) * 1.05 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = {}
+    for idx, (label, pts) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend[label] = marker
+        for x, y in pts:
+            lx = math.log10(max(x, 1e-12))
+            col = 0 if x_max == x_min else int((lx - x_min) / (x_max - x_min) * (width - 1))
+            row = 0 if y_max == y_min else int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = [f"{ylabel} (max {y_max:.1f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + f"> {xlabel} (log scale)")
+    lines.append("legend: " + ", ".join(f"{m}={label}" for label, m in legend.items()))
+    return "\n".join(lines)
+
+
+def format_points(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render a list of result-row dictionaries as a text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no results)"
+    headers = list(rows[0].keys())
+    return ascii_table(headers, [[row.get(h, "") for h in headers] for row in rows])
+
+
+def write_csv(path: str | Path, rows: Iterable[Mapping[str, object]]) -> Path:
+    """Write result-row dictionaries to ``path`` and return the path."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    headers = list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

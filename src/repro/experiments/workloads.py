@@ -1,0 +1,96 @@
+"""Workload definitions: the matrix shapes swept by the paper's evaluation.
+
+The figures sweep the number of rows ``M`` in powers of two for four column
+counts ``N`` in {64, 128, 256, 512}; the widest matrices stop at 8.4M rows
+(16 GB ceiling), the skinny ones go up to 33.5M rows.  Figures 6 and 7
+additionally sweep the number of domains per cluster in powers of two from 1
+to 64 for a few representative ``M``.  This module centralises those sweeps
+so benchmarks, examples and EXPERIMENTS.md all refer to the same points, and
+provides reduced ("smoke") variants so the default benchmark run finishes in
+minutes rather than hours.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.util.random_matrices import random_tall_skinny
+
+__all__ = [
+    "PAPER_N_VALUES",
+    "DOMAIN_COUNTS_PER_CLUSTER",
+    "paper_m_values",
+    "reduced_m_values",
+    "figure67_m_values",
+    "generate_matrix",
+]
+
+#: Column counts of Figs. 4, 5, 6, 7, 8 (panels a-d).
+PAPER_N_VALUES = (64, 128, 256, 512)
+
+#: Domain-per-cluster sweep of Figs. 6 and 7.
+DOMAIN_COUNTS_PER_CLUSTER = (1, 2, 4, 8, 16, 32, 64)
+
+#: Element cap of the sweeps: the widest matrix of the study is
+#: 8,388,608 x 512 (Fig. 4d/5d), i.e. 2**32 double-precision elements.
+MAX_ELEMENTS = 2**32
+#: Row cap of the sweeps: the tallest matrix is 33,554,432 x 64 (16 GB,
+#: paper §V-A).
+MAX_ROWS = 33_554_432
+
+
+def paper_m_values(n: int) -> list[int]:
+    """Row counts swept for column count ``n`` (powers of two).
+
+    The paper sweeps M from ~1e5 (a matrix small enough to be latency-bound)
+    up to the memory limit: 33.5M rows for N=64/128, 8.4M rows for N=256/512.
+    """
+    if n not in PAPER_N_VALUES:
+        raise ConfigurationError(f"N={n} is not part of the paper's sweep {PAPER_N_VALUES}")
+    values = []
+    m = 131_072  # 2**17
+    while m * n <= MAX_ELEMENTS and m <= MAX_ROWS:
+        values.append(m)
+        m *= 2
+    return values
+
+
+def reduced_m_values(n: int, points: int = 4) -> list[int]:
+    """A subset of :func:`paper_m_values` spanning the same range.
+
+    Keeps the first value, the last value, and logarithmically spaced interior
+    points — enough to reproduce the shape of each curve while keeping the
+    default benchmark run short.
+    """
+    full = paper_m_values(n)
+    if points >= len(full):
+        return full
+    if points < 2:
+        raise ConfigurationError("at least two points are needed")
+    idx = sorted({round(i * (len(full) - 1) / (points - 1)) for i in range(points)})
+    return [full[i] for i in idx]
+
+
+def figure67_m_values(n: int, *, single_site: bool = False) -> list[int]:
+    """Row counts used by the domain sweeps of Fig. 6 (grid) and Fig. 7 (one site)."""
+    if n == 64:
+        return [65_536, 131_072, 1_048_576, 8_388_608] if single_site else [
+            131_072,
+            524_288,
+            4_194_304,
+            33_554_432,
+        ]
+    if n == 128:
+        return [262_144, 524_288, 4_194_304, 33_554_432]
+    if n in (256, 512):
+        return [65_536, 131_072, 1_048_576, 2_097_152] if single_site else [
+            262_144,
+            524_288,
+            2_097_152,
+            8_388_608,
+        ]
+    raise ConfigurationError(f"N={n} is not part of the paper's sweep {PAPER_N_VALUES}")
+
+
+def generate_matrix(m: int, n: int, *, seed: int = 0):
+    """Random dense tall-and-skinny matrix for real-payload runs."""
+    return random_tall_skinny(m, n, seed=seed)

@@ -1,0 +1,264 @@
+"""Tree-shaped collective schedules and their virtual-time simulation.
+
+An MPI collective is, operationally, a schedule of point-to-point messages
+along a tree.  ScaLAPACK's reductions use a plain rank-ordered binary tree —
+which is exactly why they lack locality on a grid (paper Fig. 1) — while the
+topology-aware middleware lets the application use a hierarchical tree
+(binary inside each cluster, then binary across clusters, paper Fig. 2).
+
+This module provides:
+
+* tree builders (``flat_tree``, ``binary_tree``, ``hierarchical_tree``) that
+  return a parent/children description over an arbitrary participant list;
+* virtual-time simulators for ``reduce`` / ``broadcast`` schedules that
+  propagate per-participant clocks edge by edge, calling back into the
+  communicator for link pricing, trace recording and combine costs.
+
+The functions are pure (no global state) so they are unit-testable without a
+running simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.exceptions import TreeError
+
+__all__ = [
+    "TreeSchedule",
+    "flat_tree",
+    "binary_tree",
+    "hierarchical_tree",
+    "simulate_reduce",
+    "simulate_broadcast",
+]
+
+
+@dataclass(frozen=True)
+class TreeSchedule:
+    """A rooted tree over ``participants`` (indices are *positions* in that list).
+
+    ``children[i]`` lists the positions whose values are combined into
+    position ``i`` (for a reduce) or that receive from ``i`` (for a bcast),
+    in combine/send order.
+    """
+
+    participants: tuple[int, ...]
+    root: int
+    children: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.participants)
+        if not 0 <= self.root < n:
+            raise TreeError(f"root position {self.root} out of range for {n} participants")
+        if len(self.children) != n:
+            raise TreeError("children table size does not match participant count")
+        seen: set[int] = set()
+        for i, kids in enumerate(self.children):
+            for k in kids:
+                if not 0 <= k < n:
+                    raise TreeError(f"child position {k} out of range")
+                if k in seen:
+                    raise TreeError(f"position {k} has two parents")
+                if k == i:
+                    raise TreeError(f"position {k} is its own child")
+                seen.add(k)
+        if self.root in seen:
+            raise TreeError("root cannot have a parent")
+        if len(seen) != n - 1:
+            raise TreeError("tree is not spanning: some participants are unreachable")
+
+    # ------------------------------------------------------------------ api
+    @property
+    def size(self) -> int:
+        """Number of participants."""
+        return len(self.participants)
+
+    def parent(self, position: int) -> int | None:
+        """Return the parent position of ``position`` (None for the root)."""
+        for i, kids in enumerate(self.children):
+            if position in kids:
+                return i
+        return None
+
+    def depth(self) -> int:
+        """Return the number of edges on the longest root-to-leaf path."""
+
+        def _depth(pos: int) -> int:
+            kids = self.children[pos]
+            if not kids:
+                return 0
+            return 1 + max(_depth(k) for k in kids)
+
+        return _depth(self.root)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Return all (child_position, parent_position) edges."""
+        out = []
+        for parent, kids in enumerate(self.children):
+            for k in kids:
+                out.append((k, parent))
+        return out
+
+
+def flat_tree(n: int, root: int = 0) -> TreeSchedule:
+    """Every non-root participant is a direct child of the root.
+
+    This is the tree of the out-of-core / multicore CAQR variants
+    (paper §II-C); communication-wise it serialises everything at the root.
+    """
+    if n <= 0:
+        raise TreeError("a tree needs at least one participant")
+    children = [tuple()] * n
+    children[root] = tuple(i for i in range(n) if i != root)
+    return TreeSchedule(participants=tuple(range(n)), root=root, children=tuple(children))
+
+
+def binary_tree(n: int, root: int = 0) -> TreeSchedule:
+    """Rank-ordered binomial-style binary tree (children of i: 2i+1, 2i+2).
+
+    Participants are taken in positional order; the tree is oblivious to any
+    topology, exactly like the reductions inside ScaLAPACK/MPI collectives
+    that the paper criticises.
+    """
+    if n <= 0:
+        raise TreeError("a tree needs at least one participant")
+    if not 0 <= root < n:
+        raise TreeError(f"root {root} out of range")
+    # Build the heap-shaped tree on positions 0..n-1 then relabel so that
+    # ``root`` sits at heap position 0 (swap the two labels).
+    label = list(range(n))
+    label[0], label[root] = label[root], label[0]
+    children: list[tuple[int, ...]] = [tuple() for _ in range(n)]
+    for heap_pos in range(n):
+        kids = [c for c in (2 * heap_pos + 1, 2 * heap_pos + 2) if c < n]
+        children[label[heap_pos]] = tuple(label[c] for c in kids)
+    return TreeSchedule(participants=tuple(range(n)), root=root, children=tuple(children))
+
+
+def hierarchical_tree(
+    groups: Sequence[Sequence[int]], *, root_group: int = 0
+) -> TreeSchedule:
+    """Two-level tree: binary tree inside each group, binary tree across groups.
+
+    ``groups`` partitions the positions ``0..n-1`` into clusters; the local
+    roots of the per-group binary trees are themselves connected by a binary
+    tree whose root lives in ``root_group``.  Each inter-group edge is a
+    single message — the structural property that gives the paper's tuned
+    reduction its optimal count of inter-cluster messages.
+    """
+    all_positions = [p for g in groups for p in g]
+    n = len(all_positions)
+    if n == 0:
+        raise TreeError("hierarchical tree needs at least one participant")
+    if sorted(all_positions) != list(range(n)):
+        raise TreeError("groups must partition positions 0..n-1 exactly")
+    if not 0 <= root_group < len(groups) or not groups[root_group]:
+        raise TreeError(f"root group {root_group} is out of range or empty")
+
+    children: list[list[int]] = [[] for _ in range(n)]
+    group_roots: list[int] = []
+    for group in groups:
+        if not group:
+            continue
+        members = list(group)
+        # Heap-shaped binary tree inside the group, rooted at its first member.
+        for i, pos in enumerate(members):
+            for c in (2 * i + 1, 2 * i + 2):
+                if c < len(members):
+                    children[pos].append(members[c])
+        group_roots.append(members[0])
+    # Binary tree across the group roots, rooted at root_group's root.
+    order = [group_roots[root_group]] + [
+        r for i, r in enumerate(group_roots) if i != root_group
+    ]
+    for i, pos in enumerate(order):
+        for c in (2 * i + 1, 2 * i + 2):
+            if c < len(order):
+                children[pos].append(order[c])
+    return TreeSchedule(
+        participants=tuple(range(n)),
+        root=order[0],
+        children=tuple(tuple(k) for k in children),
+    )
+
+
+# --------------------------------------------------------------------------
+# Virtual-time simulation of reduce / broadcast schedules.
+# --------------------------------------------------------------------------
+
+#: edge_time(child_position, parent_position, payload) -> seconds
+EdgeTime = Callable[[int, int, object], float]
+#: combine(accumulator, incoming) -> (new_accumulator, seconds)
+Combine = Callable[[object, object], tuple[object, float]]
+
+
+def simulate_reduce(
+    tree: TreeSchedule,
+    values: list[object],
+    clocks: list[float],
+    edge_time: EdgeTime,
+    combine: Combine,
+) -> tuple[object, list[float]]:
+    """Simulate a tree reduction and return ``(result, exit_clocks)``.
+
+    ``values[i]``/``clocks[i]`` are the contribution and entry time of
+    position ``i``.  Each internal node waits for each child subtree to
+    finish, pays the child→parent transfer, then pays the combine cost.
+    ``exit_clocks[i]`` is the time position ``i`` finishes its part of the
+    reduction (the root's exit time is the completion time of the whole
+    reduction).
+    """
+    if len(values) != tree.size or len(clocks) != tree.size:
+        raise TreeError("values/clocks size does not match the tree")
+    exit_clocks = list(clocks)
+    acc: list[object] = list(values)
+
+    def _finish(pos: int) -> float:
+        ready = clocks[pos]
+        for child in tree.children[pos]:
+            child_done = _finish(child)
+            arrival = child_done + edge_time(child, pos, acc[child])
+            ready = max(ready, arrival)
+            acc[pos], dt = combine(acc[pos], acc[child])
+            ready += dt
+        exit_clocks[pos] = ready
+        return ready
+
+    _finish(tree.root)
+    return acc[tree.root], exit_clocks
+
+
+def simulate_broadcast(
+    tree: TreeSchedule,
+    value: object,
+    clocks: list[float],
+    edge_time: EdgeTime,
+    *,
+    root_ready: float | None = None,
+) -> tuple[list[object], list[float]]:
+    """Simulate a tree broadcast and return per-position values and clocks.
+
+    The root starts sending at ``max(clocks[root], root_ready)``; a parent
+    sends to its children one after the other (the sender is busy for the
+    duration of each transfer), children forward as soon as they have
+    received.  All positions receive the same ``value``.
+    """
+    if len(clocks) != tree.size:
+        raise TreeError("clocks size does not match the tree")
+    exit_clocks = list(clocks)
+    start = clocks[tree.root] if root_ready is None else max(clocks[tree.root], root_ready)
+    exit_clocks[tree.root] = start
+
+    def _send_down(pos: int) -> None:
+        sender_busy = exit_clocks[pos]
+        for child in tree.children[pos]:
+            dt = edge_time(pos, child, value)
+            sender_busy += dt
+            exit_clocks[child] = max(clocks[child], sender_busy)
+            _send_down(child)
+        exit_clocks[pos] = sender_busy
+
+    _send_down(tree.root)
+    return [value] * tree.size, exit_clocks

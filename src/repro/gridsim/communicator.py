@@ -1,0 +1,621 @@
+"""Simulated MPI communicator.
+
+The SPMD programs of this project (QCG-TSQR, the ScaLAPACK-style baseline,
+the examples) are written against the interface below, which mirrors the
+mpi4py object API (``send``/``recv``/``bcast``/``reduce``/``allreduce``/
+``gather``/``scatter``/``split``/``barrier``) but executes under *virtual
+time*:
+
+* every rank is a Python thread with its own virtual clock
+  (:class:`~repro.gridsim.platform.SimulationState`);
+* a point-to-point message advances the receiver's clock by the link's
+  ``latency + overhead + bytes/bandwidth``, with the link chosen from the
+  placement of the two ranks (intra-node / intra-cluster / inter-cluster);
+* collectives are executed as explicit tree schedules
+  (:mod:`repro.gridsim.collectives`), so a reduction over ranks spread across
+  clusters pays wide-area latencies exactly where its tree crosses sites —
+  the effect at the heart of the paper;
+* every message and every flop is recorded in the
+  :class:`~repro.gridsim.trace.Trace` for the Table I/II count validations.
+
+Implementation note: a collective is executed by whichever rank enters the
+rendezvous last (all participating threads block until the schedule has been
+simulated); point-to-point messages are genuine thread-to-thread handoffs
+through per-communicator mailboxes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CommunicatorError, DeadlockError, SimulationError
+from repro.gridsim.collectives import (
+    TreeSchedule,
+    binary_tree,
+    flat_tree,
+    hierarchical_tree,
+    simulate_broadcast,
+    simulate_reduce,
+)
+from repro.gridsim.platform import SimulationState
+from repro.virtual.matrix import VirtualMatrix
+
+__all__ = ["payload_nbytes", "ReduceOp", "SUM", "MAX", "CommCore", "CommHandle"]
+
+#: How long a blocked thread sleeps between abort-flag checks (wall seconds).
+_WAIT_POLL_S = 0.02
+#: Give up on a blocked receive/rendezvous after this much wall time.
+_DEADLOCK_WALL_S = 120.0
+
+
+def payload_nbytes(obj: object) -> int:
+    """Best-effort size in bytes of a message payload.
+
+    Handles numpy arrays, :class:`VirtualMatrix`, scalars, ``None`` and
+    containers; anything unknown is charged a small fixed envelope.  Sizes
+    feed the bandwidth term of the network model, so the goal is a faithful
+    order of magnitude, not serialization-exact byte counts.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, VirtualMatrix):
+        return obj.nbytes
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(payload_nbytes(x) for x in obj) + 16
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()) + 16
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    return 64
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A user-defined reduction operator with its cost model.
+
+    Attributes
+    ----------
+    func:
+        Binary combine ``func(acc, incoming) -> combined``; must be
+        associative (and commutative if the tree shape is not fixed).
+    flops:
+        ``flops(acc, incoming) -> float`` cost of one combine, used to charge
+        virtual compute time; defaults to one flop per element of the result.
+    kernel:
+        Kernel-model class used to convert those flops into seconds.
+    width:
+        Optional ``width(acc, incoming) -> int`` giving the column count N
+        passed to the kernel-efficiency curve.
+    """
+
+    func: Callable[[object, object], object]
+    flops: Callable[[object, object], float] | None = None
+    kernel: str = "reduce_op"
+    width: Callable[[object, object], int | None] | None = None
+
+    def combine_cost(self, acc: object, incoming: object) -> tuple[float, int | None]:
+        """Return ``(flops, n)`` of combining ``acc`` with ``incoming``."""
+        if self.flops is not None:
+            f = float(self.flops(acc, incoming))
+        else:
+            f = float(np.size(acc)) if isinstance(acc, np.ndarray) else 1.0
+        n = self.width(acc, incoming) if self.width is not None else None
+        return f, n
+
+
+def _sum_combine(a: object, b: object) -> object:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + b
+
+
+#: Element-wise sum, the default reduction.
+SUM = ReduceOp(func=_sum_combine)
+#: Element-wise maximum.
+MAX = ReduceOp(func=lambda a, b: b if a is None else (a if b is None else np.maximum(a, b)))
+
+
+class _Rendezvous:
+    """Collective meeting point shared by the ranks of one communicator."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.cond = threading.Condition()
+        self.generation = 0
+        self.entries: dict[int, tuple[str, object, dict]] = {}
+        self.results: dict[int, dict[int, object]] = {}
+        self.pending_reads: dict[int, int] = {}
+
+
+class CommCore:
+    """Shared state of one communicator (the 'MPI_Comm' object)."""
+
+    _next_id = 0
+    _id_lock = threading.Lock()
+
+    def __init__(
+        self,
+        state: SimulationState,
+        world_ranks: Sequence[int],
+        *,
+        collective_tree: str = "binary",
+        name: str | None = None,
+    ) -> None:
+        if len(set(world_ranks)) != len(world_ranks):
+            raise CommunicatorError("duplicate world ranks in communicator group")
+        if collective_tree not in ("binary", "flat", "hierarchical"):
+            raise CommunicatorError(f"unknown collective tree kind {collective_tree!r}")
+        self.state = state
+        self.world_ranks = tuple(int(r) for r in world_ranks)
+        self.collective_tree = collective_tree
+        with CommCore._id_lock:
+            self.comm_id = CommCore._next_id
+            CommCore._next_id += 1
+        self.name = name or f"comm{self.comm_id}"
+        self.size = len(self.world_ranks)
+        self._mailbox: dict[tuple[int, int, object], deque] = {}
+        self._mail_cond = threading.Condition()
+        self._rendezvous = _Rendezvous(self.size)
+        self._tree_cache: dict[int, TreeSchedule] = {}
+
+    # ------------------------------------------------------------- helpers
+    def world_rank(self, local_rank: int) -> int:
+        """Translate a local rank of this communicator into a world rank."""
+        if not 0 <= local_rank < self.size:
+            raise CommunicatorError(f"local rank {local_rank} out of range [0, {self.size})")
+        return self.world_ranks[local_rank]
+
+    def _check_abort(self) -> None:
+        if self.state.abort.is_set():
+            raise SimulationError(
+                f"simulation aborted: {self.state.failure!r}"
+            ) from self.state.failure
+
+    def _edge_time_recorder(self, nbytes_of: Callable[[object], int], tag: str):
+        """Return an ``edge_time(src_pos, dst_pos, payload)`` callback that
+        prices the link between the corresponding world ranks and records the
+        message in the trace."""
+
+        def edge_time(src_pos: int, dst_pos: int, payload: object) -> float:
+            src = self.world_ranks[src_pos]
+            dst = self.world_ranks[dst_pos]
+            nbytes = nbytes_of(payload)
+            dt = self.state.transfer_time(nbytes, src, dst)
+            self.state.record_message(src, dst, nbytes, tag=tag)
+            return dt
+
+        return edge_time
+
+    def _build_tree(self, root_local: int) -> TreeSchedule:
+        """Build (and memoise) the collective tree rooted at ``root_local``."""
+        cached = self._tree_cache.get(root_local)
+        if cached is not None:
+            return cached
+        tree = self._build_tree_uncached(root_local)
+        self._tree_cache[root_local] = tree
+        return tree
+
+    def _build_tree_uncached(self, root_local: int) -> TreeSchedule:
+        if self.collective_tree == "flat":
+            return flat_tree(self.size, root=root_local)
+        if self.collective_tree == "binary":
+            return binary_tree(self.size, root=root_local)
+        # Topology-aware: group local ranks by hosting cluster, keep the
+        # root's cluster as the root group.
+        placement = self.state.platform.placement
+        clusters: dict[str, list[int]] = {}
+        for pos, wr in enumerate(self.world_ranks):
+            clusters.setdefault(placement.cluster_of(wr), []).append(pos)
+        groups = list(clusters.values())
+        root_cluster = placement.cluster_of(self.world_ranks[root_local])
+        names = list(clusters.keys())
+        root_group = names.index(root_cluster)
+        # Make sure the root is the first member of its group so it becomes
+        # the group root (and thus the global root).
+        grp = groups[root_group]
+        grp.remove(root_local)
+        groups[root_group] = [root_local] + grp
+        return hierarchical_tree(groups, root_group=root_group)
+
+    # ----------------------------------------------------------------- p2p
+    def send(self, local_rank: int, payload: object, dest: int, tag: object = 0,
+             nbytes: int | None = None) -> None:
+        """Eager send: enqueue the payload with the sender's current clock."""
+        self._check_abort()
+        if not 0 <= dest < self.size:
+            raise CommunicatorError(f"send to invalid rank {dest} (size {self.size})")
+        size = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        sender_clock = self.state.clock(self.world_rank(local_rank))
+        with self._mail_cond:
+            key = (dest, local_rank, tag)
+            self._mailbox.setdefault(key, deque()).append((payload, sender_clock, size))
+            self._mail_cond.notify_all()
+
+    def recv(self, local_rank: int, source: int, tag: object = 0) -> object:
+        """Blocking receive; advances the receiver's clock by the transfer time."""
+        if not 0 <= source < self.size:
+            raise CommunicatorError(f"recv from invalid rank {source} (size {self.size})")
+        key = (local_rank, source, tag)
+        waited = 0.0
+        with self._mail_cond:
+            while True:
+                queue = self._mailbox.get(key)
+                if queue:
+                    payload, sender_clock, nbytes = queue.popleft()
+                    break
+                self._check_abort()
+                self._mail_cond.wait(timeout=_WAIT_POLL_S)
+                waited += _WAIT_POLL_S
+                if waited > _DEADLOCK_WALL_S:
+                    raise DeadlockError(
+                        f"rank {local_rank} of {self.name} waited too long for a message "
+                        f"from rank {source} (tag {tag!r})"
+                    )
+        me = self.world_rank(local_rank)
+        src_world = self.world_rank(source)
+        transfer = self.state.transfer_time(nbytes, src_world, me)
+        arrival = sender_clock + transfer
+        my_clock = self.state.clock(me)
+        self.state.set_clock(me, max(my_clock, arrival))
+        self.state.record_message(
+            src_world, me, nbytes, tag=str(tag), send_time=sender_clock, recv_time=arrival
+        )
+        return payload
+
+    def sendrecv(
+        self, local_rank: int, payload: object, dest: int, source: int, tag: object = 0
+    ) -> object:
+        """Combined send + receive (used by exchange patterns)."""
+        self.send(local_rank, payload, dest, tag)
+        return self.recv(local_rank, source, tag)
+
+    # ----------------------------------------------------------- rendezvous
+    def _collective(
+        self, local_rank: int, kind: str, value: object, params: dict
+    ) -> object:
+        """Enter a collective; the last rank to arrive executes the schedule."""
+        rv = self._rendezvous
+        waited = 0.0
+        with rv.cond:
+            my_gen = rv.generation
+            if local_rank in rv.entries:
+                raise CommunicatorError(
+                    f"rank {local_rank} entered collective {kind!r} twice in generation {my_gen}"
+                )
+            rv.entries[local_rank] = (kind, value, params)
+            if len(rv.entries) == self.size:
+                entries = rv.entries
+                rv.entries = {}
+                try:
+                    results = self._execute_collective(entries)
+                except BaseException as exc:  # propagate to every waiting rank
+                    self.state.fail(exc)
+                    rv.generation += 1
+                    rv.cond.notify_all()
+                    raise
+                rv.results[my_gen] = results
+                rv.pending_reads[my_gen] = self.size
+                rv.generation += 1
+                rv.cond.notify_all()
+            else:
+                while rv.generation == my_gen:
+                    self._check_abort()
+                    rv.cond.wait(timeout=_WAIT_POLL_S)
+                    waited += _WAIT_POLL_S
+                    if waited > _DEADLOCK_WALL_S:
+                        raise DeadlockError(
+                            f"rank {local_rank} of {self.name} timed out in collective {kind!r}"
+                        )
+                self._check_abort()
+            result = rv.results[my_gen][local_rank]
+            rv.pending_reads[my_gen] -= 1
+            if rv.pending_reads[my_gen] == 0:
+                del rv.results[my_gen]
+                del rv.pending_reads[my_gen]
+        return result
+
+    def _execute_collective(self, entries: dict[int, tuple[str, object, dict]]) -> dict[int, object]:
+        """Simulate one collective over all local ranks and return per-rank results."""
+        kinds = {kind for kind, _, _ in entries.values()}
+        if len(kinds) != 1:
+            raise CommunicatorError(
+                f"collective mismatch: ranks called different collectives {sorted(kinds)}"
+            )
+        kind = kinds.pop()
+        params = entries[min(entries)][2]
+        values = [entries[i][1] for i in range(self.size)]
+        clocks = [self.state.clock(self.world_rank(i)) for i in range(self.size)]
+        dispatch = {
+            "barrier": self._do_barrier,
+            "bcast": self._do_bcast,
+            "reduce": self._do_reduce,
+            "allreduce": self._do_allreduce,
+            "gather": self._do_gather,
+            "allgather": self._do_allgather,
+            "scatter": self._do_scatter,
+            "split": self._do_split,
+        }
+        if kind not in dispatch:
+            raise CommunicatorError(f"unknown collective kind {kind!r}")
+        results, exit_clocks = dispatch[kind](values, clocks, params)
+        for i, t in enumerate(exit_clocks):
+            self.state.set_clock(self.world_rank(i), t)
+        return {i: results[i] for i in range(self.size)}
+
+    # ------------------------------------------------------ collective impl
+    def _combine_maker(self, op: ReduceOp):
+        """Return a ``combine(acc, incoming) -> (value, dt)`` closure charging flops.
+
+        The flops are recorded against the rank that *performs* the combine;
+        since the reduce simulation does not know which position combines
+        (it is the parent), we charge them to the parent when pricing the
+        edge — here we only compute the time.
+        """
+
+        def combine(acc: object, incoming: object) -> tuple[object, float]:
+            flops, n = op.combine_cost(acc, incoming)
+            dt = self.state.platform.kernel_model.time(flops, op.kernel, n)
+            combined = op.func(acc, incoming)
+            return combined, dt
+
+        return combine
+
+    def _do_barrier(self, values, clocks, params):
+        tree = self._build_tree(0)
+        edge_time = self._edge_time_recorder(lambda _p: 0, tag="barrier")
+        noop = ReduceOp(func=lambda a, b: None, flops=lambda a, b: 0.0)
+        _, up = simulate_reduce(tree, [None] * self.size, clocks, edge_time, self._combine_maker(noop))
+        _, down = simulate_broadcast(tree, None, up, edge_time, root_ready=up[tree.root])
+        return [None] * self.size, down
+
+    def _do_bcast(self, values, clocks, params):
+        root = params.get("root", 0)
+        tree = self._build_tree(root)
+        nbytes_fn = params.get("nbytes_fn", payload_nbytes)
+        edge_time = self._edge_time_recorder(nbytes_fn, tag="bcast")
+        value = values[root]
+        results, exit_clocks = simulate_broadcast(tree, value, clocks, edge_time)
+        return results, exit_clocks
+
+    def _do_reduce(self, values, clocks, params):
+        root = params.get("root", 0)
+        op: ReduceOp = params.get("op", SUM)
+        tree = self._build_tree(root)
+        nbytes_fn = params.get("nbytes_fn", payload_nbytes)
+        edge_time = self._edge_time_recorder(nbytes_fn, tag="reduce")
+        result, exit_clocks = simulate_reduce(
+            tree, list(values), clocks, edge_time, self._combine_maker(op)
+        )
+        # Record the combine flops against the world rank of each internal node.
+        self._charge_reduce_flops(tree, values, op)
+        out = [None] * self.size
+        out[root] = result
+        return out, exit_clocks
+
+    def _do_allreduce(self, values, clocks, params):
+        root = params.get("root", 0)
+        op: ReduceOp = params.get("op", SUM)
+        tree = self._build_tree(root)
+        nbytes_fn = params.get("nbytes_fn", payload_nbytes)
+        edge_up = self._edge_time_recorder(nbytes_fn, tag="reduce")
+        edge_down = self._edge_time_recorder(nbytes_fn, tag="bcast")
+        result, up_clocks = simulate_reduce(
+            tree, list(values), clocks, edge_up, self._combine_maker(op)
+        )
+        self._charge_reduce_flops(tree, values, op)
+        results, exit_clocks = simulate_broadcast(
+            tree, result, up_clocks, edge_down, root_ready=up_clocks[tree.root]
+        )
+        return results, exit_clocks
+
+    def _charge_reduce_flops(self, tree: TreeSchedule, values, op: ReduceOp) -> None:
+        """Replay the reduce combine order to attribute flops to parent ranks."""
+        acc = list(values)
+
+        def _walk(pos: int) -> None:
+            for child in tree.children[pos]:
+                _walk(child)
+                flops, n = op.combine_cost(acc[pos], acc[child])
+                self.state.trace.record_flops(self.world_rank(pos), flops, op.kernel)
+                acc[pos] = op.func(acc[pos], acc[child])
+
+        _walk(tree.root)
+
+    def _do_gather(self, values, clocks, params):
+        root = params.get("root", 0)
+        nbytes_fn = params.get("nbytes_fn", payload_nbytes)
+        exit_clocks = list(clocks)
+        root_world = self.world_rank(root)
+        root_time = clocks[root]
+        for src in range(self.size):
+            if src == root:
+                continue
+            nbytes = nbytes_fn(values[src])
+            dt = self.state.transfer_time(nbytes, self.world_rank(src), root_world)
+            self.state.record_message(self.world_rank(src), root_world, nbytes, tag="gather")
+            root_time = max(root_time, clocks[src] + dt)
+        exit_clocks[root] = root_time
+        out = [None] * self.size
+        out[root] = list(values)
+        return out, exit_clocks
+
+    def _do_allgather(self, values, clocks, params):
+        gathered, after_gather = self._do_gather(values, clocks, {**params, "root": 0})
+        tree = self._build_tree(0)
+        nbytes_fn = params.get("nbytes_fn", payload_nbytes)
+        edge_time = self._edge_time_recorder(nbytes_fn, tag="allgather")
+        results, exit_clocks = simulate_broadcast(
+            tree, gathered[0], after_gather, edge_time, root_ready=after_gather[0]
+        )
+        return results, exit_clocks
+
+    def _do_scatter(self, values, clocks, params):
+        root = params.get("root", 0)
+        nbytes_fn = params.get("nbytes_fn", payload_nbytes)
+        items = values[root]
+        if items is None or len(items) != self.size:
+            raise CommunicatorError(
+                f"scatter root must provide exactly {self.size} items, got "
+                f"{None if items is None else len(items)}"
+            )
+        exit_clocks = list(clocks)
+        sender_busy = clocks[root]
+        root_world = self.world_rank(root)
+        out = [None] * self.size
+        for dest in range(self.size):
+            if dest == root:
+                out[dest] = items[dest]
+                continue
+            nbytes = nbytes_fn(items[dest])
+            dt = self.state.transfer_time(nbytes, root_world, self.world_rank(dest))
+            self.state.record_message(root_world, self.world_rank(dest), nbytes, tag="scatter")
+            sender_busy += dt
+            exit_clocks[dest] = max(clocks[dest], sender_busy)
+            out[dest] = items[dest]
+        exit_clocks[root] = sender_busy
+        return out, exit_clocks
+
+    def _do_split(self, values, clocks, params):
+        # values[i] is the (color, key) pair supplied by local rank i.
+        # Communicator creation is treated as free *setup*: the paper's cost
+        # model (and its measurements) cover the factorization only, and the
+        # topology-aware communicators are built once per application run, so
+        # no messages are recorded and no virtual time is charged here.
+        exit_clocks = list(clocks)
+
+        groups: dict[object, list[tuple[object, int]]] = {}
+        for local, (color, key) in enumerate(values):
+            if color is None:  # MPI_UNDEFINED: rank opts out of any new comm
+                continue
+            groups.setdefault(color, []).append((key if key is not None else local, local))
+        cores: dict[object, CommCore] = {}
+        membership: dict[int, tuple[CommCore, int]] = {}
+        for color, members in groups.items():
+            members.sort()
+            world = [self.world_rank(local) for _, local in members]
+            core = CommCore(
+                self.state,
+                world,
+                collective_tree=params.get("collective_tree", self.collective_tree),
+                name=f"{self.name}.split({color})",
+            )
+            cores[color] = core
+            for new_local, (_, local) in enumerate(members):
+                membership[local] = (core, new_local)
+        out: list[object] = []
+        for local in range(self.size):
+            if local in membership:
+                core, new_local = membership[local]
+                out.append(CommHandle(core, new_local))
+            else:
+                out.append(None)
+        return out, exit_clocks
+
+
+@dataclass
+class CommHandle:
+    """Per-rank view of a communicator (what an MPI process holds)."""
+
+    core: CommCore
+    local_rank: int
+
+    # --------------------------------------------------------------- basics
+    @property
+    def rank(self) -> int:
+        """Rank of the calling process within this communicator."""
+        return self.local_rank
+
+    @property
+    def size(self) -> int:
+        """Number of processes in this communicator."""
+        return self.core.size
+
+    @property
+    def world_rank(self) -> int:
+        """Global (world) rank of the calling process."""
+        return self.core.world_rank(self.local_rank)
+
+    @property
+    def state(self) -> SimulationState:
+        """The simulation state shared by all ranks."""
+        return self.core.state
+
+    def clock(self) -> float:
+        """Current virtual time of the calling rank, in seconds."""
+        return self.core.state.clock(self.world_rank)
+
+    # ------------------------------------------------------------------ p2p
+    def send(self, payload: object, dest: int, tag: object = 0, *, nbytes: int | None = None) -> None:
+        """Send ``payload`` to local rank ``dest`` (eager, non-blocking in time)."""
+        self.core.send(self.local_rank, payload, dest, tag, nbytes)
+
+    def recv(self, source: int, tag: object = 0) -> object:
+        """Receive the next message from ``source`` with matching ``tag``."""
+        return self.core.recv(self.local_rank, source, tag)
+
+    def sendrecv(self, payload: object, dest: int, source: int, tag: object = 0) -> object:
+        """Send to ``dest`` and receive from ``source``."""
+        return self.core.sendrecv(self.local_rank, payload, dest, source, tag)
+
+    # ---------------------------------------------------------- collectives
+    def barrier(self) -> None:
+        """Synchronise all ranks of the communicator."""
+        self.core._collective(self.local_rank, "barrier", None, {})
+
+    def bcast(self, payload: object = None, root: int = 0) -> object:
+        """Broadcast ``payload`` from ``root`` to every rank; returns it everywhere."""
+        return self.core._collective(self.local_rank, "bcast", payload, {"root": root})
+
+    def reduce(self, value: object, op: ReduceOp = SUM, root: int = 0) -> object:
+        """Tree reduction to ``root``; non-root ranks receive ``None``."""
+        return self.core._collective(self.local_rank, "reduce", value, {"op": op, "root": root})
+
+    def allreduce(self, value: object, op: ReduceOp = SUM) -> object:
+        """Tree reduction followed by a broadcast of the result to every rank."""
+        return self.core._collective(self.local_rank, "allreduce", value, {"op": op})
+
+    def gather(self, value: object, root: int = 0) -> list[object] | None:
+        """Gather one value per rank at ``root`` (rank order); ``None`` elsewhere."""
+        return self.core._collective(self.local_rank, "gather", value, {"root": root})
+
+    def allgather(self, value: object) -> list[object]:
+        """Gather one value per rank and broadcast the list to everyone."""
+        return self.core._collective(self.local_rank, "allgather", value, {})
+
+    def scatter(self, values: list[object] | None = None, root: int = 0) -> object:
+        """Scatter one item of ``values`` (given at ``root``) to each rank."""
+        return self.core._collective(self.local_rank, "scatter", values, {"root": root})
+
+    def split(self, color: object, key: int | None = None, *,
+              collective_tree: str | None = None) -> "CommHandle | None":
+        """Split the communicator by ``color`` (mirrors ``MPI_Comm_split``).
+
+        Ranks passing ``color=None`` receive ``None`` (they join no new
+        communicator).  ``collective_tree`` overrides the tree shape of the
+        resulting communicators.
+        """
+        params = {}
+        if collective_tree is not None:
+            params["collective_tree"] = collective_tree
+        return self.core._collective(self.local_rank, "split", (color, key), params)
+
+    # --------------------------------------------------------------- compute
+    def compute(self, flops: float, kernel: str = "gemm", n: int | float | None = None) -> float:
+        """Charge ``flops`` of ``kernel`` to the calling rank's virtual clock."""
+        return self.core.state.charge_compute(self.world_rank, flops, kernel, n)

@@ -1,0 +1,185 @@
+"""SPMD executor: run one Python function per simulated MPI rank.
+
+The executor is the ``mpiexec`` of the simulator: it spawns one thread per
+rank, hands each thread a :class:`RankContext` (its rank, the world
+communicator handle and the shared simulation state) and collects per-rank
+return values.  The *virtual* execution time of the program is the maximum
+rank clock when every thread has finished — wall-clock time spent in numpy
+is never added to the virtual clocks, so results are deterministic and
+independent of the host machine.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.exceptions import SimulationError
+from repro.gridsim.communicator import CommCore, CommHandle
+from repro.gridsim.platform import Platform, SimulationState
+from repro.gridsim.topology import ProcessLocation
+from repro.gridsim.trace import Trace, TraceSummary
+
+__all__ = ["RankContext", "SimulationResult", "SPMDExecutor", "run_spmd"]
+
+
+@dataclass
+class RankContext:
+    """Everything a rank program needs: identity, communicator, clock access."""
+
+    rank: int
+    size: int
+    comm: CommHandle
+    state: SimulationState
+
+    @property
+    def platform(self) -> Platform:
+        """The simulated platform this rank runs on."""
+        return self.state.platform
+
+    @property
+    def location(self) -> ProcessLocation:
+        """Physical location (cluster/node/slot) of this rank."""
+        return self.state.platform.placement.location(self.rank)
+
+    @property
+    def cluster(self) -> str:
+        """Name of the cluster hosting this rank."""
+        return self.location.cluster
+
+    def clock(self) -> float:
+        """Current virtual time of this rank in seconds."""
+        return self.state.clock(self.rank)
+
+    def compute(self, flops: float, kernel: str = "gemm", n: int | float | None = None) -> float:
+        """Charge ``flops`` of ``kernel`` to this rank and return the elapsed seconds."""
+        return self.state.charge_compute(self.rank, flops, kernel, n)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one SPMD run."""
+
+    results: list[object]
+    makespan: float
+    trace: TraceSummary
+    clocks: list[float] = field(default_factory=list)
+
+    def result_of(self, rank: int) -> object:
+        """Return the value returned by ``rank``'s program."""
+        return self.results[rank]
+
+
+#: Signature of an SPMD rank program.
+RankProgram = Callable[..., object]
+
+
+class SPMDExecutor:
+    """Run SPMD programs on a simulated platform.
+
+    Parameters
+    ----------
+    platform:
+        The simulated grid (machine + network + placement + kernel model).
+    record_messages:
+        Keep individual message records in the trace (slower, used by the
+        fine-grained tests); counters are always kept.
+    collective_tree:
+        Tree shape used by the world communicator's collectives: ``"binary"``
+        (MPI/ScaLAPACK default), ``"hierarchical"`` (topology-aware) or
+        ``"flat"``.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        record_messages: bool = False,
+        collective_tree: str = "binary",
+    ) -> None:
+        self.platform = platform
+        self.record_messages = record_messages
+        self.collective_tree = collective_tree
+
+    def run(
+        self,
+        program: RankProgram,
+        *args: object,
+        ranks: Sequence[int] | None = None,
+        **kwargs: object,
+    ) -> SimulationResult:
+        """Execute ``program(ctx, *args, **kwargs)`` on every rank.
+
+        ``ranks`` restricts execution to a subset of world ranks (used by
+        tests); by default every placed rank participates.
+
+        Raises
+        ------
+        SimulationError
+            If any rank program raises; the original exception is chained.
+        """
+        n = self.platform.n_processes
+        active = list(range(n)) if ranks is None else list(ranks)
+        state = SimulationState(self.platform, record_messages=self.record_messages)
+        world = CommCore(
+            state, active, collective_tree=self.collective_tree, name="world"
+        )
+        results: list[object] = [None] * len(active)
+        errors: list[tuple[int, BaseException]] = []
+        errors_lock = threading.Lock()
+
+        def _worker(local_rank: int, world_rank: int) -> None:
+            ctx = RankContext(
+                rank=world_rank,
+                size=len(active),
+                comm=CommHandle(world, local_rank),
+                state=state,
+            )
+            try:
+                results[local_rank] = program(ctx, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - propagated to the caller
+                with errors_lock:
+                    errors.append((world_rank, exc))
+                state.fail(exc)
+
+        threads = [
+            threading.Thread(
+                target=_worker,
+                args=(local, world_rank),
+                name=f"rank-{world_rank}",
+                daemon=True,
+            )
+            for local, world_rank in enumerate(active)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors:
+            rank, first = sorted(errors, key=lambda e: e[0])[0]
+            raise SimulationError(
+                f"{len(errors)} rank(s) failed; first failure on rank {rank}: {first!r}"
+            ) from first
+        return SimulationResult(
+            results=results,
+            makespan=state.makespan(),
+            trace=state.trace.summary(),
+            clocks=state.clocks(),
+        )
+
+
+def run_spmd(
+    platform: Platform,
+    program: RankProgram,
+    *args: object,
+    record_messages: bool = False,
+    collective_tree: str = "binary",
+    **kwargs: object,
+) -> SimulationResult:
+    """Convenience wrapper: build an executor and run ``program`` once."""
+    executor = SPMDExecutor(
+        platform, record_messages=record_messages, collective_tree=collective_tree
+    )
+    return executor.run(program, *args, **kwargs)

@@ -1,0 +1,123 @@
+"""Kernel rate model: how fast a process executes each dense kernel.
+
+Paper Property 2: *"the performance of the factorization of TS matrices is
+limited by the domanial performance of the QR factorization of TS matrices"*,
+which in practice is a small fraction of the DGEMM peak and grows with the
+number of columns N (Property 4) because wider panels admit more Level-3
+BLAS.  The simulator therefore charges compute time as
+
+    time = flops / (efficiency(kernel, N) * dgemm_rate)
+
+with per-kernel efficiency curves calibrated (in
+:mod:`repro.experiments.grid5000`) against the single-site measurements the
+paper reports:
+
+* ``qr_leaf``   — LAPACK ``DGEQRF`` on a domain owned by a single process
+                  (TSQR leaves): saturating curve in N.
+* ``qr_combine``— QR of two stacked N x N triangles (TSQR tree nodes).
+* ``panel``     — the Level-2-bound local work of ScaLAPACK's ``PDGEQR2``
+                  panel factorization (one column at a time).
+* ``update``    — the Level-3 blocked trailing-matrix update (``PDLARFB``).
+* ``gemm``      — plain matrix multiply, by definition efficiency 1.
+* ``reduce_op`` — small vector reductions (norms, dot products).
+
+The curves are deliberately simple (two-parameter saturation); what matters
+for reproducing the paper is their *ordering* (panel < leaf QR < update <
+GEMM) and their growth with N, not their exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.gridsim.machine import ProcessorSpec
+
+__all__ = ["KernelEfficiency", "KernelRateModel", "KERNEL_NAMES"]
+
+#: Kernels known to the model (anything else raises, catching typos early).
+KERNEL_NAMES = frozenset(
+    {"gemm", "qr_leaf", "qr_combine", "panel", "update", "reduce_op", "generic"}
+)
+
+
+@dataclass(frozen=True)
+class KernelEfficiency:
+    """Efficiency (fraction of the DGEMM rate) of each kernel class.
+
+    ``qr_scale``/``qr_half_width`` parameterise the saturating curve
+    ``eff(N) = qr_scale * N / (N + qr_half_width)`` used for the LAPACK-style
+    QR kernels; the remaining fields are constants.
+    """
+
+    qr_scale: float = 0.544
+    qr_half_width: float = 168.0
+    panel_efficiency: float = 0.085
+    update_scale: float = 0.80
+    reduce_op_efficiency: float = 0.25
+    generic_efficiency: float = 0.5
+
+    def efficiency(self, kernel: str, n: int | float | None = None) -> float:
+        """Return the fraction of the DGEMM rate achieved by ``kernel``.
+
+        ``n`` is the column count (block width) relevant to the kernel; it is
+        required for the N-dependent QR kernels and ignored otherwise.
+        """
+        if kernel not in KERNEL_NAMES:
+            raise ConfigurationError(f"unknown kernel {kernel!r}; known: {sorted(KERNEL_NAMES)}")
+        if kernel == "gemm":
+            return 1.0
+        if kernel == "panel":
+            return self.panel_efficiency
+        if kernel == "reduce_op":
+            return self.reduce_op_efficiency
+        if kernel == "generic":
+            return self.generic_efficiency
+        # qr_leaf, qr_combine, update all follow the saturating curve.
+        if n is None or n <= 0:
+            n = self.qr_half_width  # mid-curve default when the width is unknown
+        base = self.qr_scale * float(n) / (float(n) + self.qr_half_width)
+        if kernel == "update":
+            # The blocked trailing update is BLAS-3 but operates on narrow
+            # panels; its effective rate is calibrated as a fraction of the
+            # leaf-QR curve so that the ScaLAPACK single-site numbers of
+            # Fig. 4 are matched (see experiments/grid5000.py).
+            return min(1.0, self.update_scale * base)
+        return base
+
+
+@dataclass(frozen=True)
+class KernelRateModel:
+    """Convert flop counts into simulated seconds for a given processor."""
+
+    processor: ProcessorSpec = field(default_factory=ProcessorSpec)
+    efficiency: KernelEfficiency = field(default_factory=KernelEfficiency)
+
+    def rate(self, kernel: str = "gemm", n: int | float | None = None) -> float:
+        """Sustained rate of ``kernel`` in flop/s for one process."""
+        eff = self.efficiency.efficiency(kernel, n)
+        return max(eff, 1e-6) * self.processor.dgemm_flops_per_s
+
+    def time(
+        self,
+        flops: float,
+        kernel: str = "gemm",
+        n: int | float | None = None,
+        *,
+        processes: int = 1,
+    ) -> float:
+        """Seconds one call doing ``flops`` takes, optionally spread over
+        ``processes`` perfectly-parallel processes (used for node-level
+        aggregate estimates; the SPMD simulations always use ``processes=1``
+        because each rank charges its own share)."""
+        if flops < 0:
+            raise ConfigurationError(f"negative flop count: {flops}")
+        if processes <= 0:
+            raise ConfigurationError(f"process count must be positive: {processes}")
+        if flops == 0:
+            return 0.0
+        return float(flops) / (self.rate(kernel, n) * processes)
+
+    def practical_peak_gflops(self, n_processes: int) -> float:
+        """The paper's "practical upper bound": every process at DGEMM speed."""
+        return self.processor.dgemm_gflops * n_processes

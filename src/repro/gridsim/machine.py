@@ -1,0 +1,148 @@
+"""Machine model: processors, nodes, clusters and grids.
+
+This module describes the *compute* side of the platform (the network side
+lives in :mod:`repro.gridsim.network`).  The description mirrors the
+experimental setup of paper §V-A: a grid is a federation of clusters, each
+cluster is a set of identical nodes, each node hosts a number of processors
+(the paper runs two single-threaded processes per dual-processor node), and
+each processor has a sustained DGEMM rate that bounds every dense kernel
+(paper §V-B: GotoBLAS DGEMM ≈ 3.67 Gflop/s per processor, giving the grid a
+practical upper bound of ~940 Gflop/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import TopologyError
+from repro.util.units import GIGA
+
+__all__ = ["ProcessorSpec", "NodeSpec", "ClusterSpec", "GridSpec"]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """A single processor (one MPI process in the paper's configuration).
+
+    Attributes
+    ----------
+    name:
+        Human-readable model name (e.g. ``"AMD Opteron 246"``).
+    peak_gflops:
+        Theoretical peak of the processor in Gflop/s.
+    dgemm_gflops:
+        Sustained DGEMM rate in Gflop/s; the practical upper bound used by
+        the paper to normalise achieved performance.
+    """
+
+    name: str = "generic"
+    peak_gflops: float = 8.0
+    dgemm_gflops: float = 3.67
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.dgemm_gflops <= 0:
+            raise TopologyError("processor rates must be positive")
+
+    @property
+    def dgemm_flops_per_s(self) -> float:
+        """Sustained DGEMM rate in flop/s."""
+        return self.dgemm_gflops * GIGA
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A compute node hosting ``processes_per_node`` MPI processes."""
+
+    processor: ProcessorSpec = field(default_factory=ProcessorSpec)
+    processes_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.processes_per_node <= 0:
+            raise TopologyError("a node must host at least one process")
+
+    @property
+    def dgemm_gflops(self) -> float:
+        """Aggregate sustained DGEMM rate of the node in Gflop/s."""
+        return self.processor.dgemm_gflops * self.processes_per_node
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: ``n_nodes`` identical nodes at one site."""
+
+    name: str
+    n_nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise TopologyError(f"cluster {self.name!r} must have at least one node")
+
+    @property
+    def n_processes(self) -> int:
+        """Number of MPI processes the cluster can host."""
+        return self.n_nodes * self.node.processes_per_node
+
+    @property
+    def dgemm_gflops(self) -> float:
+        """Aggregate sustained DGEMM rate of the cluster in Gflop/s."""
+        return self.n_nodes * self.node.dgemm_gflops
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A computational grid: a federation of geographically distinct clusters."""
+
+    name: str
+    clusters: tuple[ClusterSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise TopologyError("a grid must contain at least one cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"duplicate cluster names in grid {self.name!r}: {names}")
+
+    # ------------------------------------------------------------------ api
+    @property
+    def n_clusters(self) -> int:
+        """Number of geographical sites."""
+        return len(self.clusters)
+
+    @property
+    def cluster_names(self) -> tuple[str, ...]:
+        """Names of the sites, in declaration order."""
+        return tuple(c.name for c in self.clusters)
+
+    @property
+    def n_processes(self) -> int:
+        """Total number of MPI processes the grid can host."""
+        return sum(c.n_processes for c in self.clusters)
+
+    @property
+    def dgemm_gflops(self) -> float:
+        """Aggregate sustained DGEMM rate of the whole grid in Gflop/s."""
+        return sum(c.dgemm_gflops for c in self.clusters)
+
+    def cluster(self, name: str) -> ClusterSpec:
+        """Return the cluster called ``name``."""
+        for c in self.clusters:
+            if c.name == name:
+                return c
+        raise TopologyError(f"grid {self.name!r} has no cluster named {name!r}")
+
+    def cluster_index(self, name: str) -> int:
+        """Return the index of the cluster called ``name``."""
+        for i, c in enumerate(self.clusters):
+            if c.name == name:
+                return i
+        raise TopologyError(f"grid {self.name!r} has no cluster named {name!r}")
+
+    def subset(self, names: list[str] | tuple[str, ...]) -> "GridSpec":
+        """Return a grid restricted to the named clusters (order preserved).
+
+        Used to run the paper's one-site / two-site / four-site comparisons
+        on the same platform description.
+        """
+        clusters = tuple(self.cluster(n) for n in names)
+        return GridSpec(name=f"{self.name}[{','.join(names)}]", clusters=clusters)

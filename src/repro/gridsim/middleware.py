@@ -1,0 +1,344 @@
+"""Topology-aware middleware: the QCG-OMPI analogue.
+
+Paper §II-D/III: QCG-OMPI couples a grid *meta-scheduler* with an MPI
+implementation.  The application describes the process groups it needs and
+the network quality it expects inside and between groups in a ``JobProfile``;
+the meta-scheduler allocates physical resources matching those requirements;
+at run time the application retrieves the group structure ("topology
+attributes") and builds one MPI communicator per group with
+``MPI_Comm_split``.
+
+This module reproduces that workflow on the simulated grid:
+
+* :class:`ProcessGroupRequirement` / :class:`NetworkRequirement` /
+  :class:`JobProfile` describe the request (groups of equivalent computing
+  power, good connectivity inside groups, possibly weaker between groups);
+* :class:`MetaScheduler` maps each group onto one cluster, checks the
+  network requirements against the platform's link matrix and produces an
+  :class:`Allocation` (a process placement plus the rank → group mapping);
+* :func:`topology_attributes` is what a rank calls after ``MPI_Init`` to
+  learn its group, and :func:`group_communicators` performs the
+  ``comm.split`` calls that give the algorithm one communicator per group
+  and one communicator linking the group leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import AllocationError, ConfigurationError
+from repro.gridsim.communicator import CommHandle
+from repro.gridsim.kernelmodel import KernelRateModel
+from repro.gridsim.machine import GridSpec
+from repro.gridsim.network import LinkClass, NetworkModel
+from repro.gridsim.platform import Platform
+from repro.gridsim.topology import ProcessPlacement, block_placement
+
+__all__ = [
+    "NetworkRequirement",
+    "ProcessGroupRequirement",
+    "JobProfile",
+    "Allocation",
+    "MetaScheduler",
+    "TopologyAttributes",
+    "topology_attributes",
+    "GroupCommunicators",
+    "group_communicators",
+]
+
+
+@dataclass(frozen=True)
+class NetworkRequirement:
+    """Minimum network quality between (or within) process groups."""
+
+    max_latency_s: float = float("inf")
+    min_bandwidth_bytes_per_s: float = 0.0
+
+    def satisfied_by(self, latency_s: float, bandwidth_bytes_per_s: float) -> bool:
+        """True when a link with the given characteristics meets the requirement."""
+        return (
+            latency_s <= self.max_latency_s
+            and bandwidth_bytes_per_s >= self.min_bandwidth_bytes_per_s
+        )
+
+
+@dataclass(frozen=True)
+class ProcessGroupRequirement:
+    """One process group of the JobProfile.
+
+    ``size`` is the number of processes requested for the group; ``min_dgemm_gflops``
+    expresses the "equivalent computing power" constraint of paper §III (we
+    request groups of identical size on hardware of comparable speed).
+    """
+
+    name: str
+    size: int
+    min_dgemm_gflops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"group {self.name!r} must request at least one process")
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """The application's resource request, as submitted to the meta-scheduler."""
+
+    groups: tuple[ProcessGroupRequirement, ...]
+    intra_group: NetworkRequirement = field(default_factory=NetworkRequirement)
+    inter_group: NetworkRequirement = field(default_factory=NetworkRequirement)
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigurationError("a JobProfile needs at least one process group")
+        names = [g.name for g in self.groups]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate group names in JobProfile: {names}")
+
+    @property
+    def total_processes(self) -> int:
+        """Total number of processes requested."""
+        return sum(g.size for g in self.groups)
+
+    @classmethod
+    def clusters_of_equal_power(
+        cls,
+        n_groups: int,
+        group_size: int,
+        *,
+        max_intra_latency_s: float = 1e-3,
+        min_intra_bandwidth_bytes_per_s: float = 1e8,
+    ) -> "JobProfile":
+        """The profile used by QCG-TSQR: ``n_groups`` groups of equal size,
+        tightly coupled inside, loosely coupled between groups."""
+        groups = tuple(
+            ProcessGroupRequirement(name=f"group{i}", size=group_size) for i in range(n_groups)
+        )
+        return cls(
+            groups=groups,
+            intra_group=NetworkRequirement(
+                max_latency_s=max_intra_latency_s,
+                min_bandwidth_bytes_per_s=min_intra_bandwidth_bytes_per_s,
+            ),
+            inter_group=NetworkRequirement(),
+        )
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Result of a successful scheduling decision."""
+
+    placement: ProcessPlacement
+    group_of_rank: tuple[int, ...]
+    group_names: tuple[str, ...]
+    cluster_of_group: tuple[str, ...]
+
+    @property
+    def n_groups(self) -> int:
+        """Number of allocated process groups."""
+        return len(self.group_names)
+
+    def ranks_of_group(self, group: int) -> list[int]:
+        """World ranks belonging to group ``group``."""
+        return [r for r, g in enumerate(self.group_of_rank) if g == group]
+
+
+class MetaScheduler:
+    """Allocate JobProfile groups onto the clusters of a grid.
+
+    The strategy mirrors the paper's reservations: each group is placed
+    entirely inside one cluster (never split), clusters are filled in
+    declaration order, and a cluster may host several groups when it has the
+    capacity (that is how 2, 4, ..., 64 domains per cluster are obtained).
+    """
+
+    def __init__(self, grid: GridSpec, network: NetworkModel) -> None:
+        self.grid = grid
+        self.network = network
+
+    def allocate(
+        self,
+        profile: JobProfile,
+        *,
+        nodes_per_cluster: int | None = None,
+        processes_per_node: int | None = None,
+        clusters: list[str] | None = None,
+    ) -> Allocation:
+        """Return an :class:`Allocation` satisfying ``profile`` or raise.
+
+        Raises
+        ------
+        AllocationError
+            When the requested processes do not fit in the requested clusters
+            or the intra-group network requirement cannot be met.
+        """
+        names = list(clusters) if clusters is not None else list(self.grid.cluster_names)
+        capacities: dict[str, int] = {}
+        for name in names:
+            cluster = self.grid.cluster(name)
+            nodes = nodes_per_cluster if nodes_per_cluster is not None else cluster.n_nodes
+            ppn = (
+                processes_per_node
+                if processes_per_node is not None
+                else cluster.node.processes_per_node
+            )
+            if nodes > cluster.n_nodes:
+                raise AllocationError(
+                    f"cluster {name!r} has only {cluster.n_nodes} nodes, {nodes} requested"
+                )
+            capacities[name] = nodes * ppn
+
+        # Check the intra-group requirement against each candidate cluster's
+        # internal link: a group will always live inside one cluster.
+        for name in names:
+            link = self.network.link_for(LinkClass.INTRA_CLUSTER, name, name)
+            if not profile.intra_group.satisfied_by(link.latency_s, link.bandwidth_bytes_per_s):
+                raise AllocationError(
+                    f"cluster {name!r} cannot satisfy the intra-group network requirement"
+                )
+
+        # Greedy first-fit of groups onto clusters, in declaration order.
+        remaining = dict(capacities)
+        cluster_of_group: list[str] = []
+        order = list(names)
+        cursor = 0
+        for group in profile.groups:
+            placed = False
+            for step in range(len(order)):
+                candidate = order[(cursor + step) % len(order)]
+                cluster = self.grid.cluster(candidate)
+                if remaining[candidate] >= group.size and (
+                    cluster.node.processor.dgemm_gflops >= group.min_dgemm_gflops
+                ):
+                    remaining[candidate] -= group.size
+                    cluster_of_group.append(candidate)
+                    cursor = (cursor + step + 1) % len(order)
+                    placed = True
+                    break
+            if not placed:
+                raise AllocationError(
+                    f"cannot place group {group.name!r} (size {group.size}): "
+                    f"remaining capacity {remaining}"
+                )
+
+        # Inter-group requirement: check every pair of clusters hosting groups.
+        used = sorted(set(cluster_of_group))
+        for i, a in enumerate(used):
+            for b in used[i + 1 :]:
+                link = self.network.link_for(LinkClass.INTER_CLUSTER, a, b)
+                if not profile.inter_group.satisfied_by(
+                    link.latency_s, link.bandwidth_bytes_per_s
+                ):
+                    raise AllocationError(
+                        f"link {a!r} <-> {b!r} cannot satisfy the inter-group requirement"
+                    )
+
+        # Build the placement: ranks of a group are contiguous; groups hosted
+        # by the same cluster share its nodes in order.
+        per_cluster_counts = {name: 0 for name in names}
+        locations = []
+        group_of_rank: list[int] = []
+        from repro.gridsim.topology import ProcessLocation  # local import to avoid cycle noise
+
+        for gi, group in enumerate(profile.groups):
+            cname = cluster_of_group[gi]
+            cluster = self.grid.cluster(cname)
+            ppn = (
+                processes_per_node
+                if processes_per_node is not None
+                else cluster.node.processes_per_node
+            )
+            for _ in range(group.size):
+                offset = per_cluster_counts[cname]
+                node, slot = divmod(offset, ppn)
+                locations.append(ProcessLocation(cluster=cname, node=node, slot=slot))
+                group_of_rank.append(gi)
+                per_cluster_counts[cname] += 1
+        placement = ProcessPlacement(grid=self.grid, locations=tuple(locations))
+        return Allocation(
+            placement=placement,
+            group_of_rank=tuple(group_of_rank),
+            group_names=tuple(g.name for g in profile.groups),
+            cluster_of_group=tuple(cluster_of_group),
+        )
+
+    def platform(
+        self,
+        allocation: Allocation,
+        kernel_model: KernelRateModel,
+        *,
+        name: str = "qcg-allocation",
+    ) -> Platform:
+        """Wrap an allocation into a :class:`Platform` ready for execution."""
+        return Platform(
+            grid=self.grid,
+            network=self.network,
+            placement=allocation.placement,
+            kernel_model=kernel_model,
+            name=name,
+        )
+
+
+@dataclass(frozen=True)
+class TopologyAttributes:
+    """What a rank learns from the middleware after initialisation."""
+
+    group: int
+    group_name: str
+    group_size: int
+    group_leader_world_rank: int
+    n_groups: int
+    cluster: str
+
+
+def topology_attributes(allocation: Allocation, rank: int) -> TopologyAttributes:
+    """Return the topology attributes the middleware exposes to ``rank``.
+
+    This plays the role of the QCG-OMPI specific MPI attribute that the
+    application queries after ``MPI_Init`` (paper §III).
+    """
+    group = allocation.group_of_rank[rank]
+    members = allocation.ranks_of_group(group)
+    return TopologyAttributes(
+        group=group,
+        group_name=allocation.group_names[group],
+        group_size=len(members),
+        group_leader_world_rank=min(members),
+        n_groups=allocation.n_groups,
+        cluster=allocation.cluster_of_group[group],
+    )
+
+
+@dataclass
+class GroupCommunicators:
+    """Communicators derived from the topology: one per group + leaders."""
+
+    group_comm: CommHandle
+    leaders_comm: CommHandle | None
+    attributes: TopologyAttributes
+
+    @property
+    def is_leader(self) -> bool:
+        """True when the calling rank is its group's leader."""
+        return self.leaders_comm is not None
+
+
+def group_communicators(
+    comm: CommHandle, allocation: Allocation, *, collective_tree: str = "binary"
+) -> GroupCommunicators:
+    """Split ``comm`` according to the allocation's group structure.
+
+    Every rank obtains the communicator of its own group; group leaders (the
+    smallest world rank of each group) additionally obtain a communicator
+    connecting all leaders, which is where the inter-cluster stage of the
+    reduction happens.  Mirrors the ``MPI_Comm_split`` calls of paper §III.
+    """
+    attrs = topology_attributes(allocation, comm.world_rank)
+    group_comm = comm.split(color=attrs.group, key=comm.world_rank,
+                            collective_tree=collective_tree)
+    leader_color = 0 if comm.world_rank == attrs.group_leader_world_rank else None
+    leaders_comm = comm.split(color=leader_color, key=attrs.group,
+                              collective_tree=collective_tree)
+    return GroupCommunicators(
+        group_comm=group_comm, leaders_comm=leaders_comm, attributes=attrs
+    )

@@ -1,0 +1,212 @@
+"""Network model: link classes, latency/bandwidth matrix, transfer times.
+
+The grid network is *hierarchical* (paper §II-D): shared-memory links inside
+a node, a switched GigaEthernet network inside each cluster, and wide-area
+links between clusters whose latency is two orders of magnitude higher.
+The paper's Table 3(a) gives the measured latency (ms) and throughput (Mb/s)
+between every pair of Grid'5000 sites; this module stores exactly that kind
+of matrix and answers the only two questions the simulator asks:
+
+* what *class* of link connects two process locations
+  (same process / intra-node / intra-cluster / inter-cluster), and
+* how long does an ``n``-byte message take on that link
+  (``latency + n / bandwidth`` — the alpha-beta model of paper Eq. (1)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import TopologyError
+from repro.util.units import mbits_per_s_to_bytes_per_s, ms_to_seconds, us_to_seconds
+
+__all__ = ["LinkClass", "LinkSpec", "NetworkModel"]
+
+
+class LinkClass(enum.Enum):
+    """Classification of a communication between two processes."""
+
+    SELF = "self"
+    INTRA_NODE = "intra-node"
+    INTRA_CLUSTER = "intra-cluster"
+    INTER_CLUSTER = "inter-cluster"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Point-to-point link characteristics (alpha-beta model).
+
+    ``latency_s`` is the raw one-way ping latency (what Table 3(a) reports);
+    ``per_message_overhead_s`` is an additional per-message software cost
+    (MPI rendezvous handshakes, TCP slow-start over the wide-area links, ...)
+    that is charged on top of the ping latency by the simulator but *not*
+    reported in the Fig. 3 latency matrix, so the platform description stays
+    faithful to the published table while the timed simulation reflects the
+    effective cost of a WAN message.
+    """
+
+    latency_s: float
+    bandwidth_bytes_per_s: float
+    per_message_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise TopologyError(f"negative latency: {self.latency_s}")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise TopologyError(f"non-positive bandwidth: {self.bandwidth_bytes_per_s}")
+        if self.per_message_overhead_s < 0:
+            raise TopologyError(f"negative per-message overhead: {self.per_message_overhead_s}")
+
+    @classmethod
+    def from_ms_mbits(
+        cls, latency_ms: float, throughput_mbits: float, *, overhead_ms: float = 0.0
+    ) -> "LinkSpec":
+        """Build a link from Table 3(a) units (latency in ms, throughput in Mb/s)."""
+        return cls(
+            latency_s=ms_to_seconds(latency_ms),
+            bandwidth_bytes_per_s=mbits_per_s_to_bytes_per_s(throughput_mbits),
+            per_message_overhead_s=ms_to_seconds(overhead_ms),
+        )
+
+    @classmethod
+    def from_us_mbits(
+        cls, latency_us: float, throughput_mbits: float, *, overhead_us: float = 0.0
+    ) -> "LinkSpec":
+        """Build a link from a microsecond latency and Mb/s throughput."""
+        return cls(
+            latency_s=us_to_seconds(latency_us),
+            bandwidth_bytes_per_s=mbits_per_s_to_bytes_per_s(throughput_mbits),
+            per_message_overhead_s=us_to_seconds(overhead_us),
+        )
+
+    def transfer_time(self, nbytes: int | float) -> float:
+        """Time in seconds to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise TopologyError(f"negative message size: {nbytes}")
+        return (
+            self.latency_s
+            + self.per_message_overhead_s
+            + float(nbytes) / self.bandwidth_bytes_per_s
+        )
+
+
+def _pair_key(a: str, b: str) -> tuple[str, str]:
+    """Symmetric dictionary key for a cluster pair."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class NetworkModel:
+    """Hierarchical network description of a grid.
+
+    Parameters
+    ----------
+    intra_node:
+        Link between two processes on the same node (shared memory).
+    intra_cluster:
+        Default link between two nodes of the same cluster.  Per-cluster
+        overrides can be supplied in ``intra_cluster_overrides``.
+    inter_cluster:
+        Mapping from unordered cluster-name pairs to the wide-area link that
+        connects them.  Pairs may be given in either order.
+    inter_cluster_default:
+        Fallback link used for cluster pairs absent from ``inter_cluster``
+        (``None`` makes missing pairs an error).
+    """
+
+    intra_node: LinkSpec
+    intra_cluster: LinkSpec
+    inter_cluster: dict[tuple[str, str], LinkSpec] = field(default_factory=dict)
+    intra_cluster_overrides: dict[str, LinkSpec] = field(default_factory=dict)
+    inter_cluster_default: LinkSpec | None = None
+
+    def __post_init__(self) -> None:
+        # Normalise inter-cluster keys to their symmetric form.
+        normalised: dict[tuple[str, str], LinkSpec] = {}
+        for (a, b), link in self.inter_cluster.items():
+            normalised[_pair_key(a, b)] = link
+        self.inter_cluster = normalised
+
+    # ------------------------------------------------------------------ api
+    def classify(
+        self,
+        cluster_a: str,
+        node_a: int,
+        cluster_b: str,
+        node_b: int,
+        *,
+        same_process: bool = False,
+    ) -> LinkClass:
+        """Return the :class:`LinkClass` between two process locations."""
+        if same_process:
+            return LinkClass.SELF
+        if cluster_a != cluster_b:
+            return LinkClass.INTER_CLUSTER
+        if node_a != node_b:
+            return LinkClass.INTRA_CLUSTER
+        return LinkClass.INTRA_NODE
+
+    def link_between(
+        self, cluster_a: str, node_a: int, cluster_b: str, node_b: int
+    ) -> tuple[LinkClass, LinkSpec]:
+        """Return the link class and characteristics between two locations."""
+        cls = self.classify(cluster_a, node_a, cluster_b, node_b)
+        return cls, self.link_for(cls, cluster_a, cluster_b)
+
+    def link_for(self, cls: LinkClass, cluster_a: str, cluster_b: str) -> LinkSpec:
+        """Return the :class:`LinkSpec` for a given class and cluster pair."""
+        if cls in (LinkClass.SELF, LinkClass.INTRA_NODE):
+            return self.intra_node
+        if cls is LinkClass.INTRA_CLUSTER:
+            return self.intra_cluster_overrides.get(cluster_a, self.intra_cluster)
+        link = self.inter_cluster.get(_pair_key(cluster_a, cluster_b))
+        if link is None:
+            link = self.inter_cluster_default
+        if link is None:
+            raise TopologyError(
+                f"no inter-cluster link defined between {cluster_a!r} and {cluster_b!r}"
+            )
+        return link
+
+    def transfer_time(
+        self, nbytes: int | float, cluster_a: str, node_a: int, cluster_b: str, node_b: int
+    ) -> float:
+        """Time in seconds to move ``nbytes`` between the two locations.
+
+        A message a process sends to itself costs nothing.
+        """
+        cls = self.classify(cluster_a, node_a, cluster_b, node_b)
+        if cls is LinkClass.SELF and cluster_a == cluster_b and node_a == node_b:
+            # Same node: still classified INTRA_NODE unless flagged; cost below.
+            pass
+        link = self.link_for(cls, cluster_a, cluster_b)
+        return link.transfer_time(nbytes)
+
+    # --------------------------------------------------------------- report
+    def latency_matrix_ms(self, cluster_names: list[str]) -> dict[tuple[str, str], float]:
+        """Return the pairwise latency matrix in milliseconds (Table 3(a) style)."""
+        out: dict[tuple[str, str], float] = {}
+        for i, a in enumerate(cluster_names):
+            for b in cluster_names[i:]:
+                if a == b:
+                    link = self.intra_cluster_overrides.get(a, self.intra_cluster)
+                else:
+                    link = self.link_for(LinkClass.INTER_CLUSTER, a, b)
+                out[(a, b)] = link.latency_s * 1e3
+        return out
+
+    def throughput_matrix_mbits(self, cluster_names: list[str]) -> dict[tuple[str, str], float]:
+        """Return the pairwise throughput matrix in Mb/s (Table 3(a) style)."""
+        out: dict[tuple[str, str], float] = {}
+        for i, a in enumerate(cluster_names):
+            for b in cluster_names[i:]:
+                if a == b:
+                    link = self.intra_cluster_overrides.get(a, self.intra_cluster)
+                else:
+                    link = self.link_for(LinkClass.INTER_CLUSTER, a, b)
+                out[(a, b)] = link.bandwidth_bytes_per_s * 8.0 / 1e6
+        return out

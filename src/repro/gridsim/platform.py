@@ -1,0 +1,150 @@
+"""Platform: the bundle of machine, network, placement and kernel model.
+
+A :class:`Platform` is everything the simulator needs to know about "where
+this computation runs": the grid hardware description, the network
+characteristics, where each MPI rank was placed by the middleware, and how
+fast each rank executes the dense kernels.  Experiment configurations
+(:mod:`repro.experiments.grid5000`) construct platforms; the SPMD executor
+and the communicator only ever read them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.gridsim.kernelmodel import KernelRateModel
+from repro.gridsim.machine import GridSpec
+from repro.gridsim.network import LinkClass, NetworkModel
+from repro.gridsim.topology import ProcessPlacement
+from repro.gridsim.trace import Trace
+
+__all__ = ["Platform", "SimulationState"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Immutable description of the simulated execution environment."""
+
+    grid: GridSpec
+    network: NetworkModel
+    placement: ProcessPlacement
+    kernel_model: KernelRateModel
+    name: str = "platform"
+
+    def __post_init__(self) -> None:
+        if self.placement.grid is not self.grid and self.placement.grid != self.grid:
+            raise ConfigurationError("placement was built for a different grid")
+
+    @property
+    def n_processes(self) -> int:
+        """Number of MPI ranks of the platform."""
+        return self.placement.size
+
+    @property
+    def n_sites(self) -> int:
+        """Number of geographical sites actually hosting ranks."""
+        return len(self.placement.clusters_used())
+
+    def practical_peak_gflops(self) -> float:
+        """Paper §V-B practical upper bound: all processes at DGEMM speed."""
+        return self.kernel_model.practical_peak_gflops(self.n_processes)
+
+    def theoretical_peak_gflops(self) -> float:
+        """Sum of the processors' theoretical peaks over all placed ranks."""
+        peak = 0.0
+        for rank in range(self.n_processes):
+            cluster = self.grid.cluster(self.placement.cluster_of(rank))
+            peak += cluster.node.processor.peak_gflops
+        return peak
+
+
+class SimulationState:
+    """Mutable per-simulation state: virtual clocks, trace, abort flag.
+
+    One :class:`SimulationState` is created per SPMD run and shared by all
+    rank threads.  Clock reads/writes are guarded by a lock: a rank normally
+    only touches its own clock, but collective execution (performed by
+    whichever rank arrives last) updates everyone's.
+    """
+
+    def __init__(self, platform: Platform, *, record_messages: bool = False) -> None:
+        self.platform = platform
+        self.trace = Trace(platform.n_processes, record_messages=record_messages)
+        self._clocks = [0.0] * platform.n_processes
+        self._lock = threading.Lock()
+        self.abort = threading.Event()
+        self.failure: BaseException | None = None
+
+    # -------------------------------------------------------------- clocks
+    def clock(self, rank: int) -> float:
+        """Current virtual time of ``rank`` in seconds."""
+        with self._lock:
+            return self._clocks[rank]
+
+    def advance(self, rank: int, dt: float) -> float:
+        """Advance ``rank``'s clock by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ConfigurationError(f"cannot advance clock by negative time {dt}")
+        with self._lock:
+            self._clocks[rank] += dt
+            return self._clocks[rank]
+
+    def set_clock(self, rank: int, t: float) -> None:
+        """Set ``rank``'s clock, never moving it backwards."""
+        with self._lock:
+            self._clocks[rank] = max(self._clocks[rank], t)
+
+    def clocks(self) -> list[float]:
+        """Snapshot of all clocks."""
+        with self._lock:
+            return list(self._clocks)
+
+    def makespan(self) -> float:
+        """Completion time of the simulation: the maximum clock."""
+        with self._lock:
+            return max(self._clocks) if self._clocks else 0.0
+
+    # ------------------------------------------------------- communication
+    def transfer_time(self, nbytes: int | float, src: int, dest: int) -> float:
+        """Seconds to move ``nbytes`` from ``src`` to ``dest``."""
+        return self.platform.placement.transfer_time(
+            self.platform.network, nbytes, src, dest
+        )
+
+    def link_class(self, src: int, dest: int) -> LinkClass:
+        """Class of the link between two ranks."""
+        return self.platform.placement.link_class(self.platform.network, src, dest)
+
+    def record_message(
+        self, src: int, dest: int, nbytes: int, *, tag: str = "", send_time: float = 0.0,
+        recv_time: float = 0.0
+    ) -> None:
+        """Record a message in the trace with its link classification."""
+        self.trace.record_message(
+            src,
+            dest,
+            nbytes,
+            self.link_class(src, dest),
+            tag=tag,
+            send_time=send_time,
+            recv_time=recv_time,
+        )
+
+    # ------------------------------------------------------------- compute
+    def charge_compute(
+        self, rank: int, flops: float, kernel: str = "gemm", n: int | float | None = None
+    ) -> float:
+        """Charge ``flops`` of ``kernel`` to ``rank`` and return the elapsed time."""
+        dt = self.platform.kernel_model.time(flops, kernel, n)
+        self.advance(rank, dt)
+        self.trace.record_flops(rank, flops, kernel)
+        return dt
+
+    # --------------------------------------------------------------- abort
+    def fail(self, exc: BaseException) -> None:
+        """Record a rank failure and wake every waiting rank."""
+        if self.failure is None:
+            self.failure = exc
+        self.abort.set()

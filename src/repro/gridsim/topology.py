@@ -1,0 +1,213 @@
+"""Process placement: mapping MPI ranks onto the grid's nodes and clusters.
+
+The paper's whole argument hinges on *where* the processes of a computation
+live: QCG-OMPI guarantees that processes of one group land on one cluster, so
+a reduction tree built on top of those groups crosses the wide-area links only
+once per cluster.  A :class:`ProcessPlacement` captures the rank → (cluster,
+node, slot) mapping and answers locality queries (same node?, same cluster?,
+ranks of a cluster, link class between two ranks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PlacementError
+from repro.gridsim.machine import GridSpec
+from repro.gridsim.network import LinkClass, NetworkModel
+
+__all__ = ["ProcessLocation", "ProcessPlacement", "block_placement", "round_robin_placement"]
+
+
+@dataclass(frozen=True)
+class ProcessLocation:
+    """Physical location of one MPI process."""
+
+    cluster: str
+    node: int
+    slot: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.cluster}/node{self.node}/slot{self.slot}"
+
+
+@dataclass(frozen=True)
+class ProcessPlacement:
+    """Immutable mapping from rank to :class:`ProcessLocation`.
+
+    The placement is the contract between the middleware (which allocated the
+    resources), the communicator (which prices every message according to the
+    link between the two endpoints) and the algorithms (which shape their
+    reduction trees around cluster boundaries).
+    """
+
+    grid: GridSpec
+    locations: tuple[ProcessLocation, ...]
+
+    def __post_init__(self) -> None:
+        known = set(self.grid.cluster_names)
+        for rank, loc in enumerate(self.locations):
+            if loc.cluster not in known:
+                raise PlacementError(
+                    f"rank {rank} placed on unknown cluster {loc.cluster!r}"
+                )
+            cluster = self.grid.cluster(loc.cluster)
+            if not 0 <= loc.node < cluster.n_nodes:
+                raise PlacementError(
+                    f"rank {rank} placed on node {loc.node} of cluster {loc.cluster!r} "
+                    f"which only has {cluster.n_nodes} nodes"
+                )
+            if not 0 <= loc.slot < cluster.node.processes_per_node:
+                raise PlacementError(
+                    f"rank {rank} placed on slot {loc.slot} but nodes of "
+                    f"{loc.cluster!r} host {cluster.node.processes_per_node} processes"
+                )
+
+    # ------------------------------------------------------------------ api
+    @property
+    def size(self) -> int:
+        """Number of placed processes (MPI world size)."""
+        return len(self.locations)
+
+    def location(self, rank: int) -> ProcessLocation:
+        """Return the location of ``rank``."""
+        self._check_rank(rank)
+        return self.locations[rank]
+
+    def cluster_of(self, rank: int) -> str:
+        """Return the cluster name hosting ``rank``."""
+        return self.location(rank).cluster
+
+    def node_of(self, rank: int) -> tuple[str, int]:
+        """Return the ``(cluster, node)`` pair hosting ``rank``."""
+        loc = self.location(rank)
+        return (loc.cluster, loc.node)
+
+    def same_cluster(self, a: int, b: int) -> bool:
+        """True when both ranks are hosted by the same cluster."""
+        return self.cluster_of(a) == self.cluster_of(b)
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when both ranks are hosted by the same node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_of_cluster(self, cluster: str) -> list[int]:
+        """Return all ranks hosted by ``cluster``, in rank order."""
+        return [r for r, loc in enumerate(self.locations) if loc.cluster == cluster]
+
+    def ranks_by_cluster(self) -> dict[str, list[int]]:
+        """Return the ranks grouped by cluster, preserving cluster order."""
+        out: dict[str, list[int]] = {name: [] for name in self.grid.cluster_names}
+        for r, loc in enumerate(self.locations):
+            out[loc.cluster].append(r)
+        return {name: ranks for name, ranks in out.items() if ranks}
+
+    def clusters_used(self) -> list[str]:
+        """Cluster names actually hosting at least one rank."""
+        return list(self.ranks_by_cluster().keys())
+
+    def link_class(self, network: NetworkModel, a: int, b: int) -> LinkClass:
+        """Return the class of the link a message from ``a`` to ``b`` uses."""
+        if a == b:
+            return LinkClass.SELF
+        la, lb = self.location(a), self.location(b)
+        return network.classify(la.cluster, la.node, lb.cluster, lb.node)
+
+    def transfer_time(self, network: NetworkModel, nbytes: int | float, a: int, b: int) -> float:
+        """Seconds needed to move ``nbytes`` from rank ``a`` to rank ``b``."""
+        if a == b:
+            return 0.0
+        la, lb = self.location(a), self.location(b)
+        return network.transfer_time(nbytes, la.cluster, la.node, lb.cluster, lb.node)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise PlacementError(f"rank {rank} out of range [0, {self.size})")
+
+
+def block_placement(
+    grid: GridSpec,
+    *,
+    nodes_per_cluster: int | None = None,
+    processes_per_node: int | None = None,
+    clusters: list[str] | None = None,
+) -> ProcessPlacement:
+    """Place contiguous rank blocks cluster by cluster (the QCG-OMPI layout).
+
+    Ranks fill the first cluster node by node and slot by slot, then move to
+    the next cluster.  This mirrors both the paper's reservation (32 nodes per
+    cluster, 2 processes per node) and the property that consecutive ranks are
+    co-located, which the topology-aware reduction trees rely on.
+
+    Parameters
+    ----------
+    nodes_per_cluster:
+        Number of nodes reserved on each cluster (default: all of them).
+    processes_per_node:
+        Number of processes started on each node (default: the node's
+        capacity; the paper uses 2).
+    clusters:
+        Subset of cluster names to use, in order (default: all clusters).
+    """
+    names = list(clusters) if clusters is not None else list(grid.cluster_names)
+    locations: list[ProcessLocation] = []
+    for name in names:
+        cluster = grid.cluster(name)
+        n_nodes = nodes_per_cluster if nodes_per_cluster is not None else cluster.n_nodes
+        ppn = (
+            processes_per_node
+            if processes_per_node is not None
+            else cluster.node.processes_per_node
+        )
+        if n_nodes > cluster.n_nodes:
+            raise PlacementError(
+                f"requested {n_nodes} nodes on {name!r} which has {cluster.n_nodes}"
+            )
+        if ppn > cluster.node.processes_per_node:
+            raise PlacementError(
+                f"requested {ppn} processes per node on {name!r} whose nodes host "
+                f"{cluster.node.processes_per_node}"
+            )
+        for node in range(n_nodes):
+            for slot in range(ppn):
+                locations.append(ProcessLocation(cluster=name, node=node, slot=slot))
+    return ProcessPlacement(grid=grid, locations=tuple(locations))
+
+
+def round_robin_placement(
+    grid: GridSpec,
+    n_processes: int,
+    *,
+    processes_per_node: int | None = None,
+    clusters: list[str] | None = None,
+) -> ProcessPlacement:
+    """Deal ranks out to clusters in round-robin order.
+
+    This is the *anti-pattern* placement the paper warns about in the Fig. 1
+    caption ("if process ranks are randomly distributed, the figure can be
+    worse"): consecutive ranks land on different clusters, so rank-ordered
+    binary reduction trees cross the wide-area links at almost every edge.
+    It is used by the ablation benchmarks to quantify that effect.
+    """
+    names = list(clusters) if clusters is not None else list(grid.cluster_names)
+    next_node = {name: 0 for name in names}
+    next_slot = {name: 0 for name in names}
+    locations: list[ProcessLocation] = []
+    for i in range(n_processes):
+        name = names[i % len(names)]
+        cluster = grid.cluster(name)
+        ppn = (
+            processes_per_node
+            if processes_per_node is not None
+            else cluster.node.processes_per_node
+        )
+        node, slot = next_node[name], next_slot[name]
+        if node >= cluster.n_nodes:
+            raise PlacementError(f"cluster {name!r} is out of capacity at rank {i}")
+        locations.append(ProcessLocation(cluster=name, node=node, slot=slot))
+        slot += 1
+        if slot >= ppn:
+            slot = 0
+            node += 1
+        next_node[name], next_slot[name] = node, slot
+    return ProcessPlacement(grid=grid, locations=tuple(locations))

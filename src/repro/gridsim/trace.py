@@ -1,0 +1,175 @@
+"""Execution traces: message, byte and flop accounting.
+
+The paper's Tables I and II are statements about *counts* — number of
+messages, volume of data exchanged, number of flops on the critical path.
+The simulator therefore keeps, for every rank, counters broken down by link
+class and kernel, and the benchmark harness compares the measured counts to
+the analytic formulas of :mod:`repro.model.costs`.
+
+The trace is shared by all rank threads of a simulation, so updates are
+guarded by a lock; the counters themselves are plain dictionaries to keep
+the per-event overhead negligible.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.gridsim.network import LinkClass
+
+__all__ = ["MessageRecord", "Trace", "TraceSummary"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One logical message between two ranks (kept only when recording is on)."""
+
+    source: int
+    dest: int
+    nbytes: int
+    link: LinkClass
+    tag: str
+    send_time: float
+    recv_time: float
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of a :class:`Trace`, used by reports and benchmarks."""
+
+    n_messages: dict[str, int] = field(default_factory=dict)
+    bytes_by_link: dict[str, int] = field(default_factory=dict)
+    messages_per_rank_max: int = 0
+    inter_cluster_messages_per_rank_max: int = 0
+    total_flops: float = 0.0
+    flops_per_rank_max: float = 0.0
+    flops_by_kernel: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        """Total number of point-to-point messages over all links."""
+        return sum(self.n_messages.values())
+
+    @property
+    def inter_cluster_messages(self) -> int:
+        """Total number of messages crossing cluster boundaries."""
+        return self.n_messages.get(LinkClass.INTER_CLUSTER.value, 0)
+
+    @property
+    def inter_cluster_bytes(self) -> int:
+        """Total bytes crossing cluster boundaries."""
+        return self.bytes_by_link.get(LinkClass.INTER_CLUSTER.value, 0)
+
+
+class Trace:
+    """Thread-safe accumulator of communication and computation events.
+
+    Parameters
+    ----------
+    n_ranks:
+        World size of the simulation the trace belongs to.
+    record_messages:
+        When True, every message is kept as a :class:`MessageRecord` (useful
+        for debugging and for the fine-grained tree tests); when False only
+        the counters are maintained, which is what the large benchmarks use.
+    """
+
+    def __init__(self, n_ranks: int, *, record_messages: bool = False) -> None:
+        self.n_ranks = n_ranks
+        self.record_messages = record_messages
+        self._lock = threading.Lock()
+        self.messages: list[MessageRecord] = []
+        self._msg_count: dict[LinkClass, int] = defaultdict(int)
+        self._bytes: dict[LinkClass, int] = defaultdict(int)
+        self._msgs_per_rank = [0] * n_ranks
+        self._inter_msgs_per_rank = [0] * n_ranks
+        self._flops_per_rank = [0.0] * n_ranks
+        self._flops_by_kernel: dict[str, float] = defaultdict(float)
+
+    # ----------------------------------------------------------- recording
+    def record_message(
+        self,
+        source: int,
+        dest: int,
+        nbytes: int,
+        link: LinkClass,
+        *,
+        tag: str = "",
+        send_time: float = 0.0,
+        recv_time: float = 0.0,
+    ) -> None:
+        """Account for one message from ``source`` to ``dest``.
+
+        Self-messages (``link is LinkClass.SELF``) are free and not counted:
+        MPI implementations short-circuit them and so does the paper's model.
+        """
+        if link is LinkClass.SELF:
+            return
+        with self._lock:
+            self._msg_count[link] += 1
+            self._bytes[link] += int(nbytes)
+            self._msgs_per_rank[source] += 1
+            self._msgs_per_rank[dest] += 1
+            if link is LinkClass.INTER_CLUSTER:
+                self._inter_msgs_per_rank[source] += 1
+                self._inter_msgs_per_rank[dest] += 1
+            if self.record_messages:
+                self.messages.append(
+                    MessageRecord(source, dest, int(nbytes), link, tag, send_time, recv_time)
+                )
+
+    def record_flops(self, rank: int, flops: float, kernel: str = "unknown") -> None:
+        """Account for ``flops`` floating-point operations executed by ``rank``."""
+        if flops <= 0:
+            return
+        with self._lock:
+            self._flops_per_rank[rank] += float(flops)
+            self._flops_by_kernel[kernel] += float(flops)
+
+    # ------------------------------------------------------------- queries
+    def message_count(self, link: LinkClass | None = None) -> int:
+        """Number of messages, optionally restricted to one link class."""
+        with self._lock:
+            if link is None:
+                return sum(self._msg_count.values())
+            return self._msg_count[link]
+
+    def bytes_sent(self, link: LinkClass | None = None) -> int:
+        """Bytes moved, optionally restricted to one link class."""
+        with self._lock:
+            if link is None:
+                return sum(self._bytes.values())
+            return self._bytes[link]
+
+    def flops(self, rank: int | None = None) -> float:
+        """Flops executed by one rank, or by all ranks when ``rank`` is None."""
+        with self._lock:
+            if rank is None:
+                return float(sum(self._flops_per_rank))
+            return self._flops_per_rank[rank]
+
+    def summary(self) -> TraceSummary:
+        """Return an immutable aggregate snapshot of the trace."""
+        with self._lock:
+            return TraceSummary(
+                n_messages={k.value: v for k, v in self._msg_count.items()},
+                bytes_by_link={k.value: v for k, v in self._bytes.items()},
+                messages_per_rank_max=max(self._msgs_per_rank, default=0),
+                inter_cluster_messages_per_rank_max=max(self._inter_msgs_per_rank, default=0),
+                total_flops=float(sum(self._flops_per_rank)),
+                flops_per_rank_max=float(max(self._flops_per_rank, default=0.0)),
+                flops_by_kernel=dict(self._flops_by_kernel),
+            )
+
+    def reset(self) -> None:
+        """Clear all counters (used between benchmark repetitions)."""
+        with self._lock:
+            self.messages.clear()
+            self._msg_count.clear()
+            self._bytes.clear()
+            self._msgs_per_rank = [0] * self.n_ranks
+            self._inter_msgs_per_rank = [0] * self.n_ranks
+            self._flops_per_rank = [0.0] * self.n_ranks
+            self._flops_by_kernel.clear()

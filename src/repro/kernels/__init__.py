@@ -1,0 +1,76 @@
+"""Dense numerical kernels (LAPACK-style building blocks).
+
+These are the *domanial* kernels of the paper: every domain of TSQR, every
+panel of CAQR and every column step of the ScaLAPACK baseline ultimately
+reduces to the routines defined here.  They operate on real numpy arrays and
+are written in vectorised numpy/scipy style (no Python-level loops over
+matrix entries beyond the unavoidable loop over columns/panels).
+
+Module map
+----------
+``householder``
+    Householder reflectors, unblocked ``geqr2``, blocked ``geqrf`` with the
+    compact WY representation (``larft``/``larfb``), explicit-Q formation
+    (``orgqr``) and application (``ormqr``).
+``tskernels``
+    The TSQR combine operation: QR of two stacked upper-triangular factors,
+    plus helpers to stack/apply the small Q factors produced along the tree.
+``tiled``
+    Tile kernels of CAQR (GEQRT / UNMQR / TSQRT / TSMQR).
+``givens``
+    Givens-rotation QR, the historical fine-grained baseline (paper §II-C).
+``gram_schmidt``
+    Classical / modified / re-orthogonalised Gram-Schmidt baselines.
+``cholqr``
+    CholeskyQR and CholeskyQR2, the cheap-but-unstable orthogonalization
+    schemes TSQR is designed to replace (paper §II-E).
+"""
+
+from repro.kernels.householder import (
+    HouseholderQR,
+    apply_q,
+    form_q,
+    geqr2,
+    geqrf,
+    householder_reflector,
+    larfb,
+    larft,
+)
+from repro.kernels.tskernels import (
+    StackedQR,
+    qr_of_stacked,
+    qr_of_stacked_triangles,
+    stack_pair,
+)
+from repro.kernels.tiled import TileQR, TileTSQR, geqrt, tsmqr, tsqrt, unmqr
+from repro.kernels.givens import givens_qr, givens_rotation
+from repro.kernels.gram_schmidt import cgs, cgs2, mgs
+from repro.kernels.cholqr import cholqr, cholqr2
+
+__all__ = [
+    "HouseholderQR",
+    "apply_q",
+    "form_q",
+    "geqr2",
+    "geqrf",
+    "householder_reflector",
+    "larfb",
+    "larft",
+    "StackedQR",
+    "qr_of_stacked",
+    "qr_of_stacked_triangles",
+    "stack_pair",
+    "TileQR",
+    "TileTSQR",
+    "geqrt",
+    "tsmqr",
+    "tsqrt",
+    "unmqr",
+    "givens_qr",
+    "givens_rotation",
+    "cgs",
+    "cgs2",
+    "mgs",
+    "cholqr",
+    "cholqr2",
+]

@@ -1,0 +1,59 @@
+"""Cholesky-QR orthogonalization (CholQR and CholQR2).
+
+Cholesky-QR computes ``R`` as the Cholesky factor of the Gram matrix
+``A^T A`` and then ``Q = A R^{-1}``.  Like TSQR it needs a *single* reduction
+(of an ``n x n`` Gram matrix), so it is the other popular
+communication-minimal orthogonalization scheme — but it squares the condition
+number and breaks down for ``kappa(A) > 1/sqrt(eps)``.  Running it twice
+(CholeskyQR2) repairs the orthogonality as long as the first pass does not
+break down.
+
+These routines serve as comparison points for the stability discussion of
+paper §II-E and for the application-level examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FactorizationError, ShapeError
+
+__all__ = ["cholqr", "cholqr2"]
+
+
+def cholqr(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cholesky-QR factorization of a tall matrix.
+
+    Raises :class:`FactorizationError` when the Gram matrix is numerically
+    indefinite (the well-known breakdown for ill-conditioned inputs).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"cholqr expects a 2-D matrix, got ndim={a.ndim}")
+    m, n = a.shape
+    if m < n:
+        raise ShapeError(f"cholqr requires m >= n, got {m} < {n}")
+    gram = a.T @ a
+    try:
+        # numpy returns the lower factor; R = L^T.
+        l = np.linalg.cholesky(gram)
+    except np.linalg.LinAlgError as exc:
+        raise FactorizationError(
+            "Cholesky-QR breakdown: Gram matrix is not positive definite "
+            "(condition number likely exceeds 1/sqrt(eps))"
+        ) from exc
+    r = l.T
+    # Q = A R^{-1} computed by triangular solve (never form the inverse).
+    q = np.linalg.solve(r.T, a.T).T
+    return q, r
+
+
+def cholqr2(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CholeskyQR2: two passes of Cholesky-QR.
+
+    The second pass orthogonalises the output of the first, giving
+    machine-precision orthogonality whenever the first pass succeeds.
+    """
+    q1, r1 = cholqr(a)
+    q2, r2 = cholqr(q1)
+    return q2, r2 @ r1

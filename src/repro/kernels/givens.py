@@ -1,0 +1,63 @@
+"""Givens-rotation QR.
+
+Paper §II-C recalls that the late-1970s parallel QR algorithms were built on
+Givens rotations (they zero one entry at a time and therefore expose very
+fine-grained parallelism); those algorithms are scalar flat-tree instances of
+the general framework of Demmel et al.  We keep a Givens QR around as a
+historical baseline and as an independent oracle in the test suite (its R
+factor must match the Householder one up to signs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = ["givens_rotation", "givens_qr"]
+
+
+def givens_rotation(a: float, b: float) -> tuple[float, float]:
+    """Return ``(c, s)`` such that ``[[c, s], [-s, c]] @ [a, b] = [r, 0]``.
+
+    Uses the hypot-based formulation that is robust to overflow/underflow.
+    """
+    if b == 0.0:
+        return 1.0, 0.0
+    if a == 0.0:
+        return 0.0, np.copysign(1.0, b)
+    r = np.hypot(a, b)
+    return a / r, b / r
+
+
+def givens_qr(a: np.ndarray, *, want_q: bool = True) -> tuple[np.ndarray | None, np.ndarray]:
+    """QR factorization by Givens rotations.
+
+    Entries below the diagonal are annihilated column by column, bottom-up.
+    Returns ``(Q, R)`` with thin ``Q`` (``m x min(m, n)``) when ``want_q`` is
+    True, else ``(None, R)``.
+
+    This is an O(m n^2) algorithm with a much larger constant than blocked
+    Householder QR; it exists for validation and pedagogy, not performance.
+    """
+    r = np.array(a, dtype=np.float64, copy=True)
+    if r.ndim != 2:
+        raise ShapeError(f"givens_qr expects a 2-D matrix, got ndim={r.ndim}")
+    m, n = r.shape
+    k = min(m, n)
+    q = np.eye(m) if want_q else None
+    for j in range(k):
+        for i in range(m - 1, j, -1):
+            if r[i, j] == 0.0:
+                continue
+            c, s = givens_rotation(r[i - 1, j], r[i, j])
+            # Apply the rotation to rows i-1 and i of R (columns j: only).
+            gi = np.array([[c, s], [-s, c]])
+            r[[i - 1, i], j:] = gi @ r[[i - 1, i], j:]
+            r[i, j] = 0.0
+            if want_q:
+                q[:, [i - 1, i]] = q[:, [i - 1, i]] @ gi.T
+    r_thin = np.triu(r[:k, :])
+    if want_q:
+        return q[:, :k], r_thin
+    return None, r_thin

@@ -1,0 +1,93 @@
+"""Gram-Schmidt orthogonalization baselines (CGS, MGS, CGS2).
+
+Paper §II-E motivates TSQR by noting that block iterative eigensolvers
+(BLOPEX, SLEPc, PRIMME) "rely on unstable orthogonalization schemes to avoid
+too many communications".  Classical Gram-Schmidt is the canonical example:
+it needs only one reduction per block of columns (cheap in messages) but its
+loss of orthogonality grows like ``kappa(A)^2``.  TSQR offers the same
+message count with unconditional stability.
+
+These routines give the test-suite and the stability example a quantitative
+way to demonstrate that trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FactorizationError, ShapeError
+
+__all__ = ["cgs", "mgs", "cgs2"]
+
+
+def _validate(a: np.ndarray) -> np.ndarray:
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got ndim={a.ndim}")
+    m, n = a.shape
+    if m < n:
+        raise ShapeError(f"Gram-Schmidt QR requires m >= n, got {m} < {n}")
+    return a
+
+
+def cgs(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Classical Gram-Schmidt QR.
+
+    All projections onto previously computed vectors are computed from the
+    *original* column (one matrix-vector product per column, a single
+    reduction in a distributed setting), which is exactly what makes it cheap
+    and unstable.
+    """
+    a = _validate(a)
+    m, n = a.shape
+    q = np.zeros((m, n))
+    r = np.zeros((n, n))
+    for j in range(n):
+        v = a[:, j].copy()
+        original_norm = np.linalg.norm(v)
+        if j > 0:
+            r[:j, j] = q[:, :j].T @ a[:, j]
+            v -= q[:, :j] @ r[:j, j]
+        nrm = np.linalg.norm(v)
+        if nrm <= 100 * np.finfo(np.float64).eps * original_norm:
+            raise FactorizationError(f"column {j} is numerically dependent; CGS breaks down")
+        r[j, j] = nrm
+        q[:, j] = v / nrm
+    return q, r
+
+
+def mgs(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Modified Gram-Schmidt QR.
+
+    Projections are subtracted one at a time from the running residual, which
+    improves the loss of orthogonality to ``O(eps * kappa(A))`` at the price
+    of one reduction *per previously orthogonalised vector* — the same
+    latency-bound pattern as ScaLAPACK's panel factorization.
+    """
+    a = _validate(a)
+    m, n = a.shape
+    q = a.copy()
+    r = np.zeros((n, n))
+    original_norms = np.linalg.norm(a, axis=0)
+    for j in range(n):
+        nrm = np.linalg.norm(q[:, j])
+        if nrm <= 100 * np.finfo(np.float64).eps * max(original_norms[j], 1e-300):
+            raise FactorizationError(f"column {j} is numerically dependent; MGS breaks down")
+        r[j, j] = nrm
+        q[:, j] /= nrm
+        if j + 1 < n:
+            r[j, j + 1 :] = q[:, j].T @ q[:, j + 1 :]
+            q[:, j + 1 :] -= np.outer(q[:, j], r[j, j + 1 :])
+    return q, r
+
+
+def cgs2(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Classical Gram-Schmidt with re-orthogonalization ("twice is enough").
+
+    Runs CGS and then re-orthogonalises the computed basis once more,
+    restoring orthogonality to machine precision at twice the flop cost —
+    a useful reference point between raw CGS and TSQR.
+    """
+    q1, r1 = cgs(a)
+    q2, r2 = cgs(q1)
+    return q2, r2 @ r1

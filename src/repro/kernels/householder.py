@@ -1,0 +1,273 @@
+"""Householder QR kernels (LAPACK ``GEQR2``/``GEQRF`` analogues).
+
+The routines follow the LAPACK conventions closely:
+
+* a reflector is ``H = I - tau * v v^T`` with ``v[0] = 1``;
+* ``geqr2`` is the unblocked factorization (one reflector per column);
+* ``geqrf`` accumulates ``nb`` reflectors per panel and applies them to the
+  trailing matrix through the compact WY representation
+  ``H_1 H_2 ... H_nb = I - V T V^T`` (``larft`` builds ``T``, ``larfb``
+  applies the block reflector), exactly the blocking described in paper
+  §II-B;
+* ``form_q`` (ORGQR) and ``apply_q`` (ORMQR) expose the orthogonal factor.
+
+Everything is vectorised numpy: the only Python-level loops are over columns
+(``geqr2``) and panels (``geqrf``), as in any textbook blocked QR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = [
+    "HouseholderQR",
+    "householder_reflector",
+    "geqr2",
+    "geqrf",
+    "larft",
+    "larfb",
+    "form_q",
+    "apply_q",
+]
+
+
+@dataclass(frozen=True)
+class HouseholderQR:
+    """Result of a Householder QR factorization in factored form.
+
+    Attributes
+    ----------
+    v:
+        ``m x k`` matrix of reflectors stored as unit lower-trapezoidal
+        columns (``v[j, j] == 1`` implicitly; the stored diagonal is 1 and the
+        strict upper triangle is zero).
+    tau:
+        Length-``k`` vector of reflector scaling factors.
+    r:
+        ``k x n`` upper-trapezoidal factor such that ``A = Q R`` with
+        ``Q = H_1 ... H_k`` restricted to its first ``k`` columns.
+    """
+
+    v: np.ndarray
+    tau: np.ndarray
+    r: np.ndarray
+
+    @property
+    def m(self) -> int:
+        """Number of rows of the factored matrix."""
+        return self.v.shape[0]
+
+    @property
+    def k(self) -> int:
+        """Number of reflectors (min(m, n))."""
+        return self.v.shape[1]
+
+    @property
+    def n(self) -> int:
+        """Number of columns of the factored matrix."""
+        return self.r.shape[1]
+
+    def q(self) -> np.ndarray:
+        """Return the explicit ``m x k`` thin orthogonal factor."""
+        return form_q(self.v, self.tau)
+
+    def qt_times(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q^T @ c`` without forming Q."""
+        return apply_q(self.v, self.tau, c, transpose=True)
+
+    def q_times(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q @ c`` without forming Q."""
+        return apply_q(self.v, self.tau, c, transpose=False)
+
+
+def householder_reflector(x: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Compute a Householder reflector annihilating ``x[1:]``.
+
+    Returns ``(v, tau, beta)`` with ``v[0] = 1`` such that
+    ``(I - tau v v^T) x = [beta, 0, ..., 0]^T``.  The sign of ``beta`` is
+    chosen opposite to ``x[0]`` (the LAPACK convention) to avoid cancellation.
+
+    A zero (or length-1) input yields ``tau = 0`` (identity reflector).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ShapeError(f"reflector input must be a vector, got shape {x.shape}")
+    n = x.size
+    v = np.zeros(n)
+    if n == 0:
+        return v, 0.0, 0.0
+    v[0] = 1.0
+    alpha = float(x[0])
+    if n == 1:
+        return v, 0.0, alpha
+    sigma = float(np.dot(x[1:], x[1:]))
+    if sigma == 0.0:
+        return v, 0.0, alpha
+    norm_x = np.sqrt(alpha * alpha + sigma)
+    beta = -np.copysign(norm_x, alpha) if alpha != 0.0 else -norm_x
+    tau = (beta - alpha) / beta
+    v[1:] = x[1:] / (alpha - beta)
+    return v, float(tau), float(beta)
+
+
+def geqr2(a: np.ndarray) -> HouseholderQR:
+    """Unblocked Householder QR of an ``m x n`` matrix (LAPACK ``GEQR2``).
+
+    One reflector is generated per column and immediately applied to the
+    trailing columns.  This is the kernel whose *distributed* version
+    (``PDGEQR2``) costs one allreduce per column in ScaLAPACK — the
+    communication bottleneck the paper identifies.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    if a.ndim != 2:
+        raise ShapeError(f"geqr2 expects a 2-D matrix, got ndim={a.ndim}")
+    m, n = a.shape
+    k = min(m, n)
+    v = np.zeros((m, k))
+    tau = np.zeros(k)
+    for j in range(k):
+        vj, tj, beta = householder_reflector(a[j:, j])
+        tau[j] = tj
+        v[j:, j] = vj
+        a[j, j] = beta
+        a[j + 1 :, j] = 0.0
+        if tj != 0.0 and j + 1 < n:
+            # Apply H_j = I - tau v v^T to the trailing columns.
+            w = a[j:, j + 1 :].T @ vj
+            a[j:, j + 1 :] -= tj * np.outer(vj, w)
+    r = np.triu(a[:k, :])
+    return HouseholderQR(v=v, tau=tau, r=r)
+
+
+def larft(v: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Form the upper-triangular ``T`` of the compact WY representation.
+
+    ``H_1 ... H_k = I - V T V^T`` where ``V`` holds the unit
+    lower-trapezoidal reflectors column-wise (LAPACK ``LARFT`` with
+    ``DIRECT='F'``, ``STOREV='C'``).
+    """
+    v = np.asarray(v, dtype=np.float64)
+    tau = np.asarray(tau, dtype=np.float64)
+    if v.ndim != 2 or tau.ndim != 1 or v.shape[1] != tau.size:
+        raise ShapeError(f"inconsistent V {v.shape} / tau {tau.shape}")
+    k = tau.size
+    t = np.zeros((k, k))
+    for j in range(k):
+        if tau[j] == 0.0:
+            continue
+        t[j, j] = tau[j]
+        if j > 0:
+            # t[:j, j] = -tau_j * T[:j,:j] @ (V[:, :j]^T v_j)
+            w = v[:, :j].T @ v[:, j]
+            t[:j, j] = -tau[j] * (t[:j, :j] @ w)
+    return t
+
+
+def larfb(
+    v: np.ndarray,
+    t: np.ndarray,
+    c: np.ndarray,
+    *,
+    transpose: bool = True,
+) -> np.ndarray:
+    """Apply the block reflector ``Q = I - V T V^T`` (or its transpose) to ``C``.
+
+    ``C`` is updated from the left: returns ``Q^T C`` when ``transpose`` is
+    True (the factorization-update direction) or ``Q C`` otherwise.  The
+    operation is three GEMMs, which is precisely why blocking pays off on
+    cache-based and BLAS3-capable hardware (paper §II-B).
+    """
+    v = np.asarray(v, dtype=np.float64)
+    t = np.asarray(t, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    if c.shape[0] != v.shape[0]:
+        raise ShapeError(f"C rows {c.shape[0]} do not match V rows {v.shape[0]}")
+    op_t = t.T if transpose else t
+    w = v.T @ c  # k x ncols
+    return c - v @ (op_t @ w)
+
+
+def geqrf(a: np.ndarray, block_size: int = 32) -> HouseholderQR:
+    """Blocked Householder QR (LAPACK ``GEQRF``).
+
+    Panels of ``block_size`` columns are factored with :func:`geqr2`; the
+    accumulated block reflector is applied to the trailing matrix with one
+    :func:`larft` + :func:`larfb` pair per panel.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    if a.ndim != 2:
+        raise ShapeError(f"geqrf expects a 2-D matrix, got ndim={a.ndim}")
+    if block_size <= 0:
+        raise ShapeError(f"block size must be positive, got {block_size}")
+    m, n = a.shape
+    k = min(m, n)
+    v = np.zeros((m, k))
+    tau = np.zeros(k)
+    for j0 in range(0, k, block_size):
+        j1 = min(j0 + block_size, k)
+        panel = geqr2(a[j0:, j0:j1])
+        nb = j1 - j0
+        v[j0:, j0:j1] = panel.v[:, :nb]
+        tau[j0:j1] = panel.tau[:nb]
+        a[j0 : j0 + nb, j0:j1] = panel.r[:nb, :]
+        a[j0 + nb :, j0:j1] = 0.0
+        if j1 < n:
+            t = larft(panel.v, panel.tau)
+            a[j0:, j1:] = larfb(panel.v, t, a[j0:, j1:], transpose=True)
+    r = np.triu(a[:k, :])
+    return HouseholderQR(v=v, tau=tau, r=r)
+
+
+def apply_q(
+    v: np.ndarray,
+    tau: np.ndarray,
+    c: np.ndarray,
+    *,
+    transpose: bool = False,
+) -> np.ndarray:
+    """Apply ``Q`` (or ``Q^T``) defined by reflectors ``(V, tau)`` to ``C``.
+
+    Equivalent to LAPACK ``ORMQR`` with ``SIDE='L'``.  ``C`` may be a vector
+    or a matrix with ``m`` rows.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    tau = np.asarray(tau, dtype=np.float64)
+    c = np.array(c, dtype=np.float64, copy=True)
+    squeeze = False
+    if c.ndim == 1:
+        c = c[:, None]
+        squeeze = True
+    if c.shape[0] != v.shape[0]:
+        raise ShapeError(f"C rows {c.shape[0]} do not match V rows {v.shape[0]}")
+    k = tau.size
+    # Q = H_1 H_2 ... H_k.  Q^T C applies H_1 first; Q C applies H_k first.
+    order = range(k) if transpose else range(k - 1, -1, -1)
+    for j in order:
+        if tau[j] == 0.0:
+            continue
+        vj = v[:, j]
+        w = c.T @ vj
+        c -= tau[j] * np.outer(vj, w)
+    return c[:, 0] if squeeze else c
+
+
+def form_q(v: np.ndarray, tau: np.ndarray, n_columns: int | None = None) -> np.ndarray:
+    """Form the explicit thin orthogonal factor (LAPACK ``ORGQR``).
+
+    Returns the first ``n_columns`` columns of ``Q = H_1 ... H_k`` (default:
+    ``k`` columns, the thin Q).
+    """
+    v = np.asarray(v, dtype=np.float64)
+    tau = np.asarray(tau, dtype=np.float64)
+    m, k = v.shape
+    if n_columns is None:
+        n_columns = k
+    if n_columns > m:
+        raise ShapeError(f"cannot form {n_columns} columns of an {m}-row Q")
+    eye = np.zeros((m, n_columns))
+    np.fill_diagonal(eye, 1.0)
+    return apply_q(v, tau, eye, transpose=False)

@@ -1,0 +1,125 @@
+"""Tile kernels for CAQR (Communication-Avoiding QR of general matrices).
+
+CAQR (paper §II-C and §VI) factors a general ``M x N`` matrix tiled into
+``mt x nt`` blocks.  Each panel is factored with TSQR over the tiles of the
+panel column, and the trailing tiles are updated with the corresponding
+orthogonal transformations.  The four kernels below are the classical tiled
+QR kernel set (PLASMA naming):
+
+``geqrt``  QR of a diagonal tile, producing ``(V, T, R)``.
+``unmqr``  Apply a ``geqrt`` transformation to a trailing tile on the same row.
+``tsqrt``  QR of a triangle stacked on top of a square tile
+           (the "triangle on top of square" combine of the panel TSQR).
+``tsmqr``  Apply a ``tsqrt`` transformation to the corresponding pair of
+           trailing tiles.
+
+These kernels use the Householder/compact-WY routines of
+:mod:`repro.kernels.householder` internally; they are exact (no structure is
+dropped), merely organised tile-by-tile so that
+:mod:`repro.tsqr.caqr` can schedule them along any reduction tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.kernels.householder import geqrf, larfb, larft
+
+__all__ = ["TileQR", "TileTSQR", "geqrt", "unmqr", "tsqrt", "tsmqr"]
+
+
+@dataclass(frozen=True)
+class TileQR:
+    """Factored form of a diagonal tile: ``A = Q R`` with ``Q = I - V T V^T``."""
+
+    v: np.ndarray
+    t: np.ndarray
+    r: np.ndarray
+
+
+@dataclass(frozen=True)
+class TileTSQR:
+    """Factored form of a ``[R_top; A_bottom]`` stack.
+
+    ``v``/``t`` define the block reflector acting on the stacked row space
+    (``n + m_bottom`` rows); ``r`` is the updated triangle that replaces
+    ``R_top``.
+    """
+
+    v: np.ndarray
+    t: np.ndarray
+    r: np.ndarray
+    rows_top: int
+
+
+def geqrt(tile: np.ndarray, block_size: int = 32) -> TileQR:
+    """Factor a diagonal tile, returning reflectors, T factor and R."""
+    tile = np.asarray(tile, dtype=np.float64)
+    if tile.ndim != 2:
+        raise ShapeError(f"geqrt expects a 2-D tile, got ndim={tile.ndim}")
+    fact = geqrf(tile, block_size=block_size)
+    t = larft(fact.v, fact.tau)
+    return TileQR(v=fact.v, t=t, r=fact.r)
+
+
+def unmqr(tile_qr: TileQR, c: np.ndarray, *, transpose: bool = True) -> np.ndarray:
+    """Apply ``Q^T`` (default) or ``Q`` of a :func:`geqrt` factorization to ``c``.
+
+    ``transpose=True`` is the factorization/update direction; ``False`` is
+    used when re-applying the stored transformations to build or apply Q.
+    """
+    c = np.asarray(c, dtype=np.float64)
+    if c.shape[0] != tile_qr.v.shape[0]:
+        raise ShapeError(
+            f"tile has {c.shape[0]} rows but reflectors have {tile_qr.v.shape[0]}"
+        )
+    return larfb(tile_qr.v, tile_qr.t, c, transpose=transpose)
+
+
+def tsqrt(r_top: np.ndarray, a_bottom: np.ndarray, block_size: int = 32) -> TileTSQR:
+    """Factor the stack of a triangle ``r_top`` on top of a tile ``a_bottom``.
+
+    Returns the block reflector of the stacked factorization and the updated
+    triangle.  This is the panel-TSQR combine used when eliminating tile
+    ``a_bottom`` against the current panel triangle.
+    """
+    r_top = np.atleast_2d(np.asarray(r_top, dtype=np.float64))
+    a_bottom = np.atleast_2d(np.asarray(a_bottom, dtype=np.float64))
+    if r_top.shape[1] != a_bottom.shape[1]:
+        raise ShapeError(
+            f"column mismatch: triangle has {r_top.shape[1]}, tile has {a_bottom.shape[1]}"
+        )
+    stacked = np.vstack([r_top, a_bottom])
+    fact = geqrf(stacked, block_size=block_size)
+    t = larft(fact.v, fact.tau)
+    return TileTSQR(v=fact.v, t=t, r=fact.r, rows_top=r_top.shape[0])
+
+
+def tsmqr(
+    ts: TileTSQR,
+    c_top: np.ndarray,
+    c_bottom: np.ndarray,
+    *,
+    transpose: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a :func:`tsqrt` transformation to the trailing tile pair.
+
+    ``c_top`` sits on the panel's diagonal row block, ``c_bottom`` on the row
+    block of the eliminated tile; both are updated by ``Q^T`` (default) or
+    ``Q`` of the stacked factorization and returned as ``(new_top, new_bottom)``.
+    """
+    c_top = np.atleast_2d(np.asarray(c_top, dtype=np.float64))
+    c_bottom = np.atleast_2d(np.asarray(c_bottom, dtype=np.float64))
+    if c_top.shape[1] != c_bottom.shape[1]:
+        raise ShapeError("trailing tiles must have the same number of columns")
+    if c_top.shape[0] + c_bottom.shape[0] != ts.v.shape[0]:
+        raise ShapeError(
+            f"stacked trailing rows {c_top.shape[0]}+{c_bottom.shape[0]} do not match "
+            f"reflector rows {ts.v.shape[0]}"
+        )
+    stacked = np.vstack([c_top, c_bottom])
+    updated = larfb(ts.v, ts.t, stacked, transpose=transpose)
+    return updated[: ts.rows_top, :], updated[ts.rows_top :, :]

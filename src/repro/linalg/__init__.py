@@ -1,0 +1,32 @@
+"""Application layer: the consumers of TSQR named in the paper's scope (§II-E).
+
+* :mod:`block_ortho`   — block orthogonalization / BCGS2 built on TSQR;
+* :mod:`least_squares` — backward-stable tall least-squares solvers;
+* :mod:`eigensolver`   — block subspace iteration with pluggable
+  orthogonalization (TSQR vs the unstable schemes it replaces);
+* :mod:`randomized`    — randomized SVD with TSQR range finding.
+"""
+
+from repro.linalg.block_ortho import block_gram_schmidt, orthogonalize_against, orthonormalize
+from repro.linalg.eigensolver import (
+    ORTHO_SCHEMES,
+    SubspaceIterationResult,
+    block_subspace_iteration,
+)
+from repro.linalg.least_squares import LeastSquaresResult, lstsq_normal_equations, lstsq_tsqr
+from repro.linalg.randomized import RandomizedSVDResult, randomized_range_finder, randomized_svd
+
+__all__ = [
+    "block_gram_schmidt",
+    "orthogonalize_against",
+    "orthonormalize",
+    "ORTHO_SCHEMES",
+    "SubspaceIterationResult",
+    "block_subspace_iteration",
+    "LeastSquaresResult",
+    "lstsq_normal_equations",
+    "lstsq_tsqr",
+    "RandomizedSVDResult",
+    "randomized_range_finder",
+    "randomized_svd",
+]

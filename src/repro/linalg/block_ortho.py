@@ -1,0 +1,97 @@
+"""Block orthogonalization built on TSQR.
+
+Paper §II-E: block iterative methods (block eigensolvers, block Krylov and
+s-step solvers) repeatedly need an orthonormal basis of a set of long vectors
+and, for communication reasons, often fall back on unstable schemes
+(classical Gram-Schmidt, CholeskyQR).  TSQR provides the same single-reduction
+communication pattern with unconditional stability; this module packages it
+as the orthogonalization primitive those methods need:
+
+* :func:`orthonormalize` — orthonormal basis of a block of vectors;
+* :func:`block_gram_schmidt` — orthogonalize a new block against an existing
+  basis (BCGS2-style: project, re-project, then TSQR the remainder);
+* :func:`orthogonalize_against` — single projection step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.tsqr.sequential import tsqr
+
+__all__ = ["orthonormalize", "orthogonalize_against", "block_gram_schmidt"]
+
+
+def orthonormalize(
+    block: np.ndarray, *, n_domains: int | None = None, rtol: float = 1e-12
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Return an orthonormal basis of the columns of ``block`` via TSQR.
+
+    Returns ``(q, r, rank)`` where ``q`` has orthonormal columns spanning the
+    column space of ``block``; columns whose diagonal entry of R falls below
+    ``rtol * max(diag(R))`` are treated as numerically dependent and the
+    reported ``rank`` excludes them (``q`` keeps its full width so block
+    iterations do not have to reshape, but only the first ``rank`` columns
+    are trustworthy).
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ShapeError("orthonormalize expects a 2-D block of column vectors")
+    result = tsqr(block, n_domains, want_q=True)
+    q = result.q.explicit()
+    diag = np.abs(np.diagonal(result.r))
+    scale = diag.max() if diag.size else 0.0
+    rank = int(np.sum(diag > rtol * scale)) if scale > 0 else 0
+    return q, result.r, rank
+
+
+def orthogonalize_against(
+    basis: np.ndarray, block: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project ``block`` against an orthonormal ``basis`` (one BGS step).
+
+    Returns ``(residual, coefficients)`` with
+    ``residual = block - basis @ coefficients``.  In a distributed setting
+    this is a single reduction of the ``k x b`` coefficient matrix, which is
+    why block methods favour it.
+    """
+    basis = np.asarray(basis, dtype=np.float64)
+    block = np.asarray(block, dtype=np.float64)
+    if basis.shape[0] != block.shape[0]:
+        raise ShapeError(
+            f"basis has {basis.shape[0]} rows but the block has {block.shape[0]}"
+        )
+    coeffs = basis.T @ block
+    return block - basis @ coeffs, coeffs
+
+
+def block_gram_schmidt(
+    basis: np.ndarray | None,
+    block: np.ndarray,
+    *,
+    n_domains: int | None = None,
+    reorthogonalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Orthogonalize ``block`` against ``basis`` and orthonormalize the rest.
+
+    The classical building block of block Krylov methods (BCGS2 when
+    ``reorthogonalize`` is True): the new block is projected against the
+    existing basis (twice, for stability), and the remainder is orthonormalized
+    with TSQR.
+
+    Returns ``(q_new, proj_coeffs, r_new)`` such that
+    ``block ~= basis @ proj_coeffs + q_new @ r_new`` with
+    ``basis^T q_new ~= 0`` and ``q_new`` orthonormal.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if basis is None or basis.size == 0:
+        q_new, r_new, _ = orthonormalize(block, n_domains=n_domains)
+        k = 0 if basis is None else basis.shape[1]
+        return q_new, np.zeros((k, block.shape[1])), r_new
+    residual, coeffs = orthogonalize_against(basis, block)
+    if reorthogonalize:
+        residual, coeffs2 = orthogonalize_against(basis, residual)
+        coeffs = coeffs + coeffs2
+    q_new, r_new, _ = orthonormalize(residual, n_domains=n_domains)
+    return q_new, coeffs, r_new

@@ -1,0 +1,153 @@
+"""Block subspace iteration using TSQR as its orthogonalization scheme.
+
+Paper §II-E names block eigensolvers (BLOPEX, SLEPc, PRIMME) as the
+applications that "currently rely on unstable orthogonalization schemes to
+avoid too many communications" and that TSQR serves directly.  This module
+provides a compact block subspace-iteration (a.k.a. orthogonal/simultaneous
+iteration) eigensolver in which the per-iteration orthonormalization is
+pluggable, so the examples and tests can contrast:
+
+* ``"tsqr"``       — the paper's stable, single-reduction scheme;
+* ``"cgs"``        — classical Gram-Schmidt (cheap, unstable);
+* ``"cholqr"``     — CholeskyQR (cheap, breaks down when ill-conditioned);
+* ``"householder"``— plain LAPACK-style QR (stable, more synchronisation in a
+  distributed setting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.kernels.cholqr import cholqr
+from repro.kernels.gram_schmidt import cgs
+from repro.kernels.householder import geqrf
+from repro.tsqr.sequential import tsqr
+from repro.util.random_matrices import default_rng
+
+__all__ = ["SubspaceIterationResult", "block_subspace_iteration", "ORTHO_SCHEMES"]
+
+
+def _ortho_tsqr(block: np.ndarray) -> np.ndarray:
+    result = tsqr(block, want_q=True)
+    return result.q.explicit()
+
+
+def _ortho_cgs(block: np.ndarray) -> np.ndarray:
+    q, _ = cgs(block)
+    return q
+
+
+def _ortho_cholqr(block: np.ndarray) -> np.ndarray:
+    q, _ = cholqr(block)
+    return q
+
+
+def _ortho_householder(block: np.ndarray) -> np.ndarray:
+    return geqrf(block).q()
+
+
+#: Registry of orthogonalization schemes usable by the eigensolver.
+ORTHO_SCHEMES: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "tsqr": _ortho_tsqr,
+    "cgs": _ortho_cgs,
+    "cholqr": _ortho_cholqr,
+    "householder": _ortho_householder,
+}
+
+
+@dataclass(frozen=True)
+class SubspaceIterationResult:
+    """Outcome of a block subspace iteration run."""
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    iterations: int
+    residual_norms: np.ndarray
+    converged: bool
+
+
+def block_subspace_iteration(
+    operator: np.ndarray | Callable[[np.ndarray], np.ndarray],
+    n_rows: int,
+    block_size: int,
+    *,
+    ortho: str = "tsqr",
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+    seed: int = 0,
+) -> SubspaceIterationResult:
+    """Find the dominant eigenpairs of a symmetric operator.
+
+    Parameters
+    ----------
+    operator:
+        Either a symmetric matrix or a callable computing ``A @ X`` for a
+        block of vectors ``X`` (the usual matrix-free interface of block
+        eigensolvers).
+    n_rows:
+        Dimension of the operator.
+    block_size:
+        Number of eigenpairs sought (= width of the iterated block).
+    ortho:
+        Orthogonalization scheme applied to the block every iteration; one of
+        :data:`ORTHO_SCHEMES`.
+    max_iterations, tolerance:
+        Stop when every Ritz residual ``||A v - lambda v||`` falls below
+        ``tolerance * |lambda_max|`` or after ``max_iterations`` sweeps.
+    seed:
+        Seed of the random starting block.
+    """
+    if ortho not in ORTHO_SCHEMES:
+        raise ConfigurationError(f"unknown orthogonalization scheme {ortho!r}")
+    if block_size <= 0 or block_size > n_rows:
+        raise ShapeError(f"block size {block_size} invalid for dimension {n_rows}")
+    if callable(operator):
+        matvec = operator
+    else:
+        mat = np.asarray(operator, dtype=np.float64)
+        if mat.shape != (n_rows, n_rows):
+            raise ShapeError(f"operator has shape {mat.shape}, expected {(n_rows, n_rows)}")
+        matvec = lambda block: mat @ block  # noqa: E731 - small closure
+
+    orthonormalize = ORTHO_SCHEMES[ortho]
+    rng = default_rng(seed)
+    v = orthonormalize(rng.standard_normal((n_rows, block_size)))
+
+    eigenvalues = np.zeros(block_size)
+    residuals = np.full(block_size, np.inf)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        av = matvec(v)
+        # Rayleigh-Ritz on the current subspace.
+        h = v.T @ av
+        h = (h + h.T) / 2.0
+        evals, evecs = np.linalg.eigh(h)
+        order = np.argsort(evals)[::-1]
+        evals, evecs = evals[order], evecs[:, order]
+        ritz_vectors = v @ evecs
+        residual_block = matvec(ritz_vectors) - ritz_vectors * evals
+        residuals = np.linalg.norm(residual_block, axis=0)
+        eigenvalues = evals
+        scale = max(abs(evals[0]), 1e-300)
+        if np.all(residuals <= tolerance * scale):
+            v = ritz_vectors
+            converged = True
+            break
+        v = orthonormalize(av)
+    else:  # pragma: no cover - loop always breaks or exhausts
+        pass
+    if not converged:
+        # One last Rayleigh-Ritz to report coherent vectors.
+        ritz_vectors = v
+    return SubspaceIterationResult(
+        eigenvalues=eigenvalues,
+        eigenvectors=ritz_vectors,
+        iterations=iterations,
+        residual_norms=residuals,
+        converged=converged,
+    )

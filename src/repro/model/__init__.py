@@ -1,0 +1,34 @@
+"""Performance model of paper §IV: cost tables, Eq. (1) predictor, properties."""
+
+from repro.model.costs import CostBreakdown, cost_table, scalapack_costs, tsqr_costs
+from repro.model.predictor import (
+    MachineParameters,
+    Prediction,
+    crossover_n,
+    predict,
+    predict_pair,
+)
+from repro.model.properties import (
+    PropertyCheck,
+    check_monotone_increase,
+    check_property1_q_costs_double,
+    check_property2_bounded_by_domain_rate,
+    check_property5_midrange_advantage,
+)
+
+__all__ = [
+    "CostBreakdown",
+    "cost_table",
+    "scalapack_costs",
+    "tsqr_costs",
+    "MachineParameters",
+    "Prediction",
+    "crossover_n",
+    "predict",
+    "predict_pair",
+    "PropertyCheck",
+    "check_monotone_increase",
+    "check_property1_q_costs_double",
+    "check_property2_bounded_by_domain_rate",
+    "check_property5_midrange_advantage",
+]

@@ -1,0 +1,126 @@
+"""Analytic communication/computation costs (paper Tables I and II).
+
+For an ``M x N`` tall-and-skinny matrix distributed over ``P`` domains and a
+binary reduction tree of depth ``log2(P)``, the paper's model counts, on the
+critical path:
+
+==================  =======================  ==============================
+quantity            ScaLAPACK QR2            TSQR
+==================  =======================  ==============================
+R only
+  # messages        ``2 N log2 P``           ``log2 P``
+  volume (doubles)  ``log2(P) N^2 / 2``      ``log2(P) N^2 / 2``
+  # flops           ``(2MN^2 - 2/3 N^3)/P``  ``... + 2/3 log2(P) N^3``
+Q and R
+  # messages        ``4 N log2 P``           ``2 log2 P``
+  volume (doubles)  ``2 log2(P) N^2 / 2``    ``2 log2(P) N^2 / 2``
+  # flops           ``(4MN^2 - 4/3 N^3)/P``  ``... + 4/3 log2(P) N^3``
+==================  =======================  ==============================
+
+These are exposed as :class:`CostBreakdown` objects so the predictor
+(:mod:`repro.model.predictor`) and the Table I/II validation benchmarks can
+consume them uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "CostBreakdown",
+    "scalapack_costs",
+    "tsqr_costs",
+    "cost_table",
+]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Critical-path communication and computation counts of one algorithm."""
+
+    algorithm: str
+    m: int
+    n: int
+    p: int
+    want_q: bool
+    messages: float
+    volume_doubles: float
+    flops: float
+
+    @property
+    def volume_bytes(self) -> float:
+        """Volume of data exchanged, in bytes (double precision)."""
+        return self.volume_doubles * 8.0
+
+    def as_row(self) -> dict[str, float | str]:
+        """Row representation used by the report tables."""
+        return {
+            "algorithm": self.algorithm,
+            "M": self.m,
+            "N": self.n,
+            "P": self.p,
+            "Q requested": self.want_q,
+            "# msg": self.messages,
+            "volume (doubles)": self.volume_doubles,
+            "# flops": self.flops,
+        }
+
+
+def _validate(m: int, n: int, p: int) -> float:
+    if m <= 0 or n <= 0:
+        raise ConfigurationError(f"matrix dimensions must be positive, got {m} x {n}")
+    if p <= 0:
+        raise ConfigurationError(f"domain count must be positive, got {p}")
+    return math.log2(p) if p > 1 else 0.0
+
+
+def scalapack_costs(m: int, n: int, p: int, *, want_q: bool = False) -> CostBreakdown:
+    """Paper Table I/II row for ScaLAPACK QR2 on ``p`` processes."""
+    log_p = _validate(m, n, p)
+    messages = 2.0 * n * log_p
+    volume = log_p * n * n / 2.0
+    flops = (2.0 * m * n * n - (2.0 / 3.0) * n**3) / p
+    if want_q:
+        messages *= 2.0
+        volume *= 2.0
+        flops *= 2.0
+    return CostBreakdown(
+        algorithm="ScaLAPACK QR2",
+        m=m,
+        n=n,
+        p=p,
+        want_q=want_q,
+        messages=messages,
+        volume_doubles=volume,
+        flops=flops,
+    )
+
+
+def tsqr_costs(m: int, n: int, p: int, *, want_q: bool = False) -> CostBreakdown:
+    """Paper Table I/II row for TSQR on ``p`` domains."""
+    log_p = _validate(m, n, p)
+    messages = log_p
+    volume = log_p * n * n / 2.0
+    flops = (2.0 * m * n * n - (2.0 / 3.0) * n**3) / p + (2.0 / 3.0) * log_p * n**3
+    if want_q:
+        messages *= 2.0
+        volume *= 2.0
+        flops *= 2.0
+    return CostBreakdown(
+        algorithm="TSQR",
+        m=m,
+        n=n,
+        p=p,
+        want_q=want_q,
+        messages=messages,
+        volume_doubles=volume,
+        flops=flops,
+    )
+
+
+def cost_table(m: int, n: int, p: int, *, want_q: bool = False) -> list[CostBreakdown]:
+    """Both rows of Table I (``want_q=False``) or Table II (``want_q=True``)."""
+    return [scalapack_costs(m, n, p, want_q=want_q), tsqr_costs(m, n, p, want_q=want_q)]

@@ -1,0 +1,130 @@
+"""The five qualitative properties of paper §IV, as checkable predicates.
+
+Each function evaluates one of the paper's properties against either the
+analytic model or a set of measured/simulated data points, returning a small
+result object with the evidence.  The properties are:
+
+1. computing Q and R costs about twice computing R only;
+2. performance is bounded by the domanial QR rate;
+3. performance increases with M;
+4. performance increases with N;
+5. TSQR beats ScaLAPACK for mid-range N, ScaLAPACK catches up for large N.
+
+The test-suite and the benchmark harness use these helpers so the claims are
+checked the same way everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model.predictor import MachineParameters, predict_pair
+
+__all__ = [
+    "PropertyCheck",
+    "check_property1_q_costs_double",
+    "check_property2_bounded_by_domain_rate",
+    "check_monotone_increase",
+    "check_property5_midrange_advantage",
+]
+
+
+@dataclass(frozen=True)
+class PropertyCheck:
+    """Outcome of checking one property."""
+
+    name: str
+    holds: bool
+    detail: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+def check_property1_q_costs_double(
+    time_r_only: float, time_q_and_r: float, *, tolerance: float = 0.35
+) -> PropertyCheck:
+    """Property 1: ``time(Q, R) ~= 2 x time(R)`` within ``tolerance`` (relative)."""
+    if time_r_only <= 0:
+        return PropertyCheck("property-1", False, "non-positive R-only time")
+    ratio = time_q_and_r / time_r_only
+    holds = abs(ratio - 2.0) <= 2.0 * tolerance
+    return PropertyCheck(
+        "property-1",
+        holds,
+        f"time(Q,R)/time(R) = {ratio:.2f} (expected ~2.0 +/- {2*tolerance:.1f})",
+    )
+
+
+def check_property2_bounded_by_domain_rate(
+    achieved_gflops: float, practical_peak_gflops: float
+) -> PropertyCheck:
+    """Property 2: achieved rate never exceeds the domanial practical peak."""
+    holds = achieved_gflops <= practical_peak_gflops * (1.0 + 1e-9)
+    return PropertyCheck(
+        "property-2",
+        holds,
+        f"achieved {achieved_gflops:.1f} Gflop/s vs practical peak "
+        f"{practical_peak_gflops:.1f} Gflop/s",
+    )
+
+
+def check_monotone_increase(
+    xs: Sequence[float],
+    values: Sequence[float],
+    *,
+    name: str = "property-3/4",
+    slack: float = 0.05,
+) -> PropertyCheck:
+    """Properties 3 and 4: values grow (within ``slack``) as ``xs`` grow.
+
+    ``slack`` tolerates small non-monotonic wiggles (the paper's measured
+    curves have them too): a step may decrease by at most ``slack`` relative
+    to the running maximum.
+    """
+    if len(xs) != len(values) or len(xs) < 2:
+        return PropertyCheck(name, False, "need at least two points")
+    pairs = sorted(zip(xs, values))
+    running_max = pairs[0][1]
+    for x, v in pairs[1:]:
+        if v < running_max * (1.0 - slack):
+            return PropertyCheck(
+                name, False, f"value dropped to {v:.2f} below running max {running_max:.2f} at x={x}"
+            )
+        running_max = max(running_max, v)
+    return PropertyCheck(name, True, "values are non-decreasing (within slack)")
+
+
+def check_property5_midrange_advantage(
+    m: int,
+    p: int,
+    machine: MachineParameters,
+    *,
+    mid_n: Sequence[int] = (16, 64, 128),
+    large_n_start: int = 256,
+    large_n_stop: int = 8192,
+) -> PropertyCheck:
+    """Property 5: TSQR wins for mid-range N; its advantage shrinks as N grows.
+
+    Uses the analytic model: checks that TSQR is faster for every ``mid_n``
+    and that the relative advantage at ``large_n_stop`` is smaller than at
+    ``large_n_start`` (the two curves close up, possibly crossing).
+    """
+    for n in mid_n:
+        scal, ts = predict_pair(m, n, p, machine)
+        if ts.time_s >= scal.time_s:
+            return PropertyCheck(
+                "property-5", False, f"TSQR not faster at mid-range N={n}"
+            )
+    scal_a, ts_a = predict_pair(m, large_n_start, p, machine)
+    scal_b, ts_b = predict_pair(m, large_n_stop, p, machine)
+    advantage_a = scal_a.time_s / ts_a.time_s
+    advantage_b = scal_b.time_s / ts_b.time_s
+    holds = advantage_b < advantage_a
+    return PropertyCheck(
+        "property-5",
+        holds,
+        f"TSQR advantage {advantage_a:.2f}x at N={large_n_start} vs "
+        f"{advantage_b:.2f}x at N={large_n_stop}",
+    )

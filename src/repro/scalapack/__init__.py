@@ -1,0 +1,41 @@
+"""ScaLAPACK-style distributed QR: the paper's baseline.
+
+The subpackage implements a block-row distributed Householder QR in the image
+of ScaLAPACK's ``PDGEQR2``/``PDGEQRF``/``PDORGQR``: one process grid spanning
+every allocated process, rank-ordered (topology-oblivious) reductions, two
+allreduces per column in the panel factorization.  It serves two roles:
+
+* the *baseline* of every comparison figure (Fig. 4 and Fig. 8); and
+* the *domain factorization* of QCG-TSQR when a domain is attributed to a
+  group of processes rather than a single one (paper §III).
+"""
+
+from repro.scalapack.descriptor import BlockCyclic1D, RowBlockDescriptor
+from repro.scalapack.driver import (
+    ScaLAPACKConfig,
+    ScaLAPACKRankResult,
+    ScaLAPACKRunResult,
+    run_scalapack_qr,
+    scalapack_qr_program,
+)
+from repro.scalapack.pdgeqr2 import PanelFactorization, larft_from_gram, pdgeqr2
+from repro.scalapack.pdgeqrf import DEFAULT_NB, DEFAULT_NX, DistributedQR, pdgeqrf
+from repro.scalapack.pdorgqr import pdorgqr
+
+__all__ = [
+    "BlockCyclic1D",
+    "RowBlockDescriptor",
+    "ScaLAPACKConfig",
+    "ScaLAPACKRankResult",
+    "ScaLAPACKRunResult",
+    "run_scalapack_qr",
+    "scalapack_qr_program",
+    "PanelFactorization",
+    "larft_from_gram",
+    "pdgeqr2",
+    "DEFAULT_NB",
+    "DEFAULT_NX",
+    "DistributedQR",
+    "pdgeqrf",
+    "pdorgqr",
+]

@@ -1,0 +1,148 @@
+"""Distribution descriptors: how a global matrix is spread over processes.
+
+Two descriptors are provided:
+
+* :class:`RowBlockDescriptor` — the 1-D block-row distribution used by the
+  tall-and-skinny drivers: process ``p`` owns a contiguous slice of rows and
+  all columns.  With ``M >> N`` this is the layout under which ScaLAPACK's
+  panel factorization (``PDGEQR2``) degenerates into "one allreduce per
+  column", the communication pattern the paper measures (Table I).
+* :class:`BlockCyclic1D` — the 1-D block-cyclic distribution (ScaLAPACK's
+  native layout along one dimension), kept for generality, for the
+  redistribution tests and to document the index arithmetic (``INDXG2L`` /
+  ``INDXG2P`` analogues).
+
+Both are pure index calculators: they never touch matrix data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+from repro.util.partition import block_ranges
+
+__all__ = ["RowBlockDescriptor", "BlockCyclic1D"]
+
+
+@dataclass(frozen=True)
+class RowBlockDescriptor:
+    """Contiguous block-row distribution of an ``m x n`` matrix over ``p`` processes."""
+
+    m: int
+    n: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0:
+            raise DistributionError(f"invalid global shape {self.m}x{self.n}")
+        if self.p <= 0:
+            raise DistributionError(f"process count must be positive, got {self.p}")
+
+    # ------------------------------------------------------------------ api
+    def row_range(self, rank: int) -> tuple[int, int]:
+        """Global ``[start, stop)`` row range owned by ``rank``."""
+        self._check_rank(rank)
+        return block_ranges(self.m, self.p)[rank]
+
+    def local_rows(self, rank: int) -> int:
+        """Number of rows stored by ``rank``."""
+        start, stop = self.row_range(rank)
+        return stop - start
+
+    def owner_of_row(self, i: int) -> int:
+        """Rank owning global row ``i``."""
+        if not 0 <= i < self.m:
+            raise DistributionError(f"row {i} out of range [0, {self.m})")
+        for rank, (start, stop) in enumerate(block_ranges(self.m, self.p)):
+            if start <= i < stop:
+                return rank
+        raise DistributionError(f"row {i} has no owner")  # pragma: no cover
+
+    def global_to_local(self, i: int) -> tuple[int, int]:
+        """Return ``(owner_rank, local_row_index)`` of global row ``i``."""
+        owner = self.owner_of_row(i)
+        start, _ = self.row_range(owner)
+        return owner, i - start
+
+    def local_to_global(self, rank: int, local_i: int) -> int:
+        """Return the global index of ``rank``'s ``local_i``-th row."""
+        start, stop = self.row_range(rank)
+        if not 0 <= local_i < stop - start:
+            raise DistributionError(
+                f"local row {local_i} out of range for rank {rank} ({stop - start} rows)"
+            )
+        return start + local_i
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.p:
+            raise DistributionError(f"rank {rank} out of range [0, {self.p})")
+
+
+@dataclass(frozen=True)
+class BlockCyclic1D:
+    """1-D block-cyclic distribution of ``n_items`` items with block size ``nb``.
+
+    Items are dealt to ``p`` owners in rounds of ``nb`` consecutive items,
+    mirroring ScaLAPACK's ``INDXG2P``/``INDXG2L``/``NUMROC`` routines.
+    """
+
+    n_items: int
+    nb: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.n_items < 0:
+            raise DistributionError(f"negative item count {self.n_items}")
+        if self.nb <= 0:
+            raise DistributionError(f"block size must be positive, got {self.nb}")
+        if self.p <= 0:
+            raise DistributionError(f"process count must be positive, got {self.p}")
+
+    def owner(self, g: int) -> int:
+        """Owner of global item ``g`` (ScaLAPACK ``INDXG2P``)."""
+        self._check_global(g)
+        return (g // self.nb) % self.p
+
+    def global_to_local(self, g: int) -> int:
+        """Local index of global item ``g`` on its owner (``INDXG2L``)."""
+        self._check_global(g)
+        return (g // (self.nb * self.p)) * self.nb + g % self.nb
+
+    def local_to_global(self, rank: int, l: int) -> int:
+        """Global index of the ``l``-th local item of ``rank`` (``INDXL2G``)."""
+        self._check_rank(rank)
+        if l < 0:
+            raise DistributionError(f"negative local index {l}")
+        block, offset = divmod(l, self.nb)
+        g = (block * self.p + rank) * self.nb + offset
+        if g >= self.n_items:
+            raise DistributionError(
+                f"local index {l} on rank {rank} maps to {g} >= {self.n_items}"
+            )
+        return g
+
+    def local_count(self, rank: int) -> int:
+        """Number of items owned by ``rank`` (ScaLAPACK ``NUMROC``)."""
+        self._check_rank(rank)
+        full_rounds, rem = divmod(self.n_items, self.nb * self.p)
+        count = full_rounds * self.nb
+        rem_start = rank * self.nb
+        count += int(np.clip(rem - rem_start, 0, self.nb))
+        return count
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        """All global indices owned by ``rank``, ascending."""
+        self._check_rank(rank)
+        idx = np.arange(self.n_items)
+        return idx[(idx // self.nb) % self.p == rank]
+
+    def _check_global(self, g: int) -> None:
+        if not 0 <= g < self.n_items:
+            raise DistributionError(f"index {g} out of range [0, {self.n_items})")
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.p:
+            raise DistributionError(f"rank {rank} out of range [0, {self.p})")

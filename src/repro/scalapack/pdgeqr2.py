@@ -1,0 +1,188 @@
+"""Distributed unblocked panel QR (the ``PDGEQR2`` analogue).
+
+The matrix is distributed by contiguous block-rows
+(:class:`~repro.scalapack.descriptor.RowBlockDescriptor`); every column step
+generates one Householder reflector spread over the process rows and requires
+**two allreduce operations**:
+
+1. one to assemble the column norm (and the pivot value) needed to build the
+   reflector — the "normalisation" reduction of paper Fig. 1;
+2. one to assemble ``v^T A_trailing`` for the rank-1 update of the trailing
+   columns — the "update" reduction of paper Fig. 1 (skipped for the last
+   column, exactly as in the figure's caption).
+
+That is ``~2 N`` reductions for an ``M x N`` panel — the latency bottleneck
+TSQR removes.  The routine supports both real payloads (numpy blocks updated
+in place, exact numerics) and virtual payloads (shape-only blocks, cost
+accounting only); the communication calls are identical in both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DistributionError, ShapeError
+from repro.gridsim.communicator import CommHandle
+from repro.gridsim.executor import RankContext
+from repro.virtual.matrix import MatrixLike, is_virtual, shape_of
+
+__all__ = ["PanelFactorization", "pdgeqr2", "larft_from_gram"]
+
+
+@dataclass
+class PanelFactorization:
+    """Per-rank outcome of a distributed panel factorization.
+
+    ``v_local``/``tau`` describe this rank's slice of the Householder
+    reflectors (``None`` in virtual mode); ``r`` holds the triangular factor
+    of the factored window on the rank owning the diagonal block (rank 0 of
+    the panel communicator) and is ``None`` elsewhere.
+    """
+
+    v_local: np.ndarray | None
+    tau: np.ndarray | None
+    r: np.ndarray | None
+    local_rows: int
+    n: int
+
+
+def larft_from_gram(gram: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Build the compact-WY ``T`` factor from the reflectors' Gram matrix.
+
+    ``gram = V^T V`` is all that is needed to form ``T`` when ``V`` is
+    distributed by rows: ``T[:j, j] = -tau_j * T[:j, :j] @ gram[:j, j]``.
+    The blocked distributed update therefore computes ``T`` redundantly on
+    every rank after a single allreduce of the small Gram matrix.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    tau = np.asarray(tau, dtype=np.float64)
+    k = tau.size
+    if gram.shape != (k, k):
+        raise ShapeError(f"gram has shape {gram.shape}, expected {(k, k)}")
+    t = np.zeros((k, k))
+    for j in range(k):
+        if tau[j] == 0.0:
+            continue
+        t[j, j] = tau[j]
+        if j > 0:
+            t[:j, j] = -tau[j] * (t[:j, :j] @ gram[:j, j])
+    return t
+
+
+def pdgeqr2(
+    ctx: RankContext,
+    comm: CommHandle,
+    a_local: MatrixLike,
+    *,
+    diag_local_row: int = 0,
+    col_offset: int = 0,
+    n_cols: int | None = None,
+) -> PanelFactorization:
+    """Distributed unblocked Householder QR of a block-row distributed panel.
+
+    Real mode updates ``a_local`` **in place** (the window's upper triangle
+    becomes R, the sub-diagonal entries are zeroed); virtual mode performs the
+    same communication calls and charges the same flops without touching data.
+
+    Parameters
+    ----------
+    ctx:
+        Rank context used to charge local compute to the virtual clock.
+    comm:
+        Communicator over the processes sharing the panel; its rank 0 must
+        own the diagonal block (the first global rows).
+    a_local:
+        This rank's block-row slice: a *writable* numpy array or a
+        :class:`~repro.virtual.matrix.VirtualMatrix`.
+    diag_local_row:
+        Local row (on rank 0) of the first diagonal entry of the window.
+    col_offset, n_cols:
+        Column window ``[col_offset, col_offset + n_cols)`` to factor;
+        defaults to every remaining column.
+    """
+    rank = comm.rank
+    m_loc, n_total = shape_of(a_local)
+    if n_cols is None:
+        n_cols = n_total - col_offset
+    if n_cols <= 0:
+        raise ShapeError(f"panel must have at least one column, got {n_cols}")
+    virtual = is_virtual(a_local)
+
+    if rank == 0 and (m_loc - diag_local_row) < n_cols:
+        raise DistributionError(
+            "rank 0 must own at least as many rows as the panel has columns "
+            f"(has {m_loc - diag_local_row}, needs {n_cols}); the tall-and-skinny "
+            "block-row layout requires M/P >= N"
+        )
+
+    a = None if virtual else np.asarray(a_local)
+    v_local = None if virtual else np.zeros((m_loc, n_cols))
+    tau = None if virtual else np.zeros(n_cols)
+
+    for jj in range(n_cols):
+        j = col_offset + jj
+        trailing = n_cols - jj - 1
+        cols = slice(j + 1, col_offset + n_cols)
+
+        # ---------------- reduction 1: column norm + pivot value -----------
+        if virtual:
+            local = np.zeros(2)
+        elif rank == 0:
+            pivot_row = diag_local_row + jj
+            tail = a[pivot_row + 1 :, j]
+            local = np.array([float(tail @ tail), float(a[pivot_row, j])])
+        else:
+            tail = a[:, j]
+            local = np.array([float(tail @ tail), 0.0])
+        sigma_alpha = comm.allreduce(local)
+        # One pass over the local column to form/scale the reflector.
+        ctx.compute(2.0 * m_loc, kernel="panel", n=n_cols)
+
+        if not virtual:
+            sigma, alpha = float(sigma_alpha[0]), float(sigma_alpha[1])
+            if sigma == 0.0:
+                tau_j, beta, scale = 0.0, alpha, 0.0
+            else:
+                norm_x = np.sqrt(alpha * alpha + sigma)
+                beta = -np.copysign(norm_x, alpha) if alpha != 0.0 else -norm_x
+                tau_j = (beta - alpha) / beta
+                scale = 1.0 / (alpha - beta)
+            tau[jj] = tau_j
+            if rank == 0:
+                pivot_row = diag_local_row + jj
+                v_local[pivot_row, jj] = 1.0
+                if scale != 0.0:
+                    v_local[pivot_row + 1 :, jj] = a[pivot_row + 1 :, j] * scale
+                a[pivot_row, j] = beta
+                a[pivot_row + 1 :, j] = 0.0
+            else:
+                if scale != 0.0:
+                    v_local[:, jj] = a[:, j] * scale
+                a[:, j] = 0.0
+
+        # ---------------- reduction 2: trailing-column update --------------
+        if trailing > 0:
+            if virtual:
+                w_local = np.zeros(trailing)
+            elif rank == 0:
+                rows = slice(diag_local_row + jj, m_loc)
+                w_local = a[rows, cols].T @ v_local[rows, jj]
+            else:
+                w_local = a[:, cols].T @ v_local[:, jj]
+            w = comm.allreduce(w_local)
+            if not virtual and tau[jj] != 0.0:
+                if rank == 0:
+                    rows = slice(diag_local_row + jj, m_loc)
+                    a[rows, cols] -= tau[jj] * np.outer(v_local[rows, jj], w)
+                else:
+                    a[:, cols] -= tau[jj] * np.outer(v_local[:, jj], w)
+            # Matrix-vector product plus rank-1 update over the local rows.
+            ctx.compute(4.0 * m_loc * trailing, kernel="panel", n=n_cols)
+
+    r = None
+    if not virtual and rank == 0:
+        window = a[diag_local_row : diag_local_row + n_cols, col_offset : col_offset + n_cols]
+        r = np.triu(np.array(window, copy=True))
+    return PanelFactorization(v_local=v_local, tau=tau, r=r, local_rows=m_loc, n=n_cols)

@@ -1,0 +1,55 @@
+"""TSQR / CAQR: the paper's core contribution.
+
+* :mod:`repro.tsqr.trees` — reduction trees (flat, binary, grid-hierarchical)
+  and their locality analysis (Fig. 1 vs Fig. 2);
+* :mod:`repro.tsqr.sequential` — in-memory TSQR, the reference implementation
+  and single-node engine;
+* :mod:`repro.tsqr.qrepresentation` — the implicit (tree-structured) Q factor;
+* :mod:`repro.tsqr.parallel` — QCG-TSQR, the SPMD program articulated with the
+  topology-aware middleware on the simulated grid (paper §III);
+* :mod:`repro.tsqr.caqr` — tiled CAQR for general matrices (paper §VI).
+"""
+
+from repro.tsqr.caqr import CAQRFactors, CAQRTransform, caqr, caqr_r
+from repro.tsqr.parallel import (
+    TSQRConfig,
+    TSQRRankResult,
+    TSQRRunResult,
+    qcg_tsqr_program,
+    run_parallel_tsqr,
+    tsqr_reduce_op,
+)
+from repro.tsqr.qrepresentation import QCombine, QLeaf, TSQRQFactor
+from repro.tsqr.sequential import TSQRResult, blocked_household_qr, tsqr, tsqr_r
+from repro.tsqr.trees import (
+    ReductionTree,
+    binary_reduction_tree,
+    flat_reduction_tree,
+    grid_hierarchical_tree,
+    tree_for,
+)
+
+__all__ = [
+    "CAQRFactors",
+    "CAQRTransform",
+    "caqr",
+    "caqr_r",
+    "TSQRConfig",
+    "TSQRRankResult",
+    "TSQRRunResult",
+    "qcg_tsqr_program",
+    "run_parallel_tsqr",
+    "tsqr_reduce_op",
+    "QCombine",
+    "QLeaf",
+    "TSQRQFactor",
+    "TSQRResult",
+    "blocked_household_qr",
+    "tsqr",
+    "tsqr_r",
+    "ReductionTree",
+    "binary_reduction_tree",
+    "flat_reduction_tree",
+    "grid_hierarchical_tree",
+    "tree_for",
+]

@@ -1,0 +1,230 @@
+"""CAQR: Communication-Avoiding QR of general (not just tall-skinny) matrices.
+
+TSQR is the panel factorization of CAQR (paper §II-C, §II-E and §VI):
+a general ``M x N`` matrix is tiled, every panel (tile column) is factored
+with a TSQR-style reduction over its row tiles, and the trailing tiles are
+updated with the corresponding orthogonal transformations.  The paper treats
+CAQR on the grid as the natural follow-up of its TSQR study ("this present
+study can be viewed as a first step towards the factorization of general
+matrices on the grid"); this module implements the algorithm so that the
+follow-up can actually be exercised.
+
+The implementation is sequential (single address space) and exact; the
+*reduction tree* of every panel is configurable (flat, binary, hierarchical),
+which is what changes between the out-of-core, multicore and grid variants
+discussed in the paper.  All transformations are retained so the orthogonal
+factor can be applied or materialised afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.kernels.tiled import TileQR, TileTSQR, geqrt, tsmqr, tsqrt, unmqr
+from repro.tsqr.trees import ReductionTree, tree_for
+
+__all__ = ["CAQRTransform", "CAQRFactors", "caqr", "caqr_r"]
+
+
+@dataclass(frozen=True)
+class CAQRTransform:
+    """One stored elementary transformation of the CAQR factorization.
+
+    ``kind`` is ``"geqrt"`` (diagonal-tile QR; ``row`` is the tile row it was
+    applied to) or ``"tsqrt"`` (stacked elimination of tile row ``row`` into
+    tile row ``parent_row``).
+    """
+
+    kind: str
+    panel: int
+    row: int
+    parent_row: int
+    data: TileQR | TileTSQR
+
+
+@dataclass
+class CAQRFactors:
+    """Factored form of a CAQR run: R plus the replayable transformations.
+
+    The orthogonal factor is never formed during the factorization; it is
+    defined implicitly by the ordered list of tile transformations.  ``Q^T``
+    is applied by replaying them in factorization order, ``Q`` by replaying
+    them in reverse with the non-transposed kernels.
+    """
+
+    r: np.ndarray
+    m: int
+    n: int
+    row_ranges: list[tuple[int, int]]
+    transforms: list[CAQRTransform] = field(default_factory=list)
+
+    # ----------------------------------------------------------- application
+    def _tiles_of(self, c: np.ndarray) -> list[np.ndarray]:
+        if c.shape[0] != self.m:
+            raise ShapeError(f"expected {self.m} rows, got {c.shape[0]}")
+        return [np.array(c[start:stop, :], dtype=np.float64) for start, stop in self.row_ranges]
+
+    def _assemble(self, tiles: list[np.ndarray], ncols: int) -> np.ndarray:
+        out = np.zeros((self.m, ncols))
+        for (start, stop), tile in zip(self.row_ranges, tiles):
+            out[start:stop, :] = tile
+        return out
+
+    def apply_qt(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q^T @ c`` for an ``m x k`` matrix ``c``."""
+        c = np.atleast_2d(np.asarray(c, dtype=np.float64))
+        vector = False
+        if c.shape[0] == 1 and self.m != 1:
+            c = c.T
+            vector = True
+        tiles = self._tiles_of(c)
+        for tr in self.transforms:
+            if tr.kind == "geqrt":
+                tiles[tr.row] = unmqr(tr.data, tiles[tr.row], transpose=True)
+            else:
+                top, bottom = tsmqr(tr.data, tiles[tr.parent_row], tiles[tr.row], transpose=True)
+                tiles[tr.parent_row], tiles[tr.row] = top, bottom
+        out = self._assemble(tiles, c.shape[1])
+        return out[:, 0] if vector else out
+
+    def apply_q(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q @ c`` for an ``m x k`` matrix ``c`` (Q is ``m x m`` here)."""
+        c = np.atleast_2d(np.asarray(c, dtype=np.float64))
+        vector = False
+        if c.shape[0] == 1 and self.m != 1:
+            c = c.T
+            vector = True
+        tiles = self._tiles_of(c)
+        for tr in reversed(self.transforms):
+            if tr.kind == "geqrt":
+                tiles[tr.row] = unmqr(tr.data, tiles[tr.row], transpose=False)
+            else:
+                top, bottom = tsmqr(
+                    tr.data, tiles[tr.parent_row], tiles[tr.row], transpose=False
+                )
+                tiles[tr.parent_row], tiles[tr.row] = top, bottom
+        out = self._assemble(tiles, c.shape[1])
+        return out[:, 0] if vector else out
+
+    def thin_q(self) -> np.ndarray:
+        """Materialise the thin ``m x min(m, n)`` orthogonal factor."""
+        k = min(self.m, self.n)
+        eye = np.zeros((self.m, k))
+        np.fill_diagonal(eye, 1.0)
+        return self.apply_q(eye)
+
+
+def caqr(
+    a: np.ndarray,
+    tile_size: int = 64,
+    *,
+    panel_tree: str | None = "binary",
+    want_q: bool = True,
+) -> CAQRFactors:
+    """Tiled CAQR factorization of a general matrix.
+
+    Parameters
+    ----------
+    a:
+        The ``m x n`` matrix to factor (any shape).
+    tile_size:
+        Row/column tile size ``b``; the last tile in each direction may be
+        smaller.
+    panel_tree:
+        Reduction-tree family used by each panel's TSQR (``"flat"``,
+        ``"binary"``, ``"grid-hierarchical"``).  The flat tree reproduces the
+        out-of-core/multicore variant, the binary tree the parallel one.
+    want_q:
+        Keep the transformations so Q can be applied afterwards.  When False
+        only R is returned inside the :class:`CAQRFactors` (its ``transforms``
+        list is empty), which halves the memory footprint.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    if a.ndim != 2:
+        raise ShapeError(f"caqr expects a 2-D matrix, got ndim={a.ndim}")
+    if tile_size <= 0:
+        raise ShapeError(f"tile size must be positive, got {tile_size}")
+    m, n = a.shape
+    # Fixed-size tiles (the last one may be smaller): row and column tile
+    # boundaries must coincide so that the k-th diagonal tile really sits on
+    # the global diagonal, as in every tiled QR formulation.
+    row_ranges = [(start, min(start + tile_size, m)) for start in range(0, m, tile_size)] or [(0, 0)]
+    col_ranges = [(start, min(start + tile_size, n)) for start in range(0, n, tile_size)] or [(0, 0)]
+    mt, nt = len(row_ranges), len(col_ranges)
+
+    # Work on an explicit list of tile views into a copy of A.
+    def tile(i: int, j: int) -> np.ndarray:
+        r0, r1 = row_ranges[i]
+        c0, c1 = col_ranges[j]
+        return a[r0:r1, c0:c1]
+
+    def set_tile(i: int, j: int, value: np.ndarray) -> None:
+        r0, r1 = row_ranges[i]
+        c0, c1 = col_ranges[j]
+        a[r0:r1, c0:c1] = value
+
+    transforms: list[CAQRTransform] = []
+
+    for k in range(min(mt, nt)):
+        rows = list(range(k, mt))
+        # --- local QR of every tile of the panel + same-row trailing update
+        local: dict[int, TileQR] = {}
+        for i in rows:
+            fact = geqrt(tile(i, k), block_size=min(32, tile_size))
+            local[i] = fact
+            rpad = np.zeros_like(tile(i, k))
+            kk = min(fact.r.shape[0], rpad.shape[0])
+            rpad[:kk, :] = fact.r[:kk, :]
+            set_tile(i, k, rpad)
+            for j in range(k + 1, nt):
+                set_tile(i, j, unmqr(fact, tile(i, j), transpose=True))
+            transforms.append(
+                CAQRTransform(kind="geqrt", panel=k, row=i, parent_row=i, data=fact)
+            )
+
+        # --- reduce the per-tile triangles along the panel tree
+        tree: ReductionTree = tree_for(panel_tree or "binary", len(rows))
+
+        def _reduce(pos: int) -> None:
+            parent_row = rows[pos]
+            for child_pos in tree.children(pos):
+                _reduce(child_pos)
+                child_row = rows[child_pos]
+                ts = tsqrt(
+                    tile(parent_row, k), tile(child_row, k), block_size=min(32, tile_size)
+                )
+                new_top = np.zeros_like(tile(parent_row, k))
+                kk = min(ts.r.shape[0], new_top.shape[0])
+                new_top[:kk, :] = ts.r[:kk, :]
+                set_tile(parent_row, k, new_top)
+                set_tile(child_row, k, np.zeros_like(tile(child_row, k)))
+                for j in range(k + 1, nt):
+                    top, bottom = tsmqr(ts, tile(parent_row, j), tile(child_row, j), transpose=True)
+                    set_tile(parent_row, j, top)
+                    set_tile(child_row, j, bottom)
+                transforms.append(
+                    CAQRTransform(
+                        kind="tsqrt", panel=k, row=child_row, parent_row=parent_row, data=ts
+                    )
+                )
+
+        # The tree is built over positions 0..len(rows)-1; position 0 is tile
+        # row k, which must be the reduction root so R lands on the diagonal.
+        if tree.root != 0:
+            raise ShapeError("panel reduction tree must be rooted at the diagonal tile")
+        _reduce(tree.root)
+
+    k = min(m, n)
+    r = np.triu(a[:k, :])
+    factors = CAQRFactors(r=r, m=m, n=n, row_ranges=row_ranges, transforms=transforms)
+    if not want_q:
+        factors.transforms = []
+    return factors
+
+
+def caqr_r(a: np.ndarray, tile_size: int = 64, *, panel_tree: str = "binary") -> np.ndarray:
+    """Return only the R factor of a CAQR factorization."""
+    return caqr(a, tile_size, panel_tree=panel_tree, want_q=False).r

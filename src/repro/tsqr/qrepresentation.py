@@ -1,0 +1,178 @@
+"""Implicit representation of the TSQR orthogonal factor.
+
+TSQR never forms the global ``m x n`` Q during the factorization: each leaf
+keeps the Householder factors of its block and each combine keeps the small
+orthogonal factor of its stacked-triangle QR.  The global Q is the product of
+the block-diagonal leaf factors with the tree factors, and most consumers
+only ever need ``Q @ C`` or ``Q^T @ C`` for a narrow ``C`` — which this
+module evaluates by walking the tree, exactly how the distributed algorithm
+would.
+
+The representation is a binary tree of :class:`QLeaf` / :class:`QCombine`
+nodes mirroring the order in which the reduction combined factors.  Because
+a reduction tree may merge domains in an order different from their row
+order, every leaf carries its global row range and the apply routines
+scatter/gather rows through those ranges, so results always come back in the
+original row order of the factored matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.kernels.householder import HouseholderQR, apply_q
+from repro.kernels.tskernels import StackedQR
+
+__all__ = ["QLeaf", "QCombine", "QNode", "TSQRQFactor"]
+
+
+@dataclass(frozen=True)
+class QLeaf:
+    """Leaf of the Q tree: the Householder factorization of one domain block."""
+
+    factor: HouseholderQR
+    row_start: int
+    row_stop: int
+
+    @property
+    def m(self) -> int:
+        """Number of original matrix rows covered by this leaf."""
+        return self.row_stop - self.row_start
+
+    @property
+    def r_rows(self) -> int:
+        """Number of rows of the R factor this leaf feeds into the reduction."""
+        return min(self.factor.m, self.factor.n)
+
+    def apply(self, c: np.ndarray, out: np.ndarray) -> None:
+        """Accumulate ``Q_leaf @ c`` into the leaf's rows of ``out``."""
+        if c.shape[0] != self.r_rows:
+            raise ShapeError(f"expected {self.r_rows} rows, got {c.shape[0]}")
+        padded = np.zeros((self.factor.m, c.shape[1]))
+        padded[: self.r_rows, :] = c
+        out[self.row_start : self.row_stop, :] = apply_q(
+            self.factor.v, self.factor.tau, padded, transpose=False
+        )
+
+    def apply_transpose(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q_leaf^T @ c_rows`` for this leaf's slice of ``c``."""
+        block = c[self.row_start : self.row_stop, :]
+        return apply_q(self.factor.v, self.factor.tau, block, transpose=True)[: self.r_rows, :]
+
+
+@dataclass(frozen=True)
+class QCombine:
+    """Internal node: the stacked-triangle QR that merged two partial factors."""
+
+    stacked: StackedQR
+    top: "QNode"
+    bottom: "QNode"
+
+    @property
+    def m(self) -> int:
+        """Original rows covered by the subtree."""
+        return self.top.m + self.bottom.m
+
+    @property
+    def r_rows(self) -> int:
+        """Rows of the R factor this node passes upward."""
+        return self.stacked.r.shape[0]
+
+    def apply(self, c: np.ndarray, out: np.ndarray) -> None:
+        """Push ``c`` down through the combine's Q and into both subtrees."""
+        if self.stacked.q.size == 0:
+            raise ShapeError(
+                "this TSQR run kept only R factors (want_q=False); "
+                "re-run with want_q=True to apply Q"
+            )
+        if c.shape[0] != self.r_rows:
+            raise ShapeError(f"expected {self.r_rows} rows, got {c.shape[0]}")
+        y = self.stacked.q @ c
+        rows_top = self.stacked.rows_top
+        self.top.apply(y[:rows_top, :][: self.top.r_rows, :], out)
+        self.bottom.apply(y[rows_top:, :][: self.bottom.r_rows, :], out)
+
+    def apply_transpose(self, c: np.ndarray) -> np.ndarray:
+        """Pull both subtrees' contributions up through the combine's Q^T."""
+        if self.stacked.q.size == 0:
+            raise ShapeError(
+                "this TSQR run kept only R factors (want_q=False); "
+                "re-run with want_q=True to apply Q"
+            )
+        top = self.top.apply_transpose(c)
+        bottom = self.bottom.apply_transpose(c)
+        stacked = np.vstack([top, bottom])
+        return self.stacked.q.T @ stacked
+
+
+#: Either kind of node.
+QNode = QLeaf | QCombine
+
+
+@dataclass(frozen=True)
+class TSQRQFactor:
+    """The implicit orthogonal factor produced by a TSQR run.
+
+    ``root`` is the top of the combine tree, ``m``/``n`` the shape of the
+    factored matrix.  The factor behaves like a thin ``m x n`` Q:
+
+    * :meth:`matmat` computes ``Q @ C`` for an ``n x k`` matrix;
+    * :meth:`rmatmat` computes ``Q^T @ C`` for an ``m x k`` matrix;
+    * :meth:`explicit` materialises the thin Q (small problems / tests).
+    """
+
+    root: QNode
+    m: int
+    n: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the (thin) orthogonal factor."""
+        return (self.m, self.n)
+
+    def matmat(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q @ c`` where ``c`` has ``n`` rows."""
+        c = np.atleast_2d(np.asarray(c, dtype=np.float64))
+        squeeze = False
+        if c.shape[0] == 1 and self.n != 1 and c.shape[1] == self.n:
+            c = c.T
+            squeeze = True
+        if c.shape[0] != self.n:
+            raise ShapeError(f"expected {self.n} rows, got {c.shape[0]}")
+        out = np.zeros((self.m, c.shape[1]))
+        self.root.apply(c[: self.root.r_rows, :], out)
+        return out[:, 0] if squeeze else out
+
+    def rmatmat(self, c: np.ndarray) -> np.ndarray:
+        """Return ``Q^T @ c`` where ``c`` has ``m`` rows."""
+        c = np.asarray(c, dtype=np.float64)
+        vector = c.ndim == 1
+        c = c[:, None] if vector else c
+        if c.shape[0] != self.m:
+            raise ShapeError(f"expected {self.m} rows, got {c.shape[0]}")
+        result = self.root.apply_transpose(c)
+        # Pad to n rows when the matrix had fewer rows than columns overall
+        # (cannot happen for genuinely tall inputs, kept for safety).
+        if result.shape[0] < self.n:
+            padded = np.zeros((self.n, c.shape[1]))
+            padded[: result.shape[0], :] = result
+            result = padded
+        return result[:, 0] if vector else result
+
+    def explicit(self) -> np.ndarray:
+        """Materialise the thin ``m x n`` orthogonal factor."""
+        return self.matmat(np.eye(self.n))
+
+    def solve_least_squares(self, r: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Solve ``min ||A x - b||`` given this Q and the matching R factor.
+
+        Computes ``x = R^{-1} (Q^T b)`` by back substitution; ``b`` may be a
+        vector or a matrix of right-hand sides.
+        """
+        qtb = self.rmatmat(b)
+        from scipy.linalg import solve_triangular
+
+        return solve_triangular(r[: self.n, : self.n], qtb[: self.n], lower=False)

@@ -1,0 +1,169 @@
+"""Sequential (in-memory) TSQR.
+
+This is the algorithmic core of the paper stripped of any distribution: the
+tall matrix is split into block-rows ("domains"), each block is factored with
+blocked Householder QR, and the per-domain R factors are merged along a
+reduction tree with the stacked-triangle QR combine.  The result is the R
+factor of the whole matrix and, optionally, the implicit tree representation
+of Q (:class:`~repro.tsqr.qrepresentation.TSQRQFactor`).
+
+The sequential version is the reference oracle for the distributed one, the
+engine of the out-of-core/flat-tree variant, and the building block that the
+application layer (:mod:`repro.linalg`) uses when it runs on a single node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.kernels.householder import geqrf
+from repro.kernels.tskernels import qr_of_stacked
+from repro.tsqr.qrepresentation import QCombine, QLeaf, QNode, TSQRQFactor
+from repro.tsqr.trees import ReductionTree, tree_for
+from repro.util.partition import block_ranges
+from repro.util.validation import normalize_r_signs
+
+__all__ = ["TSQRResult", "tsqr", "tsqr_r", "blocked_household_qr"]
+
+
+@dataclass(frozen=True)
+class TSQRResult:
+    """Outcome of a sequential TSQR run."""
+
+    r: np.ndarray
+    q: TSQRQFactor | None
+    tree: ReductionTree
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the factored matrix."""
+        if self.q is not None:
+            return self.q.shape
+        return (self.r.shape[1], self.r.shape[1])
+
+
+def blocked_household_qr(a: np.ndarray, block_size: int = 64) -> tuple[np.ndarray, np.ndarray]:
+    """Plain (single-domain) blocked Householder QR returning explicit (Q, R).
+
+    Provided as the one-domain special case of TSQR and as a convenience for
+    the examples; for anything tall and skinny with more than one domain,
+    :func:`tsqr` does less synchronisation-sensitive work.
+    """
+    fact = geqrf(np.asarray(a, dtype=np.float64), block_size=block_size)
+    return fact.q(), fact.r
+
+
+def tsqr(
+    a: np.ndarray,
+    n_domains: int | None = None,
+    *,
+    tree: ReductionTree | str = "binary",
+    want_q: bool = True,
+    block_size: int = 64,
+) -> TSQRResult:
+    """TSQR factorization of a tall-and-skinny matrix.
+
+    Parameters
+    ----------
+    a:
+        The ``m x n`` matrix to factor, with ``m >= n``.
+    n_domains:
+        Number of block-rows.  Defaults to ``max(1, m // (4 n))`` so every
+        domain stays comfortably taller than it is wide.
+    tree:
+        Either a prebuilt :class:`ReductionTree` over ``n_domains`` domains or
+        the name of a tree family (``"binary"``, ``"flat"``,
+        ``"grid-hierarchical"``).
+    want_q:
+        Keep the per-leaf and per-combine orthogonal factors so the global Q
+        can be applied/formed.  Computing only R roughly halves the work
+        (paper Property 1).
+    block_size:
+        Panel width of the leaf Householder factorizations.
+
+    Returns
+    -------
+    TSQRResult
+        ``r`` is ``n x n`` upper triangular with non-negative diagonal;
+        ``q`` is the implicit orthogonal factor (or ``None``).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"tsqr expects a 2-D matrix, got ndim={a.ndim}")
+    m, n = a.shape
+    if m < n:
+        raise ShapeError(f"tsqr requires a tall matrix (m >= n), got {m} x {n}")
+    if n == 0:
+        raise ShapeError("cannot factor a matrix with zero columns")
+    if n_domains is None:
+        n_domains = max(1, m // max(4 * n, 1))
+    if n_domains <= 0:
+        raise ShapeError(f"n_domains must be positive, got {n_domains}")
+    n_domains = min(n_domains, max(1, m // max(n, 1)))
+
+    if isinstance(tree, ReductionTree):
+        if tree.n_domains != n_domains:
+            raise ShapeError(
+                f"tree has {tree.n_domains} domains but {n_domains} were requested"
+            )
+        reduction_tree = tree
+    else:
+        reduction_tree = tree_for(tree, n_domains)
+
+    ranges = block_ranges(m, n_domains)
+
+    # ------------------------------------------------------------- leaves
+    # Leaf factors are kept *unnormalised*: every combine sign-normalises its
+    # own output consistently for Q and R, so the final pair stays an exact
+    # factorization of A.
+    leaf_r: list[np.ndarray] = []
+    leaf_node: list[QNode] = []
+    for start, stop in ranges:
+        block = a[start:stop, :]
+        fact = geqrf(block, block_size=block_size)
+        leaf_r.append(fact.r)
+        if want_q:
+            leaf_node.append(QLeaf(factor=fact, row_start=start, row_stop=stop))
+
+    # ------------------------------------------------------------ reduction
+    acc_r: dict[int, np.ndarray] = dict(enumerate(leaf_r))
+    acc_q: dict[int, QNode] = dict(enumerate(leaf_node)) if want_q else {}
+
+    def _combine_into(parent: int, child: int) -> None:
+        stacked = qr_of_stacked(acc_r[parent], acc_r[child], want_q=want_q)
+        acc_r[parent] = stacked.r
+        if want_q:
+            acc_q[parent] = QCombine(stacked=stacked, top=acc_q[parent], bottom=acc_q[child])
+
+    def _reduce(node: int) -> None:
+        for child in reduction_tree.children(node):
+            _reduce(child)
+            _combine_into(node, child)
+
+    _reduce(reduction_tree.root)
+    r_final = acc_r[reduction_tree.root]
+    # Pad/truncate to the canonical n x n triangle.
+    r = np.zeros((n, n))
+    k = min(r_final.shape[0], n)
+    r[:k, :] = r_final[:k, :]
+
+    q_factor: TSQRQFactor | None = None
+    if want_q:
+        q_factor = TSQRQFactor(root=acc_q[reduction_tree.root], m=m, n=n)
+    else:
+        r = normalize_r_signs(r)
+    return TSQRResult(r=np.triu(r), q=q_factor, tree=reduction_tree)
+
+
+def tsqr_r(
+    a: np.ndarray,
+    n_domains: int | None = None,
+    *,
+    tree: ReductionTree | str = "binary",
+    block_size: int = 64,
+) -> np.ndarray:
+    """Return only the R factor of a TSQR factorization (paper's main mode)."""
+    return tsqr(a, n_domains, tree=tree, want_q=False, block_size=block_size).r

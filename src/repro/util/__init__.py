@@ -1,0 +1,64 @@
+"""Shared utilities: QR validation, matrix generators, partitioning, units.
+
+These helpers are deliberately dependency-light (numpy only) so every other
+subpackage — kernels, simulator, experiment harness, tests — can use them
+without import cycles.
+"""
+
+from repro.util.partition import (
+    block_partition,
+    block_ranges,
+    cyclic_indices,
+    partition_rows_weighted,
+    split_counts,
+)
+from repro.util.random_matrices import (
+    random_matrix,
+    random_tall_skinny,
+    matrix_with_condition_number,
+    graded_matrix,
+)
+from repro.util.units import (
+    GIGA,
+    MEGA,
+    bytes_of,
+    flops_to_gflops,
+    gflops_rate,
+    mbits_per_s_to_bytes_per_s,
+    seconds_to_us,
+)
+from repro.util.validation import (
+    factorization_residual,
+    normalize_qr_signs,
+    normalize_r_signs,
+    orthogonality_error,
+    relative_error,
+    check_qr,
+    r_factors_match,
+)
+
+__all__ = [
+    "block_partition",
+    "block_ranges",
+    "cyclic_indices",
+    "partition_rows_weighted",
+    "split_counts",
+    "random_matrix",
+    "random_tall_skinny",
+    "matrix_with_condition_number",
+    "graded_matrix",
+    "GIGA",
+    "MEGA",
+    "bytes_of",
+    "flops_to_gflops",
+    "gflops_rate",
+    "mbits_per_s_to_bytes_per_s",
+    "seconds_to_us",
+    "factorization_residual",
+    "normalize_qr_signs",
+    "normalize_r_signs",
+    "orthogonality_error",
+    "relative_error",
+    "check_qr",
+    "r_factors_match",
+]

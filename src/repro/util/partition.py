@@ -1,0 +1,148 @@
+"""Row/column partitioning helpers.
+
+TSQR splits a tall matrix into ``P`` block-rows ("domains"); ScaLAPACK
+distributes rows in blocks and columns block-cyclically.  These helpers
+compute the index arithmetic once, with explicit invariants, so the kernels
+and the distributed drivers never re-derive it ad hoc.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = [
+    "split_counts",
+    "block_ranges",
+    "block_partition",
+    "cyclic_indices",
+    "partition_rows_weighted",
+]
+
+
+def split_counts(n: int, parts: int) -> list[int]:
+    """Split ``n`` items into ``parts`` contiguous groups as evenly as possible.
+
+    The first ``n % parts`` groups receive one extra item, mirroring the
+    convention of ``numpy.array_split``.  Every group is allowed to be empty
+    when ``parts > n`` (TSQR handles empty domains by contributing an empty
+    R factor).
+
+    >>> split_counts(10, 4)
+    [3, 3, 2, 2]
+    """
+    if parts <= 0:
+        raise ShapeError(f"cannot split into {parts} parts")
+    if n < 0:
+        raise ShapeError(f"cannot split a negative count: {n}")
+    base, extra = divmod(n, parts)
+    return [base + 1 if i < extra else base for i in range(parts)]
+
+
+def block_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Return ``(start, stop)`` half-open ranges for :func:`split_counts`.
+
+    >>> block_ranges(10, 4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    """
+    counts = split_counts(n, parts)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for c in counts:
+        ranges.append((start, start + c))
+        start += c
+    return ranges
+
+
+def block_partition(a: np.ndarray, parts: int, axis: int = 0) -> list[np.ndarray]:
+    """Partition array ``a`` into ``parts`` contiguous blocks along ``axis``.
+
+    Views (not copies) are returned whenever numpy allows it, following the
+    HPC guidance of avoiding needless copies of large arrays.
+    """
+    if axis not in (0, 1):
+        raise ShapeError(f"axis must be 0 or 1, got {axis}")
+    n = a.shape[axis]
+    blocks = []
+    for start, stop in block_ranges(n, parts):
+        if axis == 0:
+            blocks.append(a[start:stop, ...])
+        else:
+            blocks.append(a[:, start:stop])
+    return blocks
+
+
+def cyclic_indices(n: int, parts: int, which: int, block: int = 1) -> np.ndarray:
+    """Return the global indices owned by ``which`` under block-cyclic layout.
+
+    This is the 1D block-cyclic distribution used by ScaLAPACK: items are
+    dealt out in rounds of ``block`` consecutive indices per owner.
+
+    Parameters
+    ----------
+    n:
+        Total number of items.
+    parts:
+        Number of owners (process row/column count).
+    which:
+        Owner index in ``[0, parts)``.
+    block:
+        Block size ``NB`` of the cyclic distribution.
+    """
+    if not 0 <= which < parts:
+        raise ShapeError(f"owner {which} out of range [0, {parts})")
+    if block <= 0:
+        raise ShapeError(f"block size must be positive, got {block}")
+    idx = np.arange(n)
+    owner = (idx // block) % parts
+    return idx[owner == which]
+
+
+def partition_rows_weighted(m: int, weights: Sequence[float]) -> list[tuple[int, int]]:
+    """Partition ``m`` rows proportionally to ``weights``.
+
+    This implements the load-balancing extension discussed at the end of
+    paper §III: when domains have heterogeneous processing power, the number
+    of rows attributed to each domain should be proportional to its rate.
+    The returned ranges are contiguous, cover ``[0, m)`` exactly, and each
+    weight-positive domain with ``m >= len(weights)`` receives at least one
+    row.
+
+    >>> partition_rows_weighted(100, [1.0, 1.0, 2.0])
+    [(0, 25), (25, 50), (50, 100)]
+    """
+    weights = [float(w) for w in weights]
+    if not weights:
+        raise ShapeError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise ShapeError("weights must be non-negative")
+    total = sum(weights)
+    if total <= 0.0:
+        raise ShapeError("at least one weight must be positive")
+    parts = len(weights)
+    # Largest-remainder apportionment of m rows to the weights.
+    quotas = [m * w / total for w in weights]
+    counts = [int(np.floor(q)) for q in quotas]
+    remainders = [q - c for q, c in zip(quotas, counts)]
+    missing = m - sum(counts)
+    for i in sorted(range(parts), key=lambda i: remainders[i], reverse=True)[:missing]:
+        counts[i] += 1
+    # Guarantee a minimum of one row per positively-weighted domain when
+    # possible, stealing from the largest shares.
+    if m >= sum(1 for w in weights if w > 0):
+        for i in range(parts):
+            if weights[i] > 0 and counts[i] == 0:
+                donor = int(np.argmax(counts))
+                if counts[donor] > 1:
+                    counts[donor] -= 1
+                    counts[i] += 1
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for c in counts:
+        ranges.append((start, start + c))
+        start += c
+    assert start == m, "weighted partition must cover all rows"
+    return ranges

@@ -1,0 +1,95 @@
+"""Seeded random matrix generators used by tests, examples and benchmarks.
+
+The paper factors dense real double-precision tall-and-skinny matrices.  The
+tests additionally need matrices with a *controlled condition number* to
+exercise the stability claims (TSQR is unconditionally backward stable while
+Cholesky-QR and classical Gram-Schmidt lose orthogonality as ``kappa**2``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = [
+    "default_rng",
+    "random_matrix",
+    "random_tall_skinny",
+    "matrix_with_condition_number",
+    "graded_matrix",
+]
+
+
+def default_rng(seed: int | None = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded deterministically.
+
+    A fixed default seed keeps tests and benchmarks reproducible run to run,
+    as required for meaningful performance comparisons.
+    """
+    return np.random.default_rng(seed)
+
+
+def random_matrix(m: int, n: int, *, seed: int | None = 0, dtype=np.float64) -> np.ndarray:
+    """Return an ``m x n`` matrix with i.i.d. standard normal entries."""
+    if m < 0 or n < 0:
+        raise ShapeError(f"matrix dimensions must be non-negative, got {m}x{n}")
+    rng = default_rng(seed)
+    return rng.standard_normal((m, n)).astype(dtype, copy=False)
+
+
+def random_tall_skinny(
+    m: int, n: int, *, seed: int | None = 0, dtype=np.float64
+) -> np.ndarray:
+    """Return a random tall-and-skinny matrix, validating ``m >= n``.
+
+    TSQR requires at least as many rows as columns in every domain once the
+    recursion bottoms out; generating genuinely tall matrices in tests avoids
+    accidentally exercising the degenerate wide case.
+    """
+    if m < n:
+        raise ShapeError(f"tall-and-skinny requires m >= n, got {m} < {n}")
+    return random_matrix(m, n, seed=seed, dtype=dtype)
+
+
+def matrix_with_condition_number(
+    m: int, n: int, cond: float, *, seed: int | None = 0, dtype=np.float64
+) -> np.ndarray:
+    """Return an ``m x n`` matrix whose 2-norm condition number is ``cond``.
+
+    Built as ``U * diag(s) * V.T`` with Haar-ish orthonormal factors obtained
+    from QR of Gaussian matrices and geometrically spaced singular values from
+    ``1`` down to ``1/cond``.
+
+    Parameters
+    ----------
+    cond:
+        Target condition number, must be ``>= 1``.
+    """
+    if cond < 1.0:
+        raise ShapeError(f"condition number must be >= 1, got {cond}")
+    if m < n:
+        raise ShapeError(f"requires m >= n, got {m} < {n}")
+    rng = default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((m, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    if n == 1:
+        s = np.ones(1)
+    else:
+        s = np.geomspace(1.0, 1.0 / cond, n)
+    a = (u * s) @ v.T
+    return a.astype(dtype, copy=False)
+
+
+def graded_matrix(m: int, n: int, *, ratio: float = 1e8, seed: int | None = 0) -> np.ndarray:
+    """Return a matrix whose columns have widely different norms.
+
+    Column ``j`` is scaled by ``ratio ** (-j / (n-1))`` which stresses the
+    column-norm computations of Householder QR and the loss of orthogonality
+    of Gram-Schmidt variants.
+    """
+    a = random_matrix(m, n, seed=seed)
+    if n > 1:
+        scales = ratio ** (-np.arange(n) / (n - 1))
+        a = a * scales
+    return a

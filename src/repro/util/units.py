@@ -1,0 +1,97 @@
+"""Unit conversions used throughout the performance model and simulator.
+
+The paper mixes units freely (Mb/s link throughput, Gflop/s processor rates,
+microsecond latencies, matrices whose footprint is quoted in GB).  Keeping the
+conversions in one place avoids the classic factor-of-8 and factor-of-1000
+mistakes when calibrating the simulator against Table 3(a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "DOUBLE_BYTES",
+    "bytes_of",
+    "flops_to_gflops",
+    "gflops_rate",
+    "mbits_per_s_to_bytes_per_s",
+    "gbits_per_s_to_bytes_per_s",
+    "ms_to_seconds",
+    "us_to_seconds",
+    "seconds_to_us",
+    "seconds_to_ms",
+]
+
+#: Decimal kilo/mega/giga (the paper reports link rates in decimal Mb/s).
+KILO = 1.0e3
+MEGA = 1.0e6
+GIGA = 1.0e9
+
+#: Size of a double-precision real, in bytes (the paper works in real double).
+DOUBLE_BYTES = 8
+
+
+def bytes_of(n_elements: int | float, dtype=np.float64) -> int:
+    """Return the size in bytes of ``n_elements`` items of ``dtype``.
+
+    Parameters
+    ----------
+    n_elements:
+        Number of scalar elements (may be a float produced by a formula; it is
+        rounded to the nearest integer).
+    dtype:
+        NumPy dtype of the elements; defaults to double precision as used in
+        the paper's experiments.
+    """
+    itemsize = np.dtype(dtype).itemsize
+    return int(round(float(n_elements))) * itemsize
+
+
+def flops_to_gflops(flops: float) -> float:
+    """Convert a flop count into Gflop (decimal giga)."""
+    return float(flops) / GIGA
+
+
+def gflops_rate(flops: float, seconds: float) -> float:
+    """Return the achieved rate in Gflop/s for ``flops`` done in ``seconds``.
+
+    Returns ``0.0`` for non-positive durations (e.g. an empty simulation) so
+    reporting code never divides by zero.
+    """
+    if seconds <= 0.0:
+        return 0.0
+    return float(flops) / float(seconds) / GIGA
+
+
+def mbits_per_s_to_bytes_per_s(mbits: float) -> float:
+    """Convert a throughput in Mb/s (as in Table 3(a)) to bytes/s."""
+    return float(mbits) * MEGA / 8.0
+
+
+def gbits_per_s_to_bytes_per_s(gbits: float) -> float:
+    """Convert a throughput in Gb/s to bytes/s."""
+    return float(gbits) * GIGA / 8.0
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(ms) * 1.0e-3
+
+
+def us_to_seconds(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(us) * 1.0e-6
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return float(seconds) * 1.0e6
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(seconds) * 1.0e3

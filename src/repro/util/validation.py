@@ -1,0 +1,133 @@
+"""Numerical validation helpers for QR factorizations.
+
+The QR factorization is unique only up to the signs of the diagonal of ``R``
+(for a full-column-rank matrix).  Different algorithms (LAPACK Householder,
+TSQR with different trees, ScaLAPACK, Gram-Schmidt) legitimately produce R
+factors differing by a diagonal ``+-1`` matrix, so comparisons must normalize
+signs first.  These helpers centralise that logic plus the standard backward
+error metrics:
+
+* *factorization residual*  ``||A - Q R|| / ||A||``
+* *orthogonality error*     ``||I - Q^T Q||``
+
+both measured in the Frobenius norm scaled as is conventional in the
+communication-avoiding QR literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = [
+    "normalize_r_signs",
+    "normalize_qr_signs",
+    "r_factors_match",
+    "factorization_residual",
+    "orthogonality_error",
+    "relative_error",
+    "check_qr",
+]
+
+
+def normalize_r_signs(r: np.ndarray) -> np.ndarray:
+    """Return a copy of ``r`` with non-negative diagonal entries.
+
+    Rows whose diagonal entry is negative are flipped.  Zero diagonal entries
+    (rank-deficient input) are left untouched.
+    """
+    r = np.array(r, copy=True)
+    k = min(r.shape)
+    signs = np.sign(np.diagonal(r)[:k])
+    signs = np.where(signs == 0, 1.0, signs)
+    r[:k, :] = signs[:, None] * r[:k, :]
+    return r
+
+
+def normalize_qr_signs(q: np.ndarray, r: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize the sign ambiguity of a QR pair so that ``diag(R) >= 0``.
+
+    Both factors are adjusted consistently, preserving ``Q @ R``.
+    """
+    if q.shape[1] != r.shape[0]:
+        raise ShapeError(
+            f"inner dimensions of Q {q.shape} and R {r.shape} do not match"
+        )
+    k = min(r.shape)
+    signs = np.sign(np.diagonal(r)[:k])
+    signs = np.where(signs == 0, 1.0, signs)
+    full = np.ones(r.shape[0])
+    full[:k] = signs
+    r2 = full[:, None] * r
+    q2 = q * full[None, :]
+    return q2, r2
+
+
+def r_factors_match(r1: np.ndarray, r2: np.ndarray, *, rtol: float = 1e-10) -> bool:
+    """Return True when two R factors agree up to row signs.
+
+    The comparison is relative to the magnitude of the factors, so it remains
+    meaningful for badly scaled matrices.
+    """
+    a = normalize_r_signs(np.triu(r1))
+    b = normalize_r_signs(np.triu(r2))
+    if a.shape != b.shape:
+        return False
+    scale = max(np.linalg.norm(a), np.linalg.norm(b), 1e-300)
+    return bool(np.linalg.norm(a - b) <= rtol * scale)
+
+
+def factorization_residual(a: np.ndarray, q: np.ndarray, r: np.ndarray) -> float:
+    """Return the scaled backward error ``||A - QR||_F / ||A||_F``."""
+    norm_a = np.linalg.norm(a)
+    if norm_a == 0.0:
+        return float(np.linalg.norm(q @ r))
+    return float(np.linalg.norm(a - q @ r) / norm_a)
+
+
+def orthogonality_error(q: np.ndarray) -> float:
+    """Return ``||I - Q^T Q||_F``, the loss of orthogonality of ``Q``."""
+    k = q.shape[1]
+    return float(np.linalg.norm(np.eye(k) - q.T @ q))
+
+
+def relative_error(actual: np.ndarray, expected: np.ndarray) -> float:
+    """Return ``||actual - expected||_F / ||expected||_F`` (0-safe)."""
+    denom = np.linalg.norm(expected)
+    if denom == 0.0:
+        return float(np.linalg.norm(actual))
+    return float(np.linalg.norm(np.asarray(actual) - np.asarray(expected)) / denom)
+
+
+def check_qr(
+    a: np.ndarray,
+    q: np.ndarray,
+    r: np.ndarray,
+    *,
+    residual_tol: float = 1e-13,
+    orthogonality_tol: float = 1e-13,
+) -> dict[str, float]:
+    """Validate a QR factorization and return its error metrics.
+
+    Raises :class:`AssertionError` with a descriptive message when either the
+    reconstruction residual or the orthogonality error exceeds its tolerance
+    scaled by the problem size.  The scaling ``sqrt(m) * n`` keeps tolerances
+    meaningful from 10x4 test matrices up to the larger integration cases.
+    """
+    m, n = a.shape
+    scale = np.sqrt(m) * max(n, 1)
+    res = factorization_residual(a, q, r)
+    orth = orthogonality_error(q)
+    if res > residual_tol * scale:
+        raise AssertionError(
+            f"QR residual too large: {res:.3e} > {residual_tol * scale:.3e}"
+        )
+    if orth > orthogonality_tol * scale:
+        raise AssertionError(
+            f"Q orthogonality error too large: {orth:.3e} > {orthogonality_tol * scale:.3e}"
+        )
+    upper_violation = float(np.linalg.norm(np.tril(r, -1)))
+    if upper_violation > 0.0:
+        raise AssertionError(f"R is not upper triangular (||tril||={upper_violation:.3e})")
+    return {"residual": res, "orthogonality": orth}

@@ -1,0 +1,47 @@
+"""Virtual (shape-only) matrix payloads and analytic flop counts.
+
+See :mod:`repro.virtual.matrix` for the rationale: paper-scale benchmarks run
+the very same algorithms as the numerical tests, but on payloads that carry
+only shapes, so the simulator can sweep 33-million-row matrices in
+milliseconds while charging the correct flop and byte counts.
+"""
+
+from repro.virtual.flops import (
+    apply_q_flops,
+    form_q_flops,
+    gemm_flops,
+    larfb_flops,
+    larft_flops,
+    qr_flops,
+    scalapack_qr_flops_per_process,
+    stacked_triangle_qr_flops,
+    tsqr_critical_path_flops,
+    tsqr_flops_per_domain,
+)
+from repro.virtual.matrix import (
+    MatrixLike,
+    VirtualMatrix,
+    is_virtual,
+    nbytes_of,
+    shape_of,
+    vstack_shapes,
+)
+
+__all__ = [
+    "apply_q_flops",
+    "form_q_flops",
+    "gemm_flops",
+    "larfb_flops",
+    "larft_flops",
+    "qr_flops",
+    "scalapack_qr_flops_per_process",
+    "stacked_triangle_qr_flops",
+    "tsqr_critical_path_flops",
+    "tsqr_flops_per_domain",
+    "MatrixLike",
+    "VirtualMatrix",
+    "is_virtual",
+    "nbytes_of",
+    "shape_of",
+    "vstack_shapes",
+]

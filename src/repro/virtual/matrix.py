@@ -1,0 +1,177 @@
+"""Virtual (shape-only) matrix payloads.
+
+The paper's experiments factor matrices of up to 33.5 million rows (16 GB).
+Re-running those sweeps with real arrays would be pointless on a laptop and
+impossible in memory, yet the *communication structure* of the algorithms does
+not depend on matrix values at all — only on shapes.  A
+:class:`VirtualMatrix` therefore carries shape, dtype and structural metadata
+(general / upper-triangular) and is accepted by every kernel and distributed
+driver in place of a :class:`numpy.ndarray`.  Kernels receiving a virtual
+payload skip the arithmetic, charge the analytic flop count to the simulated
+clock and return virtual outputs of the correct shape.
+
+This is the mechanism that lets tests validate numerics on small real arrays
+through exactly the same code paths the paper-scale benchmarks execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.exceptions import ShapeError, VirtualPayloadError
+from repro.util.units import bytes_of
+
+__all__ = [
+    "VirtualMatrix",
+    "MatrixLike",
+    "is_virtual",
+    "shape_of",
+    "nbytes_of",
+    "vstack_shapes",
+]
+
+
+@dataclass(frozen=True)
+class VirtualMatrix:
+    """A matrix stand-in carrying only its metadata.
+
+    Attributes
+    ----------
+    m, n:
+        Number of rows and columns.  Both may be zero (empty domains are legal
+        in TSQR when there are more domains than rows).
+    structure:
+        ``"general"`` or ``"upper"`` (upper triangular/trapezoidal).  Only the
+        triangular flag matters for communication volume: an ``n x n`` upper
+        triangle is sent as ``n (n+1) / 2`` doubles, matching the paper's
+        ``N^2 / 2`` volume term.
+    dtype:
+        NumPy dtype name; double precision by default as in the paper.
+    """
+
+    m: int
+    n: int
+    structure: str = "general"
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0:
+            raise ShapeError(f"virtual matrix dimensions must be >= 0, got {self.m}x{self.n}")
+        if self.structure not in ("general", "upper"):
+            raise ShapeError(f"unknown structure {self.structure!r}")
+
+    # ------------------------------------------------------------------ api
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape tuple, mirroring :attr:`numpy.ndarray.shape`."""
+        return (self.m, self.n)
+
+    @property
+    def is_upper(self) -> bool:
+        """True when the payload is (upper) triangular/trapezoidal."""
+        return self.structure == "upper"
+
+    @property
+    def n_elements(self) -> int:
+        """Number of *stored* elements (triangles store only their upper part)."""
+        if self.is_upper:
+            k = min(self.m, self.n)
+            rect = (self.n - k) * k
+            return k * (k + 1) // 2 + rect
+        return self.m * self.n
+
+    @property
+    def nbytes(self) -> int:
+        """Communication footprint in bytes of the stored elements."""
+        return bytes_of(self.n_elements, np.dtype(self.dtype))
+
+    # -------------------------------------------------------------- builders
+    def rows(self, m: int) -> "VirtualMatrix":
+        """Return a copy with ``m`` rows (used when splitting block-rows)."""
+        return replace(self, m=int(m))
+
+    def columns(self, n: int) -> "VirtualMatrix":
+        """Return a copy with ``n`` columns (used when splitting panels)."""
+        return replace(self, n=int(n))
+
+    def as_upper(self) -> "VirtualMatrix":
+        """Return the same shape flagged as upper triangular."""
+        return replace(self, structure="upper")
+
+    def as_general(self) -> "VirtualMatrix":
+        """Return the same shape flagged as a general dense matrix."""
+        return replace(self, structure="general")
+
+    @classmethod
+    def like(cls, a: "MatrixLike", *, structure: str | None = None) -> "VirtualMatrix":
+        """Build a virtual matrix with the shape/dtype of ``a``.
+
+        ``a`` may be a real array or another virtual matrix.
+        """
+        if isinstance(a, VirtualMatrix):
+            return a if structure is None else replace(a, structure=structure)
+        arr = np.asarray(a)
+        if arr.ndim != 2:
+            raise ShapeError(f"expected a 2-D array, got ndim={arr.ndim}")
+        return cls(arr.shape[0], arr.shape[1], structure or "general", str(arr.dtype))
+
+    # ------------------------------------------------------------- guardrail
+    def __array__(self, dtype=None, copy=None):  # pragma: no cover - guard
+        raise VirtualPayloadError(
+            "a VirtualMatrix cannot be converted to a numpy array; "
+            "this code path requires real numeric data"
+        )
+
+
+#: Union type accepted by every kernel in :mod:`repro.kernels`.
+MatrixLike = np.ndarray | VirtualMatrix
+
+
+def is_virtual(a: MatrixLike) -> bool:
+    """Return True when ``a`` is a :class:`VirtualMatrix` payload."""
+    return isinstance(a, VirtualMatrix)
+
+
+def shape_of(a: MatrixLike) -> tuple[int, int]:
+    """Return the ``(m, n)`` shape of a real or virtual matrix."""
+    if isinstance(a, VirtualMatrix):
+        return a.shape
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
+    return (arr.shape[0], arr.shape[1])
+
+
+def nbytes_of(a: MatrixLike, *, assume_upper: bool = False) -> int:
+    """Return the number of bytes needed to communicate ``a``.
+
+    For real arrays the triangular optimisation is applied only when the
+    caller asserts the structure via ``assume_upper`` (we never inspect the
+    values).  Virtual matrices carry their structure themselves.
+    """
+    if isinstance(a, VirtualMatrix):
+        return a.nbytes
+    arr = np.asarray(a)
+    m, n = arr.shape
+    if assume_upper:
+        k = min(m, n)
+        elements = k * (k + 1) // 2 + (n - k) * k
+    else:
+        elements = m * n
+    return bytes_of(elements, arr.dtype)
+
+
+def vstack_shapes(shapes: list[MatrixLike]) -> tuple[int, int]:
+    """Return the shape of vertically stacking the given matrices.
+
+    All operands must have the same column count; empty blocks are allowed.
+    """
+    if not shapes:
+        raise ShapeError("cannot stack an empty list of matrices")
+    ncols = {shape_of(s)[1] for s in shapes}
+    if len(ncols) != 1:
+        raise ShapeError(f"cannot vstack matrices with differing column counts {ncols}")
+    total_rows = sum(shape_of(s)[0] for s in shapes)
+    return (total_rows, ncols.pop())

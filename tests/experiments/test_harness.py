@@ -1,0 +1,193 @@
+"""Tests for the evaluation harness: platform, workloads, runner, reporting.
+
+The figure sweeps themselves are exercised (at full scale, but with reduced
+point counts) by the benchmarks; here we test the harness machinery and a few
+cheap evaluation points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid5000 import (
+    CLUSTER_NAMES,
+    PAPER_LATENCY_MS,
+    Grid5000Settings,
+    grid5000_grid,
+    grid5000_network,
+    grid5000_platform,
+    site_subsets,
+)
+from repro.experiments.paper_data import PAPER_QUALITATIVE_CLAIMS, paper_reference
+from repro.experiments.report import ascii_series, ascii_table, format_points, write_csv
+from repro.experiments.runner import ExperimentRunner, PointSpec
+from repro.experiments.workloads import (
+    figure67_m_values,
+    generate_matrix,
+    paper_m_values,
+    reduced_m_values,
+)
+
+
+class TestGrid5000Platform:
+    def test_grid_matches_paper_clusters(self):
+        grid = grid5000_grid()
+        assert grid.cluster_names == CLUSTER_NAMES
+        assert grid.cluster("orsay").n_nodes == 312
+        assert grid.cluster("sophia").n_nodes == 56
+
+    def test_reserved_platform_sizes(self):
+        assert grid5000_platform(1).n_processes == 64
+        assert grid5000_platform(2).n_processes == 128
+        assert grid5000_platform(4).n_processes == 256
+
+    def test_practical_peak_close_to_940(self):
+        platform = grid5000_platform(4)
+        assert platform.practical_peak_gflops() == pytest.approx(940, rel=0.01)
+
+    def test_theoretical_peak_exceeds_practical(self):
+        platform = grid5000_platform(4)
+        assert platform.theoretical_peak_gflops() > platform.practical_peak_gflops()
+
+    def test_network_reproduces_table3a(self):
+        net = grid5000_network()
+        lat = net.latency_matrix_ms(list(CLUSTER_NAMES))
+        for (a, b), value in PAPER_LATENCY_MS.items():
+            key = (a, b) if (a, b) in lat else (b, a)
+            assert lat[key] == pytest.approx(value)
+
+    def test_inter_cluster_latency_two_orders_of_magnitude(self):
+        net = grid5000_network()
+        lat = net.latency_matrix_ms(list(CLUSTER_NAMES))
+        assert lat[("orsay", "toulouse")] / lat[("orsay", "orsay")] > 100
+
+    def test_site_subsets(self):
+        assert site_subsets(1) == ["orsay"]
+        assert len(site_subsets(4)) == 4
+        with pytest.raises(ConfigurationError):
+            site_subsets(3)
+
+    def test_settings_knobs_apply(self):
+        settings = Grid5000Settings(nodes_per_cluster=2, processes_per_node=1)
+        assert grid5000_platform(2, settings).n_processes == 4
+
+
+class TestWorkloads:
+    def test_paper_m_values_respect_caps(self):
+        for n in (64, 128, 256, 512):
+            values = paper_m_values(n)
+            assert all(m * n <= 2**32 and m <= 33_554_432 for m in values)
+            assert values == sorted(values)
+
+    def test_sweeps_reach_the_paper_extremes(self):
+        assert paper_m_values(64)[-1] == 33_554_432
+        assert paper_m_values(128)[-1] == 33_554_432
+        assert paper_m_values(512)[-1] == 8_388_608
+
+    def test_reduced_values_are_subset_spanning_range(self):
+        full = paper_m_values(64)
+        reduced = reduced_m_values(64, points=4)
+        assert set(reduced).issubset(full)
+        assert reduced[0] == full[0] and reduced[-1] == full[-1]
+        assert len(reduced) == 4
+
+    def test_reduced_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            reduced_m_values(64, points=1)
+
+    def test_unknown_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_m_values(100)
+        with pytest.raises(ConfigurationError):
+            figure67_m_values(100)
+
+    def test_generate_matrix(self):
+        assert generate_matrix(100, 8).shape == (100, 8)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        # A scaled-down reservation keeps these tests fast while exercising
+        # the full runner logic (2 clusters x 2 nodes x 2 processes).
+        return ExperimentRunner(Grid5000Settings(nodes_per_cluster=2, processes_per_node=2))
+
+    def test_point_specs_validated(self):
+        with pytest.raises(ConfigurationError):
+            PointSpec(algorithm="magic", m=10, n=5, n_sites=1)
+        with pytest.raises(ConfigurationError):
+            PointSpec(algorithm="tsqr", m=10, n=5, n_sites=1)
+
+    def test_tsqr_point_runs_and_caches(self, runner):
+        point = runner.tsqr_point(2**15, 64, 2, 4)
+        again = runner.tsqr_point(2**15, 64, 2, 4)
+        assert point is again  # memoised
+        assert point.gflops > 0
+        assert point.inter_cluster_messages >= 1
+
+    def test_scalapack_point_runs(self, runner):
+        point = runner.scalapack_point(2**15, 64, 2)
+        assert point.gflops > 0
+        assert point.total_messages > 0
+
+    def test_tsqr_beats_scalapack(self, runner):
+        ts = runner.tsqr_point(2**18, 64, 2, 4)
+        scal = runner.scalapack_point(2**18, 64, 2)
+        assert ts.gflops > scal.gflops
+
+    def test_best_tsqr_point_picks_max(self, runner):
+        best = runner.best_tsqr_point(2**15, 64, 2, domain_candidates=(2, 4))
+        for dpc in (2, 4):
+            assert best.gflops >= runner.tsqr_point(2**15, 64, 2, dpc).gflops
+
+    def test_best_over_sites(self, runner):
+        best = runner.best_over_sites("tsqr", 2**18, 64, sites=(1, 2), domain_candidates=(4,))
+        assert best.spec.n_sites in (1, 2)
+
+    def test_invalid_domains_per_cluster(self, runner):
+        with pytest.raises(ConfigurationError):
+            runner.tsqr_point(2**15, 64, 2, 3)
+
+    def test_point_rows_are_flat(self, runner):
+        row = runner.tsqr_point(2**15, 64, 2, 4).as_row()
+        assert row["algorithm"] == "tsqr"
+        assert "Gflop/s" in row
+
+
+class TestPaperData:
+    def test_reference_lookup(self):
+        assert paper_reference("fig5", 64, 4) == pytest.approx(95.0)
+        assert paper_reference("fig4", 512, 1) == pytest.approx(70.0)
+        assert paper_reference("fig5", 64, 3) is None
+
+    def test_qualitative_claims_documented(self):
+        assert "tsqr_beats_scalapack" in PAPER_QUALITATIVE_CLAIMS
+        assert len(PAPER_QUALITATIVE_CLAIMS) >= 6
+
+
+class TestReport:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "value"], [[1, 2.5], ["xy", 0.000001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_format_points_empty(self):
+        assert format_points([]) == "(no results)"
+
+    def test_ascii_series_renders(self):
+        text = ascii_series({"tsqr": [(1e5, 10.0), (1e7, 100.0)]}, xlabel="M", ylabel="Gflop/s")
+        assert "legend" in text
+        assert "Gflop/s" in text
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = write_csv(tmp_path / "out" / "data.csv", rows)
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert len(content) == 3
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", [])
+        assert path.read_text() == ""

@@ -1,0 +1,142 @@
+"""Tests for collective tree schedules and their virtual-time simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.gridsim.collectives import (
+    TreeSchedule,
+    binary_tree,
+    flat_tree,
+    hierarchical_tree,
+    simulate_broadcast,
+    simulate_reduce,
+)
+
+
+class TestTreeBuilders:
+    def test_flat_tree_structure(self):
+        tree = flat_tree(5)
+        assert tree.root == 0
+        assert tree.children[0] == (1, 2, 3, 4)
+        assert tree.depth() == 1
+
+    def test_binary_tree_depth_is_logarithmic(self):
+        tree = binary_tree(64)
+        assert tree.depth() == 6
+
+    def test_binary_tree_rooted_elsewhere(self):
+        tree = binary_tree(8, root=3)
+        assert tree.root == 3
+        assert tree.parent(3) is None
+        # Still spanning: every other position has a parent.
+        assert sum(1 for i in range(8) if tree.parent(i) is not None) == 7
+
+    def test_single_participant(self):
+        tree = binary_tree(1)
+        assert tree.depth() == 0
+        assert tree.edges() == []
+
+    def test_hierarchical_tree_inter_group_edges(self):
+        groups = [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11]]
+        tree = hierarchical_tree(groups)
+        cluster_of = {p: gi for gi, g in enumerate(groups) for p in g}
+        inter = [
+            (c, p) for c, p in tree.edges() if cluster_of[c] != cluster_of[p]
+        ]
+        # One inter-group edge per non-root group: the paper's optimal count.
+        assert len(inter) == 2
+
+    def test_hierarchical_tree_requires_partition(self):
+        with pytest.raises(TreeError):
+            hierarchical_tree([[0, 1], [3]])
+
+    def test_invalid_trees_rejected(self):
+        with pytest.raises(TreeError):
+            flat_tree(0)
+        with pytest.raises(TreeError):
+            binary_tree(4, root=9)
+        with pytest.raises(TreeError):
+            TreeSchedule(participants=(0, 1), root=0, children=((1,), (0,)))
+
+
+class TestTreeSchedule:
+    def test_parent_child_consistency(self):
+        tree = binary_tree(10)
+        for child, parent in tree.edges():
+            assert tree.parent(child) == parent
+            assert child in tree.children[parent]
+
+    def test_edge_count_is_n_minus_one(self):
+        for n in (1, 2, 5, 17):
+            assert len(binary_tree(n).edges()) == n - 1
+
+
+class TestSimulateReduce:
+    def _unit_edge(self, *_args):
+        return 1.0
+
+    def test_sum_reduce_value(self):
+        tree = binary_tree(7)
+        values = list(range(7))
+        result, clocks = simulate_reduce(
+            tree, values, [0.0] * 7, self._unit_edge, lambda a, b: (a + b, 0.0)
+        )
+        assert result == sum(range(7))
+        assert max(clocks) == clocks[tree.root]
+
+    def test_flat_tree_serialises_at_root(self):
+        # With enough participants the flat tree's root-side serialisation
+        # loses to the binary tree's logarithmic depth.
+        n = 64
+        tree = flat_tree(n)
+        _, clocks_flat = simulate_reduce(
+            tree, [1] * n, [0.0] * n, self._unit_edge, lambda a, b: (a, 0.5)
+        )
+        btree = binary_tree(n)
+        _, clocks_bin = simulate_reduce(
+            btree, [1] * n, [0.0] * n, self._unit_edge, lambda a, b: (a, 0.5)
+        )
+        assert clocks_flat[tree.root] > clocks_bin[btree.root]
+
+    def test_combine_cost_accumulates(self):
+        tree = flat_tree(3)
+        _, clocks = simulate_reduce(
+            tree, [0, 0, 0], [0.0] * 3, lambda *_: 0.0, lambda a, b: (a, 2.0)
+        )
+        assert clocks[tree.root] == pytest.approx(4.0)
+
+    def test_entry_clock_respected(self):
+        tree = binary_tree(2)
+        _, clocks = simulate_reduce(
+            tree, [0, 0], [0.0, 10.0], self._unit_edge, lambda a, b: (a, 0.0)
+        )
+        assert clocks[tree.root] == pytest.approx(11.0)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(TreeError):
+            simulate_reduce(binary_tree(3), [1, 2], [0.0, 0.0], self._unit_edge, lambda a, b: (a, 0))
+
+
+class TestSimulateBroadcast:
+    def test_all_receive_value(self):
+        tree = binary_tree(9)
+        values, clocks = simulate_broadcast(tree, "payload", [0.0] * 9, lambda *_: 1.0)
+        assert values == ["payload"] * 9
+        assert min(clocks[i] for i in range(9) if i != tree.root) >= 1.0
+
+    def test_depth_bounds_completion(self):
+        tree = binary_tree(16)
+        _, clocks = simulate_broadcast(tree, None, [0.0] * 16, lambda *_: 1.0)
+        # With sender serialisation, completion <= 2 * depth.
+        assert max(clocks) <= 2 * tree.depth() + 1e-9
+
+    def test_root_ready_delays_start(self):
+        tree = binary_tree(2)
+        _, clocks = simulate_broadcast(tree, None, [0.0, 0.0], lambda *_: 1.0, root_ready=5.0)
+        assert clocks[1] == pytest.approx(6.0)
+
+    def test_clock_size_mismatch(self):
+        with pytest.raises(TreeError):
+            simulate_broadcast(binary_tree(3), None, [0.0], lambda *_: 0.0)

@@ -1,0 +1,206 @@
+"""Tests for the simulated MPI communicator (p2p, collectives, split, timing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.gridsim.communicator import ReduceOp, payload_nbytes
+from repro.gridsim.executor import run_spmd
+from repro.virtual.matrix import VirtualMatrix
+
+
+class TestPayloadNbytes:
+    def test_none_is_free(self):
+        assert payload_nbytes(None) == 0
+
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros((4, 4))) == 128
+
+    def test_virtual_matrix_uses_structure(self):
+        assert payload_nbytes(VirtualMatrix(4, 4, structure="upper")) == 10 * 8
+
+    def test_scalars_and_strings(self):
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes("abcd") == 4
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_containers_sum_elements(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40 + 16
+
+    def test_unknown_object_gets_envelope(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self, platform8):
+        def prog(ctx):
+            right = (ctx.comm.rank + 1) % ctx.comm.size
+            left = (ctx.comm.rank - 1) % ctx.comm.size
+            ctx.comm.send(ctx.comm.rank, dest=right)
+            return ctx.comm.recv(source=left)
+
+        res = run_spmd(platform8, prog)
+        assert res.results == [(i - 1) % 8 for i in range(8)]
+
+    def test_message_advances_receiver_clock(self, platform8):
+        def prog(ctx):
+            if ctx.comm.rank == 0:
+                ctx.comm.send(np.zeros(1000), dest=4)  # rank 4 is on the other cluster
+            if ctx.comm.rank == 4:
+                ctx.comm.recv(source=0)
+            return ctx.clock()
+
+        res = run_spmd(platform8, prog)
+        assert res.results[4] >= 8e-3  # at least the inter-cluster latency
+        assert res.results[0] == 0.0  # eager send costs the sender nothing
+
+    def test_tags_keep_messages_separate(self, platform4_single_site):
+        def prog(ctx):
+            if ctx.comm.rank == 0:
+                ctx.comm.send("b", dest=1, tag="second")
+                ctx.comm.send("a", dest=1, tag="first")
+            if ctx.comm.rank == 1:
+                first = ctx.comm.recv(source=0, tag="first")
+                second = ctx.comm.recv(source=0, tag="second")
+                return (first, second)
+            return None
+
+        res = run_spmd(platform4_single_site, prog)
+        assert res.results[1] == ("a", "b")
+
+    def test_messages_recorded_by_link_class(self, platform8):
+        def prog(ctx):
+            if ctx.comm.rank == 0:
+                ctx.comm.send(None, dest=7)
+            if ctx.comm.rank == 7:
+                ctx.comm.recv(source=0)
+
+        res = run_spmd(platform8, prog)
+        assert res.trace.n_messages.get("inter-cluster") == 1
+
+
+class TestCollectives:
+    def test_allreduce_sum(self, platform8):
+        def prog(ctx):
+            return float(ctx.comm.allreduce(np.array([float(ctx.comm.rank)]))[0])
+
+        res = run_spmd(platform8, prog)
+        assert res.results == [28.0] * 8
+
+    def test_reduce_only_root_gets_result(self, platform8):
+        def prog(ctx):
+            return ctx.comm.reduce(np.array([1.0]), root=2)
+
+        res = run_spmd(platform8, prog)
+        assert float(res.results[2][0]) == 8.0
+        assert all(res.results[i] is None for i in range(8) if i != 2)
+
+    def test_bcast(self, platform8):
+        def prog(ctx):
+            payload = {"data": 42} if ctx.comm.rank == 3 else None
+            return ctx.comm.bcast(payload, root=3)["data"]
+
+        res = run_spmd(platform8, prog)
+        assert res.results == [42] * 8
+
+    def test_gather_and_scatter(self, platform8):
+        def prog(ctx):
+            gathered = ctx.comm.gather(ctx.comm.rank * 10, root=0)
+            items = [v + 1 for v in gathered] if ctx.comm.rank == 0 else None
+            return ctx.comm.scatter(items, root=0)
+
+        res = run_spmd(platform8, prog)
+        assert res.results == [i * 10 + 1 for i in range(8)]
+
+    def test_allgather(self, platform4_single_site):
+        def prog(ctx):
+            return ctx.comm.allgather(ctx.comm.rank)
+
+        res = run_spmd(platform4_single_site, prog)
+        assert all(r == [0, 1, 2, 3] for r in res.results)
+
+    def test_barrier_synchronises_clocks(self, platform8):
+        def prog(ctx):
+            if ctx.comm.rank == 5:
+                ctx.compute(1e9, kernel="gemm")
+            ctx.comm.barrier()
+            return ctx.clock()
+
+        res = run_spmd(platform8, prog)
+        slowest = 1e9 / platform8.kernel_model.rate("gemm")
+        assert all(t >= slowest for t in res.results)
+
+    def test_custom_reduce_op(self, platform4_single_site):
+        concat = ReduceOp(func=lambda a, b: (a or []) + (b or []), flops=lambda a, b: 0.0)
+
+        def prog(ctx):
+            return sorted(ctx.comm.allreduce([ctx.comm.rank], op=concat))
+
+        res = run_spmd(platform4_single_site, prog)
+        assert all(r == [0, 1, 2, 3] for r in res.results)
+
+    def test_hierarchical_collectives_cross_wan_once_per_site(self, platform8):
+        def prog(ctx):
+            ctx.comm.reduce(np.array([1.0]), root=0)
+
+        binary = run_spmd(platform8, prog, collective_tree="binary")
+        aware = run_spmd(platform8, prog, collective_tree="hierarchical")
+        assert aware.trace.n_messages.get("inter-cluster", 0) == 1
+        assert aware.trace.n_messages.get("inter-cluster", 0) <= binary.trace.n_messages.get(
+            "inter-cluster", 0
+        )
+
+
+class TestSplit:
+    def test_split_by_cluster(self, platform8):
+        def prog(ctx):
+            sub = ctx.comm.split(color=ctx.cluster)
+            return (sub.size, float(sub.allreduce(np.array([1.0]))[0]))
+
+        res = run_spmd(platform8, prog)
+        assert all(r == (4, 4.0) for r in res.results)
+
+    def test_split_with_none_color_opts_out(self, platform8):
+        def prog(ctx):
+            color = 0 if ctx.comm.rank < 2 else None
+            sub = ctx.comm.split(color=color)
+            return None if sub is None else sub.size
+
+        res = run_spmd(platform8, prog)
+        assert res.results[:2] == [2, 2]
+        assert all(r is None for r in res.results[2:])
+
+    def test_split_key_orders_ranks(self, platform4_single_site):
+        def prog(ctx):
+            sub = ctx.comm.split(color=0, key=-ctx.comm.rank)
+            return sub.rank
+
+        res = run_spmd(platform4_single_site, prog)
+        # Reverse key ordering: old rank 3 becomes new rank 0.
+        assert res.results == [3, 2, 1, 0]
+
+
+class TestFailures:
+    def test_rank_error_propagates(self, platform4_single_site):
+        def prog(ctx):
+            if ctx.comm.rank == 2:
+                raise ValueError("boom")
+            ctx.comm.barrier()
+
+        with pytest.raises(SimulationError, match="boom"):
+            run_spmd(platform4_single_site, prog)
+
+    def test_collective_mismatch_detected(self, platform4_single_site):
+        def prog(ctx):
+            if ctx.comm.rank == 0:
+                ctx.comm.bcast(1, root=0)
+            else:
+                ctx.comm.barrier()
+
+        with pytest.raises(SimulationError):
+            run_spmd(platform4_single_site, prog)

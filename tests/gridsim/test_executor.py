@@ -1,0 +1,99 @@
+"""Tests for the SPMD executor and virtual-time accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gridsim.executor import SPMDExecutor, run_spmd
+
+
+class TestExecution:
+    def test_results_in_rank_order(self, platform8):
+        res = run_spmd(platform8, lambda ctx: ctx.comm.rank * 2)
+        assert res.results == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_extra_arguments_forwarded(self, platform4_single_site):
+        def prog(ctx, offset, scale=1):
+            return ctx.comm.rank * scale + offset
+
+        res = run_spmd(platform4_single_site, prog, 10, scale=100)
+        assert res.results == [10, 110, 210, 310]
+
+    def test_rank_context_location(self, platform8):
+        def prog(ctx):
+            return (ctx.cluster, ctx.location.node, ctx.location.slot)
+
+        res = run_spmd(platform8, prog)
+        assert res.results[0] == ("site0", 0, 0)
+        assert res.results[7] == ("site1", 1, 1)
+
+    def test_makespan_is_max_clock(self, platform4_single_site):
+        def prog(ctx):
+            ctx.compute(1e9 * (ctx.comm.rank + 1), kernel="gemm")
+            return ctx.clock()
+
+        res = run_spmd(platform4_single_site, prog)
+        assert res.makespan == pytest.approx(max(res.results))
+        assert res.makespan == pytest.approx(res.clocks and max(res.clocks))
+
+    def test_wall_clock_does_not_leak_into_virtual_time(self, platform4_single_site):
+        def prog(ctx):
+            # Significant *real* numpy work, no ctx.compute charge.
+            a = np.random.default_rng(0).standard_normal((400, 400))
+            _ = a @ a
+            return ctx.clock()
+
+        res = run_spmd(platform4_single_site, prog)
+        assert res.makespan == 0.0
+
+    def test_subset_of_ranks(self, platform8):
+        executor = SPMDExecutor(platform8)
+        res = executor.run(lambda ctx: ctx.comm.size, ranks=[0, 1, 2])
+        assert res.results == [3, 3, 3]
+
+
+class TestComputeCharging:
+    def test_compute_uses_kernel_rate(self, platform4_single_site):
+        def prog(ctx):
+            ctx.compute(3.67e9, kernel="gemm")
+            return ctx.clock()
+
+        res = run_spmd(platform4_single_site, prog)
+        assert res.results[0] == pytest.approx(1.0)
+
+    def test_kernel_efficiency_ordering(self, platform4_single_site):
+        def prog(ctx):
+            ctx.compute(1e9, kernel="panel", n=64)
+            panel_time = ctx.clock()
+            ctx.compute(1e9, kernel="gemm")
+            gemm_time = ctx.clock() - panel_time
+            return panel_time, gemm_time
+
+        res = run_spmd(platform4_single_site, prog)
+        panel_time, gemm_time = res.results[0]
+        assert panel_time > gemm_time  # panel kernels are far below DGEMM speed
+
+    def test_flops_recorded_in_trace(self, platform4_single_site):
+        def prog(ctx):
+            ctx.compute(5e8, kernel="qr_leaf", n=32)
+
+        res = run_spmd(platform4_single_site, prog)
+        assert res.trace.flops_by_kernel["qr_leaf"] == pytest.approx(4 * 5e8)
+        assert res.trace.flops_per_rank_max == pytest.approx(5e8)
+
+    def test_unknown_kernel_rejected(self, platform4_single_site):
+        def prog(ctx):
+            ctx.compute(1.0, kernel="not-a-kernel")
+
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_spmd(platform4_single_site, prog)
+
+    def test_negative_flops_rejected(self, platform4_single_site):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            run_spmd(platform4_single_site, lambda ctx: ctx.compute(-5.0))

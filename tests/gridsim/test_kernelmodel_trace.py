@@ -1,0 +1,112 @@
+"""Tests for the kernel rate model and the execution trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gridsim.kernelmodel import KernelEfficiency, KernelRateModel
+from repro.gridsim.machine import ProcessorSpec
+from repro.gridsim.network import LinkClass
+from repro.gridsim.trace import Trace
+
+
+class TestKernelEfficiency:
+    def test_gemm_is_full_speed(self):
+        assert KernelEfficiency().efficiency("gemm") == 1.0
+
+    def test_qr_efficiency_grows_with_n(self):
+        eff = KernelEfficiency()
+        assert eff.efficiency("qr_leaf", 512) > eff.efficiency("qr_leaf", 64)
+
+    def test_panel_is_slowest(self):
+        eff = KernelEfficiency()
+        assert eff.efficiency("panel") < eff.efficiency("qr_leaf", 64)
+        assert eff.efficiency("panel") < eff.efficiency("update", 64)
+
+    def test_everything_below_gemm(self):
+        eff = KernelEfficiency()
+        for kernel in ("qr_leaf", "qr_combine", "panel", "update", "reduce_op", "generic"):
+            assert eff.efficiency(kernel, 512) <= 1.0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelEfficiency().efficiency("fft", 64)
+
+    def test_missing_n_uses_midcurve_default(self):
+        eff = KernelEfficiency()
+        assert 0.0 < eff.efficiency("qr_leaf", None) < 1.0
+
+
+class TestKernelRateModel:
+    def test_time_is_flops_over_rate(self):
+        model = KernelRateModel(processor=ProcessorSpec("p", 8.0, 2.0))
+        assert model.time(4e9, kernel="gemm") == pytest.approx(2.0)
+
+    def test_zero_flops_zero_time(self):
+        assert KernelRateModel().time(0.0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelRateModel().time(-1.0)
+
+    def test_processes_divide_time(self):
+        model = KernelRateModel()
+        assert model.time(1e9, processes=4) == pytest.approx(model.time(1e9) / 4)
+
+    def test_practical_peak_matches_paper(self):
+        # 256 processes at 3.67 Gflop/s each: about 940 Gflop/s (paper §V-B).
+        model = KernelRateModel(processor=ProcessorSpec("opteron", 10.4, 3.67))
+        assert model.practical_peak_gflops(256) == pytest.approx(939.5, rel=1e-3)
+
+
+class TestTrace:
+    def test_message_counters(self):
+        trace = Trace(4)
+        trace.record_message(0, 1, 100, LinkClass.INTRA_CLUSTER)
+        trace.record_message(0, 2, 50, LinkClass.INTER_CLUSTER)
+        trace.record_message(3, 2, 50, LinkClass.INTER_CLUSTER)
+        assert trace.message_count() == 3
+        assert trace.message_count(LinkClass.INTER_CLUSTER) == 2
+        assert trace.bytes_sent() == 200
+        summary = trace.summary()
+        assert summary.inter_cluster_messages == 2
+        assert summary.messages_per_rank_max == 2  # rank 0 and rank 2 both touch 2
+        assert summary.inter_cluster_messages_per_rank_max == 2
+
+    def test_self_messages_are_free(self):
+        trace = Trace(2)
+        trace.record_message(0, 0, 1000, LinkClass.SELF)
+        assert trace.message_count() == 0
+
+    def test_flop_accounting(self):
+        trace = Trace(2)
+        trace.record_flops(0, 100.0, "qr_leaf")
+        trace.record_flops(1, 300.0, "qr_leaf")
+        trace.record_flops(1, 50.0, "panel")
+        assert trace.flops() == 450.0
+        assert trace.flops(1) == 350.0
+        summary = trace.summary()
+        assert summary.flops_per_rank_max == 350.0
+        assert summary.flops_by_kernel["qr_leaf"] == 400.0
+
+    def test_non_positive_flops_ignored(self):
+        trace = Trace(1)
+        trace.record_flops(0, 0.0)
+        trace.record_flops(0, -5.0)
+        assert trace.flops() == 0.0
+
+    def test_record_messages_flag_keeps_records(self):
+        trace = Trace(2, record_messages=True)
+        trace.record_message(0, 1, 8, LinkClass.INTRA_NODE, tag="t")
+        assert len(trace.messages) == 1
+        assert trace.messages[0].tag == "t"
+
+    def test_reset(self):
+        trace = Trace(2, record_messages=True)
+        trace.record_message(0, 1, 8, LinkClass.INTRA_NODE)
+        trace.record_flops(0, 10.0)
+        trace.reset()
+        assert trace.message_count() == 0
+        assert trace.flops() == 0.0
+        assert trace.messages == []

@@ -1,0 +1,79 @@
+"""Tests for the machine model (processors, nodes, clusters, grids)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.gridsim.machine import ClusterSpec, GridSpec, NodeSpec, ProcessorSpec
+
+
+def _grid():
+    node = NodeSpec(processor=ProcessorSpec("cpu", 8.0, 3.67), processes_per_node=2)
+    return GridSpec(
+        "g",
+        (
+            ClusterSpec("alpha", 4, node),
+            ClusterSpec("beta", 2, node),
+        ),
+    )
+
+
+class TestProcessor:
+    def test_rates(self):
+        p = ProcessorSpec("cpu", 8.0, 3.67)
+        assert p.dgemm_flops_per_s == pytest.approx(3.67e9)
+
+    def test_invalid_rate(self):
+        with pytest.raises(TopologyError):
+            ProcessorSpec("cpu", 0.0, 1.0)
+
+
+class TestNodeCluster:
+    def test_node_aggregate_rate(self):
+        node = NodeSpec(processor=ProcessorSpec("cpu", 8.0, 3.0), processes_per_node=2)
+        assert node.dgemm_gflops == pytest.approx(6.0)
+
+    def test_node_needs_processes(self):
+        with pytest.raises(TopologyError):
+            NodeSpec(processes_per_node=0)
+
+    def test_cluster_process_count(self):
+        node = NodeSpec(processes_per_node=2)
+        cluster = ClusterSpec("c", 5, node)
+        assert cluster.n_processes == 10
+
+    def test_cluster_needs_nodes(self):
+        with pytest.raises(TopologyError):
+            ClusterSpec("c", 0)
+
+
+class TestGrid:
+    def test_totals(self):
+        grid = _grid()
+        assert grid.n_clusters == 2
+        assert grid.n_processes == 12
+        assert grid.dgemm_gflops == pytest.approx(12 * 3.67)
+
+    def test_lookup_by_name(self):
+        grid = _grid()
+        assert grid.cluster("beta").n_nodes == 2
+        assert grid.cluster_index("beta") == 1
+
+    def test_unknown_cluster(self):
+        with pytest.raises(TopologyError):
+            _grid().cluster("gamma")
+
+    def test_duplicate_names_rejected(self):
+        node = NodeSpec()
+        with pytest.raises(TopologyError):
+            GridSpec("g", (ClusterSpec("a", 1, node), ClusterSpec("a", 1, node)))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(TopologyError):
+            GridSpec("g", tuple())
+
+    def test_subset_preserves_order(self):
+        sub = _grid().subset(["beta"])
+        assert sub.cluster_names == ("beta",)
+        assert sub.n_processes == 4

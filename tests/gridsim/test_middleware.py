@@ -1,0 +1,131 @@
+"""Tests for the QCG-OMPI-like middleware: JobProfile, scheduler, group comms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AllocationError, ConfigurationError
+from repro.gridsim.executor import run_spmd
+from repro.gridsim.kernelmodel import KernelRateModel
+from repro.gridsim.middleware import (
+    JobProfile,
+    MetaScheduler,
+    NetworkRequirement,
+    ProcessGroupRequirement,
+    group_communicators,
+    topology_attributes,
+)
+
+from tests.conftest import make_grid, make_network
+
+
+def _scheduler(n_clusters=2, nodes=2, ppn=2):
+    return MetaScheduler(make_grid(n_clusters, nodes, ppn), make_network())
+
+
+class TestJobProfile:
+    def test_equal_power_profile(self):
+        profile = JobProfile.clusters_of_equal_power(4, 16)
+        assert profile.total_processes == 64
+        assert len(profile.groups) == 4
+
+    def test_duplicate_group_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobProfile(groups=(ProcessGroupRequirement("g", 1), ProcessGroupRequirement("g", 2)))
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobProfile(groups=tuple())
+
+    def test_group_needs_processes(self):
+        with pytest.raises(ConfigurationError):
+            ProcessGroupRequirement("g", 0)
+
+    def test_network_requirement_check(self):
+        req = NetworkRequirement(max_latency_s=1e-3, min_bandwidth_bytes_per_s=1e8)
+        assert req.satisfied_by(5e-4, 2e8)
+        assert not req.satisfied_by(5e-3, 2e8)
+        assert not req.satisfied_by(5e-4, 1e7)
+
+
+class TestMetaScheduler:
+    def test_one_group_per_cluster(self):
+        scheduler = _scheduler(2)
+        profile = JobProfile.clusters_of_equal_power(2, 4)
+        allocation = scheduler.allocate(profile)
+        assert allocation.cluster_of_group == ("site0", "site1")
+        assert allocation.placement.size == 8
+        assert allocation.ranks_of_group(0) == [0, 1, 2, 3]
+
+    def test_multiple_groups_share_a_cluster(self):
+        scheduler = _scheduler(2)
+        profile = JobProfile.clusters_of_equal_power(4, 2)
+        allocation = scheduler.allocate(profile)
+        # 4 groups of 2 over 2 clusters of capacity 4: two groups per cluster.
+        assert sorted(allocation.cluster_of_group) == ["site0", "site0", "site1", "site1"]
+
+    def test_capacity_exceeded_raises(self):
+        scheduler = _scheduler(1)
+        with pytest.raises(AllocationError):
+            scheduler.allocate(JobProfile.clusters_of_equal_power(1, 100))
+
+    def test_intra_group_requirement_unsatisfiable(self):
+        scheduler = _scheduler(1)
+        profile = JobProfile(
+            groups=(ProcessGroupRequirement("g", 2),),
+            intra_group=NetworkRequirement(max_latency_s=1e-9),
+        )
+        with pytest.raises(AllocationError):
+            scheduler.allocate(profile)
+
+    def test_inter_group_requirement_unsatisfiable(self):
+        scheduler = _scheduler(2)
+        profile = JobProfile(
+            groups=(ProcessGroupRequirement("a", 4), ProcessGroupRequirement("b", 4)),
+            inter_group=NetworkRequirement(max_latency_s=1e-6),
+        )
+        with pytest.raises(AllocationError):
+            scheduler.allocate(profile)
+
+    def test_nodes_per_cluster_limit(self):
+        scheduler = _scheduler(1, nodes=2, ppn=2)
+        profile = JobProfile.clusters_of_equal_power(1, 2)
+        allocation = scheduler.allocate(profile, nodes_per_cluster=1)
+        assert allocation.placement.size == 2
+        with pytest.raises(AllocationError):
+            scheduler.allocate(profile, nodes_per_cluster=5)
+
+    def test_platform_wrapper(self):
+        scheduler = _scheduler(2)
+        allocation = scheduler.allocate(JobProfile.clusters_of_equal_power(2, 4))
+        platform = scheduler.platform(allocation, KernelRateModel())
+        assert platform.n_processes == 8
+        assert platform.n_sites == 2
+
+
+class TestTopologyAttributes:
+    def test_attributes_per_rank(self):
+        scheduler = _scheduler(2)
+        allocation = scheduler.allocate(JobProfile.clusters_of_equal_power(2, 4))
+        attrs = topology_attributes(allocation, 5)
+        assert attrs.group == 1
+        assert attrs.group_size == 4
+        assert attrs.group_leader_world_rank == 4
+        assert attrs.cluster == "site1"
+        assert attrs.n_groups == 2
+
+    def test_group_communicators_spmd(self):
+        scheduler = _scheduler(2)
+        allocation = scheduler.allocate(JobProfile.clusters_of_equal_power(2, 4))
+        platform = scheduler.platform(allocation, KernelRateModel())
+
+        def prog(ctx):
+            comms = group_communicators(ctx.comm, allocation)
+            leader_count = 1 if comms.is_leader else 0
+            return (comms.attributes.group, comms.group_comm.size, leader_count)
+
+        res = run_spmd(platform, prog)
+        groups = [r[0] for r in res.results]
+        assert groups == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert all(r[1] == 4 for r in res.results)
+        assert sum(r[2] for r in res.results) == 2  # exactly one leader per group

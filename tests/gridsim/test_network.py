@@ -1,0 +1,104 @@
+"""Tests for the hierarchical network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.gridsim.network import LinkClass, LinkSpec, NetworkModel
+
+
+def _network():
+    return NetworkModel(
+        intra_node=LinkSpec.from_us_mbits(17.0, 5000.0),
+        intra_cluster=LinkSpec.from_ms_mbits(0.06, 890.0),
+        inter_cluster={
+            ("a", "b"): LinkSpec.from_ms_mbits(8.0, 90.0),
+        },
+        inter_cluster_default=LinkSpec.from_ms_mbits(10.0, 60.0),
+    )
+
+
+class TestLinkSpec:
+    def test_transfer_time_alpha_beta(self):
+        link = LinkSpec(latency_s=1e-3, bandwidth_bytes_per_s=1e6)
+        assert link.transfer_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_overhead_added(self):
+        link = LinkSpec(latency_s=1e-3, bandwidth_bytes_per_s=1e6, per_message_overhead_s=2e-3)
+        assert link.transfer_time(0) == pytest.approx(3e-3)
+
+    def test_from_ms_mbits(self):
+        link = LinkSpec.from_ms_mbits(8.0, 80.0)
+        assert link.latency_s == pytest.approx(8e-3)
+        assert link.bandwidth_bytes_per_s == pytest.approx(1e7)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(TopologyError):
+            LinkSpec(latency_s=0.0, bandwidth_bytes_per_s=0.0)
+
+    def test_negative_message_size(self):
+        with pytest.raises(TopologyError):
+            LinkSpec(1e-3, 1e6).transfer_time(-1)
+
+
+class TestClassification:
+    def test_same_node(self):
+        assert _network().classify("a", 0, "a", 0) is LinkClass.INTRA_NODE
+
+    def test_same_cluster_different_node(self):
+        assert _network().classify("a", 0, "a", 1) is LinkClass.INTRA_CLUSTER
+
+    def test_different_cluster(self):
+        assert _network().classify("a", 0, "b", 0) is LinkClass.INTER_CLUSTER
+
+    def test_self(self):
+        assert _network().classify("a", 0, "a", 0, same_process=True) is LinkClass.SELF
+
+
+class TestLinkSelection:
+    def test_known_pair_uses_specific_link(self):
+        net = _network()
+        link = net.link_for(LinkClass.INTER_CLUSTER, "b", "a")  # reversed order
+        assert link.latency_s == pytest.approx(8e-3)
+
+    def test_unknown_pair_falls_back_to_default(self):
+        net = _network()
+        link = net.link_for(LinkClass.INTER_CLUSTER, "a", "z")
+        assert link.latency_s == pytest.approx(10e-3)
+
+    def test_missing_default_raises(self):
+        net = NetworkModel(
+            intra_node=LinkSpec.from_us_mbits(17.0, 5000.0),
+            intra_cluster=LinkSpec.from_ms_mbits(0.06, 890.0),
+        )
+        with pytest.raises(TopologyError):
+            net.link_for(LinkClass.INTER_CLUSTER, "a", "b")
+
+    def test_intra_cluster_override(self):
+        net = NetworkModel(
+            intra_node=LinkSpec.from_us_mbits(17.0, 5000.0),
+            intra_cluster=LinkSpec.from_ms_mbits(0.06, 890.0),
+            intra_cluster_overrides={"slow": LinkSpec.from_ms_mbits(0.5, 100.0)},
+        )
+        assert net.link_for(LinkClass.INTRA_CLUSTER, "slow", "slow").latency_s == pytest.approx(5e-4)
+        assert net.link_for(LinkClass.INTRA_CLUSTER, "fast", "fast").latency_s == pytest.approx(6e-5)
+
+    def test_transfer_time_orders_of_magnitude(self):
+        # The paper's point: inter-cluster latency ~100x intra-cluster.
+        net = _network()
+        intra = net.transfer_time(0, "a", 0, "a", 1)
+        inter = net.transfer_time(0, "a", 0, "b", 0)
+        assert inter / intra > 50
+
+
+class TestMatrices:
+    def test_latency_matrix(self):
+        mat = _network().latency_matrix_ms(["a", "b"])
+        assert mat[("a", "a")] == pytest.approx(0.06)
+        assert mat[("a", "b")] == pytest.approx(8.0)
+
+    def test_throughput_matrix(self):
+        mat = _network().throughput_matrix_mbits(["a", "b"])
+        assert mat[("a", "a")] == pytest.approx(890.0)
+        assert mat[("a", "b")] == pytest.approx(90.0)

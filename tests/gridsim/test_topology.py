@@ -1,0 +1,107 @@
+"""Tests for process placement and locality queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlacementError
+from repro.gridsim.network import LinkClass
+from repro.gridsim.topology import ProcessLocation, ProcessPlacement, block_placement, round_robin_placement
+
+from tests.conftest import make_grid, make_network
+
+
+class TestBlockPlacement:
+    def test_counts_and_order(self):
+        grid = make_grid(2, 2, 2)
+        placement = block_placement(grid)
+        assert placement.size == 8
+        # First four ranks on cluster 0, next four on cluster 1.
+        assert placement.cluster_of(0) == "site0"
+        assert placement.cluster_of(3) == "site0"
+        assert placement.cluster_of(4) == "site1"
+
+    def test_partial_reservation(self):
+        grid = make_grid(2, 4, 2)
+        placement = block_placement(grid, nodes_per_cluster=2, processes_per_node=1)
+        assert placement.size == 4
+        assert placement.ranks_of_cluster("site0") == [0, 1]
+
+    def test_cluster_subset(self):
+        grid = make_grid(3, 2, 2)
+        placement = block_placement(grid, clusters=["site2"])
+        assert placement.clusters_used() == ["site2"]
+
+    def test_over_reservation_rejected(self):
+        grid = make_grid(1, 2, 2)
+        with pytest.raises(PlacementError):
+            block_placement(grid, nodes_per_cluster=3)
+        with pytest.raises(PlacementError):
+            block_placement(grid, processes_per_node=3)
+
+
+class TestRoundRobinPlacement:
+    def test_alternates_clusters(self):
+        grid = make_grid(2, 2, 2)
+        placement = round_robin_placement(grid, 6)
+        assert placement.cluster_of(0) == "site0"
+        assert placement.cluster_of(1) == "site1"
+        assert placement.cluster_of(2) == "site0"
+
+    def test_capacity_exceeded(self):
+        grid = make_grid(1, 1, 1)
+        with pytest.raises(PlacementError):
+            round_robin_placement(grid, 3)
+
+
+class TestLocalityQueries:
+    def test_same_node_and_cluster(self):
+        grid = make_grid(2, 2, 2)
+        placement = block_placement(grid)
+        assert placement.same_node(0, 1)
+        assert not placement.same_node(0, 2)
+        assert placement.same_cluster(0, 3)
+        assert not placement.same_cluster(0, 4)
+
+    def test_link_class(self):
+        grid = make_grid(2, 2, 2)
+        placement = block_placement(grid)
+        net = make_network()
+        assert placement.link_class(net, 0, 0) is LinkClass.SELF
+        assert placement.link_class(net, 0, 1) is LinkClass.INTRA_NODE
+        assert placement.link_class(net, 0, 2) is LinkClass.INTRA_CLUSTER
+        assert placement.link_class(net, 0, 4) is LinkClass.INTER_CLUSTER
+
+    def test_transfer_time_self_is_zero(self):
+        grid = make_grid(1, 1, 2)
+        placement = block_placement(grid)
+        assert placement.transfer_time(make_network(), 100, 0, 0) == 0.0
+
+    def test_ranks_by_cluster(self):
+        grid = make_grid(2, 1, 2)
+        placement = block_placement(grid)
+        groups = placement.ranks_by_cluster()
+        assert groups == {"site0": [0, 1], "site1": [2, 3]}
+
+    def test_rank_out_of_range(self):
+        grid = make_grid(1, 1, 2)
+        placement = block_placement(grid)
+        with pytest.raises(PlacementError):
+            placement.location(5)
+
+
+class TestValidation:
+    def test_unknown_cluster_rejected(self):
+        grid = make_grid(1, 1, 1)
+        with pytest.raises(PlacementError):
+            ProcessPlacement(grid=grid, locations=(ProcessLocation("nope", 0, 0),))
+
+    def test_node_out_of_range_rejected(self):
+        grid = make_grid(1, 1, 1)
+        with pytest.raises(PlacementError):
+            ProcessPlacement(grid=grid, locations=(ProcessLocation("site0", 5, 0),))
+
+    def test_slot_out_of_range_rejected(self):
+        grid = make_grid(1, 1, 1)
+        with pytest.raises(PlacementError):
+            ProcessPlacement(grid=grid, locations=(ProcessLocation("site0", 0, 7),))

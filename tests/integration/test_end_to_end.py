@@ -1,0 +1,185 @@
+"""Integration tests: the full stack, end to end.
+
+These tests cross module boundaries on purpose: sequential TSQR vs the
+distributed QCG-TSQR vs the ScaLAPACK baseline vs LAPACK, the middleware
+driving the parallel run, the paper's qualitative claims on a scaled-down
+grid, and the agreement between the analytic model and the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.grid5000 import Grid5000Settings
+from repro.experiments.runner import ExperimentRunner
+from repro.gridsim import (
+    JobProfile,
+    KernelRateModel,
+    MetaScheduler,
+    group_communicators,
+    run_spmd,
+)
+from repro.model.costs import scalapack_costs, tsqr_costs
+from repro.model.predictor import MachineParameters, predict_pair
+from repro.model.properties import (
+    check_monotone_increase,
+    check_property1_q_costs_double,
+    check_property2_bounded_by_domain_rate,
+)
+from repro.scalapack import ScaLAPACKConfig, run_scalapack_qr
+from repro.tsqr import TSQRConfig, run_parallel_tsqr, tsqr
+from repro.util.random_matrices import random_tall_skinny
+from repro.util.validation import check_qr, r_factors_match
+
+from tests.conftest import make_grid, make_network
+
+
+class TestNumericalAgreement:
+    """All implementations must produce the same R factor as LAPACK."""
+
+    def test_all_algorithms_agree(self, platform8):
+        a = random_tall_skinny(400, 12, seed=42)
+        reference = np.linalg.qr(a, mode="r")
+        seq = tsqr(a, 8, want_q=True)
+        par = run_parallel_tsqr(platform8, TSQRConfig(m=400, n=12, matrix=a, want_q=True))
+        scal = run_scalapack_qr(platform8, ScaLAPACKConfig(m=400, n=12, matrix=a, want_q=True))
+        for r in (seq.r, par.r, scal.r):
+            assert r_factors_match(r, reference)
+        check_qr(a, seq.q.explicit(), seq.r)
+        check_qr(a, par.q, par.r)
+        check_qr(a, scal.q, scal.r)
+
+    def test_parallel_equals_sequential_bitwise_r_shape(self, platform8):
+        a = random_tall_skinny(256, 8, seed=43)
+        par = run_parallel_tsqr(platform8, TSQRConfig(m=256, n=8, matrix=a))
+        assert par.r.shape == (8, 8)
+        assert np.allclose(np.tril(par.r, -1), 0.0)
+
+
+class TestMiddlewareDrivenRun:
+    """The §III workflow: JobProfile -> allocation -> group comms -> TSQR."""
+
+    def test_qcg_workflow(self):
+        grid = make_grid(2, 2, 2)
+        scheduler = MetaScheduler(grid, make_network())
+        profile = JobProfile.clusters_of_equal_power(2, 4)
+        allocation = scheduler.allocate(profile)
+        platform = scheduler.platform(allocation, KernelRateModel())
+        a = random_tall_skinny(320, 6, seed=44)
+
+        def prog(ctx):
+            comms = group_communicators(ctx.comm, allocation)
+            # One domain per group: factor the group's rows with the
+            # distributed QR, then combine the two group R factors.
+            from repro.scalapack.descriptor import RowBlockDescriptor
+            from repro.scalapack.pdgeqrf import pdgeqrf
+            from repro.kernels.tskernels import qr_of_stacked_triangles
+
+            group = comms.attributes.group
+            rows = slice(group * 160, (group + 1) * 160)
+            desc = RowBlockDescriptor(160, 6, comms.group_comm.size)
+            start, stop = desc.row_range(comms.group_comm.rank)
+            local = np.array(a[rows][start:stop], copy=True)
+            fact = pdgeqrf(ctx, comms.group_comm, local)
+            if comms.is_leader:
+                if comms.leaders_comm.rank == 1:
+                    comms.leaders_comm.send(fact.r, dest=0)
+                    return None
+                other = comms.leaders_comm.recv(source=1)
+                return qr_of_stacked_triangles(np.triu(fact.r), np.triu(other), want_q=False).r
+            return None
+
+        res = run_spmd(platform, prog)
+        final_r = next(r for r in res.results if r is not None)
+        assert r_factors_match(final_r, np.linalg.qr(a, mode="r"))
+        # Exactly one wide-area message: the leaders' exchange.
+        assert res.trace.inter_cluster_messages == 1
+
+
+class TestPaperClaimsOnScaledDownGrid:
+    """The qualitative conclusions of §V on a reduced Grid'5000 reservation."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(Grid5000Settings(nodes_per_cluster=4, processes_per_node=2))
+
+    def test_tsqr_beats_scalapack_everywhere(self, runner):
+        for m in (2**17, 2**21):
+            for sites in (1, 2, 4):
+                ts = runner.best_tsqr_point(m, 64, sites, domain_candidates=(8,))
+                scal = runner.scalapack_point(m, 64, sites)
+                assert ts.gflops > scal.gflops
+
+    def test_tsqr_scales_with_sites_for_tall_matrices(self, runner):
+        points = [runner.tsqr_point(2**23, 64, s, 8) for s in (1, 2, 4)]
+        speedup = points[2].gflops / points[0].gflops
+        assert speedup > 3.0  # paper: "almost 4.0"
+        assert points[2].gflops > points[1].gflops > points[0].gflops
+
+    def test_scalapack_speedup_is_limited(self, runner):
+        one = runner.scalapack_point(2**23, 64, 1)
+        four = runner.scalapack_point(2**23, 64, 4)
+        assert four.gflops / one.gflops < 2.5  # paper: hardly surpasses 2.0
+
+    def test_performance_increases_with_m_and_n(self, runner):
+        gflops_by_m = [runner.tsqr_point(m, 64, 4, 8).gflops for m in (2**16, 2**19, 2**22)]
+        assert check_monotone_increase([1, 2, 3], gflops_by_m).holds
+        gflops_by_n = [runner.tsqr_point(2**20, n, 4, 8).gflops for n in (64, 128, 256)]
+        assert check_monotone_increase([1, 2, 3], gflops_by_n).holds
+
+    def test_never_exceeds_practical_peak(self, runner):
+        peak = runner.platform(4).practical_peak_gflops()
+        point = runner.tsqr_point(2**23, 512, 4, 8)
+        assert check_property2_bounded_by_domain_rate(point.gflops, peak).holds
+
+    def test_property1_q_costs_double(self, runner):
+        r_only = runner.tsqr_point(2**20, 64, 2, 8)
+        with_q = runner.run_point(
+            type(r_only.spec)(
+                algorithm="tsqr", m=2**20, n=64, n_sites=2, domains_per_cluster=8, want_q=True
+            )
+        )
+        assert check_property1_q_costs_double(r_only.time_s, with_q.time_s).holds
+
+    def test_tuned_tree_sends_minimal_wan_messages(self, runner):
+        point = runner.tsqr_point(2**20, 64, 4, 8)
+        # 4 sites, R-only reduction: exactly 3 inter-cluster messages.
+        assert point.inter_cluster_messages == 3
+
+    def test_scalapack_wan_messages_grow_with_n(self, runner):
+        narrow = runner.scalapack_point(2**18, 64, 4)
+        wide = runner.scalapack_point(2**18, 128, 4)
+        assert wide.inter_cluster_messages > narrow.inter_cluster_messages
+        assert narrow.inter_cluster_messages > 10  # far more than TSQR's 3
+
+
+class TestModelAgainstSimulator:
+    """Eq. (1) with Table I counts should predict the simulator's ordering."""
+
+    def test_model_and_simulation_agree_on_who_wins(self, platform16):
+        m, n = 2**20, 64
+        p = platform16.n_processes
+        machine = MachineParameters.from_link(
+            latency_s=8e-3,
+            bandwidth_bytes_per_s=1.125e7,
+            domain_gflops=platform16.kernel_model.rate("qr_leaf", n) / 1e9,
+        )
+        scal_pred, tsqr_pred = predict_pair(m, n, p, machine)
+        scal_sim = run_scalapack_qr(platform16, ScaLAPACKConfig(m=m, n=n))
+        tsqr_sim = run_parallel_tsqr(platform16, TSQRConfig(m=m, n=n))
+        assert (tsqr_pred.time_s < scal_pred.time_s) == (
+            tsqr_sim.makespan_s < scal_sim.makespan_s
+        )
+
+    def test_measured_message_ratio_tracks_model(self, platform16):
+        m, n = 2**18, 64
+        p = platform16.n_processes
+        scal = run_scalapack_qr(platform16, ScaLAPACKConfig(m=m, n=n))
+        ts = run_parallel_tsqr(platform16, TSQRConfig(m=m, n=n))
+        model_ratio = scalapack_costs(m, n, p).messages / tsqr_costs(m, n, p).messages
+        measured_ratio = (
+            scal.trace.messages_per_rank_max / max(ts.trace.messages_per_rank_max, 1)
+        )
+        # Same order of magnitude: the baseline sends ~2N times more messages.
+        assert measured_ratio > model_ratio / 10

@@ -1,0 +1,115 @@
+"""Tests for the baseline orthogonalization kernels: Givens, Gram-Schmidt, CholQR.
+
+These kernels exist as comparison points (paper §II-C history and §II-E
+stability discussion); the tests check both their correctness on well-behaved
+inputs and the *instability* that motivates TSQR on ill-conditioned ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FactorizationError, ShapeError
+from repro.kernels.cholqr import cholqr, cholqr2
+from repro.kernels.givens import givens_qr, givens_rotation
+from repro.kernels.gram_schmidt import cgs, cgs2, mgs
+from repro.util.random_matrices import matrix_with_condition_number, random_tall_skinny
+from repro.util.validation import check_qr, orthogonality_error, r_factors_match
+
+
+class TestGivens:
+    def test_rotation_zeroes_second_entry(self):
+        c, s = givens_rotation(3.0, 4.0)
+        g = np.array([[c, s], [-s, c]])
+        y = g @ np.array([3.0, 4.0])
+        assert np.isclose(y[0], 5.0)
+        assert np.isclose(y[1], 0.0)
+
+    def test_rotation_handles_zeros(self):
+        assert givens_rotation(1.0, 0.0) == (1.0, 0.0)
+        c, s = givens_rotation(0.0, -2.0)
+        assert np.isclose(c, 0.0) and np.isclose(abs(s), 1.0)
+
+    def test_qr_matches_householder(self):
+        a = random_tall_skinny(30, 6, seed=1)
+        q, r = givens_qr(a)
+        check_qr(a, q, r)
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"))
+
+    def test_r_only_mode(self):
+        a = random_tall_skinny(20, 5, seed=2)
+        q, r = givens_qr(a, want_q=False)
+        assert q is None
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"))
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ShapeError):
+            givens_qr(np.zeros(5))
+
+
+class TestGramSchmidt:
+    @pytest.mark.parametrize("scheme", [cgs, mgs, cgs2])
+    def test_well_conditioned_input(self, scheme):
+        a = random_tall_skinny(80, 10, seed=3)
+        q, r = scheme(a)
+        check_qr(a, q, r, residual_tol=1e-12, orthogonality_tol=1e-10)
+
+    def test_cgs_loses_orthogonality_on_ill_conditioned_input(self):
+        a = matrix_with_condition_number(300, 12, 1e12, seed=4)
+        q, _ = cgs(a)
+        assert orthogonality_error(q) > 1e-4
+
+    def test_mgs_is_better_than_cgs(self):
+        a = matrix_with_condition_number(300, 12, 1e10, seed=5)
+        q_cgs, _ = cgs(a)
+        q_mgs, _ = mgs(a)
+        assert orthogonality_error(q_mgs) < orthogonality_error(q_cgs)
+
+    def test_cgs2_restores_orthogonality(self):
+        a = matrix_with_condition_number(300, 12, 1e10, seed=6)
+        q, _ = cgs2(a)
+        assert orthogonality_error(q) < 1e-11
+
+    def test_rank_deficiency_raises(self):
+        a = random_tall_skinny(30, 4, seed=7)
+        a[:, 3] = a[:, 0]
+        with pytest.raises(FactorizationError):
+            cgs(a)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            mgs(np.zeros((3, 5)))
+
+
+class TestCholQR:
+    def test_well_conditioned_input(self):
+        a = random_tall_skinny(100, 8, seed=8)
+        q, r = cholqr(a)
+        check_qr(a, q, r, orthogonality_tol=1e-10)
+
+    def test_r_matches_householder(self):
+        a = random_tall_skinny(60, 6, seed=9)
+        _, r = cholqr(a)
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"), rtol=1e-8)
+
+    def test_breakdown_on_extremely_ill_conditioned_input(self):
+        a = matrix_with_condition_number(200, 8, 1e16, seed=10)
+        with pytest.raises(FactorizationError):
+            cholqr(a)
+
+    def test_cholqr_loses_orthogonality_quadratically(self):
+        a = matrix_with_condition_number(400, 10, 1e7, seed=11)
+        q, _ = cholqr(a)
+        # kappa^2 * eps ~ 1e14 * 1e-16 ~ 1e-2: clearly worse than machine eps.
+        assert orthogonality_error(q) > 1e-6
+
+    def test_cholqr2_recovers_orthogonality(self):
+        a = matrix_with_condition_number(400, 10, 1e6, seed=12)
+        q, r = cholqr2(a)
+        assert orthogonality_error(q) < 1e-12
+        check_qr(a, q, r, orthogonality_tol=1e-11)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            cholqr(np.zeros((3, 5)))

@@ -1,0 +1,177 @@
+"""Tests for the Householder QR kernels (GEQR2/GEQRF/LARFT/LARFB/ORGQR/ORMQR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.kernels.householder import (
+    apply_q,
+    form_q,
+    geqr2,
+    geqrf,
+    householder_reflector,
+    larfb,
+    larft,
+)
+from repro.util.random_matrices import graded_matrix, random_matrix, random_tall_skinny
+from repro.util.validation import check_qr, r_factors_match
+
+
+class TestReflector:
+    def test_annihilates_tail(self):
+        x = np.array([3.0, 4.0, 0.0, -2.0])
+        v, tau, beta = householder_reflector(x)
+        h = np.eye(4) - tau * np.outer(v, v)
+        y = h @ x
+        assert np.isclose(abs(y[0]), np.linalg.norm(x))
+        assert np.allclose(y[1:], 0.0, atol=1e-14)
+        assert np.isclose(y[0], beta)
+
+    def test_reflector_is_orthogonal(self):
+        x = random_matrix(6, 1, seed=1)[:, 0]
+        v, tau, _ = householder_reflector(x)
+        h = np.eye(6) - tau * np.outer(v, v)
+        assert np.allclose(h @ h.T, np.eye(6), atol=1e-14)
+
+    def test_zero_tail_gives_identity(self):
+        v, tau, beta = householder_reflector(np.array([5.0, 0.0, 0.0]))
+        assert tau == 0.0
+        assert beta == 5.0
+
+    def test_single_element(self):
+        v, tau, beta = householder_reflector(np.array([-3.0]))
+        assert tau == 0.0 and beta == -3.0
+
+    def test_sign_choice_avoids_cancellation(self):
+        x = np.array([1.0, 1e-8])
+        _, _, beta = householder_reflector(x)
+        assert beta < 0  # opposite sign of x[0]
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ShapeError):
+            householder_reflector(np.zeros((2, 2)))
+
+
+class TestGeqr2:
+    @pytest.mark.parametrize("m,n", [(10, 4), (25, 25), (7, 3), (40, 1)])
+    def test_factorization_is_exact(self, m, n):
+        a = random_matrix(m, n, seed=m * 100 + n)
+        fact = geqr2(a)
+        check_qr(a, fact.q(), fact.r)
+
+    def test_matches_numpy_r(self):
+        a = random_tall_skinny(60, 8, seed=3)
+        fact = geqr2(a)
+        assert r_factors_match(fact.r, np.linalg.qr(a, mode="r"))
+
+    def test_wide_matrix(self):
+        a = random_matrix(4, 9, seed=5)
+        fact = geqr2(a)
+        q = fact.q()
+        assert q.shape == (4, 4)
+        assert np.allclose(q @ fact.r, a, atol=1e-12)
+
+    def test_v_is_unit_lower(self):
+        a = random_tall_skinny(12, 5, seed=6)
+        fact = geqr2(a)
+        for j in range(5):
+            assert fact.v[j, j] == pytest.approx(1.0)
+            assert np.allclose(fact.v[:j, j], 0.0)
+
+
+class TestLarftLarfb:
+    def test_compact_wy_matches_successive_reflectors(self):
+        a = random_tall_skinny(20, 6, seed=7)
+        fact = geqr2(a)
+        t = larft(fact.v, fact.tau)
+        c = random_matrix(20, 3, seed=8)
+        via_block = larfb(fact.v, t, c, transpose=True)
+        via_loop = apply_q(fact.v, fact.tau, c, transpose=True)
+        assert np.allclose(via_block, via_loop, atol=1e-12)
+
+    def test_larfb_untransposed_is_inverse(self):
+        a = random_tall_skinny(15, 5, seed=9)
+        fact = geqr2(a)
+        t = larft(fact.v, fact.tau)
+        c = random_matrix(15, 2, seed=10)
+        roundtrip = larfb(fact.v, t, larfb(fact.v, t, c, transpose=True), transpose=False)
+        assert np.allclose(roundtrip, c, atol=1e-12)
+
+    def test_larft_upper_triangular(self):
+        a = random_tall_skinny(18, 6, seed=11)
+        fact = geqr2(a)
+        t = larft(fact.v, fact.tau)
+        assert np.allclose(np.tril(t, -1), 0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            larft(np.zeros((5, 3)), np.zeros(2))
+        with pytest.raises(ShapeError):
+            larfb(np.zeros((5, 2)), np.eye(2), np.zeros((4, 2)))
+
+
+class TestGeqrf:
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 8, 64])
+    def test_blocked_matches_unblocked(self, block_size):
+        a = random_tall_skinny(50, 13, seed=12)
+        blocked = geqrf(a, block_size=block_size)
+        unblocked = geqr2(a)
+        assert r_factors_match(blocked.r, unblocked.r)
+        check_qr(a, blocked.q(), blocked.r)
+
+    def test_graded_matrix_is_still_accurate(self):
+        a = graded_matrix(120, 10, ratio=1e10, seed=13)
+        fact = geqrf(a, block_size=4)
+        check_qr(a, fact.q(), fact.r)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ShapeError):
+            geqrf(np.zeros((4, 2)), block_size=0)
+
+    def test_one_column(self):
+        a = random_tall_skinny(30, 1, seed=14)
+        fact = geqrf(a)
+        check_qr(a, fact.q(), fact.r)
+
+
+class TestApplyFormQ:
+    def test_form_q_is_orthonormal(self):
+        a = random_tall_skinny(40, 9, seed=15)
+        fact = geqrf(a, block_size=4)
+        q = form_q(fact.v, fact.tau)
+        assert np.allclose(q.T @ q, np.eye(9), atol=1e-12)
+
+    def test_apply_q_transpose_then_q_is_identity(self):
+        a = random_tall_skinny(30, 7, seed=16)
+        fact = geqrf(a)
+        c = random_matrix(30, 4, seed=17)
+        back = apply_q(fact.v, fact.tau, apply_q(fact.v, fact.tau, c, transpose=True))
+        assert np.allclose(back, c, atol=1e-12)
+
+    def test_apply_q_vector(self):
+        a = random_tall_skinny(30, 7, seed=18)
+        fact = geqrf(a)
+        x = random_matrix(30, 1, seed=19)[:, 0]
+        y = apply_q(fact.v, fact.tau, x, transpose=True)
+        assert y.shape == (30,)
+
+    def test_qt_times_a_is_r(self):
+        a = random_tall_skinny(30, 6, seed=20)
+        fact = geqrf(a)
+        qt_a = fact.qt_times(a)
+        assert np.allclose(np.triu(qt_a[:6]), fact.r, atol=1e-11)
+        assert np.allclose(qt_a[6:], 0.0, atol=1e-11)
+
+    def test_form_q_too_many_columns(self):
+        a = random_tall_skinny(10, 3, seed=21)
+        fact = geqrf(a)
+        with pytest.raises(ShapeError):
+            form_q(fact.v, fact.tau, n_columns=11)
+
+    def test_apply_q_row_mismatch(self):
+        a = random_tall_skinny(10, 3, seed=22)
+        fact = geqrf(a)
+        with pytest.raises(ShapeError):
+            apply_q(fact.v, fact.tau, np.zeros((9, 2)))

@@ -1,0 +1,84 @@
+"""Tests for the CAQR tile kernels (GEQRT / UNMQR / TSQRT / TSMQR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.kernels.tiled import geqrt, tsmqr, tsqrt, unmqr
+from repro.util.random_matrices import random_matrix
+from repro.util.validation import r_factors_match
+
+
+class TestGeqrtUnmqr:
+    def test_geqrt_r_matches_lapack(self):
+        tile = random_matrix(12, 8, seed=1)
+        fact = geqrt(tile)
+        assert r_factors_match(fact.r, np.linalg.qr(tile, mode="r"))
+
+    def test_unmqr_applies_qt(self):
+        tile = random_matrix(10, 6, seed=2)
+        c = random_matrix(10, 4, seed=3)
+        fact = geqrt(tile)
+        explicit_q, _ = np.linalg.qr(tile)
+        expected = explicit_q.T @ c
+        got = unmqr(fact, c, transpose=True)
+        # Compare through |Q^T c| projections: signs of Q columns may differ.
+        assert np.allclose(np.abs(got[:6]), np.abs(expected), atol=1e-10)
+
+    def test_unmqr_roundtrip(self):
+        tile = random_matrix(9, 5, seed=4)
+        c = random_matrix(9, 3, seed=5)
+        fact = geqrt(tile)
+        back = unmqr(fact, unmqr(fact, c, transpose=True), transpose=False)
+        assert np.allclose(back, c, atol=1e-12)
+
+    def test_unmqr_shape_mismatch(self):
+        fact = geqrt(random_matrix(8, 4, seed=6))
+        with pytest.raises(ShapeError):
+            unmqr(fact, np.zeros((7, 2)))
+
+
+class TestTsqrtTsmqr:
+    def test_tsqrt_eliminates_bottom_tile(self):
+        n = 5
+        r_top = np.triu(random_matrix(n, n, seed=7))
+        bottom = random_matrix(8, n, seed=8)
+        ts = tsqrt(r_top, bottom)
+        direct = np.linalg.qr(np.vstack([r_top, bottom]), mode="r")
+        assert r_factors_match(ts.r, direct)
+
+    def test_tsmqr_consistent_with_stacked_application(self):
+        n = 4
+        r_top = np.triu(random_matrix(n, n, seed=9))
+        bottom = random_matrix(6, n, seed=10)
+        ts = tsqrt(r_top, bottom)
+        c_top = random_matrix(n, 3, seed=11)
+        c_bottom = random_matrix(6, 3, seed=12)
+        new_top, new_bottom = tsmqr(ts, c_top, c_bottom, transpose=True)
+        assert new_top.shape == (n, 3)
+        assert new_bottom.shape == (6, 3)
+        # Norm is preserved by an orthogonal transformation.
+        before = np.linalg.norm(np.vstack([c_top, c_bottom]))
+        after = np.linalg.norm(np.vstack([new_top, new_bottom]))
+        assert np.isclose(before, after)
+
+    def test_tsmqr_roundtrip(self):
+        n = 3
+        ts = tsqrt(np.triu(random_matrix(n, n, seed=13)), random_matrix(5, n, seed=14))
+        c_top = random_matrix(n, 2, seed=15)
+        c_bottom = random_matrix(5, 2, seed=16)
+        t1, b1 = tsmqr(ts, c_top, c_bottom, transpose=True)
+        t2, b2 = tsmqr(ts, t1, b1, transpose=False)
+        assert np.allclose(t2, c_top, atol=1e-12)
+        assert np.allclose(b2, c_bottom, atol=1e-12)
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            tsqrt(np.triu(random_matrix(3, 3, seed=17)), random_matrix(4, 2, seed=18))
+
+    def test_tsmqr_row_mismatch_rejected(self):
+        ts = tsqrt(np.triu(random_matrix(3, 3, seed=19)), random_matrix(4, 3, seed=20))
+        with pytest.raises(ShapeError):
+            tsmqr(ts, np.zeros((3, 2)), np.zeros((5, 2)))

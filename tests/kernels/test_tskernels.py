@@ -1,0 +1,102 @@
+"""Tests for the TSQR combine kernel (QR of stacked triangles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.kernels.householder import geqrf
+from repro.kernels.tskernels import qr_of_stacked, qr_of_stacked_triangles, stack_pair
+from repro.util.random_matrices import random_tall_skinny
+from repro.util.validation import r_factors_match
+
+
+def _triangles(n=6, seeds=(1, 2)):
+    r1 = np.triu(np.random.default_rng(seeds[0]).standard_normal((n, n)))
+    r2 = np.triu(np.random.default_rng(seeds[1]).standard_normal((n, n)))
+    return r1, r2
+
+
+class TestStackPair:
+    def test_stacks_vertically(self):
+        r1, r2 = _triangles(4)
+        stacked = stack_pair(r1, r2)
+        assert stacked.shape == (8, 4)
+        assert np.array_equal(stacked[:4], r1)
+
+    def test_empty_operand_allowed(self):
+        r1, _ = _triangles(3)
+        stacked = stack_pair(r1, np.zeros((0, 3)))
+        assert stacked.shape == (3, 3)
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            stack_pair(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestCombine:
+    def test_r_matches_direct_qr_of_stack(self):
+        r1, r2 = _triangles(5)
+        combined = qr_of_stacked_triangles(r1, r2)
+        direct = np.linalg.qr(np.vstack([r1, r2]), mode="r")
+        assert r_factors_match(combined.r, direct)
+
+    def test_result_has_nonnegative_diagonal(self):
+        r1, r2 = _triangles(7, seeds=(3, 4))
+        combined = qr_of_stacked_triangles(r1, r2)
+        assert np.all(np.diag(combined.r) >= 0)
+
+    def test_q_reconstructs_stack(self):
+        r1, r2 = _triangles(6, seeds=(5, 6))
+        combined = qr_of_stacked_triangles(r1, r2)
+        assert np.allclose(combined.q @ combined.r, np.vstack([r1, r2]), atol=1e-12)
+
+    def test_q_split_into_top_and_bottom(self):
+        r1, r2 = _triangles(4, seeds=(7, 8))
+        combined = qr_of_stacked_triangles(r1, r2)
+        assert combined.q_top.shape == (4, 4)
+        assert combined.q_bottom.shape == (4, 4)
+        assert np.allclose(np.vstack([combined.q_top, combined.q_bottom]), combined.q)
+
+    def test_want_q_false_skips_q(self):
+        r1, r2 = _triangles(5, seeds=(9, 10))
+        combined = qr_of_stacked_triangles(r1, r2, want_q=False)
+        assert combined.q.shape[1] == 0
+        assert np.all(np.diag(combined.r) >= 0)
+
+    def test_non_triangular_input_rejected(self):
+        full = np.random.default_rng(11).standard_normal((4, 4))
+        with pytest.raises(ShapeError):
+            qr_of_stacked_triangles(full, np.triu(full))
+
+    def test_general_stack_accepts_rectangular(self):
+        a = random_tall_skinny(9, 4, seed=12)
+        b = random_tall_skinny(6, 4, seed=13)
+        ra = geqrf(a).r
+        rb = geqrf(b).r
+        combined = qr_of_stacked(ra, rb)
+        direct = np.linalg.qr(np.vstack([a, b]), mode="r")
+        assert r_factors_match(combined.r, direct)
+
+
+class TestAlgebraicProperties:
+    """The combine must be associative (and commutative after normalisation)
+    for TSQR to run on an arbitrary reduction tree (paper §II-C)."""
+
+    def test_associativity(self):
+        rs = [np.triu(np.random.default_rng(s).standard_normal((5, 5))) for s in (20, 21, 22)]
+        left = qr_of_stacked_triangles(qr_of_stacked_triangles(rs[0], rs[1]).r, rs[2]).r
+        right = qr_of_stacked_triangles(rs[0], qr_of_stacked_triangles(rs[1], rs[2]).r).r
+        assert r_factors_match(left, right, rtol=1e-10)
+
+    def test_commutativity_after_normalisation(self):
+        r1, r2 = _triangles(6, seeds=(23, 24))
+        ab = qr_of_stacked_triangles(r1, r2).r
+        ba = qr_of_stacked_triangles(r2, r1).r
+        assert np.allclose(ab, ba, atol=1e-10)
+
+    def test_identity_element_is_empty_factor(self):
+        r1, _ = _triangles(5, seeds=(25, 26))
+        combined = qr_of_stacked_triangles(r1, np.zeros((0, 5)))
+        assert r_factors_match(combined.r, r1)

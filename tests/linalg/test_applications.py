@@ -1,0 +1,176 @@
+"""Tests for the application layer: block orthogonalization, least squares,
+block eigensolver, randomized SVD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, FactorizationError, ShapeError
+from repro.linalg.block_ortho import block_gram_schmidt, orthogonalize_against, orthonormalize
+from repro.linalg.eigensolver import ORTHO_SCHEMES, block_subspace_iteration
+from repro.linalg.least_squares import lstsq_normal_equations, lstsq_tsqr
+from repro.linalg.randomized import randomized_range_finder, randomized_svd
+from repro.util.random_matrices import (
+    default_rng,
+    matrix_with_condition_number,
+    random_matrix,
+    random_tall_skinny,
+)
+from repro.util.validation import orthogonality_error
+
+
+class TestBlockOrtho:
+    def test_orthonormalize_full_rank(self):
+        block = random_tall_skinny(200, 8, seed=1)
+        q, r, rank = orthonormalize(block)
+        assert rank == 8
+        assert orthogonality_error(q) < 1e-12
+        assert np.allclose(q @ r, block, atol=1e-10)
+
+    def test_orthonormalize_detects_rank_deficiency(self):
+        block = random_tall_skinny(100, 5, seed=2)
+        block[:, 4] = block[:, 0] + block[:, 1]
+        _, _, rank = orthonormalize(block)
+        assert rank == 4
+
+    def test_orthogonalize_against_removes_components(self):
+        basis, _, _ = orthonormalize(random_tall_skinny(150, 4, seed=3))
+        block = random_tall_skinny(150, 3, seed=4)
+        residual, coeffs = orthogonalize_against(basis, block)
+        assert np.linalg.norm(basis.T @ residual) < 1e-10
+        assert np.allclose(basis @ coeffs + residual, block, atol=1e-10)
+
+    def test_orthogonalize_against_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            orthogonalize_against(np.zeros((10, 2)), np.zeros((11, 2)))
+
+    def test_block_gram_schmidt_extends_basis(self):
+        basis, _, _ = orthonormalize(random_tall_skinny(200, 4, seed=5))
+        new_block = random_tall_skinny(200, 3, seed=6)
+        q_new, coeffs, r_new = block_gram_schmidt(basis, new_block)
+        assert orthogonality_error(np.hstack([basis, q_new])) < 1e-11
+        reconstructed = basis @ coeffs + q_new @ r_new
+        assert np.allclose(reconstructed, new_block, atol=1e-9)
+
+    def test_block_gram_schmidt_without_basis(self):
+        block = random_tall_skinny(60, 4, seed=7)
+        q_new, coeffs, _ = block_gram_schmidt(None, block)
+        assert coeffs.shape == (0, 4)
+        assert orthogonality_error(q_new) < 1e-12
+
+
+class TestLeastSquares:
+    def test_matches_numpy_lstsq(self):
+        a = random_tall_skinny(500, 12, seed=8)
+        x_true = np.arange(1.0, 13.0)
+        b = a @ x_true + 1e-3 * default_rng(9).standard_normal(500)
+        ours = lstsq_tsqr(a, b)
+        reference, *_ = np.linalg.lstsq(a, b, rcond=None)
+        assert np.allclose(ours.x, reference, atol=1e-8)
+
+    def test_multiple_right_hand_sides(self):
+        a = random_tall_skinny(300, 6, seed=10)
+        b = random_matrix(300, 3, seed=11)
+        ours = lstsq_tsqr(a, b)
+        reference, *_ = np.linalg.lstsq(a, b, rcond=None)
+        assert ours.x.shape == (6, 3)
+        assert np.allclose(ours.x, reference, atol=1e-8)
+
+    def test_exact_system_has_zero_residual(self):
+        a = random_tall_skinny(100, 5, seed=12)
+        x_true = np.ones(5)
+        result = lstsq_tsqr(a, a @ x_true)
+        assert result.residual_norm < 1e-10
+        assert np.allclose(result.x, x_true, atol=1e-10)
+
+    def test_more_accurate_than_normal_equations_when_ill_conditioned(self):
+        a = matrix_with_condition_number(400, 8, 1e6, seed=13)
+        x_true = np.ones(8)
+        b = a @ x_true
+        tsqr_err = np.linalg.norm(lstsq_tsqr(a, b).x - x_true)
+        normal_err = np.linalg.norm(lstsq_normal_equations(a, b).x - x_true)
+        assert tsqr_err < normal_err
+
+    def test_rank_deficient_raises(self):
+        a = random_tall_skinny(50, 4, seed=14)
+        a[:, 3] = a[:, 2]
+        with pytest.raises(FactorizationError):
+            lstsq_tsqr(a, np.ones(50))
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            lstsq_tsqr(np.zeros((3, 5)), np.zeros(3))
+
+    def test_rhs_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            lstsq_tsqr(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestEigensolver:
+    @staticmethod
+    def _operator(n=120, seed=15):
+        rng = default_rng(seed)
+        q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        eigenvalues = np.concatenate([[10.0, 8.0, 6.0, 4.0], rng.uniform(0.0, 1.0, n - 4)])
+        return (q * eigenvalues) @ q.T, np.sort(eigenvalues)[::-1]
+
+    def test_finds_dominant_eigenvalues(self):
+        a, eigs = self._operator()
+        result = block_subspace_iteration(a, a.shape[0], 4, ortho="tsqr", tolerance=1e-9)
+        assert result.converged
+        assert np.allclose(result.eigenvalues, eigs[:4], atol=1e-6)
+
+    def test_eigenvectors_are_orthonormal(self):
+        a, _ = self._operator(seed=16)
+        result = block_subspace_iteration(a, a.shape[0], 3, ortho="tsqr")
+        assert orthogonality_error(result.eigenvectors) < 1e-8
+
+    def test_matrix_free_operator(self):
+        a, eigs = self._operator(seed=17)
+        result = block_subspace_iteration(lambda x: a @ x, a.shape[0], 2, ortho="tsqr")
+        assert np.allclose(result.eigenvalues[:2], eigs[:2], atol=1e-6)
+
+    @pytest.mark.parametrize("scheme", sorted(ORTHO_SCHEMES))
+    def test_all_ortho_schemes_work_on_well_conditioned_problems(self, scheme):
+        a, eigs = self._operator(seed=18)
+        result = block_subspace_iteration(a, a.shape[0], 2, ortho=scheme, max_iterations=300)
+        assert np.allclose(result.eigenvalues[:2], eigs[:2], atol=1e-5)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_subspace_iteration(np.eye(4), 4, 2, ortho="magic")
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ShapeError):
+            block_subspace_iteration(np.eye(4), 4, 9)
+
+    def test_operator_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            block_subspace_iteration(np.eye(3), 4, 2)
+
+
+class TestRandomizedSVD:
+    def test_range_finder_captures_dominant_space(self):
+        u = np.linalg.qr(random_matrix(200, 5, seed=19))[0]
+        v = np.linalg.qr(random_matrix(50, 5, seed=20))[0]
+        a = (u * np.array([100, 50, 20, 10, 5])) @ v.T
+        q = randomized_range_finder(a, 5, seed=21)
+        # Projection of A onto the found range should capture almost everything.
+        assert np.linalg.norm(a - q @ (q.T @ a)) < 1e-8 * np.linalg.norm(a)
+
+    def test_low_rank_matrix_recovered(self):
+        rng = default_rng(22)
+        a = rng.standard_normal((300, 40)) @ rng.standard_normal((40, 8)) @ rng.standard_normal((8, 60))
+        result = randomized_svd(a, rank=8, seed=23)
+        assert np.linalg.norm(result.reconstruct() - a) < 1e-8 * np.linalg.norm(a)
+
+    def test_singular_values_match_numpy(self):
+        a = random_matrix(120, 30, seed=24)
+        result = randomized_svd(a, rank=5, n_power_iterations=3, seed=25)
+        reference = np.linalg.svd(a, compute_uv=False)[:5]
+        assert np.allclose(result.s, reference, rtol=1e-2)
+
+    def test_invalid_sketch_size(self):
+        with pytest.raises(ShapeError):
+            randomized_range_finder(random_matrix(10, 5, seed=26), 9)

@@ -1,0 +1,111 @@
+"""Tests for the Table I/II cost model and the Eq. (1) predictor."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.costs import cost_table, scalapack_costs, tsqr_costs
+from repro.model.predictor import MachineParameters, crossover_n, predict, predict_pair
+
+
+MACHINE = MachineParameters.from_link(
+    latency_s=1e-4, bandwidth_bytes_per_s=1.1125e8, domain_gflops=2.0
+)
+
+
+class TestCostFormulas:
+    def test_table1_scalapack_row(self):
+        c = scalapack_costs(m=10**6, n=64, p=128)
+        log_p = math.log2(128)
+        assert c.messages == pytest.approx(2 * 64 * log_p)
+        assert c.volume_doubles == pytest.approx(log_p * 64 * 64 / 2)
+        assert c.flops == pytest.approx((2 * 10**6 * 64**2 - 2 / 3 * 64**3) / 128)
+
+    def test_table1_tsqr_row(self):
+        c = tsqr_costs(m=10**6, n=64, p=128)
+        log_p = math.log2(128)
+        assert c.messages == pytest.approx(log_p)
+        assert c.flops == pytest.approx(
+            (2 * 10**6 * 64**2 - 2 / 3 * 64**3) / 128 + 2 / 3 * log_p * 64**3
+        )
+
+    def test_table2_doubles_everything(self):
+        r_only = tsqr_costs(10**6, 64, 64)
+        both = tsqr_costs(10**6, 64, 64, want_q=True)
+        assert both.messages == pytest.approx(2 * r_only.messages)
+        assert both.volume_doubles == pytest.approx(2 * r_only.volume_doubles)
+        assert both.flops == pytest.approx(2 * r_only.flops)
+
+    def test_tsqr_sends_fewer_messages_by_factor_2n(self):
+        scal = scalapack_costs(10**6, 64, 256)
+        ts = tsqr_costs(10**6, 64, 256)
+        assert scal.messages / ts.messages == pytest.approx(2 * 64)
+
+    def test_volume_identical_for_both_algorithms(self):
+        scal, ts = cost_table(10**6, 128, 64)
+        assert scal.volume_doubles == pytest.approx(ts.volume_doubles)
+
+    def test_single_domain_has_no_communication(self):
+        c = tsqr_costs(10**5, 32, 1)
+        assert c.messages == 0
+        assert c.volume_doubles == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            scalapack_costs(0, 10, 4)
+        with pytest.raises(ConfigurationError):
+            tsqr_costs(10, 10, 0)
+
+    def test_volume_bytes(self):
+        c = tsqr_costs(10**5, 32, 4)
+        assert c.volume_bytes == pytest.approx(8 * c.volume_doubles)
+
+    def test_as_row_keys(self):
+        row = scalapack_costs(100, 10, 2).as_row()
+        assert {"algorithm", "# msg", "# flops"}.issubset(row.keys())
+
+
+class TestPredictor:
+    def test_time_decomposition(self):
+        pred = predict(tsqr_costs(10**6, 64, 64), MACHINE)
+        assert pred.time_s == pytest.approx(
+            pred.latency_time_s + pred.bandwidth_time_s + pred.compute_time_s
+        )
+        assert pred.gflops > 0
+
+    def test_tsqr_faster_for_skinny_matrices(self):
+        scal, ts = predict_pair(10**7, 64, 256, MACHINE)
+        assert ts.time_s < scal.time_s
+
+    def test_property5_crossover_exists_for_large_n(self):
+        n_cross = crossover_n(10**5, 256, MACHINE, n_candidates=range(8, 4097, 8))
+        assert n_cross is not None
+        # And TSQR must still win below the crossover.
+        scal, ts = predict_pair(10**5, max(8, n_cross // 4), 256, MACHINE)
+        assert ts.time_s < scal.time_s
+
+    def test_no_crossover_on_latency_free_machine(self):
+        machine = MachineParameters(0.0, 0.0, 2.0)
+        # Without latency ScaLAPACK never loses to TSQR (which does extra flops),
+        # so the "crossover" happens immediately at the smallest candidate.
+        n = crossover_n(10**6, 64, machine, n_candidates=range(1, 64))
+        assert n == 1
+
+    def test_latency_dominates_small_matrices(self):
+        pred = predict(scalapack_costs(2**13, 512, 256), MACHINE)
+        assert pred.latency_time_s > pred.compute_time_s
+
+    def test_invalid_machine(self):
+        with pytest.raises(ConfigurationError):
+            MachineParameters(-1.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MachineParameters(0.0, 0.0, 0.0)
+
+    def test_gflops_accounts_for_q(self):
+        r_only = predict(tsqr_costs(10**6, 64, 64), MACHINE)
+        both = predict(tsqr_costs(10**6, 64, 64, want_q=True), MACHINE)
+        # Twice the useful flops in about twice the time: similar rate.
+        assert both.gflops == pytest.approx(r_only.gflops, rel=0.05)

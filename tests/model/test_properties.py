@@ -1,0 +1,70 @@
+"""Tests for the paper's five properties as checkable predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.predictor import MachineParameters
+from repro.model.properties import (
+    check_monotone_increase,
+    check_property1_q_costs_double,
+    check_property2_bounded_by_domain_rate,
+    check_property5_midrange_advantage,
+)
+
+MACHINE = MachineParameters.from_link(1e-4, 1.1e8, 2.0)
+
+
+class TestProperty1:
+    def test_exact_double_passes(self):
+        assert check_property1_q_costs_double(1.0, 2.0).holds
+
+    def test_within_tolerance_passes(self):
+        assert check_property1_q_costs_double(1.0, 1.8).holds
+        assert check_property1_q_costs_double(1.0, 2.3).holds
+
+    def test_far_from_double_fails(self):
+        assert not check_property1_q_costs_double(1.0, 4.0).holds
+
+    def test_invalid_reference_time(self):
+        assert not check_property1_q_costs_double(0.0, 1.0).holds
+
+
+class TestProperty2:
+    def test_below_peak_passes(self):
+        assert check_property2_bounded_by_domain_rate(200.0, 940.0).holds
+
+    def test_above_peak_fails(self):
+        check = check_property2_bounded_by_domain_rate(1000.0, 940.0)
+        assert not check.holds
+        assert "940" in check.detail
+
+
+class TestMonotoneIncrease:
+    def test_increasing_series_passes(self):
+        assert check_monotone_increase([1, 2, 3], [10.0, 20.0, 30.0]).holds
+
+    def test_small_wiggle_tolerated(self):
+        assert check_monotone_increase([1, 2, 3], [10.0, 9.8, 30.0], slack=0.05).holds
+
+    def test_large_drop_fails(self):
+        assert not check_monotone_increase([1, 2, 3], [10.0, 5.0, 30.0]).holds
+
+    def test_unsorted_inputs_are_sorted_by_x(self):
+        assert check_monotone_increase([3, 1, 2], [30.0, 10.0, 20.0]).holds
+
+    def test_too_few_points(self):
+        assert not check_monotone_increase([1], [1.0]).holds
+
+
+class TestProperty5:
+    def test_holds_on_realistic_machine(self):
+        check = check_property5_midrange_advantage(10**6, 256, MACHINE)
+        assert check.holds, check.detail
+
+    def test_boolean_protocol(self):
+        assert bool(check_property5_midrange_advantage(10**6, 256, MACHINE)) in (True, False)
+
+    def test_fails_without_latency(self):
+        machine = MachineParameters(0.0, 0.0, 2.0)
+        assert not check_property5_midrange_advantage(10**6, 256, machine).holds

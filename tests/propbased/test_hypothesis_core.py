@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+Covered invariants:
+
+* partitioning: contiguous block splits always cover the index space exactly;
+* the TSQR combine operator: associativity/commutativity up to signs, and the
+  R factor of the stack being independent of how the stack was split;
+* reduction trees: spanning, acyclic, minimal wide-area message count of the
+  grid-hierarchical tree;
+* TSQR itself: for random shapes, domain counts and tree families, the R
+  factor matches LAPACK and Q stays orthogonal;
+* virtual flop formulas: positivity, monotonicity and symmetry properties;
+* block-cyclic index maps: global -> (owner, local) -> global round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.tskernels import qr_of_stacked_triangles
+from repro.scalapack.descriptor import BlockCyclic1D, RowBlockDescriptor
+from repro.tsqr.sequential import tsqr
+from repro.tsqr.trees import grid_hierarchical_tree, tree_for
+from repro.util.partition import block_ranges, partition_rows_weighted, split_counts
+from repro.util.validation import orthogonality_error, r_factors_match
+from repro.virtual.flops import qr_flops, stacked_triangle_qr_flops, tsqr_critical_path_flops
+
+# Numerical property tests re-run the linear algebra on every example; keep
+# the example counts moderate so the suite stays fast.
+FAST = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+NUMERIC = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# --------------------------------------------------------------------------
+# Partitioning invariants
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(n=st.integers(0, 10_000), parts=st.integers(1, 64))
+def test_split_counts_cover_and_balance(n, parts):
+    counts = split_counts(n, parts)
+    assert sum(counts) == n
+    assert len(counts) == parts
+    assert max(counts) - min(counts) <= 1
+
+
+@FAST
+@given(n=st.integers(1, 10_000), parts=st.integers(1, 64))
+def test_block_ranges_are_contiguous(n, parts):
+    ranges = block_ranges(n, parts)
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == n
+    for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+        assert stop == start
+
+
+@FAST
+@given(
+    m=st.integers(1, 5_000),
+    weights=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=12).filter(
+        lambda w: sum(w) > 0
+    ),
+)
+def test_weighted_partition_covers_rows(m, weights):
+    ranges = partition_rows_weighted(m, weights)
+    assert ranges[0][0] == 0 and ranges[-1][1] == m
+    sizes = [b - a for a, b in ranges]
+    assert all(s >= 0 for s in sizes)
+    assert sum(sizes) == m
+
+
+# --------------------------------------------------------------------------
+# Block-cyclic index arithmetic
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(n=st.integers(1, 500), nb=st.integers(1, 17), p=st.integers(1, 9))
+def test_block_cyclic_roundtrip_and_counts(n, nb, p):
+    desc = BlockCyclic1D(n_items=n, nb=nb, p=p)
+    assert sum(desc.local_count(r) for r in range(p)) == n
+    for g in range(0, n, max(1, n // 13)):
+        owner = desc.owner(g)
+        assert desc.local_to_global(owner, desc.global_to_local(g)) == g
+
+
+@FAST
+@given(m=st.integers(1, 2_000), n=st.integers(1, 64), p=st.integers(1, 32))
+def test_row_block_descriptor_partitions_rows(m, n, p):
+    desc = RowBlockDescriptor(m, n, p)
+    assert sum(desc.local_rows(r) for r in range(p)) == m
+    for i in range(0, m, max(1, m // 11)):
+        owner, local = desc.global_to_local(i)
+        assert desc.local_to_global(owner, local) == i
+
+
+# --------------------------------------------------------------------------
+# The TSQR combine operator
+# --------------------------------------------------------------------------
+
+
+def _random_triangle(n: int, seed: int) -> np.ndarray:
+    return np.triu(np.random.default_rng(seed).standard_normal((n, n)))
+
+
+@NUMERIC
+@given(n=st.integers(1, 12), seeds=st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)))
+def test_combine_commutative_up_to_signs(n, seeds):
+    r1, r2 = _random_triangle(n, seeds[0]), _random_triangle(n, seeds[1])
+    ab = qr_of_stacked_triangles(r1, r2, want_q=False).r
+    ba = qr_of_stacked_triangles(r2, r1, want_q=False).r
+    assert np.allclose(ab, ba, atol=1e-9 * max(1.0, np.linalg.norm(ab)))
+
+
+@NUMERIC
+@given(
+    n=st.integers(1, 10),
+    seeds=st.tuples(st.integers(0, 10_000), st.integers(0, 10_000), st.integers(0, 10_000)),
+)
+def test_combine_associative(n, seeds):
+    r = [_random_triangle(n, s) for s in seeds]
+    left = qr_of_stacked_triangles(
+        qr_of_stacked_triangles(r[0], r[1], want_q=False).r, r[2], want_q=False
+    ).r
+    right = qr_of_stacked_triangles(
+        r[0], qr_of_stacked_triangles(r[1], r[2], want_q=False).r, want_q=False
+    ).r
+    assert r_factors_match(left, right, rtol=1e-8)
+
+
+@NUMERIC
+@given(n=st.integers(1, 10), seed=st.integers(0, 10_000))
+def test_combine_preserves_gram_matrix(n, seed):
+    """R^T R of the combine equals the Gram matrix of the stacked input."""
+    r1, r2 = _random_triangle(n, seed), _random_triangle(n, seed + 1)
+    combined = qr_of_stacked_triangles(r1, r2, want_q=False).r
+    gram_in = r1.T @ r1 + r2.T @ r2
+    assert np.allclose(combined.T @ combined, gram_in, atol=1e-8 * max(1.0, np.linalg.norm(gram_in)))
+
+
+# --------------------------------------------------------------------------
+# Reduction trees
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(
+    per_cluster=st.lists(st.integers(1, 9), min_size=1, max_size=6),
+)
+def test_grid_tree_minimal_wan_messages(per_cluster):
+    clusters = [f"c{i}" for i, k in enumerate(per_cluster) for _ in range(k)]
+    tree = grid_hierarchical_tree(clusters)
+    assert tree.n_messages() == len(clusters) - 1
+    assert tree.n_inter_cluster_messages() == len(per_cluster) - 1
+
+
+@FAST
+@given(n=st.integers(1, 200), kind=st.sampled_from(["flat", "binary", "grid-hierarchical"]))
+def test_any_tree_is_spanning(n, kind):
+    tree = tree_for(kind, n)
+    # Every non-root domain has exactly one parent and is reachable.
+    parents = {child for child, _ in tree.edges()}
+    assert len(parents) == n - 1
+    assert tree.root not in parents
+    assert tree.depth() <= n
+
+
+# --------------------------------------------------------------------------
+# TSQR end-to-end numerical invariants
+# --------------------------------------------------------------------------
+
+
+@NUMERIC
+@given(
+    m=st.integers(12, 300),
+    n=st.integers(1, 12),
+    n_domains=st.integers(1, 12),
+    tree=st.sampled_from(["flat", "binary", "grid-hierarchical"]),
+    seed=st.integers(0, 10_000),
+)
+def test_tsqr_matches_lapack_for_random_shapes(m, n, n_domains, tree, seed):
+    if m < n:
+        m = n + m
+    a = np.random.default_rng(seed).standard_normal((m, n))
+    result = tsqr(a, n_domains, tree=tree, want_q=True)
+    assert r_factors_match(result.r, np.linalg.qr(a, mode="r"), rtol=1e-8)
+    q = result.q.explicit()
+    assert orthogonality_error(q) < 1e-10 * np.sqrt(m) * max(n, 1)
+    assert np.allclose(q @ result.r, a, atol=1e-9 * max(1.0, np.linalg.norm(a)))
+
+
+# --------------------------------------------------------------------------
+# Flop formulas
+# --------------------------------------------------------------------------
+
+
+@FAST
+@given(m=st.integers(1, 10**7), n=st.integers(1, 1024))
+def test_qr_flops_positive_and_monotone_in_m(m, n):
+    assert qr_flops(m, n) >= 0
+    assert qr_flops(m + 1, n) >= qr_flops(m, n)
+
+
+@FAST
+@given(
+    m=st.integers(2, 10**7),
+    n=st.integers(1, 512),
+    p=st.integers(1, 256),
+)
+def test_tsqr_critical_path_flops_bounds(m, n, p):
+    total = 2.0 * m * n * n - 2.0 / 3.0 * n**3
+    critical = tsqr_critical_path_flops(m, n, p)
+    assert critical >= total / p - 1e-6
+    assert stacked_triangle_qr_flops(n) >= 0

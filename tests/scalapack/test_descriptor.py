@@ -1,0 +1,79 @@
+"""Tests for the distribution descriptors (block-row and 1-D block-cyclic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DistributionError
+from repro.scalapack.descriptor import BlockCyclic1D, RowBlockDescriptor
+
+
+class TestRowBlockDescriptor:
+    def test_ranges_cover_matrix(self):
+        desc = RowBlockDescriptor(100, 8, 6)
+        stops = [desc.row_range(r) for r in range(6)]
+        assert stops[0][0] == 0 and stops[-1][1] == 100
+        assert sum(desc.local_rows(r) for r in range(6)) == 100
+
+    def test_owner_and_mapping_roundtrip(self):
+        desc = RowBlockDescriptor(50, 4, 3)
+        for i in (0, 16, 17, 49):
+            owner, local = desc.global_to_local(i)
+            assert desc.owner_of_row(i) == owner
+            assert desc.local_to_global(owner, local) == i
+
+    def test_out_of_range_row(self):
+        with pytest.raises(DistributionError):
+            RowBlockDescriptor(10, 2, 2).owner_of_row(10)
+
+    def test_out_of_range_local(self):
+        desc = RowBlockDescriptor(10, 2, 2)
+        with pytest.raises(DistributionError):
+            desc.local_to_global(0, 99)
+
+    def test_invalid_rank(self):
+        with pytest.raises(DistributionError):
+            RowBlockDescriptor(10, 2, 2).row_range(5)
+
+    def test_invalid_process_count(self):
+        with pytest.raises(DistributionError):
+            RowBlockDescriptor(10, 2, 0)
+
+
+class TestBlockCyclic1D:
+    def test_owner_pattern(self):
+        desc = BlockCyclic1D(n_items=10, nb=2, p=2)
+        owners = [desc.owner(g) for g in range(10)]
+        assert owners == [0, 0, 1, 1, 0, 0, 1, 1, 0, 0]
+
+    def test_local_count_matches_numroc(self):
+        desc = BlockCyclic1D(n_items=23, nb=3, p=4)
+        counts = [desc.local_count(r) for r in range(4)]
+        assert sum(counts) == 23
+        assert counts == [len(desc.local_indices(r)) for r in range(4)]
+
+    def test_global_local_roundtrip(self):
+        desc = BlockCyclic1D(n_items=29, nb=4, p=3)
+        for g in range(29):
+            owner = desc.owner(g)
+            local = desc.global_to_local(g)
+            assert desc.local_to_global(owner, local) == g
+
+    def test_local_indices_are_sorted_and_disjoint(self):
+        desc = BlockCyclic1D(n_items=40, nb=5, p=3)
+        all_indices = np.concatenate([desc.local_indices(r) for r in range(3)])
+        assert len(np.unique(all_indices)) == 40
+
+    def test_local_to_global_out_of_range(self):
+        desc = BlockCyclic1D(n_items=10, nb=2, p=2)
+        with pytest.raises(DistributionError):
+            desc.local_to_global(0, 50)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            BlockCyclic1D(10, 0, 2)
+        with pytest.raises(DistributionError):
+            BlockCyclic1D(10, 2, 0)
+        with pytest.raises(DistributionError):
+            BlockCyclic1D(-1, 2, 2)

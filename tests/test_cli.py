@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_factor_defaults(self):
+        args = build_parser().parse_args(["factor"])
+        assert args.command == "factor"
+        assert args.rows == 100_000
+        assert args.tree == "binary"
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "--algorithm", "scalapack", "--sites", "2", "--rows", "123"]
+        )
+        assert args.algorithm == "scalapack"
+        assert args.sites == 2
+        assert args.rows == 123
+
+    def test_invalid_site_count_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--sites", "3"])
+
+    def test_figure_requires_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+
+class TestCommands:
+    def test_factor_reports_quality(self, capsys):
+        code = main(["factor", "--rows", "4000", "--cols", "8", "--domains", "4", "--want-q"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement with LAPACK : yes" in out
+        assert "||I - Q^T Q||" in out
+
+    def test_factor_r_only(self, capsys):
+        code = main(["factor", "--rows", "2000", "--cols", "4", "--tree", "grid-hierarchical"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "grid-hierarchical" in out
+
+    def test_simulate_tsqr(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "tsqr", "--rows", "262144", "--cols", "64",
+             "--sites", "1", "--domains-per-cluster", "16"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Gflop/s" in out
+        assert "practical peak" in out
+
+    def test_simulate_scalapack(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "scalapack", "--rows", "262144", "--cols", "64",
+             "--sites", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scalapack" in out
+
+    def test_figure_table1_to_csv(self, capsys, tmp_path):
+        target = tmp_path / "table1.csv"
+        code = main(["figure", "--id", "table1", "--cols", "64", "--csv", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "TSQR" in out
+        assert target.exists()
+        assert "algorithm" in target.read_text().splitlines()[0]
+
+    def test_figure_fig7(self, capsys):
+        code = main(["figure", "--id", "fig7", "--cols", "64"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig7" in out

@@ -1,0 +1,79 @@
+"""Tests for tiled CAQR on general matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tsqr.caqr import caqr, caqr_r
+from repro.util.random_matrices import random_matrix
+from repro.util.validation import check_qr, r_factors_match
+
+
+class TestRFactor:
+    @pytest.mark.parametrize(
+        "m,n,tile",
+        [(60, 40, 16), (45, 45, 16), (64, 20, 8), (37, 29, 10), (20, 50, 8)],
+    )
+    def test_matches_lapack(self, m, n, tile):
+        a = random_matrix(m, n, seed=m + n)
+        r = caqr_r(a, tile_size=tile)
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"))
+
+    @pytest.mark.parametrize("tree", ["flat", "binary", "grid-hierarchical"])
+    def test_panel_tree_does_not_change_r(self, tree):
+        a = random_matrix(70, 30, seed=3)
+        r = caqr_r(a, tile_size=12, panel_tree=tree)
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"))
+
+    def test_single_tile_matrix(self):
+        a = random_matrix(10, 6, seed=4)
+        r = caqr_r(a, tile_size=64)
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"))
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ShapeError):
+            caqr(random_matrix(8, 8, seed=5), tile_size=0)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ShapeError):
+            caqr(np.zeros(5))
+
+
+class TestQFactor:
+    def test_thin_q_reconstructs(self):
+        a = random_matrix(50, 30, seed=6)
+        factors = caqr(a, tile_size=10)
+        check_qr(a, factors.thin_q(), factors.r)
+
+    def test_apply_qt_then_q_roundtrip(self):
+        a = random_matrix(40, 24, seed=7)
+        factors = caqr(a, tile_size=8)
+        c = random_matrix(40, 5, seed=8)
+        back = factors.apply_q(factors.apply_qt(c))
+        assert np.allclose(back, c, atol=1e-11)
+
+    def test_apply_qt_gives_r_on_a(self):
+        a = random_matrix(48, 16, seed=9)
+        factors = caqr(a, tile_size=8)
+        qta = factors.apply_qt(a)
+        assert np.allclose(np.triu(qta[:16]), factors.r, atol=1e-10)
+        assert np.allclose(qta[16:], 0.0, atol=1e-10)
+
+    def test_wrong_row_count_rejected(self):
+        factors = caqr(random_matrix(30, 10, seed=10), tile_size=8)
+        with pytest.raises(ShapeError):
+            factors.apply_qt(np.zeros((29, 2)))
+
+    def test_want_q_false_drops_transforms(self):
+        factors = caqr(random_matrix(30, 10, seed=11), tile_size=8, want_q=False)
+        assert factors.transforms == []
+        assert r_factors_match(factors.r, np.linalg.qr(random_matrix(30, 10, seed=11), mode="r"))
+
+    def test_square_matrix_full_q(self):
+        a = random_matrix(32, 32, seed=12)
+        factors = caqr(a, tile_size=8)
+        q = factors.thin_q()
+        assert np.allclose(q.T @ q, np.eye(32), atol=1e-11)
+        assert np.allclose(q @ factors.r, a, atol=1e-10)

@@ -1,0 +1,173 @@
+"""Tests for QCG-TSQR: the parallel TSQR on the simulated grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.gridsim.executor import run_spmd
+from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr, tsqr_reduce_op
+from repro.util.random_matrices import random_tall_skinny
+from repro.util.validation import check_qr, r_factors_match
+from repro.virtual.matrix import VirtualMatrix
+
+
+@pytest.fixture()
+def matrix8():
+    return random_tall_skinny(320, 10, seed=21)
+
+
+class TestConfig:
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TSQRConfig(m=5, n=10)
+
+    def test_matrix_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            TSQRConfig(m=100, n=4, matrix=np.zeros((50, 4)))
+
+    def test_domains_must_divide_processes(self):
+        config = TSQRConfig(m=1000, n=4, n_domains=3)
+        with pytest.raises(ConfigurationError):
+            config.resolve_domains(8)
+
+    def test_domains_cannot_exceed_processes(self):
+        config = TSQRConfig(m=1000, n=4, n_domains=16)
+        with pytest.raises(ConfigurationError):
+            config.resolve_domains(8)
+
+    def test_flop_count_doubles_with_q(self):
+        r_only = TSQRConfig(m=1000, n=8).flop_count()
+        with_q = TSQRConfig(m=1000, n=8, want_q=True).flop_count()
+        assert with_q == pytest.approx(2 * r_only)
+
+
+class TestRealPayloads:
+    def test_r_matches_lapack_one_domain_per_process(self, platform8, matrix8):
+        config = TSQRConfig(m=320, n=10, matrix=matrix8)
+        result = run_parallel_tsqr(platform8, config)
+        assert r_factors_match(result.r, np.linalg.qr(matrix8, mode="r"))
+
+    @pytest.mark.parametrize("tree", ["binary", "flat", "grid-hierarchical"])
+    def test_tree_kind_does_not_change_r(self, platform8, matrix8, tree):
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, tree_kind=tree)
+        result = run_parallel_tsqr(platform8, config)
+        assert r_factors_match(result.r, np.linalg.qr(matrix8, mode="r"))
+
+    def test_scalapack_domains(self, platform8, matrix8):
+        # 4 domains of 2 processes each: domains factored with the distributed QR.
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, n_domains=4)
+        result = run_parallel_tsqr(platform8, config)
+        assert r_factors_match(result.r, np.linalg.qr(matrix8, mode="r"))
+
+    def test_single_domain_is_pure_scalapack(self, platform8, matrix8):
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, n_domains=1)
+        result = run_parallel_tsqr(platform8, config)
+        assert r_factors_match(result.r, np.linalg.qr(matrix8, mode="r"))
+
+    def test_explicit_q(self, platform8, matrix8):
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, want_q=True)
+        result = run_parallel_tsqr(platform8, config)
+        assert result.q is not None
+        check_qr(matrix8, result.q, result.r)
+
+    def test_want_q_with_grouped_domains_rejected(self, platform8, matrix8):
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, want_q=True, n_domains=4)
+        with pytest.raises((ConfigurationError, SimulationError)):
+            run_parallel_tsqr(platform8, config)
+
+    def test_broadcast_r_gives_r_everywhere(self, platform8, matrix8):
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, broadcast_r=True)
+        result = run_parallel_tsqr(platform8, config)
+        for rank_result in result.simulation.results:
+            assert rank_result.r is not None
+            assert r_factors_match(rank_result.r, np.linalg.qr(matrix8, mode="r"))
+
+    def test_weighted_domains(self, platform8, matrix8):
+        weights = tuple([2.0] * 4 + [1.0] * 4)
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, domain_weights=weights)
+        result = run_parallel_tsqr(platform8, config)
+        assert r_factors_match(result.r, np.linalg.qr(matrix8, mode="r"))
+
+    def test_too_many_domains_for_rows_rejected(self, platform8):
+        small = random_tall_skinny(40, 10, seed=3)
+        config = TSQRConfig(m=40, n=10, matrix=small)  # 8 domains x 5 rows < 10 columns
+        with pytest.raises(SimulationError):
+            run_parallel_tsqr(platform8, config)
+
+
+class TestVirtualPayloads:
+    def test_virtual_run_produces_time_and_counts(self, platform8):
+        config = TSQRConfig(m=2**18, n=64)
+        result = run_parallel_tsqr(platform8, config)
+        assert result.r is None
+        assert result.makespan_s > 0
+        assert result.gflops > 0
+        assert result.trace.total_messages > 0
+
+    def test_grid_tree_minimises_wan_messages(self, platform16):
+        config = TSQRConfig(m=2**18, n=64, tree_kind="grid-hierarchical")
+        tuned = run_parallel_tsqr(platform16, config)
+        oblivious = run_parallel_tsqr(
+            platform16, TSQRConfig(m=2**18, n=64, tree_kind="binary")
+        )
+        # 4 clusters: the tuned tree needs exactly 3 wide-area messages.
+        assert tuned.trace.inter_cluster_messages == 3
+        assert tuned.trace.inter_cluster_messages <= oblivious.trace.inter_cluster_messages
+
+    def test_message_count_independent_of_n(self, platform8):
+        narrow = run_parallel_tsqr(platform8, TSQRConfig(m=2**18, n=64))
+        wide = run_parallel_tsqr(platform8, TSQRConfig(m=2**18, n=256))
+        assert narrow.trace.total_messages == wide.trace.total_messages
+
+    def test_fewer_domains_means_more_messages(self, platform8):
+        few = run_parallel_tsqr(platform8, TSQRConfig(m=2**18, n=64, n_domains=2))
+        many = run_parallel_tsqr(platform8, TSQRConfig(m=2**18, n=64, n_domains=8))
+        # Grouped domains run the per-column ScaLAPACK factorization inside
+        # each group, which costs many more messages overall.
+        assert few.trace.total_messages > many.trace.total_messages
+
+    def test_want_q_roughly_doubles_time(self, platform8):
+        r_only = run_parallel_tsqr(platform8, TSQRConfig(m=2**20, n=64))
+        with_q = run_parallel_tsqr(platform8, TSQRConfig(m=2**20, n=64, want_q=True))
+        ratio = with_q.makespan_s / r_only.makespan_s
+        assert 1.6 <= ratio <= 2.4  # paper Property 1
+
+    def test_performance_increases_with_m(self, platform8):
+        small = run_parallel_tsqr(platform8, TSQRConfig(m=2**15, n=64))
+        large = run_parallel_tsqr(platform8, TSQRConfig(m=2**22, n=64))
+        assert large.gflops > small.gflops  # paper Property 3
+
+    def test_performance_increases_with_n(self, platform8):
+        narrow = run_parallel_tsqr(platform8, TSQRConfig(m=2**20, n=64))
+        wide = run_parallel_tsqr(platform8, TSQRConfig(m=2**20, n=256))
+        assert wide.gflops > narrow.gflops  # paper Property 4
+
+
+class TestAllreduceFormulation:
+    def test_tsqr_as_single_allreduce(self, platform8, matrix8):
+        """Paper §II-C: TSQR is one allreduce with the stacked-QR operator."""
+        from repro.kernels.householder import geqrf
+        from repro.util.partition import block_ranges
+
+        op = tsqr_reduce_op(10)
+
+        def prog(ctx):
+            start, stop = block_ranges(320, ctx.comm.size)[ctx.comm.rank]
+            local_r = geqrf(matrix8[start:stop, :]).r
+            return ctx.comm.allreduce(np.triu(local_r), op=op)
+
+        res = run_spmd(platform8, prog, collective_tree="hierarchical")
+        reference = np.linalg.qr(matrix8, mode="r")
+        for r in res.results:
+            assert r_factors_match(r, reference)
+
+    def test_allreduce_op_handles_virtual_payloads(self, platform8):
+        op = tsqr_reduce_op(16)
+
+        def prog(ctx):
+            return ctx.comm.allreduce(VirtualMatrix(16, 16, structure="upper"), op=op)
+
+        res = run_spmd(platform8, prog)
+        assert all(isinstance(r, VirtualMatrix) for r in res.results)

@@ -1,0 +1,131 @@
+"""Tests for sequential TSQR and its implicit Q representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.tsqr.sequential import blocked_household_qr, tsqr, tsqr_r
+from repro.tsqr.trees import grid_hierarchical_tree
+from repro.util.random_matrices import (
+    graded_matrix,
+    matrix_with_condition_number,
+    random_tall_skinny,
+)
+from repro.util.validation import check_qr, orthogonality_error, r_factors_match
+
+
+class TestRFactor:
+    @pytest.mark.parametrize("n_domains", [1, 2, 3, 7, 16])
+    def test_matches_lapack(self, tall_matrix, reference_r, n_domains):
+        r = tsqr_r(tall_matrix, n_domains)
+        assert r_factors_match(r, reference_r)
+
+    @pytest.mark.parametrize("tree", ["binary", "flat", "grid-hierarchical"])
+    def test_tree_shape_does_not_change_r(self, tall_matrix, reference_r, tree):
+        r = tsqr_r(tall_matrix, 8, tree=tree)
+        assert r_factors_match(r, reference_r)
+
+    def test_r_has_nonnegative_diagonal(self, tall_matrix):
+        r = tsqr_r(tall_matrix, 6)
+        assert np.all(np.diag(r) >= 0)
+
+    def test_r_is_upper_triangular(self, tall_matrix):
+        r = tsqr_r(tall_matrix, 5)
+        assert np.allclose(np.tril(r, -1), 0.0)
+
+    def test_default_domain_count(self):
+        a = random_tall_skinny(1000, 8, seed=1)
+        result = tsqr(a, want_q=False)
+        assert r_factors_match(result.r, np.linalg.qr(a, mode="r"))
+
+    def test_short_leaf_blocks_supported(self):
+        # 10 domains of a 25 x 4 matrix: some leaves have fewer rows than columns.
+        a = random_tall_skinny(25, 4, seed=2)
+        r = tsqr_r(a, 10)
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"))
+
+    def test_explicit_tree_object(self, tall_matrix, reference_r):
+        clusters = ["c0"] * 4 + ["c1"] * 4
+        tree = grid_hierarchical_tree(clusters)
+        r = tsqr_r(tall_matrix, 8, tree=tree)
+        assert r_factors_match(r, reference_r)
+
+    def test_tree_domain_count_mismatch(self, tall_matrix):
+        tree = grid_hierarchical_tree(["a"] * 4)
+        with pytest.raises(ShapeError):
+            tsqr(tall_matrix, 8, tree=tree)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ShapeError):
+            tsqr(np.zeros((3, 5)))
+
+    def test_single_column(self):
+        a = random_tall_skinny(100, 1, seed=3)
+        result = tsqr(a, 4, want_q=True)
+        assert result.r.shape == (1, 1)
+        assert np.isclose(abs(result.r[0, 0]), np.linalg.norm(a))
+
+
+class TestQFactor:
+    @pytest.mark.parametrize("n_domains", [1, 2, 5, 12])
+    def test_full_factorization(self, tall_matrix, n_domains):
+        result = tsqr(tall_matrix, n_domains, want_q=True)
+        check_qr(tall_matrix, result.q.explicit(), result.r)
+
+    def test_q_shape(self, tall_matrix):
+        result = tsqr(tall_matrix, 6, want_q=True)
+        assert result.q.shape == tall_matrix.shape
+
+    def test_qt_times_a_equals_r(self, tall_matrix):
+        result = tsqr(tall_matrix, 6, want_q=True)
+        qta = result.q.rmatmat(tall_matrix)
+        assert np.allclose(np.triu(qta), result.r, atol=1e-10)
+
+    def test_apply_vector(self, tall_matrix):
+        result = tsqr(tall_matrix, 4, want_q=True)
+        x = np.arange(float(tall_matrix.shape[1]))
+        y = result.q.matmat(x)
+        assert y.shape == (tall_matrix.shape[0],)
+        assert np.allclose(y, result.q.explicit() @ x, atol=1e-11)
+
+    def test_rmatmat_vector(self, tall_matrix):
+        result = tsqr(tall_matrix, 4, want_q=True)
+        b = np.ones(tall_matrix.shape[0])
+        y = result.q.rmatmat(b)
+        assert y.shape == (tall_matrix.shape[1],)
+
+    def test_orthogonality_on_ill_conditioned_matrix(self, ill_conditioned_matrix):
+        result = tsqr(ill_conditioned_matrix, 8, want_q=True)
+        q = result.q.explicit()
+        # TSQR stays orthogonal where CGS/CholQR would have lost many digits.
+        assert orthogonality_error(q) < 1e-12
+
+    def test_graded_columns(self):
+        a = graded_matrix(400, 9, ratio=1e12, seed=4)
+        result = tsqr(a, 8, want_q=True)
+        check_qr(a, result.q.explicit(), result.r)
+
+    def test_want_q_false_raises_on_apply(self, tall_matrix):
+        result = tsqr(tall_matrix, 4, want_q=False)
+        assert result.q is None
+
+    def test_row_order_preserved_for_non_ordered_tree(self, tall_matrix):
+        # Binary heap tree combines domains out of row order; Q rows must
+        # still come back in the original order.
+        result = tsqr(tall_matrix, 7, tree="binary", want_q=True)
+        assert np.allclose(result.q.explicit() @ result.r, tall_matrix, atol=1e-10)
+
+
+class TestBlockedHouseholderQR:
+    def test_matches_numpy(self):
+        a = random_tall_skinny(120, 20, seed=5)
+        q, r = blocked_household_qr(a, block_size=8)
+        check_qr(a, q, r)
+        assert r_factors_match(r, np.linalg.qr(a, mode="r"))
+
+    def test_stability_comparison_with_cholqr(self):
+        a = matrix_with_condition_number(500, 12, 1e9, seed=6)
+        result = tsqr(a, 10, want_q=True)
+        assert orthogonality_error(result.q.explicit()) < 1e-12

@@ -1,0 +1,98 @@
+"""Tests for TSQR reduction trees and their locality analysis (Fig. 1 vs Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.tsqr.trees import (
+    binary_reduction_tree,
+    flat_reduction_tree,
+    grid_hierarchical_tree,
+    tree_for,
+)
+
+
+def _clusters(per_cluster: int, names=("a", "b", "c", "d")) -> list[str]:
+    return [name for name in names for _ in range(per_cluster)]
+
+
+class TestBasicShapes:
+    def test_flat_tree(self):
+        tree = flat_reduction_tree(6)
+        assert tree.kind == "flat"
+        assert tree.depth() == 1
+        assert tree.n_messages() == 5
+
+    def test_binary_tree_depth(self):
+        tree = binary_reduction_tree(64)
+        assert tree.depth() == 6
+        assert tree.n_messages() == 63
+
+    def test_single_domain(self):
+        tree = binary_reduction_tree(1)
+        assert tree.n_messages() == 0
+        assert tree.depth() == 0
+
+    def test_children_and_parent_consistent(self):
+        tree = binary_reduction_tree(10)
+        for child, parent in tree.edges():
+            assert tree.parent(child) == parent
+            assert child in tree.children(parent)
+
+    def test_mismatched_cluster_labels_rejected(self):
+        with pytest.raises(TreeError):
+            flat_reduction_tree(4, ["a", "b"])
+
+
+class TestGridHierarchicalTree:
+    def test_inter_cluster_messages_is_sites_minus_one(self):
+        for n_sites, per_cluster in ((2, 8), (3, 4), (4, 16)):
+            clusters = _clusters(per_cluster, names=[f"s{i}" for i in range(n_sites)])
+            tree = grid_hierarchical_tree(clusters)
+            assert tree.n_inter_cluster_messages() == n_sites - 1
+
+    def test_inter_cluster_count_independent_of_domain_count(self):
+        small = grid_hierarchical_tree(_clusters(2))
+        large = grid_hierarchical_tree(_clusters(64))
+        assert small.n_inter_cluster_messages() == large.n_inter_cluster_messages() == 3
+
+    def test_total_messages_still_n_minus_one(self):
+        clusters = _clusters(8)
+        tree = grid_hierarchical_tree(clusters)
+        assert tree.n_messages() == len(clusters) - 1
+
+    def test_binary_tree_crosses_clusters_more_often(self):
+        clusters = _clusters(8)
+        tuned = grid_hierarchical_tree(clusters)
+        oblivious = binary_reduction_tree(len(clusters), clusters)
+        assert tuned.n_inter_cluster_messages() <= oblivious.n_inter_cluster_messages()
+        assert tuned.n_inter_cluster_messages() == 3
+
+    def test_single_cluster_has_no_wan_messages(self):
+        tree = grid_hierarchical_tree(["only"] * 16)
+        assert tree.n_inter_cluster_messages() == 0
+
+    def test_clusters_listed_in_first_seen_order(self):
+        tree = grid_hierarchical_tree(["b", "b", "a", "a"])
+        assert tree.clusters() == ["b", "a"]
+
+    def test_describe_mentions_kind(self):
+        assert "grid-hierarchical" in grid_hierarchical_tree(_clusters(2)).describe()
+
+
+class TestFactory:
+    def test_tree_for_names(self):
+        assert tree_for("flat", 4).kind == "flat"
+        assert tree_for("binary", 4).kind == "binary"
+        assert tree_for("grid-hierarchical", 4, _clusters(1)).kind == "grid-hierarchical"
+        assert tree_for("hierarchical", 4).kind == "grid-hierarchical"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TreeError):
+            tree_for("ternary", 4)
+
+    def test_intra_vs_inter_split_adds_up(self):
+        clusters = _clusters(4)
+        tree = tree_for("grid-hierarchical", len(clusters), clusters)
+        assert tree.n_intra_cluster_messages() + tree.n_inter_cluster_messages() == tree.n_messages()

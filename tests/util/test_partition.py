@@ -1,0 +1,134 @@
+"""Tests for row/column partition helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.util.partition import (
+    block_partition,
+    block_ranges,
+    cyclic_indices,
+    partition_rows_weighted,
+    split_counts,
+)
+
+
+class TestSplitCounts:
+    def test_even_split(self):
+        assert split_counts(12, 4) == [3, 3, 3, 3]
+
+    def test_uneven_split_front_loaded(self):
+        assert split_counts(10, 4) == [3, 3, 2, 2]
+
+    def test_more_parts_than_items_allows_empty(self):
+        assert split_counts(2, 5) == [1, 1, 0, 0, 0]
+
+    def test_total_preserved(self):
+        assert sum(split_counts(1234, 7)) == 1234
+
+    def test_zero_items(self):
+        assert split_counts(0, 3) == [0, 0, 0]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ShapeError):
+            split_counts(10, 0)
+
+    def test_negative_items(self):
+        with pytest.raises(ShapeError):
+            split_counts(-1, 3)
+
+
+class TestBlockRanges:
+    def test_ranges_are_contiguous_and_cover(self):
+        ranges = block_ranges(100, 7)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 100
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    def test_single_part(self):
+        assert block_ranges(5, 1) == [(0, 5)]
+
+
+class TestBlockPartition:
+    def test_row_partition_reassembles(self):
+        a = np.arange(24.0).reshape(8, 3)
+        blocks = block_partition(a, 3, axis=0)
+        assert np.array_equal(np.vstack(blocks), a)
+
+    def test_column_partition_reassembles(self):
+        a = np.arange(24.0).reshape(4, 6)
+        blocks = block_partition(a, 4, axis=1)
+        assert np.array_equal(np.hstack(blocks), a)
+
+    def test_blocks_are_views(self):
+        a = np.zeros((10, 2))
+        blocks = block_partition(a, 2)
+        blocks[0][0, 0] = 5.0
+        assert a[0, 0] == 5.0
+
+    def test_invalid_axis(self):
+        with pytest.raises(ShapeError):
+            block_partition(np.zeros((4, 4)), 2, axis=2)
+
+
+class TestCyclicIndices:
+    def test_block_size_one_round_robin(self):
+        assert list(cyclic_indices(10, 3, 0, block=1)) == [0, 3, 6, 9]
+        assert list(cyclic_indices(10, 3, 1, block=1)) == [1, 4, 7]
+
+    def test_partition_of_indices(self):
+        owned = [set(cyclic_indices(23, 4, p, block=3)) for p in range(4)]
+        union = set().union(*owned)
+        assert union == set(range(23))
+        assert sum(len(o) for o in owned) == 23
+
+    def test_block_size_grouping(self):
+        idx = cyclic_indices(12, 2, 0, block=2)
+        assert list(idx) == [0, 1, 4, 5, 8, 9]
+
+    def test_invalid_owner(self):
+        with pytest.raises(ShapeError):
+            cyclic_indices(10, 2, 2)
+
+    def test_invalid_block(self):
+        with pytest.raises(ShapeError):
+            cyclic_indices(10, 2, 0, block=0)
+
+
+class TestWeightedPartition:
+    def test_proportional(self):
+        assert partition_rows_weighted(100, [1.0, 1.0, 2.0]) == [(0, 25), (25, 50), (50, 100)]
+
+    def test_covers_all_rows(self):
+        ranges = partition_rows_weighted(97, [0.3, 1.7, 2.2, 0.1])
+        assert ranges[0][0] == 0 and ranges[-1][1] == 97
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+
+    def test_equal_weights_match_block_ranges(self):
+        assert partition_rows_weighted(10, [1, 1, 1]) == block_ranges(10, 3)
+
+    def test_minimum_one_row_per_positive_weight(self):
+        ranges = partition_rows_weighted(10, [100.0, 0.001, 0.001])
+        sizes = [b - a for a, b in ranges]
+        assert all(s >= 1 for s in sizes)
+
+    def test_zero_weight_gets_zero_rows(self):
+        ranges = partition_rows_weighted(10, [1.0, 0.0, 1.0])
+        sizes = [b - a for a, b in ranges]
+        assert sizes[1] == 0
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ShapeError):
+            partition_rows_weighted(10, [0.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ShapeError):
+            partition_rows_weighted(10, [1.0, -1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            partition_rows_weighted(10, [])

@@ -1,0 +1,68 @@
+"""Tests for the seeded matrix generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.util.random_matrices import (
+    graded_matrix,
+    matrix_with_condition_number,
+    random_matrix,
+    random_tall_skinny,
+)
+
+
+def test_random_matrix_shape_and_dtype():
+    a = random_matrix(10, 4)
+    assert a.shape == (10, 4)
+    assert a.dtype == np.float64
+
+
+def test_random_matrix_deterministic_per_seed():
+    assert np.array_equal(random_matrix(8, 3, seed=42), random_matrix(8, 3, seed=42))
+    assert not np.array_equal(random_matrix(8, 3, seed=42), random_matrix(8, 3, seed=43))
+
+
+def test_random_matrix_rejects_negative_dims():
+    with pytest.raises(ShapeError):
+        random_matrix(-1, 3)
+
+
+def test_tall_skinny_requires_tall():
+    with pytest.raises(ShapeError):
+        random_tall_skinny(3, 5)
+
+
+def test_condition_number_is_achieved():
+    a = matrix_with_condition_number(200, 8, 1e6, seed=0)
+    assert np.linalg.cond(a) == pytest.approx(1e6, rel=1e-6)
+
+
+def test_condition_number_one_is_orthogonal_columns(
+):
+    a = matrix_with_condition_number(50, 5, 1.0, seed=1)
+    s = np.linalg.svd(a, compute_uv=False)
+    assert s.max() / s.min() == pytest.approx(1.0, rel=1e-10)
+
+
+def test_condition_number_below_one_rejected():
+    with pytest.raises(ShapeError):
+        matrix_with_condition_number(10, 3, 0.5)
+
+
+def test_condition_number_requires_tall():
+    with pytest.raises(ShapeError):
+        matrix_with_condition_number(3, 10, 1e3)
+
+
+def test_graded_matrix_column_norm_ratio():
+    a = graded_matrix(500, 6, ratio=1e8, seed=2)
+    norms = np.linalg.norm(a, axis=0)
+    assert norms[0] / norms[-1] > 1e6
+
+
+def test_graded_matrix_single_column():
+    a = graded_matrix(20, 1)
+    assert a.shape == (20, 1)

@@ -1,0 +1,62 @@
+"""Tests for unit conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.units import (
+    DOUBLE_BYTES,
+    bytes_of,
+    flops_to_gflops,
+    gbits_per_s_to_bytes_per_s,
+    gflops_rate,
+    mbits_per_s_to_bytes_per_s,
+    ms_to_seconds,
+    seconds_to_ms,
+    seconds_to_us,
+    us_to_seconds,
+)
+
+
+def test_double_is_eight_bytes():
+    assert DOUBLE_BYTES == 8
+
+
+def test_bytes_of_doubles():
+    assert bytes_of(10) == 80
+
+
+def test_bytes_of_float32():
+    assert bytes_of(10, np.float32) == 40
+
+
+def test_flops_to_gflops():
+    assert flops_to_gflops(2.5e9) == pytest.approx(2.5)
+
+
+def test_gflops_rate():
+    assert gflops_rate(1e9, 2.0) == pytest.approx(0.5)
+
+
+def test_gflops_rate_zero_time_is_zero():
+    assert gflops_rate(1e9, 0.0) == 0.0
+
+
+def test_mbits_conversion():
+    # 890 Mb/s (Grid'5000 intra-cluster) = 111.25 MB/s.
+    assert mbits_per_s_to_bytes_per_s(890) == pytest.approx(111.25e6)
+
+
+def test_gbits_conversion():
+    assert gbits_per_s_to_bytes_per_s(8) == pytest.approx(1e9)
+
+
+def test_time_roundtrips():
+    assert ms_to_seconds(seconds_to_ms(0.123)) == pytest.approx(0.123)
+    assert us_to_seconds(seconds_to_us(0.123)) == pytest.approx(0.123)
+
+
+def test_paper_latency_scale():
+    # 7.97 ms inter-cluster latency is ~100x the 0.07 ms intra-cluster one.
+    assert ms_to_seconds(7.97) / ms_to_seconds(0.07) > 100

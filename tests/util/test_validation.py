@@ -1,0 +1,115 @@
+"""Tests for QR validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.util.random_matrices import random_tall_skinny
+from repro.util.validation import (
+    check_qr,
+    factorization_residual,
+    normalize_qr_signs,
+    normalize_r_signs,
+    orthogonality_error,
+    r_factors_match,
+    relative_error,
+)
+
+
+class TestSignNormalization:
+    def test_normalize_r_makes_diagonal_nonnegative(self):
+        r = np.triu(np.array([[-2.0, 1.0], [0.0, 3.0]]))
+        out = normalize_r_signs(r)
+        assert np.all(np.diag(out) >= 0)
+
+    def test_normalize_r_preserves_absolute_values(self):
+        r = np.triu(np.random.default_rng(0).standard_normal((5, 5)))
+        out = normalize_r_signs(r)
+        assert np.allclose(np.abs(out), np.abs(r))
+
+    def test_normalize_pair_preserves_product(self):
+        a = random_tall_skinny(30, 5, seed=1)
+        q, r = np.linalg.qr(a)
+        q2, r2 = normalize_qr_signs(q, r)
+        assert np.allclose(q2 @ r2, a)
+        assert np.all(np.diag(r2) >= 0)
+
+    def test_normalize_pair_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            normalize_qr_signs(np.zeros((4, 3)), np.zeros((4, 4)))
+
+    def test_zero_diagonal_left_alone(self):
+        r = np.zeros((3, 3))
+        out = normalize_r_signs(r)
+        assert np.array_equal(out, r)
+
+
+class TestRFactorsMatch:
+    def test_sign_flip_matches(self):
+        a = random_tall_skinny(40, 6, seed=2)
+        r = np.linalg.qr(a, mode="r")
+        flipped = -r
+        assert r_factors_match(r, flipped)
+
+    def test_different_matrices_do_not_match(self):
+        r1 = np.linalg.qr(random_tall_skinny(40, 6, seed=3), mode="r")
+        r2 = np.linalg.qr(random_tall_skinny(40, 6, seed=4), mode="r")
+        assert not r_factors_match(r1, r2)
+
+    def test_shape_mismatch_is_false(self):
+        assert not r_factors_match(np.eye(3), np.eye(4))
+
+
+class TestErrorMetrics:
+    def test_exact_factorization_has_tiny_residual(self):
+        a = random_tall_skinny(50, 8, seed=5)
+        q, r = np.linalg.qr(a)
+        assert factorization_residual(a, q, r) < 1e-14
+
+    def test_orthogonality_error_of_orthonormal_matrix(self):
+        a = random_tall_skinny(50, 8, seed=6)
+        q, _ = np.linalg.qr(a)
+        assert orthogonality_error(q) < 1e-14
+
+    def test_orthogonality_error_detects_bad_q(self):
+        q = np.ones((10, 3))
+        assert orthogonality_error(q) > 1.0
+
+    def test_relative_error_zero_reference(self):
+        assert relative_error(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_relative_error_scale_free(self):
+        x = np.array([1.0, 2.0])
+        assert np.isclose(relative_error(1e6 * x * 1.001, 1e6 * x), relative_error(x * 1.001, x))
+
+
+class TestCheckQR:
+    def test_accepts_valid_factorization(self):
+        a = random_tall_skinny(64, 9, seed=7)
+        q, r = np.linalg.qr(a)
+        metrics = check_qr(a, q, r)
+        assert metrics["residual"] < 1e-13
+        assert metrics["orthogonality"] < 1e-13
+
+    def test_rejects_wrong_r(self):
+        a = random_tall_skinny(64, 9, seed=8)
+        q, r = np.linalg.qr(a)
+        with pytest.raises(AssertionError):
+            check_qr(a, q, 2.0 * r)
+
+    def test_rejects_non_orthogonal_q(self):
+        a = random_tall_skinny(64, 9, seed=9)
+        q, r = np.linalg.qr(a)
+        with pytest.raises(AssertionError):
+            check_qr(a, q + 0.5, r)
+
+    def test_rejects_non_triangular_r(self):
+        a = random_tall_skinny(64, 9, seed=10)
+        q, r = np.linalg.qr(a)
+        bad = r.copy()
+        bad[3, 0] = 1.0
+        # The product q @ bad is exact, so only the triangularity check can fire.
+        with pytest.raises(AssertionError, match="not upper triangular"):
+            check_qr(q @ bad, q, bad)

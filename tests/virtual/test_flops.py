@@ -1,0 +1,94 @@
+"""Tests for the analytic flop-count formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.virtual.flops import (
+    apply_q_flops,
+    form_q_flops,
+    gemm_flops,
+    larfb_flops,
+    larft_flops,
+    qr_flops,
+    scalapack_qr_flops_per_process,
+    stacked_triangle_qr_flops,
+    tsqr_critical_path_flops,
+    tsqr_flops_per_domain,
+)
+
+
+def test_qr_flops_matches_textbook_tall_case():
+    m, n = 100_000, 64
+    assert qr_flops(m, n) == pytest.approx(2 * m * n * n - 2 / 3 * n**3, rel=1e-12)
+
+
+def test_qr_flops_square_case():
+    n = 500
+    assert qr_flops(n, n) == pytest.approx(4 / 3 * n**3, rel=1e-6)
+
+
+def test_qr_flops_monotone_in_m():
+    assert qr_flops(2000, 32) > qr_flops(1000, 32)
+
+
+def test_qr_flops_rejects_negative():
+    with pytest.raises(ShapeError):
+        qr_flops(-1, 4)
+
+
+def test_stacked_triangle_cost_is_two_thirds_cube():
+    assert stacked_triangle_qr_flops(64) == pytest.approx(2 / 3 * 64**3)
+
+
+def test_form_q_costs_same_as_factorization_for_thin_q():
+    m, n = 50_000, 128
+    assert form_q_flops(m, n) == pytest.approx(qr_flops(m, n), rel=1e-9)
+
+
+def test_apply_q_flops_positive_and_scales_with_k():
+    assert apply_q_flops(1000, 10, 8) > apply_q_flops(1000, 10, 4)
+
+
+def test_gemm_flops():
+    assert gemm_flops(10, 20, 30) == 2 * 10 * 20 * 30
+
+
+def test_larft_larfb_flops_positive():
+    assert larft_flops(100, 8) > 0
+    assert larfb_flops(100, 50, 8) > 0
+
+
+def test_tsqr_critical_path_adds_log_term():
+    m, n = 1_000_000, 64
+    flat = tsqr_critical_path_flops(m, n, 1)
+    p64 = tsqr_critical_path_flops(m, n, 64)
+    # per-domain share shrinks but the 2/3 log2(P) N^3 term is added
+    assert p64 == pytest.approx((2 * m * n * n - 2 / 3 * n**3) / 64 + 6 * 2 / 3 * n**3)
+    assert flat == pytest.approx(2 * m * n * n - 2 / 3 * n**3)
+
+
+def test_tsqr_q_doubles_critical_path():
+    r_only = tsqr_critical_path_flops(10_000, 32, 8)
+    with_q = tsqr_critical_path_flops(10_000, 32, 8, want_q=True)
+    assert with_q == pytest.approx(2 * r_only)
+
+
+def test_scalapack_flops_per_process_scales_inversely_with_p():
+    one = scalapack_qr_flops_per_process(100_000, 64, 1)
+    four = scalapack_qr_flops_per_process(100_000, 64, 4)
+    assert one == pytest.approx(4 * four)
+
+
+def test_tsqr_flops_per_domain():
+    m, n, p = 64_000, 32, 8
+    expected = 2 * (m / p) * n * n - 2 / 3 * n**3
+    assert tsqr_flops_per_domain(m, n, p) == pytest.approx(expected)
+
+
+def test_invalid_p_rejected():
+    with pytest.raises(ShapeError):
+        tsqr_critical_path_flops(100, 10, 0)
+    with pytest.raises(ShapeError):
+        scalapack_qr_flops_per_process(100, 10, 0)

@@ -1,0 +1,91 @@
+"""Tests for the virtual (shape-only) matrix payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, VirtualPayloadError
+from repro.virtual.matrix import VirtualMatrix, is_virtual, nbytes_of, shape_of, vstack_shapes
+
+
+class TestVirtualMatrix:
+    def test_shape_and_elements(self):
+        v = VirtualMatrix(10, 4)
+        assert v.shape == (10, 4)
+        assert v.n_elements == 40
+        assert v.nbytes == 320
+
+    def test_upper_triangle_stores_half(self):
+        v = VirtualMatrix(6, 6, structure="upper")
+        assert v.n_elements == 21
+        assert v.nbytes == 21 * 8
+
+    def test_upper_trapezoid(self):
+        v = VirtualMatrix(3, 5, structure="upper")
+        # 3x3 triangle (6) plus the 3x2 rectangle to its right.
+        assert v.n_elements == 6 + 6
+
+    def test_zero_sized_matrix_allowed(self):
+        v = VirtualMatrix(0, 4)
+        assert v.n_elements == 0
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ShapeError):
+            VirtualMatrix(-1, 3)
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ShapeError):
+            VirtualMatrix(3, 3, structure="diagonal")
+
+    def test_builders(self):
+        v = VirtualMatrix(10, 4)
+        assert v.rows(5).shape == (5, 4)
+        assert v.columns(2).shape == (10, 2)
+        assert v.as_upper().is_upper
+        assert not v.as_upper().as_general().is_upper
+
+    def test_like_real_array(self):
+        a = np.zeros((7, 3), dtype=np.float64)
+        v = VirtualMatrix.like(a)
+        assert v.shape == (7, 3)
+        assert v.dtype == "float64"
+
+    def test_like_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            VirtualMatrix.like(np.zeros(4))
+
+    def test_cannot_be_converted_to_array(self):
+        with pytest.raises(VirtualPayloadError):
+            np.asarray(VirtualMatrix(3, 3))
+
+
+class TestHelpers:
+    def test_is_virtual(self):
+        assert is_virtual(VirtualMatrix(2, 2))
+        assert not is_virtual(np.zeros((2, 2)))
+
+    def test_shape_of_both_kinds(self):
+        assert shape_of(VirtualMatrix(4, 5)) == (4, 5)
+        assert shape_of(np.zeros((4, 5))) == (4, 5)
+
+    def test_shape_of_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            shape_of(np.zeros(4))
+
+    def test_nbytes_of_real_array(self):
+        assert nbytes_of(np.zeros((4, 5))) == 160
+
+    def test_nbytes_of_assume_upper(self):
+        assert nbytes_of(np.zeros((4, 4)), assume_upper=True) == 10 * 8
+
+    def test_vstack_shapes(self):
+        assert vstack_shapes([VirtualMatrix(3, 4), np.zeros((2, 4))]) == (5, 4)
+
+    def test_vstack_shapes_column_mismatch(self):
+        with pytest.raises(ShapeError):
+            vstack_shapes([VirtualMatrix(3, 4), VirtualMatrix(3, 5)])
+
+    def test_vstack_shapes_empty_list(self):
+        with pytest.raises(ShapeError):
+            vstack_shapes([])
