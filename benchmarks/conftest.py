@@ -55,6 +55,19 @@ def bench_domain_counts() -> tuple[int, ...]:
     return (1, 2, 4, 8, 16, 32, 64) if full_sweep() else (1, 4, 16, 64)
 
 
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every paper-scale benchmark as ``slow``.
+
+    The tier-1 command still runs them; ``-m "not slow"`` gives the quick
+    unit-test-only run (the same selection the CI workflow uses via
+    ``pytest tests``).
+    """
+    here = Path(__file__).resolve().parent
+    for item in items:
+        if here in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     """Session-wide experiment runner (shared point cache)."""

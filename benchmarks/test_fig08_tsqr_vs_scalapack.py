@@ -42,16 +42,30 @@ def test_fig08_best_tsqr_vs_best_scalapack(benchmark, runner, results_dir, n):
 
 
 def test_fig08_advantage_narrows_with_n(runner, results_dir):
-    """Property 5 across panels: the TSQR/ScaLAPACK ratio shrinks from N=64 to N=512."""
-    m64 = bench_m_values(64)[-1]
-    m512 = bench_m_values(512)[-1]
+    """Property 5 across panels: the TSQR/ScaLAPACK ratio shrinks from N=64 to N=512.
+
+    The panels must be compared at the *same* number of rows: each panel's
+    own largest M differs (33.5M rows for N=64, 8.4M for N=512 — the 16 GB
+    ceiling), and growing M at fixed N is exactly the regime that helps
+    ScaLAPACK (compute grows with M while its latency cost is fixed at
+    ~2N log P messages).  Reading each panel at its own largest M therefore
+    conflates the two effects — by the paper's own Fig. 4/5 readings the
+    best-vs-best ratio at each panel's largest M *grows* from N=64
+    (95/33 ~ 2.9x) to N=512 (256/85 ~ 3.0x).  At matched M the wider panel
+    is the more compute-bound one and the advantage narrows, which is the
+    claim of Property 5.
+    """
+    m = bench_m_values(512)[-1]  # the largest M shared by every N sweep
     ratio_64 = (
-        runner.best_over_sites("tsqr", m64, 64, domain_candidates=(64,)).gflops
-        / runner.best_over_sites("scalapack", m64, 64).gflops
+        runner.best_over_sites("tsqr", m, 64, domain_candidates=(64,)).gflops
+        / runner.best_over_sites("scalapack", m, 64).gflops
     )
     ratio_512 = (
-        runner.best_over_sites("tsqr", m512, 512, domain_candidates=(64,)).gflops
-        / runner.best_over_sites("scalapack", m512, 512).gflops
+        runner.best_over_sites("tsqr", m, 512, domain_candidates=(64,)).gflops
+        / runner.best_over_sites("scalapack", m, 512).gflops
     )
-    print(f"\nTSQR/ScaLAPACK best-vs-best ratio: N=64 -> {ratio_64:.2f}x, N=512 -> {ratio_512:.2f}x")
+    print(
+        f"\nTSQR/ScaLAPACK best-vs-best ratio at M={m:,}: "
+        f"N=64 -> {ratio_64:.2f}x, N=512 -> {ratio_512:.2f}x"
+    )
     assert ratio_512 < ratio_64

@@ -1,0 +1,81 @@
+"""Benchmark: simulator engine scaling — wall time versus number of ranks.
+
+Not a figure of the paper: this tracks the *simulator's own* speed so future
+engine changes can be compared against the recorded baseline.  A
+virtual-payload TSQR run is simulated on synthetic 4-cluster grids of
+32/128/512 ranks and the wall-clock time of each simulation is written to
+``results/scaling_smoke.csv``.  The virtual-time cooperative scheduler must
+complete the 512-rank run in seconds (the old polling-thread engine was an
+order of magnitude slower and capped out near tens of ranks).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.gridsim import (
+    ClusterSpec,
+    GridSpec,
+    KernelRateModel,
+    LinkSpec,
+    NetworkModel,
+    NodeSpec,
+    Platform,
+    ProcessorSpec,
+    block_placement,
+)
+from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
+
+from benchmarks.conftest import report_rows
+
+#: Rank counts of the sweep (4 clusters x nodes x 2 processes/node).
+RANK_COUNTS = (32, 128, 512)
+
+
+def _platform(n_ranks: int) -> Platform:
+    clusters, ppn = 4, 2
+    nodes = n_ranks // (clusters * ppn)
+    node = NodeSpec(processor=ProcessorSpec("smoke-cpu", 8.0, 3.67), processes_per_node=ppn)
+    grid = GridSpec(
+        name=f"smoke-grid-{n_ranks}",
+        clusters=tuple(
+            ClusterSpec(name=f"site{i}", n_nodes=nodes, node=node) for i in range(clusters)
+        ),
+    )
+    network = NetworkModel(
+        intra_node=LinkSpec.from_us_mbits(17.0, 5000.0),
+        intra_cluster=LinkSpec.from_ms_mbits(0.06, 890.0),
+        inter_cluster_default=LinkSpec.from_ms_mbits(8.0, 90.0),
+    )
+    placement = block_placement(grid, nodes_per_cluster=nodes, processes_per_node=ppn)
+    return Platform(
+        grid=grid,
+        network=network,
+        placement=placement,
+        kernel_model=KernelRateModel(),
+        name=f"smoke-{n_ranks}",
+    )
+
+
+def test_engine_scaling_smoke(results_dir):
+    rows = []
+    for n_ranks in RANK_COUNTS:
+        platform = _platform(n_ranks)
+        config = TSQRConfig(m=n_ranks * 4096, n=64)  # virtual payload
+        start = time.perf_counter()
+        result = run_parallel_tsqr(platform, config)
+        wall_s = time.perf_counter() - start
+        rows.append(
+            {
+                "ranks": n_ranks,
+                "wall time (s)": round(wall_s, 3),
+                "simulated time (s)": round(result.makespan_s, 6),
+                "Gflop/s": round(result.gflops, 2),
+                "messages": result.trace.total_messages,
+            }
+        )
+        # A 512-rank virtual-payload TSQR must complete, fast.
+        assert result.makespan_s > 0.0
+        assert wall_s < 30.0
+    report_rows("Engine scaling smoke (wall time vs ranks)", rows,
+                results_dir, "scaling_smoke.csv")

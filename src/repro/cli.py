@@ -40,6 +40,7 @@ from repro.experiments import (
     figure6,
     figure7,
     figure8,
+    figure67_m_values,
     format_points,
     reduced_m_values,
     table1,
@@ -96,8 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("--cols", type=int, default=64, help="column count N of the panel")
     figure.add_argument("--points", type=int, default=3, help="number of M values to sweep")
+    figure.add_argument(
+        "--domains",
+        type=str,
+        default=None,
+        help="comma-separated domains/cluster sweep for fig6/fig7 (default: the paper's 1..64)",
+    )
     figure.add_argument("--csv", type=str, default=None, help="write the series to this CSV file")
     return parser
+
+
+def _spread(values: list[int], points: int) -> list[int]:
+    """First, last and evenly spaced interior elements of ``values``."""
+    if points >= len(values):
+        return values
+    points = max(points, 2)
+    idx = sorted({round(i * (len(values) - 1) / (points - 1)) for i in range(points)})
+    return [values[i] for i in idx]
 
 
 def _cmd_factor(args: argparse.Namespace) -> int:
@@ -145,6 +161,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         kwargs = {}
         if args.figure_id in ("fig4", "fig5", "fig8"):
             kwargs["m_values"] = reduced_m_values(n, points=args.points)
+        elif args.figure_id in ("fig6", "fig7"):
+            kwargs["m_values"] = _spread(
+                figure67_m_values(n, single_site=args.figure_id == "fig7"), args.points
+            )
+            if args.domains:
+                kwargs["domain_counts"] = tuple(
+                    int(d) for d in args.domains.split(",") if d.strip()
+                )
         fig = builder(runner, n, **kwargs)
         print(f"{fig.figure_id}: {fig.title}")
         rows = fig.as_rows()

@@ -6,8 +6,10 @@ mpi4py object API (``send``/``recv``/``bcast``/``reduce``/``allreduce``/
 ``gather``/``scatter``/``split``/``barrier``) but executes under *virtual
 time*:
 
-* every rank is a Python thread with its own virtual clock
-  (:class:`~repro.gridsim.platform.SimulationState`);
+* every rank is a cooperative thread driven by the
+  :class:`~repro.gridsim.scheduler.VirtualTimeScheduler` (exactly one rank
+  runs at a time, minimum virtual clock first), with its own virtual clock in
+  :class:`~repro.gridsim.platform.SimulationState`;
 * a point-to-point message advances the receiver's clock by the link's
   ``latency + overhead + bytes/bandwidth``, with the link chosen from the
   placement of the two ranks (intra-node / intra-cluster / inter-cluster);
@@ -18,22 +20,25 @@ time*:
 * every message and every flop is recorded in the
   :class:`~repro.gridsim.trace.Trace` for the Table I/II count validations.
 
-Implementation note: a collective is executed by whichever rank enters the
-rendezvous last (all participating threads block until the schedule has been
-simulated); point-to-point messages are genuine thread-to-thread handoffs
-through per-communicator mailboxes.
+Implementation notes: a collective is executed by whichever rank enters the
+rendezvous last; every other participant parks on the scheduler until the
+schedule has been simulated.  A ``recv`` on an empty mailbox likewise parks
+until the matching ``send`` unparks it.  There are no polling sleeps and no
+wall-clock timeouts: blocking is event-driven, and a cyclic wait is reported
+immediately as a :class:`~repro.exceptions.DeadlockError` by the scheduler.
+Because only one rank runs at a time, mailboxes and rendezvous state need no
+locks of their own.
 """
 
 from __future__ import annotations
 
-import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.exceptions import CommunicatorError, DeadlockError, SimulationError
+from repro.exceptions import CommunicatorError
 from repro.gridsim.collectives import (
     TreeSchedule,
     binary_tree,
@@ -46,11 +51,6 @@ from repro.gridsim.platform import SimulationState
 from repro.virtual.matrix import VirtualMatrix
 
 __all__ = ["payload_nbytes", "ReduceOp", "SUM", "MAX", "CommCore", "CommHandle"]
-
-#: How long a blocked thread sleeps between abort-flag checks (wall seconds).
-_WAIT_POLL_S = 0.02
-#: Give up on a blocked receive/rendezvous after this much wall time.
-_DEADLOCK_WALL_S = 120.0
 
 
 def payload_nbytes(obj: object) -> int:
@@ -132,11 +132,14 @@ MAX = ReduceOp(func=lambda a, b: b if a is None else (a if b is None else np.max
 
 
 class _Rendezvous:
-    """Collective meeting point shared by the ranks of one communicator."""
+    """Collective meeting point shared by the ranks of one communicator.
+
+    Plain data: the single-runner invariant of the scheduler means at most
+    one rank mutates it at any instant, so no lock is needed.
+    """
 
     def __init__(self, size: int) -> None:
         self.size = size
-        self.cond = threading.Condition()
         self.generation = 0
         self.entries: dict[int, tuple[str, object, dict]] = {}
         self.results: dict[int, dict[int, object]] = {}
@@ -145,9 +148,6 @@ class _Rendezvous:
 
 class CommCore:
     """Shared state of one communicator (the 'MPI_Comm' object)."""
-
-    _next_id = 0
-    _id_lock = threading.Lock()
 
     def __init__(
         self,
@@ -164,13 +164,10 @@ class CommCore:
         self.state = state
         self.world_ranks = tuple(int(r) for r in world_ranks)
         self.collective_tree = collective_tree
-        with CommCore._id_lock:
-            self.comm_id = CommCore._next_id
-            CommCore._next_id += 1
+        self.comm_id = state.allocate_comm_id()
         self.name = name or f"comm{self.comm_id}"
         self.size = len(self.world_ranks)
         self._mailbox: dict[tuple[int, int, object], deque] = {}
-        self._mail_cond = threading.Condition()
         self._rendezvous = _Rendezvous(self.size)
         self._tree_cache: dict[int, TreeSchedule] = {}
 
@@ -182,10 +179,7 @@ class CommCore:
         return self.world_ranks[local_rank]
 
     def _check_abort(self) -> None:
-        if self.state.abort.is_set():
-            raise SimulationError(
-                f"simulation aborted: {self.state.failure!r}"
-            ) from self.state.failure
+        self.state.scheduler.check_abort()
 
     def _edge_time_recorder(self, nbytes_of: Callable[[object], int], tag: str):
         """Return an ``edge_time(src_pos, dst_pos, payload)`` callback that
@@ -242,32 +236,35 @@ class CommCore:
             raise CommunicatorError(f"send to invalid rank {dest} (size {self.size})")
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
         sender_clock = self.state.clock(self.world_rank(local_rank))
-        with self._mail_cond:
-            key = (dest, local_rank, tag)
-            self._mailbox.setdefault(key, deque()).append((payload, sender_clock, size))
-            self._mail_cond.notify_all()
+        key = (dest, local_rank, tag)
+        self._mailbox.setdefault(key, deque()).append((payload, sender_clock, size))
+        # Wake the receiver if it is parked on exactly this (source, tag).
+        self.state.scheduler.unpark("recv", (self.comm_id, dest, local_rank, tag))
 
     def recv(self, local_rank: int, source: int, tag: object = 0) -> object:
-        """Blocking receive; advances the receiver's clock by the transfer time."""
+        """Blocking receive; advances the receiver's clock by the transfer time.
+
+        When the mailbox is empty the calling rank parks on the scheduler and
+        is woken by the matching :meth:`send` — or fails immediately with a
+        :class:`~repro.exceptions.DeadlockError` if no rank can ever send it.
+        """
+        self._check_abort()
         if not 0 <= source < self.size:
             raise CommunicatorError(f"recv from invalid rank {source} (size {self.size})")
         key = (local_rank, source, tag)
-        waited = 0.0
-        with self._mail_cond:
-            while True:
-                queue = self._mailbox.get(key)
-                if queue:
-                    payload, sender_clock, nbytes = queue.popleft()
-                    break
-                self._check_abort()
-                self._mail_cond.wait(timeout=_WAIT_POLL_S)
-                waited += _WAIT_POLL_S
-                if waited > _DEADLOCK_WALL_S:
-                    raise DeadlockError(
-                        f"rank {local_rank} of {self.name} waited too long for a message "
-                        f"from rank {source} (tag {tag!r})"
-                    )
         me = self.world_rank(local_rank)
+        while True:
+            queue = self._mailbox.get(key)
+            if queue:
+                payload, sender_clock, nbytes = queue.popleft()
+                break
+            self.state.scheduler.park(
+                me,
+                "recv",
+                (self.comm_id, local_rank, source, tag),
+                f"recv(source={source}, tag={tag!r}) on communicator {self.name!r}",
+            )
+            self._check_abort()
         src_world = self.world_rank(source)
         transfer = self.state.transfer_time(nbytes, src_world, me)
         arrival = sender_clock + transfer
@@ -289,45 +286,49 @@ class CommCore:
     def _collective(
         self, local_rank: int, kind: str, value: object, params: dict
     ) -> object:
-        """Enter a collective; the last rank to arrive executes the schedule."""
+        """Enter a collective; the last rank to arrive executes the schedule.
+
+        Every earlier arrival parks on the scheduler keyed by the rendezvous
+        generation; the executing rank simulates the whole schedule, updates
+        all exit clocks, publishes the per-rank results and unparks everyone.
+        """
+        self._check_abort()
         rv = self._rendezvous
-        waited = 0.0
-        with rv.cond:
-            my_gen = rv.generation
-            if local_rank in rv.entries:
-                raise CommunicatorError(
-                    f"rank {local_rank} entered collective {kind!r} twice in generation {my_gen}"
-                )
-            rv.entries[local_rank] = (kind, value, params)
-            if len(rv.entries) == self.size:
-                entries = rv.entries
-                rv.entries = {}
-                try:
-                    results = self._execute_collective(entries)
-                except BaseException as exc:  # propagate to every waiting rank
-                    self.state.fail(exc)
-                    rv.generation += 1
-                    rv.cond.notify_all()
-                    raise
-                rv.results[my_gen] = results
-                rv.pending_reads[my_gen] = self.size
+        my_gen = rv.generation
+        if local_rank in rv.entries:
+            raise CommunicatorError(
+                f"rank {local_rank} entered collective {kind!r} twice in generation {my_gen}"
+            )
+        rv.entries[local_rank] = (kind, value, params)
+        if len(rv.entries) == self.size:
+            entries = rv.entries
+            rv.entries = {}
+            try:
+                results = self._execute_collective(entries)
+            except BaseException as exc:  # propagate to every waiting rank
                 rv.generation += 1
-                rv.cond.notify_all()
-            else:
-                while rv.generation == my_gen:
-                    self._check_abort()
-                    rv.cond.wait(timeout=_WAIT_POLL_S)
-                    waited += _WAIT_POLL_S
-                    if waited > _DEADLOCK_WALL_S:
-                        raise DeadlockError(
-                            f"rank {local_rank} of {self.name} timed out in collective {kind!r}"
-                        )
+                self.state.fail(exc)  # wakes every parked participant
+                raise
+            rv.results[my_gen] = results
+            rv.pending_reads[my_gen] = self.size
+            rv.generation += 1
+            self.state.scheduler.unpark("collective", (self.comm_id, my_gen))
+        else:
+            me = self.world_rank(local_rank)
+            while rv.generation == my_gen:
+                self.state.scheduler.park(
+                    me,
+                    "collective",
+                    (self.comm_id, my_gen),
+                    f"collective {kind!r} on communicator {self.name!r} "
+                    f"({len(rv.entries)}/{self.size} ranks arrived)",
+                )
                 self._check_abort()
-            result = rv.results[my_gen][local_rank]
-            rv.pending_reads[my_gen] -= 1
-            if rv.pending_reads[my_gen] == 0:
-                del rv.results[my_gen]
-                del rv.pending_reads[my_gen]
+        result = rv.results[my_gen][local_rank]
+        rv.pending_reads[my_gen] -= 1
+        if rv.pending_reads[my_gen] == 0:
+            del rv.results[my_gen]
+            del rv.pending_reads[my_gen]
         return result
 
     def _execute_collective(self, entries: dict[int, tuple[str, object, dict]]) -> dict[int, object]:

@@ -1,12 +1,19 @@
 """SPMD executor: run one Python function per simulated MPI rank.
 
-The executor is the ``mpiexec`` of the simulator: it spawns one thread per
-rank, hands each thread a :class:`RankContext` (its rank, the world
-communicator handle and the shared simulation state) and collects per-rank
-return values.  The *virtual* execution time of the program is the maximum
-rank clock when every thread has finished — wall-clock time spent in numpy
-is never added to the virtual clocks, so results are deterministic and
-independent of the host machine.
+The executor is the ``mpiexec`` of the simulator: it spawns one cooperative
+thread per rank, hands each thread a :class:`RankContext` (its rank, the
+world communicator handle and the shared simulation state) and collects
+per-rank return values.  The threads are driven by the
+:class:`~repro.gridsim.scheduler.VirtualTimeScheduler` owned by the
+simulation state: exactly one rank executes at a time (always one whose
+virtual clock was minimal when it became runnable), a blocked rank parks
+until the event it waits for occurs, and a cyclic wait raises
+:class:`~repro.exceptions.DeadlockError` immediately with a per-rank wait
+graph.  The *virtual* execution time of the program is the maximum rank
+clock when every thread has finished — wall-clock time spent in numpy is
+never added to the virtual clocks — and because scheduling decisions depend
+only on simulation state, two identical runs produce identical results,
+clocks and trace event streams.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.exceptions import SimulationError
+from repro.exceptions import DeadlockError, SimulationError
 from repro.gridsim.communicator import CommCore, CommHandle
 from repro.gridsim.platform import Platform, SimulationState
 from repro.gridsim.topology import ProcessLocation
@@ -65,6 +72,9 @@ class SimulationResult:
     makespan: float
     trace: TraceSummary
     clocks: list[float] = field(default_factory=list)
+    #: Ordered event stream (messages and flops, in global virtual-time
+    #: execution order); populated only when the executor records messages.
+    events: list[tuple] = field(default_factory=list, repr=False)
 
     def result_of(self, rank: int) -> object:
         """Return the value returned by ``rank``'s program."""
@@ -121,7 +131,10 @@ class SPMDExecutor:
         """
         n = self.platform.n_processes
         active = list(range(n)) if ranks is None else list(ranks)
-        state = SimulationState(self.platform, record_messages=self.record_messages)
+        state = SimulationState(
+            self.platform, record_messages=self.record_messages, active_ranks=active
+        )
+        scheduler = state.scheduler
         world = CommCore(
             state, active, collective_tree=self.collective_tree, name="world"
         )
@@ -137,11 +150,18 @@ class SPMDExecutor:
                 state=state,
             )
             try:
-                results[local_rank] = program(ctx, *args, **kwargs)
+                scheduler.wait_for_turn(world_rank)
+                # A failure elsewhere releases every waiting thread at once;
+                # re-check so aborted ranks never run their program (which
+                # would execute concurrently with other released ranks).
+                if not state.abort.is_set():
+                    results[local_rank] = program(ctx, *args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - propagated to the caller
                 with errors_lock:
                     errors.append((world_rank, exc))
                 state.fail(exc)
+            finally:
+                scheduler.finish(world_rank)
 
         threads = [
             threading.Thread(
@@ -158,7 +178,14 @@ class SPMDExecutor:
             t.join()
 
         if errors:
-            rank, first = sorted(errors, key=lambda e: e[0])[0]
+            if isinstance(state.failure, DeadlockError):
+                raise state.failure
+            # Prefer the root cause: the failure that tripped the abort flag
+            # (every other rank only raised a secondary "simulation aborted").
+            rank, first = min(
+                ((r, e) for r, e in errors if e is state.failure),
+                default=min(errors, key=lambda e: e[0]),
+            )
             raise SimulationError(
                 f"{len(errors)} rank(s) failed; first failure on rank {rank}: {first!r}"
             ) from first
@@ -167,6 +194,7 @@ class SPMDExecutor:
             makespan=state.makespan(),
             trace=state.trace.summary(),
             clocks=state.clocks(),
+            events=list(state.trace.events),
         )
 
 

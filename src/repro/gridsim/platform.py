@@ -13,10 +13,13 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from repro.exceptions import ConfigurationError
 from repro.gridsim.kernelmodel import KernelRateModel
 from repro.gridsim.machine import GridSpec
 from repro.gridsim.network import LinkClass, NetworkModel
+from repro.gridsim.scheduler import VirtualTimeScheduler
 from repro.gridsim.topology import ProcessPlacement
 from repro.gridsim.trace import Trace
 
@@ -61,21 +64,43 @@ class Platform:
 
 
 class SimulationState:
-    """Mutable per-simulation state: virtual clocks, trace, abort flag.
+    """Mutable per-simulation state: virtual clocks, trace, scheduler, abort flag.
 
     One :class:`SimulationState` is created per SPMD run and shared by all
-    rank threads.  Clock reads/writes are guarded by a lock: a rank normally
-    only touches its own clock, but collective execution (performed by
-    whichever rank arrives last) updates everyone's.
+    rank threads.  The state owns the
+    :class:`~repro.gridsim.scheduler.VirtualTimeScheduler` (and through it the
+    ready queue keyed by virtual clock) that admits exactly one runnable rank
+    at a time.  Clock reads/writes are still guarded by a lock: a rank
+    normally only touches its own clock, but collective execution (performed
+    by whichever rank arrives last) updates everyone's.
+
+    ``active_ranks`` restricts the scheduled ranks to a subset of the
+    platform's processes (the executor's ``ranks=...`` feature); clocks and
+    traces are always platform-wide.
     """
 
-    def __init__(self, platform: Platform, *, record_messages: bool = False) -> None:
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        record_messages: bool = False,
+        active_ranks: Sequence[int] | None = None,
+    ) -> None:
         self.platform = platform
         self.trace = Trace(platform.n_processes, record_messages=record_messages)
         self._clocks = [0.0] * platform.n_processes
         self._lock = threading.Lock()
         self.abort = threading.Event()
         self.failure: BaseException | None = None
+        self._next_comm_id = 0
+        ranks = range(platform.n_processes) if active_ranks is None else active_ranks
+        self.scheduler = VirtualTimeScheduler(ranks, self)
+
+    def allocate_comm_id(self) -> int:
+        """Allocate the next communicator id (deterministic per simulation)."""
+        comm_id = self._next_comm_id
+        self._next_comm_id += 1
+        return comm_id
 
     # -------------------------------------------------------------- clocks
     def clock(self, rank: int) -> float:
@@ -144,7 +169,8 @@ class SimulationState:
 
     # --------------------------------------------------------------- abort
     def fail(self, exc: BaseException) -> None:
-        """Record a rank failure and wake every waiting rank."""
+        """Record a rank failure and wake every parked rank so it can raise."""
         if self.failure is None:
             self.failure = exc
         self.abort.set()
+        self.scheduler.wake_all_blocked()

@@ -1,0 +1,230 @@
+"""Virtual-time cooperative scheduler: the discrete-event core of gridsim.
+
+Every simulated MPI rank still runs on its own Python thread (rank programs
+are plain blocking functions), but the threads are *cooperative*: exactly one
+rank executes at any instant, and it is always a rank whose virtual clock was
+minimal among the runnable ranks when it became runnable.  A rank that blocks
+(an empty-mailbox ``recv``, an incomplete collective rendezvous) *parks* on a
+per-rank condition variable and consumes zero CPU until the event it waits
+for is produced by another rank, at which point it is *unparked* — moved back
+into the ready queue keyed by its virtual clock.
+
+The scheduler delivers three properties the old free-running thread pool
+could not:
+
+* **No polling.**  There are no sleep loops and no wall-clock timeouts; a
+  blocked rank costs nothing and wakes exactly when its dependency is
+  satisfied.
+* **Instant deadlock detection.**  The moment every live rank is parked and
+  the ready queue is empty, no future event can ever occur; the scheduler
+  raises :class:`~repro.exceptions.DeadlockError` immediately, with a
+  per-rank wait graph describing who waits for what.
+* **Determinism.**  Because only one rank runs at a time and every scheduling
+  decision is a pure function of simulation state (min virtual clock, ties
+  broken by rank id), two runs of the same program produce bit-identical
+  traces and makespans, independent of OS thread scheduling.
+
+The scheduler is owned by :class:`~repro.gridsim.platform.SimulationState`;
+the communicator calls :meth:`VirtualTimeScheduler.park` /
+:meth:`~VirtualTimeScheduler.unpark`, the executor drives the rank lifecycle
+through :meth:`~VirtualTimeScheduler.wait_for_turn` /
+:meth:`~VirtualTimeScheduler.finish`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+from repro.exceptions import DeadlockError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (platform -> scheduler)
+    from repro.gridsim.platform import SimulationState
+
+__all__ = ["RankStatus", "WaitInfo", "VirtualTimeScheduler"]
+
+
+class RankStatus:
+    """Lifecycle states of a simulated rank."""
+
+    READY = "ready"  # in the ready queue, waiting to be granted the CPU
+    RUNNING = "running"  # the (single) rank currently executing
+    BLOCKED = "blocked"  # parked on an unsatisfied dependency
+    DONE = "done"  # program returned or raised
+
+
+@dataclass(frozen=True)
+class WaitInfo:
+    """What a parked rank is waiting for.
+
+    ``kind``/``key`` identify the event that satisfies the wait (an exact
+    match wakes the rank); ``detail`` is the human-readable description used
+    by the deadlock wait graph.
+    """
+
+    kind: str
+    key: Hashable
+    detail: str
+
+
+class VirtualTimeScheduler:
+    """Admit one runnable rank at a time, minimum virtual clock first.
+
+    Parameters
+    ----------
+    ranks:
+        The world ranks participating in the simulation (the executor may run
+        a subset of the platform's ranks).
+    state:
+        The owning :class:`~repro.gridsim.platform.SimulationState`; used to
+        read virtual clocks (ready-queue keys) and to record failures.
+    """
+
+    def __init__(self, ranks: Sequence[int], state: "SimulationState") -> None:
+        self._state = state
+        self._ranks = tuple(int(r) for r in ranks)
+        # One condition variable per rank, all sharing one (reentrant) lock:
+        # park/unpark/dispatch are a single critical section.
+        self._mu = threading.RLock()
+        self._cv = {r: threading.Condition(self._mu) for r in self._ranks}
+        self._status = {r: RankStatus.READY for r in self._ranks}
+        self._waiting: dict[int, WaitInfo] = {}
+        self._waiters: dict[tuple[str, Hashable], list[int]] = {}
+        #: Ready queue: (virtual clock at enqueue time, rank).  Ties broken by
+        #: rank id, so the pop order is a pure function of simulation state.
+        self._ready: list[tuple[float, int]] = [(0.0, r) for r in sorted(self._ranks)]
+        heapq.heapify(self._ready)
+        self._granted: int | None = None
+        with self._mu:
+            self._dispatch_locked()
+
+    # ------------------------------------------------------------ lifecycle
+    def wait_for_turn(self, rank: int) -> None:
+        """Block the calling rank thread until the scheduler grants it the CPU.
+
+        Called once by every rank thread before its program starts.  Returns
+        immediately when the simulation has already aborted (the program's
+        first communication call will raise).
+        """
+        with self._mu:
+            while self._granted != rank and not self._state.abort.is_set():
+                self._cv[rank].wait()
+
+    def park(self, rank: int, kind: str, key: Hashable, detail: str) -> None:
+        """Yield the CPU until ``(kind, key)`` is produced by another rank.
+
+        The caller must be the currently running rank.  Returns when the rank
+        is granted the CPU again after a matching :meth:`unpark`, or
+        immediately when the simulation aborts (callers re-check the abort
+        flag after every park).  Raises :class:`DeadlockError` when parking
+        this rank leaves no rank runnable.
+        """
+        with self._mu:
+            info = WaitInfo(kind=kind, key=key, detail=detail)
+            self._status[rank] = RankStatus.BLOCKED
+            self._waiting[rank] = info
+            self._waiters.setdefault((kind, key), []).append(rank)
+            if self._granted == rank:
+                self._granted = None
+                self._dispatch_locked()
+            while self._granted != rank:
+                if self._state.abort.is_set():
+                    return
+                self._cv[rank].wait()
+
+    def unpark(self, kind: str, key: Hashable) -> None:
+        """Make every rank parked on ``(kind, key)`` runnable again.
+
+        The woken ranks do not run immediately: they enter the ready queue
+        keyed by their current virtual clock and run when the scheduler
+        reaches them.
+        """
+        with self._mu:
+            ranks = self._waiters.pop((kind, key), None)
+            if not ranks:
+                return
+            for rank in ranks:
+                if self._status[rank] is not RankStatus.BLOCKED:
+                    continue
+                self._status[rank] = RankStatus.READY
+                self._waiting.pop(rank, None)
+                heapq.heappush(self._ready, (self._state.clock(rank), rank))
+
+    def finish(self, rank: int) -> None:
+        """Mark ``rank``'s thread as finished and hand the CPU to the next rank."""
+        with self._mu:
+            self._status[rank] = RankStatus.DONE
+            self._waiting.pop(rank, None)
+            if self._granted == rank:
+                self._granted = None
+            if self._state.abort.is_set():
+                self._wake_all_locked()
+                return
+            if self._granted is None:
+                self._dispatch_locked()
+
+    # ---------------------------------------------------------------- abort
+    def wake_all_blocked(self) -> None:
+        """Wake every parked rank so it can observe the abort flag and raise."""
+        with self._mu:
+            self._wake_all_locked()
+
+    def _wake_all_locked(self) -> None:
+        for rank in self._ranks:
+            self._cv[rank].notify_all()
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch_locked(self) -> None:
+        """Grant the CPU to the ready rank with the minimum virtual clock.
+
+        Called with the scheduler lock held and no rank granted.  Detects
+        deadlock: if nothing is ready but some ranks are still blocked, no
+        event can ever be produced again.
+        """
+        if self._state.abort.is_set():
+            self._wake_all_locked()
+            return
+        while self._ready:
+            _, rank = heapq.heappop(self._ready)
+            if self._status[rank] is RankStatus.READY:
+                self._status[rank] = RankStatus.RUNNING
+                self._granted = rank
+                self._cv[rank].notify_all()
+                return
+        blocked = [r for r in self._ranks if self._status[r] is RankStatus.BLOCKED]
+        if blocked:
+            self._deadlock_locked(blocked)
+
+    def _deadlock_locked(self, blocked: list[int]) -> None:
+        """Fail the simulation with a wait graph of every parked rank."""
+        done = sum(1 for r in self._ranks if self._status[r] is RankStatus.DONE)
+        lines = [
+            f"deadlock detected: all {len(blocked)} live rank(s) are blocked "
+            "and no pending event can unblock them"
+        ]
+        for rank in blocked:
+            info = self._waiting.get(rank)
+            detail = info.detail if info is not None else "unknown wait"
+            lines.append(f"  rank {rank}: waiting on {detail}")
+        if done:
+            lines.append(f"  ({done} rank(s) already finished)")
+        error = DeadlockError("\n".join(lines))
+        self._state.fail(error)
+        self._wake_all_locked()
+
+    # -------------------------------------------------------------- queries
+    def status(self, rank: int) -> str:
+        """Current lifecycle state of ``rank`` (for tests and debugging)."""
+        with self._mu:
+            return self._status[rank]
+
+    def check_abort(self) -> None:
+        """Raise if the simulation has failed (deadlock errors keep their type)."""
+        if not self._state.abort.is_set():
+            return
+        failure = self._state.failure
+        if isinstance(failure, DeadlockError):
+            raise DeadlockError(str(failure))
+        raise SimulationError(f"simulation aborted: {failure!r}") from failure

@@ -9,6 +9,12 @@ the analytic formulas of :mod:`repro.model.costs`.
 The trace is shared by all rank threads of a simulation, so updates are
 guarded by a lock; the counters themselves are plain dictionaries to keep
 the per-event overhead negligible.
+
+Under the virtual-time cooperative scheduler exactly one rank runs at a
+time, so events are appended in a single global order that is a pure
+function of the simulated program — two identical runs produce identical
+``events`` streams (and therefore byte-identical summaries), which the
+determinism tests assert.
 """
 
 from __future__ import annotations
@@ -81,6 +87,11 @@ class Trace:
         self.record_messages = record_messages
         self._lock = threading.Lock()
         self.messages: list[MessageRecord] = []
+        #: Ordered event stream: ``("message", MessageRecord)`` and
+        #: ``("flops", rank, flops, kernel)`` tuples in execution order (kept
+        #: only when recording is on; message events share the records of
+        #: :attr:`messages` rather than duplicating them).
+        self.events: list[tuple] = []
         self._msg_count: dict[LinkClass, int] = defaultdict(int)
         self._bytes: dict[LinkClass, int] = defaultdict(int)
         self._msgs_per_rank = [0] * n_ranks
@@ -116,9 +127,11 @@ class Trace:
                 self._inter_msgs_per_rank[source] += 1
                 self._inter_msgs_per_rank[dest] += 1
             if self.record_messages:
-                self.messages.append(
-                    MessageRecord(source, dest, int(nbytes), link, tag, send_time, recv_time)
+                record = MessageRecord(
+                    source, dest, int(nbytes), link, tag, send_time, recv_time
                 )
+                self.messages.append(record)
+                self.events.append(("message", record))
 
     def record_flops(self, rank: int, flops: float, kernel: str = "unknown") -> None:
         """Account for ``flops`` floating-point operations executed by ``rank``."""
@@ -127,6 +140,8 @@ class Trace:
         with self._lock:
             self._flops_per_rank[rank] += float(flops)
             self._flops_by_kernel[kernel] += float(flops)
+            if self.record_messages:
+                self.events.append(("flops", rank, float(flops), kernel))
 
     # ------------------------------------------------------------- queries
     def message_count(self, link: LinkClass | None = None) -> int:
@@ -167,6 +182,7 @@ class Trace:
         """Clear all counters (used between benchmark repetitions)."""
         with self._lock:
             self.messages.clear()
+            self.events.clear()
             self._msg_count.clear()
             self._bytes.clear()
             self._msgs_per_rank = [0] * self.n_ranks

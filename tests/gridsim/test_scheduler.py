@@ -1,0 +1,127 @@
+"""Tests for the virtual-time cooperative scheduler: deadlocks, determinism.
+
+These are the regression tests of the scheduler rewrite: deadlocks must be
+detected *immediately* (no wall-clock timeouts exist any more) with a useful
+per-rank wait graph, and two identical simulations must produce identical
+trace event streams, clocks and makespans.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import DeadlockError, SimulationError
+from repro.gridsim.executor import run_spmd
+from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
+
+
+class TestDeadlockDetection:
+    def test_recv_cycle_detected_fast_with_wait_graph(self, platform4_single_site):
+        """Two ranks waiting on each other's message: a head-to-head recv cycle."""
+
+        def prog(ctx):
+            if ctx.comm.rank < 2:
+                other = 1 - ctx.comm.rank
+                return ctx.comm.recv(source=other)
+            return None
+
+        start = time.perf_counter()
+        with pytest.raises(DeadlockError) as excinfo:
+            run_spmd(platform4_single_site, prog)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0  # instant, not a 120 s wall-clock timeout
+        message = str(excinfo.value)
+        assert "deadlock detected" in message
+        assert "rank 0: waiting on recv(source=1" in message
+        assert "rank 1: waiting on recv(source=0" in message
+
+    def test_recv_from_self_detected(self, platform4_single_site):
+        def prog(ctx):
+            if ctx.comm.rank == 0:
+                ctx.comm.recv(source=0)
+
+        start = time.perf_counter()
+        with pytest.raises(DeadlockError, match="recv\\(source=0"):
+            run_spmd(platform4_single_site, prog)
+        assert time.perf_counter() - start < 1.0
+
+    def test_missing_collective_participant_detected(self, platform4_single_site):
+        """A rank that returns without entering the barrier strands the others."""
+
+        def prog(ctx):
+            if ctx.comm.rank == 3:
+                return None  # skips the barrier
+            ctx.comm.barrier()
+
+        with pytest.raises(DeadlockError, match="collective 'barrier'"):
+            run_spmd(platform4_single_site, prog)
+
+    def test_wait_graph_mixes_recv_and_collective(self, platform4_single_site):
+        def prog(ctx):
+            if ctx.comm.rank == 0:
+                ctx.comm.recv(source=1, tag="never-sent")
+            else:
+                ctx.comm.barrier()
+
+        with pytest.raises(DeadlockError) as excinfo:
+            run_spmd(platform4_single_site, prog)
+        message = str(excinfo.value)
+        assert "recv(source=1, tag='never-sent')" in message
+        assert "collective 'barrier'" in message
+
+    def test_deadlock_error_is_a_simulation_error(self, platform4_single_site):
+        def prog(ctx):
+            if ctx.comm.rank == 0:
+                ctx.comm.recv(source=1)
+
+        with pytest.raises(SimulationError):
+            run_spmd(platform4_single_site, prog)
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run_tsqr(platform):
+        return run_parallel_tsqr(
+            platform,
+            TSQRConfig(m=262_144, n=32, n_domains=4, tree_kind="grid-hierarchical"),
+            record_messages=True,
+        )
+
+    def test_identical_runs_produce_identical_traces(self, platform8):
+        first = self._run_tsqr(platform8)
+        second = self._run_tsqr(platform8)
+        assert first.simulation.events == second.simulation.events
+        assert len(first.simulation.events) > 0
+        assert first.makespan_s == second.makespan_s  # bit-identical, no approx
+        assert first.simulation.clocks == second.simulation.clocks
+        assert first.trace == second.trace
+
+    def test_events_follow_virtual_time_order_per_rank(self, platform8):
+        """Each rank's message receive times are non-decreasing in the stream."""
+        events = self._run_tsqr(platform8).simulation.events
+        last_recv: dict[int, float] = {}
+        for event in events:
+            if event[0] != "message":
+                continue
+            record = event[1]
+            assert record.recv_time >= last_recv.get(record.dest, 0.0)
+            last_recv[record.dest] = record.recv_time
+
+    def test_scheduler_runs_one_rank_at_a_time(self, platform4_single_site):
+        """The single-runner invariant: code between blocking calls never overlaps."""
+        busy = {"rank": None}
+        overlaps: list[tuple[int, int]] = []
+
+        def prog(ctx):
+            for _ in range(50):
+                if busy["rank"] is not None:
+                    overlaps.append((busy["rank"], ctx.comm.rank))
+                busy["rank"] = ctx.comm.rank
+                time.sleep(0.0001)  # invite preemption mid-section
+                busy["rank"] = None
+                ctx.comm.barrier()
+
+        run_spmd(platform4_single_site, prog)
+        assert overlaps == []

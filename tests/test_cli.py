@@ -34,6 +34,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure"])
 
+    def test_figure_domain_sweep_argument(self):
+        args = build_parser().parse_args(
+            ["figure", "--id", "fig6", "--domains", "1,16,64", "--points", "2"]
+        )
+        assert args.domains == "1,16,64"
+        assert args.points == 2
+
 
 class TestCommands:
     def test_factor_reports_quality(self, capsys):
@@ -78,7 +85,12 @@ class TestCommands:
         assert "algorithm" in target.read_text().splitlines()[0]
 
     def test_figure_fig7(self, capsys):
-        code = main(["figure", "--id", "fig7", "--cols", "64"])
+        # A reduced sweep (2 of the 4 M values, 3 of the 7 domain counts)
+        # keeps this test fast while exercising the full fig7 path.
+        code = main(["figure", "--id", "fig7", "--cols", "64",
+                     "--points", "2", "--domains", "1,8,64"])
         out = capsys.readouterr().out
         assert code == 0
         assert "fig7" in out
+        assert "M = 65,536" in out
+        assert "M = 8,388,608" in out
