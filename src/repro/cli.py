@@ -22,6 +22,7 @@ Examples
     python -m repro simulate --algorithm tsqr --rows 33554432 --cols 64 \
         --sites 4 --domains-per-cluster 64
     python -m repro figure --id fig5 --cols 64 --points 3 --csv results/fig5.csv
+    python -m repro figure --id table2-sweep --domains 1,64 --csv results/table2_sweep.csv
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.experiments import (
     ExperimentRunner,
     figure3_network,
@@ -45,6 +47,7 @@ from repro.experiments import (
     reduced_m_values,
     table1,
     table2,
+    table2_sweep,
     write_csv,
 )
 from repro.tsqr.sequential import tsqr
@@ -92,19 +95,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--id",
         dest="figure_id",
         required=True,
-        choices=("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "table2"),
+        choices=(
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table1", "table2", "table2-sweep",
+        ),
         help="which artefact to regenerate",
     )
     figure.add_argument("--cols", type=int, default=64, help="column count N of the panel")
     figure.add_argument("--points", type=int, default=3, help="number of M values to sweep")
     figure.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="row count M of the table2-sweep artefact (default: the paper's 33.5M)",
+    )
+    figure.add_argument(
         "--domains",
         type=str,
         default=None,
-        help="comma-separated domains/cluster sweep for fig6/fig7 (default: the paper's 1..64)",
+        help="comma-separated domains/cluster sweep for fig6/fig7/table2-sweep "
+        "(default: the paper's sweep)",
+    )
+    figure.add_argument(
+        "--want-q",
+        action="store_true",
+        help="also form the explicit Q factor (Table II scenario) in the fig4-fig8 sweeps",
     )
     figure.add_argument("--csv", type=str, default=None, help="write the series to this CSV file")
     return parser
+
+
+def _parse_domains(spec: str) -> tuple[int, ...]:
+    """Parse a comma-separated domains/cluster sweep such as ``"1,16,64"``."""
+    try:
+        counts = tuple(int(d) for d in spec.split(",") if d.strip())
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid domain count in {spec!r}: {exc}") from exc
+    if not counts:
+        raise ConfigurationError(f"no domain counts in {spec!r}")
+    return counts
 
 
 def _spread(values: list[int], points: int) -> list[int]:
@@ -147,6 +176,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    # Reject flags that the requested artefact would silently ignore.
+    if args.rows is not None and args.figure_id != "table2-sweep":
+        raise ConfigurationError("--rows only applies to --id table2-sweep")
+    if args.want_q and args.figure_id not in ("fig4", "fig5", "fig6", "fig7", "fig8"):
+        raise ConfigurationError(
+            "--want-q only applies to fig4..fig8 (the table2 artefacts include Q by definition)"
+        )
+    if args.domains and args.figure_id not in ("fig6", "fig7", "table2-sweep"):
+        raise ConfigurationError("--domains only applies to fig6, fig7 and table2-sweep")
     runner = ExperimentRunner()
     n = args.cols
     if args.figure_id == "fig3":
@@ -155,10 +193,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         rows = table1(runner, n=n)
     elif args.figure_id == "table2":
         rows = table2(runner, n=n)
+    elif args.figure_id == "table2-sweep":
+        kwargs = {"n": n}
+        if args.rows is not None:
+            kwargs["m"] = args.rows  # invalid values are rejected by TSQRConfig
+        if args.domains:
+            kwargs["domain_counts"] = _parse_domains(args.domains)
+        rows = table2_sweep(runner, **kwargs)
     else:
         builder = {"fig4": figure4, "fig5": figure5, "fig6": figure6, "fig7": figure7,
                    "fig8": figure8}[args.figure_id]
-        kwargs = {}
+        kwargs = {"want_q": args.want_q}
         if args.figure_id in ("fig4", "fig5", "fig8"):
             kwargs["m_values"] = reduced_m_values(n, points=args.points)
         elif args.figure_id in ("fig6", "fig7"):
@@ -166,9 +211,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 figure67_m_values(n, single_site=args.figure_id == "fig7"), args.points
             )
             if args.domains:
-                kwargs["domain_counts"] = tuple(
-                    int(d) for d in args.domains.split(",") if d.strip()
-                )
+                kwargs["domain_counts"] = _parse_domains(args.domains)
         fig = builder(runner, n, **kwargs)
         print(f"{fig.figure_id}: {fig.title}")
         rows = fig.as_rows()

@@ -20,6 +20,7 @@ from repro.experiments.figures import (
     figure8,
     table1,
     table2,
+    table2_sweep,
 )
 from repro.experiments.grid5000 import (
     CLUSTER_NAMES,
@@ -41,6 +42,10 @@ from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpe
 from repro.experiments.workloads import (
     DOMAIN_COUNTS_PER_CLUSTER,
     PAPER_N_VALUES,
+    TABLE2_DOMAINS_PER_CLUSTER,
+    TABLE2_M,
+    TABLE2_N,
+    TABLE2_SITES,
     figure67_m_values,
     generate_matrix,
     paper_m_values,
@@ -58,6 +63,7 @@ __all__ = [
     "figure8",
     "table1",
     "table2",
+    "table2_sweep",
     "CLUSTER_NAMES",
     "Grid5000Settings",
     "grid5000_grid",
@@ -78,6 +84,10 @@ __all__ = [
     "PointSpec",
     "DOMAIN_COUNTS_PER_CLUSTER",
     "PAPER_N_VALUES",
+    "TABLE2_DOMAINS_PER_CLUSTER",
+    "TABLE2_M",
+    "TABLE2_N",
+    "TABLE2_SITES",
     "figure67_m_values",
     "generate_matrix",
     "paper_m_values",

@@ -25,9 +25,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.grid5000 import CLUSTER_NAMES, PAPER_LATENCY_MS, PAPER_THROUGHPUT_MBITS
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentPoint, ExperimentRunner
 from repro.experiments.workloads import (
     DOMAIN_COUNTS_PER_CLUSTER,
+    TABLE2_DOMAINS_PER_CLUSTER,
+    TABLE2_M,
+    TABLE2_N,
+    TABLE2_SITES,
     figure67_m_values,
     reduced_m_values,
 )
@@ -46,6 +50,7 @@ __all__ = [
     "figure8",
     "table1",
     "table2",
+    "table2_sweep",
 ]
 
 
@@ -163,19 +168,20 @@ def figure4(
     *,
     m_values: list[int] | None = None,
     sites: tuple[int, ...] = (1, 2, 4),
+    want_q: bool = False,
 ) -> FigureData:
     """ScaLAPACK performance versus the number of rows (paper Fig. 4)."""
     m_values = m_values or reduced_m_values(n)
     data = FigureData(
-        figure_id=f"fig4-N{n}",
-        title=f"ScaLAPACK performance, N={n}",
+        figure_id=f"fig4-N{n}" + ("-Q" if want_q else ""),
+        title=f"ScaLAPACK performance, N={n}" + (", Q included" if want_q else ""),
         xlabel="M",
         ylabel="Gflop/s",
     )
     for s in sites:
         series = FigureSeries(label=f"{s} site(s)")
         for m in m_values:
-            point = runner.scalapack_point(m, n, s)
+            point = runner.scalapack_point(m, n, s, want_q=want_q)
             series.points.append((float(m), point.gflops))
         data.series.append(series)
     return data
@@ -188,19 +194,20 @@ def figure5(
     m_values: list[int] | None = None,
     sites: tuple[int, ...] = (1, 2, 4),
     domain_candidates: tuple[int, ...] = (32, 64),
+    want_q: bool = False,
 ) -> FigureData:
     """QCG-TSQR performance (best #domains) versus M (paper Fig. 5)."""
     m_values = m_values or reduced_m_values(n)
     data = FigureData(
-        figure_id=f"fig5-N{n}",
-        title=f"TSQR performance (best #domains), N={n}",
+        figure_id=f"fig5-N{n}" + ("-Q" if want_q else ""),
+        title=f"TSQR performance (best #domains), N={n}" + (", Q included" if want_q else ""),
         xlabel="M",
         ylabel="Gflop/s",
     )
     for s in sites:
         series = FigureSeries(label=f"{s} site(s)")
         for m in m_values:
-            point = runner.best_tsqr_point(m, n, s, domain_candidates)
+            point = runner.best_tsqr_point(m, n, s, domain_candidates, want_q=want_q)
             series.points.append((float(m), point.gflops))
         data.series.append(series)
     return data
@@ -216,19 +223,21 @@ def figure6(
     *,
     m_values: list[int] | None = None,
     domain_counts: tuple[int, ...] = DOMAIN_COUNTS_PER_CLUSTER,
+    want_q: bool = False,
 ) -> FigureData:
     """Effect of domains/cluster on TSQR over all four sites (paper Fig. 6)."""
     m_values = m_values or figure67_m_values(n)
     data = FigureData(
-        figure_id=f"fig6-N{n}",
-        title=f"Effect of #domains per cluster (4 sites), N={n}",
+        figure_id=f"fig6-N{n}" + ("-Q" if want_q else ""),
+        title=f"Effect of #domains per cluster (4 sites), N={n}"
+        + (", Q included" if want_q else ""),
         xlabel="domains per cluster",
         ylabel="Gflop/s",
     )
     for m in m_values:
         series = FigureSeries(label=f"M = {m:,}")
         for dpc in domain_counts:
-            point = runner.tsqr_point(m, n, 4, dpc)
+            point = runner.tsqr_point(m, n, 4, dpc, want_q=want_q)
             series.points.append((float(dpc), point.gflops))
         data.series.append(series)
     return data
@@ -240,19 +249,20 @@ def figure7(
     *,
     m_values: list[int] | None = None,
     domain_counts: tuple[int, ...] = DOMAIN_COUNTS_PER_CLUSTER,
+    want_q: bool = False,
 ) -> FigureData:
     """Effect of the number of domains on TSQR on a single site (paper Fig. 7)."""
     m_values = m_values or figure67_m_values(n, single_site=True)
     data = FigureData(
-        figure_id=f"fig7-N{n}",
-        title=f"Effect of #domains (1 site), N={n}",
+        figure_id=f"fig7-N{n}" + ("-Q" if want_q else ""),
+        title=f"Effect of #domains (1 site), N={n}" + (", Q included" if want_q else ""),
         xlabel="domains",
         ylabel="Gflop/s",
     )
     for m in m_values:
         series = FigureSeries(label=f"M = {m:,}")
         for dpc in domain_counts:
-            point = runner.tsqr_point(m, n, 1, dpc)
+            point = runner.tsqr_point(m, n, 1, dpc, want_q=want_q)
             series.points.append((float(dpc), point.gflops))
         data.series.append(series)
     return data
@@ -269,20 +279,23 @@ def figure8(
     m_values: list[int] | None = None,
     sites: tuple[int, ...] = (1, 2, 4),
     domain_candidates: tuple[int, ...] = (32, 64),
+    want_q: bool = False,
 ) -> FigureData:
     """TSQR (best configuration) versus ScaLAPACK (best configuration), Fig. 8."""
     m_values = m_values or reduced_m_values(n)
     data = FigureData(
-        figure_id=f"fig8-N{n}",
-        title=f"TSQR (best) vs ScaLAPACK (best), N={n}",
+        figure_id=f"fig8-N{n}" + ("-Q" if want_q else ""),
+        title=f"TSQR (best) vs ScaLAPACK (best), N={n}" + (", Q included" if want_q else ""),
         xlabel="M",
         ylabel="Gflop/s",
     )
     tsqr_series = FigureSeries(label="TSQR (best)")
     scal_series = FigureSeries(label="ScaLAPACK (best)")
     for m in m_values:
-        best_tsqr = runner.best_over_sites("tsqr", m, n, sites, domain_candidates=domain_candidates)
-        best_scal = runner.best_over_sites("scalapack", m, n, sites)
+        best_tsqr = runner.best_over_sites(
+            "tsqr", m, n, sites, domain_candidates=domain_candidates, want_q=want_q
+        )
+        best_scal = runner.best_over_sites("scalapack", m, n, sites, want_q=want_q)
         tsqr_series.points.append((float(m), best_tsqr.gflops))
         scal_series.points.append((float(m), best_scal.gflops))
     data.series = [tsqr_series, scal_series]
@@ -292,6 +305,13 @@ def figure8(
 # ---------------------------------------------------------------------------
 # Tables I and II: counts measured from traces vs analytic model
 # ---------------------------------------------------------------------------
+
+def _measured_counts(point: ExperimentPoint, p: int) -> tuple[int, float, float]:
+    """Trace counts of one run: (max msgs/rank, volume in doubles / P, max flops/rank)."""
+    trace = point.trace
+    volume_doubles = sum(trace.bytes_by_link.values()) / DOUBLE_BYTES
+    return trace.messages_per_rank_max, volume_doubles / p, trace.flops_per_rank_max
+
 
 def _count_rows(
     runner: ExperimentRunner, m: int, n: int, n_sites: int, *, want_q: bool
@@ -307,8 +327,7 @@ def _count_rows(
         ("ScaLAPACK QR2", scal_model, scal_point),
         ("TSQR", tsqr_model, tsqr_point),
     ):
-        trace = point.trace
-        volume_doubles = sum(trace.bytes_by_link.values()) / DOUBLE_BYTES
+        msgs, volume_per_p, flops = _measured_counts(point, p)
         rows.append(
             {
                 "algorithm": name,
@@ -317,11 +336,11 @@ def _count_rows(
                 "P": p,
                 "Q requested": want_q,
                 "model # msg (critical path)": round(model.messages, 1),
-                "measured # msg (max per rank)": trace.messages_per_rank_max,
+                "measured # msg (max per rank)": msgs,
                 "model volume (doubles)": round(model.volume_doubles, 0),
-                "measured volume (doubles, total/P)": round(volume_doubles / p, 0),
+                "measured volume (doubles, total/P)": round(volume_per_p, 0),
                 "model flops (per domain)": round(model.flops, 0),
-                "measured flops (max per rank)": round(trace.flops_per_rank_max, 0),
+                "measured flops (max per rank)": round(flops, 0),
                 "Gflop/s": round(point.gflops, 2),
             }
         )
@@ -340,3 +359,78 @@ def table2(
 ) -> list[dict[str, object]]:
     """Table II: counts when both the Q and the R factors are requested."""
     return _count_rows(runner, m, n, n_sites, want_q=True)
+
+
+def table2_sweep(
+    runner: ExperimentRunner,
+    *,
+    m: int = TABLE2_M,
+    n: int = TABLE2_N,
+    n_sites: int = TABLE2_SITES,
+    domain_counts: tuple[int, ...] = TABLE2_DOMAINS_PER_CLUSTER,
+    include_scalapack: bool = True,
+) -> list[dict[str, object]]:
+    """Table II opened across the domain sweep: Property 1, measured vs model.
+
+    Every domains-per-cluster configuration is simulated twice — R only,
+    then Q and R — and the measured increase of messages, volume and flops
+    is reported next to the analytic prediction of :mod:`repro.model.costs`
+    (the model ratios are exactly 2: Property 1).  The one-domain-per-process
+    rows are the pure TSQR that the paper's Table II models directly and
+    reproduce the 2x within a few percent; the multi-process-domain rows
+    exercise the distributed ``PDORGQR`` finish of the downward sweep, whose
+    blocked application communicates less and computes more than the paper's
+    uniform doubling (the same deviation the ScaLAPACK baseline row shows).
+    """
+    p = runner.processes(n_sites)
+
+    def _row(name, dpc, r_point, q_point, model_r, model_q):
+        msg_r, vol_r, flop_r = _measured_counts(r_point, p)
+        msg_q, vol_q, flop_q = _measured_counts(q_point, p)
+        return {
+            "algorithm": name,
+            "M": m,
+            "N": n,
+            "P": p,
+            "domains/cluster": dpc if dpc is not None else "-",
+            "processes/domain": p // (dpc * n_sites) if dpc is not None else "-",
+            "msgs (R)": msg_r,
+            "msgs (Q+R)": msg_q,
+            "msg ratio": round(msg_q / msg_r, 3),
+            "volume/P (R)": round(vol_r, 0),
+            "volume/P (Q+R)": round(vol_q, 0),
+            "volume ratio": round(vol_q / vol_r, 3),
+            "flops (R)": round(flop_r, 0),
+            "flops (Q+R)": round(flop_q, 0),
+            "flop ratio": round(flop_q / flop_r, 3),
+            "model msg ratio": round(model_q.messages / model_r.messages, 3),
+            "model volume ratio": round(model_q.volume_doubles / model_r.volume_doubles, 3),
+            "model flop ratio": round(model_q.flops / model_r.flops, 3),
+            "time ratio": round(q_point.time_s / r_point.time_s, 3),
+        }
+
+    rows: list[dict[str, object]] = []
+    for dpc in domain_counts:
+        n_domains = dpc * n_sites
+        rows.append(
+            _row(
+                "TSQR",
+                dpc,
+                runner.tsqr_point(m, n, n_sites, dpc, want_q=False),
+                runner.tsqr_point(m, n, n_sites, dpc, want_q=True),
+                tsqr_costs(m, n, n_domains),
+                tsqr_costs(m, n, n_domains, want_q=True),
+            )
+        )
+    if include_scalapack:
+        rows.append(
+            _row(
+                "ScaLAPACK QR2",
+                None,
+                runner.scalapack_point(m, n, n_sites),
+                runner.scalapack_point(m, n, n_sites, want_q=True),
+                scalapack_costs(m, n, p),
+                scalapack_costs(m, n, p, want_q=True),
+            )
+        )
+    return rows

@@ -196,14 +196,15 @@ class ExperimentRunner:
         sites: tuple[int, ...] = (1, 2, 4),
         *,
         domain_candidates: tuple[int, ...] = (32, 64),
+        want_q: bool = False,
     ) -> ExperimentPoint:
         """Best configuration over site counts (the convex hull of Fig. 8)."""
         best: ExperimentPoint | None = None
         for s in sites:
             if algorithm == "scalapack":
-                point = self.scalapack_point(m, n, s)
+                point = self.scalapack_point(m, n, s, want_q=want_q)
             else:
-                point = self.best_tsqr_point(m, n, s, domain_candidates)
+                point = self.best_tsqr_point(m, n, s, domain_candidates, want_q=want_q)
             if best is None or point.gflops > best.gflops:
                 best = point
         assert best is not None

@@ -18,6 +18,10 @@ from repro.util.random_matrices import random_tall_skinny
 __all__ = [
     "PAPER_N_VALUES",
     "DOMAIN_COUNTS_PER_CLUSTER",
+    "TABLE2_M",
+    "TABLE2_N",
+    "TABLE2_SITES",
+    "TABLE2_DOMAINS_PER_CLUSTER",
     "paper_m_values",
     "reduced_m_values",
     "figure67_m_values",
@@ -29,6 +33,18 @@ PAPER_N_VALUES = (64, 128, 256, 512)
 
 #: Domain-per-cluster sweep of Figs. 6 and 7.
 DOMAIN_COUNTS_PER_CLUSTER = (1, 2, 4, 8, 16, 32, 64)
+
+#: Table II workload (Q and R both requested), at paper scale: the tallest
+#: matrix of the study on the full four-site reservation.  The domain sweep
+#: deliberately spans the three regimes of the paper's §III configurations:
+#: one multi-process domain per cluster (64 processes each, the ScaLAPACK-
+#: style distributed QR inside every domain), one domain per node (2
+#: processes each) and one domain per processor (the pure TSQR that the
+#: paper's Table II models directly).
+TABLE2_M = 33_554_432
+TABLE2_N = 64
+TABLE2_SITES = 4
+TABLE2_DOMAINS_PER_CLUSTER = (1, 32, 64)
 
 #: Element cap of the sweeps: the widest matrix of the study is
 #: 8,388,608 x 512 (Fig. 4d/5d), i.e. 2**32 double-precision elements.

@@ -15,7 +15,12 @@ QCG-OMPI middleware:
 3. optionally the orthogonal factor is produced by a symmetric downward sweep
    that pushes blocks of the identity back through the stored combine
    factors, doubling messages, volume and flops exactly as the paper's
-   Table II and Property 1 state.
+   Table II and Property 1 state.  The sweep works for *both* domain kinds:
+   a single-process domain applies its stored leaf Householder factor, while
+   a multi-process domain scatters the arriving coefficient block over the
+   domain communicator and finishes with the distributed
+   :func:`~repro.scalapack.pdorgqr.pdorgqr`, whose allreduces mirror the
+   factorization's and keep the doubling intact.
 
 Real payloads give exact numerics (validated against LAPACK at test scale);
 virtual payloads run the same communication schedule while charging analytic
@@ -29,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, FactorizationError
 from repro.gridsim.executor import RankContext, SPMDExecutor, SimulationResult
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
@@ -37,11 +42,12 @@ from repro.kernels.householder import HouseholderQR, apply_q, geqrf
 from repro.kernels.tskernels import StackedQR, qr_of_stacked_triangles
 from repro.scalapack.descriptor import RowBlockDescriptor
 from repro.scalapack.pdgeqrf import pdgeqrf
+from repro.scalapack.pdorgqr import pdorgqr
 from repro.tsqr.trees import ReductionTree, tree_for
 from repro.util.partition import block_ranges, partition_rows_weighted
 from repro.util.units import DOUBLE_BYTES, gflops_rate
 from repro.virtual.flops import qr_flops, stacked_triangle_qr_flops
-from repro.virtual.matrix import VirtualMatrix
+from repro.virtual.matrix import MatrixLike, VirtualMatrix
 
 __all__ = [
     "TSQRConfig",
@@ -180,12 +186,6 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
     leader_local = domain * ppd
     is_leader = comm.rank == leader_local
 
-    if config.want_q and ppd != 1:
-        raise ConfigurationError(
-            "explicit Q construction is only supported with one process per domain "
-            "(n_domains == number of processes)"
-        )
-
     domain_ranges = _domain_row_ranges(config, n_domains)
     dom_start, dom_stop = domain_ranges[domain]
     dom_rows = dom_stop - dom_start
@@ -211,6 +211,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
 
     # -------------------------------------------------------- leaf factoring
     leaf_fact: HouseholderQR | None = None
+    dist = None  # DistributedQR of a multi-process domain, kept for the Q sweep
     r_acc: np.ndarray | VirtualMatrix | None = None
     if ppd == 1:
         if config.virtual:
@@ -286,39 +287,67 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
     if config.want_q:
         # Downward sweep: the root pushes the n x n identity through the
         # stored combine factors; every domain ends with its m_d x n slice of Q.
-        dense_block_nbytes = n * n * DOUBLE_BYTES
-        if is_root_leader:
-            c_block: np.ndarray | VirtualMatrix = (
-                VirtualMatrix(n, n) if config.virtual else np.eye(n)
-            )
-        else:
-            c_block = comm.recv(source=tree.parent(domain) * ppd, tag=_TAG_SWEEP)
-        # Undo the combines in reverse order: the part of the stacked Q acting
-        # on this domain's rows stays here, the rest goes to the child it came
-        # from.
-        for child, stacked in reversed(combines):
-            if config.virtual or stacked is None:
-                ctx.compute(stacked_triangle_qr_flops(n), kernel="qr_combine", n=n)
-                comm.send(
-                    VirtualMatrix(n, n) if config.virtual else None,
-                    dest=child * ppd,
-                    tag=_TAG_SWEEP,
-                    nbytes=dense_block_nbytes,
-                )
+        # Each sweep message is charged the paper's Table II volume of N^2/2
+        # doubles: the model transmits the downward update in the compact
+        # half-triangular form of the stacked-triangle factors, mirroring the
+        # upward triangle, while the simulator's payload carries the explicit
+        # block for the numerics.
+        sweep_nbytes = _triangle_nbytes(n)
+        c_block: np.ndarray | VirtualMatrix | None = None
+        if is_leader:
+            if is_root_leader:
+                c_block = VirtualMatrix(n, n) if config.virtual else np.eye(n)
             else:
-                y = stacked.q @ np.asarray(c_block)
-                ctx.compute(stacked_triangle_qr_flops(n), kernel="qr_combine", n=n)
-                top, bottom = y[: stacked.rows_top, :], y[stacked.rows_top :, :]
-                comm.send(
-                    bottom, dest=child * ppd, tag=_TAG_SWEEP, nbytes=dense_block_nbytes
-                )
-                c_block = top
-        # Apply the leaf orthogonal factor to the surviving block.
-        ctx.compute(qr_flops(local_rows, n), kernel="qr_leaf", n=n)
-        if not config.virtual and leaf_fact is not None:
-            padded = np.zeros((local_rows, n))
-            padded[: min(n, local_rows), :] = np.asarray(c_block)[: min(n, local_rows), :]
-            q_local = apply_q(leaf_fact.v, leaf_fact.tau, padded, transpose=False)
+                c_block = comm.recv(source=tree.parent(domain) * ppd, tag=_TAG_SWEEP)
+            # Undo the combines in reverse order: the part of the stacked Q
+            # acting on this domain's rows stays here, the rest goes to the
+            # child it came from.
+            for child, stacked in reversed(combines):
+                if config.virtual or stacked is None:
+                    ctx.compute(stacked_triangle_qr_flops(n), kernel="qr_combine", n=n)
+                    comm.send(
+                        VirtualMatrix(n, n) if config.virtual else None,
+                        dest=child * ppd,
+                        tag=_TAG_SWEEP,
+                        nbytes=sweep_nbytes,
+                    )
+                else:
+                    y = stacked.q @ np.asarray(c_block)
+                    ctx.compute(stacked_triangle_qr_flops(n), kernel="qr_combine", n=n)
+                    top, bottom = y[: stacked.rows_top, :], y[stacked.rows_top :, :]
+                    comm.send(
+                        bottom, dest=child * ppd, tag=_TAG_SWEEP, nbytes=sweep_nbytes
+                    )
+                    c_block = top
+        if ppd == 1:
+            # Apply the leaf orthogonal factor to the surviving block.
+            ctx.compute(qr_flops(local_rows, n), kernel="qr_leaf", n=n)
+            if not config.virtual and leaf_fact is not None:
+                padded = np.zeros((local_rows, n))
+                padded[: min(n, local_rows), :] = np.asarray(c_block)[: min(n, local_rows), :]
+                q_local = apply_q(leaf_fact.v, leaf_fact.tau, padded, transpose=False)
+        else:
+            # Multi-process domain: the leader scatters the rows of the sweep
+            # coefficient block falling in each member's block-row range (the
+            # leader's own range covers all n of them whenever the distributed
+            # QR succeeded), then every member forms its slice of Q with the
+            # distributed PDORGQR, whose allreduces mirror the factorization's.
+            if is_leader:
+                slices: list[MatrixLike] = []
+                for member in range(ppd):
+                    m_start, m_stop = desc.row_range(member)
+                    rows = max(0, min(m_stop, n) - m_start)
+                    if config.virtual:
+                        slices.append(VirtualMatrix(rows, n))
+                    else:
+                        block = np.asarray(c_block)
+                        slices.append(np.array(block[m_start : m_start + rows, :], copy=True))
+                c_init = domain_comm.scatter(slices, root=0)
+            else:
+                c_init = domain_comm.scatter(None, root=0)
+            q_block = pdorgqr(ctx, domain_comm, dist, row_start=local_start, c_init=c_init)
+            if not config.virtual:
+                q_local = np.asarray(q_block)
 
     return TSQRRankResult(
         rank=comm.rank,
@@ -365,9 +394,15 @@ def run_parallel_tsqr(
     r = next((res.r for res in results if res.r is not None), None)
     q = None
     if config.want_q and not config.virtual:
-        blocks = [res.q_local for res in results if res.q_local is not None]
-        if len(blocks) == len(results):
-            q = np.vstack(blocks)
+        # Ranks own contiguous, ascending row blocks, so Q is assembled in
+        # explicit rank order; a missing block is a bug, never a silent None.
+        blocks = {res.rank: res.q_local for res in results}
+        missing = sorted(rank for rank, block in blocks.items() if block is None)
+        if missing:
+            raise FactorizationError(
+                f"explicit Q was requested but rank(s) {missing} returned no Q block"
+            )
+        q = np.vstack([blocks[rank] for rank in sorted(blocks)])
     n_domains = config.resolve_domains(platform.n_processes)
     ppd = platform.n_processes // n_domains
     clusters = [

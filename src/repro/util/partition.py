@@ -28,8 +28,11 @@ def split_counts(n: int, parts: int) -> list[int]:
 
     The first ``n % parts`` groups receive one extra item, mirroring the
     convention of ``numpy.array_split``.  Every group is allowed to be empty
-    when ``parts > n`` (TSQR handles empty domains by contributing an empty
-    R factor).
+    when ``parts > n``.  Note that the *partition helpers* tolerate empty
+    groups but the distributed drivers do not: ``qcg_tsqr_program`` raises
+    :class:`~repro.exceptions.ConfigurationError` for any domain holding
+    fewer rows than the matrix has columns (each domain must produce a full
+    ``n x n`` R factor), so TSQR runs need ``min(counts) >= n``.
 
     >>> split_counts(10, 4)
     [3, 3, 2, 2]

@@ -19,6 +19,7 @@ from repro.experiments.grid5000 import (
     grid5000_platform,
     site_subsets,
 )
+from repro.experiments.figures import table2_sweep
 from repro.experiments.paper_data import PAPER_QUALITATIVE_CLAIMS, paper_reference
 from repro.experiments.report import ascii_series, ascii_table, format_points, write_csv
 from repro.experiments.runner import ExperimentRunner, PointSpec
@@ -145,6 +146,20 @@ class TestRunner:
         best = runner.best_over_sites("tsqr", 2**18, 64, sites=(1, 2), domain_candidates=(4,))
         assert best.spec.n_sites in (1, 2)
 
+    @pytest.mark.parametrize("algorithm", ["tsqr", "scalapack"])
+    def test_best_over_sites_forwards_want_q(self, runner, algorithm):
+        # Regression: the flag used to be dropped, making a Q-included
+        # Fig. 8-style hull impossible to request.
+        best = runner.best_over_sites(
+            algorithm, 2**16, 64, sites=(1, 2), domain_candidates=(4,), want_q=True
+        )
+        assert best.spec.want_q is True
+        r_only = runner.best_over_sites(
+            algorithm, 2**16, 64, sites=(1, 2), domain_candidates=(4,)
+        )
+        assert r_only.spec.want_q is False
+        assert best.time_s > r_only.time_s
+
     def test_invalid_domains_per_cluster(self, runner):
         with pytest.raises(ConfigurationError):
             runner.tsqr_point(2**15, 64, 2, 3)
@@ -153,6 +168,38 @@ class TestRunner:
         row = runner.tsqr_point(2**15, 64, 2, 4).as_row()
         assert row["algorithm"] == "tsqr"
         assert "Gflop/s" in row
+
+
+class TestTable2Sweep:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(Grid5000Settings(nodes_per_cluster=2, processes_per_node=2))
+
+    @pytest.fixture(scope="class")
+    def rows(self, runner):
+        # dpc=4 is one domain per process (the pure TSQR of the paper's
+        # Table II); dpc=1 groups 4 processes per domain and exercises the
+        # distributed PDORGQR finish of the downward sweep.
+        return table2_sweep(
+            runner, m=2**16, n=64, n_sites=2, domain_counts=(1, 4)
+        )
+
+    def test_row_structure(self, rows):
+        assert [row["algorithm"] for row in rows] == ["TSQR", "TSQR", "ScaLAPACK QR2"]
+        assert all(row["model msg ratio"] == 2.0 for row in rows)
+        assert all(row["model flop ratio"] == 2.0 for row in rows)
+
+    def test_pure_tsqr_row_doubles_exactly(self, rows):
+        pure = next(r for r in rows if r["processes/domain"] == 1)
+        assert pure["msg ratio"] == pytest.approx(2.0)
+        assert pure["volume ratio"] == pytest.approx(2.0)
+        assert pure["flop ratio"] == pytest.approx(2.0, rel=1e-3)
+
+    def test_grouped_domain_row_completes_with_q(self, rows):
+        grouped = next(r for r in rows if r["processes/domain"] == 4)
+        assert grouped["msgs (Q+R)"] > grouped["msgs (R)"]
+        assert grouped["flop ratio"] == pytest.approx(2.0, rel=0.1)
+        assert grouped["time ratio"] > 1.2
 
 
 class TestPaperData:

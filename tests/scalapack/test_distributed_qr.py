@@ -5,15 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import ConfigurationError, FactorizationError, SimulationError
 from repro.gridsim.executor import run_spmd
 from repro.scalapack.descriptor import RowBlockDescriptor
 from repro.scalapack.driver import ScaLAPACKConfig, run_scalapack_qr, scalapack_qr_program
 from repro.scalapack.pdgeqr2 import larft_from_gram, pdgeqr2
-from repro.scalapack.pdgeqrf import pdgeqrf
+from repro.scalapack.pdgeqrf import DistributedQR, pdgeqrf
+from repro.scalapack.pdorgqr import pdorgqr
 from repro.kernels.householder import geqr2, larft
 from repro.util.random_matrices import random_tall_skinny
 from repro.util.validation import check_qr, r_factors_match
+from repro.virtual.matrix import VirtualMatrix
 
 
 def _distribute(matrix, comm_size, rank):
@@ -119,6 +121,57 @@ class TestPdgeqrf:
 
         with pytest.raises(SimulationError):
             run_spmd(platform4_single_site, prog)
+
+
+class TestPdorgqr:
+    def test_empty_factorization_rejected(self):
+        # Regression: the virtual flag used to evaluate to the empty *list*
+        # for a panel-less factorization; it is now a bool and the degenerate
+        # input is rejected with a clear error before any communication.
+        empty = DistributedQR(panels=[], r=None, local_rows=8, n=4, nb=64)
+        with pytest.raises(FactorizationError, match="no panels"):
+            pdorgqr(None, None, empty, row_start=0)
+
+    def test_c_init_forms_q_times_c(self, platform8):
+        # pdorgqr seeded with a coefficient block C must return Q @ C — the
+        # contract the TSQR downward sweep relies on.
+        n = 8
+        a = random_tall_skinny(320, n, seed=11)
+        c = np.random.default_rng(12).standard_normal((n, n))
+
+        def prog(ctx, with_c):
+            local, (start, _) = _distribute(a, ctx.comm.size, ctx.comm.rank)
+            fact = pdgeqrf(ctx, ctx.comm, local)
+            if with_c:
+                rows = max(0, min(start + fact.local_rows, n) - start)
+                c_init = np.array(c[start : start + rows, :], copy=True)
+                return pdorgqr(ctx, ctx.comm, fact, row_start=start, c_init=c_init)
+            return pdorgqr(ctx, ctx.comm, fact, row_start=start)
+
+        q = np.vstack(run_spmd(platform8, prog, False).results)
+        qc = np.vstack(run_spmd(platform8, prog, True).results)
+        assert np.allclose(qc, q @ c, atol=1e-12)
+
+    def test_c_init_shape_validated(self, platform4_single_site):
+        a = random_tall_skinny(64, 4, seed=13)
+
+        def prog(ctx):
+            local, (start, _) = _distribute(a, ctx.comm.size, ctx.comm.rank)
+            fact = pdgeqrf(ctx, ctx.comm, local)
+            return pdorgqr(ctx, ctx.comm, fact, row_start=start, c_init=np.zeros((1, 7)))
+
+        with pytest.raises(SimulationError, match="does not fit"):
+            run_spmd(platform4_single_site, prog)
+
+    def test_virtual_mode_returns_virtual_payload(self, platform4_single_site):
+        def prog(ctx):
+            desc = RowBlockDescriptor(4096, 16, ctx.comm.size)
+            start, stop = desc.row_range(ctx.comm.rank)
+            fact = pdgeqrf(ctx, ctx.comm, VirtualMatrix(stop - start, 16))
+            return pdorgqr(ctx, ctx.comm, fact, row_start=start)
+
+        res = run_spmd(platform4_single_site, prog)
+        assert all(isinstance(q, VirtualMatrix) for q in res.results)
 
 
 class TestDriver:

@@ -41,6 +41,19 @@ class TestParser:
         assert args.domains == "1,16,64"
         assert args.points == 2
 
+    def test_figure_want_q_flag(self):
+        args = build_parser().parse_args(["figure", "--id", "fig7", "--want-q"])
+        assert args.want_q is True
+        assert build_parser().parse_args(["figure", "--id", "fig7"]).want_q is False
+
+    def test_figure_table2_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["figure", "--id", "table2-sweep", "--rows", "1048576", "--domains", "1,64"]
+        )
+        assert args.figure_id == "table2-sweep"
+        assert args.rows == 1_048_576
+        assert args.domains == "1,64"
+
 
 class TestCommands:
     def test_factor_reports_quality(self, capsys):
@@ -94,3 +107,34 @@ class TestCommands:
         assert "fig7" in out
         assert "M = 65,536" in out
         assert "M = 8,388,608" in out
+
+    def test_figure_fig7_want_q(self, capsys):
+        # The Q-included domain sweep of the Table II scenario: exercises the
+        # downward sweep for both grouped (dpc=16: 4 processes per domain)
+        # and one-process domains at full 64-process platform scale.
+        code = main(["figure", "--id", "fig7", "--cols", "64",
+                     "--points", "2", "--domains", "16,64", "--want-q"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig7-N64-Q" in out
+        assert "Q included" in out
+
+    def test_figure_rejects_inapplicable_flags(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--rows"):
+            main(["figure", "--id", "table2", "--rows", "4000000"])
+        with pytest.raises(ConfigurationError, match="--want-q"):
+            main(["figure", "--id", "table2", "--want-q"])
+        with pytest.raises(ConfigurationError, match="--domains"):
+            main(["figure", "--id", "fig4", "--domains", "1,64"])
+
+    def test_figure_table2_sweep_to_csv(self, capsys, tmp_path):
+        target = tmp_path / "table2_sweep.csv"
+        code = main(["figure", "--id", "table2-sweep", "--cols", "64",
+                     "--rows", "1048576", "--domains", "64", "--csv", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "msg ratio" in out
+        header = target.read_text().splitlines()[0]
+        assert "volume ratio" in header and "flop ratio" in header

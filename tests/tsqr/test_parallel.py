@@ -5,11 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import ConfigurationError, FactorizationError, SimulationError
 from repro.gridsim.executor import run_spmd
+from repro.tsqr import parallel as parallel_mod
 from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr, tsqr_reduce_op
 from repro.util.random_matrices import random_tall_skinny
-from repro.util.validation import check_qr, r_factors_match
+from repro.util.validation import (
+    check_qr,
+    factorization_residual,
+    orthogonality_error,
+    r_factors_match,
+)
 from repro.virtual.matrix import VirtualMatrix
 
 
@@ -72,11 +78,6 @@ class TestRealPayloads:
         assert result.q is not None
         check_qr(matrix8, result.q, result.r)
 
-    def test_want_q_with_grouped_domains_rejected(self, platform8, matrix8):
-        config = TSQRConfig(m=320, n=10, matrix=matrix8, want_q=True, n_domains=4)
-        with pytest.raises((ConfigurationError, SimulationError)):
-            run_parallel_tsqr(platform8, config)
-
     def test_broadcast_r_gives_r_everywhere(self, platform8, matrix8):
         config = TSQRConfig(m=320, n=10, matrix=matrix8, broadcast_r=True)
         result = run_parallel_tsqr(platform8, config)
@@ -91,10 +92,120 @@ class TestRealPayloads:
         assert r_factors_match(result.r, np.linalg.qr(matrix8, mode="r"))
 
     def test_too_many_domains_for_rows_rejected(self, platform8):
+        # Pins the contract documented by repro.util.partition.split_counts:
+        # the partition helpers tolerate empty/short groups, but the TSQR
+        # driver requires every domain to hold at least n rows and says so.
         small = random_tall_skinny(40, 10, seed=3)
         config = TSQRConfig(m=40, n=10, matrix=small)  # 8 domains x 5 rows < 10 columns
-        with pytest.raises(SimulationError):
+        with pytest.raises(SimulationError, match="fewer than n=10"):
             run_parallel_tsqr(platform8, config)
+
+
+class TestExplicitQMultiProcessDomains:
+    """The downward sweep through domains factored by the distributed QR.
+
+    Regression coverage for the former hard error: ``want_q=True`` with
+    ``processes_per_domain > 1`` used to raise ``ConfigurationError``; it now
+    finishes the sweep with the distributed PDORGQR.
+    """
+
+    TOL = 1e-12
+
+    @pytest.mark.parametrize("n_domains", [4, 2, 1])  # ppd = 2, 4, 8 on 8 ranks
+    @pytest.mark.parametrize("tree", ["binary", "flat", "grid-hierarchical"])
+    def test_q_exact_for_grouped_domains(self, platform8, matrix8, n_domains, tree):
+        config = TSQRConfig(
+            m=320, n=10, matrix=matrix8, want_q=True, n_domains=n_domains, tree_kind=tree
+        )
+        result = run_parallel_tsqr(platform8, config)
+        assert result.q is not None and result.q.shape == (320, 10)
+        assert factorization_residual(matrix8, result.q, result.r) <= self.TOL
+        assert orthogonality_error(result.q) <= self.TOL
+        assert r_factors_match(result.r, np.linalg.qr(matrix8, mode="r"))
+
+    @pytest.mark.parametrize("n_domains", [2, 4])
+    def test_q_with_weighted_domains(self, platform8, matrix8, n_domains):
+        weights = tuple(2.0 if d == 0 else 1.0 for d in range(n_domains))
+        config = TSQRConfig(
+            m=320, n=10, matrix=matrix8, want_q=True, n_domains=n_domains,
+            domain_weights=weights,
+        )
+        result = run_parallel_tsqr(platform8, config)
+        assert factorization_residual(matrix8, result.q, result.r) <= self.TOL
+        assert orthogonality_error(result.q) <= self.TOL
+
+    def test_q_combined_with_broadcast_r(self, platform8, matrix8):
+        config = TSQRConfig(
+            m=320, n=10, matrix=matrix8, want_q=True, broadcast_r=True, n_domains=4
+        )
+        result = run_parallel_tsqr(platform8, config)
+        assert factorization_residual(matrix8, result.q, result.r) <= self.TOL
+        assert orthogonality_error(result.q) <= self.TOL
+        # broadcast_r still reaches every rank when the sweep runs too.
+        for rank_result in result.simulation.results:
+            assert rank_result.r is not None
+
+    def test_q_assembled_in_rank_order(self, platform8, matrix8):
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, want_q=True, n_domains=2)
+        result = run_parallel_tsqr(platform8, config)
+        # Each rank's block must sit at its own row offset: compare against
+        # the blocks returned by the ranks themselves.
+        offset = 0
+        for rank_result in sorted(result.simulation.results, key=lambda r: r.rank):
+            rows = rank_result.local_rows
+            np.testing.assert_allclose(
+                result.q[offset : offset + rows, :], rank_result.q_local
+            )
+            offset += rows
+        assert offset == 320
+
+    def test_missing_q_block_raises_with_rank_list(self, platform8, matrix8, monkeypatch):
+        original = parallel_mod.qcg_tsqr_program
+
+        def dropping(ctx, config):
+            res = original(ctx, config)
+            if res.rank in (3, 5):
+                res.q_local = None
+            return res
+
+        monkeypatch.setattr(parallel_mod, "qcg_tsqr_program", dropping)
+        config = TSQRConfig(m=320, n=10, matrix=matrix8, want_q=True)
+        with pytest.raises((FactorizationError, SimulationError), match=r"\[3, 5\]"):
+            run_parallel_tsqr(platform8, config)
+
+    def test_virtual_q_run_completes_for_grouped_domains(self, platform8):
+        config = TSQRConfig(m=2**18, n=64, want_q=True, n_domains=2)
+        result = run_parallel_tsqr(platform8, config)
+        assert result.q is None  # virtual payloads never materialise Q
+        assert result.makespan_s > 0
+        assert result.trace.total_messages > 0
+
+    @pytest.mark.parametrize("n_domains", [8, 4, 2])
+    def test_virtual_and_real_q_runs_trace_identically(self, platform8, matrix8, n_domains):
+        """The 33M-row sweeps must exercise the same schedule the numerics use."""
+        real = run_parallel_tsqr(
+            platform8,
+            TSQRConfig(m=320, n=10, matrix=matrix8, want_q=True, n_domains=n_domains),
+        )
+        virtual = run_parallel_tsqr(
+            platform8, TSQRConfig(m=320, n=10, want_q=True, n_domains=n_domains)
+        )
+        assert real.trace.n_messages == virtual.trace.n_messages
+        assert real.trace.bytes_by_link == virtual.trace.bytes_by_link
+        assert real.trace.messages_per_rank_max == virtual.trace.messages_per_rank_max
+        assert real.trace.flops_per_rank_max == pytest.approx(
+            virtual.trace.flops_per_rank_max
+        )
+        assert real.makespan_s == pytest.approx(virtual.makespan_s)
+
+    def test_sweep_messages_mirror_reduction(self, platform8):
+        """Property 1 on the wire: the sweep doubles messages and volume."""
+        r_only = run_parallel_tsqr(platform8, TSQRConfig(m=2**18, n=64))
+        with_q = run_parallel_tsqr(platform8, TSQRConfig(m=2**18, n=64, want_q=True))
+        assert with_q.trace.total_messages == 2 * r_only.trace.total_messages
+        r_bytes = sum(r_only.trace.bytes_by_link.values())
+        q_bytes = sum(with_q.trace.bytes_by_link.values())
+        assert q_bytes == 2 * r_bytes
 
 
 class TestVirtualPayloads:
