@@ -1,0 +1,43 @@
+"""Benchmark: CAQR sweep — general matrices on the grid (paper §VI follow-up).
+
+The paper's closing remark ("a first step towards the factorization of
+general matrices on the grid") opened as an artefact: virtual general-matrix
+CAQR runs at paper scale (M >= 1e6 rows, the study's widest N) on the full
+four-site reservation, one run per panel-tree family, with the measured
+message / volume / flop counts reported as ratios against the analytic
+:func:`repro.model.costs.caqr_costs`.  Every ratio must sit within 10% of
+the model — in practice the model reproduces the simulated counts exactly,
+because both sides charge the same structured tiled-kernel formulas of
+:mod:`repro.virtual.flops` over the same tile distribution and trees.
+
+``REPRO_BENCH_FULL=1`` extends the sweep to the taller row count.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import caqr_sweep
+from repro.experiments.workloads import CAQR_SWEEP_M, CAQR_SWEEP_M_FULL
+
+from benchmarks.conftest import full_sweep, report_rows
+
+
+def test_caqr_sweep_paper_scale(runner, results_dir):
+    m_values = CAQR_SWEEP_M_FULL if full_sweep() else CAQR_SWEEP_M
+    rows = caqr_sweep(runner, m_values=m_values)
+    report_rows(
+        "CAQR sweep: general matrices on the grid (measured vs model, N=512, P=256)",
+        rows, results_dir, "caqr_sweep.csv",
+    )
+    assert rows, "the sweep must emit one row per (M, panel tree)"
+    for row in rows:
+        assert row["M"] >= 1_000_000  # paper scale, per the artefact's contract
+        for quantity in ("msg ratio", "volume ratio", "flop ratio"):
+            assert 0.9 <= row[quantity] <= 1.1, (quantity, row)
+
+    # The tree effect of paper Fig. 2 carries over to the panel reductions:
+    # the grid-hierarchical tree pays the fewest wide-area messages.
+    by_tree = {row["panel tree"]: row for row in rows if row["M"] == m_values[0]}
+    assert set(by_tree) == {"flat", "binary", "grid-hierarchical"}
+    tuned = by_tree["grid-hierarchical"]["inter-cluster msgs"]
+    assert tuned <= by_tree["binary"]["inter-cluster msgs"]
+    assert tuned <= by_tree["flat"]["inter-cluster msgs"]

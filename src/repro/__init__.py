@@ -8,6 +8,8 @@ The package is organised in layers:
 * :mod:`repro.tsqr`        — the paper's contribution: TSQR with configurable
   reduction trees, the implicit Q factor, QCG-TSQR on the simulated grid and
   tiled CAQR for general matrices;
+* :mod:`repro.programs`    — the SPMD program layer shared by the distributed
+  algorithms, and distributed CAQR on the grid (paper §VI follow-up);
 * :mod:`repro.scalapack`   — the ScaLAPACK-style distributed baseline
   (PDGEQR2 / PDGEQRF / PDORGQR analogues);
 * :mod:`repro.gridsim`     — the simulated grid: machines, heterogeneous
@@ -33,6 +35,13 @@ True
 
 from repro.exceptions import ReproError
 from repro.linalg import block_subspace_iteration, lstsq_tsqr, orthonormalize, randomized_svd
+from repro.programs import (
+    CAQRConfig,
+    CAQRRunResult,
+    caqr_program,
+    run_parallel_caqr,
+    run_program,
+)
 from repro.scalapack import ScaLAPACKConfig, run_scalapack_qr
 from repro.tsqr import (
     TSQRConfig,
@@ -58,6 +67,11 @@ __all__ = [
     "TSQRResult",
     "caqr",
     "caqr_r",
+    "CAQRConfig",
+    "CAQRRunResult",
+    "caqr_program",
+    "run_parallel_caqr",
+    "run_program",
     "run_parallel_tsqr",
     "tsqr",
     "tsqr_r",

@@ -14,15 +14,8 @@ Three subcommands cover the common workflows without writing Python:
 ``figure``
     Regenerate one of the paper's figures or tables and print/save its series.
 
-Examples
---------
-::
-
-    python -m repro factor --rows 200000 --cols 64 --domains 64 --want-q
-    python -m repro simulate --algorithm tsqr --rows 33554432 --cols 64 \
-        --sites 4 --domains-per-cluster 64
-    python -m repro figure --id fig5 --cols 64 --points 3 --csv results/fig5.csv
-    python -m repro figure --id table2-sweep --domains 1,64 --csv results/table2_sweep.csv
+Usage examples live in one place — the parser epilog (:data:`_EPILOG`),
+printed by ``python -m repro --help``.
 """
 
 from __future__ import annotations
@@ -35,7 +28,9 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.experiments import (
+    CAQR_SWEEP_N,
     ExperimentRunner,
+    caqr_sweep,
     figure3_network,
     figure4,
     figure5,
@@ -57,11 +52,24 @@ from repro.util.validation import factorization_residual, orthogonality_error, r
 __all__ = ["main", "build_parser"]
 
 
+_EPILOG = """\
+examples:
+  repro factor --rows 200000 --cols 64 --domains 64 --want-q
+  repro simulate --algorithm tsqr --rows 33554432 --cols 64 --sites 4 --domains-per-cluster 64
+  repro figure --id fig5 --cols 64 --points 3 --csv results/fig5.csv
+  repro figure --id table2-sweep --domains 1,64 --csv results/table2_sweep.csv
+  repro figure --id caqr-sweep --tile-size 64 --panel-tree grid-hierarchical \\
+      --csv results/caqr_sweep.csv   # general-matrix CAQR at paper scale (§VI)
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TSQR on the grid: reproduction of Agullo et al., IPDPS 2010.",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -97,17 +105,29 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         choices=(
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "table1", "table2", "table2-sweep",
+            "table1", "table2", "table2-sweep", "caqr-sweep",
         ),
         help="which artefact to regenerate",
     )
-    figure.add_argument("--cols", type=int, default=64, help="column count N of the panel")
-    figure.add_argument("--points", type=int, default=3, help="number of M values to sweep")
+    figure.add_argument(
+        "--cols",
+        type=int,
+        default=None,
+        help="column count N of the panel (default: 64; caqr-sweep: the paper's "
+        f"widest N={CAQR_SWEEP_N})",
+    )
+    figure.add_argument(
+        "--points",
+        type=int,
+        default=None,
+        help="number of M values to sweep in fig4-fig8 (default: 3)",
+    )
     figure.add_argument(
         "--rows",
         type=int,
         default=None,
-        help="row count M of the table2-sweep artefact (default: the paper's 33.5M)",
+        help="row count M of the table2-sweep / caqr-sweep artefacts "
+        "(default: the paper-scale workload)",
     )
     figure.add_argument(
         "--domains",
@@ -120,6 +140,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--want-q",
         action="store_true",
         help="also form the explicit Q factor (Table II scenario) in the fig4-fig8 sweeps",
+    )
+    figure.add_argument(
+        "--tile-size",
+        type=int,
+        default=None,
+        help="row/column tile size of the caqr-sweep artefact (default: 64)",
+    )
+    figure.add_argument(
+        "--panel-tree",
+        choices=("flat", "binary", "grid-hierarchical"),
+        default=None,
+        help="restrict the caqr-sweep artefact to one panel reduction tree "
+        "(default: all three families)",
     )
     figure.add_argument("--csv", type=str, default=None, help="write the series to this CSV file")
     return parser
@@ -177,16 +210,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     # Reject flags that the requested artefact would silently ignore.
-    if args.rows is not None and args.figure_id != "table2-sweep":
-        raise ConfigurationError("--rows only applies to --id table2-sweep")
+    if args.rows is not None and args.figure_id not in ("table2-sweep", "caqr-sweep"):
+        raise ConfigurationError("--rows only applies to --id table2-sweep and caqr-sweep")
     if args.want_q and args.figure_id not in ("fig4", "fig5", "fig6", "fig7", "fig8"):
         raise ConfigurationError(
-            "--want-q only applies to fig4..fig8 (the table2 artefacts include Q by definition)"
+            "--want-q only applies to fig4..fig8 (the table2 artefacts include Q by "
+            "definition, and the distributed CAQR computes R only)"
         )
     if args.domains and args.figure_id not in ("fig6", "fig7", "table2-sweep"):
         raise ConfigurationError("--domains only applies to fig6, fig7 and table2-sweep")
+    if args.points is not None and args.figure_id not in (
+        "fig4", "fig5", "fig6", "fig7", "fig8"
+    ):
+        raise ConfigurationError("--points only applies to fig4..fig8")
+    if args.tile_size is not None and args.figure_id != "caqr-sweep":
+        raise ConfigurationError("--tile-size only applies to --id caqr-sweep")
+    if args.panel_tree is not None and args.figure_id != "caqr-sweep":
+        raise ConfigurationError("--panel-tree only applies to --id caqr-sweep")
     runner = ExperimentRunner()
-    n = args.cols
+    if args.cols is not None:
+        n = args.cols
+    else:
+        # The general-matrix artefact defaults to the paper's widest panel.
+        n = CAQR_SWEEP_N if args.figure_id == "caqr-sweep" else 64
     if args.figure_id == "fig3":
         rows = figure3_network(runner)
     elif args.figure_id == "table1":
@@ -200,15 +246,25 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if args.domains:
             kwargs["domain_counts"] = _parse_domains(args.domains)
         rows = table2_sweep(runner, **kwargs)
+    elif args.figure_id == "caqr-sweep":
+        kwargs = {"n": n}
+        if args.rows is not None:
+            kwargs["m_values"] = (args.rows,)  # rejected by CAQRConfig if invalid
+        if args.tile_size is not None:
+            kwargs["tile_size"] = args.tile_size
+        if args.panel_tree is not None:
+            kwargs["panel_trees"] = (args.panel_tree,)
+        rows = caqr_sweep(runner, **kwargs)
     else:
         builder = {"fig4": figure4, "fig5": figure5, "fig6": figure6, "fig7": figure7,
                    "fig8": figure8}[args.figure_id]
         kwargs = {"want_q": args.want_q}
+        points = args.points if args.points is not None else 3
         if args.figure_id in ("fig4", "fig5", "fig8"):
-            kwargs["m_values"] = reduced_m_values(n, points=args.points)
+            kwargs["m_values"] = reduced_m_values(n, points=points)
         elif args.figure_id in ("fig6", "fig7"):
             kwargs["m_values"] = _spread(
-                figure67_m_values(n, single_site=args.figure_id == "fig7"), args.points
+                figure67_m_values(n, single_site=args.figure_id == "fig7"), points
             )
             if args.domains:
                 kwargs["domain_counts"] = _parse_domains(args.domains)

@@ -12,6 +12,7 @@
 from repro.experiments.figures import (
     FigureData,
     FigureSeries,
+    caqr_sweep,
     figure3_network,
     figure4,
     figure5,
@@ -40,6 +41,12 @@ from repro.experiments.paper_data import (
 from repro.experiments.report import ascii_series, ascii_table, format_points, write_csv
 from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
 from repro.experiments.workloads import (
+    CAQR_PANEL_TREES,
+    CAQR_SWEEP_M,
+    CAQR_SWEEP_M_FULL,
+    CAQR_SWEEP_N,
+    CAQR_SWEEP_SITES,
+    CAQR_SWEEP_TILE,
     DOMAIN_COUNTS_PER_CLUSTER,
     PAPER_N_VALUES,
     TABLE2_DOMAINS_PER_CLUSTER,
@@ -64,6 +71,7 @@ __all__ = [
     "table1",
     "table2",
     "table2_sweep",
+    "caqr_sweep",
     "CLUSTER_NAMES",
     "Grid5000Settings",
     "grid5000_grid",
@@ -82,6 +90,12 @@ __all__ = [
     "ExperimentPoint",
     "ExperimentRunner",
     "PointSpec",
+    "CAQR_PANEL_TREES",
+    "CAQR_SWEEP_M",
+    "CAQR_SWEEP_M_FULL",
+    "CAQR_SWEEP_N",
+    "CAQR_SWEEP_SITES",
+    "CAQR_SWEEP_TILE",
     "DOMAIN_COUNTS_PER_CLUSTER",
     "PAPER_N_VALUES",
     "TABLE2_DOMAINS_PER_CLUSTER",

@@ -18,6 +18,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.grid5000 import Grid5000Settings, grid5000_platform
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
+from repro.programs.caqr import CAQRConfig, run_parallel_caqr
 from repro.scalapack.driver import ScaLAPACKConfig, run_scalapack_qr
 from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
 
@@ -28,19 +29,28 @@ __all__ = ["PointSpec", "ExperimentPoint", "ExperimentRunner"]
 class PointSpec:
     """One measured configuration (an x-value of one curve of one figure)."""
 
-    algorithm: str  # "tsqr" or "scalapack"
+    algorithm: str  # "tsqr", "scalapack" or "caqr"
     m: int
     n: int
     n_sites: int
     domains_per_cluster: int | None = None
     tree_kind: str = "grid-hierarchical"
     want_q: bool = False
+    tile_size: int | None = None  # CAQR only
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ("tsqr", "scalapack"):
+        if self.algorithm not in ("tsqr", "scalapack", "caqr"):
             raise ConfigurationError(f"unknown algorithm {self.algorithm!r}")
         if self.algorithm == "tsqr" and self.domains_per_cluster is None:
             raise ConfigurationError("TSQR points need a domains_per_cluster value")
+        if self.algorithm == "caqr" and self.tile_size is None:
+            raise ConfigurationError("CAQR points need a tile_size value")
+        if self.algorithm != "caqr" and self.tile_size is not None:
+            raise ConfigurationError("tile_size only applies to CAQR points")
+        if self.algorithm == "caqr" and self.want_q:
+            raise ConfigurationError(
+                "the distributed CAQR computes R only (its Q stays implicit)"
+            )
 
 
 @dataclass(frozen=True)
@@ -114,6 +124,19 @@ class ExperimentRunner:
             point = ExperimentPoint(
                 spec=spec, gflops=result.gflops, time_s=result.makespan_s, trace=result.trace
             )
+        elif spec.algorithm == "caqr":
+            result = run_parallel_caqr(
+                platform,
+                CAQRConfig(
+                    m=spec.m,
+                    n=spec.n,
+                    tile_size=spec.tile_size,
+                    panel_tree=spec.tree_kind,
+                ),
+            )
+            point = ExperimentPoint(
+                spec=spec, gflops=result.gflops, time_s=result.makespan_s, trace=result.trace
+            )
         else:
             dpc = spec.domains_per_cluster
             per_cluster = self.processes_per_cluster(spec.n_sites)
@@ -162,6 +185,27 @@ class ExperimentRunner:
                 domains_per_cluster=domains_per_cluster,
                 tree_kind=tree_kind,
                 want_q=want_q,
+            )
+        )
+
+    def caqr_point(
+        self,
+        m: int,
+        n: int,
+        n_sites: int,
+        *,
+        tile_size: int = 64,
+        panel_tree: str = "binary",
+    ) -> ExperimentPoint:
+        """Distributed CAQR at one (M, N, sites, tile, panel-tree) configuration."""
+        return self.run_point(
+            PointSpec(
+                algorithm="caqr",
+                m=m,
+                n=n,
+                n_sites=n_sites,
+                tree_kind=panel_tree,
+                tile_size=tile_size,
             )
         )
 

@@ -22,6 +22,12 @@ __all__ = [
     "TABLE2_N",
     "TABLE2_SITES",
     "TABLE2_DOMAINS_PER_CLUSTER",
+    "CAQR_SWEEP_M",
+    "CAQR_SWEEP_M_FULL",
+    "CAQR_SWEEP_N",
+    "CAQR_SWEEP_TILE",
+    "CAQR_SWEEP_SITES",
+    "CAQR_PANEL_TREES",
     "paper_m_values",
     "reduced_m_values",
     "figure67_m_values",
@@ -45,6 +51,20 @@ TABLE2_M = 33_554_432
 TABLE2_N = 64
 TABLE2_SITES = 4
 TABLE2_DOMAINS_PER_CLUSTER = (1, 32, 64)
+
+#: CAQR workload (paper §VI, "factorization of general matrices on the
+#: grid"): the widest column count of the study — past the Property-5
+#: crossover where plain TSQR's ``2/3 log2(P) N^3`` combine flops hurt and
+#: tiled panels pay off — at million-row scale on the full reservation,
+#: each panel reduced by all three tree families.  One row count by default
+#: (a 256-rank virtual CAQR at M=2^20 simulates ~16k tile rows per tree);
+#: ``REPRO_BENCH_FULL`` extends the benchmark to the taller point.
+CAQR_SWEEP_M = (1_048_576,)
+CAQR_SWEEP_M_FULL = (1_048_576, 2_097_152)
+CAQR_SWEEP_N = 512
+CAQR_SWEEP_TILE = 64
+CAQR_SWEEP_SITES = 4
+CAQR_PANEL_TREES = ("flat", "binary", "grid-hierarchical")
 
 #: Element cap of the sweeps: the widest matrix of the study is
 #: 8,388,608 x 512 (Fig. 4d/5d), i.e. 2**32 double-precision elements.

@@ -16,7 +16,16 @@ QR kernel set (PLASMA naming):
 These kernels use the Householder/compact-WY routines of
 :mod:`repro.kernels.householder` internally; they are exact (no structure is
 dropped), merely organised tile-by-tile so that
-:mod:`repro.tsqr.caqr` can schedule them along any reduction tree.
+:mod:`repro.tsqr.caqr` and :mod:`repro.programs.caqr` can schedule them
+along any reduction tree.
+
+Every kernel also accepts :class:`~repro.virtual.matrix.VirtualMatrix`
+payloads: shape checks still apply, the arithmetic is skipped, and outputs
+are virtual matrices of the exact shapes the real kernel would produce.
+The corresponding structured flop counts live in :mod:`repro.virtual.flops`
+(:func:`~repro.virtual.flops.geqrt_flops` and friends) so callers — the
+distributed CAQR program and the §IV cost model — charge identical costs on
+the virtual and the real path.
 """
 
 from __future__ import annotations
@@ -27,17 +36,22 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 from repro.kernels.householder import geqrf, larfb, larft
+from repro.virtual.matrix import MatrixLike, VirtualMatrix, is_virtual, shape_of
 
 __all__ = ["TileQR", "TileTSQR", "geqrt", "unmqr", "tsqrt", "tsmqr"]
 
 
 @dataclass(frozen=True)
 class TileQR:
-    """Factored form of a diagonal tile: ``A = Q R`` with ``Q = I - V T V^T``."""
+    """Factored form of a diagonal tile: ``A = Q R`` with ``Q = I - V T V^T``.
 
-    v: np.ndarray
-    t: np.ndarray
-    r: np.ndarray
+    All three factors are :class:`VirtualMatrix` stand-ins when the kernel
+    ran on a virtual payload.
+    """
+
+    v: MatrixLike
+    t: MatrixLike
+    r: MatrixLike
 
 
 @dataclass(frozen=True)
@@ -46,17 +60,25 @@ class TileTSQR:
 
     ``v``/``t`` define the block reflector acting on the stacked row space
     (``n + m_bottom`` rows); ``r`` is the updated triangle that replaces
-    ``R_top``.
+    ``R_top``.  Virtual payloads yield virtual factors.
     """
 
-    v: np.ndarray
-    t: np.ndarray
-    r: np.ndarray
+    v: MatrixLike
+    t: MatrixLike
+    r: MatrixLike
     rows_top: int
 
 
-def geqrt(tile: np.ndarray, block_size: int = 32) -> TileQR:
+def geqrt(tile: MatrixLike, block_size: int = 32) -> TileQR:
     """Factor a diagonal tile, returning reflectors, T factor and R."""
+    if is_virtual(tile):
+        m, n = tile.shape
+        k = min(m, n)
+        return TileQR(
+            v=VirtualMatrix(m, k),
+            t=VirtualMatrix(k, k, structure="upper"),
+            r=VirtualMatrix(k, n, structure="upper"),
+        )
     tile = np.asarray(tile, dtype=np.float64)
     if tile.ndim != 2:
         raise ShapeError(f"geqrt expects a 2-D tile, got ndim={tile.ndim}")
@@ -65,12 +87,19 @@ def geqrt(tile: np.ndarray, block_size: int = 32) -> TileQR:
     return TileQR(v=fact.v, t=t, r=fact.r)
 
 
-def unmqr(tile_qr: TileQR, c: np.ndarray, *, transpose: bool = True) -> np.ndarray:
+def unmqr(tile_qr: TileQR, c: MatrixLike, *, transpose: bool = True) -> MatrixLike:
     """Apply ``Q^T`` (default) or ``Q`` of a :func:`geqrt` factorization to ``c``.
 
     ``transpose=True`` is the factorization/update direction; ``False`` is
     used when re-applying the stored transformations to build or apply Q.
     """
+    if is_virtual(tile_qr.v) or is_virtual(c):
+        m, n_cols = shape_of(c)
+        if m != shape_of(tile_qr.v)[0]:
+            raise ShapeError(
+                f"tile has {m} rows but reflectors have {shape_of(tile_qr.v)[0]}"
+            )
+        return VirtualMatrix(m, n_cols)
     c = np.asarray(c, dtype=np.float64)
     if c.shape[0] != tile_qr.v.shape[0]:
         raise ShapeError(
@@ -79,13 +108,28 @@ def unmqr(tile_qr: TileQR, c: np.ndarray, *, transpose: bool = True) -> np.ndarr
     return larfb(tile_qr.v, tile_qr.t, c, transpose=transpose)
 
 
-def tsqrt(r_top: np.ndarray, a_bottom: np.ndarray, block_size: int = 32) -> TileTSQR:
+def tsqrt(r_top: MatrixLike, a_bottom: MatrixLike, block_size: int = 32) -> TileTSQR:
     """Factor the stack of a triangle ``r_top`` on top of a tile ``a_bottom``.
 
     Returns the block reflector of the stacked factorization and the updated
     triangle.  This is the panel-TSQR combine used when eliminating tile
     ``a_bottom`` against the current panel triangle.
     """
+    if is_virtual(r_top) or is_virtual(a_bottom):
+        rows_top, n = shape_of(r_top)
+        m_bottom, n_bottom = shape_of(a_bottom)
+        if n != n_bottom:
+            raise ShapeError(
+                f"column mismatch: triangle has {n}, tile has {n_bottom}"
+            )
+        total = rows_top + m_bottom
+        k = min(total, n)
+        return TileTSQR(
+            v=VirtualMatrix(total, k),
+            t=VirtualMatrix(k, k, structure="upper"),
+            r=VirtualMatrix(k, n, structure="upper"),
+            rows_top=rows_top,
+        )
     r_top = np.atleast_2d(np.asarray(r_top, dtype=np.float64))
     a_bottom = np.atleast_2d(np.asarray(a_bottom, dtype=np.float64))
     if r_top.shape[1] != a_bottom.shape[1]:
@@ -100,17 +144,28 @@ def tsqrt(r_top: np.ndarray, a_bottom: np.ndarray, block_size: int = 32) -> Tile
 
 def tsmqr(
     ts: TileTSQR,
-    c_top: np.ndarray,
-    c_bottom: np.ndarray,
+    c_top: MatrixLike,
+    c_bottom: MatrixLike,
     *,
     transpose: bool = True,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[MatrixLike, MatrixLike]:
     """Apply a :func:`tsqrt` transformation to the trailing tile pair.
 
     ``c_top`` sits on the panel's diagonal row block, ``c_bottom`` on the row
     block of the eliminated tile; both are updated by ``Q^T`` (default) or
     ``Q`` of the stacked factorization and returned as ``(new_top, new_bottom)``.
     """
+    if is_virtual(ts.v) or is_virtual(c_top) or is_virtual(c_bottom):
+        rows_top, cols_top = shape_of(c_top)
+        rows_bottom, cols_bottom = shape_of(c_bottom)
+        if cols_top != cols_bottom:
+            raise ShapeError("trailing tiles must have the same number of columns")
+        if rows_top + rows_bottom != shape_of(ts.v)[0]:
+            raise ShapeError(
+                f"stacked trailing rows {rows_top}+{rows_bottom} do not match "
+                f"reflector rows {shape_of(ts.v)[0]}"
+            )
+        return VirtualMatrix(rows_top, cols_top), VirtualMatrix(rows_bottom, cols_bottom)
     c_top = np.atleast_2d(np.asarray(c_top, dtype=np.float64))
     c_bottom = np.atleast_2d(np.asarray(c_bottom, dtype=np.float64))
     if c_top.shape[1] != c_bottom.shape[1]:

@@ -1,11 +1,18 @@
 """Performance model of paper §IV: cost tables, Eq. (1) predictor, properties."""
 
-from repro.model.costs import CostBreakdown, cost_table, scalapack_costs, tsqr_costs
+from repro.model.costs import (
+    CostBreakdown,
+    caqr_costs,
+    cost_table,
+    scalapack_costs,
+    tsqr_costs,
+)
 from repro.model.predictor import (
     MachineParameters,
     Prediction,
     crossover_n,
     predict,
+    predict_caqr,
     predict_pair,
 )
 from repro.model.properties import (
@@ -18,6 +25,7 @@ from repro.model.properties import (
 
 __all__ = [
     "CostBreakdown",
+    "caqr_costs",
     "cost_table",
     "scalapack_costs",
     "tsqr_costs",
@@ -25,6 +33,7 @@ __all__ = [
     "Prediction",
     "crossover_n",
     "predict",
+    "predict_caqr",
     "predict_pair",
     "PropertyCheck",
     "check_monotone_increase",

@@ -19,20 +19,33 @@ Q and R
 
 These are exposed as :class:`CostBreakdown` objects so the predictor
 (:mod:`repro.model.predictor`) and the Table I/II validation benchmarks can
-consume them uniformly.
+consume them uniformly.  :func:`caqr_costs` extends the accounting to the
+general-matrix CAQR of §VI: total messages and volume of the per-panel TSQR
+reductions plus the maximum per-rank flops of the structured tiled kernels,
+matching the counts the simulated program charges.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.tsqr.trees import tree_for
+from repro.util.partition import block_ranges, tile_ranges
+from repro.virtual.flops import (
+    caqr_combine_flops,
+    caqr_down_message_doubles,
+    caqr_panel_leaf_flops,
+    caqr_up_message_doubles,
+)
 
 __all__ = [
     "CostBreakdown",
     "scalapack_costs",
     "tsqr_costs",
+    "caqr_costs",
     "cost_table",
 ]
 
@@ -118,6 +131,102 @@ def tsqr_costs(m: int, n: int, p: int, *, want_q: bool = False) -> CostBreakdown
         messages=messages,
         volume_doubles=volume,
         flops=flops,
+    )
+
+
+def caqr_costs(
+    m: int,
+    n: int,
+    p: int,
+    *,
+    tile_size: int = 64,
+    panel_tree: str = "binary",
+    clusters: Sequence[str] | None = None,
+) -> CostBreakdown:
+    """CAQR counts for a general ``m x n`` matrix over ``p`` ranks (paper §II/§VI).
+
+    The accounting opens the paper's Table I formulas for the general-matrix
+    follow-up: tile rows are block-distributed, every panel is one TSQR
+    reduction over the ranks owning tile rows at or below the diagonal, and
+    each tree edge carries the panel triangle plus the child's trailing tile
+    row up and the updated trailing row down.  The returned quantities use
+    the conventions of the CAQR sweep artefact:
+
+    * ``messages`` — *total* point-to-point messages of the run (two per
+      tree edge per panel while trailing columns remain, one on the final
+      panel);
+    * ``volume_doubles`` — total doubles exchanged: per up message the
+      ``N^2/2``-style half triangle ``w(w+1)/2`` of the panel width ``w``
+      plus the dense trailing row, per down message the trailing row alone;
+    * ``flops`` — the maximum per-rank count, from the structured tiled-QR
+      kernel formulas of :mod:`repro.virtual.flops` (``geqrt`` + ``unmqr``
+      leaf work, ``tsqrt`` + ``tsmqr`` combines charged to the parent).
+
+    ``clusters`` names the cluster hosting each rank (defaults to a single
+    cluster), which the ``grid-hierarchical`` panel tree uses exactly like
+    the simulated program does; the counts therefore match the measured
+    traces of :func:`repro.programs.caqr.run_parallel_caqr` — the CAQR sweep
+    benchmark asserts agreement within 10%.
+    """
+    _validate(m, n, p)
+    if tile_size <= 0:
+        raise ConfigurationError(f"tile size must be positive, got {tile_size}")
+    cluster_names = list(clusters) if clusters is not None else ["local"] * p
+    if len(cluster_names) != p:
+        raise ConfigurationError(
+            f"{len(cluster_names)} cluster names for {p} ranks"
+        )
+    row_ranges = tile_ranges(m, tile_size)
+    col_ranges = tile_ranges(n, tile_size)
+    mt, nt = len(row_ranges), len(col_ranges)
+    owners = block_ranges(mt, p)
+
+    def height(i: int) -> int:
+        return row_ranges[i][1] - row_ranges[i][0]
+
+    messages = 0.0
+    volume = 0.0
+    per_rank_flops = [0.0] * p
+    for k in range(min(mt, nt)):
+        wk = col_ranges[k][1] - col_ranges[k][0]
+        trail_cols = n - col_ranges[k][1]
+        participants = [
+            r for r in range(p) if owners[r][1] > k and owners[r][1] > owners[r][0]
+        ]
+        # Leaf factorization and local flat reduction of every rank, summed
+        # from the same shared helpers the simulated program charges with
+        # (virtual/flops.py), so the two accountings cannot drift apart.
+        for r in participants:
+            t0, t1 = owners[r]
+            i_top = max(t0, k)
+            per_rank_flops[r] += caqr_panel_leaf_flops(
+                [height(i) for i in range(i_top, t1)], wk, trail_cols
+            )
+            for i in range(i_top + 1, t1):
+                per_rank_flops[r] += caqr_combine_flops(height(i), wk, trail_cols)
+        # Cross-rank reduction along the same tree the program builds.
+        tree = tree_for(
+            panel_tree, len(participants), [cluster_names[r] for r in participants]
+        )
+        for child_pos, parent_pos in tree.edges():
+            child = participants[child_pos]
+            parent = participants[parent_pos]
+            h_child = height(max(owners[child][0], k))
+            per_rank_flops[parent] += caqr_combine_flops(h_child, wk, trail_cols)
+            messages += 1.0
+            volume += caqr_up_message_doubles(wk, h_child, trail_cols)
+            if trail_cols:
+                messages += 1.0
+                volume += caqr_down_message_doubles(h_child, trail_cols)
+    return CostBreakdown(
+        algorithm="CAQR",
+        m=m,
+        n=n,
+        p=p,
+        want_q=False,
+        messages=messages,
+        volume_doubles=volume,
+        flops=max(per_rank_flops),
     )
 
 

@@ -21,11 +21,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
-from repro.model.costs import CostBreakdown, scalapack_costs, tsqr_costs
+from repro.model.costs import CostBreakdown, caqr_costs, scalapack_costs, tsqr_costs
 from repro.util.units import gflops_rate
 from repro.virtual.flops import qr_flops
 
-__all__ = ["MachineParameters", "Prediction", "predict", "predict_pair", "crossover_n"]
+__all__ = [
+    "MachineParameters",
+    "Prediction",
+    "predict",
+    "predict_pair",
+    "predict_caqr",
+    "crossover_n",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +114,27 @@ def predict_pair(
     return (
         predict(scalapack_costs(m, n, p, want_q=want_q), machine),
         predict(tsqr_costs(m, n, p, want_q=want_q), machine),
+    )
+
+
+def predict_caqr(
+    m: int,
+    n: int,
+    p: int,
+    machine: MachineParameters,
+    *,
+    tile_size: int = 64,
+    panel_tree: str = "binary",
+) -> Prediction:
+    """Eq. (1) applied to the general-matrix CAQR counts of §VI.
+
+    This is the prediction the paper's closing discussion calls for: once
+    ``N`` grows past :func:`crossover_n`, the extra ``2/3 log2(P) N^3``
+    combine flops of plain TSQR dominate and one should switch to CAQR,
+    whose panels are ``tile_size`` wide regardless of ``N``.
+    """
+    return predict(
+        caqr_costs(m, n, p, tile_size=tile_size, panel_tree=panel_tree), machine
     )
 
 

@@ -1,0 +1,57 @@
+"""SPMD programs on the simulated grid, and the layer they share.
+
+The paper's algorithms are SPMD programs: one Python function executed per
+simulated MPI rank by :class:`~repro.gridsim.executor.SPMDExecutor`.  Until
+this package existed, the scaffolding every such program needs — domain and
+communicator setup, topology-aware reduction trees, rank-ordered result
+assembly, virtual-vs-real payload dispatch and Gflop/s accounting — lived
+welded inside :mod:`repro.tsqr.parallel`.  It is now a reusable layer:
+
+* :mod:`repro.programs.spmd` — the program layer itself
+  (:class:`DomainLayout`, :func:`run_program`, :func:`assemble_row_blocks`,
+  payload helpers);
+* :mod:`repro.programs.caqr` — distributed CAQR built on that layer: tiles
+  of a general ``M x N`` matrix over the grid, each panel factored by a TSQR
+  reduction along a configurable tree, trailing tiles updated with
+  ``tsmqr``/``unmqr`` over the communicators (paper §VI's "factorization of
+  general matrices on the grid").
+
+:mod:`repro.tsqr.parallel` (QCG-TSQR) is rebased on the same layer and keeps
+its behaviour bit-identically (same traces, same clocks).
+"""
+
+from repro.programs.caqr import (
+    CAQRConfig,
+    CAQRRankResult,
+    CAQRRunResult,
+    caqr_program,
+    run_parallel_caqr,
+)
+from repro.programs.spmd import (
+    DomainLayout,
+    ProgramRun,
+    assemble_row_blocks,
+    build_domain_layout,
+    domain_reduction_tree,
+    local_block_payload,
+    resolve_domain_count,
+    run_program,
+    triangle_nbytes,
+)
+
+__all__ = [
+    "CAQRConfig",
+    "CAQRRankResult",
+    "CAQRRunResult",
+    "caqr_program",
+    "run_parallel_caqr",
+    "DomainLayout",
+    "ProgramRun",
+    "assemble_row_blocks",
+    "build_domain_layout",
+    "domain_reduction_tree",
+    "local_block_payload",
+    "resolve_domain_count",
+    "run_program",
+    "triangle_nbytes",
+]

@@ -6,8 +6,16 @@
   and single-node engine;
 * :mod:`repro.tsqr.qrepresentation` — the implicit (tree-structured) Q factor;
 * :mod:`repro.tsqr.parallel` — QCG-TSQR, the SPMD program articulated with the
-  topology-aware middleware on the simulated grid (paper §III);
-* :mod:`repro.tsqr.caqr` — tiled CAQR for general matrices (paper §VI).
+  topology-aware middleware on the simulated grid (paper §III), built on the
+  shared program layer of :mod:`repro.programs.spmd`;
+* :mod:`repro.tsqr.caqr` — sequential tiled CAQR for general matrices
+  (paper §VI).
+
+The *distributed* CAQR entry points (:class:`~repro.programs.caqr.CAQRConfig`,
+:func:`~repro.programs.caqr.caqr_program`,
+:func:`~repro.programs.caqr.run_parallel_caqr`) live in
+:mod:`repro.programs.caqr` and are re-exported here lazily — the programs
+package builds on this one, so the import is deferred until first use.
 """
 
 from repro.tsqr.caqr import CAQRFactors, CAQRTransform, caqr, caqr_r
@@ -29,11 +37,31 @@ from repro.tsqr.trees import (
     tree_for,
 )
 
+#: Distributed-CAQR names re-exported lazily from :mod:`repro.programs.caqr`.
+_PROGRAM_EXPORTS = frozenset(
+    {"CAQRConfig", "CAQRRankResult", "CAQRRunResult", "caqr_program", "run_parallel_caqr"}
+)
+
+
+def __getattr__(name: str):
+    """Lazy re-export of the distributed CAQR entry points (PEP 562)."""
+    if name in _PROGRAM_EXPORTS:
+        from repro.programs import caqr as _caqr_programs
+
+        return getattr(_caqr_programs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CAQRFactors",
     "CAQRTransform",
     "caqr",
     "caqr_r",
+    "CAQRConfig",
+    "CAQRRankResult",
+    "CAQRRunResult",
+    "caqr_program",
+    "run_parallel_caqr",
     "TSQRConfig",
     "TSQRRankResult",
     "TSQRRunResult",

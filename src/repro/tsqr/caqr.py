@@ -139,8 +139,10 @@ def caqr(
         out-of-core/multicore variant, the binary tree the parallel one.
     want_q:
         Keep the transformations so Q can be applied afterwards.  When False
-        only R is returned inside the :class:`CAQRFactors` (its ``transforms``
-        list is empty), which halves the memory footprint.
+        no transformation is ever stored — ``transforms`` stays empty
+        *throughout* the factorization, not just in the returned
+        :class:`CAQRFactors` — which is what actually halves the memory
+        footprint while factoring.
     """
     a = np.array(a, dtype=np.float64, copy=True)
     if a.ndim != 2:
@@ -181,9 +183,10 @@ def caqr(
             set_tile(i, k, rpad)
             for j in range(k + 1, nt):
                 set_tile(i, j, unmqr(fact, tile(i, j), transpose=True))
-            transforms.append(
-                CAQRTransform(kind="geqrt", panel=k, row=i, parent_row=i, data=fact)
-            )
+            if want_q:
+                transforms.append(
+                    CAQRTransform(kind="geqrt", panel=k, row=i, parent_row=i, data=fact)
+                )
 
         # --- reduce the per-tile triangles along the panel tree
         tree: ReductionTree = tree_for(panel_tree or "binary", len(rows))
@@ -205,11 +208,13 @@ def caqr(
                     top, bottom = tsmqr(ts, tile(parent_row, j), tile(child_row, j), transpose=True)
                     set_tile(parent_row, j, top)
                     set_tile(child_row, j, bottom)
-                transforms.append(
-                    CAQRTransform(
-                        kind="tsqrt", panel=k, row=child_row, parent_row=parent_row, data=ts
+                if want_q:
+                    transforms.append(
+                        CAQRTransform(
+                            kind="tsqrt", panel=k, row=child_row, parent_row=parent_row,
+                            data=ts,
+                        )
                     )
-                )
 
         # The tree is built over positions 0..len(rows)-1; position 0 is tile
         # row k, which must be the reduction root so R lands on the diagonal.
@@ -219,10 +224,7 @@ def caqr(
 
     k = min(m, n)
     r = np.triu(a[:k, :])
-    factors = CAQRFactors(r=r, m=m, n=n, row_ranges=row_ranges, transforms=transforms)
-    if not want_q:
-        factors.transforms = []
-    return factors
+    return CAQRFactors(r=r, m=m, n=n, row_ranges=row_ranges, transforms=transforms)
 
 
 def caqr_r(a: np.ndarray, tile_size: int = 64, *, panel_tree: str = "binary") -> np.ndarray:

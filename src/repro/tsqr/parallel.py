@@ -26,6 +26,13 @@ Real payloads give exact numerics (validated against LAPACK at test scale);
 virtual payloads run the same communication schedule while charging analytic
 flop counts, which is how the 33-million-row sweeps of the evaluation are
 reproduced.
+
+The SPMD scaffolding this program runs on — domain layout and communicator
+split, topology-aware reduction trees, virtual-vs-real payload dispatch,
+rank-ordered result assembly and the run harness — lives in the shared
+program layer :mod:`repro.programs.spmd`; this module instantiates it for
+the tall-and-skinny case, and :mod:`repro.programs.caqr` for general
+matrices.
 """
 
 from __future__ import annotations
@@ -34,18 +41,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, FactorizationError
-from repro.gridsim.executor import RankContext, SPMDExecutor, SimulationResult
+from repro.exceptions import ConfigurationError
+from repro.gridsim.executor import RankContext, SimulationResult
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
 from repro.kernels.householder import HouseholderQR, apply_q, geqrf
 from repro.kernels.tskernels import StackedQR, qr_of_stacked_triangles
-from repro.scalapack.descriptor import RowBlockDescriptor
+from repro.programs.spmd import (
+    assemble_row_blocks,
+    build_domain_layout,
+    domain_reduction_tree,
+    local_block_payload,
+    resolve_domain_count,
+    run_program,
+    triangle_nbytes,
+)
 from repro.scalapack.pdgeqrf import pdgeqrf
 from repro.scalapack.pdorgqr import pdorgqr
-from repro.tsqr.trees import ReductionTree, tree_for
-from repro.util.partition import block_ranges, partition_rows_weighted
-from repro.util.units import DOUBLE_BYTES, gflops_rate
+from repro.tsqr.trees import ReductionTree
 from repro.virtual.flops import qr_flops, stacked_triangle_qr_flops
 from repro.virtual.matrix import MatrixLike, VirtualMatrix
 
@@ -107,17 +120,7 @@ class TSQRConfig:
 
     def resolve_domains(self, n_processes: int) -> int:
         """Number of domains actually used for ``n_processes`` processes."""
-        d = self.n_domains if self.n_domains is not None else n_processes
-        if d > n_processes:
-            raise ConfigurationError(
-                f"{d} domains requested but only {n_processes} processes are available"
-            )
-        if n_processes % d != 0:
-            raise ConfigurationError(
-                f"the process count ({n_processes}) must be a multiple of the "
-                f"domain count ({d})"
-            )
-        return d
+        return resolve_domain_count(self.n_domains, n_processes)
 
 
 @dataclass
@@ -159,55 +162,35 @@ def tsqr_reduce_op(n: int, *, want_q: bool = False):
     )
 
 
-def _triangle_nbytes(n: int) -> int:
-    """Bytes of an upper-triangular ``n x n`` factor (the paper's N^2/2 term)."""
-    return n * (n + 1) // 2 * DOUBLE_BYTES
-
-
-def _domain_row_ranges(config: TSQRConfig, n_domains: int) -> list[tuple[int, int]]:
-    """Row range of each domain, optionally weighted for heterogeneous domains."""
-    if config.domain_weights is not None:
-        if len(config.domain_weights) != n_domains:
-            raise ConfigurationError(
-                f"{len(config.domain_weights)} weights for {n_domains} domains"
-            )
-        return partition_rows_weighted(config.m, config.domain_weights)
-    return block_ranges(config.m, n_domains)
-
-
 def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
     """The QCG-TSQR SPMD program (one call per simulated MPI process)."""
     comm = ctx.comm
-    p = comm.size
     n = config.n
-    n_domains = config.resolve_domains(p)
-    ppd = p // n_domains
-    domain = comm.rank // ppd
-    leader_local = domain * ppd
-    is_leader = comm.rank == leader_local
 
-    domain_ranges = _domain_row_ranges(config, n_domains)
-    dom_start, dom_stop = domain_ranges[domain]
-    dom_rows = dom_stop - dom_start
-    if dom_rows < n:
-        raise ConfigurationError(
-            f"domain {domain} holds {dom_rows} rows which is fewer than n={n}; "
-            "use fewer domains for this matrix"
-        )
+    # Domain setup and the per-domain communicator split come from the shared
+    # SPMD program layer; TSQR's contribution is ``min_rows=n`` (every domain
+    # must produce a full ``n x n`` R factor).
+    layout = build_domain_layout(
+        comm,
+        m=config.m,
+        n=n,
+        n_domains=config.n_domains,
+        domain_weights=config.domain_weights,
+        min_rows=n,
+    )
+    n_domains = layout.n_domains
+    ppd = layout.ppd
+    domain = layout.domain
+    is_leader = layout.is_leader
+    desc = layout.desc
+    local_start = layout.local_start
+    local_rows = layout.local_rows
+    domain_comm = layout.domain_comm
 
     # ------------------------------------------------------------ local data
-    desc = RowBlockDescriptor(dom_rows, n, ppd)
-    local_start, local_stop = desc.row_range(comm.rank - leader_local)
-    local_rows = local_stop - local_start
-    if config.virtual:
-        a_local: np.ndarray | VirtualMatrix = VirtualMatrix(local_rows, n)
-    else:
-        rows = slice(dom_start + local_start, dom_start + local_stop)
-        a_local = np.array(config.matrix[rows, :], dtype=np.float64, copy=True)
-
-    # Split once per run: one communicator per domain (used by multi-process
-    # domains for the ScaLAPACK factorization and by the optional broadcast).
-    domain_comm = comm.split(color=domain, key=comm.rank)
+    a_local = local_block_payload(
+        config.matrix, layout.global_row_slice, n, n_rows=local_rows
+    )
 
     # -------------------------------------------------------- leaf factoring
     leaf_fact: HouseholderQR | None = None
@@ -227,12 +210,13 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
             r_acc = dist.r if not config.virtual else VirtualMatrix(n, n, structure="upper")
 
     # ------------------------------------------------- reduction over domains
-    placement = ctx.platform.placement
-    domain_clusters = []
-    for d in range(n_domains):
-        leader_world = comm.core.world_rank(d * ppd)
-        domain_clusters.append(placement.cluster_of(leader_world))
-    tree: ReductionTree = tree_for(config.tree_kind, n_domains, domain_clusters)
+    tree: ReductionTree = domain_reduction_tree(
+        ctx.platform,
+        config.tree_kind,
+        n_domains,
+        ppd,
+        world_rank_of=comm.core.world_rank,
+    )
 
     combines: list[tuple[int, StackedQR | None]] = []  # (child_domain, factors)
     if is_leader:
@@ -251,7 +235,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
                 r_acc = stacked.r
         parent = tree.parent(domain)
         if parent is not None:
-            comm.send(r_acc, dest=parent * ppd, tag=_TAG_REDUCE, nbytes=_triangle_nbytes(n))
+            comm.send(r_acc, dest=parent * ppd, tag=_TAG_REDUCE, nbytes=triangle_nbytes(n))
 
     is_root_leader = is_leader and tree.parent(domain) is None
     r_out: np.ndarray | None = None
@@ -274,7 +258,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
                     r_everywhere,
                     dest=child * ppd,
                     tag=_TAG_REDUCE + "-down",
-                    nbytes=_triangle_nbytes(n),
+                    nbytes=triangle_nbytes(n),
                 )
         else:
             r_everywhere = None
@@ -292,7 +276,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
         # half-triangular form of the stacked-triangle factors, mirroring the
         # upward triangle, while the simulator's payload carries the explicit
         # block for the numerics.
-        sweep_nbytes = _triangle_nbytes(n)
+        sweep_nbytes = triangle_nbytes(n)
         c_block: np.ndarray | VirtualMatrix | None = None
         if is_leader:
             if is_root_leader:
@@ -386,36 +370,31 @@ def run_parallel_tsqr(
     record_messages: bool = False,
 ) -> TSQRRunResult:
     """Run QCG-TSQR on ``platform`` and summarise its performance."""
-    executor = SPMDExecutor(
-        platform, record_messages=record_messages, collective_tree=collective_tree
+    run = run_program(
+        platform,
+        qcg_tsqr_program,
+        config,
+        flop_count=config.flop_count(),
+        collective_tree=collective_tree,
+        record_messages=record_messages,
     )
-    sim = executor.run(qcg_tsqr_program, config)
-    results: list[TSQRRankResult] = list(sim.results)
+    results: list[TSQRRankResult] = list(run.results)
     r = next((res.r for res in results if res.r is not None), None)
     q = None
     if config.want_q and not config.virtual:
         # Ranks own contiguous, ascending row blocks, so Q is assembled in
         # explicit rank order; a missing block is a bug, never a silent None.
-        blocks = {res.rank: res.q_local for res in results}
-        missing = sorted(rank for rank, block in blocks.items() if block is None)
-        if missing:
-            raise FactorizationError(
-                f"explicit Q was requested but rank(s) {missing} returned no Q block"
-            )
-        q = np.vstack([blocks[rank] for rank in sorted(blocks)])
+        q = assemble_row_blocks({res.rank: res.q_local for res in results}, what="Q")
     n_domains = config.resolve_domains(platform.n_processes)
     ppd = platform.n_processes // n_domains
-    clusters = [
-        platform.placement.cluster_of(d * ppd) for d in range(n_domains)
-    ]
-    tree = tree_for(config.tree_kind, n_domains, clusters)
+    tree = domain_reduction_tree(platform, config.tree_kind, n_domains, ppd)
     return TSQRRunResult(
         config=config,
         r=r,
         q=q,
-        makespan_s=sim.makespan,
-        gflops=gflops_rate(config.flop_count(), sim.makespan),
-        trace=sim.trace,
+        makespan_s=run.makespan_s,
+        gflops=run.gflops,
+        trace=run.trace,
         tree=tree,
-        simulation=sim,
+        simulation=run.simulation,
     )

@@ -20,6 +20,7 @@ __all__ = [
     "block_partition",
     "cyclic_indices",
     "partition_rows_weighted",
+    "tile_ranges",
 ]
 
 
@@ -58,6 +59,25 @@ def block_ranges(n: int, parts: int) -> list[tuple[int, int]]:
         ranges.append((start, start + c))
         start += c
     return ranges
+
+
+def tile_ranges(extent: int, tile_size: int) -> list[tuple[int, int]]:
+    """Half-open fixed-size tile boundaries of one matrix dimension.
+
+    The last tile may be shorter; a non-positive ``extent`` yields the single
+    empty range (tiled algorithms treat an empty dimension as one empty
+    tile).  Used by the tiled CAQR implementations (sequential and
+    distributed) and by the CAQR cost model, which must agree on the
+    boundaries exactly.
+
+    >>> tile_ranges(10, 4)
+    [(0, 4), (4, 8), (8, 10)]
+    """
+    if tile_size <= 0:
+        raise ShapeError(f"tile size must be positive, got {tile_size}")
+    if extent <= 0:
+        return [(0, 0)]
+    return [(s, min(s + tile_size, extent)) for s in range(0, extent, tile_size)]
 
 
 def block_partition(a: np.ndarray, parts: int, axis: int = 0) -> list[np.ndarray]:

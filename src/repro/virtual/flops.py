@@ -27,6 +27,14 @@ __all__ = [
     "gemm_flops",
     "larft_flops",
     "larfb_flops",
+    "geqrt_flops",
+    "unmqr_flops",
+    "tsqrt_flops",
+    "tsmqr_flops",
+    "caqr_panel_leaf_flops",
+    "caqr_combine_flops",
+    "caqr_up_message_doubles",
+    "caqr_down_message_doubles",
     "tsqr_critical_path_flops",
     "scalapack_qr_flops_per_process",
     "tsqr_flops_per_domain",
@@ -109,6 +117,101 @@ def larfb_flops(m: int, n: int, k: int) -> float:
     """
     _require_nonnegative(m=m, n=n, k=k)
     return 4.0 * m * n * k + 2.0 * n * k * k
+
+
+def geqrt_flops(m: int, n: int) -> float:
+    """Flops of the tiled-QR ``GEQRT`` kernel on an ``m x n`` tile.
+
+    Householder QR of the tile plus the formation of the ``k x k`` triangular
+    ``T`` factor of its compact-WY representation (the tiled kernels always
+    build ``T`` so the transformation can be applied as three GEMMs).
+    """
+    _require_nonnegative(m=m, n=n)
+    k = min(m, n)
+    return qr_flops(m, n) + larft_flops(m, k)
+
+
+def unmqr_flops(m: int, n_cols: int, k: int) -> float:
+    """Flops of ``UNMQR``: apply a ``GEQRT`` reflector block to an ``m x n_cols`` tile.
+
+    This is the blocked ``LARFB`` count for ``k`` reflectors of length ``m``;
+    linear in ``n_cols``, so the cost of updating a whole trailing tile row
+    is ``unmqr_flops(m, total_trailing_cols, k)``.
+    """
+    return larfb_flops(m, n_cols, k)
+
+
+def tsqrt_flops(m_bottom: int, n: int) -> float:
+    """Flops of ``TSQRT``: QR of an ``n x n`` triangle stacked on an ``m_bottom x n`` tile.
+
+    Exploiting the top triangle, reflector ``j`` touches one top row plus the
+    ``m_bottom`` tile rows; building and applying the ``n`` reflectors to the
+    panel costs ``~2 (m_bottom + 1) n^2``, plus the ``T``-factor formation
+    ``(m_bottom + 1) n^2``.  For ``m_bottom = n`` (square tiles) this is the
+    ``O(n^3)`` "triangle on top of square" count of the tiled-QR literature;
+    it does *not* reduce to the ``2/3 n^3`` of two stacked triangles because
+    the bottom operand is a full tile.
+    """
+    _require_nonnegative(m_bottom=m_bottom, n=n)
+    return 2.0 * (m_bottom + 1.0) * n * n + (m_bottom + 1.0) * n * n
+
+
+def tsmqr_flops(m_bottom: int, n_cols: int, k: int) -> float:
+    """Flops of ``TSMQR``: apply a ``TSQRT`` block to a trailing tile pair.
+
+    ``k`` reflectors of effective length ``m_bottom + 1`` (one top row plus
+    the bottom tile) are applied to ``n_cols`` trailing columns of the
+    stacked pair: ``4 (m_bottom + 1) k n_cols``.  Linear in ``n_cols``, so a
+    whole trailing tile row costs ``tsmqr_flops(m_bottom, total_cols, k)``.
+    """
+    _require_nonnegative(m_bottom=m_bottom, n_cols=n_cols, k=k)
+    return 4.0 * (m_bottom + 1.0) * k * n_cols
+
+
+def caqr_panel_leaf_flops(heights, panel_width: int, trail_cols: int) -> float:
+    """Leaf-stage flops of one rank in one CAQR panel.
+
+    One ``geqrt`` per local tile row (``heights`` lists the row heights) plus
+    the ``unmqr`` update of that row's ``trail_cols`` trailing columns.  This
+    is the *single source* of the CAQR leaf accounting: the distributed
+    program charges it to the simulated clock and the §IV cost model sums the
+    identical quantity, so measured-vs-model comparisons cannot drift apart.
+    """
+    total = 0.0
+    for h in heights:
+        total += geqrt_flops(h, panel_width)
+        if trail_cols:
+            total += unmqr_flops(h, trail_cols, min(h, panel_width))
+    return total
+
+
+def caqr_combine_flops(h_bottom, panel_width: int, trail_cols: int) -> float:
+    """One CAQR panel combine: ``tsqrt`` elimination plus the trailing ``tsmqr``.
+
+    Used for both the local flat reduction (eliminating a rank's own tile
+    rows) and the cross-rank tree combines (``h_bottom`` is then the child's
+    top tile-row height); shared by the program and the cost model.
+    """
+    total = tsqrt_flops(h_bottom, panel_width)
+    if trail_cols:
+        total += tsmqr_flops(h_bottom, trail_cols, panel_width)
+    return total
+
+
+def caqr_up_message_doubles(panel_width: int, height: int, trail_cols: int) -> int:
+    """Doubles of a CAQR up message: half triangle plus the trailing tile row.
+
+    ``panel_width (panel_width + 1) / 2`` is the paper's ``N^2/2``-style
+    triangular term for the panel factor; the trailing row travels dense.
+    """
+    _require_nonnegative(panel_width=panel_width, height=height, trail_cols=trail_cols)
+    return panel_width * (panel_width + 1) // 2 + height * trail_cols
+
+
+def caqr_down_message_doubles(height: int, trail_cols: int) -> int:
+    """Doubles of a CAQR down message: the child's updated trailing tile row."""
+    _require_nonnegative(height=height, trail_cols=trail_cols)
+    return height * trail_cols
 
 
 def tsqr_critical_path_flops(m: int, n: int, p: int, *, want_q: bool = False) -> float:

@@ -7,8 +7,14 @@ import math
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.model.costs import cost_table, scalapack_costs, tsqr_costs
-from repro.model.predictor import MachineParameters, crossover_n, predict, predict_pair
+from repro.model.costs import caqr_costs, cost_table, scalapack_costs, tsqr_costs
+from repro.model.predictor import (
+    MachineParameters,
+    crossover_n,
+    predict,
+    predict_caqr,
+    predict_pair,
+)
 
 
 MACHINE = MachineParameters.from_link(
@@ -68,6 +74,41 @@ class TestCostFormulas:
         assert {"algorithm", "# msg", "# flops"}.issubset(row.keys())
 
 
+class TestCAQRCosts:
+    def test_single_rank_has_no_messages(self):
+        costs = caqr_costs(256, 128, 1, tile_size=32)
+        assert costs.messages == 0
+        assert costs.volume_doubles == 0
+        assert costs.flops > 0
+
+    def test_message_count_independent_of_panel_width(self):
+        # The CAQR argument: one reduction per panel regardless of width.
+        narrow = caqr_costs(2**13, 128, 8, tile_size=32)
+        wide = caqr_costs(2**13, 256, 8, tile_size=64)
+        assert narrow.messages == wide.messages
+
+    def test_up_and_down_messages_per_edge(self):
+        # Every rank owns nt tile rows, so all nt panels reduce over all p
+        # ranks: (p-1) edges each, two messages per edge while trailing
+        # columns remain, one on the final panel.
+        p, nt, b = 4, 4, 32
+        costs = caqr_costs(b * p * nt, b * nt, p, tile_size=b)
+        assert costs.messages == (p - 1) * (2 * nt - 1)
+
+    def test_flops_grow_with_m(self):
+        small = caqr_costs(2**12, 256, 8, tile_size=64)
+        large = caqr_costs(2**16, 256, 8, tile_size=64)
+        assert large.flops > small.flops
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            caqr_costs(0, 64, 4)
+        with pytest.raises(ConfigurationError):
+            caqr_costs(64, 64, 4, tile_size=0)
+        with pytest.raises(ConfigurationError):
+            caqr_costs(64, 64, 4, clusters=["one"])
+
+
 class TestPredictor:
     def test_time_decomposition(self):
         pred = predict(tsqr_costs(10**6, 64, 64), MACHINE)
@@ -103,6 +144,20 @@ class TestPredictor:
             MachineParameters(-1.0, 0.0, 1.0)
         with pytest.raises(ConfigurationError):
             MachineParameters(0.0, 0.0, 0.0)
+
+    def test_predict_caqr_beats_tsqr_past_the_crossover(self):
+        # Property 5's conclusion: once N is past the crossover, switch to
+        # CAQR — its panels stay tile_size wide, so the redundant combine
+        # flops do not grow with N^3 the way plain TSQR's do.  CAQR pays one
+        # reduction per panel, so the trade only wins where messages are
+        # cheap: evaluate on the intra-cluster link, the paper's single-site
+        # configuration (on the 8 ms wide-area link TSQR keeps winning).
+        cluster = MachineParameters.from_link(60e-6, 890e6 / 8.0, 2.0)
+        m, n, p = 2**17, 8192, 64
+        caqr_pred = predict_caqr(m, n, p, cluster, tile_size=64)
+        _, tsqr_pred = predict_pair(m, n, p, cluster)
+        assert caqr_pred.time_s < tsqr_pred.time_s
+        assert caqr_pred.gflops > 0
 
     def test_gflops_accounts_for_q(self):
         r_only = predict(tsqr_costs(10**6, 64, 64), MACHINE)

@@ -1,0 +1,143 @@
+"""Tests for distributed CAQR on the simulated grid (repro.programs.caqr)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.costs import caqr_costs
+from repro.programs.caqr import CAQRConfig, run_parallel_caqr
+from repro.util.random_matrices import random_matrix
+from repro.util.validation import r_factors_match
+
+TREES = ("flat", "binary", "grid-hierarchical")
+
+
+class TestConfig:
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            CAQRConfig(m=0, n=4)
+
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ConfigurationError, match="tile size"):
+            CAQRConfig(m=8, n=8, tile_size=0)
+
+    def test_rejects_unknown_panel_tree(self):
+        with pytest.raises(ConfigurationError, match="unknown panel tree"):
+            CAQRConfig(m=8, n=8, panel_tree="fractal")
+
+    def test_rejects_matrix_shape_mismatch(self):
+        with pytest.raises(ConfigurationError, match="does not match"):
+            CAQRConfig(m=8, n=8, matrix=np.zeros((8, 4)))
+
+    def test_fat_matrices_allowed(self):
+        config = CAQRConfig(m=4, n=9)
+        assert config.virtual and config.flop_count() > 0
+
+
+class TestRealPayloads:
+    @pytest.mark.parametrize("tree", TREES)
+    @pytest.mark.parametrize(
+        "m,n,tile",
+        [
+            (120, 60, 16),   # several ranks, several panels
+            (200, 50, 8),    # many tile rows per rank
+            (37, 29, 10),    # nothing divides anything
+            (40, 80, 16),    # fat matrix
+            (10, 6, 64),     # single tile, idle ranks
+        ],
+    )
+    def test_r_matches_lapack(self, platform8, m, n, tile, tree):
+        a = random_matrix(m, n, seed=m * 31 + n)
+        config = CAQRConfig(m=m, n=n, tile_size=tile, panel_tree=tree, matrix=a)
+        result = run_parallel_caqr(platform8, config)
+        assert result.r.shape == (min(m, n), n)
+        assert r_factors_match(result.r, np.linalg.qr(a, mode="r"))
+
+    def test_single_site_platform(self, platform4_single_site):
+        a = random_matrix(90, 45, seed=2)
+        result = run_parallel_caqr(
+            platform4_single_site,
+            CAQRConfig(m=90, n=45, tile_size=12, panel_tree="binary", matrix=a),
+        )
+        assert r_factors_match(result.r, np.linalg.qr(a, mode="r"))
+
+    def test_idle_ranks_return_empty_blocks(self, platform8):
+        # 2 tile rows over 8 ranks: 6 ranks own nothing and must not break
+        # the assembly.
+        a = random_matrix(20, 12, seed=4)
+        result = run_parallel_caqr(
+            platform8, CAQRConfig(m=20, n=12, tile_size=10, matrix=a)
+        )
+        owning = [res for res in result.simulation.results if res.local_rows > 0]
+        assert len(owning) == 2
+        assert r_factors_match(result.r, np.linalg.qr(a, mode="r"))
+
+
+class TestVirtualPayloads:
+    def test_virtual_run_produces_time_and_counts(self, platform8):
+        result = run_parallel_caqr(platform8, CAQRConfig(m=2**14, n=256, tile_size=32))
+        assert result.r is None
+        assert result.makespan_s > 0
+        assert result.gflops > 0
+        assert result.trace.total_messages > 0
+
+    @pytest.mark.parametrize("tree", TREES)
+    def test_virtual_and_real_runs_trace_identically(self, platform8, tree):
+        """The paper-scale sweeps must exercise the schedule the numerics use."""
+        a = random_matrix(200, 50, seed=9)
+        real = run_parallel_caqr(
+            platform8, CAQRConfig(m=200, n=50, tile_size=8, panel_tree=tree, matrix=a)
+        )
+        virtual = run_parallel_caqr(
+            platform8, CAQRConfig(m=200, n=50, tile_size=8, panel_tree=tree)
+        )
+        assert real.trace.n_messages == virtual.trace.n_messages
+        assert real.trace.bytes_by_link == virtual.trace.bytes_by_link
+        assert real.trace.messages_per_rank_max == virtual.trace.messages_per_rank_max
+        assert real.trace.flops_per_rank_max == pytest.approx(
+            virtual.trace.flops_per_rank_max
+        )
+        assert real.makespan_s == pytest.approx(virtual.makespan_s)
+
+    def test_grid_tree_minimises_wan_messages(self, platform16):
+        tuned = run_parallel_caqr(
+            platform16,
+            CAQRConfig(m=2**13, n=128, tile_size=32, panel_tree="grid-hierarchical"),
+        )
+        oblivious = run_parallel_caqr(
+            platform16, CAQRConfig(m=2**13, n=128, tile_size=32, panel_tree="binary")
+        )
+        assert tuned.trace.inter_cluster_messages < oblivious.trace.inter_cluster_messages
+        # Up and (while trailing columns remain) down messages on the 3
+        # inter-cluster edges of every panel reduction.
+        nt = 128 // 32
+        assert tuned.trace.inter_cluster_messages == 3 * (2 * nt - 1)
+
+    def test_message_count_independent_of_panel_width(self, platform8):
+        narrow = run_parallel_caqr(platform8, CAQRConfig(m=2**13, n=128, tile_size=32))
+        wide = run_parallel_caqr(platform8, CAQRConfig(m=2**13, n=256, tile_size=64))
+        # Same tile-row count and same number of panels: the message count
+        # depends on the tiling, never on the panel width (the CAQR argument).
+        assert narrow.trace.total_messages == wide.trace.total_messages
+
+
+class TestAgainstCostModel:
+    @pytest.mark.parametrize("tree", TREES)
+    def test_counts_match_model_exactly(self, platform8, tree):
+        m, n, tile = 2**12, 192, 32
+        result = run_parallel_caqr(
+            platform8, CAQRConfig(m=m, n=n, tile_size=tile, panel_tree=tree)
+        )
+        p = platform8.n_processes
+        clusters = [platform8.placement.cluster_of(r) for r in range(p)]
+        model = caqr_costs(m, n, p, tile_size=tile, panel_tree=tree, clusters=clusters)
+        assert result.trace.total_messages == model.messages
+        measured_volume = sum(result.trace.bytes_by_link.values()) / 8.0
+        assert measured_volume == pytest.approx(model.volume_doubles, rel=1e-12)
+        assert result.trace.flops_per_rank_max == pytest.approx(model.flops, rel=1e-12)
+
+    def test_model_rejects_bad_cluster_list(self):
+        with pytest.raises(ConfigurationError, match="cluster names"):
+            caqr_costs(64, 64, 4, clusters=["a", "b"])

@@ -1,0 +1,180 @@
+"""Tests for the extracted SPMD program layer (repro.programs.spmd).
+
+The layer was extracted from ``repro.tsqr.parallel``; these tests pin its
+contracts directly (domain resolution, layout invariants, payload dispatch,
+result assembly, run harness) and assert the extraction was behaviour
+preserving for QCG-TSQR: same error messages, same trace counters, same
+clocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, FactorizationError, SimulationError
+from repro.gridsim.executor import run_spmd
+from repro.programs.spmd import (
+    assemble_row_blocks,
+    build_domain_layout,
+    domain_reduction_tree,
+    domain_row_ranges,
+    local_block_payload,
+    resolve_domain_count,
+    run_program,
+    triangle_nbytes,
+)
+from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
+from repro.util.random_matrices import random_tall_skinny
+from repro.virtual.matrix import VirtualMatrix
+
+
+class TestResolveDomainCount:
+    def test_none_means_one_domain_per_process(self):
+        assert resolve_domain_count(None, 8) == 8
+
+    def test_divisor_accepted(self):
+        assert resolve_domain_count(4, 8) == 4
+
+    def test_too_many_domains_rejected(self):
+        with pytest.raises(ConfigurationError, match="16 domains requested"):
+            resolve_domain_count(16, 8)
+
+    def test_non_divisor_rejected(self):
+        with pytest.raises(ConfigurationError, match="multiple of the"):
+            resolve_domain_count(3, 8)
+
+
+class TestDomainRowRanges:
+    def test_unweighted_is_block_split(self):
+        assert domain_row_ranges(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_weighted_counts_match(self):
+        ranges = domain_row_ranges(100, 2, domain_weights=(3.0, 1.0))
+        assert ranges == [(0, 75), (75, 100)]
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="3 weights for 2 domains"):
+            domain_row_ranges(100, 2, domain_weights=(1.0, 1.0, 1.0))
+
+
+class TestPayloadDispatch:
+    def test_real_payload_is_a_private_copy(self):
+        a = np.arange(20, dtype=np.float64).reshape(5, 4)
+        block = local_block_payload(a, slice(1, 3), 4)
+        assert block.shape == (2, 4)
+        block[:] = -1.0
+        assert a[1, 0] == 4.0  # the original is untouched
+
+    def test_virtual_payload_is_shape_only(self):
+        block = local_block_payload(None, slice(0, 0), 4, n_rows=7)
+        assert isinstance(block, VirtualMatrix)
+        assert block.shape == (7, 4)
+
+    def test_virtual_payload_requires_row_count(self):
+        with pytest.raises(ConfigurationError, match="explicit row count"):
+            local_block_payload(None, slice(0, 5), 4)
+
+    def test_triangle_nbytes_is_paper_volume(self):
+        # n(n+1)/2 doubles: the paper's N^2/2 volume term, in bytes.
+        assert triangle_nbytes(64) == 64 * 65 // 2 * 8
+
+
+class TestAssembleRowBlocks:
+    def test_blocks_stacked_in_rank_order(self):
+        blocks = {2: np.full((1, 2), 2.0), 0: np.full((2, 2), 0.0), 1: np.full((1, 2), 1.0)}
+        out = assemble_row_blocks(blocks)
+        np.testing.assert_allclose(out[:, 0], [0.0, 0.0, 1.0, 2.0])
+
+    def test_missing_blocks_named_in_error(self):
+        blocks = {0: np.zeros((1, 2)), 3: None, 5: None}
+        with pytest.raises(FactorizationError, match=r"rank\(s\) \[3, 5\] returned no Q"):
+            assemble_row_blocks(blocks)
+
+    def test_what_parameter_names_the_factor(self):
+        with pytest.raises(FactorizationError, match="no R block"):
+            assemble_row_blocks({0: None}, what="R")
+
+    def test_empty_blocks_are_skipped(self):
+        blocks = {0: np.zeros((2, 3)), 1: np.zeros((0, 3)), 2: np.ones((1, 3))}
+        assert assemble_row_blocks(blocks).shape == (3, 3)
+
+
+class TestBuildDomainLayout:
+    def test_layout_fields_consistent(self, platform8):
+        def prog(ctx):
+            layout = build_domain_layout(ctx.comm, m=800, n=10, n_domains=4)
+            assert layout.ppd == 2
+            assert layout.domain == ctx.comm.rank // 2
+            assert layout.is_leader == (ctx.comm.rank % 2 == 0)
+            assert layout.domain_comm.size == 2
+            assert layout.dom_rows == 200
+            assert layout.local_rows == 100
+            # global slice = domain offset + local offset
+            expected_start = layout.domain * 200 + (ctx.comm.rank % 2) * 100
+            assert layout.global_row_slice == slice(expected_start, expected_start + 100)
+            return layout.domain
+
+        res = run_spmd(platform8, prog)
+        assert res.results == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_min_rows_error_message_preserved(self, platform8):
+        # The exact wording callers (and the TSQR tests) rely on.
+        def prog(ctx):
+            return build_domain_layout(ctx.comm, m=40, n=10, n_domains=8, min_rows=10)
+
+        with pytest.raises(SimulationError, match="fewer than n=10"):
+            run_spmd(platform8, prog)
+
+
+class TestDomainReductionTree:
+    def test_program_and_harness_agree(self, platform16):
+        """The tree built inside the program equals the harness-side one."""
+        harness_tree = domain_reduction_tree(platform16, "grid-hierarchical", 8, 2)
+
+        def prog(ctx):
+            tree = domain_reduction_tree(
+                ctx.platform, "grid-hierarchical", 8, 2,
+                world_rank_of=ctx.comm.core.world_rank,
+            )
+            return (tree.edges(), tree.domain_clusters)
+
+        res = run_spmd(platform16, prog)
+        for edges, clusters in res.results:
+            assert edges == harness_tree.edges()
+            assert clusters == harness_tree.domain_clusters
+
+    def test_grid_tree_is_cluster_aware(self, platform16):
+        tree = domain_reduction_tree(platform16, "grid-hierarchical", 16, 1)
+        # 4 clusters: exactly 3 inter-cluster edges, the paper's minimum.
+        assert tree.n_inter_cluster_messages() == 3
+
+
+class TestRunProgram:
+    def test_gflops_uses_the_given_flop_count(self, platform8):
+        def prog(ctx):
+            ctx.compute(1e9, kernel="gemm")
+            return ctx.rank
+
+        run = run_program(platform8, prog, flop_count=8e9)
+        assert run.makespan_s > 0
+        assert run.gflops == pytest.approx(8.0 / run.makespan_s, rel=1e-12)
+        assert run.results == list(range(8))
+
+    def test_rebased_tsqr_counters_unchanged(self, platform8):
+        """Extraction regression: the layered QCG-TSQR keeps its trace shape.
+
+        Pure TSQR over 8 one-process domains reduces along 7 tree edges; with
+        R only that is exactly 7 point-to-point messages, each carrying the
+        half-triangular n(n+1)/2 doubles.
+        """
+        result = run_parallel_tsqr(platform8, TSQRConfig(m=2**15, n=64))
+        assert result.trace.total_messages == 7
+        assert sum(result.trace.bytes_by_link.values()) == 7 * triangle_nbytes(64)
+
+    def test_rebased_tsqr_numerics_unchanged(self, platform8):
+        a = random_tall_skinny(320, 10, seed=3)
+        result = run_parallel_tsqr(
+            platform8, TSQRConfig(m=320, n=10, matrix=a, want_q=True, n_domains=4)
+        )
+        np.testing.assert_allclose(result.q @ result.r, a, atol=1e-10)

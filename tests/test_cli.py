@@ -54,6 +54,28 @@ class TestParser:
         assert args.rows == 1_048_576
         assert args.domains == "1,64"
 
+    def test_figure_caqr_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["figure", "--id", "caqr-sweep", "--tile-size", "32",
+             "--panel-tree", "grid-hierarchical"]
+        )
+        assert args.figure_id == "caqr-sweep"
+        assert args.tile_size == 32
+        assert args.panel_tree == "grid-hierarchical"
+        # defaults resolve per artefact inside the handler
+        assert build_parser().parse_args(["figure", "--id", "caqr-sweep"]).tile_size is None
+
+    def test_invalid_panel_tree_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figure", "--id", "caqr-sweep", "--panel-tree", "fractal"]
+            )
+
+    def test_epilog_mentions_caqr_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        assert "caqr-sweep" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_factor_reports_quality(self, capsys):
@@ -128,6 +150,46 @@ class TestCommands:
             main(["figure", "--id", "table2", "--want-q"])
         with pytest.raises(ConfigurationError, match="--domains"):
             main(["figure", "--id", "fig4", "--domains", "1,64"])
+        with pytest.raises(ConfigurationError, match="--tile-size"):
+            main(["figure", "--id", "fig4", "--tile-size", "32"])
+        with pytest.raises(ConfigurationError, match="--points"):
+            main(["figure", "--id", "caqr-sweep", "--points", "5"])
+        with pytest.raises(ConfigurationError, match="--points"):
+            main(["figure", "--id", "table1", "--points", "5"])
+        with pytest.raises(ConfigurationError, match="--panel-tree"):
+            main(["figure", "--id", "table1", "--panel-tree", "binary"])
+        # CAQR computes R only and accepts no domain sweep.
+        with pytest.raises(ConfigurationError, match="--want-q"):
+            main(["figure", "--id", "caqr-sweep", "--want-q"])
+        with pytest.raises(ConfigurationError, match="--domains"):
+            main(["figure", "--id", "caqr-sweep", "--domains", "1,64"])
+
+    def test_figure_caqr_sweep_to_csv(self, capsys, tmp_path):
+        target = tmp_path / "caqr_sweep.csv"
+        code = main(["figure", "--id", "caqr-sweep", "--rows", "16384", "--cols", "128",
+                     "--tile-size", "32", "--panel-tree", "binary", "--csv", str(target)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CAQR" in out
+        import csv
+
+        with target.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows, "the sweep must emit at least one row"
+        # measured-vs-model agreement is part of the artefact's contract even
+        # at reduced scale
+        for col in ("msg ratio", "volume ratio", "flop ratio"):
+            assert 0.9 <= float(rows[0][col]) <= 1.1, col
+
+    def test_figure_caqr_sweep_single_tile_row(self, capsys):
+        # A matrix no taller than one tile has a single participating rank,
+        # zero messages and zero volume — a legitimate degenerate sweep that
+        # must report agreement (ratio 1.0), not divide by zero.
+        code = main(["figure", "--id", "caqr-sweep", "--rows", "64", "--cols", "128",
+                     "--tile-size", "64", "--panel-tree", "binary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CAQR" in out
 
     def test_figure_table2_sweep_to_csv(self, capsys, tmp_path):
         target = tmp_path / "table2_sweep.csv"

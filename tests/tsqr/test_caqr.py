@@ -71,6 +71,34 @@ class TestQFactor:
         assert factors.transforms == []
         assert r_factors_match(factors.r, np.linalg.qr(random_matrix(30, 10, seed=11), mode="r"))
 
+    def test_want_q_false_never_accumulates_transforms(self, monkeypatch):
+        """Regression: transforms must stay empty *while factoring*, not be
+        built and discarded at the end — that is what makes the docstring's
+        halved-memory claim true during the factorization itself."""
+        import importlib
+
+        # ``repro.tsqr.caqr`` the module, not the equally-named function the
+        # package re-exports.
+        caqr_mod = importlib.import_module("repro.tsqr.caqr")
+
+        created: list[object] = []
+        original = caqr_mod.CAQRTransform
+
+        def counting(*args, **kwargs):
+            tr = original(*args, **kwargs)
+            created.append(tr)
+            return tr
+
+        monkeypatch.setattr(caqr_mod, "CAQRTransform", counting)
+        a = random_matrix(40, 24, seed=13)
+        factors = caqr_mod.caqr(a, tile_size=8, want_q=False)
+        assert created == []  # no transform object was ever constructed
+        assert factors.transforms == []
+        assert r_factors_match(factors.r, np.linalg.qr(a, mode="r"))
+        # ... while want_q=True still records them through the same path.
+        factors_q = caqr_mod.caqr(a, tile_size=8, want_q=True)
+        assert created and factors_q.transforms == created
+
     def test_square_matrix_full_q(self):
         a = random_matrix(32, 32, seed=12)
         factors = caqr(a, tile_size=8)
