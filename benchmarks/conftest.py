@@ -21,6 +21,7 @@ simulated once and reused.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -99,12 +100,59 @@ def report_rows(title: str, rows: list[dict], results_dir: Path, filename: str) 
     write_csv(results_dir / filename, rows)
 
 
+# ---------------------------------------------------------------------------
+# Machine-readable perf trajectories (BENCH_<name>.json)
+# ---------------------------------------------------------------------------
+
+def bench_json_path(name: str, results_dir: Path = RESULTS_DIR) -> Path:
+    """Location of a recorded perf trajectory."""
+    return results_dir / f"BENCH_{name}.json"
+
+
+def load_bench_json(name: str, results_dir: Path = RESULTS_DIR) -> dict | None:
+    """Read a previously recorded trajectory, or None when absent/corrupt.
+
+    The recorded file is the regression baseline: a perf benchmark loads it
+    *before* overwriting, derives its gate limit from the loaded copy, and
+    records that baseline next to the fresh numbers in the new file — so a
+    failing run's artifact shows both, and git keeps the committed baseline.
+    """
+    path = bench_json_path(name, results_dir)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_bench_json(name: str, payload: dict, results_dir: Path = RESULTS_DIR) -> Path:
+    """Persist a perf trajectory as pretty-printed JSON and return the path."""
+    path = bench_json_path(name, results_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_json(results_dir):
+    """Reporter fixture: ``bench_json(name, payload)`` writes BENCH_<name>.json."""
+
+    def _write(name: str, payload: dict) -> Path:
+        return write_bench_json(name, payload, results_dir)
+
+    return _write
+
+
 __all__ = [
     "ascii_table",
     "bench_domain_counts",
+    "bench_json_path",
     "bench_m_values",
     "bench_n_values",
     "full_sweep",
+    "load_bench_json",
     "report_figure",
     "report_rows",
+    "write_bench_json",
 ]

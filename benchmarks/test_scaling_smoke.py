@@ -3,10 +3,15 @@
 Not a figure of the paper: this tracks the *simulator's own* speed so future
 engine changes can be compared against the recorded baseline.  A
 virtual-payload TSQR run is simulated on synthetic 4-cluster grids of
-32/128/512 ranks and the wall-clock time of each simulation is written to
-``results/scaling_smoke.csv``.  The virtual-time cooperative scheduler must
-complete the 512-rank run in seconds (the old polling-thread engine was an
-order of magnitude slower and capped out near tens of ranks).
+32/128/512/2048 ranks (4096 with ``REPRO_BENCH_FULL=1``); wall-clock time
+per rank count goes to ``results/scaling_smoke.csv`` and the machine-readable
+trajectory — wall time, engine events/s and speedup over the pre-fast-path
+seed engine — to ``results/BENCH_engine.json``.
+
+The recorded BENCH file is also the regression gate: the 512-rank wall time
+must stay within 2x of the committed baseline (with an absolute-floor guard
+so slow CI hardware cannot flake the suite), so an engine regression fails
+tier-1 instead of silently shipping.
 """
 
 from __future__ import annotations
@@ -26,10 +31,24 @@ from repro.gridsim import (
 )
 from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
 
-from benchmarks.conftest import report_rows
+from benchmarks.conftest import full_sweep, load_bench_json, report_rows
 
 #: Rank counts of the sweep (4 clusters x nodes x 2 processes/node).
-RANK_COUNTS = (32, 128, 512)
+RANK_COUNTS = (32, 128, 512, 2048)
+#: Extra scale exercised by the full sweep only.
+FULL_RANK_COUNTS = (4096,)
+
+#: Wall times of the seed engine (the pre-fast-path scaling_smoke.csv rows,
+#: recorded before pooled workers / semaphore handoff / lock-free tracing /
+#: the setup memo landed).  The speedup column of BENCH_engine.json is
+#: measured against these.
+SEED_WALL_S = {32: 0.006, 128: 0.068, 512: 0.439}
+
+#: Regression gate: the fresh 512-rank wall time may be at most this factor
+#: over the recorded baseline...
+REGRESSION_FACTOR = 2.0
+#: ...but never fails below this absolute wall time (CI hardware headroom).
+REGRESSION_FLOOR_S = 1.0
 
 
 def _platform(n_ranks: int) -> Platform:
@@ -57,14 +76,22 @@ def _platform(n_ranks: int) -> Platform:
     )
 
 
-def test_engine_scaling_smoke(results_dir):
+def test_engine_scaling_smoke(results_dir, bench_json):
+    baseline = load_bench_json("engine", results_dir)
+    baseline_walls = {
+        row["ranks"]: row["wall_s"] for row in (baseline or {}).get("rows", [])
+    }
+    rank_counts = RANK_COUNTS + (FULL_RANK_COUNTS if full_sweep() else ())
     rows = []
-    for n_ranks in RANK_COUNTS:
+    bench_rows = []
+    for n_ranks in rank_counts:
         platform = _platform(n_ranks)
         config = TSQRConfig(m=n_ranks * 4096, n=64)  # virtual payload
         start = time.perf_counter()
         result = run_parallel_tsqr(platform, config)
         wall_s = time.perf_counter() - start
+        events = result.trace.total_events
+        seed_wall = SEED_WALL_S.get(n_ranks)
         rows.append(
             {
                 "ranks": n_ranks,
@@ -74,8 +101,52 @@ def test_engine_scaling_smoke(results_dir):
                 "messages": result.trace.total_messages,
             }
         )
-        # A 512-rank virtual-payload TSQR must complete, fast.
+        bench_rows.append(
+            {
+                "ranks": n_ranks,
+                "wall_s": round(wall_s, 4),
+                "simulated_s": round(result.makespan_s, 6),
+                "messages": result.trace.total_messages,
+                "events": events,
+                "events_per_s": round(events / wall_s, 1) if wall_s > 0 else None,
+                "speedup_vs_seed": round(seed_wall / wall_s, 2) if seed_wall else None,
+            }
+        )
+        # A 2048-rank virtual-payload TSQR must complete, fast.
         assert result.makespan_s > 0.0
         assert wall_s < 30.0
     report_rows("Engine scaling smoke (wall time vs ranks)", rows,
                 results_dir, "scaling_smoke.csv")
+    # Gate limit derives from the baseline loaded *before* this run rewrote
+    # the file; the fresh artifact records that baseline next to the fresh
+    # numbers, so a CI failure uploads both (and git keeps the committed
+    # baseline for recovery).
+    fresh_512 = next(r["wall_s"] for r in bench_rows if r["ranks"] == 512)
+    recorded_512 = baseline_walls.get(512)
+    limit = (
+        max(REGRESSION_FACTOR * recorded_512, REGRESSION_FLOOR_S)
+        if recorded_512
+        else None
+    )
+    bench_json(
+        "engine",
+        {
+            "benchmark": "engine_scaling_smoke",
+            "workload": "virtual-payload TSQR, M = ranks * 4096, N = 64, "
+                        "4 clusters x 2 processes/node",
+            "seed_wall_s": SEED_WALL_S,
+            "regression_gate": {
+                "ranks": 512,
+                "factor": REGRESSION_FACTOR,
+                "floor_s": REGRESSION_FLOOR_S,
+                "baseline_wall_s": recorded_512,
+                "limit_s": limit,
+            },
+            "rows": bench_rows,
+        },
+    )
+    if limit is not None:
+        assert fresh_512 <= limit, (
+            f"512-rank engine wall time regressed: {fresh_512:.3f}s vs "
+            f"recorded baseline {recorded_512:.3f}s (limit {limit:.3f}s)"
+        )

@@ -57,6 +57,7 @@ examples:
   repro factor --rows 200000 --cols 64 --domains 64 --want-q
   repro simulate --algorithm tsqr --rows 33554432 --cols 64 --sites 4 --domains-per-cluster 64
   repro figure --id fig5 --cols 64 --points 3 --csv results/fig5.csv
+  repro figure --id fig6 --cols 512 --jobs 8   # sweep points in 8 worker processes
   repro figure --id table2-sweep --domains 1,64 --csv results/table2_sweep.csv
   repro figure --id caqr-sweep --tile-size 64 --panel-tree grid-hierarchical \\
       --csv results/caqr_sweep.csv   # general-matrix CAQR at paper scale (§VI)
@@ -154,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the caqr-sweep artefact to one panel reduction tree "
         "(default: all three families)",
     )
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="simulate the sweep's points in this many parallel worker "
+        "processes (fig4-fig8, table2-sweep, caqr-sweep; results are "
+        "byte-identical to a serial run)",
+    )
     figure.add_argument("--csv", type=str, default=None, help="write the series to this CSV file")
     return parser
 
@@ -227,7 +236,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         raise ConfigurationError("--tile-size only applies to --id caqr-sweep")
     if args.panel_tree is not None and args.figure_id != "caqr-sweep":
         raise ConfigurationError("--panel-tree only applies to --id caqr-sweep")
-    runner = ExperimentRunner()
+    if args.jobs is not None:
+        if args.figure_id in ("fig3", "table1", "table2"):
+            raise ConfigurationError(
+                "--jobs only applies to the multi-point sweeps "
+                "(fig4..fig8, table2-sweep, caqr-sweep)"
+            )
+        if args.jobs < 1:
+            raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
+    runner = ExperimentRunner(jobs=args.jobs or 1)
     if args.cols is not None:
         n = args.cols
     else:

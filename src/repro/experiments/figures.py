@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.grid5000 import CLUSTER_NAMES, PAPER_LATENCY_MS, PAPER_THROUGHPUT_MBITS
-from repro.experiments.runner import ExperimentPoint, ExperimentRunner
+from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
 from repro.experiments.workloads import (
     CAQR_PANEL_TREES,
     CAQR_SWEEP_M,
@@ -186,6 +186,7 @@ def figure4(
         xlabel="M",
         ylabel="Gflop/s",
     )
+    runner.prefetch(runner.scalapack_specs(m_values, n, sites, want_q=want_q))
     for s in sites:
         series = FigureSeries(label=f"{s} site(s)")
         for m in m_values:
@@ -211,6 +212,9 @@ def figure5(
         title=f"TSQR performance (best #domains), N={n}" + (", Q included" if want_q else ""),
         xlabel="M",
         ylabel="Gflop/s",
+    )
+    runner.prefetch(
+        runner.tsqr_specs(m_values, n, sites, domain_candidates, want_q=want_q)
     )
     for s in sites:
         series = FigureSeries(label=f"{s} site(s)")
@@ -242,6 +246,7 @@ def figure6(
         xlabel="domains per cluster",
         ylabel="Gflop/s",
     )
+    runner.prefetch(runner.tsqr_specs(m_values, n, (4,), domain_counts, want_q=want_q))
     for m in m_values:
         series = FigureSeries(label=f"M = {m:,}")
         for dpc in domain_counts:
@@ -267,6 +272,7 @@ def figure7(
         xlabel="domains",
         ylabel="Gflop/s",
     )
+    runner.prefetch(runner.tsqr_specs(m_values, n, (1,), domain_counts, want_q=want_q))
     for m in m_values:
         series = FigureSeries(label=f"M = {m:,}")
         for dpc in domain_counts:
@@ -296,6 +302,10 @@ def figure8(
         title=f"TSQR (best) vs ScaLAPACK (best), N={n}" + (", Q included" if want_q else ""),
         xlabel="M",
         ylabel="Gflop/s",
+    )
+    runner.prefetch(
+        runner.tsqr_specs(m_values, n, sites, domain_candidates, want_q=want_q)
+        + runner.scalapack_specs(m_values, n, sites, want_q=want_q)
     )
     tsqr_series = FigureSeries(label="TSQR (best)")
     scal_series = FigureSeries(label="ScaLAPACK (best)")
@@ -417,6 +427,13 @@ def table2_sweep(
             "time ratio": round(q_point.time_s / r_point.time_s, 3),
         }
 
+    sweep_specs = runner.tsqr_specs([m], n, (n_sites,), domain_counts) + runner.tsqr_specs(
+        [m], n, (n_sites,), domain_counts, want_q=True
+    )
+    if include_scalapack:
+        sweep_specs += runner.scalapack_specs([m], n, (n_sites,))
+        sweep_specs += runner.scalapack_specs([m], n, (n_sites,), want_q=True)
+    runner.prefetch(sweep_specs)
     rows: list[dict[str, object]] = []
     for dpc in domain_counts:
         n_domains = dpc * n_sites
@@ -481,8 +498,17 @@ def caqr_sweep(
             return 1.0 if measured == 0 else float("inf")
         return round(measured / predicted, 3)
 
+    sweep_m = tuple(m_values) if m_values is not None else CAQR_SWEEP_M
+    runner.prefetch(
+        PointSpec(
+            algorithm="caqr", m=m, n=n, n_sites=n_sites,
+            tree_kind=tree, tile_size=tile_size,
+        )
+        for m in sweep_m
+        for tree in panel_trees
+    )
     rows: list[dict[str, object]] = []
-    for m in tuple(m_values) if m_values is not None else CAQR_SWEEP_M:
+    for m in sweep_m:
         for tree in panel_trees:
             point = runner.caqr_point(m, n, n_sites, tile_size=tile_size, panel_tree=tree)
             model = caqr_costs(

@@ -8,11 +8,22 @@ class, and the configuration that produced them.
 
 Results are memoised by configuration: Fig. 8 reuses the points of Figs. 4
 and 5, and repeated benchmark invocations do not re-simulate identical runs.
+
+**Parallel sweeps.**  Every evaluation point is an independent simulation,
+so a figure sweep is embarrassingly parallel: constructing the runner with
+``jobs=N`` makes :meth:`ExperimentRunner.prefetch` simulate pending points
+in a pool of ``N`` worker processes (each with its own platform cache) and
+fill the shared memo.  Results are keyed by :class:`PointSpec` and the
+figure builders read them back in their own deterministic loop order, so a
+parallel sweep produces byte-identical series to a serial one — asserted by
+the jobs-equivalence tests.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.grid5000 import Grid5000Settings, grid5000_platform
@@ -87,11 +98,37 @@ class ExperimentPoint:
         }
 
 
-class ExperimentRunner:
-    """Run and memoise evaluation points on the simulated Grid'5000 platform."""
+#: Per-worker-process runner of a parallel prefetch (set by the initializer).
+_WORKER_RUNNER: "ExperimentRunner | None" = None
 
-    def __init__(self, settings: Grid5000Settings | None = None) -> None:
+
+def _prefetch_init(settings: "Grid5000Settings") -> None:
+    """Pool initializer: one serial runner (own platform cache) per worker."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner(settings)
+
+
+def _prefetch_point(spec: "PointSpec") -> "ExperimentPoint":
+    """Simulate one point in a prefetch worker process."""
+    assert _WORKER_RUNNER is not None, "worker pool initializer did not run"
+    return _WORKER_RUNNER.run_point(spec)
+
+
+class ExperimentRunner:
+    """Run and memoise evaluation points on the simulated Grid'5000 platform.
+
+    ``jobs`` sets the number of worker processes used by :meth:`prefetch`
+    (the figure builders prefetch their whole sweep before reading points);
+    ``jobs=1`` (the default) keeps everything serial in-process.
+    """
+
+    def __init__(
+        self, settings: Grid5000Settings | None = None, *, jobs: int = 1
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.settings = settings or Grid5000Settings()
+        self.jobs = jobs
         self._platforms: dict[int, Platform] = {}
         self._cache: dict[PointSpec, ExperimentPoint] = {}
 
@@ -157,6 +194,73 @@ class ExperimentRunner:
             )
         self._cache[spec] = point
         return point
+
+    def prefetch(self, specs: Iterable[PointSpec]) -> None:
+        """Simulate every pending spec, in parallel when ``jobs > 1``.
+
+        Duplicate and already-cached specs are skipped; with ``jobs=1`` (or
+        fewer than two pending points) this is a no-op and the points are
+        simulated lazily by :meth:`run_point` as before.  The filled cache is
+        what makes the subsequent serial reads deterministic: result order is
+        fixed by the caller's loop, never by worker completion order.
+        """
+        pending = [s for s in dict.fromkeys(specs) if s not in self._cache]
+        if self.jobs <= 1 or len(pending) < 2:
+            return
+        # fork keeps worker start-up cheap (no re-import of numpy); the rank
+        # worker pool of the parent is reset in the child by the executor's
+        # at-fork hook, so inherited pool bookkeeping cannot leak.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with ctx.Pool(
+            processes=min(self.jobs, len(pending)),
+            initializer=_prefetch_init,
+            initargs=(self.settings,),
+        ) as pool:
+            for spec, point in zip(pending, pool.map(_prefetch_point, pending)):
+                self._cache[spec] = point
+
+    # ------------------------------------------------------------ spec sweeps
+    def tsqr_specs(
+        self,
+        m_values: Sequence[int],
+        n: int,
+        sites: Sequence[int],
+        domain_counts: Sequence[int],
+        *,
+        tree_kind: str = "grid-hierarchical",
+        want_q: bool = False,
+    ) -> list[PointSpec]:
+        """Cartesian TSQR sweep (every m x site x domains-per-cluster point)."""
+        return [
+            PointSpec(
+                algorithm="tsqr",
+                m=m,
+                n=n,
+                n_sites=s,
+                domains_per_cluster=dpc,
+                tree_kind=tree_kind,
+                want_q=want_q,
+            )
+            for m in m_values
+            for s in sites
+            for dpc in domain_counts
+        ]
+
+    def scalapack_specs(
+        self,
+        m_values: Sequence[int],
+        n: int,
+        sites: Sequence[int],
+        *,
+        want_q: bool = False,
+    ) -> list[PointSpec]:
+        """Cartesian ScaLAPACK sweep (every m x site point)."""
+        return [
+            PointSpec(algorithm="scalapack", m=m, n=n, n_sites=s, want_q=want_q)
+            for m in m_values
+            for s in sites
+        ]
 
     # ---------------------------------------------------------- conveniences
     def scalapack_point(self, m: int, n: int, n_sites: int, *, want_q: bool = False) -> ExperimentPoint:

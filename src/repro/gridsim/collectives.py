@@ -21,6 +21,7 @@ running simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Sequence
 
 from repro.exceptions import TreeError
@@ -75,12 +76,19 @@ class TreeSchedule:
         """Number of participants."""
         return len(self.participants)
 
+    @cached_property
+    def _parent_table(self) -> tuple[int | None, ...]:
+        # Built once per tree: parent() used to scan every children list per
+        # call, which was quadratic over a whole reduction at scale.
+        table: list[int | None] = [None] * len(self.participants)
+        for i, kids in enumerate(self.children):
+            for k in kids:
+                table[k] = i
+        return tuple(table)
+
     def parent(self, position: int) -> int | None:
         """Return the parent position of ``position`` (None for the root)."""
-        for i, kids in enumerate(self.children):
-            if position in kids:
-                return i
-        return None
+        return self._parent_table[position]
 
     def depth(self) -> int:
         """Return the number of edges on the longest root-to-leaf path."""

@@ -184,12 +184,25 @@ class CommCore:
     def _edge_time_recorder(self, nbytes_of: Callable[[object], int], tag: str):
         """Return an ``edge_time(src_pos, dst_pos, payload)`` callback that
         prices the link between the corresponding world ranks and records the
-        message in the trace."""
+        message in the trace.
+
+        Payload sizes are memoised per collective execution (a broadcast
+        sends the *same* object down every tree edge, and sizing a nested
+        container is O(size)); the memo holds a strong reference to each
+        sized payload, so an ``id`` can never be reused while its entry is
+        alive, and dies with the closure when the collective completes.
+        """
+        memo: dict[int, tuple[object, int]] = {}
 
         def edge_time(src_pos: int, dst_pos: int, payload: object) -> float:
             src = self.world_ranks[src_pos]
             dst = self.world_ranks[dst_pos]
-            nbytes = nbytes_of(payload)
+            entry = memo.get(id(payload))
+            if entry is None or entry[0] is not payload:
+                nbytes = nbytes_of(payload)
+                memo[id(payload)] = (payload, nbytes)
+            else:
+                nbytes = entry[1]
             dt = self.state.transfer_time(nbytes, src, dst)
             self.state.record_message(src, dst, nbytes, tag=tag)
             return dt

@@ -1,34 +1,53 @@
 """SPMD executor: run one Python function per simulated MPI rank.
 
-The executor is the ``mpiexec`` of the simulator: it spawns one cooperative
-thread per rank, hands each thread a :class:`RankContext` (its rank, the
-world communicator handle and the shared simulation state) and collects
+The executor is the ``mpiexec`` of the simulator: it assigns one cooperative
+worker thread per rank, hands each worker a :class:`RankContext` (its rank,
+the world communicator handle and the shared simulation state) and collects
 per-rank return values.  The threads are driven by the
 :class:`~repro.gridsim.scheduler.VirtualTimeScheduler` owned by the
 simulation state: exactly one rank executes at a time (always one whose
 virtual clock was minimal when it became runnable), a blocked rank parks
 until the event it waits for occurs, and a cyclic wait raises
 :class:`~repro.exceptions.DeadlockError` immediately with a per-rank wait
-graph.  The *virtual* execution time of the program is the maximum rank
-clock when every thread has finished — wall-clock time spent in numpy is
-never added to the virtual clocks — and because scheduling decisions depend
-only on simulation state, two identical runs produce identical results,
-clocks and trace event streams.
+graph.
+
+**Pooled rank workers.**  Spawning an OS thread per rank per run is pure
+overhead at scale — a figure sweep runs dozens of simulations, and a
+4096-rank run would pay thousands of thread creations each time.  Worker
+threads therefore come from a lazily-grown module-level pool
+(:class:`_RankWorkerPool`): the first 2048-rank run of a process spawns 2048
+daemon workers, every later run reuses them.  The pool is safe across
+consecutive runs (each run hands workers fresh closures over its own
+simulation state; nothing about a simulation is stored on the worker) and is
+reset transparently in forked children (``multiprocessing`` sweep workers).
+``SPMDExecutor(..., reuse_threads=False)`` opts out and spawns fresh threads
+per run — the equivalence tests assert both modes produce bit-identical
+results.
+
+The *virtual* execution time of the program is the maximum rank clock when
+every rank has finished — wall-clock time spent in numpy is never added to
+the virtual clocks — and because scheduling decisions depend only on
+simulation state, two identical runs produce identical results, clocks and
+trace event streams.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from queue import SimpleQueue
+from typing import Callable, Hashable, Sequence, TypeVar
 
 from repro.exceptions import DeadlockError, SimulationError
 from repro.gridsim.communicator import CommCore, CommHandle
 from repro.gridsim.platform import Platform, SimulationState
 from repro.gridsim.topology import ProcessLocation
-from repro.gridsim.trace import Trace, TraceSummary
+from repro.gridsim.trace import TraceSummary
 
 __all__ = ["RankContext", "SimulationResult", "SPMDExecutor", "run_spmd"]
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -63,6 +82,16 @@ class RankContext:
         """Charge ``flops`` of ``kernel`` to this rank and return the elapsed seconds."""
         return self.state.charge_compute(self.rank, flops, kernel, n)
 
+    def shared(self, key: Hashable, build: Callable[[], T]) -> T:
+        """Memoise run-wide pure setup identical on every rank.
+
+        All ranks pass the same key and an equivalent builder; the first one
+        to arrive builds, everyone else reuses (the scheduler's single-runner
+        invariant makes this race-free and deterministic).  The returned
+        value must be treated as immutable.
+        """
+        return self.state.shared(key, build)
+
 
 @dataclass
 class SimulationResult:
@@ -75,14 +104,128 @@ class SimulationResult:
     #: Ordered event stream (messages and flops, in global virtual-time
     #: execution order); populated only when the executor records messages.
     events: list[tuple] = field(default_factory=list, repr=False)
+    #: World rank of each entry of :attr:`results` (``results[i]`` is the
+    #: return value of world rank ``ranks[i]``).  Identity for full runs;
+    #: differs when the executor ran a subset of the platform's ranks.
+    ranks: tuple[int, ...] = ()
 
     def result_of(self, rank: int) -> object:
-        """Return the value returned by ``rank``'s program."""
-        return self.results[rank]
+        """Return the value returned by *world* rank ``rank``'s program."""
+        if not self.ranks:
+            return self.results[rank]
+        try:
+            local = self.ranks.index(rank)
+        except ValueError:
+            raise KeyError(
+                f"world rank {rank} did not participate in this run "
+                f"(active ranks: {list(self.ranks)})"
+            ) from None
+        return self.results[local]
 
 
 #: Signature of an SPMD rank program.
 RankProgram = Callable[..., object]
+
+
+class _RankWorkerPool:
+    """Lazily-grown pool of reusable daemon threads, one per concurrent rank.
+
+    Workers are generic: each blocks on its own task queue, runs the closure
+    it is handed, then returns itself to the idle list.  A run that needs P
+    workers takes (or spawns) exactly P; nested or concurrent runs simply
+    grow the pool, so exhaustion cannot deadlock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._idle: list[_PoolWorker] = []
+        self._spawned = 0
+
+    def run_all(self, tasks: Sequence[tuple[Callable[[], None], str]]) -> None:
+        """Run every ``(closure, thread_name)`` task and block until all finish.
+
+        A closure that raises (rank-program failures are caught upstream, so
+        this means an executor bug) is recorded and re-raised here after all
+        tasks complete; the worker itself always survives.
+        """
+        if not tasks:
+            return
+        done = threading.Semaphore(0)
+        failures: list[BaseException] = []
+        workers: list[_PoolWorker] = []
+        with self._lock:
+            while len(self._idle) < len(tasks):
+                self._idle.append(_PoolWorker(self, self._spawned))
+                self._spawned += 1
+            for _ in tasks:
+                workers.append(self._idle.pop())
+        for worker, (fn, name) in zip(workers, tasks):
+            worker.submit(fn, name, done, failures)
+        for _ in tasks:
+            done.acquire()
+        if failures:
+            raise failures[0]
+
+    def _release(self, worker: "_PoolWorker") -> None:
+        with self._lock:
+            self._idle.append(worker)
+
+    @property
+    def size(self) -> int:
+        """Number of worker threads ever spawned by this pool (for tests)."""
+        with self._lock:
+            return self._spawned
+
+
+class _PoolWorker:
+    """One reusable worker thread of the :class:`_RankWorkerPool`."""
+
+    def __init__(self, pool: _RankWorkerPool, index: int) -> None:
+        self._pool = pool
+        self._tasks: SimpleQueue = SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"gridsim-worker-{index}", daemon=True
+        )
+        self._thread.start()
+
+    def submit(
+        self,
+        fn: Callable[[], None],
+        name: str,
+        done: threading.Semaphore,
+        failures: list[BaseException],
+    ) -> None:
+        self._tasks.put((fn, name, done, failures))
+
+    def _loop(self) -> None:
+        while True:
+            fn, name, done, failures = self._tasks.get()
+            self._thread.name = name
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced by run_all
+                failures.append(exc)
+            finally:
+                self._pool._release(self)
+                done.release()
+            # Drop the task references before blocking on the next get(): an
+            # idle worker must not pin the finished run's closure chain
+            # (simulation state, per-rank results, payloads) until its next
+            # task arrives.
+            del fn, name, done, failures
+
+
+_pool = _RankWorkerPool()
+
+
+def _reset_pool_after_fork() -> None:
+    """Forked children inherit no threads: start from an empty pool."""
+    global _pool
+    _pool = _RankWorkerPool()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reset_pool_after_fork)
 
 
 class SPMDExecutor:
@@ -99,6 +242,10 @@ class SPMDExecutor:
         Tree shape used by the world communicator's collectives: ``"binary"``
         (MPI/ScaLAPACK default), ``"hierarchical"`` (topology-aware) or
         ``"flat"``.
+    reuse_threads:
+        Take rank workers from the process-wide pool (default) instead of
+        spawning fresh OS threads per run.  Scheduling is identical either
+        way; the flag exists for the pooled-vs-fresh equivalence tests.
     """
 
     def __init__(
@@ -107,10 +254,12 @@ class SPMDExecutor:
         *,
         record_messages: bool = False,
         collective_tree: str = "binary",
+        reuse_threads: bool = True,
     ) -> None:
         self.platform = platform
         self.record_messages = record_messages
         self.collective_tree = collective_tree
+        self.reuse_threads = reuse_threads
 
     def run(
         self,
@@ -163,19 +312,25 @@ class SPMDExecutor:
             finally:
                 scheduler.finish(world_rank)
 
-        threads = [
-            threading.Thread(
-                target=_worker,
-                args=(local, world_rank),
-                name=f"rank-{world_rank}",
-                daemon=True,
-            )
-            for local, world_rank in enumerate(active)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        def _task(local_rank: int, world_rank: int):
+            return (lambda: _worker(local_rank, world_rank), f"rank-{world_rank}")
+
+        if self.reuse_threads:
+            _pool.run_all([_task(local, wr) for local, wr in enumerate(active)])
+        else:
+            threads = [
+                threading.Thread(
+                    target=_worker,
+                    args=(local, world_rank),
+                    name=f"rank-{world_rank}",
+                    daemon=True,
+                )
+                for local, world_rank in enumerate(active)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
 
         if errors:
             if isinstance(state.failure, DeadlockError):
@@ -194,7 +349,11 @@ class SPMDExecutor:
             makespan=state.makespan(),
             trace=state.trace.summary(),
             clocks=state.clocks(),
-            events=list(state.trace.events),
+            # The trace accumulates events only when recording is on; the
+            # stream is handed over without copying (the trace dies with the
+            # run), and non-recording runs never allocate one.
+            events=state.trace.events if self.record_messages else [],
+            ranks=tuple(active),
         )
 
 
@@ -204,10 +363,14 @@ def run_spmd(
     *args: object,
     record_messages: bool = False,
     collective_tree: str = "binary",
+    reuse_threads: bool = True,
     **kwargs: object,
 ) -> SimulationResult:
     """Convenience wrapper: build an executor and run ``program`` once."""
     executor = SPMDExecutor(
-        platform, record_messages=record_messages, collective_tree=collective_tree
+        platform,
+        record_messages=record_messages,
+        collective_tree=collective_tree,
+        reuse_threads=reuse_threads,
     )
     return executor.run(program, *args, **kwargs)

@@ -11,9 +11,9 @@ and the communicator only ever read them.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from typing import Sequence
+from typing import Callable, Hashable, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError
 from repro.gridsim.kernelmodel import KernelRateModel
@@ -24,6 +24,8 @@ from repro.gridsim.topology import ProcessPlacement
 from repro.gridsim.trace import Trace
 
 __all__ = ["Platform", "SimulationState"]
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -69,10 +71,16 @@ class SimulationState:
     One :class:`SimulationState` is created per SPMD run and shared by all
     rank threads.  The state owns the
     :class:`~repro.gridsim.scheduler.VirtualTimeScheduler` (and through it the
-    ready queue keyed by virtual clock) that admits exactly one runnable rank
-    at a time.  Clock reads/writes are still guarded by a lock: a rank
-    normally only touches its own clock, but collective execution (performed
-    by whichever rank arrives last) updates everyone's.
+    ready set keyed by virtual clock) that admits exactly one runnable rank
+    at a time.
+
+    **Single-writer invariant.**  Because the scheduler admits one rank at a
+    time, clock reads and writes are never concurrent: a rank normally only
+    touches its own clock, collective execution (performed by whichever rank
+    arrives last) updates everyone's while the others are parked, and the
+    executor reads the final clocks only after every rank thread has
+    finished.  Clock access therefore takes **no lock** — the semaphore
+    handoff in the scheduler provides the necessary happens-before edges.
 
     ``active_ranks`` restricts the scheduled ranks to a subset of the
     platform's processes (the executor's ``ranks=...`` feature); clocks and
@@ -89,10 +97,14 @@ class SimulationState:
         self.platform = platform
         self.trace = Trace(platform.n_processes, record_messages=record_messages)
         self._clocks = [0.0] * platform.n_processes
-        self._lock = threading.Lock()
         self.abort = threading.Event()
         self.failure: BaseException | None = None
         self._next_comm_id = 0
+        #: Run-wide memo for pure, rank-identical setup artifacts (domain row
+        #: ranges, reduction trees, cluster lists).  Under the single-runner
+        #: invariant the first rank to need a value builds it and every other
+        #: rank reuses it; see :meth:`RankContext.shared`.
+        self.memo: dict[Hashable, object] = {}
         ranks = range(platform.n_processes) if active_ranks is None else active_ranks
         self.scheduler = VirtualTimeScheduler(ranks, self)
 
@@ -102,34 +114,48 @@ class SimulationState:
         self._next_comm_id += 1
         return comm_id
 
+    # ---------------------------------------------------------------- memo
+    def shared(self, key: Hashable, build: Callable[[], T]) -> T:
+        """Return the memoised value for ``key``, building it on first use.
+
+        Every rank must call this with an identical key *and* a builder that
+        produces an identical (treated-as-immutable) value; the single-runner
+        invariant guarantees exactly one rank executes the builder.  Used to
+        collapse per-rank O(P) setup work (identical on all ranks) into O(1)
+        per run.
+        """
+        memo = self.memo
+        try:
+            return memo[key]  # type: ignore[return-value]
+        except KeyError:
+            value = build()
+            memo[key] = value
+            return value
+
     # -------------------------------------------------------------- clocks
     def clock(self, rank: int) -> float:
         """Current virtual time of ``rank`` in seconds."""
-        with self._lock:
-            return self._clocks[rank]
+        return self._clocks[rank]
 
     def advance(self, rank: int, dt: float) -> float:
         """Advance ``rank``'s clock by ``dt`` seconds and return the new time."""
         if dt < 0:
             raise ConfigurationError(f"cannot advance clock by negative time {dt}")
-        with self._lock:
-            self._clocks[rank] += dt
-            return self._clocks[rank]
+        self._clocks[rank] += dt
+        return self._clocks[rank]
 
     def set_clock(self, rank: int, t: float) -> None:
         """Set ``rank``'s clock, never moving it backwards."""
-        with self._lock:
-            self._clocks[rank] = max(self._clocks[rank], t)
+        if t > self._clocks[rank]:
+            self._clocks[rank] = t
 
     def clocks(self) -> list[float]:
         """Snapshot of all clocks."""
-        with self._lock:
-            return list(self._clocks)
+        return list(self._clocks)
 
     def makespan(self) -> float:
         """Completion time of the simulation: the maximum clock."""
-        with self._lock:
-            return max(self._clocks) if self._clocks else 0.0
+        return max(self._clocks) if self._clocks else 0.0
 
     # ------------------------------------------------------- communication
     def transfer_time(self, nbytes: int | float, src: int, dest: int) -> float:
@@ -168,9 +194,17 @@ class SimulationState:
         return dt
 
     # --------------------------------------------------------------- abort
-    def fail(self, exc: BaseException) -> None:
-        """Record a rank failure and wake every parked rank so it can raise."""
+    def record_failure(self, exc: BaseException) -> None:
+        """Record a failure and set the abort flag without waking anyone.
+
+        Used by the scheduler while it already holds its own lock; everything
+        else should call :meth:`fail`.
+        """
         if self.failure is None:
             self.failure = exc
         self.abort.set()
+
+    def fail(self, exc: BaseException) -> None:
+        """Record a rank failure and wake every parked rank so it can raise."""
+        self.record_failure(exc)
         self.scheduler.wake_all_blocked()

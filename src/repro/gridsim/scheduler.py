@@ -5,9 +5,24 @@ are plain blocking functions), but the threads are *cooperative*: exactly one
 rank executes at any instant, and it is always a rank whose virtual clock was
 minimal among the runnable ranks when it became runnable.  A rank that blocks
 (an empty-mailbox ``recv``, an incomplete collective rendezvous) *parks* on a
-per-rank condition variable and consumes zero CPU until the event it waits
-for is produced by another rank, at which point it is *unparked* — moved back
-into the ready queue keyed by its virtual clock.
+per-rank semaphore and consumes zero CPU until the event it waits for is
+produced by another rank, at which point it is *unparked* — moved back into
+the ready set keyed by its virtual clock.
+
+The handoff machinery is built for speed at thousands of ranks:
+
+* **Semaphore handoff.**  Each rank blocks on its own
+  :class:`threading.Semaphore`; granting the CPU is a single targeted
+  ``release`` with no shared condition variable, no re-check loop and no
+  thundering herd.  Scheduler bookkeeping is a short critical section under
+  one plain (non-reentrant) lock.
+* **Direct-dispatch fast path.**  The common pattern — the running rank
+  sends a message that wakes exactly one receiver, then parks — never
+  touches the ready heap: an unparked rank whose ``(clock, rank)`` key is
+  below the heap top is held in a one-element *direct* slot and granted
+  straight from there.  The scheduling decision is unchanged (still the
+  minimum ``(clock, rank)`` over all runnable ranks); only the bookkeeping
+  is cheaper.
 
 The scheduler delivers three properties the old free-running thread pool
 could not:
@@ -16,7 +31,7 @@ could not:
   blocked rank costs nothing and wakes exactly when its dependency is
   satisfied.
 * **Instant deadlock detection.**  The moment every live rank is parked and
-  the ready queue is empty, no future event can ever occur; the scheduler
+  the ready set is empty, no future event can ever occur; the scheduler
   raises :class:`~repro.exceptions.DeadlockError` immediately, with a
   per-rank wait graph describing who waits for what.
 * **Determinism.**  Because only one rank runs at a time and every scheduling
@@ -49,7 +64,7 @@ __all__ = ["RankStatus", "WaitInfo", "VirtualTimeScheduler"]
 class RankStatus:
     """Lifecycle states of a simulated rank."""
 
-    READY = "ready"  # in the ready queue, waiting to be granted the CPU
+    READY = "ready"  # in the ready set, waiting to be granted the CPU
     RUNNING = "running"  # the (single) rank currently executing
     BLOCKED = "blocked"  # parked on an unsatisfied dependency
     DONE = "done"  # program returned or raised
@@ -79,23 +94,27 @@ class VirtualTimeScheduler:
         a subset of the platform's ranks).
     state:
         The owning :class:`~repro.gridsim.platform.SimulationState`; used to
-        read virtual clocks (ready-queue keys) and to record failures.
+        read virtual clocks (ready-set keys) and to record failures.
     """
 
     def __init__(self, ranks: Sequence[int], state: "SimulationState") -> None:
         self._state = state
         self._ranks = tuple(int(r) for r in ranks)
-        # One condition variable per rank, all sharing one (reentrant) lock:
-        # park/unpark/dispatch are a single critical section.
-        self._mu = threading.RLock()
-        self._cv = {r: threading.Condition(self._mu) for r in self._ranks}
+        # One semaphore per rank: a grant is a targeted release, a yield is an
+        # acquire.  Bookkeeping mutations share one short-lived plain lock.
+        self._mu = threading.Lock()
+        self._sem = {r: threading.Semaphore(0) for r in self._ranks}
         self._status = {r: RankStatus.READY for r in self._ranks}
         self._waiting: dict[int, WaitInfo] = {}
         self._waiters: dict[tuple[str, Hashable], list[int]] = {}
-        #: Ready queue: (virtual clock at enqueue time, rank).  Ties broken by
+        #: Ready heap: (virtual clock at enqueue time, rank).  Ties broken by
         #: rank id, so the pop order is a pure function of simulation state.
         self._ready: list[tuple[float, int]] = [(0.0, r) for r in sorted(self._ranks)]
         heapq.heapify(self._ready)
+        #: Direct-dispatch slot: at most one READY rank held outside the heap
+        #: (the fast path for the send-wakes-one-receiver pattern).  The
+        #: runnable set is always ``heap entries + direct slot``.
+        self._direct: tuple[float, int] | None = None
         self._granted: int | None = None
         with self._mu:
             self._dispatch_locked()
@@ -106,11 +125,12 @@ class VirtualTimeScheduler:
 
         Called once by every rank thread before its program starts.  Returns
         immediately when the simulation has already aborted (the program's
-        first communication call will raise).
+        first communication call will raise); an abort while waiting releases
+        every rank semaphore, so the wait can never outlive the simulation.
         """
-        with self._mu:
-            while self._granted != rank and not self._state.abort.is_set():
-                self._cv[rank].wait()
+        if self._state.abort.is_set():
+            return
+        self._sem[rank].acquire()
 
     def park(self, rank: int, kind: str, key: Hashable, detail: str) -> None:
         """Yield the CPU until ``(kind, key)`` is produced by another rank.
@@ -122,35 +142,47 @@ class VirtualTimeScheduler:
         this rank leaves no rank runnable.
         """
         with self._mu:
-            info = WaitInfo(kind=kind, key=key, detail=detail)
+            if self._state.abort.is_set():
+                return
             self._status[rank] = RankStatus.BLOCKED
-            self._waiting[rank] = info
+            self._waiting[rank] = WaitInfo(kind=kind, key=key, detail=detail)
             self._waiters.setdefault((kind, key), []).append(rank)
             if self._granted == rank:
                 self._granted = None
                 self._dispatch_locked()
-            while self._granted != rank:
-                if self._state.abort.is_set():
-                    return
-                self._cv[rank].wait()
+        # Blocks until a dispatch grants this rank again (exactly one release
+        # per grant) or an abort releases every semaphore.
+        self._sem[rank].acquire()
 
     def unpark(self, kind: str, key: Hashable) -> None:
         """Make every rank parked on ``(kind, key)`` runnable again.
 
-        The woken ranks do not run immediately: they enter the ready queue
+        The woken ranks do not run immediately: they re-enter the ready set
         keyed by their current virtual clock and run when the scheduler
-        reaches them.
+        reaches them.  A single woken rank whose key is below the heap top
+        takes the direct slot instead of the heap (the fast path).
         """
         with self._mu:
             ranks = self._waiters.pop((kind, key), None)
             if not ranks:
                 return
+            clock_of = self._state.clock
             for rank in ranks:
                 if self._status[rank] is not RankStatus.BLOCKED:
                     continue
                 self._status[rank] = RankStatus.READY
                 self._waiting.pop(rank, None)
-                heapq.heappush(self._ready, (self._state.clock(rank), rank))
+                entry = (clock_of(rank), rank)
+                if self._direct is None and (
+                    not self._ready or entry < self._ready[0]
+                ):
+                    self._direct = entry
+                elif self._direct is not None and entry < self._direct:
+                    # New minimum: the previous direct entry spills to the heap.
+                    heapq.heappush(self._ready, self._direct)
+                    self._direct = entry
+                else:
+                    heapq.heappush(self._ready, entry)
 
     def finish(self, rank: int) -> None:
         """Mark ``rank``'s thread as finished and hand the CPU to the next rank."""
@@ -172,10 +204,33 @@ class VirtualTimeScheduler:
             self._wake_all_locked()
 
     def _wake_all_locked(self) -> None:
-        for rank in self._ranks:
-            self._cv[rank].notify_all()
+        # Post one token to every rank: blocked ranks (park / wait_for_turn)
+        # wake immediately, running ranks consume the spare token at their
+        # next park and fall through to the abort re-check.  Only meaningful
+        # once the abort flag is set.
+        for sem in self._sem.values():
+            sem.release()
 
     # ------------------------------------------------------------- dispatch
+    def _pop_min_ready_locked(self) -> int | None:
+        """Pop and return the READY rank with the minimum ``(clock, rank)``.
+
+        Considers both the direct slot and the heap, so the choice is
+        identical to a single priority queue over all runnable ranks.
+        """
+        while True:
+            direct = self._direct
+            top = self._ready[0] if self._ready else None
+            if direct is not None and (top is None or direct < top):
+                self._direct = None
+                rank = direct[1]
+            elif top is not None:
+                rank = heapq.heappop(self._ready)[1]
+            else:
+                return None
+            if self._status[rank] is RankStatus.READY:
+                return rank
+
     def _dispatch_locked(self) -> None:
         """Grant the CPU to the ready rank with the minimum virtual clock.
 
@@ -186,13 +241,12 @@ class VirtualTimeScheduler:
         if self._state.abort.is_set():
             self._wake_all_locked()
             return
-        while self._ready:
-            _, rank = heapq.heappop(self._ready)
-            if self._status[rank] is RankStatus.READY:
-                self._status[rank] = RankStatus.RUNNING
-                self._granted = rank
-                self._cv[rank].notify_all()
-                return
+        rank = self._pop_min_ready_locked()
+        if rank is not None:
+            self._status[rank] = RankStatus.RUNNING
+            self._granted = rank
+            self._sem[rank].release()
+            return
         blocked = [r for r in self._ranks if self._status[r] is RankStatus.BLOCKED]
         if blocked:
             self._deadlock_locked(blocked)
@@ -210,8 +264,9 @@ class VirtualTimeScheduler:
             lines.append(f"  rank {rank}: waiting on {detail}")
         if done:
             lines.append(f"  ({done} rank(s) already finished)")
-        error = DeadlockError("\n".join(lines))
-        self._state.fail(error)
+        # record_failure (not state.fail) because the scheduler lock is held:
+        # fail() would re-enter wake_all_blocked and deadlock on the plain lock.
+        self._state.record_failure(DeadlockError("\n".join(lines)))
         self._wake_all_locked()
 
     # -------------------------------------------------------------- queries

@@ -6,21 +6,26 @@ The simulator therefore keeps, for every rank, counters broken down by link
 class and kernel, and the benchmark harness compares the measured counts to
 the analytic formulas of :mod:`repro.model.costs`.
 
-The trace is shared by all rank threads of a simulation, so updates are
-guarded by a lock; the counters themselves are plain dictionaries to keep
-the per-event overhead negligible.
+**Single-writer, lock-free recording.**  Under the virtual-time cooperative
+scheduler exactly one rank runs at a time, so at most one thread ever calls
+:meth:`Trace.record_message` / :meth:`Trace.record_flops` at any instant and
+the semaphore handoff between ranks provides the happens-before edges.  The
+hot recording path therefore takes **no lock**: counters are pre-seeded
+plain dictionaries (one slot per :class:`LinkClass`, allocated once in the
+constructor rather than through a ``defaultdict`` miss in the hot path) and
+flat per-rank lists.  A lock is retained only for the aggregation
+boundaries — :meth:`summary` and :meth:`reset` — which may be called from
+the harness thread around a run.
 
-Under the virtual-time cooperative scheduler exactly one rank runs at a
-time, so events are appended in a single global order that is a pure
-function of the simulated program — two identical runs produce identical
-``events`` streams (and therefore byte-identical summaries), which the
-determinism tests assert.
+Because events are appended in a single global order that is a pure function
+of the simulated program, two identical runs produce identical ``events``
+streams (and therefore byte-identical summaries), which the determinism
+tests assert.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.gridsim.network import LinkClass
@@ -52,11 +57,19 @@ class TraceSummary:
     total_flops: float = 0.0
     flops_per_rank_max: float = 0.0
     flops_by_kernel: dict[str, float] = field(default_factory=dict)
+    #: Number of flop-charging events recorded (used by the engine
+    #: benchmarks' events/s metric; not a paper quantity).
+    flop_events: int = 0
 
     @property
     def total_messages(self) -> int:
         """Total number of point-to-point messages over all links."""
         return sum(self.n_messages.values())
+
+    @property
+    def total_events(self) -> int:
+        """Messages plus flop charges: the engine's per-event workload."""
+        return self.total_messages + self.flop_events
 
     @property
     def inter_cluster_messages(self) -> int:
@@ -70,7 +83,7 @@ class TraceSummary:
 
 
 class Trace:
-    """Thread-safe accumulator of communication and computation events.
+    """Single-writer accumulator of communication and computation events.
 
     Parameters
     ----------
@@ -85,6 +98,8 @@ class Trace:
     def __init__(self, n_ranks: int, *, record_messages: bool = False) -> None:
         self.n_ranks = n_ranks
         self.record_messages = record_messages
+        # Guards summary()/reset() boundaries only; recording is lock-free
+        # (single-writer under the cooperative scheduler).
         self._lock = threading.Lock()
         self.messages: list[MessageRecord] = []
         #: Ordered event stream: ``("message", MessageRecord)`` and
@@ -92,12 +107,17 @@ class Trace:
         #: only when recording is on; message events share the records of
         #: :attr:`messages` rather than duplicating them).
         self.events: list[tuple] = []
-        self._msg_count: dict[LinkClass, int] = defaultdict(int)
-        self._bytes: dict[LinkClass, int] = defaultdict(int)
+        # Pre-seeded per-link slots: the hot path is a plain dict increment,
+        # never a defaultdict factory call.  summary() exports only links
+        # that carried at least one message, matching the lazily-created
+        # dictionaries of the previous implementation bit for bit.
+        self._msg_count: dict[LinkClass, int] = {link: 0 for link in LinkClass}
+        self._bytes: dict[LinkClass, int] = {link: 0 for link in LinkClass}
         self._msgs_per_rank = [0] * n_ranks
         self._inter_msgs_per_rank = [0] * n_ranks
         self._flops_per_rank = [0.0] * n_ranks
-        self._flops_by_kernel: dict[str, float] = defaultdict(float)
+        self._flops_by_kernel: dict[str, float] = {}
+        self._flop_events = 0
 
     # ----------------------------------------------------------- recording
     def record_message(
@@ -118,64 +138,69 @@ class Trace:
         """
         if link is LinkClass.SELF:
             return
-        with self._lock:
-            self._msg_count[link] += 1
-            self._bytes[link] += int(nbytes)
-            self._msgs_per_rank[source] += 1
-            self._msgs_per_rank[dest] += 1
-            if link is LinkClass.INTER_CLUSTER:
-                self._inter_msgs_per_rank[source] += 1
-                self._inter_msgs_per_rank[dest] += 1
-            if self.record_messages:
-                record = MessageRecord(
-                    source, dest, int(nbytes), link, tag, send_time, recv_time
-                )
-                self.messages.append(record)
-                self.events.append(("message", record))
+        self._msg_count[link] += 1
+        self._bytes[link] += int(nbytes)
+        self._msgs_per_rank[source] += 1
+        self._msgs_per_rank[dest] += 1
+        if link is LinkClass.INTER_CLUSTER:
+            self._inter_msgs_per_rank[source] += 1
+            self._inter_msgs_per_rank[dest] += 1
+        if self.record_messages:
+            record = MessageRecord(
+                source, dest, int(nbytes), link, tag, send_time, recv_time
+            )
+            self.messages.append(record)
+            self.events.append(("message", record))
 
     def record_flops(self, rank: int, flops: float, kernel: str = "unknown") -> None:
         """Account for ``flops`` floating-point operations executed by ``rank``."""
         if flops <= 0:
             return
-        with self._lock:
-            self._flops_per_rank[rank] += float(flops)
-            self._flops_by_kernel[kernel] += float(flops)
-            if self.record_messages:
-                self.events.append(("flops", rank, float(flops), kernel))
+        flops = float(flops)
+        self._flops_per_rank[rank] += flops
+        kernels = self._flops_by_kernel
+        kernels[kernel] = kernels.get(kernel, 0.0) + flops
+        self._flop_events += 1
+        if self.record_messages:
+            self.events.append(("flops", rank, flops, kernel))
 
     # ------------------------------------------------------------- queries
     def message_count(self, link: LinkClass | None = None) -> int:
         """Number of messages, optionally restricted to one link class."""
-        with self._lock:
-            if link is None:
-                return sum(self._msg_count.values())
-            return self._msg_count[link]
+        if link is None:
+            return sum(self._msg_count.values())
+        return self._msg_count[link]
 
     def bytes_sent(self, link: LinkClass | None = None) -> int:
         """Bytes moved, optionally restricted to one link class."""
-        with self._lock:
-            if link is None:
-                return sum(self._bytes.values())
-            return self._bytes[link]
+        if link is None:
+            return sum(self._bytes.values())
+        return self._bytes[link]
 
     def flops(self, rank: int | None = None) -> float:
         """Flops executed by one rank, or by all ranks when ``rank`` is None."""
-        with self._lock:
-            if rank is None:
-                return float(sum(self._flops_per_rank))
-            return self._flops_per_rank[rank]
+        if rank is None:
+            return float(sum(self._flops_per_rank))
+        return self._flops_per_rank[rank]
 
     def summary(self) -> TraceSummary:
         """Return an immutable aggregate snapshot of the trace."""
         with self._lock:
+            # Export only links that carried messages, so the summary is
+            # identical to the one the lazily-populated counters produced.
             return TraceSummary(
-                n_messages={k.value: v for k, v in self._msg_count.items()},
-                bytes_by_link={k.value: v for k, v in self._bytes.items()},
+                n_messages={
+                    k.value: v for k, v in self._msg_count.items() if v
+                },
+                bytes_by_link={
+                    k.value: self._bytes[k] for k, v in self._msg_count.items() if v
+                },
                 messages_per_rank_max=max(self._msgs_per_rank, default=0),
                 inter_cluster_messages_per_rank_max=max(self._inter_msgs_per_rank, default=0),
                 total_flops=float(sum(self._flops_per_rank)),
                 flops_per_rank_max=float(max(self._flops_per_rank, default=0.0)),
                 flops_by_kernel=dict(self._flops_by_kernel),
+                flop_events=self._flop_events,
             )
 
     def reset(self) -> None:
@@ -183,9 +208,10 @@ class Trace:
         with self._lock:
             self.messages.clear()
             self.events.clear()
-            self._msg_count.clear()
-            self._bytes.clear()
+            self._msg_count = {link: 0 for link in LinkClass}
+            self._bytes = {link: 0 for link in LinkClass}
             self._msgs_per_rank = [0] * self.n_ranks
             self._inter_msgs_per_rank = [0] * self.n_ranks
             self._flops_per_rank = [0.0] * self.n_ranks
-            self._flops_by_kernel.clear()
+            self._flops_by_kernel = {}
+            self._flop_events = 0

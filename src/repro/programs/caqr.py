@@ -157,13 +157,21 @@ def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
     comm = ctx.comm
     p = comm.size
     m, n = config.m, config.n
-    row_ranges = tile_ranges(m, config.tile_size)
-    col_ranges = tile_ranges(n, config.tile_size)
+    # Tilings and the tile-row distribution are identical on every rank:
+    # built once per run, shared through the simulation-state memo.
+    row_ranges = ctx.shared(
+        ("tile-ranges", m, config.tile_size),
+        lambda: tile_ranges(m, config.tile_size),
+    )
+    col_ranges = ctx.shared(
+        ("tile-ranges", n, config.tile_size),
+        lambda: tile_ranges(n, config.tile_size),
+    )
     mt, nt = len(row_ranges), len(col_ranges)
 
     # Contiguous block distribution of tile rows over ranks (a rank owns all
     # nt tiles of its tile rows); ranks beyond mt tile rows own nothing.
-    owners = block_ranges(mt, p)
+    owners = ctx.shared(("block-ranges", mt, p), lambda: block_ranges(mt, p))
     t0, t1 = owners[comm.rank]
     row0 = row_ranges[t0][0] if t1 > t0 else 0
     row1 = row_ranges[t1 - 1][1] if t1 > t0 else 0
@@ -186,8 +194,11 @@ def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
 
     # Cluster of every rank, identical on all ranks, for the panel trees.
     placement = ctx.platform.placement
-    rank_clusters = tuple(
-        placement.cluster_of(comm.core.world_rank(r)) for r in range(p)
+    rank_clusters = ctx.shared(
+        ("rank-clusters", comm.core.comm_id),
+        lambda: tuple(
+            placement.cluster_of(comm.core.world_rank(r)) for r in range(p)
+        ),
     )
     inner_b = min(config.nb, config.tile_size)
 
@@ -240,10 +251,15 @@ def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
         # --------------------------------- cross-rank reduction along the tree
         # Position 0 is the rank owning diagonal tile row k; it must be the
         # reduction root so the panel's R lands on the global diagonal.
-        tree: ReductionTree = tree_for(
-            config.panel_tree,
-            len(participants),
-            [rank_clusters[r] for r in participants],
+        # Panels sharing a participant set share one tree (built by the first
+        # participating rank to reach this panel).
+        tree: ReductionTree = ctx.shared(
+            ("caqr-panel-tree", comm.core.comm_id, config.panel_tree, tuple(participants)),
+            lambda: tree_for(
+                config.panel_tree,
+                len(participants),
+                [rank_clusters[r] for r in participants],
+            ),
         )
         if tree.root != 0:
             raise TreeError("panel reduction tree must be rooted at the diagonal tile")

@@ -168,7 +168,13 @@ def build_domain_layout(
     leader_local = domain * ppd
     is_leader = comm.rank == leader_local
 
-    ranges = domain_row_ranges(m, resolved, domain_weights)
+    # Identical on every rank: computed once per run and shared through the
+    # simulation-state memo (per-rank O(#domains) work becomes O(1)).
+    weights_key = None if domain_weights is None else tuple(domain_weights)
+    ranges = comm.state.shared(
+        ("domain-row-ranges", m, resolved, weights_key),
+        lambda: tuple(domain_row_ranges(m, resolved, domain_weights)),
+    )
     dom_start, dom_stop = ranges[domain]
     dom_rows = dom_stop - dom_start
     if min_rows is not None and dom_rows < min_rows:
@@ -196,7 +202,7 @@ def build_domain_layout(
         local_stop=local_stop,
         desc=desc,
         domain_comm=domain_comm,
-        domain_ranges=tuple(ranges),
+        domain_ranges=ranges,
     )
 
 

@@ -210,12 +210,18 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
             r_acc = dist.r if not config.virtual else VirtualMatrix(n, n, structure="upper")
 
     # ------------------------------------------------- reduction over domains
-    tree: ReductionTree = domain_reduction_tree(
-        ctx.platform,
-        config.tree_kind,
-        n_domains,
-        ppd,
-        world_rank_of=comm.core.world_rank,
+    # The tree is identical on every rank (a pure function of placement and
+    # config): the first rank builds it, everyone else shares it — per-rank
+    # O(#domains) tree construction was the engine's scaling bottleneck.
+    tree: ReductionTree = ctx.shared(
+        ("tsqr-domain-tree", comm.core.comm_id, config.tree_kind, n_domains, ppd),
+        lambda: domain_reduction_tree(
+            ctx.platform,
+            config.tree_kind,
+            n_domains,
+            ppd,
+            world_rank_of=comm.core.world_rank,
+        ),
     )
 
     combines: list[tuple[int, StackedQR | None]] = []  # (child_domain, factors)

@@ -1,0 +1,160 @@
+"""Determinism / equivalence suite for the engine fast path.
+
+The fast path (pooled rank workers, semaphore handoff with direct dispatch,
+lock-free single-writer tracing, run-wide setup memo, parallel sweeps) is
+pure bookkeeping: the simulated schedule must be *bit-identical* to the slow
+path's.  These tests pin that contract:
+
+* pooled worker threads vs fresh threads per run;
+* repeated runs in one process (pool reuse must not leak state);
+* ``jobs=1`` vs ``jobs=N`` figure sweeps, and event streams produced in a
+  worker process vs the parent process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+
+import pytest
+
+import repro.gridsim.executor as executor_mod
+from repro.gridsim.executor import SimulationResult, SPMDExecutor
+from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
+
+CONFIG = TSQRConfig(m=262_144, n=32, n_domains=4, tree_kind="grid-hierarchical")
+
+
+def _event_hash(sim: SimulationResult) -> str:
+    """Canonical digest of a run's ordered event stream and final clocks."""
+    payload = repr((sim.events, sim.clocks, sim.makespan)).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _run(platform, *, reuse_threads: bool) -> SimulationResult:
+    return run_parallel_tsqr(
+        platform, CONFIG, record_messages=True
+    ).simulation if reuse_threads else _run_fresh(platform)
+
+
+def _run_fresh(platform) -> SimulationResult:
+    from repro.tsqr.parallel import qcg_tsqr_program
+
+    executor = SPMDExecutor(platform, record_messages=True, reuse_threads=False)
+    return executor.run(qcg_tsqr_program, CONFIG)
+
+
+class TestPooledVsFreshThreads:
+    def test_bit_identical_simulation(self, platform8):
+        pooled = _run(platform8, reuse_threads=True)
+        fresh = _run(platform8, reuse_threads=False)
+        assert len(pooled.events) > 0
+        assert pooled.events == fresh.events
+        assert _event_hash(pooled) == _event_hash(fresh)
+        assert pooled.clocks == fresh.clocks  # bit-identical, no approx
+        assert pooled.makespan == fresh.makespan
+        assert pooled.trace == fresh.trace
+
+    def test_pooled_results_in_rank_order(self, platform8):
+        pooled = _run(platform8, reuse_threads=True)
+        fresh = _run(platform8, reuse_threads=False)
+        assert [r.rank for r in pooled.results] == [r.rank for r in fresh.results]
+        assert [r.domain for r in pooled.results] == [r.domain for r in fresh.results]
+
+    def test_pool_is_reused_not_regrown(self, platform8):
+        _run(platform8, reuse_threads=True)  # warm: pool holds >= 8 workers
+        spawned = executor_mod._pool.size
+        assert spawned >= platform8.n_processes
+        for _ in range(3):
+            _run(platform8, reuse_threads=True)
+        assert executor_mod._pool.size == spawned
+
+
+class TestRepeatedRunsShareNoState:
+    def test_three_consecutive_runs_identical(self, platform8):
+        runs = [_run(platform8, reuse_threads=True) for _ in range(3)]
+        hashes = {_event_hash(sim) for sim in runs}
+        assert len(hashes) == 1
+        assert runs[0].events == runs[1].events == runs[2].events
+        assert runs[0].trace == runs[1].trace == runs[2].trace
+
+    def test_interleaved_configs_do_not_leak(self, platform8):
+        """A different simulation between two identical ones changes nothing."""
+        before = _run(platform8, reuse_threads=True)
+        other = run_parallel_tsqr(
+            platform8,
+            TSQRConfig(m=131_072, n=16, n_domains=8, tree_kind="binary"),
+            record_messages=True,
+        ).simulation
+        after = _run(platform8, reuse_threads=True)
+        assert other.events != before.events  # actually a different schedule
+        assert _event_hash(before) == _event_hash(after)
+
+
+def _make_platform8():
+    """Deterministic 8-rank platform, importable from pool worker processes."""
+    from repro.gridsim import (
+        ClusterSpec,
+        GridSpec,
+        KernelRateModel,
+        LinkSpec,
+        NetworkModel,
+        NodeSpec,
+        Platform,
+        ProcessorSpec,
+        block_placement,
+    )
+
+    node = NodeSpec(processor=ProcessorSpec("test-cpu", 8.0, 3.67), processes_per_node=2)
+    grid = GridSpec(
+        name="test-grid",
+        clusters=tuple(ClusterSpec(name=f"site{i}", n_nodes=2, node=node) for i in range(2)),
+    )
+    network = NetworkModel(
+        intra_node=LinkSpec.from_us_mbits(17.0, 5000.0),
+        intra_cluster=LinkSpec.from_ms_mbits(0.06, 890.0),
+        inter_cluster_default=LinkSpec.from_ms_mbits(8.0, 90.0),
+    )
+    placement = block_placement(grid, nodes_per_cluster=2, processes_per_node=2)
+    return Platform(
+        grid=grid,
+        network=network,
+        placement=placement,
+        kernel_model=KernelRateModel(),
+        name="test-platform",
+    )
+
+
+def _child_event_hash(_arg: int) -> str:
+    """Run the reference simulation in a worker process and hash its events."""
+    return _event_hash(
+        run_parallel_tsqr(_make_platform8(), CONFIG, record_messages=True).simulation
+    )
+
+
+class TestJobsEquivalence:
+    def test_sweep_rows_identical_jobs_1_vs_n(self):
+        from repro.experiments.figures import figure6
+        from repro.experiments.runner import ExperimentRunner
+
+        m_values = [1_048_576, 4_194_304]
+        serial = figure6(
+            ExperimentRunner(), 64, m_values=m_values, domain_counts=(1, 64)
+        )
+        parallel = figure6(
+            ExperimentRunner(jobs=2), 64, m_values=m_values, domain_counts=(1, 64)
+        )
+        assert serial.as_rows() == parallel.as_rows()
+
+    def test_worker_process_events_match_parent(self, platform8):
+        """The same program hashes identically in-process and in a pool worker."""
+        parent_hash = _event_hash(
+            run_parallel_tsqr(platform8, CONFIG, record_messages=True).simulation
+        )
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" not in methods:  # pragma: no cover - non-POSIX fallback
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(2) as pool:
+            child_hashes = pool.map(_child_event_hash, range(2))
+        assert child_hashes == [parent_hash, parent_hash]

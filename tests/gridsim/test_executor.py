@@ -53,6 +53,57 @@ class TestExecution:
         res = executor.run(lambda ctx: ctx.comm.size, ranks=[0, 1, 2])
         assert res.results == [3, 3, 3]
 
+    def test_result_of_maps_world_to_local(self, platform8):
+        """Regression: ``result_of`` used to index by world rank even though
+        ``results`` is stored by local index, returning the wrong rank's value
+        (or raising IndexError) for subset runs over high world ranks."""
+        executor = SPMDExecutor(platform8)
+        res = executor.run(lambda ctx: ctx.rank * 10, ranks=[5, 6, 7])
+        assert res.ranks == (5, 6, 7)
+        assert res.result_of(5) == 50
+        assert res.result_of(7) == 70
+        with pytest.raises(KeyError, match="world rank 0"):
+            res.result_of(0)
+
+    def test_result_of_full_run(self, platform8):
+        res = run_spmd(platform8, lambda ctx: ctx.rank + 100)
+        for rank in range(platform8.n_processes):
+            assert res.result_of(rank) == rank + 100
+
+
+class TestEventRetention:
+    @staticmethod
+    def _prog(ctx):
+        ctx.compute(1e6, kernel="gemm")
+        if ctx.comm.rank == 0:
+            ctx.comm.send(b"x", dest=1)
+        elif ctx.comm.rank == 1:
+            ctx.comm.recv(source=0)
+
+    def test_non_recording_run_keeps_no_events(self, platform4_single_site, monkeypatch):
+        """``record_messages=False`` must not accumulate (nor copy) an event
+        stream: the trace's list stays empty and the result shares no state."""
+        from repro.gridsim import trace as trace_mod
+
+        appended = []
+        orig_init = trace_mod.Trace.__init__
+
+        def spy_init(self, *args, **kwargs):
+            orig_init(self, *args, **kwargs)
+            appended.append(self)
+
+        monkeypatch.setattr(trace_mod.Trace, "__init__", spy_init)
+        res = run_spmd(platform4_single_site, self._prog)
+        assert res.events == []
+        assert len(appended) == 1
+        assert appended[0].events == []  # never appended, not merely not copied
+        assert res.trace.total_messages == 1  # counters still maintained
+
+    def test_recording_run_hands_over_the_stream(self, platform4_single_site):
+        res = run_spmd(platform4_single_site, self._prog, record_messages=True)
+        kinds = [event[0] for event in res.events]
+        assert "message" in kinds and "flops" in kinds
+
 
 class TestComputeCharging:
     def test_compute_uses_kernel_rate(self, platform4_single_site):

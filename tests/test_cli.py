@@ -163,6 +163,14 @@ class TestCommands:
             main(["figure", "--id", "caqr-sweep", "--want-q"])
         with pytest.raises(ConfigurationError, match="--domains"):
             main(["figure", "--id", "caqr-sweep", "--domains", "1,64"])
+        # --jobs parallelises sweep points; the single-point artefacts would
+        # silently ignore it, and a non-positive worker count is nonsense.
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            main(["figure", "--id", "table1", "--jobs", "4"])
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            main(["figure", "--id", "fig3", "--jobs", "2"])
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            main(["figure", "--id", "fig4", "--jobs", "0"])
 
     def test_figure_caqr_sweep_to_csv(self, capsys, tmp_path):
         target = tmp_path / "caqr_sweep.csv"
