@@ -12,12 +12,17 @@ The recorded BENCH file is also the regression gate: the 512-rank wall time
 must stay within 2x of the committed baseline (with an absolute-floor guard
 so slow CI hardware cannot flake the suite), so an engine regression fails
 tier-1 instead of silently shipping.
+
+A 512-rank task-DAG CAQR point rides along under the same gate (its own
+baseline row in ``BENCH_engine.json``), so the dataflow runtime's engine
+cost is tracked next to the SPMD path's.
 """
 
 from __future__ import annotations
 
 import time
 
+from repro.dag import DAGCAQRConfig, run_dag_caqr
 from repro.gridsim import (
     ClusterSpec,
     GridSpec,
@@ -117,7 +122,34 @@ def test_engine_scaling_smoke(results_dir, bench_json):
         assert wall_s < 30.0
     report_rows("Engine scaling smoke (wall time vs ranks)", rows,
                 results_dir, "scaling_smoke.csv")
-    # Gate limit derives from the baseline loaded *before* this run rewrote
+    # A 512-rank task-DAG CAQR point tracks the dataflow runtime's engine
+    # cost (ready-queue + per-task yields + versioned stores) alongside the
+    # SPMD path: ~25k tasks, events/s and simulated makespan recorded.
+    dag_platform = _platform(512)
+    dag_config = DAGCAQRConfig(m=512 * 512, n=128, tile_size=64, priority="critical-path")
+    start = time.perf_counter()
+    dag_result = run_dag_caqr(dag_platform, dag_config)
+    dag_wall = time.perf_counter() - start
+    dag_events = dag_result.trace.total_events
+    dag_row = {
+        "ranks": 512,
+        "wall_s": round(dag_wall, 4),
+        "simulated_s": round(dag_result.makespan_s, 6),
+        "critical_path_s": round(dag_result.critical_path_s, 6),
+        "tasks": dag_result.graph.n_tasks,
+        "events": dag_events,
+        "events_per_s": round(dag_events / dag_wall, 1) if dag_wall > 0 else None,
+    }
+    report_rows(
+        "DAG runtime smoke (512 ranks)",
+        [dag_row],
+        results_dir,
+        "scaling_smoke_dag.csv",
+    )
+    assert dag_result.critical_path_s <= dag_result.makespan_s
+    assert dag_wall < 30.0
+
+    # Gate limits derive from the baseline loaded *before* this run rewrote
     # the file; the fresh artifact records that baseline next to the fresh
     # numbers, so a CI failure uploads both (and git keeps the committed
     # baseline for recovery).
@@ -126,6 +158,12 @@ def test_engine_scaling_smoke(results_dir, bench_json):
     limit = (
         max(REGRESSION_FACTOR * recorded_512, REGRESSION_FLOOR_S)
         if recorded_512
+        else None
+    )
+    dag_baseline = ((baseline or {}).get("dag") or {}).get("row", {}).get("wall_s")
+    dag_limit = (
+        max(REGRESSION_FACTOR * dag_baseline, REGRESSION_FLOOR_S)
+        if dag_baseline
         else None
     )
     bench_json(
@@ -143,10 +181,27 @@ def test_engine_scaling_smoke(results_dir, bench_json):
                 "limit_s": limit,
             },
             "rows": bench_rows,
+            "dag": {
+                "workload": "virtual-payload DAG-CAQR, M = 512 * 512, N = 128, "
+                            "tile 64, critical-path priority, block placement",
+                "regression_gate": {
+                    "ranks": 512,
+                    "factor": REGRESSION_FACTOR,
+                    "floor_s": REGRESSION_FLOOR_S,
+                    "baseline_wall_s": dag_baseline,
+                    "limit_s": dag_limit,
+                },
+                "row": dag_row,
+            },
         },
     )
     if limit is not None:
         assert fresh_512 <= limit, (
             f"512-rank engine wall time regressed: {fresh_512:.3f}s vs "
             f"recorded baseline {recorded_512:.3f}s (limit {limit:.3f}s)"
+        )
+    if dag_limit is not None:
+        assert dag_wall <= dag_limit, (
+            f"512-rank DAG runtime wall time regressed: {dag_wall:.3f}s vs "
+            f"recorded baseline {dag_baseline:.3f}s (limit {dag_limit:.3f}s)"
         )

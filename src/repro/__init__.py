@@ -10,6 +10,9 @@ The package is organised in layers:
   tiled CAQR for general matrices;
 * :mod:`repro.programs`    — the SPMD program layer shared by the distributed
   algorithms, and distributed CAQR on the grid (paper §VI follow-up);
+* :mod:`repro.dag`         — the task-DAG runtime: dataflow execution of the
+  tiled kernels (graph builders, placement/priority policies, ready-queue
+  driver, critical-path analysis);
 * :mod:`repro.scalapack`   — the ScaLAPACK-style distributed baseline
   (PDGEQR2 / PDGEQRF / PDORGQR analogues);
 * :mod:`repro.gridsim`     — the simulated grid: machines, heterogeneous
@@ -33,6 +36,15 @@ Quickstart
 True
 """
 
+from repro.dag import (
+    DAGCAQRConfig,
+    DAGRunResult,
+    TaskGraph,
+    run_dag_caqr,
+    run_dag_tsqr,
+    tiled_qr_graph,
+    tsqr_graph,
+)
 from repro.exceptions import ReproError
 from repro.linalg import block_subspace_iteration, lstsq_tsqr, orthonormalize, randomized_svd
 from repro.programs import (
@@ -72,6 +84,13 @@ __all__ = [
     "caqr_program",
     "run_parallel_caqr",
     "run_program",
+    "DAGCAQRConfig",
+    "DAGRunResult",
+    "TaskGraph",
+    "run_dag_caqr",
+    "run_dag_tsqr",
+    "tiled_qr_graph",
+    "tsqr_graph",
     "run_parallel_tsqr",
     "tsqr",
     "tsqr_r",

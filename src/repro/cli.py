@@ -27,10 +27,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.dag.placement import PLACEMENT_POLICIES, PRIORITY_POLICIES
 from repro.experiments import (
     CAQR_SWEEP_N,
+    DAG_SWEEP_N,
     ExperimentRunner,
     caqr_sweep,
+    dag_caqr_sweep,
     figure3_network,
     figure4,
     figure5,
@@ -61,6 +64,12 @@ examples:
   repro figure --id table2-sweep --domains 1,64 --csv results/table2_sweep.csv
   repro figure --id caqr-sweep --tile-size 64 --panel-tree grid-hierarchical \\
       --csv results/caqr_sweep.csv   # general-matrix CAQR at paper scale (§VI)
+  repro simulate --algorithm caqr --runtime dag --rows 1048576 --cols 512 \\
+      --tile-size 128 --priority critical-path   # one dataflow CAQR point
+  repro figure --id dag-caqr-sweep --csv results/dag_caqr_sweep.csv \\
+      # task-DAG vs SPMD CAQR makespan, critical-path bound, idle fractions
+  repro figure --id dag-caqr-sweep --placement block-cyclic --priority fifo \\
+      --rows 16384 --cols 128 --tile-size 32   # a quick reduced policy study
 """
 
 
@@ -89,15 +98,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="run one evaluation point on the simulated grid")
     simulate.add_argument(
-        "--algorithm", choices=("tsqr", "scalapack"), default="tsqr", help="algorithm to run"
+        "--algorithm",
+        choices=("tsqr", "scalapack", "caqr"),
+        default="tsqr",
+        help="algorithm to run",
     )
     simulate.add_argument("--rows", type=int, default=1_048_576, help="number of rows M")
     simulate.add_argument("--cols", type=int, default=64, help="number of columns N")
     simulate.add_argument("--sites", type=int, choices=(1, 2, 4), default=4, help="grid sites used")
     simulate.add_argument(
-        "--domains-per-cluster", type=int, default=64, help="TSQR domains per cluster"
+        "--domains-per-cluster", type=int, default=None, help="TSQR domains per cluster"
     )
     simulate.add_argument("--want-q", action="store_true", help="also produce the Q factor")
+    simulate.add_argument(
+        "--runtime",
+        choices=("spmd", "dag"),
+        default=None,
+        help="CAQR execution runtime: the bulk-synchronous SPMD program or "
+        "the task-DAG dataflow runtime (default: spmd)",
+    )
+    simulate.add_argument(
+        "--tile-size", type=int, default=None, help="row/column tile size of a CAQR point"
+    )
+    simulate.add_argument(
+        "--placement",
+        choices=PLACEMENT_POLICIES,
+        default=None,
+        help="tile placement policy of a DAG-runtime point (default: block)",
+    )
+    simulate.add_argument(
+        "--priority",
+        choices=PRIORITY_POLICIES,
+        default=None,
+        help="ready-queue priority of a DAG-runtime point (default: critical-path)",
+    )
 
     figure = sub.add_parser("figure", help="regenerate a figure or table of the paper")
     figure.add_argument(
@@ -106,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         choices=(
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "table1", "table2", "table2-sweep", "caqr-sweep",
+            "table1", "table2", "table2-sweep", "caqr-sweep", "dag-caqr-sweep",
         ),
         help="which artefact to regenerate",
     )
@@ -114,8 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--cols",
         type=int,
         default=None,
-        help="column count N of the panel (default: 64; caqr-sweep: the paper's "
-        f"widest N={CAQR_SWEEP_N})",
+        help="column count N of the panel (default: 64; caqr-sweep and "
+        f"dag-caqr-sweep: the paper's widest N={CAQR_SWEEP_N})",
     )
     figure.add_argument(
         "--points",
@@ -127,8 +161,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--rows",
         type=int,
         default=None,
-        help="row count M of the table2-sweep / caqr-sweep artefacts "
-        "(default: the paper-scale workload)",
+        help="row count M of the table2-sweep / caqr-sweep / dag-caqr-sweep "
+        "artefacts (default: the paper-scale workload)",
     )
     figure.add_argument(
         "--domains",
@@ -146,14 +180,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--tile-size",
         type=int,
         default=None,
-        help="row/column tile size of the caqr-sweep artefact (default: 64)",
+        help="row/column tile size of the caqr-sweep (default: 64) and "
+        "dag-caqr-sweep (default: 128) artefacts",
     )
     figure.add_argument(
         "--panel-tree",
         choices=("flat", "binary", "grid-hierarchical"),
         default=None,
         help="restrict the caqr-sweep artefact to one panel reduction tree "
-        "(default: all three families)",
+        "(default: all three families; dag-caqr-sweep: binary)",
+    )
+    figure.add_argument(
+        "--placement",
+        choices=PLACEMENT_POLICIES,
+        default=None,
+        help="tile placement policy of the dag-caqr-sweep artefact (default: block)",
+    )
+    figure.add_argument(
+        "--priority",
+        choices=PRIORITY_POLICIES,
+        default=None,
+        help="restrict the dag-caqr-sweep artefact to one ready-queue "
+        "priority (default: all three policies)",
     )
     figure.add_argument(
         "--jobs",
@@ -203,14 +251,42 @@ def _cmd_factor(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    # Reject flags the requested algorithm would silently ignore.
+    if args.runtime is not None and args.algorithm != "caqr":
+        raise ConfigurationError("--runtime only applies to --algorithm caqr")
+    if args.tile_size is not None and args.algorithm != "caqr":
+        raise ConfigurationError("--tile-size only applies to --algorithm caqr")
+    if (args.placement or args.priority) and args.runtime != "dag":
+        raise ConfigurationError(
+            "--placement/--priority only apply to --runtime dag (the SPMD "
+            "program has a fixed schedule)"
+        )
+    if args.domains_per_cluster is not None and args.algorithm != "tsqr":
+        raise ConfigurationError("--domains-per-cluster only applies to --algorithm tsqr")
+    if args.want_q and args.algorithm == "caqr":
+        raise ConfigurationError("the distributed CAQR computes R only (its Q stays implicit)")
     runner = ExperimentRunner()
     if args.algorithm == "scalapack":
         point = runner.scalapack_point(args.rows, args.cols, args.sites, want_q=args.want_q)
+    elif args.algorithm == "caqr":
+        tile = args.tile_size if args.tile_size is not None else 64
+        if args.runtime == "dag":
+            point = runner.dag_caqr_point(
+                args.rows, args.cols, args.sites, tile_size=tile,
+                placement=args.placement or "block",
+                priority=args.priority or "critical-path",
+            )
+        else:
+            point = runner.caqr_point(args.rows, args.cols, args.sites, tile_size=tile)
     else:
+        dpc = args.domains_per_cluster if args.domains_per_cluster is not None else 64
         point = runner.tsqr_point(
-            args.rows, args.cols, args.sites, args.domains_per_cluster, want_q=args.want_q
+            args.rows, args.cols, args.sites, dpc, want_q=args.want_q
         )
     print(format_points([point.as_row()]))
+    if point.critical_path_s is not None:
+        print(f"\ncritical-path lower bound: {point.critical_path_s:.4f} s "
+              f"({point.critical_path_s / point.time_s * 100:.1f}% of the makespan)")
     peak = runner.platform(args.sites).practical_peak_gflops()
     print(f"\npractical peak of the reservation: {peak:.0f} Gflop/s "
           f"({point.gflops / peak * 100:.1f}% achieved)")
@@ -219,8 +295,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     # Reject flags that the requested artefact would silently ignore.
-    if args.rows is not None and args.figure_id not in ("table2-sweep", "caqr-sweep"):
-        raise ConfigurationError("--rows only applies to --id table2-sweep and caqr-sweep")
+    if args.rows is not None and args.figure_id not in (
+        "table2-sweep", "caqr-sweep", "dag-caqr-sweep"
+    ):
+        raise ConfigurationError(
+            "--rows only applies to --id table2-sweep, caqr-sweep and dag-caqr-sweep"
+        )
     if args.want_q and args.figure_id not in ("fig4", "fig5", "fig6", "fig7", "fig8"):
         raise ConfigurationError(
             "--want-q only applies to fig4..fig8 (the table2 artefacts include Q by "
@@ -232,15 +312,23 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "fig4", "fig5", "fig6", "fig7", "fig8"
     ):
         raise ConfigurationError("--points only applies to fig4..fig8")
-    if args.tile_size is not None and args.figure_id != "caqr-sweep":
-        raise ConfigurationError("--tile-size only applies to --id caqr-sweep")
-    if args.panel_tree is not None and args.figure_id != "caqr-sweep":
-        raise ConfigurationError("--panel-tree only applies to --id caqr-sweep")
+    if args.tile_size is not None and args.figure_id not in ("caqr-sweep", "dag-caqr-sweep"):
+        raise ConfigurationError(
+            "--tile-size only applies to --id caqr-sweep and dag-caqr-sweep"
+        )
+    if args.panel_tree is not None and args.figure_id not in ("caqr-sweep", "dag-caqr-sweep"):
+        raise ConfigurationError(
+            "--panel-tree only applies to --id caqr-sweep and dag-caqr-sweep"
+        )
+    if args.placement is not None and args.figure_id != "dag-caqr-sweep":
+        raise ConfigurationError("--placement only applies to --id dag-caqr-sweep")
+    if args.priority is not None and args.figure_id != "dag-caqr-sweep":
+        raise ConfigurationError("--priority only applies to --id dag-caqr-sweep")
     if args.jobs is not None:
         if args.figure_id in ("fig3", "table1", "table2"):
             raise ConfigurationError(
                 "--jobs only applies to the multi-point sweeps "
-                "(fig4..fig8, table2-sweep, caqr-sweep)"
+                "(fig4..fig8, table2-sweep, caqr-sweep, dag-caqr-sweep)"
             )
         if args.jobs < 1:
             raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
@@ -248,8 +336,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.cols is not None:
         n = args.cols
     else:
-        # The general-matrix artefact defaults to the paper's widest panel.
-        n = CAQR_SWEEP_N if args.figure_id == "caqr-sweep" else 64
+        # The general-matrix artefacts default to the paper's widest panel.
+        n = (
+            CAQR_SWEEP_N
+            if args.figure_id == "caqr-sweep"
+            else DAG_SWEEP_N if args.figure_id == "dag-caqr-sweep" else 64
+        )
     if args.figure_id == "fig3":
         rows = figure3_network(runner)
     elif args.figure_id == "table1":
@@ -272,6 +364,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if args.panel_tree is not None:
             kwargs["panel_trees"] = (args.panel_tree,)
         rows = caqr_sweep(runner, **kwargs)
+    elif args.figure_id == "dag-caqr-sweep":
+        kwargs = {"n": n}
+        if args.rows is not None:
+            kwargs["m_values"] = (args.rows,)  # rejected by DAGCAQRConfig if invalid
+        if args.tile_size is not None:
+            kwargs["tile_size"] = args.tile_size
+        if args.panel_tree is not None:
+            kwargs["panel_tree"] = args.panel_tree
+        if args.placement is not None:
+            kwargs["placement"] = args.placement
+        if args.priority is not None:
+            kwargs["priorities"] = (args.priority,)
+        rows = dag_caqr_sweep(runner, **kwargs)
     else:
         builder = {"fig4": figure4, "fig5": figure5, "fig6": figure6, "fig7": figure7,
                    "fig8": figure8}[args.figure_id]

@@ -1,0 +1,61 @@
+"""The task-DAG runtime: dataflow execution of tiled algorithms on gridsim.
+
+Three layers (see ``docs/architecture.md``, "The task-DAG runtime"):
+
+* :mod:`repro.dag.graph` — tasks, tile handles and the automatic derivation
+  of dependency edges from read/write sets, plus the :func:`tiled_qr_graph`
+  and :func:`tsqr_graph` builders;
+* :mod:`repro.dag.runtime` + :mod:`repro.dag.placement` — the SPMD
+  ready-queue driver (eager sends, lazy receives) and the placement /
+  priority policies it composes;
+* :mod:`repro.dag.analysis` — the exact critical-path lower bound, per-rank
+  busy/comm/idle breakdowns and Gantt CSV export.
+"""
+
+from repro.dag.analysis import (
+    CriticalPath,
+    RankUtilization,
+    ScheduleEntry,
+    communication_counts,
+    critical_path,
+    flop_critical_path,
+    iter_messages,
+    mean_idle_fraction,
+    rank_utilization,
+    write_gantt_csv,
+)
+from repro.dag.graph import Task, TaskGraph, tiled_qr_graph, tsqr_graph
+from repro.dag.placement import (
+    PLACEMENT_POLICIES,
+    PRIORITY_POLICIES,
+    TaskPlacement,
+    place_tasks,
+    priority_order,
+)
+from repro.dag.runtime import DAGCAQRConfig, DAGRunResult, run_dag_caqr, run_dag_tsqr
+
+__all__ = [
+    "CriticalPath",
+    "RankUtilization",
+    "ScheduleEntry",
+    "communication_counts",
+    "critical_path",
+    "flop_critical_path",
+    "iter_messages",
+    "mean_idle_fraction",
+    "rank_utilization",
+    "write_gantt_csv",
+    "Task",
+    "TaskGraph",
+    "tiled_qr_graph",
+    "tsqr_graph",
+    "PLACEMENT_POLICIES",
+    "PRIORITY_POLICIES",
+    "TaskPlacement",
+    "place_tasks",
+    "priority_order",
+    "DAGCAQRConfig",
+    "DAGRunResult",
+    "run_dag_caqr",
+    "run_dag_tsqr",
+]

@@ -1,0 +1,263 @@
+"""The analysis layer of the task-DAG runtime.
+
+Three questions a dataflow schedule raises, answered from first principles:
+
+* **How fast could this graph possibly run?**  :func:`critical_path` walks
+  the weighted DAG once (task ids are a topological order) and returns the
+  exact longest chain of dependent work under the platform's kernel-rate
+  model — a lower bound no schedule, on any number of ranks, with any
+  network, can beat.  The gap between this bound and the measured makespan
+  is the price of communication plus imperfect overlap.
+* **Where did the time go?**  :func:`rank_utilization` splits every rank's
+  makespan into *busy* (compute charged to its clock), *comm wait* (clock
+  advances caused by point-to-point receives — zero when a tile had already
+  arrived, i.e. fully hidden latency) and *idle* (everything else: empty
+  ready queue, end-of-run imbalance), straight from the trace counters of
+  :class:`~repro.gridsim.trace.TraceSummary`.
+* **What did the schedule look like?**  :func:`write_gantt_csv` exports the
+  per-task ``(task, kernel, rank, start, end)`` records the runtime collects
+  with ``record_schedule=True`` — a Gantt chart in CSV form.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.dag.graph import TaskGraph
+from repro.gridsim.kernelmodel import KernelRateModel
+from repro.gridsim.trace import TraceSummary
+
+__all__ = [
+    "CriticalPath",
+    "RankUtilization",
+    "ScheduleEntry",
+    "task_seconds",
+    "downstream_seconds",
+    "critical_path",
+    "flop_critical_path",
+    "communication_counts",
+    "rank_utilization",
+    "mean_idle_fraction",
+    "write_gantt_csv",
+]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One executed task of a recorded schedule."""
+
+    task: int
+    kernel: str
+    rank: int
+    start_s: float
+    end_s: float
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The longest chain of dependent work in a task graph."""
+
+    seconds: float
+    flops: float
+    tasks: tuple[int, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of tasks on the path."""
+        return len(self.tasks)
+
+
+@dataclass(frozen=True)
+class RankUtilization:
+    """Makespan breakdown of one rank."""
+
+    rank: int
+    busy_s: float
+    comm_wait_s: float
+    idle_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Sum of the three components (the run's makespan)."""
+        return self.busy_s + self.comm_wait_s + self.idle_s
+
+    def idle_fraction(self) -> float:
+        """Idle share of the makespan (0 for a zero-length run)."""
+        return self.idle_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def task_seconds(graph: TaskGraph, kernel_model: KernelRateModel) -> list[float]:
+    """Virtual seconds each task takes under the platform's kernel model.
+
+    Identical to what the simulation charges per task, so the critical-path
+    bound and the measured makespan live on the same clock.
+    """
+    return [
+        kernel_model.time(t.flops, t.kernel_class, t.width) for t in graph.tasks
+    ]
+
+
+def downstream_seconds(
+    graph: TaskGraph, kernel_model: KernelRateModel
+) -> list[float]:
+    """Longest time-weighted path from each task to a sink, inclusive.
+
+    One reverse sweep over the tasks (ids are topological by construction),
+    O(V + E).  This is also the ``critical-path`` scheduling priority.
+    """
+    times = task_seconds(graph, kernel_model)
+    cp = list(times)
+    succs = graph.successors()
+    for tid in range(graph.n_tasks - 1, -1, -1):
+        best = 0.0
+        for s in succs[tid]:
+            if cp[s] > best:
+                best = cp[s]
+        cp[tid] = times[tid] + best
+    return cp
+
+
+def critical_path(graph: TaskGraph, kernel_model: KernelRateModel) -> CriticalPath:
+    """Exact critical-path lower bound of ``graph`` under ``kernel_model``.
+
+    No execution — on any rank count, with any placement, priority or
+    network — can finish before this many seconds: the tasks on the returned
+    chain depend on one another and must run sequentially.
+    """
+    if graph.n_tasks == 0:
+        return CriticalPath(seconds=0.0, flops=0.0, tasks=())
+    times = task_seconds(graph, kernel_model)
+    cp = list(times)
+    next_on_path = [-1] * graph.n_tasks
+    succs = graph.successors()
+    for tid in range(graph.n_tasks - 1, -1, -1):
+        best, best_s = 0.0, -1
+        for s in succs[tid]:
+            if cp[s] > best:
+                best, best_s = cp[s], s
+        cp[tid] = times[tid] + best
+        next_on_path[tid] = best_s
+    start = max(range(graph.n_tasks), key=lambda t: (cp[t], -t))
+    path = []
+    t = start
+    while t >= 0:
+        path.append(t)
+        t = next_on_path[t]
+    flops = sum(graph.tasks[t].flops for t in path)
+    return CriticalPath(seconds=cp[start], flops=flops, tasks=tuple(path))
+
+
+def flop_critical_path(graph: TaskGraph) -> float:
+    """Flops of the longest flop-weighted dependence chain of ``graph``.
+
+    The machine-free cousin of :func:`critical_path`: the flop count Eq. (1)
+    charges ``gamma`` against for a dataflow execution (no schedule can
+    execute fewer dependent flops sequentially).
+    """
+    if graph.n_tasks == 0:
+        return 0.0
+    cp = [t.flops for t in graph.tasks]
+    succs = graph.successors()
+    for tid in range(graph.n_tasks - 1, -1, -1):
+        best = 0.0
+        for s in succs[tid]:
+            if cp[s] > best:
+                best = cp[s]
+        cp[tid] = graph.tasks[tid].flops + best
+    return max(cp)
+
+
+def iter_messages(graph: TaskGraph, placement):
+    """Yield ``(producer, handle, src_rank, dest_rank, nbytes)`` once per
+    message a DAG execution of ``graph`` under ``placement`` sends.
+
+    One message per (value version, consumer rank) pair, in the
+    deterministic consumer scan order.  This is the **single** definition of
+    the communication plan: the runtime's ``_CommPlan`` schedules its sends
+    from this generator and the cost model sums it, so measured traces match
+    modelled counts identically by construction.
+    """
+    rank_of = placement.task_rank
+    planned: set[tuple[int, int, int]] = set()
+    for tid, task in enumerate(graph.tasks):
+        me = rank_of[tid]
+        for h, prod in zip(task.reads, task.read_producers):
+            src = rank_of[prod] if prod >= 0 else placement.initial_owner[h]
+            if src == me:
+                continue
+            key = (prod, h, me)
+            if key in planned:
+                continue
+            planned.add(key)
+            if prod >= 0:
+                idx = graph.tasks[prod].writes.index(h)
+                nbytes = graph.tasks[prod].write_nbytes[idx]
+            else:
+                nbytes = graph.handle_nbytes[h]
+            yield prod, h, src, me, nbytes
+
+
+def communication_counts(graph: TaskGraph, placement) -> tuple[int, int]:
+    """``(messages, bytes)`` of a DAG execution: :func:`iter_messages` summed."""
+    messages = 0
+    nbytes = 0
+    for _prod, _h, _src, _dest, size in iter_messages(graph, placement):
+        messages += 1
+        nbytes += size
+    return messages, nbytes
+
+
+def rank_utilization(
+    trace: TraceSummary,
+    makespan_s: float,
+    ranks: Iterable[int] | None = None,
+) -> list[RankUtilization]:
+    """Busy / comm-wait / idle breakdown of every rank of a finished run.
+
+    ``ranks`` restricts the report (e.g. to ranks that owned tasks); by
+    default every rank of the trace is included.
+    """
+    busy = trace.busy_s_per_rank
+    wait = trace.comm_wait_s_per_rank
+    selected = range(len(busy)) if ranks is None else ranks
+    out = []
+    for r in selected:
+        b, w = busy[r], wait[r]
+        out.append(
+            RankUtilization(
+                rank=r,
+                busy_s=b,
+                comm_wait_s=w,
+                idle_s=max(0.0, makespan_s - b - w),
+            )
+        )
+    return out
+
+
+def mean_idle_fraction(
+    trace: TraceSummary, makespan_s: float, ranks: Iterable[int] | None = None
+) -> float:
+    """Average idle fraction over the (selected) ranks of a run."""
+    usage = rank_utilization(trace, makespan_s, ranks)
+    if not usage or makespan_s <= 0:
+        return 0.0
+    return sum(u.idle_s for u in usage) / (makespan_s * len(usage))
+
+
+def write_gantt_csv(
+    schedule: Sequence[ScheduleEntry], path: str | Path
+) -> Path:
+    """Export a recorded schedule as a Gantt-chart CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["task", "kernel", "rank", "start_s", "end_s"])
+        for entry in schedule:
+            writer.writerow(
+                [entry.task, entry.kernel, entry.rank, entry.start_s, entry.end_s]
+            )
+    return path

@@ -1,0 +1,557 @@
+"""The graph layer of the task-DAG runtime: tasks, tiles and dependencies.
+
+The paper's programs (QCG-TSQR, the ScaLAPACK baseline, distributed CAQR)
+are *bulk-synchronous*: every rank follows one static SPMD script, panel
+factorization and trailing-matrix updates never overlap, and wide-area
+latency is paid on the critical path.  The tile-algorithm line of work the
+paper sits in executes the very same kernels as a *dependency DAG* instead —
+any task whose inputs are ready may run, so independent work hides latency.
+
+This module is the graph half of that runtime:
+
+* a :class:`Task` names one kernel invocation (``geqrt``/``unmqr``/
+  ``tsqrt``/``tsmqr`` for tiled QR, leaf/combine for TSQR) together with its
+  analytic flop count (:mod:`repro.virtual.flops`) and the *handles* it
+  reads and writes;
+* a :class:`TaskGraph` derives dependency edges **automatically** from those
+  read/write sets (read-after-write, write-after-read, write-after-write),
+  so builders only state what each task touches, never who waits for whom;
+* :func:`tiled_qr_graph` emits the tiled-QR DAG of an ``M x N`` matrix —
+  with an elimination structure *identical* to the one the SPMD CAQR program
+  executes (per-group flat chains, then a configurable cross-group tree), so
+  a real-payload DAG execution reproduces the SPMD R factor **bit for bit**;
+* :func:`tsqr_graph` emits the reduction-tree DAG of plain TSQR.
+
+Handles are hashable keys: ``("A", i, j)`` is matrix tile ``(i, j)``,
+``("F", k, i)`` the reflector block of ``geqrt`` on tile ``(i, k)``,
+``("S", k, i_top, i_bot)`` the reflector block of a ``tsqrt`` combine, and
+``("R", d)`` / ``("A", d)`` the TSQR per-domain factors.  Every handle knows
+its shape and its *wire size* (triangular factors travel as the paper's
+``N^2/2``-style half triangles), so virtual and real executions charge
+byte-identical communication.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Hashable, Iterable, Sequence
+
+from repro.exceptions import ConfigurationError, TreeError
+from repro.tsqr.trees import tree_for
+from repro.util.partition import TileGrid, block_ranges
+from repro.util.units import DOUBLE_BYTES
+from repro.virtual.flops import (
+    geqrt_flops,
+    qr_flops,
+    stacked_triangle_qr_flops,
+    tsmqr_flops,
+    tsqrt_flops,
+    unmqr_flops,
+)
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "tiled_qr_graph",
+    "tsqr_graph",
+    "cached_tiled_qr_graph",
+]
+
+
+def _trapezoid_doubles(h: int, w: int) -> int:
+    """Stored doubles of an upper-trapezoidal ``h x w`` block.
+
+    For ``h >= w`` this is the paper's ``w (w + 1) / 2`` half triangle; short
+    blocks store ``w + (w-1) + ...`` down to their last row.  This is the
+    wire size of every panel-factor handle, identical on the virtual and the
+    real path.
+    """
+    t = min(h, w)
+    return t * w - t * (t - 1) // 2
+
+
+class Task:
+    """One kernel invocation of a task graph.
+
+    ``reads``/``writes`` are handle ids; ``read_producers`` names, for each
+    read, the task that produced the value (``-1`` for an initial input).
+    ``kernel_class``/``width`` are what the kernel-rate model charges
+    (``qr_leaf``/``qr_combine`` with the panel width, exactly like the SPMD
+    programs), ``host_row`` the tile row (or TSQR domain) hosting the
+    compute under the row-based placement policies.
+    """
+
+    __slots__ = (
+        "id", "kernel", "kernel_class", "k", "i", "i2", "j",
+        "flops", "width", "host_row",
+        "reads", "read_producers", "writes", "write_nbytes",
+    )
+
+    def __init__(
+        self,
+        id: int,
+        kernel: str,
+        *,
+        kernel_class: str,
+        flops: float,
+        width: int,
+        host_row: int,
+        reads: tuple[int, ...],
+        read_producers: tuple[int, ...],
+        writes: tuple[int, ...],
+        write_nbytes: tuple[int, ...],
+        k: int = -1,
+        i: int = -1,
+        i2: int = -1,
+        j: int = -1,
+    ) -> None:
+        self.id = id
+        self.kernel = kernel
+        self.kernel_class = kernel_class
+        self.flops = flops
+        self.width = width
+        self.host_row = host_row
+        self.reads = reads
+        self.read_producers = read_producers
+        self.writes = writes
+        self.write_nbytes = write_nbytes
+        self.k = k
+        self.i = i
+        self.i2 = i2
+        self.j = j
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task(#{self.id} {self.kernel} k={self.k} i={self.i} "
+            f"i2={self.i2} j={self.j})"
+        )
+
+
+class TaskGraph:
+    """A dataflow graph over tile handles with automatic dependency edges.
+
+    Builders declare handles (:meth:`handle`) and append tasks
+    (:meth:`add_task`) stating only their read and write sets; the graph
+    derives the edges:
+
+    * **RAW** — a task reading handle ``h`` depends on ``h``'s last writer;
+    * **WAR** — a task writing ``h`` depends on every reader since the last
+      write (it must not clobber a value still being consumed);
+    * **WAW** — a task writing ``h`` depends on the previous writer.
+
+    Because tasks are appended in program order, every edge points from a
+    lower to a higher task id — task ids are a topological order, which the
+    runtime's deadlock-freedom argument and the analysis layer's single
+    reverse sweep both rely on.
+    """
+
+    def __init__(self, *, kind: str = "custom") -> None:
+        self.kind = kind
+        self.tasks: list[Task] = []
+        self.preds: list[tuple[int, ...]] = []
+        self.handle_keys: list[Hashable] = []
+        self.handle_shapes: list[tuple[int, int]] = []
+        self.handle_nbytes: list[int] = []
+        self._handle_index: dict[Hashable, int] = {}
+        self._last_writer: dict[int, int] = {}
+        self._readers_since: dict[int, list[int]] = {}
+        self._n_edges = 0
+        #: Builder metadata consumed by placement and the runtime.
+        self.grid: TileGrid | None = None
+        self.n_groups: int = 1
+        self.domain_ranges: tuple[tuple[int, int], ...] = ()
+
+    # -------------------------------------------------------------- handles
+    def handle(self, key: Hashable, shape: tuple[int, int], nbytes: int | None = None) -> int:
+        """Declare (or look up) the handle ``key`` and return its id.
+
+        ``nbytes`` is the dense payload size; it is the wire size of the
+        handle's *initial* value (task outputs carry their own wire sizes).
+        """
+        idx = self._handle_index.get(key)
+        if idx is not None:
+            return idx
+        idx = len(self.handle_keys)
+        self._handle_index[key] = idx
+        self.handle_keys.append(key)
+        self.handle_shapes.append(shape)
+        self.handle_nbytes.append(
+            shape[0] * shape[1] * DOUBLE_BYTES if nbytes is None else int(nbytes)
+        )
+        return idx
+
+    def handle_id(self, key: Hashable) -> int:
+        """Id of an existing handle (raises for unknown keys)."""
+        return self._handle_index[key]
+
+    def last_writer(self, handle: int) -> int:
+        """Task id of the final writer of ``handle`` (-1 if never written)."""
+        return self._last_writer.get(handle, -1)
+
+    # ---------------------------------------------------------------- tasks
+    def add_task(
+        self,
+        kernel: str,
+        *,
+        reads: Sequence[int],
+        writes: Sequence[int],
+        flops: float,
+        width: int,
+        kernel_class: str,
+        host_row: int,
+        write_nbytes: Sequence[int] | None = None,
+        k: int = -1,
+        i: int = -1,
+        i2: int = -1,
+        j: int = -1,
+    ) -> int:
+        """Append a task; dependency edges are derived from ``reads``/``writes``."""
+        tid = len(self.tasks)
+        producers = tuple(self._last_writer.get(h, -1) for h in reads)
+        deps: set[int] = {p for p in producers if p >= 0}
+        for h in writes:
+            prev = self._last_writer.get(h)
+            if prev is not None:
+                deps.add(prev)  # WAW
+            for reader in self._readers_since.get(h, ()):
+                deps.add(reader)  # WAR
+        deps.discard(tid)
+        if write_nbytes is None:
+            write_nbytes = tuple(self.handle_nbytes[h] for h in writes)
+        task = Task(
+            tid,
+            kernel,
+            kernel_class=kernel_class,
+            flops=flops,
+            width=width,
+            host_row=host_row,
+            reads=tuple(reads),
+            read_producers=producers,
+            writes=tuple(writes),
+            write_nbytes=tuple(write_nbytes),
+            k=k,
+            i=i,
+            i2=i2,
+            j=j,
+        )
+        self.tasks.append(task)
+        self.preds.append(tuple(sorted(deps)))
+        self._n_edges += len(deps)
+        for h in reads:
+            self._readers_since.setdefault(h, []).append(tid)
+        for h in writes:
+            self._last_writer[h] = tid
+            self._readers_since[h] = []
+        return tid
+
+    # -------------------------------------------------------------- queries
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks in the graph."""
+        return len(self.tasks)
+
+    @property
+    def n_handles(self) -> int:
+        """Number of declared handles."""
+        return len(self.handle_keys)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of dependency edges."""
+        return self._n_edges
+
+    def successors(self) -> list[list[int]]:
+        """Adjacency list task -> dependent tasks (built on demand)."""
+        succs: list[list[int]] = [[] for _ in self.tasks]
+        for tid, deps in enumerate(self.preds):
+            for p in deps:
+                succs[p].append(tid)
+        return succs
+
+    def sinks(self) -> list[int]:
+        """Tasks no other task depends on."""
+        has_succ = [False] * len(self.tasks)
+        for deps in self.preds:
+            for p in deps:
+                has_succ[p] = True
+        return [tid for tid, flag in enumerate(has_succ) if not flag]
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        return (
+            f"{self.kind} graph: {self.n_tasks} tasks, {self.n_edges} edges, "
+            f"{self.n_handles} tile handles"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def tiled_qr_graph(
+    m: int,
+    n: int,
+    tile_size: int,
+    *,
+    n_groups: int = 1,
+    panel_tree: str = "binary",
+    group_clusters: Sequence[str] | None = None,
+) -> TaskGraph:
+    """The tiled-QR DAG of an ``M x N`` matrix (geqrt/unmqr/tsqrt/tsmqr).
+
+    The elimination structure mirrors the SPMD CAQR program of
+    :mod:`repro.programs.caqr` exactly: tile rows are split into
+    ``n_groups`` contiguous groups (one per simulated rank there), each
+    panel is eliminated by a flat ``tsqrt`` chain *inside* every group and a
+    ``panel_tree``-shaped reduction *across* group triangles, children
+    combined in tree order.  Since floating-point results depend only on the
+    per-tile operation sequence — which the dependency edges pin — any
+    topological execution of this graph reproduces the SPMD R factor bit
+    for bit.
+
+    ``group_clusters`` names the cluster hosting each group, used by the
+    ``grid-hierarchical`` panel tree exactly like the SPMD program.
+    """
+    if m <= 0 or n <= 0:
+        raise ConfigurationError(f"matrix dimensions must be positive, got {m} x {n}")
+    if n_groups <= 0:
+        raise ConfigurationError(f"group count must be positive, got {n_groups}")
+    grid = TileGrid(m, n, tile_size)
+    mt, nt = grid.mt, grid.nt
+    graph = TaskGraph(kind="tiled-qr")
+    graph.grid = grid
+    graph.n_groups = n_groups
+    owners = block_ranges(mt, n_groups)
+    clusters = (
+        list(group_clusters) if group_clusters is not None else ["local"] * n_groups
+    )
+    if len(clusters) != n_groups:
+        raise ConfigurationError(
+            f"{len(clusters)} cluster names for {n_groups} groups"
+        )
+
+    # Declare every matrix tile up front (initial values are dense).
+    a_of = [
+        [graph.handle(("A", i, j), grid.tile_shape(i, j)) for j in range(nt)]
+        for i in range(mt)
+    ]
+
+    height = grid.row_height
+    for k in range(grid.n_panels):
+        wk = grid.col_width(k)
+        trailing = range(k + 1, nt)
+        participants = [
+            g for g in range(n_groups) if owners[g][1] > k and owners[g][1] > owners[g][0]
+        ]
+        tops = {g: max(owners[g][0], k) for g in participants}
+
+        # ---------------- leaf stage: geqrt + same-row trailing updates
+        for g in participants:
+            t0, t1 = owners[g]
+            for i in range(tops[g], t1):
+                h = height(i)
+                kk = min(h, wk)
+                f = graph.handle(
+                    ("F", k, i),
+                    (h, kk),
+                    nbytes=(h * kk + kk * kk) * DOUBLE_BYTES,
+                )
+                graph.add_task(
+                    "geqrt",
+                    reads=(a_of[i][k],),
+                    writes=(a_of[i][k], f),
+                    write_nbytes=(
+                        _trapezoid_doubles(h, wk) * DOUBLE_BYTES,
+                        graph.handle_nbytes[f],
+                    ),
+                    flops=geqrt_flops(h, wk),
+                    width=wk,
+                    kernel_class="qr_leaf",
+                    host_row=i,
+                    k=k,
+                    i=i,
+                )
+                for j in trailing:
+                    graph.add_task(
+                        "unmqr",
+                        reads=(f, a_of[i][j]),
+                        writes=(a_of[i][j],),
+                        flops=unmqr_flops(h, grid.col_width(j), kk),
+                        width=wk,
+                        kernel_class="qr_leaf",
+                        host_row=i,
+                        k=k,
+                        i=i,
+                        j=j,
+                    )
+
+        # ---------------- intra-group flat elimination chains
+        for g in participants:
+            t0, t1 = owners[g]
+            i_top = tops[g]
+            for i in range(i_top + 1, t1):
+                _emit_combine(graph, grid, a_of, k, i_top, i, trailing)
+
+        # ---------------- cross-group reduction along the panel tree
+        tree = tree_for(
+            panel_tree, len(participants), [clusters[g] for g in participants]
+        )
+        if tree.root != 0:
+            raise TreeError("panel reduction tree must be rooted at the diagonal tile")
+
+        def _emit_tree(pos: int) -> None:
+            for child_pos in tree.children(pos):
+                _emit_tree(child_pos)
+                _emit_combine(
+                    graph,
+                    grid,
+                    a_of,
+                    k,
+                    tops[participants[pos]],
+                    tops[participants[child_pos]],
+                    trailing,
+                )
+
+        _emit_tree(tree.root)
+    return graph
+
+
+def _emit_combine(
+    graph: TaskGraph,
+    grid: TileGrid,
+    a_of: list[list[int]],
+    k: int,
+    i_top: int,
+    i_bot: int,
+    trailing: Iterable[int],
+) -> None:
+    """One ``tsqrt`` elimination of tile row ``i_bot`` into ``i_top`` plus
+    the ``tsmqr`` updates of their trailing tile pair."""
+    wk = grid.col_width(k)
+    h_top = grid.row_height(i_top)
+    h_bot = grid.row_height(i_bot)
+    kk = min(h_top + h_bot, wk)
+    s = graph.handle(
+        ("S", k, i_top, i_bot),
+        (h_top + h_bot, kk),
+        nbytes=((h_top + h_bot) * kk + kk * kk) * DOUBLE_BYTES,
+    )
+    graph.add_task(
+        "tsqrt",
+        reads=(a_of[i_top][k], a_of[i_bot][k]),
+        writes=(a_of[i_top][k], s),
+        write_nbytes=(
+            _trapezoid_doubles(h_top, wk) * DOUBLE_BYTES,
+            graph.handle_nbytes[s],
+        ),
+        flops=tsqrt_flops(h_bot, wk),
+        width=wk,
+        kernel_class="qr_combine",
+        host_row=i_top,
+        k=k,
+        i=i_top,
+        i2=i_bot,
+    )
+    for j in trailing:
+        graph.add_task(
+            "tsmqr",
+            reads=(s, a_of[i_top][j], a_of[i_bot][j]),
+            writes=(a_of[i_top][j], a_of[i_bot][j]),
+            flops=tsmqr_flops(h_bot, grid.col_width(j), wk),
+            width=wk,
+            kernel_class="qr_combine",
+            host_row=i_top,
+            k=k,
+            i=i_top,
+            i2=i_bot,
+            j=j,
+        )
+
+
+def tsqr_graph(
+    m: int,
+    n: int,
+    n_domains: int,
+    *,
+    tree_kind: str = "binary",
+    domain_clusters: Sequence[str] | None = None,
+) -> TaskGraph:
+    """The TSQR reduction-tree DAG: one leaf QR per domain, one combine per edge.
+
+    Leaves factor a domain's block row into its ``R`` handle (wire size: the
+    paper's ``N^2/2`` half triangle); combines reduce a child triangle into
+    its parent along the requested tree.
+    """
+    if m <= 0 or n <= 0:
+        raise ConfigurationError(f"matrix dimensions must be positive, got {m} x {n}")
+    if n_domains <= 0:
+        raise ConfigurationError(f"domain count must be positive, got {n_domains}")
+    ranges = block_ranges(m, n_domains)
+    if min(r1 - r0 for r0, r1 in ranges) < n:
+        raise ConfigurationError(
+            f"every domain needs at least n={n} rows for a full R factor; "
+            f"use fewer than {n_domains} domains"
+        )
+    graph = TaskGraph(kind="tsqr")
+    graph.n_groups = n_domains
+    graph.domain_ranges = tuple(ranges)
+    tri_nbytes = _trapezoid_doubles(n, n) * DOUBLE_BYTES
+    r_of = []
+    for d, (r0, r1) in enumerate(ranges):
+        a = graph.handle(("A", d), (r1 - r0, n))
+        r = graph.handle(("R", d), (n, n), nbytes=tri_nbytes)
+        r_of.append(r)
+        graph.add_task(
+            "tsqr_leaf",
+            reads=(a,),
+            writes=(r,),
+            flops=qr_flops(r1 - r0, n),
+            width=n,
+            kernel_class="qr_leaf",
+            host_row=d,
+            i=d,
+        )
+    tree = tree_for(tree_kind, n_domains, domain_clusters)
+
+    def _emit(pos: int) -> None:
+        for child in tree.children(pos):
+            _emit(child)
+            graph.add_task(
+                "tsqr_combine",
+                reads=(r_of[pos], r_of[child]),
+                writes=(r_of[pos],),
+                flops=stacked_triangle_qr_flops(n),
+                width=n,
+                kernel_class="qr_combine",
+                host_row=pos,
+                i=pos,
+                i2=child,
+            )
+
+    _emit(tree.root)
+    if tree.root != 0:
+        raise TreeError("TSQR reduction must be rooted at domain 0")
+    return graph
+
+
+@lru_cache(maxsize=4)
+def cached_tiled_qr_graph(
+    m: int,
+    n: int,
+    tile_size: int,
+    n_groups: int,
+    panel_tree: str,
+    group_clusters: tuple[str, ...] | None,
+) -> TaskGraph:
+    """Memoised :func:`tiled_qr_graph` (paper-scale graphs take seconds to build).
+
+    The returned graph is shared: callers must treat it as immutable.
+    """
+    return tiled_qr_graph(
+        m,
+        n,
+        tile_size,
+        n_groups=n_groups,
+        panel_tree=panel_tree,
+        group_clusters=group_clusters,
+    )

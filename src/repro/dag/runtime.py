@@ -1,0 +1,654 @@
+"""The runtime layer of the task-DAG runtime: dataflow execution on gridsim.
+
+The runtime is itself an SPMD program (reusing
+:func:`repro.programs.spmd.run_program`, the scheduler and the executor
+unchanged): every simulated rank owns the tasks its placement policy assigns
+it and drives a **ready queue**:
+
+* when a task completes, its outputs are **sent immediately** to every rank
+  that consumes them (eager, asynchronous — the sender's clock never waits);
+* a rank **receives lazily**: before picking the next task it probes its
+  expected messages and collects only those whose virtual arrival time has
+  passed (a free receive — the communication was hidden behind whatever the
+  rank computed in the meantime);
+* among the ready tasks the configured **priority policy** picks the next
+  one; when nothing is ready the rank falls back to its earliest unfinished
+  task in graph order and blocks on that task's missing inputs.
+
+The id-order fallback is what makes the runtime deadlock-free: task ids are
+a topological order of the graph, so around any hypothetical cycle of
+blocked ranks the earliest-unfinished ids would strictly decrease — a
+contradiction.  Everything else (probe results, ready-queue contents, tie
+breaks) is a pure function of simulation state, so virtual traces are
+bit-reproducible and identical to real-payload runs.
+
+Values are stored **per version** — keyed by ``(producer task, handle)`` —
+so a rank can hold a tile's old value for a straggling reader while a newer
+version already arrived for a later task, whatever the placement policy.
+
+``run_dag_caqr`` is the CAQR entry point (DAG counterpart of
+:func:`repro.programs.caqr.run_parallel_caqr`; same kernels, same elimination
+structure, bit-identical R in real mode); ``run_dag_tsqr`` runs the plain
+TSQR reduction graph, demonstrating that the engine executes any dataflow
+program, not one hard-wired algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.dag.analysis import (
+    CriticalPath,
+    ScheduleEntry,
+    critical_path,
+    iter_messages,
+)
+from repro.dag.graph import TaskGraph, cached_tiled_qr_graph, tsqr_graph
+from repro.dag.placement import (
+    PLACEMENT_POLICIES,
+    PRIORITY_POLICIES,
+    TaskPlacement,
+    place_tasks,
+    priority_order,
+)
+from repro.exceptions import ConfigurationError
+from repro.gridsim.executor import RankContext, SimulationResult
+from repro.gridsim.kernelmodel import KernelRateModel
+from repro.gridsim.platform import Platform
+from repro.gridsim.trace import TraceSummary
+from repro.kernels.tiled import geqrt, tsmqr, tsqrt, unmqr
+from repro.programs.caqr import PANEL_TREE_KINDS, _padded_triangle
+from repro.programs.spmd import run_program
+from repro.virtual.flops import qr_flops
+from repro.virtual.matrix import VirtualMatrix
+
+__all__ = [
+    "DAGCAQRConfig",
+    "DAGRunResult",
+    "run_dag_caqr",
+    "run_dag_tsqr",
+]
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DAGCAQRConfig:
+    """Configuration of one DAG-CAQR run.
+
+    The matrix/tiling fields mirror :class:`repro.programs.caqr.CAQRConfig`
+    (the two runtimes factor the same problem with the same kernels and the
+    same elimination structure); ``placement`` and ``priority`` select the
+    dataflow policies of :mod:`repro.dag.placement`.
+    """
+
+    m: int
+    n: int
+    tile_size: int = 64
+    panel_tree: str = "binary"
+    placement: str = "block"
+    priority: str = "critical-path"
+    nb: int = 32
+    matrix: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ConfigurationError(
+                f"matrix dimensions must be positive, got {self.m} x {self.n}"
+            )
+        if self.tile_size <= 0:
+            raise ConfigurationError(f"tile size must be positive, got {self.tile_size}")
+        if self.panel_tree not in PANEL_TREE_KINDS:
+            raise ConfigurationError(
+                f"unknown panel tree {self.panel_tree!r}; choose from {PANEL_TREE_KINDS}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"unknown placement policy {self.placement!r}; "
+                f"choose from {PLACEMENT_POLICIES}"
+            )
+        if self.priority not in PRIORITY_POLICIES:
+            raise ConfigurationError(
+                f"unknown priority policy {self.priority!r}; "
+                f"choose from {PRIORITY_POLICIES}"
+            )
+        if self.matrix is not None and self.matrix.shape != (self.m, self.n):
+            raise ConfigurationError(
+                f"matrix shape {self.matrix.shape} does not match ({self.m}, {self.n})"
+            )
+
+    @property
+    def virtual(self) -> bool:
+        """True when the run uses shape-only payloads."""
+        return self.matrix is None
+
+    def flop_count(self) -> float:
+        """Useful flops credited to the run (the Gflop/s denominator)."""
+        return qr_flops(self.m, self.n)
+
+
+@dataclass(frozen=True)
+class _ExecSpec:
+    """What the generic task executor needs to know about one run."""
+
+    matrix: np.ndarray | None = field(repr=False, compare=False)
+    inner_b: int = 32
+    record_schedule: bool = False
+
+    @property
+    def virtual(self) -> bool:
+        return self.matrix is None
+
+
+# ---------------------------------------------------------------------------
+# Communication plan
+# ---------------------------------------------------------------------------
+
+class _CommPlan:
+    """Everything the per-rank ready loops need, derived once per (graph,
+    placement) pair and treated as immutable.
+
+    Versioned value keys: ``vkey = (producer + 1) * n_handles + handle``
+    (producer ``-1`` is the initial value).  A vkey doubles as the message
+    tag, so concurrent versions of the same tile never collide in the
+    mailboxes or the per-rank stores.
+    """
+
+    def __init__(self, graph: TaskGraph, placement: TaskPlacement) -> None:
+        self.graph = graph
+        self.placement = placement
+        H = graph.n_handles
+        self.n_handles = H
+        rank_of = placement.task_rank
+        p = placement.n_ranks
+
+        self.tasks_by_rank: list[list[int]] = [[] for _ in range(p)]
+        for tid, r in enumerate(rank_of):
+            self.tasks_by_rank[r].append(tid)
+
+        # Per-task local bookkeeping templates and the message plan.
+        self.local_preds: list[dict[int, int]] = [{} for _ in range(p)]
+        self.remote_counts: list[dict[int, int]] = [{} for _ in range(p)]
+        self.local_succs: dict[int, list[int]] = {}
+        self.remote_inputs: dict[int, tuple[tuple[int, int, int], ...]] = {}
+        self.sends_by_task: dict[int, list[tuple[int, int, int]]] = {}
+        self.init_sends_by_rank: list[list[tuple[int, int, int]]] = [[] for _ in range(p)]
+        self.init_values_by_rank: list[list[int]] = [[] for _ in range(p)]
+        self.expected_by_rank: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+        self.waiters_by_rank: list[dict[int, list[int]]] = [{} for _ in range(p)]
+        #: Per rank: how many times each value version is consumed locally
+        #: (task reads plus outbound sends) — the runtime frees a version on
+        #: its last use, so stores stay O(live tiles), not O(history).
+        self.use_counts_by_rank: list[dict[int, int]] = [{} for _ in range(p)]
+
+        seen_initial: set[int] = set()
+        for tid, task in enumerate(graph.tasks):
+            me = rank_of[tid]
+            raw = set(task.read_producers)
+            remote = []
+            uses = self.use_counts_by_rank[me]
+            for h, prod in zip(task.reads, task.read_producers):
+                vkey = (prod + 1) * H + h
+                uses[vkey] = uses.get(vkey, 0) + 1
+                if prod >= 0:
+                    if rank_of[prod] != me:
+                        remote.append((vkey, rank_of[prod], h))
+                else:
+                    src = placement.initial_owner[h]
+                    if src != me:
+                        remote.append((vkey, src, h))
+                    elif h not in seen_initial:
+                        seen_initial.add(h)
+                        self.init_values_by_rank[me].append(h)
+            # Non-dataflow (WAR/WAW) edges carry no message, so they are
+            # only enforceable between co-located tasks.
+            for pred in graph.preds[tid]:
+                if pred not in raw and rank_of[pred] != me:
+                    raise ConfigurationError(
+                        f"task {tid} has a cross-rank anti-dependency on task "
+                        f"{pred}; the DAG runtime requires writers to read "
+                        "what they overwrite (all shipped builders do)"
+                    )
+            # Count local dependency edges (of any type) once each.
+            n_local_edges = sum(1 for pr in graph.preds[tid] if rank_of[pr] == me)
+            if n_local_edges:
+                self.local_preds[me][tid] = n_local_edges
+                for pr in graph.preds[tid]:
+                    if rank_of[pr] == me:
+                        self.local_succs.setdefault(pr, []).append(tid)
+            if remote:
+                self.remote_counts[me][tid] = len(remote)
+                self.remote_inputs[tid] = tuple(remote)
+                for vkey, _src, _h in remote:
+                    self.waiters_by_rank[me].setdefault(vkey, []).append(tid)
+
+        # The message plan itself comes from the single shared definition in
+        # the analysis layer, so the cost model's counts and the runtime's
+        # sends can never drift apart.
+        for prod, h, src, dest, nbytes in iter_messages(graph, placement):
+            vkey = (prod + 1) * H + h
+            if prod >= 0:
+                self.sends_by_task.setdefault(prod, []).append((vkey, dest, nbytes))
+            else:
+                if h not in seen_initial:
+                    seen_initial.add(h)
+                    self.init_values_by_rank[src].append(h)
+                self.init_sends_by_rank[src].append((vkey, dest, nbytes))
+            self.expected_by_rank[dest].append((vkey, src))
+            uses = self.use_counts_by_rank[src]
+            uses[vkey] = uses.get(vkey, 0) + 1  # the outbound send is one use
+
+        # Final location of every tile handle (for result assembly).
+        self.final_rank: dict[int, int] = {}
+        self.final_vkey: dict[int, int] = {}
+        for h in range(H):
+            lw = graph.last_writer(h)
+            if lw >= 0:
+                self.final_rank[h] = rank_of[lw]
+                self.final_vkey[h] = (lw + 1) * H + h
+            else:
+                self.final_rank[h] = placement.initial_owner[h]
+                self.final_vkey[h] = h
+
+    def collect_by_rank(self, handles: list[int]) -> list[list[tuple[int, int]]]:
+        """Group ``handles`` by final rank as ``(handle, vkey)`` pairs."""
+        out: list[list[tuple[int, int]]] = [[] for _ in range(self.placement.n_ranks)]
+        for h in handles:
+            rank = self.final_rank[h]
+            if rank >= 0:
+                out[rank].append((h, self.final_vkey[h]))
+        return out
+
+
+@lru_cache(maxsize=8)
+def _plan_for(graph: TaskGraph, policy: str, n_ranks: int) -> tuple[TaskPlacement, _CommPlan]:
+    """Memoised placement + communication plan (graphs are cached upstream)."""
+    placement = place_tasks(graph, policy, n_ranks)
+    return placement, _CommPlan(graph, placement)
+
+
+@lru_cache(maxsize=16)
+def _order_for(
+    graph: TaskGraph, policy: str, kernel_model: KernelRateModel
+) -> tuple[int, ...]:
+    """Memoised priority order (critical-path orders cost an O(V+E) sweep)."""
+    return priority_order(graph, policy, kernel_model)
+
+
+@lru_cache(maxsize=8)
+def _critical_path_for(graph: TaskGraph, kernel_model: KernelRateModel) -> CriticalPath:
+    """Memoised critical-path bound of a cached graph."""
+    return critical_path(graph, kernel_model)
+
+
+# ---------------------------------------------------------------------------
+# Task execution (kernel dispatch, real or virtual payloads)
+# ---------------------------------------------------------------------------
+
+def _initial_value(graph: TaskGraph, h: int, spec: _ExecSpec):
+    """Initial payload of handle ``h``: a real matrix slice or a virtual tile."""
+    shape = graph.handle_shapes[h]
+    if spec.virtual:
+        return VirtualMatrix(shape[0], shape[1])
+    key = graph.handle_keys[h]
+    if graph.grid is not None and len(key) == 3:
+        _, i, j = key
+        r0, r1 = graph.grid.row_ranges[i]
+        c0, c1 = graph.grid.col_ranges[j]
+        return np.array(spec.matrix[r0:r1, c0:c1], dtype=np.float64, copy=True)
+    # TSQR domain block row: ("A", d).
+    r0, r1 = graph.domain_ranges[key[1]]
+    return np.array(spec.matrix[r0:r1, :], dtype=np.float64, copy=True)
+
+
+def _execute_task(task, inputs: list, spec: _ExecSpec) -> list:
+    """Run one kernel on its input values and return the written values.
+
+    Read/write orderings follow the builder conventions of
+    :mod:`repro.dag.graph`; the arithmetic is byte-for-byte the SPMD CAQR
+    program's (same kernels, same padding helpers), which is what makes the
+    real-mode factors bit-identical.
+    """
+    kern = task.kernel
+    if kern == "geqrt":
+        (a,) = inputs
+        fact = geqrt(a, block_size=spec.inner_b)
+        return [_padded_triangle(a, fact.r), fact]
+    if kern == "unmqr":
+        fact, c = inputs
+        return [unmqr(fact, c, transpose=True)]
+    if kern == "tsqrt":
+        top, bottom = inputs
+        ts = tsqrt(top, bottom, block_size=spec.inner_b)
+        return [_padded_triangle(top, ts.r), ts]
+    if kern == "tsmqr":
+        ts, c_top, c_bottom = inputs
+        new_top, new_bottom = tsmqr(ts, c_top, c_bottom, transpose=True)
+        return [new_top, new_bottom]
+    if kern == "tsqr_leaf":
+        (a,) = inputs
+        if isinstance(a, VirtualMatrix):
+            return [VirtualMatrix(min(a.m, a.n), a.n, structure="upper")]
+        return [np.linalg.qr(np.asarray(a), mode="r")]
+    if kern == "tsqr_combine":
+        r_top, r_bottom = inputs
+        if isinstance(r_top, VirtualMatrix) or isinstance(r_bottom, VirtualMatrix):
+            return [VirtualMatrix(r_top.shape[0], r_top.shape[1], structure="upper")]
+        stacked = np.vstack([np.asarray(r_top), np.asarray(r_bottom)])
+        return [np.linalg.qr(stacked, mode="r")]
+    raise ConfigurationError(f"unknown task kernel {kern!r}")
+
+
+# ---------------------------------------------------------------------------
+# The per-rank ready loop (the SPMD program)
+# ---------------------------------------------------------------------------
+
+def dag_program(
+    ctx: RankContext,
+    graph: TaskGraph,
+    plan: _CommPlan,
+    order: tuple[int, ...],
+    spec: _ExecSpec,
+    collect: list[list[tuple[int, int]]],
+):
+    """Dataflow execution of ``graph`` on one simulated rank."""
+    comm = ctx.comm
+    me = comm.rank
+    H = plan.n_handles
+    tasks = graph.tasks
+    my_ids = plan.tasks_by_rank[me]
+    store: dict[int, object] = {}
+
+    missing_local = dict(plan.local_preds[me])
+    missing_remote = dict(plan.remote_counts[me])
+    expected: dict[int, int] = dict(plan.expected_by_rank[me])
+    waiters = plan.waiters_by_rank[me]
+    uses = dict(plan.use_counts_by_rank[me])
+    keep = {vkey for _h, vkey in collect[me]}
+    done: set[int] = set()
+    schedule: list[ScheduleEntry] | None = [] if spec.record_schedule else None
+
+    def _consume(vkey: int) -> None:
+        # One use of a stored version; the last use frees it (result tiles
+        # excepted), keeping the store O(live tiles) rather than O(history).
+        left = uses[vkey] - 1
+        uses[vkey] = left
+        if left == 0 and vkey not in keep:
+            del store[vkey]
+
+    # Initial tiles this rank owns, then the startup sends of those needed
+    # remotely (eager, like every other producer-side send).
+    for h in plan.init_values_by_rank[me]:
+        store[h] = _initial_value(graph, h, spec)
+    for vkey, dest, nbytes in plan.init_sends_by_rank[me]:
+        comm.send(store[vkey], dest=dest, tag=vkey, nbytes=nbytes)
+        _consume(vkey)
+
+    ready: list[tuple[int, int]] = []
+    for tid in my_ids:
+        if not missing_local.get(tid) and not missing_remote.get(tid):
+            heappush(ready, (order[tid], tid))
+
+    def _mark_arrival(vkey: int, value) -> None:
+        store[vkey] = value
+        for w in waiters.get(vkey, ()):
+            left = missing_remote.get(w, 0) - 1
+            missing_remote[w] = left
+            if left == 0 and not missing_local.get(w) and w not in done:
+                heappush(ready, (order[w], w))
+
+    def _receive(vkey: int) -> None:
+        src = expected.pop(vkey)
+        _mark_arrival(vkey, comm.recv(source=src, tag=vkey))
+
+    n_done = 0
+    n_mine = len(my_ids)
+    fallback_pos = 0
+    while n_done < n_mine:
+        # Collect every expected message that has virtually arrived by now —
+        # free receives, communication already hidden.  The per-task yields
+        # below keep the ranks interleaved in virtual-time order, so "has it
+        # arrived?" is causally meaningful, not a race against peers.
+        if expected:
+            now = ctx.clock()
+            for vkey in [k for k, src in expected.items()
+                         if (a := comm.probe(source=src, tag=k)) is not None and a <= now]:
+                _receive(vkey)
+        tid = -1
+        while ready:
+            _prio, cand = heappop(ready)
+            if cand not in done:
+                tid = cand
+                break
+        if tid < 0:
+            if expected:
+                # Nothing ready now: advance to the next event.  Take the
+                # queued message with the earliest virtual arrival (its
+                # waiters are the soonest-possible work)...
+                best_key, best_arrival = -1, 0.0
+                for vkey, src in expected.items():
+                    arrival = comm.probe(source=src, tag=vkey)
+                    if arrival is not None and (best_key < 0 or arrival < best_arrival):
+                        best_key, best_arrival = vkey, arrival
+                if best_key >= 0:
+                    _receive(best_key)
+                    continue
+            # ...or, with nothing queued at all, block on the earliest
+            # unfinished task in graph order (its local preds are
+            # necessarily done).  Deterministic and deadlock-free: around
+            # any cycle of ranks blocked this way the earliest-unfinished
+            # task ids would strictly decrease.
+            while my_ids[fallback_pos] in done:
+                fallback_pos += 1
+            tid = my_ids[fallback_pos]
+            for vkey, _src, _h in plan.remote_inputs.get(tid, ()):
+                if vkey in expected:
+                    _receive(vkey)
+        task = tasks[tid]
+        inputs = [
+            store[(prod + 1) * H + h]
+            for h, prod in zip(task.reads, task.read_producers)
+        ]
+        start = ctx.clock()
+        outputs = _execute_task(task, inputs, spec)
+        ctx.compute(task.flops, kernel=task.kernel_class, n=task.width)
+        for h, prod in zip(task.reads, task.read_producers):
+            _consume((prod + 1) * H + h)
+        base = (tid + 1) * H
+        for h, value in zip(task.writes, outputs):
+            vkey = base + h
+            if uses.get(vkey, 0) > 0 or vkey in keep:
+                store[vkey] = value
+        done.add(tid)
+        n_done += 1
+        if schedule is not None:
+            schedule.append(
+                ScheduleEntry(
+                    task=tid, kernel=task.kernel, rank=me,
+                    start_s=start, end_s=ctx.clock(),
+                )
+            )
+        for succ in plan.local_succs.get(tid, ()):
+            left = missing_local[succ] - 1
+            missing_local[succ] = left
+            if left == 0 and not missing_remote.get(succ) and succ not in done:
+                heappush(ready, (order[succ], succ))
+        for vkey, dest, nbytes in plan.sends_by_task.get(tid, ()):
+            comm.send(store[vkey], dest=dest, tag=vkey, nbytes=nbytes)
+            _consume(vkey)
+        # Hand the CPU back so the globally earliest rank runs next: without
+        # this, a compute-heavy rank would race arbitrarily far ahead in
+        # virtual time and its probes would miss messages that causally had
+        # long arrived.
+        ctx.yield_turn()
+
+    tiles = {h: store[vkey] for h, vkey in collect[me] if vkey in store}
+    return tiles, schedule
+
+
+# ---------------------------------------------------------------------------
+# Harnesses
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DAGRunResult:
+    """Harness-level outcome of one DAG run."""
+
+    r: np.ndarray | None
+    makespan_s: float
+    gflops: float
+    trace: TraceSummary
+    critical_path: CriticalPath
+    graph: TaskGraph = field(repr=False)
+    placement: TaskPlacement = field(repr=False)
+    schedule: tuple[ScheduleEntry, ...] | None = field(default=None, repr=False)
+    simulation: SimulationResult | None = field(default=None, repr=False)
+    config: DAGCAQRConfig | None = None
+
+    @property
+    def time_s(self) -> float:
+        """Simulated wall-clock time of the run."""
+        return self.makespan_s
+
+    @property
+    def critical_path_s(self) -> float:
+        """Exact dependence-chain lower bound on the makespan."""
+        return self.critical_path.seconds
+
+
+def _merge_schedules(results) -> tuple[ScheduleEntry, ...]:
+    entries: list[ScheduleEntry] = []
+    for _tiles, sched in results:
+        if sched:
+            entries.extend(sched)
+    entries.sort(key=lambda e: (e.start_s, e.rank, e.task))
+    return tuple(entries)
+
+
+def run_dag_caqr(
+    platform: Platform,
+    config: DAGCAQRConfig,
+    *,
+    record_messages: bool = False,
+    record_schedule: bool = False,
+) -> DAGRunResult:
+    """Run DAG-CAQR on ``platform`` and summarise its performance.
+
+    Real payloads return the global R factor — bit-identical to the SPMD
+    CAQR program's (and therefore matching ``numpy.linalg.qr`` at machine
+    precision) for *every* placement and priority policy; virtual payloads
+    return ``r=None`` and the trace/critical-path summary only.
+    """
+    p = platform.n_processes
+    clusters = tuple(platform.placement.cluster_of(r) for r in range(p))
+    graph = cached_tiled_qr_graph(
+        config.m, config.n, config.tile_size, p, config.panel_tree, clusters
+    )
+    placement, plan = _plan_for(graph, config.placement, p)
+    order = _order_for(graph, config.priority, platform.kernel_model)
+    grid = graph.grid
+    wanted = [
+        graph.handle_id(("A", i, j))
+        for i in range(grid.n_panels)
+        for j in range(i, grid.nt)
+    ]
+    collect = plan.collect_by_rank(wanted if not config.virtual else [])
+    spec = _ExecSpec(
+        matrix=config.matrix,
+        inner_b=min(config.nb, config.tile_size),
+        record_schedule=record_schedule,
+    )
+    run = run_program(
+        platform,
+        dag_program,
+        graph,
+        plan,
+        order,
+        spec,
+        collect,
+        flop_count=config.flop_count(),
+        record_messages=record_messages,
+    )
+    r = None
+    if not config.virtual:
+        cover = grid.row_ranges[grid.n_panels - 1][1]
+        assembled = np.zeros((cover, config.n))
+        for tiles, _sched in run.results:
+            for h, value in tiles.items():
+                _, i, j = graph.handle_keys[h]
+                grid.set_tile(assembled, i, j, np.asarray(value))
+        kmin = min(config.m, config.n)
+        r = np.triu(assembled[:kmin, :])
+    return DAGRunResult(
+        r=r,
+        makespan_s=run.makespan_s,
+        gflops=run.gflops,
+        trace=run.trace,
+        critical_path=_critical_path_for(graph, platform.kernel_model),
+        graph=graph,
+        placement=placement,
+        schedule=_merge_schedules(run.results) if record_schedule else None,
+        simulation=run.simulation,
+        config=config,
+    )
+
+
+def run_dag_tsqr(
+    platform: Platform,
+    m: int,
+    n: int,
+    *,
+    tree_kind: str = "binary",
+    matrix: np.ndarray | None = None,
+    priority: str = "fifo",
+    record_messages: bool = False,
+    record_schedule: bool = False,
+) -> DAGRunResult:
+    """Run the TSQR reduction-tree DAG with one domain per platform rank.
+
+    A deliberately small second workload proving the runtime is generic: the
+    same ready loop executes the TSQR graph without any TSQR-specific code.
+    Real payloads return the ``n x n`` R factor (sign-normalised agreement
+    with LAPACK is asserted by the tests); virtual payloads cost it.
+    """
+    p = platform.n_processes
+    clusters = tuple(platform.placement.cluster_of(r) for r in range(p))
+    graph = tsqr_graph(m, n, p, tree_kind=tree_kind, domain_clusters=clusters)
+    placement, plan = _plan_for(graph, "block", p)
+    order = _order_for(graph, priority, platform.kernel_model)
+    root_r = graph.handle_id(("R", 0))
+    collect = plan.collect_by_rank([root_r] if matrix is not None else [])
+    spec = _ExecSpec(matrix=matrix, inner_b=32, record_schedule=record_schedule)
+    run = run_program(
+        platform,
+        dag_program,
+        graph,
+        plan,
+        order,
+        spec,
+        collect,
+        flop_count=qr_flops(m, n),
+        record_messages=record_messages,
+    )
+    r = None
+    if matrix is not None:
+        for tiles, _sched in run.results:
+            if root_r in tiles:
+                r = np.triu(np.asarray(tiles[root_r])[:n, :])
+    return DAGRunResult(
+        r=r,
+        makespan_s=run.makespan_s,
+        gflops=run.gflops,
+        trace=run.trace,
+        critical_path=critical_path(graph, platform.kernel_model),
+        graph=graph,
+        placement=placement,
+        schedule=_merge_schedules(run.results) if record_schedule else None,
+        simulation=run.simulation,
+    )

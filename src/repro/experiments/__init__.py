@@ -13,6 +13,7 @@ from repro.experiments.figures import (
     FigureData,
     FigureSeries,
     caqr_sweep,
+    dag_caqr_sweep,
     figure3_network,
     figure4,
     figure5,
@@ -47,6 +48,11 @@ from repro.experiments.workloads import (
     CAQR_SWEEP_N,
     CAQR_SWEEP_SITES,
     CAQR_SWEEP_TILE,
+    DAG_SWEEP_M,
+    DAG_SWEEP_N,
+    DAG_SWEEP_PRIORITIES,
+    DAG_SWEEP_SITES,
+    DAG_SWEEP_TILE,
     DOMAIN_COUNTS_PER_CLUSTER,
     PAPER_N_VALUES,
     TABLE2_DOMAINS_PER_CLUSTER,
@@ -72,6 +78,7 @@ __all__ = [
     "table2",
     "table2_sweep",
     "caqr_sweep",
+    "dag_caqr_sweep",
     "CLUSTER_NAMES",
     "Grid5000Settings",
     "grid5000_grid",
@@ -96,6 +103,11 @@ __all__ = [
     "CAQR_SWEEP_N",
     "CAQR_SWEEP_SITES",
     "CAQR_SWEEP_TILE",
+    "DAG_SWEEP_M",
+    "DAG_SWEEP_N",
+    "DAG_SWEEP_PRIORITIES",
+    "DAG_SWEEP_SITES",
+    "DAG_SWEEP_TILE",
     "DOMAIN_COUNTS_PER_CLUSTER",
     "PAPER_N_VALUES",
     "TABLE2_DOMAINS_PER_CLUSTER",

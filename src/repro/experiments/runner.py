@@ -25,6 +25,8 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.dag.placement import PLACEMENT_POLICIES, PRIORITY_POLICIES
+from repro.dag.runtime import DAGCAQRConfig, run_dag_caqr
 from repro.exceptions import ConfigurationError
 from repro.experiments.grid5000 import Grid5000Settings, grid5000_platform
 from repro.gridsim.platform import Platform
@@ -48,6 +50,11 @@ class PointSpec:
     tree_kind: str = "grid-hierarchical"
     want_q: bool = False
     tile_size: int | None = None  # CAQR only
+    #: CAQR execution runtime: the bulk-synchronous SPMD program ("spmd") or
+    #: the task-DAG dataflow runtime ("dag").
+    runtime: str = "spmd"
+    placement: str | None = None  # DAG runtime only
+    priority: str | None = None  # DAG runtime only
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("tsqr", "scalapack", "caqr"):
@@ -62,6 +69,24 @@ class PointSpec:
             raise ConfigurationError(
                 "the distributed CAQR computes R only (its Q stays implicit)"
             )
+        if self.runtime not in ("spmd", "dag"):
+            raise ConfigurationError(
+                f"unknown runtime {self.runtime!r}; choose from ('spmd', 'dag')"
+            )
+        if self.runtime == "dag" and self.algorithm != "caqr":
+            raise ConfigurationError("the DAG runtime only executes CAQR points")
+        if self.runtime != "dag" and (self.placement or self.priority):
+            raise ConfigurationError(
+                "placement/priority policies only apply to DAG-runtime points"
+            )
+        if self.placement is not None and self.placement not in PLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}; choose from {PLACEMENT_POLICIES}"
+            )
+        if self.priority is not None and self.priority not in PRIORITY_POLICIES:
+            raise ConfigurationError(
+                f"unknown priority {self.priority!r}; choose from {PRIORITY_POLICIES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -72,6 +97,8 @@ class ExperimentPoint:
     gflops: float
     time_s: float
     trace: TraceSummary = field(compare=False, repr=False)
+    #: Exact dependence-chain lower bound of the run (DAG-runtime points).
+    critical_path_s: float | None = field(default=None, compare=False)
 
     @property
     def total_messages(self) -> int:
@@ -160,6 +187,25 @@ class ExperimentRunner:
             )
             point = ExperimentPoint(
                 spec=spec, gflops=result.gflops, time_s=result.makespan_s, trace=result.trace
+            )
+        elif spec.algorithm == "caqr" and spec.runtime == "dag":
+            dag_result = run_dag_caqr(
+                platform,
+                DAGCAQRConfig(
+                    m=spec.m,
+                    n=spec.n,
+                    tile_size=spec.tile_size,
+                    panel_tree=spec.tree_kind,
+                    placement=spec.placement or "block",
+                    priority=spec.priority or "critical-path",
+                ),
+            )
+            point = ExperimentPoint(
+                spec=spec,
+                gflops=dag_result.gflops,
+                time_s=dag_result.makespan_s,
+                trace=dag_result.trace,
+                critical_path_s=dag_result.critical_path_s,
             )
         elif spec.algorithm == "caqr":
             result = run_parallel_caqr(
@@ -310,6 +356,32 @@ class ExperimentRunner:
                 n_sites=n_sites,
                 tree_kind=panel_tree,
                 tile_size=tile_size,
+            )
+        )
+
+    def dag_caqr_point(
+        self,
+        m: int,
+        n: int,
+        n_sites: int,
+        *,
+        tile_size: int = 64,
+        panel_tree: str = "binary",
+        placement: str = "block",
+        priority: str = "critical-path",
+    ) -> ExperimentPoint:
+        """DAG-runtime CAQR at one (M, N, sites, tile, placement, priority) point."""
+        return self.run_point(
+            PointSpec(
+                algorithm="caqr",
+                m=m,
+                n=n,
+                n_sites=n_sites,
+                tree_kind=panel_tree,
+                tile_size=tile_size,
+                runtime="dag",
+                placement=placement,
+                priority=priority,
             )
         )
 

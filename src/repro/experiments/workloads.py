@@ -28,6 +28,11 @@ __all__ = [
     "CAQR_SWEEP_TILE",
     "CAQR_SWEEP_SITES",
     "CAQR_PANEL_TREES",
+    "DAG_SWEEP_M",
+    "DAG_SWEEP_N",
+    "DAG_SWEEP_TILE",
+    "DAG_SWEEP_SITES",
+    "DAG_SWEEP_PRIORITIES",
     "paper_m_values",
     "reduced_m_values",
     "figure67_m_values",
@@ -65,6 +70,17 @@ CAQR_SWEEP_N = 512
 CAQR_SWEEP_TILE = 64
 CAQR_SWEEP_SITES = 4
 CAQR_PANEL_TREES = ("flat", "binary", "grid-hierarchical")
+
+#: DAG-CAQR workload: the dataflow runtime against the bulk-synchronous SPMD
+#: CAQR on the same problem — the paper's widest panel at million-row scale
+#: on the full four-site reservation.  The tile is doubled relative to the
+#: SPMD sweep (same algorithm family, ~160k tasks instead of ~1.2M) so one
+#: figure run covering all three priority policies stays in CLI territory.
+DAG_SWEEP_M = (1_048_576,)
+DAG_SWEEP_N = 512
+DAG_SWEEP_TILE = 128
+DAG_SWEEP_SITES = 4
+DAG_SWEEP_PRIORITIES = ("critical-path", "panel", "fifo")
 
 #: Element cap of the sweeps: the widest matrix of the study is
 #: 8,388,608 x 512 (Fig. 4d/5d), i.e. 2**32 double-precision elements.

@@ -284,9 +284,30 @@ class CommCore:
         my_clock = self.state.clock(me)
         self.state.set_clock(me, max(my_clock, arrival))
         self.state.record_message(
-            src_world, me, nbytes, tag=str(tag), send_time=sender_clock, recv_time=arrival
+            src_world, me, nbytes, tag=str(tag), send_time=sender_clock,
+            recv_time=arrival, wait_s=max(0.0, arrival - my_clock),
         )
         return payload
+
+    def probe(self, local_rank: int, source: int, tag: object = 0) -> float | None:
+        """Non-destructive check for a pending message from ``source``/``tag``.
+
+        Returns the message's virtual *arrival time* (sender clock plus
+        transfer time) when one is queued, ``None`` otherwise.  Nothing is
+        consumed, no clock moves and nothing is traced — the caller decides
+        whether to :meth:`recv`.  Under the cooperative scheduler the result
+        is a pure function of simulation state, so probe-driven programs (the
+        DAG runtime's ready queue) stay deterministic.
+        """
+        self._check_abort()
+        if not 0 <= source < self.size:
+            raise CommunicatorError(f"probe of invalid rank {source} (size {self.size})")
+        queue = self._mailbox.get((local_rank, source, tag))
+        if not queue:
+            return None
+        _payload, sender_clock, nbytes = queue[0]
+        me = self.world_rank(local_rank)
+        return sender_clock + self.state.transfer_time(nbytes, self.world_rank(source), me)
 
     def sendrecv(
         self, local_rank: int, payload: object, dest: int, source: int, tag: object = 0
@@ -439,14 +460,21 @@ class CommCore:
         return results, exit_clocks
 
     def _charge_reduce_flops(self, tree: TreeSchedule, values, op: ReduceOp) -> None:
-        """Replay the reduce combine order to attribute flops to parent ranks."""
+        """Replay the reduce combine order to attribute flops to parent ranks.
+
+        The seconds passed along are the same ``dt`` the reduce simulation
+        charged to the parent's exit clock, so the per-rank busy accounting
+        of the trace covers collective compute too.
+        """
         acc = list(values)
+        kernel_model = self.state.platform.kernel_model
 
         def _walk(pos: int) -> None:
             for child in tree.children[pos]:
                 _walk(child)
                 flops, n = op.combine_cost(acc[pos], acc[child])
-                self.state.trace.record_flops(self.world_rank(pos), flops, op.kernel)
+                dt = kernel_model.time(flops, op.kernel, n)
+                self.state.trace.record_flops(self.world_rank(pos), flops, op.kernel, dt)
                 acc[pos] = op.func(acc[pos], acc[child])
 
         _walk(tree.root)
@@ -582,6 +610,10 @@ class CommHandle:
     def recv(self, source: int, tag: object = 0) -> object:
         """Receive the next message from ``source`` with matching ``tag``."""
         return self.core.recv(self.local_rank, source, tag)
+
+    def probe(self, source: int, tag: object = 0) -> float | None:
+        """Arrival time of a pending message from ``source``/``tag``, or None."""
+        return self.core.probe(self.local_rank, source, tag)
 
     def sendrecv(self, payload: object, dest: int, source: int, tag: object = 0) -> object:
         """Send to ``dest`` and receive from ``source``."""

@@ -92,6 +92,16 @@ class RankContext:
         """
         return self.state.shared(key, build)
 
+    def yield_turn(self) -> None:
+        """Hand the CPU back to the scheduler and resume in clock order.
+
+        Long-running programs that never block (the DAG runtime's per-rank
+        ready loops) call this between work items so every rank advances in
+        virtual-time order; see
+        :meth:`~repro.gridsim.scheduler.VirtualTimeScheduler.yield_turn`.
+        """
+        self.state.scheduler.yield_turn(self.rank)
+
 
 @dataclass
 class SimulationResult:

@@ -170,7 +170,7 @@ class SimulationState:
 
     def record_message(
         self, src: int, dest: int, nbytes: int, *, tag: str = "", send_time: float = 0.0,
-        recv_time: float = 0.0
+        recv_time: float = 0.0, wait_s: float = 0.0
     ) -> None:
         """Record a message in the trace with its link classification."""
         self.trace.record_message(
@@ -181,6 +181,7 @@ class SimulationState:
             tag=tag,
             send_time=send_time,
             recv_time=recv_time,
+            wait_s=wait_s,
         )
 
     # ------------------------------------------------------------- compute
@@ -190,7 +191,7 @@ class SimulationState:
         """Charge ``flops`` of ``kernel`` to ``rank`` and return the elapsed time."""
         dt = self.platform.kernel_model.time(flops, kernel, n)
         self.advance(rank, dt)
-        self.trace.record_flops(rank, flops, kernel)
+        self.trace.record_flops(rank, flops, kernel, dt)
         return dt
 
     # --------------------------------------------------------------- abort

@@ -154,6 +154,47 @@ class VirtualTimeScheduler:
         # per grant) or an abort releases every semaphore.
         self._sem[rank].acquire()
 
+    def yield_turn(self, rank: int) -> None:
+        """Voluntarily hand the CPU back and re-enter the ready set.
+
+        The calling rank must be the currently running one.  It is re-keyed
+        by its *current* virtual clock and runs again when it is the minimum
+        — so a compute-heavy rank that yields between tasks interleaves with
+        its peers in virtual-time order instead of racing arbitrarily far
+        ahead of them.  Programs that make scheduling decisions from mailbox
+        probes (the DAG runtime's ready queue) rely on this: after a yield,
+        every runnable peer with an earlier clock has executed at least up
+        to the yielder's clock, so "has this message arrived by now?" gets
+        the causally correct answer.  A no-op hand-back when no other rank
+        can run; never deadlocks (the yielding rank stays runnable).
+        """
+        with self._mu:
+            if self._state.abort.is_set():
+                return
+            self._status[rank] = RankStatus.READY
+            self._enqueue_ready_locked((self._state.clock(rank), rank))
+            if self._granted == rank:
+                self._granted = None
+                self._dispatch_locked()
+        self._sem[rank].acquire()
+
+    def _enqueue_ready_locked(self, entry: tuple[float, int]) -> None:
+        """Insert a READY rank's ``(clock, rank)`` entry into the runnable set.
+
+        A likely-minimum entry takes the direct slot (the fast path for the
+        send-wakes-one-receiver pattern and for yields); everything else goes
+        to the heap.  The scheduling decision is unaffected either way —
+        :meth:`_pop_min_ready_locked` considers slot and heap together.
+        """
+        if self._direct is None and (not self._ready or entry < self._ready[0]):
+            self._direct = entry
+        elif self._direct is not None and entry < self._direct:
+            # New minimum: the previous direct entry spills to the heap.
+            heapq.heappush(self._ready, self._direct)
+            self._direct = entry
+        else:
+            heapq.heappush(self._ready, entry)
+
     def unpark(self, kind: str, key: Hashable) -> None:
         """Make every rank parked on ``(kind, key)`` runnable again.
 
@@ -172,17 +213,7 @@ class VirtualTimeScheduler:
                     continue
                 self._status[rank] = RankStatus.READY
                 self._waiting.pop(rank, None)
-                entry = (clock_of(rank), rank)
-                if self._direct is None and (
-                    not self._ready or entry < self._ready[0]
-                ):
-                    self._direct = entry
-                elif self._direct is not None and entry < self._direct:
-                    # New minimum: the previous direct entry spills to the heap.
-                    heapq.heappush(self._ready, self._direct)
-                    self._direct = entry
-                else:
-                    heapq.heappush(self._ready, entry)
+                self._enqueue_ready_locked((clock_of(rank), rank))
 
     def finish(self, rank: int) -> None:
         """Mark ``rank``'s thread as finished and hand the CPU to the next rank."""

@@ -60,6 +60,27 @@ class TraceSummary:
     #: Number of flop-charging events recorded (used by the engine
     #: benchmarks' events/s metric; not a paper quantity).
     flop_events: int = 0
+    #: Seconds each rank spent computing (sum of the virtual time charged by
+    #: its flop events).  Used by the per-rank utilisation breakdown of the
+    #: DAG analysis layer and the sweep CSVs.
+    busy_s_per_rank: tuple[float, ...] = ()
+    #: Seconds each rank's clock advanced waiting for point-to-point
+    #: messages (``max(0, arrival - clock)`` summed over its receives).
+    #: Zero wait means the message had already arrived when the rank asked
+    #: for it — communication fully hidden behind computation.
+    comm_wait_s_per_rank: tuple[float, ...] = ()
+
+    def idle_s_per_rank(self, makespan: float) -> tuple[float, ...]:
+        """Per-rank idle seconds: makespan minus compute minus p2p waits.
+
+        "Idle" covers everything the busy/comm columns do not: time parked in
+        collectives, load imbalance at the end of the run, and (for the DAG
+        runtime) time with an empty ready queue.
+        """
+        return tuple(
+            max(0.0, makespan - busy - wait)
+            for busy, wait in zip(self.busy_s_per_rank, self.comm_wait_s_per_rank)
+        )
 
     @property
     def total_messages(self) -> int:
@@ -118,6 +139,8 @@ class Trace:
         self._flops_per_rank = [0.0] * n_ranks
         self._flops_by_kernel: dict[str, float] = {}
         self._flop_events = 0
+        self._busy_s_per_rank = [0.0] * n_ranks
+        self._comm_wait_s_per_rank = [0.0] * n_ranks
 
     # ----------------------------------------------------------- recording
     def record_message(
@@ -130,11 +153,14 @@ class Trace:
         tag: str = "",
         send_time: float = 0.0,
         recv_time: float = 0.0,
+        wait_s: float = 0.0,
     ) -> None:
         """Account for one message from ``source`` to ``dest``.
 
         Self-messages (``link is LinkClass.SELF``) are free and not counted:
         MPI implementations short-circuit them and so does the paper's model.
+        ``wait_s`` is the receiver-clock advance the message caused (0 when it
+        had already arrived — fully-hidden communication).
         """
         if link is LinkClass.SELF:
             return
@@ -142,6 +168,8 @@ class Trace:
         self._bytes[link] += int(nbytes)
         self._msgs_per_rank[source] += 1
         self._msgs_per_rank[dest] += 1
+        if wait_s > 0.0:
+            self._comm_wait_s_per_rank[dest] += wait_s
         if link is LinkClass.INTER_CLUSTER:
             self._inter_msgs_per_rank[source] += 1
             self._inter_msgs_per_rank[dest] += 1
@@ -152,12 +180,19 @@ class Trace:
             self.messages.append(record)
             self.events.append(("message", record))
 
-    def record_flops(self, rank: int, flops: float, kernel: str = "unknown") -> None:
-        """Account for ``flops`` floating-point operations executed by ``rank``."""
+    def record_flops(
+        self, rank: int, flops: float, kernel: str = "unknown", seconds: float = 0.0
+    ) -> None:
+        """Account for ``flops`` floating-point operations executed by ``rank``.
+
+        ``seconds`` is the virtual time those flops took on the rank's clock
+        (the busy-time component of the per-rank utilisation breakdown).
+        """
         if flops <= 0:
             return
         flops = float(flops)
         self._flops_per_rank[rank] += flops
+        self._busy_s_per_rank[rank] += seconds
         kernels = self._flops_by_kernel
         kernels[kernel] = kernels.get(kernel, 0.0) + flops
         self._flop_events += 1
@@ -201,6 +236,8 @@ class Trace:
                 flops_per_rank_max=float(max(self._flops_per_rank, default=0.0)),
                 flops_by_kernel=dict(self._flops_by_kernel),
                 flop_events=self._flop_events,
+                busy_s_per_rank=tuple(self._busy_s_per_rank),
+                comm_wait_s_per_rank=tuple(self._comm_wait_s_per_rank),
             )
 
     def reset(self) -> None:
@@ -215,3 +252,5 @@ class Trace:
             self._flops_per_rank = [0.0] * self.n_ranks
             self._flops_by_kernel = {}
             self._flop_events = 0
+            self._busy_s_per_rank = [0.0] * self.n_ranks
+            self._comm_wait_s_per_rank = [0.0] * self.n_ranks

@@ -4,6 +4,7 @@ from repro.model.costs import (
     CostBreakdown,
     caqr_costs,
     cost_table,
+    dag_caqr_costs,
     scalapack_costs,
     tsqr_costs,
 )
@@ -13,6 +14,7 @@ from repro.model.predictor import (
     crossover_n,
     predict,
     predict_caqr,
+    predict_dag_caqr,
     predict_pair,
 )
 from repro.model.properties import (
@@ -27,6 +29,7 @@ __all__ = [
     "CostBreakdown",
     "caqr_costs",
     "cost_table",
+    "dag_caqr_costs",
     "scalapack_costs",
     "tsqr_costs",
     "MachineParameters",
@@ -34,6 +37,7 @@ __all__ = [
     "crossover_n",
     "predict",
     "predict_caqr",
+    "predict_dag_caqr",
     "predict_pair",
     "PropertyCheck",
     "check_monotone_increase",

@@ -46,6 +46,7 @@ __all__ = [
     "scalapack_costs",
     "tsqr_costs",
     "caqr_costs",
+    "dag_caqr_costs",
     "cost_table",
 ]
 
@@ -227,6 +228,51 @@ def caqr_costs(
         messages=messages,
         volume_doubles=volume,
         flops=max(per_rank_flops),
+    )
+
+
+def dag_caqr_costs(
+    m: int,
+    n: int,
+    p: int,
+    *,
+    tile_size: int = 64,
+    panel_tree: str = "binary",
+    placement: str = "block",
+    clusters: Sequence[str] | None = None,
+) -> CostBreakdown:
+    """Counts of a *dataflow* CAQR execution, joining the Eq. (1) predictor.
+
+    Unlike the bulk-synchronous :func:`caqr_costs`, the flop term here is the
+    **critical-path** count — the longest flop-weighted dependence chain of
+    the task graph — because a DAG execution charges only dependent work
+    sequentially; everything else overlaps.  Messages and volume are the
+    exact per-(value, consumer-rank) counts of the runtime's communication
+    plan under the given placement policy, so measured traces match them
+    identically (asserted by the DAG tests).
+    """
+    _validate(m, n, p)
+    # Imported here, not at module level: repro.dag builds on the kernels and
+    # partition layers this module also serves, and the model must stay
+    # importable without pulling the whole runtime in.
+    from repro.dag.analysis import communication_counts, flop_critical_path
+    from repro.dag.graph import cached_tiled_qr_graph
+    from repro.dag.placement import place_tasks
+
+    cluster_names = tuple(clusters) if clusters is not None else tuple(["local"] * p)
+    if len(cluster_names) != p:
+        raise ConfigurationError(f"{len(cluster_names)} cluster names for {p} ranks")
+    graph = cached_tiled_qr_graph(m, n, tile_size, p, panel_tree, cluster_names)
+    messages, nbytes = communication_counts(graph, place_tasks(graph, placement, p))
+    return CostBreakdown(
+        algorithm="DAG-CAQR",
+        m=m,
+        n=n,
+        p=p,
+        want_q=False,
+        messages=float(messages),
+        volume_doubles=nbytes / 8.0,
+        flops=flop_critical_path(graph),
     )
 
 

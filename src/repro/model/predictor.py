@@ -21,7 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
-from repro.model.costs import CostBreakdown, caqr_costs, scalapack_costs, tsqr_costs
+from repro.model.costs import (
+    CostBreakdown,
+    caqr_costs,
+    dag_caqr_costs,
+    scalapack_costs,
+    tsqr_costs,
+)
 from repro.util.units import gflops_rate
 from repro.virtual.flops import qr_flops
 
@@ -31,6 +37,7 @@ __all__ = [
     "predict",
     "predict_pair",
     "predict_caqr",
+    "predict_dag_caqr",
     "crossover_n",
 ]
 
@@ -135,6 +142,31 @@ def predict_caqr(
     """
     return predict(
         caqr_costs(m, n, p, tile_size=tile_size, panel_tree=panel_tree), machine
+    )
+
+
+def predict_dag_caqr(
+    m: int,
+    n: int,
+    p: int,
+    machine: MachineParameters,
+    *,
+    tile_size: int = 64,
+    panel_tree: str = "binary",
+    placement: str = "block",
+) -> Prediction:
+    """Eq. (1) applied to the dataflow CAQR counts of the task-DAG runtime.
+
+    The flop term is the critical-path count (the only work a DAG execution
+    serialises), so the prediction is a *lower envelope*: comparing it with
+    :func:`predict_caqr` bounds how much a dataflow schedule can gain over
+    the bulk-synchronous program on the same machine.
+    """
+    return predict(
+        dag_caqr_costs(
+            m, n, p, tile_size=tile_size, panel_tree=panel_tree, placement=placement
+        ),
+        machine,
     )
 
 

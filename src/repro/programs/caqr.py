@@ -47,7 +47,7 @@ from repro.gridsim.trace import TraceSummary
 from repro.kernels.tiled import geqrt, tsmqr, tsqrt, unmqr
 from repro.programs.spmd import assemble_row_blocks, run_program
 from repro.tsqr.trees import ReductionTree, tree_for
-from repro.util.partition import block_ranges, tile_ranges
+from repro.util.partition import TileGrid, block_ranges, tile_ranges
 from repro.util.units import DOUBLE_BYTES
 from repro.virtual.flops import (
     caqr_combine_flops,
@@ -158,16 +158,15 @@ def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
     p = comm.size
     m, n = config.m, config.n
     # Tilings and the tile-row distribution are identical on every rank:
-    # built once per run, shared through the simulation-state memo.
-    row_ranges = ctx.shared(
-        ("tile-ranges", m, config.tile_size),
-        lambda: tile_ranges(m, config.tile_size),
+    # built once per run, shared through the simulation-state memo.  All tile
+    # index arithmetic goes through the shared TileGrid helper.
+    grid: TileGrid = ctx.shared(
+        ("tile-grid", m, n, config.tile_size),
+        lambda: TileGrid(m, n, config.tile_size),
     )
-    col_ranges = ctx.shared(
-        ("tile-ranges", n, config.tile_size),
-        lambda: tile_ranges(n, config.tile_size),
-    )
-    mt, nt = len(row_ranges), len(col_ranges)
+    row_ranges = grid.row_ranges
+    col_ranges = grid.col_ranges
+    mt, nt = grid.mt, grid.nt
 
     # Contiguous block distribution of tile rows over ranks (a rank owns all
     # nt tiles of its tile rows); ranks beyond mt tile rows own nothing.
@@ -176,8 +175,7 @@ def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
     row0 = row_ranges[t0][0] if t1 > t0 else 0
     row1 = row_ranges[t1 - 1][1] if t1 > t0 else 0
 
-    def tile_height(i: int) -> int:
-        return row_ranges[i][1] - row_ranges[i][0]
+    tile_height = grid.row_height
 
     # Local tile storage: real slices of the input, or shape-only stand-ins.
     tiles: dict[tuple[int, int], MatrixLike] = {}
@@ -372,7 +370,7 @@ def run_parallel_caqr(
         r = np.triu(factored[:kmin, :])
     # The panel-0 reduction tree (over every rank owning tile rows) is the
     # widest of the run and the one reported for locality analysis.
-    mt = len(tile_ranges(config.m, config.tile_size))
+    mt = TileGrid(config.m, config.n, config.tile_size).mt
     owners = block_ranges(mt, platform.n_processes)
     owning = [rk for rk, (a, b) in enumerate(owners) if b > a]
     tree = tree_for(

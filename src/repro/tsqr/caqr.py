@@ -25,6 +25,7 @@ import numpy as np
 from repro.exceptions import ShapeError
 from repro.kernels.tiled import TileQR, TileTSQR, geqrt, tsmqr, tsqrt, unmqr
 from repro.tsqr.trees import ReductionTree, tree_for
+from repro.util.partition import TileGrid
 
 __all__ = ["CAQRTransform", "CAQRFactors", "caqr", "caqr_r"]
 
@@ -58,18 +59,21 @@ class CAQRFactors:
     r: np.ndarray
     m: int
     n: int
-    row_ranges: list[tuple[int, int]]
+    grid: TileGrid
     transforms: list[CAQRTransform] = field(default_factory=list)
+
+    @property
+    def row_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Row-tile boundaries of the factorization's tiling."""
+        return self.grid.row_ranges
 
     # ----------------------------------------------------------- application
     def _tiles_of(self, c: np.ndarray) -> list[np.ndarray]:
-        if c.shape[0] != self.m:
-            raise ShapeError(f"expected {self.m} rows, got {c.shape[0]}")
-        return [np.array(c[start:stop, :], dtype=np.float64) for start, stop in self.row_ranges]
+        return self.grid.split_rows(c)
 
     def _assemble(self, tiles: list[np.ndarray], ncols: int) -> np.ndarray:
         out = np.zeros((self.m, ncols))
-        for (start, stop), tile in zip(self.row_ranges, tiles):
+        for (start, stop), tile in zip(self.grid.row_ranges, tiles):
             out[start:stop, :] = tile
         return out
 
@@ -150,23 +154,17 @@ def caqr(
     if tile_size <= 0:
         raise ShapeError(f"tile size must be positive, got {tile_size}")
     m, n = a.shape
-    # Fixed-size tiles (the last one may be smaller): row and column tile
-    # boundaries must coincide so that the k-th diagonal tile really sits on
-    # the global diagonal, as in every tiled QR formulation.
-    row_ranges = [(start, min(start + tile_size, m)) for start in range(0, m, tile_size)] or [(0, 0)]
-    col_ranges = [(start, min(start + tile_size, n)) for start in range(0, n, tile_size)] or [(0, 0)]
-    mt, nt = len(row_ranges), len(col_ranges)
+    # Shared tile index arithmetic (row and column boundaries coincide so the
+    # k-th diagonal tile really sits on the global diagonal).
+    grid = TileGrid(m, n, tile_size)
+    mt, nt = grid.mt, grid.nt
 
-    # Work on an explicit list of tile views into a copy of A.
+    # Work on tile views into a copy of A, through the shared TileGrid.
     def tile(i: int, j: int) -> np.ndarray:
-        r0, r1 = row_ranges[i]
-        c0, c1 = col_ranges[j]
-        return a[r0:r1, c0:c1]
+        return grid.tile(a, i, j)
 
     def set_tile(i: int, j: int, value: np.ndarray) -> None:
-        r0, r1 = row_ranges[i]
-        c0, c1 = col_ranges[j]
-        a[r0:r1, c0:c1] = value
+        grid.set_tile(a, i, j, value)
 
     transforms: list[CAQRTransform] = []
 
@@ -224,7 +222,7 @@ def caqr(
 
     k = min(m, n)
     r = np.triu(a[:k, :])
-    return CAQRFactors(r=r, m=m, n=n, row_ranges=row_ranges, transforms=transforms)
+    return CAQRFactors(r=r, m=m, n=n, grid=grid, transforms=transforms)
 
 
 def caqr_r(a: np.ndarray, tile_size: int = 64, *, panel_tree: str = "binary") -> np.ndarray:

@@ -8,6 +8,7 @@ and the distributed drivers never re-derive it ad hoc.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -21,6 +22,7 @@ __all__ = [
     "cyclic_indices",
     "partition_rows_weighted",
     "tile_ranges",
+    "TileGrid",
 ]
 
 
@@ -78,6 +80,89 @@ def tile_ranges(extent: int, tile_size: int) -> list[tuple[int, int]]:
     if extent <= 0:
         return [(0, 0)]
     return [(s, min(s + tile_size, extent)) for s in range(0, extent, tile_size)]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The tiling of an ``m x n`` matrix into fixed-size square-ish tiles.
+
+    Row and column tile boundaries coincide (both are cut every
+    ``tile_size``), so the ``k``-th diagonal tile really sits on the global
+    diagonal — the invariant every tiled QR formulation relies on.  The last
+    tile in each direction may be smaller.
+
+    This is the *single* home of tile index arithmetic: the sequential tiled
+    CAQR (:mod:`repro.tsqr.caqr`), the distributed CAQR program
+    (:mod:`repro.programs.caqr`), the task-graph builders
+    (:mod:`repro.dag.graph`) and the CAQR cost model all index through one
+    :class:`TileGrid`, so their tile boundaries cannot drift apart.
+    """
+
+    m: int
+    n: int
+    tile_size: int
+    row_ranges: tuple[tuple[int, int], ...] = field(init=False)
+    col_ranges: tuple[tuple[int, int], ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.tile_size <= 0:
+            raise ShapeError(f"tile size must be positive, got {self.tile_size}")
+        object.__setattr__(self, "row_ranges", tuple(tile_ranges(self.m, self.tile_size)))
+        object.__setattr__(self, "col_ranges", tuple(tile_ranges(self.n, self.tile_size)))
+
+    # --------------------------------------------------------------- extents
+    @property
+    def mt(self) -> int:
+        """Number of tile rows."""
+        return len(self.row_ranges)
+
+    @property
+    def nt(self) -> int:
+        """Number of tile columns."""
+        return len(self.col_ranges)
+
+    @property
+    def n_panels(self) -> int:
+        """Number of panels of a tiled QR over this grid: ``min(mt, nt)``."""
+        return min(self.mt, self.nt)
+
+    def row_height(self, i: int) -> int:
+        """Number of matrix rows of tile row ``i``."""
+        r0, r1 = self.row_ranges[i]
+        return r1 - r0
+
+    def col_width(self, j: int) -> int:
+        """Number of matrix columns of tile column ``j``."""
+        c0, c1 = self.col_ranges[j]
+        return c1 - c0
+
+    def tile_shape(self, i: int, j: int) -> tuple[int, int]:
+        """Shape of tile ``(i, j)``."""
+        return self.row_height(i), self.col_width(j)
+
+    # ------------------------------------------------------------- accessors
+    def tile(self, a: np.ndarray, i: int, j: int) -> np.ndarray:
+        """Return (a view of) tile ``(i, j)`` of matrix ``a``."""
+        r0, r1 = self.row_ranges[i]
+        c0, c1 = self.col_ranges[j]
+        return a[r0:r1, c0:c1]
+
+    def set_tile(self, a: np.ndarray, i: int, j: int, value: np.ndarray) -> None:
+        """Store ``value`` into tile ``(i, j)`` of matrix ``a``."""
+        r0, r1 = self.row_ranges[i]
+        c0, c1 = self.col_ranges[j]
+        a[r0:r1, c0:c1] = value
+
+    def split_rows(self, c: np.ndarray, *, copy: bool = True) -> list[np.ndarray]:
+        """Cut ``c`` into per-tile-row blocks (used by the Q replay helpers)."""
+        if c.shape[0] != self.m:
+            raise ShapeError(f"expected {self.m} rows, got {c.shape[0]}")
+        if copy:
+            return [
+                np.array(c[start:stop, :], dtype=np.float64)
+                for start, stop in self.row_ranges
+            ]
+        return [c[start:stop, :] for start, stop in self.row_ranges]
 
 
 def block_partition(a: np.ndarray, parts: int, axis: int = 0) -> list[np.ndarray]:

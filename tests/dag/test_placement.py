@@ -1,0 +1,82 @@
+"""Tests for placement and priority policies (repro.dag.placement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.graph import tiled_qr_graph
+from repro.dag.placement import place_tasks, priority_order
+from repro.exceptions import ConfigurationError
+from repro.gridsim.kernelmodel import KernelRateModel
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return tiled_qr_graph(96, 48, 16, n_groups=3)  # mt=6, nt=3
+
+
+class TestPlacement:
+    def test_block_matches_spmd_distribution(self, graph):
+        placement = place_tasks(graph, "block", 3)
+        # 6 tile rows over 3 ranks: rows (0,1)->0, (2,3)->1, (4,5)->2.
+        for task in graph.tasks:
+            if task.kernel == "geqrt":
+                assert placement.task_rank[task.id] == task.i // 2
+
+    def test_block_cyclic_deals_rows_round_robin(self, graph):
+        placement = place_tasks(graph, "block-cyclic", 2)
+        for task in graph.tasks:
+            if task.kernel == "geqrt":
+                assert placement.task_rank[task.id] == task.i % 2
+
+    def test_owner_computes_follows_output_tile(self, graph):
+        placement = place_tasks(graph, "owner-computes", 3)
+        for task in graph.tasks:
+            if task.kernel == "unmqr":
+                assert placement.task_rank[task.id] == (task.i + task.j) % 3
+
+    def test_every_policy_covers_all_tasks(self, graph):
+        for policy in ("block", "block-cyclic", "owner-computes"):
+            placement = place_tasks(graph, policy, 4)
+            assert len(placement.task_rank) == graph.n_tasks
+            assert all(0 <= r < 4 for r in placement.task_rank)
+
+    def test_rejects_unknown_policy(self, graph):
+        with pytest.raises(ConfigurationError, match="placement"):
+            place_tasks(graph, "striped", 2)
+
+    def test_rejects_bad_rank_count(self, graph):
+        with pytest.raises(ConfigurationError, match="positive"):
+            place_tasks(graph, "block", 0)
+
+
+class TestPriority:
+    def test_fifo_is_identity(self, graph):
+        order = priority_order(graph, "fifo")
+        assert order == tuple(range(graph.n_tasks))
+
+    def test_panel_prefers_factorization_kernels(self, graph):
+        order = priority_order(graph, "panel")
+        worst_panel = max(
+            order[t.id] for t in graph.tasks if t.kernel in ("geqrt", "tsqrt")
+        )
+        best_update = min(
+            order[t.id] for t in graph.tasks if t.kernel in ("unmqr", "tsmqr")
+        )
+        assert worst_panel < best_update
+
+    def test_critical_path_prefers_deeper_chains(self, graph):
+        order = priority_order(graph, "critical-path", KernelRateModel())
+        # The panel-0 diagonal geqrt heads the longest chain of the whole
+        # factorization; the final panel's geqrt ends one.
+        first = next(t for t in graph.tasks if t.kernel == "geqrt" and t.k == 0 and t.i == 0)
+        last = next(t for t in graph.tasks if t.kernel == "geqrt" and t.k == 2 and t.i == 2)
+        assert order[first.id] < order[last.id]
+
+    def test_critical_path_needs_kernel_model(self, graph):
+        with pytest.raises(ConfigurationError, match="kernel model"):
+            priority_order(graph, "critical-path")
+
+    def test_rejects_unknown_policy(self, graph):
+        with pytest.raises(ConfigurationError, match="priority"):
+            priority_order(graph, "lifo")

@@ -1,0 +1,60 @@
+"""Tests for the DAG-CAQR sweep artefact and its runner plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.figures import dag_caqr_sweep
+from repro.experiments.runner import ExperimentRunner, PointSpec
+
+#: Reduced workload: same shape as the paper-scale artefact, CI-sized.
+SWEEP = dict(n=128, m_values=(16384,), tile_size=32)
+
+
+class TestPointSpec:
+    def test_dag_points_need_caqr(self):
+        with pytest.raises(ConfigurationError, match="DAG runtime"):
+            PointSpec(algorithm="scalapack", m=64, n=8, n_sites=1, runtime="dag")
+
+    def test_policies_need_dag_runtime(self):
+        with pytest.raises(ConfigurationError, match="placement/priority"):
+            PointSpec(
+                algorithm="caqr", m=64, n=8, n_sites=1, tile_size=8, priority="fifo"
+            )
+
+    def test_unknown_policies_rejected(self):
+        with pytest.raises(ConfigurationError, match="placement"):
+            PointSpec(
+                algorithm="caqr", m=64, n=8, n_sites=1, tile_size=8,
+                runtime="dag", placement="striped",
+            )
+        with pytest.raises(ConfigurationError, match="runtime"):
+            PointSpec(algorithm="caqr", m=64, n=8, n_sites=1, tile_size=8, runtime="mpi")
+
+
+class TestSweep:
+    def test_rows_record_the_three_inequalities(self):
+        rows = dag_caqr_sweep(ExperimentRunner(), **SWEEP)
+        assert len(rows) == 3  # one per priority policy
+        for row in rows:
+            dag = row["DAG makespan (s)"]
+            spmd = row["SPMD makespan (s)"]
+            cp = row["critical path (s)"]
+            assert cp <= dag <= spmd
+            assert 0.0 <= row["idle fraction (mean)"] <= 1.0
+            assert row["msgs (DAG)"] > 0 and row["msgs (SPMD)"] > 0
+
+    def test_sweep_rows_identical_jobs_1_vs_n(self):
+        """Parallel prefetch must be invisible: byte-identical rows."""
+        serial = dag_caqr_sweep(ExperimentRunner(jobs=1), **SWEEP)
+        parallel = dag_caqr_sweep(ExperimentRunner(jobs=2), **SWEEP)
+        assert serial == parallel
+
+    def test_dag_point_carries_critical_path(self):
+        runner = ExperimentRunner()
+        point = runner.dag_caqr_point(16384, 128, 4, tile_size=32)
+        assert point.critical_path_s is not None
+        assert 0.0 < point.critical_path_s <= point.time_s
+        spmd = runner.caqr_point(16384, 128, 4, tile_size=32)
+        assert spmd.critical_path_s is None

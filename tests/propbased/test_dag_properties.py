@@ -1,0 +1,98 @@
+"""Property-based (hypothesis) correctness of the task-DAG runtime.
+
+DAG-CAQR must agree with LAPACK *and* reproduce the SPMD CAQR program bit
+for bit on any shape — non-divisible tiles, fat panels, single-tile inputs —
+under every placement and priority policy.  The scheduling policies change
+*when and where* each kernel runs, never its operands, so the sampled policy
+must be invisible in the numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dag import DAGCAQRConfig, run_dag_caqr
+from repro.programs.caqr import CAQRConfig, run_parallel_caqr
+from repro.util.validation import r_factors_match
+from tests.conftest import make_platform
+
+# Every example runs a full distributed factorization twice (DAG + SPMD)
+# plus a LAPACK reference; moderate example counts keep the suite fast.
+NUMERIC = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: One platform for the whole module (session fixtures are unavailable
+#: inside @given bodies).
+PLATFORM = make_platform(2, 2, 2)
+
+shapes = st.tuples(st.integers(1, 40), st.integers(1, 40))
+tiles = st.integers(1, 48)
+placements = st.sampled_from(["block", "block-cyclic", "owner-computes"])
+priorities = st.sampled_from(["critical-path", "panel", "fifo"])
+trees = st.sampled_from(["flat", "binary", "grid-hierarchical"])
+
+
+def _matrix(m: int, n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+@NUMERIC
+@given(
+    shape=shapes,
+    tile=tiles,
+    seed=st.integers(0, 2**16),
+    placement=placements,
+    priority=priorities,
+    tree=trees,
+)
+def test_dag_caqr_matches_lapack_and_spmd_bitwise(
+    shape, tile, seed, placement, priority, tree
+):
+    m, n = shape
+    a = _matrix(m, n, seed)
+    spmd = run_parallel_caqr(
+        PLATFORM, CAQRConfig(m=m, n=n, tile_size=tile, panel_tree=tree, matrix=a)
+    )
+    dag = run_dag_caqr(
+        PLATFORM,
+        DAGCAQRConfig(
+            m=m, n=n, tile_size=tile, panel_tree=tree,
+            placement=placement, priority=priority, matrix=a,
+        ),
+    )
+    assert dag.r.shape == (min(m, n), n)
+    assert np.array_equal(dag.r, spmd.r)
+    assert r_factors_match(dag.r, np.linalg.qr(a, mode="r"))
+
+
+@NUMERIC
+@given(n=st.integers(1, 24), fat_extra=st.integers(1, 24), tile=tiles,
+       seed=st.integers(0, 2**16), priority=priorities)
+def test_fat_panels(n, fat_extra, tile, seed, priority):
+    """m < n: R is upper-trapezoidal and still matches LAPACK."""
+    m = n
+    a = _matrix(m, n + fat_extra, seed)
+    dag = run_dag_caqr(
+        PLATFORM,
+        DAGCAQRConfig(m=m, n=n + fat_extra, tile_size=tile, priority=priority, matrix=a),
+    )
+    assert dag.r.shape == (m, n + fat_extra)
+    assert r_factors_match(dag.r, np.linalg.qr(a, mode="r"))
+
+
+@NUMERIC
+@given(shape=shapes, seed=st.integers(0, 2**16), placement=placements)
+def test_tile_larger_than_matrix_is_single_task(shape, seed, placement):
+    m, n = shape
+    a = _matrix(m, n, seed)
+    dag = run_dag_caqr(
+        PLATFORM,
+        DAGCAQRConfig(
+            m=m, n=n, tile_size=max(m, n) + 5, placement=placement, matrix=a
+        ),
+    )
+    assert dag.graph.n_tasks == 1
+    assert r_factors_match(dag.r, np.linalg.qr(a, mode="r"))

@@ -171,6 +171,51 @@ class TestCommands:
             main(["figure", "--id", "fig3", "--jobs", "2"])
         with pytest.raises(ConfigurationError, match="--jobs"):
             main(["figure", "--id", "fig4", "--jobs", "0"])
+        # The DAG policy flags only make sense for the dag-caqr-sweep artefact.
+        with pytest.raises(ConfigurationError, match="--placement"):
+            main(["figure", "--id", "caqr-sweep", "--placement", "block"])
+        with pytest.raises(ConfigurationError, match="--priority"):
+            main(["figure", "--id", "fig4", "--priority", "fifo"])
+
+    def test_simulate_rejects_inapplicable_flags(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--runtime"):
+            main(["simulate", "--algorithm", "tsqr", "--runtime", "dag"])
+        with pytest.raises(ConfigurationError, match="--tile-size"):
+            main(["simulate", "--algorithm", "scalapack", "--tile-size", "32"])
+        with pytest.raises(ConfigurationError, match="--placement"):
+            main(["simulate", "--algorithm", "caqr", "--placement", "block"])
+        with pytest.raises(ConfigurationError, match="--priority"):
+            main(["simulate", "--algorithm", "caqr", "--runtime", "spmd",
+                  "--priority", "fifo"])
+        with pytest.raises(ConfigurationError, match="--domains-per-cluster"):
+            main(["simulate", "--algorithm", "caqr", "--domains-per-cluster", "4"])
+        with pytest.raises(ConfigurationError, match="R only"):
+            main(["simulate", "--algorithm", "caqr", "--want-q"])
+
+    def test_simulate_dag_caqr(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "caqr", "--runtime", "dag",
+             "--rows", "16384", "--cols", "128", "--sites", "4",
+             "--tile-size", "32", "--priority", "fifo"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical-path lower bound" in out
+
+    def test_figure_dag_caqr_sweep_to_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "dag.csv"
+        code = main(
+            ["figure", "--id", "dag-caqr-sweep", "--rows", "16384",
+             "--cols", "128", "--tile-size", "32", "--priority", "critical-path",
+             "--csv", str(csv_path)]
+        )
+        assert code == 0
+        content = csv_path.read_text()
+        assert "DAG makespan (s)" in content
+        assert "critical path (s)" in content
+        assert "idle fraction (mean)" in content
 
     def test_figure_caqr_sweep_to_csv(self, capsys, tmp_path):
         target = tmp_path / "caqr_sweep.csv"
