@@ -144,15 +144,120 @@ def bench_json(results_dir):
     return _write
 
 
+# ---------------------------------------------------------------------------
+# Regression gates (wall clock and events/s)
+# ---------------------------------------------------------------------------
+#
+# Perf benchmarks gate themselves against the BENCH_<name>.json they loaded
+# before overwriting it.  Rows are dicts carrying at least ``ranks``,
+# ``wall_s`` and ``events_per_s``; all three helpers return human-readable
+# failure messages (empty list = gate passed) so a benchmark can collect
+# every violation before asserting.
+
+def wall_gate_failures(
+    fresh_rows: list[dict],
+    baseline_rows: list[dict],
+    *,
+    factor: float = 2.0,
+    floor_s: float = 1.0,
+    label: str = "",
+) -> list[str]:
+    """Wall-clock regression check of fresh rows against recorded ones.
+
+    Each fresh row's ``wall_s`` may be at most ``factor`` over the recorded
+    row at the same rank count, but never fails below the absolute
+    ``floor_s`` (headroom so slow CI hardware cannot flake the suite).  Rank
+    counts without a recorded row are skipped — their first recorded run
+    becomes the gate for the next one.
+    """
+    recorded = {r.get("ranks"): r for r in baseline_rows if r.get("wall_s")}
+    failures = []
+    for row in fresh_rows:
+        base = recorded.get(row.get("ranks"))
+        if base is None:
+            continue
+        limit = max(factor * base["wall_s"], floor_s)
+        if row["wall_s"] > limit:
+            failures.append(
+                f"{label}{row['ranks']} ranks: wall {row['wall_s']:.3f}s vs "
+                f"recorded {base['wall_s']:.3f}s (limit {limit:.3f}s)"
+            )
+    return failures
+
+
+def events_gate_failures(
+    fresh_rows: list[dict],
+    baseline_rows: list[dict],
+    *,
+    factor: float = 2.0,
+    min_wall_s: float = 0.01,
+    label: str = "",
+) -> list[str]:
+    """Events/s regression check: engine throughput must not collapse.
+
+    Each fresh row must sustain at least ``1/factor`` of the recorded
+    events/s at the same rank count.  Rows whose fresh wall time is under
+    ``min_wall_s`` are skipped (the rate is timer noise there), as are rank
+    counts with no recorded rate yet.
+    """
+    recorded = {r.get("ranks"): r for r in baseline_rows if r.get("events_per_s")}
+    failures = []
+    for row in fresh_rows:
+        base = recorded.get(row.get("ranks"))
+        rate = row.get("events_per_s")
+        if base is None or not rate or row.get("wall_s", 0.0) < min_wall_s:
+            continue
+        limit = base["events_per_s"] / factor
+        if rate < limit:
+            failures.append(
+                f"{label}{row['ranks']} ranks: {rate:,.0f} events/s vs "
+                f"recorded {base['events_per_s']:,.0f} (limit {limit:,.0f})"
+            )
+    return failures
+
+
+def events_flatness_failures(
+    fresh_rows: list[dict],
+    *,
+    collapse_ratio: float = 0.5,
+    min_wall_s: float = 0.01,
+) -> list[str]:
+    """Monotone-or-flat check across one run's own scaling sweep.
+
+    Walking the rows in increasing rank order, each measurable events/s must
+    stay within ``collapse_ratio`` of the best rate seen at any smaller rank
+    count.  This is the superlinear collapse the generator core was built to
+    remove: the thread-backed engine fell to 0.14x of its small-sweep peak by
+    2048 ranks, while a flat engine sits near 1.0.
+    """
+    best = 0.0
+    failures = []
+    for row in sorted(fresh_rows, key=lambda r: r.get("ranks", 0)):
+        rate = row.get("events_per_s")
+        if not rate or row.get("wall_s", 0.0) < min_wall_s:
+            continue
+        if best and rate < collapse_ratio * best:
+            failures.append(
+                f"events/s collapsed at {row['ranks']} ranks: {rate:,.0f} vs "
+                f"best {best:,.0f} at smaller rank counts "
+                f"(floor {collapse_ratio:.0%} of best)"
+            )
+        best = max(best, rate)
+    return failures
+
+
 __all__ = [
     "ascii_table",
     "bench_domain_counts",
     "bench_json_path",
     "bench_m_values",
     "bench_n_values",
+    "events_flatness_failures",
+    "events_gate_failures",
     "full_sweep",
     "load_bench_json",
     "report_figure",
     "report_rows",
+    "wall_gate_failures",
     "write_bench_json",
 ]

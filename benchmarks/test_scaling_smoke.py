@@ -3,23 +3,44 @@
 Not a figure of the paper: this tracks the *simulator's own* speed so future
 engine changes can be compared against the recorded baseline.  A
 virtual-payload TSQR run is simulated on synthetic 4-cluster grids of
-32/128/512/2048 ranks (4096 with ``REPRO_BENCH_FULL=1``); wall-clock time
-per rank count goes to ``results/scaling_smoke.csv`` and the machine-readable
-trajectory — wall time, engine events/s and speedup over the pre-fast-path
-seed engine — to ``results/BENCH_engine.json``.
+32/128/512/2048/8192 ranks (32768 with ``REPRO_BENCH_FULL=1``); wall-clock
+time per rank count goes to ``results/scaling_smoke.csv`` and the
+machine-readable trajectory — wall time, engine events/s and speedup over the
+per-rank-count baseline — to ``results/BENCH_engine.json``.
 
-The recorded BENCH file is also the regression gate: the 512-rank wall time
-must stay within 2x of the committed baseline (with an absolute-floor guard
-so slow CI hardware cannot flake the suite), so an engine regression fails
-tier-1 instead of silently shipping.
+``REPRO_SMOKE_ENGINE`` selects the simulation backend (``coroutine`` by
+default, ``threads`` for the reference backend — capped at 2048 ranks, one OS
+thread per rank does not survive 8192).  The threads run records its own
+trajectory under ``BENCH_engine_threads.json`` so the CI engine matrix never
+clobbers the coroutine baseline.
 
-A 512-rank task-DAG CAQR point rides along under the same gate (its own
-baseline row in ``BENCH_engine.json``), so the dataflow runtime's engine
-cost is tracked next to the SPMD path's.
+Three gates run against the BENCH file loaded *before* this run rewrote it,
+so an engine regression fails tier-1 instead of silently shipping:
+
+* wall clock per rank count within 2x of the recorded run (absolute 1s floor
+  so slow CI hardware cannot flake the suite);
+* events/s per rank count at least half the recorded rate (rows too fast to
+  time reliably are skipped);
+* monotone-or-flat events/s across the sweep itself, out to 8192 ranks: no
+  rank count may fall below half the best rate at smaller counts (coroutine
+  engine only — the thread backend's collapse to 0.14x by 2048 ranks is
+  exactly what this catches).
+
+``speedup_vs_baseline`` is measured against a per-rank-count baseline map
+recorded *once*: the pre-fast-path seed engine for 32-512 ranks, the
+thread-backed engine's committed 2048-rank row, and for larger counts the
+first recorded measurement (speedup 1.0 on first recording, tracked
+thereafter).  Every row gets a real number — no nulls beyond the seed's
+largest measured rank count.
+
+A 512-rank task-DAG CAQR point rides along under the same wall and events/s
+gates (its own baseline row in ``BENCH_engine.json``), so the dataflow
+runtime's engine cost is tracked next to the SPMD path's.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.dag import DAGCAQRConfig, run_dag_caqr
@@ -36,24 +57,42 @@ from repro.gridsim import (
 )
 from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
 
-from benchmarks.conftest import full_sweep, load_bench_json, report_rows
+from benchmarks.conftest import (
+    events_flatness_failures,
+    events_gate_failures,
+    full_sweep,
+    load_bench_json,
+    report_rows,
+    wall_gate_failures,
+)
+
+#: Simulation backend exercised by the sweep (CI runs both via this knob).
+ENGINE = os.environ.get("REPRO_SMOKE_ENGINE", "coroutine")
 
 #: Rank counts of the sweep (4 clusters x nodes x 2 processes/node).
-RANK_COUNTS = (32, 128, 512, 2048)
+RANK_COUNTS = (32, 128, 512, 2048, 8192)
 #: Extra scale exercised by the full sweep only.
-FULL_RANK_COUNTS = (4096,)
+FULL_RANK_COUNTS = (32768,)
+#: The thread-backed reference engine spawns one OS thread per rank; cap it.
+THREADS_MAX_RANKS = 2048
 
-#: Wall times of the seed engine (the pre-fast-path scaling_smoke.csv rows,
-#: recorded before pooled workers / semaphore handoff / lock-free tracing /
-#: the setup memo landed).  The speedup column of BENCH_engine.json is
-#: measured against these.
-SEED_WALL_S = {32: 0.006, 128: 0.068, 512: 0.439}
+#: Per-rank-count baselines of the ``speedup_vs_baseline`` column.  32-512 are
+#: the pre-fast-path seed engine's scaling_smoke.csv rows; 2048 is the
+#: thread-backed engine's committed BENCH row (1.69s, 3.6k events/s — the
+#: number the generator core was built to fix).  Counts absent here (8192,
+#: 32768) are pinned by their first recorded measurement and carried forward
+#: in the BENCH file, so every row always reports a real speedup.
+BASELINE_WALL_S = {32: 0.006, 128: 0.068, 512: 0.439, 2048: 1.6898}
 
-#: Regression gate: the fresh 512-rank wall time may be at most this factor
-#: over the recorded baseline...
+#: Wall-clock gate: at most this factor over the recorded run per rank count…
 REGRESSION_FACTOR = 2.0
-#: ...but never fails below this absolute wall time (CI hardware headroom).
+#: …but never failing below this absolute wall time (CI hardware headroom).
 REGRESSION_FLOOR_S = 1.0
+#: Events/s gate: at least ``1/REGRESSION_FACTOR`` of the recorded rate, for
+#: rows that ran long enough for the rate to be signal rather than noise.
+EVENTS_GATE_MIN_WALL_S = 0.01
+#: Flatness gate: no rank count below this fraction of the sweep's best rate.
+FLATNESS_COLLAPSE_RATIO = 0.5
 
 
 def _platform(n_ranks: int) -> Platform:
@@ -82,21 +121,33 @@ def _platform(n_ranks: int) -> Platform:
 
 
 def test_engine_scaling_smoke(results_dir, bench_json):
-    baseline = load_bench_json("engine", results_dir)
-    baseline_walls = {
-        row["ranks"]: row["wall_s"] for row in (baseline or {}).get("rows", [])
-    }
+    bench_name = "engine" if ENGINE == "coroutine" else f"engine_{ENGINE}"
+    baseline = load_bench_json(bench_name, results_dir) or {}
+    prev_rows = baseline.get("rows", [])
+    prev_dag_rows = [r for r in [(baseline.get("dag") or {}).get("row")] if r]
+
+    # Per-rank-count speedup baselines: the seed constants, extended by
+    # whatever earlier runs already pinned (JSON keys arrive as strings).
+    baselines = dict(BASELINE_WALL_S)
+    for key, wall in (baseline.get("baseline_wall_s") or {}).items():
+        baselines.setdefault(int(key), wall)
+
     rank_counts = RANK_COUNTS + (FULL_RANK_COUNTS if full_sweep() else ())
+    if ENGINE == "threads":
+        rank_counts = tuple(n for n in rank_counts if n <= THREADS_MAX_RANKS)
+
     rows = []
     bench_rows = []
     for n_ranks in rank_counts:
         platform = _platform(n_ranks)
         config = TSQRConfig(m=n_ranks * 4096, n=64)  # virtual payload
         start = time.perf_counter()
-        result = run_parallel_tsqr(platform, config)
+        result = run_parallel_tsqr(platform, config, engine=ENGINE)
         wall_s = time.perf_counter() - start
         events = result.trace.total_events
-        seed_wall = SEED_WALL_S.get(n_ranks)
+        # First measurement of a new rank count becomes its baseline, pinned
+        # in the BENCH file from then on.
+        base_wall = baselines.setdefault(n_ranks, round(wall_s, 4))
         rows.append(
             {
                 "ranks": n_ranks,
@@ -114,21 +165,27 @@ def test_engine_scaling_smoke(results_dir, bench_json):
                 "messages": result.trace.total_messages,
                 "events": events,
                 "events_per_s": round(events / wall_s, 1) if wall_s > 0 else None,
-                "speedup_vs_seed": round(seed_wall / wall_s, 2) if seed_wall else None,
+                "speedup_vs_baseline": round(base_wall / wall_s, 2) if wall_s > 0 else None,
             }
         )
-        # A 2048-rank virtual-payload TSQR must complete, fast.
+        # Every row — including the 32768-rank full-sweep one — must complete
+        # in seconds, not minutes.
         assert result.makespan_s > 0.0
         assert wall_s < 30.0
-    report_rows("Engine scaling smoke (wall time vs ranks)", rows,
-                results_dir, "scaling_smoke.csv")
+    report_rows(
+        f"Engine scaling smoke (wall time vs ranks, {ENGINE} engine)",
+        rows,
+        results_dir,
+        "scaling_smoke.csv" if ENGINE == "coroutine" else f"scaling_smoke_{ENGINE}.csv",
+    )
+
     # A 512-rank task-DAG CAQR point tracks the dataflow runtime's engine
     # cost (ready-queue + per-task yields + versioned stores) alongside the
     # SPMD path: ~25k tasks, events/s and simulated makespan recorded.
     dag_platform = _platform(512)
     dag_config = DAGCAQRConfig(m=512 * 512, n=128, tile_size=64, priority="critical-path")
     start = time.perf_counter()
-    dag_result = run_dag_caqr(dag_platform, dag_config)
+    dag_result = run_dag_caqr(dag_platform, dag_config, engine=ENGINE)
     dag_wall = time.perf_counter() - start
     dag_events = dag_result.trace.total_events
     dag_row = {
@@ -141,10 +198,10 @@ def test_engine_scaling_smoke(results_dir, bench_json):
         "events_per_s": round(dag_events / dag_wall, 1) if dag_wall > 0 else None,
     }
     report_rows(
-        "DAG runtime smoke (512 ranks)",
+        f"DAG runtime smoke (512 ranks, {ENGINE} engine)",
         [dag_row],
         results_dir,
-        "scaling_smoke_dag.csv",
+        "scaling_smoke_dag.csv" if ENGINE == "coroutine" else f"scaling_smoke_dag_{ENGINE}.csv",
     )
     assert dag_result.critical_path_s <= dag_result.makespan_s
     assert dag_wall < 30.0
@@ -153,55 +210,56 @@ def test_engine_scaling_smoke(results_dir, bench_json):
     # the file; the fresh artifact records that baseline next to the fresh
     # numbers, so a CI failure uploads both (and git keeps the committed
     # baseline for recovery).
-    fresh_512 = next(r["wall_s"] for r in bench_rows if r["ranks"] == 512)
-    recorded_512 = baseline_walls.get(512)
-    limit = (
-        max(REGRESSION_FACTOR * recorded_512, REGRESSION_FLOOR_S)
-        if recorded_512
-        else None
-    )
-    dag_baseline = ((baseline or {}).get("dag") or {}).get("row", {}).get("wall_s")
-    dag_limit = (
-        max(REGRESSION_FACTOR * dag_baseline, REGRESSION_FLOOR_S)
-        if dag_baseline
-        else None
-    )
     bench_json(
-        "engine",
+        bench_name,
         {
             "benchmark": "engine_scaling_smoke",
+            "engine": ENGINE,
             "workload": "virtual-payload TSQR, M = ranks * 4096, N = 64, "
                         "4 clusters x 2 processes/node",
-            "seed_wall_s": SEED_WALL_S,
+            "baseline_wall_s": {n: baselines[n] for n in sorted(baselines)},
             "regression_gate": {
-                "ranks": 512,
-                "factor": REGRESSION_FACTOR,
-                "floor_s": REGRESSION_FLOOR_S,
-                "baseline_wall_s": recorded_512,
-                "limit_s": limit,
+                "wall_factor": REGRESSION_FACTOR,
+                "wall_floor_s": REGRESSION_FLOOR_S,
+                "events_factor": REGRESSION_FACTOR,
+                "events_min_wall_s": EVENTS_GATE_MIN_WALL_S,
+                "flatness_collapse_ratio": FLATNESS_COLLAPSE_RATIO,
+                "recorded_rows": prev_rows,
             },
             "rows": bench_rows,
             "dag": {
                 "workload": "virtual-payload DAG-CAQR, M = 512 * 512, N = 128, "
                             "tile 64, critical-path priority, block placement",
-                "regression_gate": {
-                    "ranks": 512,
-                    "factor": REGRESSION_FACTOR,
-                    "floor_s": REGRESSION_FLOOR_S,
-                    "baseline_wall_s": dag_baseline,
-                    "limit_s": dag_limit,
-                },
+                "recorded_row": prev_dag_rows[0] if prev_dag_rows else None,
                 "row": dag_row,
             },
         },
     )
-    if limit is not None:
-        assert fresh_512 <= limit, (
-            f"512-rank engine wall time regressed: {fresh_512:.3f}s vs "
-            f"recorded baseline {recorded_512:.3f}s (limit {limit:.3f}s)"
+
+    failures = wall_gate_failures(
+        bench_rows, prev_rows, factor=REGRESSION_FACTOR, floor_s=REGRESSION_FLOOR_S
+    )
+    failures += events_gate_failures(
+        bench_rows, prev_rows,
+        factor=REGRESSION_FACTOR, min_wall_s=EVENTS_GATE_MIN_WALL_S,
+    )
+    failures += wall_gate_failures(
+        [dag_row], prev_dag_rows,
+        factor=REGRESSION_FACTOR, floor_s=REGRESSION_FLOOR_S, label="DAG ",
+    )
+    failures += events_gate_failures(
+        [dag_row], prev_dag_rows,
+        factor=REGRESSION_FACTOR, min_wall_s=EVENTS_GATE_MIN_WALL_S, label="DAG ",
+    )
+    if ENGINE == "coroutine":
+        # The reference thread backend collapses superlinearly by design
+        # limitation; only the generator core promises a flat profile.  The
+        # promise extends out to 8192 ranks — the full-sweep 32768 row is
+        # tracked by the wall and events/s gates but sits at memory scales
+        # where the rate legitimately dips below the flatness floor.
+        failures += events_flatness_failures(
+            [r for r in bench_rows if r["ranks"] <= RANK_COUNTS[-1]],
+            collapse_ratio=FLATNESS_COLLAPSE_RATIO,
+            min_wall_s=EVENTS_GATE_MIN_WALL_S,
         )
-    if dag_limit is not None:
-        assert dag_wall <= dag_limit, (
-            f"512-rank DAG runtime wall time regressed: {dag_wall:.3f}s vs "
-            f"recorded baseline {dag_baseline:.3f}s (limit {dag_limit:.3f}s)"
-        )
+    assert not failures, "engine regression gate:\n  " + "\n  ".join(failures)

@@ -357,7 +357,11 @@ def dag_program(
     spec: _ExecSpec,
     collect: list[list[tuple[int, int]]],
 ):
-    """Dataflow execution of ``graph`` on one simulated rank."""
+    """Dataflow execution of ``graph`` on one simulated rank.
+
+    A generator: blocking receives and the per-task ``yield_turn`` suspend
+    via ``yield from``.
+    """
     comm = ctx.comm
     me = comm.rank
     H = plan.n_handles
@@ -403,9 +407,9 @@ def dag_program(
             if left == 0 and not missing_local.get(w) and w not in done:
                 heappush(ready, (order[w], w))
 
-    def _receive(vkey: int) -> None:
+    def _receive(vkey: int):
         src = expected.pop(vkey)
-        _mark_arrival(vkey, comm.recv(source=src, tag=vkey))
+        _mark_arrival(vkey, (yield from comm.recv(source=src, tag=vkey)))
 
     n_done = 0
     n_mine = len(my_ids)
@@ -419,7 +423,7 @@ def dag_program(
             now = ctx.clock()
             for vkey in [k for k, src in expected.items()
                          if (a := comm.probe(source=src, tag=k)) is not None and a <= now]:
-                _receive(vkey)
+                yield from _receive(vkey)
         tid = -1
         while ready:
             _prio, cand = heappop(ready)
@@ -437,7 +441,7 @@ def dag_program(
                     if arrival is not None and (best_key < 0 or arrival < best_arrival):
                         best_key, best_arrival = vkey, arrival
                 if best_key >= 0:
-                    _receive(best_key)
+                    yield from _receive(best_key)
                     continue
             # ...or, with nothing queued at all, block on the earliest
             # unfinished task in graph order (its local preds are
@@ -449,7 +453,7 @@ def dag_program(
             tid = my_ids[fallback_pos]
             for vkey, _src, _h in plan.remote_inputs.get(tid, ()):
                 if vkey in expected:
-                    _receive(vkey)
+                    yield from _receive(vkey)
         task = tasks[tid]
         inputs = [
             store[(prod + 1) * H + h]
@@ -486,7 +490,7 @@ def dag_program(
         # this, a compute-heavy rank would race arbitrarily far ahead in
         # virtual time and its probes would miss messages that causally had
         # long arrived.
-        ctx.yield_turn()
+        yield from ctx.yield_turn()
 
     tiles = {h: store[vkey] for h, vkey in collect[me] if vkey in store}
     return tiles, schedule
@@ -537,6 +541,7 @@ def run_dag_caqr(
     *,
     record_messages: bool = False,
     record_schedule: bool = False,
+    engine: str | None = None,
 ) -> DAGRunResult:
     """Run DAG-CAQR on ``platform`` and summarise its performance.
 
@@ -574,6 +579,7 @@ def run_dag_caqr(
         collect,
         flop_count=config.flop_count(),
         record_messages=record_messages,
+        engine=engine,
     )
     r = None
     if not config.virtual:
@@ -609,6 +615,7 @@ def run_dag_tsqr(
     priority: str = "fifo",
     record_messages: bool = False,
     record_schedule: bool = False,
+    engine: str | None = None,
 ) -> DAGRunResult:
     """Run the TSQR reduction-tree DAG with one domain per platform rank.
 
@@ -635,6 +642,7 @@ def run_dag_tsqr(
         collect,
         flop_count=qr_flops(m, n),
         record_messages=record_messages,
+        engine=engine,
     )
     r = None
     if matrix is not None:

@@ -138,10 +138,10 @@ def figure3_network(runner: ExperimentRunner | None = None) -> list[dict[str, ob
         me = ctx.comm.rank
         if me == rank_a:
             ctx.comm.send(None, dest=rank_b, tag="ping", nbytes=nbytes)
-            ctx.comm.recv(source=rank_b, tag="pong")
+            yield from ctx.comm.recv(source=rank_b, tag="pong")
             return ctx.clock()
         if me == rank_b:
-            ctx.comm.recv(source=rank_a, tag="ping")
+            yield from ctx.comm.recv(source=rank_a, tag="ping")
             ctx.comm.send(None, dest=rank_a, tag="pong", nbytes=nbytes)
         return None
 

@@ -6,10 +6,12 @@ mpi4py object API (``send``/``recv``/``bcast``/``reduce``/``allreduce``/
 ``gather``/``scatter``/``split``/``barrier``) but executes under *virtual
 time*:
 
-* every rank is a cooperative thread driven by the
-  :class:`~repro.gridsim.scheduler.VirtualTimeScheduler` (exactly one rank
-  runs at a time, minimum virtual clock first), with its own virtual clock in
-  :class:`~repro.gridsim.platform.SimulationState`;
+* every rank is a cooperative generator driven by the engine's scheduler
+  (exactly one rank runs at a time, minimum virtual clock first), with its
+  own virtual clock in :class:`~repro.gridsim.platform.SimulationState`;
+  blocking methods below are generator functions that suspend by yielding a
+  :class:`~repro.gridsim.engine.Park` request — rank programs call them with
+  ``yield from`` (``r = yield from comm.recv(...)``);
 * a point-to-point message advances the receiver's clock by the link's
   ``latency + overhead + bytes/bandwidth``, with the link chosen from the
   placement of the two ranks (intra-node / intra-cluster / inter-cluster);
@@ -21,13 +23,14 @@ time*:
   :class:`~repro.gridsim.trace.Trace` for the Table I/II count validations.
 
 Implementation notes: a collective is executed by whichever rank enters the
-rendezvous last; every other participant parks on the scheduler until the
-schedule has been simulated.  A ``recv`` on an empty mailbox likewise parks
-until the matching ``send`` unparks it.  There are no polling sleeps and no
-wall-clock timeouts: blocking is event-driven, and a cyclic wait is reported
-immediately as a :class:`~repro.exceptions.DeadlockError` by the scheduler.
-Because only one rank runs at a time, mailboxes and rendezvous state need no
-locks of their own.
+rendezvous last; every other participant parks (yields ``Park`` to the
+engine) until the schedule has been simulated.  A ``recv`` on an empty
+mailbox likewise parks until the matching ``send`` unparks it.  There are no
+polling sleeps and no wall-clock timeouts: blocking is event-driven, and a
+cyclic wait is reported immediately as a
+:class:`~repro.exceptions.DeadlockError` by the scheduler.  Because only one
+rank runs at a time, mailboxes and rendezvous state need no locks of their
+own.
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ from repro.gridsim.collectives import (
     simulate_broadcast,
     simulate_reduce,
 )
+from repro.gridsim.engine import Park
 from repro.gridsim.platform import SimulationState
 from repro.virtual.matrix import VirtualMatrix
 
@@ -149,6 +153,18 @@ class _Rendezvous:
 class CommCore:
     """Shared state of one communicator (the 'MPI_Comm' object)."""
 
+    __slots__ = (
+        "state",
+        "world_ranks",
+        "collective_tree",
+        "comm_id",
+        "name",
+        "size",
+        "_mailbox",
+        "_rendezvous",
+        "_tree_cache",
+    )
+
     def __init__(
         self,
         state: SimulationState,
@@ -179,7 +195,10 @@ class CommCore:
         return self.world_ranks[local_rank]
 
     def _check_abort(self) -> None:
-        self.state.scheduler.check_abort()
+        # Hot path: a plain attribute read; only a failed simulation pays
+        # for the scheduler call that raises the recorded exception.
+        if self.state.aborted:
+            self.state.scheduler.check_abort()
 
     def _edge_time_recorder(self, nbytes_of: Callable[[object], int], tag: str):
         """Return an ``edge_time(src_pos, dst_pos, payload)`` callback that
@@ -203,8 +222,9 @@ class CommCore:
                 memo[id(payload)] = (payload, nbytes)
             else:
                 nbytes = entry[1]
-            dt = self.state.transfer_time(nbytes, src, dst)
-            self.state.record_message(src, dst, nbytes, tag=tag)
+            link, spec = self.state.link_of(src, dst)
+            dt = 0.0 if spec is None else spec.transfer_time(nbytes)
+            self.state.trace.record_message(src, dst, nbytes, link, tag=tag)
             return dt
 
         return edge_time
@@ -244,47 +264,57 @@ class CommCore:
     def send(self, local_rank: int, payload: object, dest: int, tag: object = 0,
              nbytes: int | None = None) -> None:
         """Eager send: enqueue the payload with the sender's current clock."""
-        self._check_abort()
+        state = self.state
+        if state.aborted:
+            state.scheduler.check_abort()
         if not 0 <= dest < self.size:
             raise CommunicatorError(f"send to invalid rank {dest} (size {self.size})")
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
-        sender_clock = self.state.clock(self.world_rank(local_rank))
+        sender_clock = state._clocks[self.world_ranks[local_rank]]
         key = (dest, local_rank, tag)
         self._mailbox.setdefault(key, deque()).append((payload, sender_clock, size))
         # Wake the receiver if it is parked on exactly this (source, tag).
-        self.state.scheduler.unpark("recv", (self.comm_id, dest, local_rank, tag))
+        state.scheduler.unpark("recv", (self.comm_id, dest, local_rank, tag))
 
-    def recv(self, local_rank: int, source: int, tag: object = 0) -> object:
+    def recv(self, local_rank: int, source: int, tag: object = 0):
         """Blocking receive; advances the receiver's clock by the transfer time.
 
-        When the mailbox is empty the calling rank parks on the scheduler and
-        is woken by the matching :meth:`send` — or fails immediately with a
+        A generator (drive with ``yield from``).  When the mailbox is empty
+        the calling rank parks — yields a :class:`Park` to the engine — and
+        is woken by the matching :meth:`send`, or fails immediately with a
         :class:`~repro.exceptions.DeadlockError` if no rank can ever send it.
         """
-        self._check_abort()
+        state = self.state
+        if state.aborted:
+            state.scheduler.check_abort()
         if not 0 <= source < self.size:
             raise CommunicatorError(f"recv from invalid rank {source} (size {self.size})")
         key = (local_rank, source, tag)
-        me = self.world_rank(local_rank)
+        me = self.world_ranks[local_rank]
         while True:
             queue = self._mailbox.get(key)
             if queue:
                 payload, sender_clock, nbytes = queue.popleft()
                 break
-            self.state.scheduler.park(
-                me,
+            yield Park(
                 "recv",
                 (self.comm_id, local_rank, source, tag),
-                f"recv(source={source}, tag={tag!r}) on communicator {self.name!r}",
+                # Lazy: only formatted if this wait ends up in a deadlock report.
+                lambda: f"recv(source={source}, tag={tag!r}) on communicator {self.name!r}",
             )
             self._check_abort()
-        src_world = self.world_rank(source)
-        transfer = self.state.transfer_time(nbytes, src_world, me)
+        src_world = self.world_ranks[source]
+        # Fused price-and-record: classify the link once (memoised per rank
+        # pair), charge the alpha-beta cost, and append to the trace directly.
+        link, spec = state.link_of(src_world, me)
+        transfer = 0.0 if spec is None else spec.transfer_time(nbytes)
         arrival = sender_clock + transfer
-        my_clock = self.state.clock(me)
-        self.state.set_clock(me, max(my_clock, arrival))
-        self.state.record_message(
-            src_world, me, nbytes, tag=str(tag), send_time=sender_clock,
+        clocks = state._clocks
+        my_clock = clocks[me]
+        if arrival > my_clock:
+            clocks[me] = arrival
+        state.trace.record_message(
+            src_world, me, nbytes, link, tag=str(tag), send_time=sender_clock,
             recv_time=arrival, wait_s=max(0.0, arrival - my_clock),
         )
         return payload
@@ -299,34 +329,39 @@ class CommCore:
         is a pure function of simulation state, so probe-driven programs (the
         DAG runtime's ready queue) stay deterministic.
         """
-        self._check_abort()
+        state = self.state
+        if state.aborted:
+            state.scheduler.check_abort()
         if not 0 <= source < self.size:
             raise CommunicatorError(f"probe of invalid rank {source} (size {self.size})")
         queue = self._mailbox.get((local_rank, source, tag))
         if not queue:
             return None
         _payload, sender_clock, nbytes = queue[0]
-        me = self.world_rank(local_rank)
-        return sender_clock + self.state.transfer_time(nbytes, self.world_rank(source), me)
+        spec = state.link_of(self.world_ranks[source], self.world_ranks[local_rank])[1]
+        return sender_clock + (0.0 if spec is None else spec.transfer_time(nbytes))
 
     def sendrecv(
         self, local_rank: int, payload: object, dest: int, source: int, tag: object = 0
-    ) -> object:
-        """Combined send + receive (used by exchange patterns)."""
+    ):
+        """Combined send + receive (a generator; drive with ``yield from``)."""
         self.send(local_rank, payload, dest, tag)
-        return self.recv(local_rank, source, tag)
+        return (yield from self.recv(local_rank, source, tag))
 
     # ----------------------------------------------------------- rendezvous
     def _collective(
         self, local_rank: int, kind: str, value: object, params: dict
-    ) -> object:
+    ):
         """Enter a collective; the last rank to arrive executes the schedule.
 
-        Every earlier arrival parks on the scheduler keyed by the rendezvous
-        generation; the executing rank simulates the whole schedule, updates
-        all exit clocks, publishes the per-rank results and unparks everyone.
+        A generator (drive with ``yield from``).  Every earlier arrival parks
+        keyed by the rendezvous generation; the executing rank simulates the
+        whole schedule, updates all exit clocks, publishes the per-rank
+        results and unparks everyone.
         """
-        self._check_abort()
+        state = self.state
+        if state.aborted:
+            state.scheduler.check_abort()
         rv = self._rendezvous
         my_gen = rv.generation
         if local_rank in rv.entries:
@@ -348,13 +383,13 @@ class CommCore:
             rv.generation += 1
             self.state.scheduler.unpark("collective", (self.comm_id, my_gen))
         else:
-            me = self.world_rank(local_rank)
             while rv.generation == my_gen:
-                self.state.scheduler.park(
-                    me,
+                yield Park(
                     "collective",
                     (self.comm_id, my_gen),
-                    f"collective {kind!r} on communicator {self.name!r} "
+                    # Lazy: formatted only at deadlock detection, where both
+                    # backends observe the same arrival count.
+                    lambda: f"collective {kind!r} on communicator {self.name!r} "
                     f"({len(rv.entries)}/{self.size} ranks arrived)",
                 )
                 self._check_abort()
@@ -570,9 +605,15 @@ class CommCore:
         return out, exit_clocks
 
 
-@dataclass
+@dataclass(slots=True)
 class CommHandle:
-    """Per-rank view of a communicator (what an MPI process holds)."""
+    """Per-rank view of a communicator (what an MPI process holds).
+
+    Blocking methods (``recv``, ``sendrecv`` and every collective) are
+    generator functions: rank programs drive them with ``yield from`` so the
+    engine can suspend the program at the blocking point.  Non-blocking
+    methods (``send``, ``probe``, ``compute``, ``clock``) are plain calls.
+    """
 
     core: CommCore
     local_rank: int
@@ -607,49 +648,59 @@ class CommHandle:
         """Send ``payload`` to local rank ``dest`` (eager, non-blocking in time)."""
         self.core.send(self.local_rank, payload, dest, tag, nbytes)
 
-    def recv(self, source: int, tag: object = 0) -> object:
+    def recv(self, source: int, tag: object = 0):
         """Receive the next message from ``source`` with matching ``tag``."""
-        return self.core.recv(self.local_rank, source, tag)
+        return (yield from self.core.recv(self.local_rank, source, tag))
 
     def probe(self, source: int, tag: object = 0) -> float | None:
         """Arrival time of a pending message from ``source``/``tag``, or None."""
         return self.core.probe(self.local_rank, source, tag)
 
-    def sendrecv(self, payload: object, dest: int, source: int, tag: object = 0) -> object:
+    def sendrecv(self, payload: object, dest: int, source: int, tag: object = 0):
         """Send to ``dest`` and receive from ``source``."""
-        return self.core.sendrecv(self.local_rank, payload, dest, source, tag)
+        return (yield from self.core.sendrecv(self.local_rank, payload, dest, source, tag))
 
     # ---------------------------------------------------------- collectives
-    def barrier(self) -> None:
+    def barrier(self):
         """Synchronise all ranks of the communicator."""
-        self.core._collective(self.local_rank, "barrier", None, {})
+        yield from self.core._collective(self.local_rank, "barrier", None, {})
 
-    def bcast(self, payload: object = None, root: int = 0) -> object:
+    def bcast(self, payload: object = None, root: int = 0):
         """Broadcast ``payload`` from ``root`` to every rank; returns it everywhere."""
-        return self.core._collective(self.local_rank, "bcast", payload, {"root": root})
+        return (yield from self.core._collective(
+            self.local_rank, "bcast", payload, {"root": root}
+        ))
 
-    def reduce(self, value: object, op: ReduceOp = SUM, root: int = 0) -> object:
+    def reduce(self, value: object, op: ReduceOp = SUM, root: int = 0):
         """Tree reduction to ``root``; non-root ranks receive ``None``."""
-        return self.core._collective(self.local_rank, "reduce", value, {"op": op, "root": root})
+        return (yield from self.core._collective(
+            self.local_rank, "reduce", value, {"op": op, "root": root}
+        ))
 
-    def allreduce(self, value: object, op: ReduceOp = SUM) -> object:
+    def allreduce(self, value: object, op: ReduceOp = SUM):
         """Tree reduction followed by a broadcast of the result to every rank."""
-        return self.core._collective(self.local_rank, "allreduce", value, {"op": op})
+        return (yield from self.core._collective(
+            self.local_rank, "allreduce", value, {"op": op}
+        ))
 
-    def gather(self, value: object, root: int = 0) -> list[object] | None:
+    def gather(self, value: object, root: int = 0):
         """Gather one value per rank at ``root`` (rank order); ``None`` elsewhere."""
-        return self.core._collective(self.local_rank, "gather", value, {"root": root})
+        return (yield from self.core._collective(
+            self.local_rank, "gather", value, {"root": root}
+        ))
 
-    def allgather(self, value: object) -> list[object]:
+    def allgather(self, value: object):
         """Gather one value per rank and broadcast the list to everyone."""
-        return self.core._collective(self.local_rank, "allgather", value, {})
+        return (yield from self.core._collective(self.local_rank, "allgather", value, {}))
 
-    def scatter(self, values: list[object] | None = None, root: int = 0) -> object:
+    def scatter(self, values: list[object] | None = None, root: int = 0):
         """Scatter one item of ``values`` (given at ``root``) to each rank."""
-        return self.core._collective(self.local_rank, "scatter", values, {"root": root})
+        return (yield from self.core._collective(
+            self.local_rank, "scatter", values, {"root": root}
+        ))
 
     def split(self, color: object, key: int | None = None, *,
-              collective_tree: str | None = None) -> "CommHandle | None":
+              collective_tree: str | None = None):
         """Split the communicator by ``color`` (mirrors ``MPI_Comm_split``).
 
         Ranks passing ``color=None`` receive ``None`` (they join no new
@@ -659,7 +710,9 @@ class CommHandle:
         params = {}
         if collective_tree is not None:
             params["collective_tree"] = collective_tree
-        return self.core._collective(self.local_rank, "split", (color, key), params)
+        return (yield from self.core._collective(
+            self.local_rank, "split", (color, key), params
+        ))
 
     # --------------------------------------------------------------- compute
     def compute(self, flops: float, kernel: str = "gemm", n: int | float | None = None) -> float:

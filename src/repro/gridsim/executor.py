@@ -1,28 +1,33 @@
-"""SPMD executor: run one Python function per simulated MPI rank.
+"""SPMD executor: run one Python program per simulated MPI rank.
 
-The executor is the ``mpiexec`` of the simulator: it assigns one cooperative
-worker thread per rank, hands each worker a :class:`RankContext` (its rank,
-the world communicator handle and the shared simulation state) and collects
-per-rank return values.  The threads are driven by the
-:class:`~repro.gridsim.scheduler.VirtualTimeScheduler` owned by the
-simulation state: exactly one rank executes at a time (always one whose
-virtual clock was minimal when it became runnable), a blocked rank parks
-until the event it waits for occurs, and a cyclic wait raises
-:class:`~repro.exceptions.DeadlockError` immediately with a per-rank wait
-graph.
+The executor is the ``mpiexec`` of the simulator: it hands each rank a
+:class:`RankContext` (its rank, the world communicator handle and the shared
+simulation state), runs the rank programs under the engine's scheduler and
+collects per-rank return values.  Exactly one rank executes at a time
+(always one whose virtual clock was minimal when it became runnable), a
+blocked rank suspends until the event it waits for occurs, and a cyclic wait
+raises :class:`~repro.exceptions.DeadlockError` immediately with a per-rank
+wait graph.
 
-**Pooled rank workers.**  Spawning an OS thread per rank per run is pure
-overhead at scale — a figure sweep runs dozens of simulations, and a
-4096-rank run would pay thousands of thread creations each time.  Worker
-threads therefore come from a lazily-grown module-level pool
-(:class:`_RankWorkerPool`): the first 2048-rank run of a process spawns 2048
-daemon workers, every later run reuses them.  The pool is safe across
-consecutive runs (each run hands workers fresh closures over its own
-simulation state; nothing about a simulation is stored on the worker) and is
-reset transparently in forked children (``multiprocessing`` sweep workers).
-``SPMDExecutor(..., reuse_threads=False)`` opts out and spawns fresh threads
-per run — the equivalence tests assert both modes produce bit-identical
-results.
+**Engine backends.**  Rank programs are generators (blocking communicator
+calls are driven with ``yield from``); the ``engine=`` selector chooses how
+they are resumed:
+
+* ``"coroutine"`` (default) — the single-threaded
+  :class:`~repro.gridsim.engine.CoroutineScheduler` event loop resumes one
+  generator at a time; no OS threads, no semaphores, no GIL hand-offs.
+* ``"threads"`` — the reference backend: one cooperative pooled worker
+  thread per rank drives its generator through the semaphore-handoff
+  :class:`~repro.gridsim.scheduler.VirtualTimeScheduler`.  Worker threads
+  come from a lazily-grown module-level pool (:class:`_RankWorkerPool`)
+  reset transparently in forked children.
+* ``"threads-fresh"`` — the threads backend with fresh OS threads per run
+  instead of the pool (the pooled-vs-fresh equivalence tests).
+
+Scheduling decisions are identical across backends — the equivalence suite
+asserts bit-identical results, clocks and trace event streams.  Programs
+that never block (only ``send``/``probe``/``compute``) may remain plain
+functions; the executor detects generator programs at runtime.
 
 The *virtual* execution time of the program is the maximum rank clock when
 every rank has finished — wall-clock time spent in numpy is never added to
@@ -35,22 +40,28 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from dataclasses import dataclass, field
 from queue import SimpleQueue
+from types import GeneratorType
 from typing import Callable, Hashable, Sequence, TypeVar
 
-from repro.exceptions import DeadlockError, SimulationError
+from repro.exceptions import ConfigurationError, DeadlockError, SimulationError
 from repro.gridsim.communicator import CommCore, CommHandle
+from repro.gridsim.engine import SWITCH, drive_on_thread
 from repro.gridsim.platform import Platform, SimulationState
 from repro.gridsim.topology import ProcessLocation
 from repro.gridsim.trace import TraceSummary
 
 __all__ = ["RankContext", "SimulationResult", "SPMDExecutor", "run_spmd"]
 
+#: Engine backends accepted by :class:`SPMDExecutor`.
+ENGINES = ("coroutine", "threads", "threads-fresh")
+
 T = TypeVar("T")
 
 
-@dataclass
+@dataclass(slots=True)
 class RankContext:
     """Everything a rank program needs: identity, communicator, clock access."""
 
@@ -92,15 +103,16 @@ class RankContext:
         """
         return self.state.shared(key, build)
 
-    def yield_turn(self) -> None:
+    def yield_turn(self):
         """Hand the CPU back to the scheduler and resume in clock order.
 
-        Long-running programs that never block (the DAG runtime's per-rank
-        ready loops) call this between work items so every rank advances in
+        A generator (drive with ``yield from ctx.yield_turn()``).
+        Long-running programs call this between work items (the DAG
+        runtime's per-rank ready loops) so every rank advances in
         virtual-time order; see
         :meth:`~repro.gridsim.scheduler.VirtualTimeScheduler.yield_turn`.
         """
-        self.state.scheduler.yield_turn(self.rank)
+        yield SWITCH
 
 
 @dataclass
@@ -252,10 +264,16 @@ class SPMDExecutor:
         Tree shape used by the world communicator's collectives: ``"binary"``
         (MPI/ScaLAPACK default), ``"hierarchical"`` (topology-aware) or
         ``"flat"``.
+    engine:
+        Backend driving the rank generators: ``"coroutine"`` (default, the
+        single-threaded event loop), ``"threads"`` (pooled cooperative
+        worker threads, the reference backend) or ``"threads-fresh"``
+        (threads backend with fresh OS threads per run).  Scheduling is
+        identical across backends; the equivalence tests pin bit-identical
+        traces.
     reuse_threads:
-        Take rank workers from the process-wide pool (default) instead of
-        spawning fresh OS threads per run.  Scheduling is identical either
-        way; the flag exists for the pooled-vs-fresh equivalence tests.
+        Deprecated alias for the engine selector: ``True`` maps to
+        ``engine="threads"``, ``False`` to ``engine="threads-fresh"``.
     """
 
     def __init__(
@@ -264,12 +282,31 @@ class SPMDExecutor:
         *,
         record_messages: bool = False,
         collective_tree: str = "binary",
-        reuse_threads: bool = True,
+        engine: str | None = None,
+        reuse_threads: bool | None = None,
     ) -> None:
+        if reuse_threads is not None:
+            warnings.warn(
+                "SPMDExecutor(reuse_threads=...) is deprecated; use "
+                "engine='threads' (pooled) or engine='threads-fresh' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if engine is not None:
+                raise ConfigurationError(
+                    "pass either engine= or the deprecated reuse_threads=, not both"
+                )
+            engine = "threads" if reuse_threads else "threads-fresh"
+        if engine is None:
+            engine = "coroutine"
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r} (expected one of {ENGINES})"
+            )
         self.platform = platform
         self.record_messages = record_messages
         self.collective_tree = collective_tree
-        self.reuse_threads = reuse_threads
+        self.engine = engine
 
     def run(
         self,
@@ -291,7 +328,10 @@ class SPMDExecutor:
         n = self.platform.n_processes
         active = list(range(n)) if ranks is None else list(ranks)
         state = SimulationState(
-            self.platform, record_messages=self.record_messages, active_ranks=active
+            self.platform,
+            record_messages=self.record_messages,
+            active_ranks=active,
+            engine="coroutine" if self.engine == "coroutine" else "threads",
         )
         scheduler = state.scheduler
         world = CommCore(
@@ -299,48 +339,74 @@ class SPMDExecutor:
         )
         results: list[object] = [None] * len(active)
         errors: list[tuple[int, BaseException]] = []
-        errors_lock = threading.Lock()
+        local_of = [0] * n
+        for local, world_rank in enumerate(active):
+            local_of[world_rank] = local
 
-        def _worker(local_rank: int, world_rank: int) -> None:
-            ctx = RankContext(
-                rank=world_rank,
-                size=len(active),
-                comm=CommHandle(world, local_rank),
-                state=state,
-            )
-            try:
-                scheduler.wait_for_turn(world_rank)
-                # A failure elsewhere releases every waiting thread at once;
-                # re-check so aborted ranks never run their program (which
-                # would execute concurrently with other released ranks).
-                if not state.abort.is_set():
-                    results[local_rank] = program(ctx, *args, **kwargs)
-            except BaseException as exc:  # noqa: BLE001 - propagated to the caller
-                with errors_lock:
-                    errors.append((world_rank, exc))
-                state.fail(exc)
-            finally:
-                scheduler.finish(world_rank)
-
-        def _task(local_rank: int, world_rank: int):
-            return (lambda: _worker(local_rank, world_rank), f"rank-{world_rank}")
-
-        if self.reuse_threads:
-            _pool.run_all([_task(local, wr) for local, wr in enumerate(active)])
-        else:
-            threads = [
-                threading.Thread(
-                    target=_worker,
-                    args=(local, world_rank),
-                    name=f"rank-{world_rank}",
-                    daemon=True,
+        if self.engine == "coroutine":
+            def _start(world_rank: int) -> object:
+                ctx = RankContext(
+                    rank=world_rank,
+                    size=len(active),
+                    comm=CommHandle(world, local_of[world_rank]),
+                    state=state,
                 )
-                for local, world_rank in enumerate(active)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
+                return program(ctx, *args, **kwargs)
+
+            def _on_result(world_rank: int, value: object) -> None:
+                results[local_of[world_rank]] = value
+
+            def _on_error(world_rank: int, exc: BaseException) -> None:
+                errors.append((world_rank, exc))
+
+            scheduler.run(_start, _on_result, _on_error)
+        else:
+            errors_lock = threading.Lock()
+
+            def _worker(local_rank: int, world_rank: int) -> None:
+                ctx = RankContext(
+                    rank=world_rank,
+                    size=len(active),
+                    comm=CommHandle(world, local_rank),
+                    state=state,
+                )
+                try:
+                    scheduler.wait_for_turn(world_rank)
+                    # A failure elsewhere releases every waiting thread at
+                    # once; re-check so aborted ranks never run their program
+                    # (which would execute concurrently with other released
+                    # ranks).
+                    if not state.abort.is_set():
+                        out = program(ctx, *args, **kwargs)
+                        if isinstance(out, GeneratorType):
+                            out = drive_on_thread(out, scheduler, world_rank)
+                        results[local_rank] = out
+                except BaseException as exc:  # noqa: BLE001 - propagated to the caller
+                    with errors_lock:
+                        errors.append((world_rank, exc))
+                    state.fail(exc)
+                finally:
+                    scheduler.finish(world_rank)
+
+            def _task(local_rank: int, world_rank: int):
+                return (lambda: _worker(local_rank, world_rank), f"rank-{world_rank}")
+
+            if self.engine == "threads":
+                _pool.run_all([_task(local, wr) for local, wr in enumerate(active)])
+            else:
+                threads = [
+                    threading.Thread(
+                        target=_worker,
+                        args=(local, world_rank),
+                        name=f"rank-{world_rank}",
+                        daemon=True,
+                    )
+                    for local, world_rank in enumerate(active)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
 
         if errors:
             if isinstance(state.failure, DeadlockError):
@@ -373,7 +439,8 @@ def run_spmd(
     *args: object,
     record_messages: bool = False,
     collective_tree: str = "binary",
-    reuse_threads: bool = True,
+    engine: str | None = None,
+    reuse_threads: bool | None = None,
     **kwargs: object,
 ) -> SimulationResult:
     """Convenience wrapper: build an executor and run ``program`` once."""
@@ -381,6 +448,7 @@ def run_spmd(
         platform,
         record_messages=record_messages,
         collective_tree=collective_tree,
+        engine=engine,
         reuse_threads=reuse_threads,
     )
     return executor.run(program, *args, **kwargs)

@@ -325,20 +325,22 @@ class GroupCommunicators:
 
 def group_communicators(
     comm: CommHandle, allocation: Allocation, *, collective_tree: str = "binary"
-) -> GroupCommunicators:
+):
     """Split ``comm`` according to the allocation's group structure.
 
-    Every rank obtains the communicator of its own group; group leaders (the
-    smallest world rank of each group) additionally obtain a communicator
-    connecting all leaders, which is where the inter-cluster stage of the
-    reduction happens.  Mirrors the ``MPI_Comm_split`` calls of paper §III.
+    A generator (drive with ``yield from``; it performs two ``comm.split``
+    collectives).  Every rank obtains the communicator of its own group;
+    group leaders (the smallest world rank of each group) additionally
+    obtain a communicator connecting all leaders, which is where the
+    inter-cluster stage of the reduction happens.  Mirrors the
+    ``MPI_Comm_split`` calls of paper §III.
     """
     attrs = topology_attributes(allocation, comm.world_rank)
-    group_comm = comm.split(color=attrs.group, key=comm.world_rank,
-                            collective_tree=collective_tree)
+    group_comm = yield from comm.split(color=attrs.group, key=comm.world_rank,
+                                       collective_tree=collective_tree)
     leader_color = 0 if comm.world_rank == attrs.group_leader_world_rank else None
-    leaders_comm = comm.split(color=leader_color, key=attrs.group,
-                              collective_tree=collective_tree)
+    leaders_comm = yield from comm.split(color=leader_color, key=attrs.group,
+                                         collective_tree=collective_tree)
     return GroupCommunicators(
         group_comm=group_comm, leaders_comm=leaders_comm, attributes=attrs
     )

@@ -36,6 +36,14 @@ class LinkClass(enum.Enum):
         return self.value
 
 
+# Stable small-int index per member, in definition order.  The trace keeps
+# its per-link counters in flat lists indexed by this (enum ``__hash__`` is a
+# Python-level call and message recording is on the per-event hot path).
+for _index, _link in enumerate(LinkClass):
+    _link.index = _index
+del _index, _link
+
+
 @dataclass(frozen=True)
 class LinkSpec:
     """Point-to-point link characteristics (alpha-beta model).

@@ -16,9 +16,10 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError
+from repro.gridsim.engine import CoroutineScheduler
 from repro.gridsim.kernelmodel import KernelRateModel
 from repro.gridsim.machine import GridSpec
-from repro.gridsim.network import LinkClass, NetworkModel
+from repro.gridsim.network import LinkClass, LinkSpec, NetworkModel
 from repro.gridsim.scheduler import VirtualTimeScheduler
 from repro.gridsim.topology import ProcessPlacement
 from repro.gridsim.trace import Trace
@@ -69,18 +70,22 @@ class SimulationState:
     """Mutable per-simulation state: virtual clocks, trace, scheduler, abort flag.
 
     One :class:`SimulationState` is created per SPMD run and shared by all
-    rank threads.  The state owns the
-    :class:`~repro.gridsim.scheduler.VirtualTimeScheduler` (and through it the
-    ready set keyed by virtual clock) that admits exactly one runnable rank
-    at a time.
+    ranks.  The state owns the scheduler (and through it the ready set keyed
+    by virtual clock) that admits exactly one runnable rank at a time:
+    the single-threaded
+    :class:`~repro.gridsim.engine.CoroutineScheduler` by default, or the
+    thread-backed
+    :class:`~repro.gridsim.scheduler.VirtualTimeScheduler` reference backend
+    when ``engine="threads"``.
 
     **Single-writer invariant.**  Because the scheduler admits one rank at a
     time, clock reads and writes are never concurrent: a rank normally only
     touches its own clock, collective execution (performed by whichever rank
     arrives last) updates everyone's while the others are parked, and the
-    executor reads the final clocks only after every rank thread has
-    finished.  Clock access therefore takes **no lock** — the semaphore
-    handoff in the scheduler provides the necessary happens-before edges.
+    executor reads the final clocks only after every rank has finished.
+    Clock access therefore takes **no lock** — on the coroutine backend
+    everything runs on one thread, and on the threads backend the semaphore
+    handoff provides the necessary happens-before edges.
 
     ``active_ranks`` restricts the scheduled ranks to a subset of the
     platform's processes (the executor's ``ranks=...`` feature); clocks and
@@ -93,20 +98,42 @@ class SimulationState:
         *,
         record_messages: bool = False,
         active_ranks: Sequence[int] | None = None,
+        engine: str = "coroutine",
     ) -> None:
         self.platform = platform
         self.trace = Trace(platform.n_processes, record_messages=record_messages)
         self._clocks = [0.0] * platform.n_processes
         self.abort = threading.Event()
+        #: Plain-bool mirror of the abort event, read on every hot-path abort
+        #: check (an attribute load instead of an Event method call; writes
+        #: only happen in :meth:`record_failure`, under the single-runner
+        #: invariant / before the threads backend wakes anyone).
+        self.aborted = False
         self.failure: BaseException | None = None
         self._next_comm_id = 0
+        #: Memo of kernel rates per ``(kernel, n)`` — the kernel model is
+        #: immutable for the lifetime of a simulation, and the efficiency
+        #: curve lookup is on the per-event hot path.
+        self._rate_cache: dict[tuple[str, int | float | None], float] = {}
+        #: Memo of ``(src, dest) -> (LinkClass, LinkSpec | None)`` — placement
+        #: and network are immutable per simulation, and every message prices
+        #: and classifies its link.  Populated lazily with the pairs that
+        #: actually communicate (tree edges), so it stays O(P)-sized.
+        self._link_cache: dict[tuple[int, int], tuple[LinkClass, LinkSpec | None]] = {}
         #: Run-wide memo for pure, rank-identical setup artifacts (domain row
         #: ranges, reduction trees, cluster lists).  Under the single-runner
         #: invariant the first rank to need a value builds it and every other
         #: rank reuses it; see :meth:`RankContext.shared`.
         self.memo: dict[Hashable, object] = {}
         ranks = range(platform.n_processes) if active_ranks is None else active_ranks
-        self.scheduler = VirtualTimeScheduler(ranks, self)
+        if engine == "coroutine":
+            self.scheduler = CoroutineScheduler(ranks, self)
+        elif engine == "threads":
+            self.scheduler = VirtualTimeScheduler(ranks, self)
+        else:
+            raise ConfigurationError(
+                f"unknown simulation engine {engine!r} (expected 'coroutine' or 'threads')"
+            )
 
     def allocate_comm_id(self) -> int:
         """Allocate the next communicator id (deterministic per simulation)."""
@@ -158,15 +185,34 @@ class SimulationState:
         return max(self._clocks) if self._clocks else 0.0
 
     # ------------------------------------------------------- communication
+    def link_of(self, src: int, dest: int) -> tuple[LinkClass, LinkSpec | None]:
+        """Memoised ``(class, spec)`` of the ``src -> dest`` link.
+
+        ``spec`` is None exactly for self-messages (which cost nothing).
+        One dict hit replaces the classify + spec-resolution walk on every
+        message after the first over a given rank pair.
+        """
+        ent = self._link_cache.get((src, dest))
+        if ent is None:
+            if src == dest:
+                ent = (LinkClass.SELF, None)
+            else:
+                placement = self.platform.placement
+                la, lb = placement.locations[src], placement.locations[dest]
+                ent = self.platform.network.link_between(
+                    la.cluster, la.node, lb.cluster, lb.node
+                )
+            self._link_cache[(src, dest)] = ent
+        return ent
+
     def transfer_time(self, nbytes: int | float, src: int, dest: int) -> float:
         """Seconds to move ``nbytes`` from ``src`` to ``dest``."""
-        return self.platform.placement.transfer_time(
-            self.platform.network, nbytes, src, dest
-        )
+        spec = self.link_of(src, dest)[1]
+        return 0.0 if spec is None else spec.transfer_time(nbytes)
 
     def link_class(self, src: int, dest: int) -> LinkClass:
         """Class of the link between two ranks."""
-        return self.platform.placement.link_class(self.platform.network, src, dest)
+        return self.link_of(src, dest)[0]
 
     def record_message(
         self, src: int, dest: int, nbytes: int, *, tag: str = "", send_time: float = 0.0,
@@ -189,8 +235,15 @@ class SimulationState:
         self, rank: int, flops: float, kernel: str = "gemm", n: int | float | None = None
     ) -> float:
         """Charge ``flops`` of ``kernel`` to ``rank`` and return the elapsed time."""
-        dt = self.platform.kernel_model.time(flops, kernel, n)
-        self.advance(rank, dt)
+        if flops < 0:
+            raise ConfigurationError(f"negative flop count: {flops}")
+        rate = self._rate_cache.get((kernel, n))
+        if rate is None:
+            rate = self.platform.kernel_model.rate(kernel, n)
+            self._rate_cache[(kernel, n)] = rate
+        dt = float(flops) / rate if flops else 0.0
+        # Inlined advance(): dt >= 0 by construction (flops >= 0, rate > 0).
+        self._clocks[rank] += dt
         self.trace.record_flops(rank, flops, kernel, dt)
         return dt
 
@@ -203,6 +256,7 @@ class SimulationState:
         """
         if self.failure is None:
             self.failure = exc
+        self.aborted = True
         self.abort.set()
 
     def fail(self, exc: BaseException) -> None:

@@ -1,13 +1,20 @@
-"""Virtual-time cooperative scheduler: the discrete-event core of gridsim.
+"""Virtual-time cooperative scheduler: the thread-backed reference backend.
 
-Every simulated MPI rank still runs on its own Python thread (rank programs
-are plain blocking functions), but the threads are *cooperative*: exactly one
-rank executes at any instant, and it is always a rank whose virtual clock was
-minimal among the runnable ranks when it became runnable.  A rank that blocks
-(an empty-mailbox ``recv``, an incomplete collective rendezvous) *parks* on a
-per-rank semaphore and consumes zero CPU until the event it waits for is
-produced by another rank, at which point it is *unparked* — moved back into
-the ready set keyed by its virtual clock.
+This module holds the *threads* engine of the simulator.  Since the
+generator-core rewrite the default backend is the single-threaded
+:class:`~repro.gridsim.engine.CoroutineScheduler` (rank programs are
+generators resumed by one event loop); the scheduler below is kept as the
+reference implementation that drives the *same* generators on one
+cooperative OS thread per rank, and the equivalence suite asserts both
+backends produce bit-identical traces.
+
+Under this backend exactly one rank thread executes at any instant, and it
+is always a rank whose virtual clock was minimal among the runnable ranks
+when it became runnable.  A rank that blocks (an empty-mailbox ``recv``, an
+incomplete collective rendezvous) *parks* on a per-rank semaphore and
+consumes zero CPU until the event it waits for is produced by another rank,
+at which point it is *unparked* — moved back into the ready set keyed by its
+virtual clock.
 
 The handoff machinery is built for speed at thousands of ranks:
 
@@ -56,9 +63,17 @@ from typing import TYPE_CHECKING, Hashable, Sequence
 from repro.exceptions import DeadlockError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (platform -> scheduler)
+    from typing import Mapping
+
     from repro.gridsim.platform import SimulationState
 
-__all__ = ["RankStatus", "WaitInfo", "VirtualTimeScheduler"]
+__all__ = [
+    "RankStatus",
+    "WaitInfo",
+    "VirtualTimeScheduler",
+    "format_deadlock",
+    "raise_if_aborted",
+]
 
 
 class RankStatus:
@@ -76,12 +91,47 @@ class WaitInfo:
 
     ``kind``/``key`` identify the event that satisfies the wait (an exact
     match wakes the rank); ``detail`` is the human-readable description used
-    by the deadlock wait graph.
+    by the deadlock wait graph — either a string or a zero-argument callable
+    producing one, so the hot blocking paths never pay for formatting a
+    message that is only read when a deadlock is actually reported.
     """
 
     kind: str
     key: Hashable
-    detail: str
+    detail: object
+
+
+def format_deadlock(
+    blocked: Sequence[int], waiting: "Mapping[int, WaitInfo]", done: int
+) -> str:
+    """Build the deadlock message with its per-rank wait graph.
+
+    Shared by both engine backends so a deadlocked simulation reports the
+    identical wait graph regardless of how the ranks were driven.
+    """
+    lines = [
+        f"deadlock detected: all {len(blocked)} live rank(s) are blocked "
+        "and no pending event can unblock them"
+    ]
+    for rank in blocked:
+        info = waiting.get(rank)
+        detail = info.detail if info is not None else "unknown wait"
+        if callable(detail):
+            detail = detail()
+        lines.append(f"  rank {rank}: waiting on {detail}")
+    if done:
+        lines.append(f"  ({done} rank(s) already finished)")
+    return "\n".join(lines)
+
+
+def raise_if_aborted(state: "SimulationState") -> None:
+    """Raise if the simulation has failed (deadlock errors keep their type)."""
+    if not state.aborted:
+        return
+    failure = state.failure
+    if isinstance(failure, DeadlockError):
+        raise DeadlockError(str(failure))
+    raise SimulationError(f"simulation aborted: {failure!r}") from failure
 
 
 class VirtualTimeScheduler:
@@ -132,7 +182,7 @@ class VirtualTimeScheduler:
             return
         self._sem[rank].acquire()
 
-    def park(self, rank: int, kind: str, key: Hashable, detail: str) -> None:
+    def park(self, rank: int, kind: str, key: Hashable, detail: object) -> None:
         """Yield the CPU until ``(kind, key)`` is produced by another rank.
 
         The caller must be the currently running rank.  Returns when the rank
@@ -285,19 +335,10 @@ class VirtualTimeScheduler:
     def _deadlock_locked(self, blocked: list[int]) -> None:
         """Fail the simulation with a wait graph of every parked rank."""
         done = sum(1 for r in self._ranks if self._status[r] is RankStatus.DONE)
-        lines = [
-            f"deadlock detected: all {len(blocked)} live rank(s) are blocked "
-            "and no pending event can unblock them"
-        ]
-        for rank in blocked:
-            info = self._waiting.get(rank)
-            detail = info.detail if info is not None else "unknown wait"
-            lines.append(f"  rank {rank}: waiting on {detail}")
-        if done:
-            lines.append(f"  ({done} rank(s) already finished)")
+        message = format_deadlock(blocked, self._waiting, done)
         # record_failure (not state.fail) because the scheduler lock is held:
         # fail() would re-enter wake_all_blocked and deadlock on the plain lock.
-        self._state.record_failure(DeadlockError("\n".join(lines)))
+        self._state.record_failure(DeadlockError(message))
         self._wake_all_locked()
 
     # -------------------------------------------------------------- queries
@@ -308,9 +349,4 @@ class VirtualTimeScheduler:
 
     def check_abort(self) -> None:
         """Raise if the simulation has failed (deadlock errors keep their type)."""
-        if not self._state.abort.is_set():
-            return
-        failure = self._state.failure
-        if isinstance(failure, DeadlockError):
-            raise DeadlockError(str(failure))
-        raise SimulationError(f"simulation aborted: {failure!r}") from failure
+        raise_if_aborted(self._state)

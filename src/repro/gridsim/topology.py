@@ -110,14 +110,14 @@ class ProcessPlacement:
         """Return the class of the link a message from ``a`` to ``b`` uses."""
         if a == b:
             return LinkClass.SELF
-        la, lb = self.location(a), self.location(b)
+        la, lb = self.locations[a], self.locations[b]
         return network.classify(la.cluster, la.node, lb.cluster, lb.node)
 
     def transfer_time(self, network: NetworkModel, nbytes: int | float, a: int, b: int) -> float:
         """Seconds needed to move ``nbytes`` from rank ``a`` to rank ``b``."""
         if a == b:
             return 0.0
-        la, lb = self.location(a), self.location(b)
+        la, lb = self.locations[a], self.locations[b]
         return network.transfer_time(nbytes, la.cluster, la.node, lb.cluster, lb.node)
 
     def _check_rank(self, rank: int) -> None:

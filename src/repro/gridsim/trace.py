@@ -128,12 +128,13 @@ class Trace:
         #: only when recording is on; message events share the records of
         #: :attr:`messages` rather than duplicating them).
         self.events: list[tuple] = []
-        # Pre-seeded per-link slots: the hot path is a plain dict increment,
-        # never a defaultdict factory call.  summary() exports only links
-        # that carried at least one message, matching the lazily-created
-        # dictionaries of the previous implementation bit for bit.
-        self._msg_count: dict[LinkClass, int] = {link: 0 for link in LinkClass}
-        self._bytes: dict[LinkClass, int] = {link: 0 for link in LinkClass}
+        # Flat per-link slots indexed by ``LinkClass.index``: the hot path is
+        # a C-level list increment, never an enum-hashing dict lookup.
+        # summary() exports only links that carried at least one message,
+        # matching the lazily-created dictionaries of the previous
+        # implementation bit for bit.
+        self._msg_count: list[int] = [0] * len(LinkClass)
+        self._bytes: list[int] = [0] * len(LinkClass)
         self._msgs_per_rank = [0] * n_ranks
         self._inter_msgs_per_rank = [0] * n_ranks
         self._flops_per_rank = [0.0] * n_ranks
@@ -164,8 +165,9 @@ class Trace:
         """
         if link is LinkClass.SELF:
             return
-        self._msg_count[link] += 1
-        self._bytes[link] += int(nbytes)
+        idx = link.index
+        self._msg_count[idx] += 1
+        self._bytes[idx] += int(nbytes)
         self._msgs_per_rank[source] += 1
         self._msgs_per_rank[dest] += 1
         if wait_s > 0.0:
@@ -203,14 +205,14 @@ class Trace:
     def message_count(self, link: LinkClass | None = None) -> int:
         """Number of messages, optionally restricted to one link class."""
         if link is None:
-            return sum(self._msg_count.values())
-        return self._msg_count[link]
+            return sum(self._msg_count)
+        return self._msg_count[link.index]
 
     def bytes_sent(self, link: LinkClass | None = None) -> int:
         """Bytes moved, optionally restricted to one link class."""
         if link is None:
-            return sum(self._bytes.values())
-        return self._bytes[link]
+            return sum(self._bytes)
+        return self._bytes[link.index]
 
     def flops(self, rank: int | None = None) -> float:
         """Flops executed by one rank, or by all ranks when ``rank`` is None."""
@@ -225,10 +227,14 @@ class Trace:
             # identical to the one the lazily-populated counters produced.
             return TraceSummary(
                 n_messages={
-                    k.value: v for k, v in self._msg_count.items() if v
+                    k.value: self._msg_count[k.index]
+                    for k in LinkClass
+                    if self._msg_count[k.index]
                 },
                 bytes_by_link={
-                    k.value: self._bytes[k] for k, v in self._msg_count.items() if v
+                    k.value: self._bytes[k.index]
+                    for k in LinkClass
+                    if self._msg_count[k.index]
                 },
                 messages_per_rank_max=max(self._msgs_per_rank, default=0),
                 inter_cluster_messages_per_rank_max=max(self._inter_msgs_per_rank, default=0),
@@ -245,8 +251,8 @@ class Trace:
         with self._lock:
             self.messages.clear()
             self.events.clear()
-            self._msg_count = {link: 0 for link in LinkClass}
-            self._bytes = {link: 0 for link in LinkClass}
+            self._msg_count = [0] * len(LinkClass)
+            self._bytes = [0] * len(LinkClass)
             self._msgs_per_rank = [0] * self.n_ranks
             self._inter_msgs_per_rank = [0] * self.n_ranks
             self._flops_per_rank = [0.0] * self.n_ranks

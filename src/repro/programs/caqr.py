@@ -152,8 +152,12 @@ def _zero_tile(tile: MatrixLike) -> MatrixLike:
     return np.zeros_like(np.asarray(tile))
 
 
-def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
-    """The distributed CAQR SPMD program (one call per simulated MPI process)."""
+def caqr_program(ctx: RankContext, config: CAQRConfig):
+    """The distributed CAQR SPMD program (one call per simulated MPI process).
+
+    A generator: the executor drives it, and its cross-rank reduction
+    receives suspend via ``yield from``.
+    """
     comm = ctx.comm
     p = comm.size
     m, n = config.m, config.n
@@ -265,7 +269,7 @@ def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
         for child_pos in tree.children(pos):
             child = participants[child_pos]
             h_child = tile_height(max(owners[child][0], k))
-            panel_tile, trail_tiles = comm.recv(source=child, tag=_TAG_UP)
+            panel_tile, trail_tiles = yield from comm.recv(source=child, tag=_TAG_UP)
             ctx.compute(
                 caqr_combine_flops(h_child, wk, trail_cols), kernel="qr_combine", n=wk
             )
@@ -297,7 +301,7 @@ def caqr_program(ctx: RankContext, config: CAQRConfig) -> CAQRRankResult:
             )
             tiles[i_top, k] = _zero_tile(tiles[i_top, k])
             if trailing:
-                down = comm.recv(source=parent, tag=_TAG_DOWN)
+                down = yield from comm.recv(source=parent, tag=_TAG_DOWN)
                 for idx, j in enumerate(trailing):
                     tiles[i_top, j] = down[idx]
 
@@ -344,6 +348,7 @@ def run_parallel_caqr(
     *,
     collective_tree: str = "binary",
     record_messages: bool = False,
+    engine: str | None = None,
 ) -> CAQRRunResult:
     """Run distributed CAQR on ``platform`` and summarise its performance.
 
@@ -358,6 +363,7 @@ def run_parallel_caqr(
         flop_count=config.flop_count(),
         collective_tree=collective_tree,
         record_messages=record_messages,
+        engine=engine,
     )
     results: list[CAQRRankResult] = list(run.results)
     r = None

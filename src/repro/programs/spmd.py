@@ -104,7 +104,7 @@ def domain_row_ranges(
     return block_ranges(m, n_domains)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DomainLayout:
     """Everything one rank knows about its domain after setup.
 
@@ -150,16 +150,18 @@ def build_domain_layout(
     n_domains: int | None,
     domain_weights: Sequence[float] | None = None,
     min_rows: int | None = None,
-) -> DomainLayout:
+):
     """Set up this rank's domain view and split the per-domain communicator.
 
-    ``min_rows`` enforces the algorithm's per-domain row floor (TSQR needs
-    every domain to produce a full ``n x n`` R factor, hence ``min_rows=n``);
-    the error message names the constraint so the failing configuration is
-    obvious from the traceback.
+    A generator (drive with ``yield from``): it performs a ``comm.split``,
+    which can suspend the calling rank.  ``min_rows`` enforces the
+    algorithm's per-domain row floor (TSQR needs every domain to produce a
+    full ``n x n`` R factor, hence ``min_rows=n``); the error message names
+    the constraint so the failing configuration is obvious from the
+    traceback.
 
-    Every rank of the communicator must call this (it performs a
-    ``comm.split``), and all ranks must pass identical arguments.
+    Every rank of the communicator must call this, and all ranks must pass
+    identical arguments.
     """
     p = comm.size
     resolved = resolve_domain_count(n_domains, p)
@@ -188,7 +190,7 @@ def build_domain_layout(
 
     # Split once per run: one communicator per domain (used by multi-process
     # domains for the ScaLAPACK factorization and by optional broadcasts).
-    domain_comm = comm.split(color=domain, key=comm.rank)
+    domain_comm = yield from comm.split(color=domain, key=comm.rank)
 
     return DomainLayout(
         n_domains=resolved,
@@ -296,16 +298,21 @@ def run_program(
     flop_count: float,
     collective_tree: str = "binary",
     record_messages: bool = False,
+    engine: str | None = None,
     **kwargs: object,
 ) -> ProgramRun:
     """Run an SPMD program on ``platform`` and summarise its performance.
 
     ``flop_count`` is the number of *useful* flops credited to the run (the
     paper's Gflop/s denominator), not the number executed — TSQR's redundant
-    combine flops, for instance, are excluded by convention.
+    combine flops, for instance, are excluded by convention.  ``engine``
+    selects the executor backend (``None`` = the executor default).
     """
     executor = SPMDExecutor(
-        platform, record_messages=record_messages, collective_tree=collective_tree
+        platform,
+        record_messages=record_messages,
+        collective_tree=collective_tree,
+        engine=engine,
     )
     sim = executor.run(program, *args, **kwargs)
     return ProgramRun(

@@ -86,8 +86,8 @@ class ScaLAPACKRankResult:
     q_local: np.ndarray | VirtualMatrix | None
 
 
-def scalapack_qr_program(ctx: RankContext, config: ScaLAPACKConfig) -> ScaLAPACKRankResult:
-    """SPMD program: distributed blocked QR over the whole communicator."""
+def scalapack_qr_program(ctx: RankContext, config: ScaLAPACKConfig):
+    """SPMD program (a generator): distributed blocked QR over the whole communicator."""
     comm = ctx.comm
     desc = RowBlockDescriptor(config.m, config.n, comm.size)
     start, stop = desc.row_range(comm.rank)
@@ -98,10 +98,10 @@ def scalapack_qr_program(ctx: RankContext, config: ScaLAPACKConfig) -> ScaLAPACK
     else:
         a_local = np.array(config.matrix[start:stop, :], dtype=np.float64, copy=True)
 
-    factorization = pdgeqrf(ctx, comm, a_local, nb=config.nb, nx=config.nx)
+    factorization = yield from pdgeqrf(ctx, comm, a_local, nb=config.nb, nx=config.nx)
     q_local: np.ndarray | VirtualMatrix | None = None
     if config.want_q:
-        q_local = pdorgqr(ctx, comm, factorization, row_start=start)
+        q_local = yield from pdorgqr(ctx, comm, factorization, row_start=start)
     return ScaLAPACKRankResult(
         rank=comm.rank, local_rows=local_rows, r=factorization.r, q_local=q_local
     )
@@ -131,6 +131,7 @@ def run_scalapack_qr(
     *,
     collective_tree: str = "binary",
     record_messages: bool = False,
+    engine: str | None = None,
 ) -> ScaLAPACKRunResult:
     """Run the ScaLAPACK baseline on ``platform`` and summarise its performance.
 
@@ -139,7 +140,10 @@ def run_scalapack_qr(
     "topology-aware collectives" ablation.
     """
     executor = SPMDExecutor(
-        platform, record_messages=record_messages, collective_tree=collective_tree
+        platform,
+        record_messages=record_messages,
+        collective_tree=collective_tree,
+        engine=engine,
     )
     sim = executor.run(scalapack_qr_program, config)
     rank0: ScaLAPACKRankResult = sim.results[0]

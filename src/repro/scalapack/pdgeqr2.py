@@ -79,12 +79,14 @@ def pdgeqr2(
     diag_local_row: int = 0,
     col_offset: int = 0,
     n_cols: int | None = None,
-) -> PanelFactorization:
+):
     """Distributed unblocked Householder QR of a block-row distributed panel.
 
-    Real mode updates ``a_local`` **in place** (the window's upper triangle
-    becomes R, the sub-diagonal entries are zeroed); virtual mode performs the
-    same communication calls and charges the same flops without touching data.
+    A generator (drive with ``yield from``; every column step performs two
+    ``allreduce`` collectives).  Real mode updates ``a_local`` **in place**
+    (the window's upper triangle becomes R, the sub-diagonal entries are
+    zeroed); virtual mode performs the same communication calls and charges
+    the same flops without touching data.
 
     Parameters
     ----------
@@ -136,7 +138,7 @@ def pdgeqr2(
         else:
             tail = a[:, j]
             local = np.array([float(tail @ tail), 0.0])
-        sigma_alpha = comm.allreduce(local)
+        sigma_alpha = yield from comm.allreduce(local)
         # One pass over the local column to form/scale the reflector.
         ctx.compute(2.0 * m_loc, kernel="panel", n=n_cols)
 
@@ -171,7 +173,7 @@ def pdgeqr2(
                 w_local = a[rows, cols].T @ v_local[rows, jj]
             else:
                 w_local = a[:, cols].T @ v_local[:, jj]
-            w = comm.allreduce(w_local)
+            w = yield from comm.allreduce(w_local)
             if not virtual and tau[jj] != 0.0:
                 if rank == 0:
                     rows = slice(diag_local_row + jj, m_loc)

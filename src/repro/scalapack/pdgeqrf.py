@@ -57,8 +57,11 @@ def pdgeqrf(
     *,
     nb: int = DEFAULT_NB,
     nx: int = DEFAULT_NX,
-) -> DistributedQR:
+):
     """Blocked distributed Householder QR of a block-row distributed matrix.
+
+    A generator (drive with ``yield from``): the panel factorizations and
+    the trailing-update allreduces all suspend the calling rank.
 
     Parameters
     ----------
@@ -84,7 +87,7 @@ def pdgeqrf(
         remaining = n - j0
         if remaining <= max(nx, nb):
             # Unblocked finish (covers the whole matrix when N <= NX).
-            panel = pdgeqr2(
+            panel = yield from pdgeqr2(
                 ctx, comm, a_local, diag_local_row=j0, col_offset=j0, n_cols=remaining
             )
             panels.append(panel)
@@ -92,7 +95,7 @@ def pdgeqrf(
             break
 
         width = min(nb, remaining)
-        panel = pdgeqr2(
+        panel = yield from pdgeqr2(
             ctx, comm, a_local, diag_local_row=j0, col_offset=j0, n_cols=width
         )
         panels.append(panel)
@@ -106,7 +109,7 @@ def pdgeqrf(
         else:
             v = panel.v_local
             gram_local = v.T @ v
-        gram = comm.allreduce(gram_local)
+        gram = yield from comm.allreduce(gram_local)
         ctx.compute(1.0 * m_loc * width * width, kernel="update", n=n)
 
         # W = V^T A_trailing, assembled across the process rows.
@@ -114,7 +117,7 @@ def pdgeqrf(
             w_local = np.zeros((width, trailing))
         else:
             w_local = panel.v_local.T @ a[:, j1:]
-        w = comm.allreduce(w_local)
+        w = yield from comm.allreduce(w_local)
         ctx.compute(2.0 * m_loc * width * trailing, kernel="update", n=n)
 
         if not virtual:

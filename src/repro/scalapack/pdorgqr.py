@@ -43,8 +43,13 @@ def pdorgqr(
     *,
     row_start: int,
     c_init: MatrixLike | None = None,
-) -> np.ndarray | VirtualMatrix:
+):
     """Form the local block-rows of the thin orthogonal factor (or ``Q @ C``).
+
+    Returns a generator (drive with ``yield from``; each panel application
+    performs two ``allreduce`` collectives).  Argument validation is *eager*
+    — an empty factorization or a misshapen ``c_init`` raises here, before
+    any communication is attempted.
 
     Parameters
     ----------
@@ -105,6 +110,18 @@ def pdorgqr(
                 if g < n:
                     c[i, g] = 1.0
 
+    return _apply_panels(ctx, comm, factorization, virtual, c, m_loc, n)
+
+
+def _apply_panels(
+    ctx: RankContext,
+    comm: CommHandle,
+    factorization: DistributedQR,
+    virtual: bool,
+    c: np.ndarray | None,
+    m_loc: int,
+    n: int,
+):
     # Apply the block reflectors in reverse panel order: Q = H_1 ... H_k,
     # so Q @ C applies the *last* panel first.
     for panel in reversed(factorization.panels):
@@ -116,8 +133,8 @@ def pdorgqr(
             v = panel.v_local
             gram_local = v.T @ v
             w_local = v.T @ c
-        gram = comm.allreduce(gram_local)
-        w = comm.allreduce(w_local)
+        gram = yield from comm.allreduce(gram_local)
+        w = yield from comm.allreduce(w_local)
         # LAPACK's (PD)ORGQR exploits the zero/identity structure of the
         # accumulated C so that forming the thin Q costs exactly as many
         # flops as the factorization itself (the doubling of paper Table II /

@@ -162,15 +162,15 @@ def tsqr_reduce_op(n: int, *, want_q: bool = False):
     )
 
 
-def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
-    """The QCG-TSQR SPMD program (one call per simulated MPI process)."""
+def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig):
+    """The QCG-TSQR SPMD program, a generator (one call per simulated MPI process)."""
     comm = ctx.comm
     n = config.n
 
     # Domain setup and the per-domain communicator split come from the shared
     # SPMD program layer; TSQR's contribution is ``min_rows=n`` (every domain
     # must produce a full ``n x n`` R factor).
-    layout = build_domain_layout(
+    layout = yield from build_domain_layout(
         comm,
         m=config.m,
         n=n,
@@ -205,7 +205,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
             ctx.compute(qr_flops(local_rows, n), kernel="qr_leaf", n=n)
             r_acc = leaf_fact.r
     else:
-        dist = pdgeqrf(ctx, domain_comm, a_local, nb=config.nb)
+        dist = yield from pdgeqrf(ctx, domain_comm, a_local, nb=config.nb)
         if is_leader:
             r_acc = dist.r if not config.virtual else VirtualMatrix(n, n, structure="upper")
 
@@ -227,7 +227,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
     combines: list[tuple[int, StackedQR | None]] = []  # (child_domain, factors)
     if is_leader:
         for child in tree.children(domain):
-            child_r = comm.recv(source=child * ppd, tag=_TAG_REDUCE)
+            child_r = yield from comm.recv(source=child * ppd, tag=_TAG_REDUCE)
             if config.virtual or isinstance(child_r, VirtualMatrix):
                 ctx.compute(stacked_triangle_qr_flops(n), kernel="qr_combine", n=n)
                 combines.append((child, None))
@@ -256,7 +256,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
         if is_leader:
             parent = tree.parent(domain)
             if parent is not None:
-                r_everywhere = comm.recv(source=parent * ppd, tag=_TAG_REDUCE + "-down")
+                r_everywhere = yield from comm.recv(source=parent * ppd, tag=_TAG_REDUCE + "-down")
             else:
                 r_everywhere = r_acc
             for child in tree.children(domain):
@@ -268,7 +268,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
                 )
         else:
             r_everywhere = None
-        r_everywhere = domain_comm.bcast(r_everywhere, root=0)
+        r_everywhere = yield from domain_comm.bcast(r_everywhere, root=0)
         if not config.virtual:
             r_out = np.triu(np.asarray(r_everywhere))[:n, :n]
 
@@ -288,7 +288,7 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
             if is_root_leader:
                 c_block = VirtualMatrix(n, n) if config.virtual else np.eye(n)
             else:
-                c_block = comm.recv(source=tree.parent(domain) * ppd, tag=_TAG_SWEEP)
+                c_block = yield from comm.recv(source=tree.parent(domain) * ppd, tag=_TAG_SWEEP)
             # Undo the combines in reverse order: the part of the stacked Q
             # acting on this domain's rows stays here, the rest goes to the
             # child it came from.
@@ -332,10 +332,10 @@ def qcg_tsqr_program(ctx: RankContext, config: TSQRConfig) -> TSQRRankResult:
                     else:
                         block = np.asarray(c_block)
                         slices.append(np.array(block[m_start : m_start + rows, :], copy=True))
-                c_init = domain_comm.scatter(slices, root=0)
+                c_init = yield from domain_comm.scatter(slices, root=0)
             else:
-                c_init = domain_comm.scatter(None, root=0)
-            q_block = pdorgqr(ctx, domain_comm, dist, row_start=local_start, c_init=c_init)
+                c_init = yield from domain_comm.scatter(None, root=0)
+            q_block = yield from pdorgqr(ctx, domain_comm, dist, row_start=local_start, c_init=c_init)
             if not config.virtual:
                 q_local = np.asarray(q_block)
 
@@ -374,6 +374,7 @@ def run_parallel_tsqr(
     *,
     collective_tree: str = "binary",
     record_messages: bool = False,
+    engine: str | None = None,
 ) -> TSQRRunResult:
     """Run QCG-TSQR on ``platform`` and summarise its performance."""
     run = run_program(
@@ -383,6 +384,7 @@ def run_parallel_tsqr(
         flop_count=config.flop_count(),
         collective_tree=collective_tree,
         record_messages=record_messages,
+        engine=engine,
     )
     results: list[TSQRRankResult] = list(run.results)
     r = next((res.r for res in results if res.r is not None), None)

@@ -1,7 +1,9 @@
 """Analytic floating-point operation counts for the dense kernels.
 
 Each function returns the classical flop count (multiplications + additions)
-of the corresponding LAPACK-style kernel.  The counts follow Golub & Van Loan
+of the corresponding LAPACK-style kernel.  The scalar-argument counts are
+pure and called once per simulated event, so the hottest ones are memoised
+with ``lru_cache`` (bounded; a sweep reuses a handful of shapes).  The counts follow Golub & Van Loan
 and the CAQR paper (Demmel, Grigori, Hoemmen, Langou, 2008), i.e. the same
 accounting the reproduced paper uses in its Tables I and II:
 
@@ -16,6 +18,8 @@ trace validation benchmarks for Tables I and II.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.exceptions import ShapeError
 
@@ -47,6 +51,7 @@ def _require_nonnegative(**kwargs: float) -> None:
             raise ShapeError(f"{name} must be non-negative, got {value}")
 
 
+@lru_cache(maxsize=4096)
 def qr_flops(m: int, n: int) -> float:
     """Flops of a Householder QR of an ``m x n`` matrix (R factor only).
 
@@ -63,6 +68,7 @@ def qr_flops(m: int, n: int) -> float:
     return 4.0 * m * n * k - 2.0 * (m + n) * k * k + (4.0 / 3.0) * k**3
 
 
+@lru_cache(maxsize=4096)
 def stacked_triangle_qr_flops(n: int) -> float:
     """Flops of the TSQR combine: QR of ``[R1; R2]`` with both upper triangular.
 
@@ -109,6 +115,7 @@ def larft_flops(m: int, k: int) -> float:
     return float(m) * k * k
 
 
+@lru_cache(maxsize=4096)
 def larfb_flops(m: int, n: int, k: int) -> float:
     """Flops of the blocked application ``C <- (I - V T V^T) C``.
 
@@ -119,6 +126,7 @@ def larfb_flops(m: int, n: int, k: int) -> float:
     return 4.0 * m * n * k + 2.0 * n * k * k
 
 
+@lru_cache(maxsize=4096)
 def geqrt_flops(m: int, n: int) -> float:
     """Flops of the tiled-QR ``GEQRT`` kernel on an ``m x n`` tile.
 
@@ -141,6 +149,7 @@ def unmqr_flops(m: int, n_cols: int, k: int) -> float:
     return larfb_flops(m, n_cols, k)
 
 
+@lru_cache(maxsize=4096)
 def tsqrt_flops(m_bottom: int, n: int) -> float:
     """Flops of ``TSQRT``: QR of an ``n x n`` triangle stacked on an ``m_bottom x n`` tile.
 
@@ -156,6 +165,7 @@ def tsqrt_flops(m_bottom: int, n: int) -> float:
     return 2.0 * (m_bottom + 1.0) * n * n + (m_bottom + 1.0) * n * n
 
 
+@lru_cache(maxsize=4096)
 def tsmqr_flops(m_bottom: int, n_cols: int, k: int) -> float:
     """Flops of ``TSMQR``: apply a ``TSQRT`` block to a trailing tile pair.
 

@@ -42,7 +42,7 @@ class TestPointToPoint:
             right = (ctx.comm.rank + 1) % ctx.comm.size
             left = (ctx.comm.rank - 1) % ctx.comm.size
             ctx.comm.send(ctx.comm.rank, dest=right)
-            return ctx.comm.recv(source=left)
+            return (yield from ctx.comm.recv(source=left))
 
         res = run_spmd(platform8, prog)
         assert res.results == [(i - 1) % 8 for i in range(8)]
@@ -52,7 +52,7 @@ class TestPointToPoint:
             if ctx.comm.rank == 0:
                 ctx.comm.send(np.zeros(1000), dest=4)  # rank 4 is on the other cluster
             if ctx.comm.rank == 4:
-                ctx.comm.recv(source=0)
+                yield from ctx.comm.recv(source=0)
             return ctx.clock()
 
         res = run_spmd(platform8, prog)
@@ -65,8 +65,8 @@ class TestPointToPoint:
                 ctx.comm.send("b", dest=1, tag="second")
                 ctx.comm.send("a", dest=1, tag="first")
             if ctx.comm.rank == 1:
-                first = ctx.comm.recv(source=0, tag="first")
-                second = ctx.comm.recv(source=0, tag="second")
+                first = yield from ctx.comm.recv(source=0, tag="first")
+                second = yield from ctx.comm.recv(source=0, tag="second")
                 return (first, second)
             return None
 
@@ -78,7 +78,7 @@ class TestPointToPoint:
             if ctx.comm.rank == 0:
                 ctx.comm.send(None, dest=7)
             if ctx.comm.rank == 7:
-                ctx.comm.recv(source=0)
+                yield from ctx.comm.recv(source=0)
 
         res = run_spmd(platform8, prog)
         assert res.trace.n_messages.get("inter-cluster") == 1
@@ -87,14 +87,15 @@ class TestPointToPoint:
 class TestCollectives:
     def test_allreduce_sum(self, platform8):
         def prog(ctx):
-            return float(ctx.comm.allreduce(np.array([float(ctx.comm.rank)]))[0])
+            result = yield from ctx.comm.allreduce(np.array([float(ctx.comm.rank)]))
+            return float(result[0])
 
         res = run_spmd(platform8, prog)
         assert res.results == [28.0] * 8
 
     def test_reduce_only_root_gets_result(self, platform8):
         def prog(ctx):
-            return ctx.comm.reduce(np.array([1.0]), root=2)
+            return (yield from ctx.comm.reduce(np.array([1.0]), root=2))
 
         res = run_spmd(platform8, prog)
         assert float(res.results[2][0]) == 8.0
@@ -103,23 +104,24 @@ class TestCollectives:
     def test_bcast(self, platform8):
         def prog(ctx):
             payload = {"data": 42} if ctx.comm.rank == 3 else None
-            return ctx.comm.bcast(payload, root=3)["data"]
+            out = yield from ctx.comm.bcast(payload, root=3)
+            return out["data"]
 
         res = run_spmd(platform8, prog)
         assert res.results == [42] * 8
 
     def test_gather_and_scatter(self, platform8):
         def prog(ctx):
-            gathered = ctx.comm.gather(ctx.comm.rank * 10, root=0)
+            gathered = yield from ctx.comm.gather(ctx.comm.rank * 10, root=0)
             items = [v + 1 for v in gathered] if ctx.comm.rank == 0 else None
-            return ctx.comm.scatter(items, root=0)
+            return (yield from ctx.comm.scatter(items, root=0))
 
         res = run_spmd(platform8, prog)
         assert res.results == [i * 10 + 1 for i in range(8)]
 
     def test_allgather(self, platform4_single_site):
         def prog(ctx):
-            return ctx.comm.allgather(ctx.comm.rank)
+            return (yield from ctx.comm.allgather(ctx.comm.rank))
 
         res = run_spmd(platform4_single_site, prog)
         assert all(r == [0, 1, 2, 3] for r in res.results)
@@ -128,7 +130,7 @@ class TestCollectives:
         def prog(ctx):
             if ctx.comm.rank == 5:
                 ctx.compute(1e9, kernel="gemm")
-            ctx.comm.barrier()
+            yield from ctx.comm.barrier()
             return ctx.clock()
 
         res = run_spmd(platform8, prog)
@@ -139,14 +141,15 @@ class TestCollectives:
         concat = ReduceOp(func=lambda a, b: (a or []) + (b or []), flops=lambda a, b: 0.0)
 
         def prog(ctx):
-            return sorted(ctx.comm.allreduce([ctx.comm.rank], op=concat))
+            result = yield from ctx.comm.allreduce([ctx.comm.rank], op=concat)
+            return sorted(result)
 
         res = run_spmd(platform4_single_site, prog)
         assert all(r == [0, 1, 2, 3] for r in res.results)
 
     def test_hierarchical_collectives_cross_wan_once_per_site(self, platform8):
         def prog(ctx):
-            ctx.comm.reduce(np.array([1.0]), root=0)
+            yield from ctx.comm.reduce(np.array([1.0]), root=0)
 
         binary = run_spmd(platform8, prog, collective_tree="binary")
         aware = run_spmd(platform8, prog, collective_tree="hierarchical")
@@ -159,8 +162,9 @@ class TestCollectives:
 class TestSplit:
     def test_split_by_cluster(self, platform8):
         def prog(ctx):
-            sub = ctx.comm.split(color=ctx.cluster)
-            return (sub.size, float(sub.allreduce(np.array([1.0]))[0]))
+            sub = yield from ctx.comm.split(color=ctx.cluster)
+            total = yield from sub.allreduce(np.array([1.0]))
+            return (sub.size, float(total[0]))
 
         res = run_spmd(platform8, prog)
         assert all(r == (4, 4.0) for r in res.results)
@@ -168,7 +172,7 @@ class TestSplit:
     def test_split_with_none_color_opts_out(self, platform8):
         def prog(ctx):
             color = 0 if ctx.comm.rank < 2 else None
-            sub = ctx.comm.split(color=color)
+            sub = yield from ctx.comm.split(color=color)
             return None if sub is None else sub.size
 
         res = run_spmd(platform8, prog)
@@ -177,7 +181,7 @@ class TestSplit:
 
     def test_split_key_orders_ranks(self, platform4_single_site):
         def prog(ctx):
-            sub = ctx.comm.split(color=0, key=-ctx.comm.rank)
+            sub = yield from ctx.comm.split(color=0, key=-ctx.comm.rank)
             return sub.rank
 
         res = run_spmd(platform4_single_site, prog)
@@ -190,7 +194,7 @@ class TestFailures:
         def prog(ctx):
             if ctx.comm.rank == 2:
                 raise ValueError("boom")
-            ctx.comm.barrier()
+            yield from ctx.comm.barrier()
 
         with pytest.raises(SimulationError, match="boom"):
             run_spmd(platform4_single_site, prog)
@@ -198,9 +202,9 @@ class TestFailures:
     def test_collective_mismatch_detected(self, platform4_single_site):
         def prog(ctx):
             if ctx.comm.rank == 0:
-                ctx.comm.bcast(1, root=0)
+                yield from ctx.comm.bcast(1, root=0)
             else:
-                ctx.comm.barrier()
+                yield from ctx.comm.barrier()
 
         with pytest.raises(SimulationError):
             run_spmd(platform4_single_site, prog)

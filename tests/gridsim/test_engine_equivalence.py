@@ -1,14 +1,18 @@
-"""Determinism / equivalence suite for the engine fast path.
+"""Determinism / equivalence suite for the engine backends.
 
-The fast path (pooled rank workers, semaphore handoff with direct dispatch,
-lock-free single-writer tracing, run-wide setup memo, parallel sweeps) is
-pure bookkeeping: the simulated schedule must be *bit-identical* to the slow
-path's.  These tests pin that contract:
+The coroutine engine (single-threaded continuation scheduler, the default)
+and the thread-backed reference engine must produce *bit-identical*
+simulations: the same ordered event stream, final clocks, makespan and
+per-rank results for every program — SPMD TSQR, SPMD CAQR, the DAG runtime
+(probe / yield semantics included), and deadlocking programs (same wait
+graph in the error message).  These tests pin that contract, plus:
 
-* pooled worker threads vs fresh threads per run;
+* pooled worker threads vs fresh threads per run (the threads engine's own
+  fast path);
 * repeated runs in one process (pool reuse must not leak state);
 * ``jobs=1`` vs ``jobs=N`` figure sweeps, and event streams produced in a
-  worker process vs the parent process.
+  worker process vs the parent process;
+* the ``reuse_threads`` deprecation shim forwarding onto ``engine=``.
 """
 
 from __future__ import annotations
@@ -19,10 +23,14 @@ import multiprocessing
 import pytest
 
 import repro.gridsim.executor as executor_mod
-from repro.gridsim.executor import SimulationResult, SPMDExecutor
+from repro.exceptions import ConfigurationError, DeadlockError
+from repro.dag.runtime import DAGCAQRConfig, run_dag_caqr
+from repro.gridsim.executor import SimulationResult, SPMDExecutor, run_spmd
+from repro.programs.caqr import CAQRConfig, run_parallel_caqr
 from repro.tsqr.parallel import TSQRConfig, run_parallel_tsqr
 
 CONFIG = TSQRConfig(m=262_144, n=32, n_domains=4, tree_kind="grid-hierarchical")
+CAQR_CONFIG = CAQRConfig(m=65_536, n=64, tile_size=64)
 
 
 def _event_hash(sim: SimulationResult) -> str:
@@ -31,48 +39,150 @@ def _event_hash(sim: SimulationResult) -> str:
     return hashlib.sha256(payload).hexdigest()
 
 
-def _run(platform, *, reuse_threads: bool) -> SimulationResult:
-    return run_parallel_tsqr(
-        platform, CONFIG, record_messages=True
-    ).simulation if reuse_threads else _run_fresh(platform)
-
-
-def _run_fresh(platform) -> SimulationResult:
+def _run(platform, *, engine: str) -> SimulationResult:
     from repro.tsqr.parallel import qcg_tsqr_program
 
-    executor = SPMDExecutor(platform, record_messages=True, reuse_threads=False)
+    executor = SPMDExecutor(platform, record_messages=True, engine=engine)
     return executor.run(qcg_tsqr_program, CONFIG)
+
+
+def _assert_identical(a: SimulationResult, b: SimulationResult) -> None:
+    assert len(a.events) > 0
+    assert a.events == b.events
+    assert _event_hash(a) == _event_hash(b)
+    assert a.clocks == b.clocks  # bit-identical, no approx
+    assert a.makespan == b.makespan
+    assert a.trace == b.trace
+
+
+class TestCoroutineVsThreads:
+    """The tentpole contract: one event loop, zero threads, same simulation."""
+
+    def test_spmd_tsqr_bit_identical(self, platform8):
+        _assert_identical(
+            _run(platform8, engine="coroutine"), _run(platform8, engine="threads")
+        )
+
+    def test_spmd_caqr_bit_identical(self, platform8):
+        runs = {
+            engine: run_parallel_caqr(
+                platform8, CAQR_CONFIG, record_messages=True, engine=engine
+            ).simulation
+            for engine in ("coroutine", "threads")
+        }
+        _assert_identical(runs["coroutine"], runs["threads"])
+
+    @pytest.mark.parametrize("placement", ["block", "block-cyclic", "owner-computes"])
+    @pytest.mark.parametrize("priority", ["critical-path", "fifo"])
+    def test_dag_caqr_bit_identical(self, platform8, placement, priority):
+        """The DAG runtime leans on probe + yield_turn: both backends must
+        interleave the ranks identically for every placement x priority."""
+        config = DAGCAQRConfig(
+            m=32_768, n=96, tile_size=32, placement=placement, priority=priority
+        )
+        runs = {
+            engine: run_dag_caqr(
+                platform8, config, record_messages=True, engine=engine
+            ).simulation
+            for engine in ("coroutine", "threads")
+        }
+        _assert_identical(runs["coroutine"], runs["threads"])
+
+    def test_results_in_rank_order(self, platform8):
+        coro = _run(platform8, engine="coroutine")
+        threads = _run(platform8, engine="threads")
+        assert [r.rank for r in coro.results] == [r.rank for r in threads.results]
+        assert [r.domain for r in coro.results] == [r.domain for r in threads.results]
+
+    def test_deadlock_wait_graph_identical(self, platform4_single_site):
+        """Both backends must report the same deadlock, rank for rank."""
+
+        def prog(ctx):
+            if ctx.comm.rank < 2:
+                other = 1 - ctx.comm.rank
+                return (yield from ctx.comm.recv(source=other, tag="cycle"))
+            yield from ctx.comm.barrier()
+
+        messages = {}
+        for engine in ("coroutine", "threads"):
+            with pytest.raises(DeadlockError) as excinfo:
+                run_spmd(platform4_single_site, prog, engine=engine)
+            messages[engine] = str(excinfo.value)
+        assert messages["coroutine"] == messages["threads"]
+        assert "rank 0: waiting on recv(source=1" in messages["coroutine"]
+        assert "collective 'barrier'" in messages["coroutine"]
+
+    def test_probe_and_yield_turn_parity(self, platform4_single_site):
+        """Probe visibility and yield_turn interleaving must not depend on
+        the backend: the sampled (clock, arrival) pairs are compared exactly."""
+
+        def prog(ctx):
+            comm = ctx.comm
+            if comm.rank == 1:
+                ctx.compute(1e9, kernel="gemm")
+                comm.send("late", dest=0, tag="m")
+                return None
+            if comm.rank != 0:
+                return None
+            samples = []
+            for _ in range(12):
+                ctx.compute(2e8, kernel="gemm")
+                yield from ctx.yield_turn()
+                samples.append((ctx.clock(), comm.probe(source=1, tag="m")))
+            got = yield from comm.recv(source=1, tag="m")
+            return (got, tuple(samples))
+
+        runs = {
+            engine: run_spmd(platform4_single_site, prog, engine=engine)
+            for engine in ("coroutine", "threads")
+        }
+        assert runs["coroutine"].results == runs["threads"].results
+        assert runs["coroutine"].clocks == runs["threads"].clocks
+
+    def test_unknown_engine_rejected(self, platform8):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            SPMDExecutor(platform8, engine="fibers")
+
+
+class TestReuseThreadsShim:
+    def test_reuse_threads_forwards_with_deprecation_warning(self, platform8):
+        with pytest.deprecated_call():
+            pooled = SPMDExecutor(platform8, reuse_threads=True)
+        assert pooled.engine == "threads"
+        with pytest.deprecated_call():
+            fresh = SPMDExecutor(platform8, reuse_threads=False)
+        assert fresh.engine == "threads-fresh"
+
+    def test_reuse_threads_conflicts_with_engine(self, platform8):
+        with pytest.raises(ConfigurationError, match="reuse_threads"):
+            with pytest.deprecated_call():
+                SPMDExecutor(platform8, engine="coroutine", reuse_threads=True)
 
 
 class TestPooledVsFreshThreads:
     def test_bit_identical_simulation(self, platform8):
-        pooled = _run(platform8, reuse_threads=True)
-        fresh = _run(platform8, reuse_threads=False)
-        assert len(pooled.events) > 0
-        assert pooled.events == fresh.events
-        assert _event_hash(pooled) == _event_hash(fresh)
-        assert pooled.clocks == fresh.clocks  # bit-identical, no approx
-        assert pooled.makespan == fresh.makespan
-        assert pooled.trace == fresh.trace
-
-    def test_pooled_results_in_rank_order(self, platform8):
-        pooled = _run(platform8, reuse_threads=True)
-        fresh = _run(platform8, reuse_threads=False)
-        assert [r.rank for r in pooled.results] == [r.rank for r in fresh.results]
-        assert [r.domain for r in pooled.results] == [r.domain for r in fresh.results]
+        _assert_identical(
+            _run(platform8, engine="threads"), _run(platform8, engine="threads-fresh")
+        )
 
     def test_pool_is_reused_not_regrown(self, platform8):
-        _run(platform8, reuse_threads=True)  # warm: pool holds >= 8 workers
+        _run(platform8, engine="threads")  # warm: pool holds >= 8 workers
         spawned = executor_mod._pool.size
         assert spawned >= platform8.n_processes
         for _ in range(3):
-            _run(platform8, reuse_threads=True)
+            _run(platform8, engine="threads")
         assert executor_mod._pool.size == spawned
+
+    def test_coroutine_engine_spawns_no_workers(self, platform8):
+        """The default engine must not touch the thread pool at all."""
+        before = executor_mod._pool.size
+        _run(platform8, engine="coroutine")
+        assert executor_mod._pool.size == before
 
 
 class TestRepeatedRunsShareNoState:
     def test_three_consecutive_runs_identical(self, platform8):
-        runs = [_run(platform8, reuse_threads=True) for _ in range(3)]
+        runs = [_run(platform8, engine="coroutine") for _ in range(3)]
         hashes = {_event_hash(sim) for sim in runs}
         assert len(hashes) == 1
         assert runs[0].events == runs[1].events == runs[2].events
@@ -80,13 +190,13 @@ class TestRepeatedRunsShareNoState:
 
     def test_interleaved_configs_do_not_leak(self, platform8):
         """A different simulation between two identical ones changes nothing."""
-        before = _run(platform8, reuse_threads=True)
+        before = _run(platform8, engine="coroutine")
         other = run_parallel_tsqr(
             platform8,
             TSQRConfig(m=131_072, n=16, n_domains=8, tree_kind="binary"),
             record_messages=True,
         ).simulation
-        after = _run(platform8, reuse_threads=True)
+        after = _run(platform8, engine="coroutine")
         assert other.events != before.events  # actually a different schedule
         assert _event_hash(before) == _event_hash(after)
 

@@ -78,7 +78,7 @@ class TestEventRetention:
         if ctx.comm.rank == 0:
             ctx.comm.send(b"x", dest=1)
         elif ctx.comm.rank == 1:
-            ctx.comm.recv(source=0)
+            yield from ctx.comm.recv(source=0)
 
     def test_non_recording_run_keeps_no_events(self, platform4_single_site, monkeypatch):
         """``record_messages=False`` must not accumulate (nor copy) an event

@@ -120,7 +120,7 @@ class TestTopologyAttributes:
         platform = scheduler.platform(allocation, KernelRateModel())
 
         def prog(ctx):
-            comms = group_communicators(ctx.comm, allocation)
+            comms = yield from group_communicators(ctx.comm, allocation)
             leader_count = 1 if comms.is_leader else 0
             return (comms.attributes.group, comms.group_comm.size, leader_count)
 

@@ -27,7 +27,7 @@ class TestProbe:
             assert first is not None and first == second  # non-destructive
             assert comm.probe(source=0, tag="other") is None
             before = ctx.clock()
-            payload = comm.recv(source=0, tag="t")
+            payload = yield from comm.recv(source=0, tag="t")
             assert payload == b"x" * 1000
             # recv advanced the clock exactly to the probed arrival time.
             assert ctx.clock() == max(before, first)
@@ -68,7 +68,7 @@ class TestBusyAccounting:
         )
 
         def program(ctx):
-            ctx.comm.allreduce(1.0, op=op)
+            yield from ctx.comm.allreduce(1.0, op=op)
             return None
 
         result = run_spmd(platform, program)
@@ -105,12 +105,13 @@ class TestYieldTurn:
             seen_at = None
             for _ in range(20):
                 ctx.compute(2e8, kernel="gemm")
-                ctx.yield_turn()
+                yield from ctx.yield_turn()
                 arrival = comm.probe(source=1, tag="m")
                 if arrival is not None and seen_at is None:
                     seen_at = ctx.clock()
             assert seen_at is not None
-            assert comm.recv(source=1, tag="m") == "hello"
+            got = yield from comm.recv(source=1, tag="m")
+            assert got == "hello"
             return seen_at
 
         result = run_spmd(platform, program, ranks=[0, 1])
@@ -120,7 +121,7 @@ class TestYieldTurn:
     def test_yield_is_safe_when_alone(self, platform):
         def program(ctx):
             for _ in range(3):
-                ctx.yield_turn()
+                yield from ctx.yield_turn()
             return ctx.rank
 
         result = run_spmd(platform, program, ranks=[2])
@@ -131,7 +132,7 @@ class TestYieldTurn:
             comm = ctx.comm
             for i in range(5):
                 ctx.compute(1e7 * (comm.rank + 1), kernel="gemm")
-                ctx.yield_turn()
+                yield from ctx.yield_turn()
             return ctx.clock()
 
         a = run_spmd(platform, program)

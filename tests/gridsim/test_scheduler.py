@@ -24,7 +24,7 @@ class TestDeadlockDetection:
         def prog(ctx):
             if ctx.comm.rank < 2:
                 other = 1 - ctx.comm.rank
-                return ctx.comm.recv(source=other)
+                return (yield from ctx.comm.recv(source=other))
             return None
 
         start = time.perf_counter()
@@ -40,7 +40,7 @@ class TestDeadlockDetection:
     def test_recv_from_self_detected(self, platform4_single_site):
         def prog(ctx):
             if ctx.comm.rank == 0:
-                ctx.comm.recv(source=0)
+                yield from ctx.comm.recv(source=0)
 
         start = time.perf_counter()
         with pytest.raises(DeadlockError, match="recv\\(source=0"):
@@ -53,7 +53,7 @@ class TestDeadlockDetection:
         def prog(ctx):
             if ctx.comm.rank == 3:
                 return None  # skips the barrier
-            ctx.comm.barrier()
+            yield from ctx.comm.barrier()
 
         with pytest.raises(DeadlockError, match="collective 'barrier'"):
             run_spmd(platform4_single_site, prog)
@@ -61,9 +61,9 @@ class TestDeadlockDetection:
     def test_wait_graph_mixes_recv_and_collective(self, platform4_single_site):
         def prog(ctx):
             if ctx.comm.rank == 0:
-                ctx.comm.recv(source=1, tag="never-sent")
+                yield from ctx.comm.recv(source=1, tag="never-sent")
             else:
-                ctx.comm.barrier()
+                yield from ctx.comm.barrier()
 
         with pytest.raises(DeadlockError) as excinfo:
             run_spmd(platform4_single_site, prog)
@@ -74,7 +74,7 @@ class TestDeadlockDetection:
     def test_deadlock_error_is_a_simulation_error(self, platform4_single_site):
         def prog(ctx):
             if ctx.comm.rank == 0:
-                ctx.comm.recv(source=1)
+                yield from ctx.comm.recv(source=1)
 
         with pytest.raises(SimulationError):
             run_spmd(platform4_single_site, prog)
@@ -121,7 +121,7 @@ class TestDeterminism:
                 busy["rank"] = ctx.comm.rank
                 time.sleep(0.0001)  # invite preemption mid-section
                 busy["rank"] = None
-                ctx.comm.barrier()
+                yield from ctx.comm.barrier()
 
         run_spmd(platform4_single_site, prog)
         assert overlaps == []

@@ -69,7 +69,7 @@ class TestMiddlewareDrivenRun:
         a = random_tall_skinny(320, 6, seed=44)
 
         def prog(ctx):
-            comms = group_communicators(ctx.comm, allocation)
+            comms = yield from group_communicators(ctx.comm, allocation)
             # One domain per group: factor the group's rows with the
             # distributed QR, then combine the two group R factors.
             from repro.scalapack.descriptor import RowBlockDescriptor
@@ -81,12 +81,12 @@ class TestMiddlewareDrivenRun:
             desc = RowBlockDescriptor(160, 6, comms.group_comm.size)
             start, stop = desc.row_range(comms.group_comm.rank)
             local = np.array(a[rows][start:stop], copy=True)
-            fact = pdgeqrf(ctx, comms.group_comm, local)
+            fact = yield from pdgeqrf(ctx, comms.group_comm, local)
             if comms.is_leader:
                 if comms.leaders_comm.rank == 1:
                     comms.leaders_comm.send(fact.r, dest=0)
                     return None
-                other = comms.leaders_comm.recv(source=1)
+                other = yield from comms.leaders_comm.recv(source=1)
                 return qr_of_stacked_triangles(np.triu(fact.r), np.triu(other), want_q=False).r
             return None
 

@@ -103,7 +103,7 @@ class TestAssembleRowBlocks:
 class TestBuildDomainLayout:
     def test_layout_fields_consistent(self, platform8):
         def prog(ctx):
-            layout = build_domain_layout(ctx.comm, m=800, n=10, n_domains=4)
+            layout = yield from build_domain_layout(ctx.comm, m=800, n=10, n_domains=4)
             assert layout.ppd == 2
             assert layout.domain == ctx.comm.rank // 2
             assert layout.is_leader == (ctx.comm.rank % 2 == 0)
@@ -121,7 +121,9 @@ class TestBuildDomainLayout:
     def test_min_rows_error_message_preserved(self, platform8):
         # The exact wording callers (and the TSQR tests) rely on.
         def prog(ctx):
-            return build_domain_layout(ctx.comm, m=40, n=10, n_domains=8, min_rows=10)
+            return (yield from build_domain_layout(
+                ctx.comm, m=40, n=10, n_domains=8, min_rows=10
+            ))
 
         with pytest.raises(SimulationError, match="fewer than n=10"):
             run_spmd(platform8, prog)

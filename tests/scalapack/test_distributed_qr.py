@@ -45,7 +45,7 @@ class TestPdgeqr2:
 
         def prog(ctx):
             local, _ = _distribute(a, ctx.comm.size, ctx.comm.rank)
-            fact = pdgeqr2(ctx, ctx.comm, local)
+            fact = yield from pdgeqr2(ctx, ctx.comm, local)
             return fact.r
 
         res = run_spmd(platform8, prog)
@@ -58,7 +58,7 @@ class TestPdgeqr2:
 
         def prog(ctx):
             local, _ = _distribute(a, ctx.comm.size, ctx.comm.rank)
-            pdgeqr2(ctx, ctx.comm, local)
+            yield from pdgeqr2(ctx, ctx.comm, local)
 
         res = run_spmd(platform4_single_site, prog)
         # 2 allreduces per column except a single one for the last column;
@@ -71,7 +71,7 @@ class TestPdgeqr2:
 
         def prog(ctx):
             local, _ = _distribute(a, ctx.comm.size, ctx.comm.rank)
-            pdgeqr2(ctx, ctx.comm, local)
+            yield from pdgeqr2(ctx, ctx.comm, local)
 
         with pytest.raises(SimulationError):
             run_spmd(platform8, prog)
@@ -84,7 +84,7 @@ class TestPdgeqrf:
 
         def prog(ctx):
             local, _ = _distribute(a, ctx.comm.size, ctx.comm.rank)
-            fact = pdgeqrf(ctx, ctx.comm, local, nb=nb, nx=nx)
+            fact = yield from pdgeqrf(ctx, ctx.comm, local, nb=nb, nx=nx)
             return fact.r
 
         res = run_spmd(platform8, prog)
@@ -100,7 +100,7 @@ class TestPdgeqrf:
 
         def prog(ctx, nb, nx):
             local, _ = _distribute(a, ctx.comm.size, ctx.comm.rank)
-            pdgeqrf(ctx, ctx.comm, local, nb=nb, nx=nx)
+            yield from pdgeqrf(ctx, ctx.comm, local, nb=nb, nx=nx)
 
         unblocked = run_spmd(platform4_single_site, prog, 64, 128)
         blocked = run_spmd(platform4_single_site, prog, 4, 4)
@@ -117,7 +117,7 @@ class TestPdgeqrf:
     def test_invalid_nb(self, platform4_single_site):
         def prog(ctx):
             local = np.zeros((10, 2))
-            pdgeqrf(ctx, ctx.comm, local, nb=0)
+            yield from pdgeqrf(ctx, ctx.comm, local, nb=0)
 
         with pytest.raises(SimulationError):
             run_spmd(platform4_single_site, prog)
@@ -141,12 +141,12 @@ class TestPdorgqr:
 
         def prog(ctx, with_c):
             local, (start, _) = _distribute(a, ctx.comm.size, ctx.comm.rank)
-            fact = pdgeqrf(ctx, ctx.comm, local)
+            fact = yield from pdgeqrf(ctx, ctx.comm, local)
             if with_c:
                 rows = max(0, min(start + fact.local_rows, n) - start)
                 c_init = np.array(c[start : start + rows, :], copy=True)
-                return pdorgqr(ctx, ctx.comm, fact, row_start=start, c_init=c_init)
-            return pdorgqr(ctx, ctx.comm, fact, row_start=start)
+                return (yield from pdorgqr(ctx, ctx.comm, fact, row_start=start, c_init=c_init))
+            return (yield from pdorgqr(ctx, ctx.comm, fact, row_start=start))
 
         q = np.vstack(run_spmd(platform8, prog, False).results)
         qc = np.vstack(run_spmd(platform8, prog, True).results)
@@ -157,8 +157,8 @@ class TestPdorgqr:
 
         def prog(ctx):
             local, (start, _) = _distribute(a, ctx.comm.size, ctx.comm.rank)
-            fact = pdgeqrf(ctx, ctx.comm, local)
-            return pdorgqr(ctx, ctx.comm, fact, row_start=start, c_init=np.zeros((1, 7)))
+            fact = yield from pdgeqrf(ctx, ctx.comm, local)
+            return (yield from pdorgqr(ctx, ctx.comm, fact, row_start=start, c_init=np.zeros((1, 7))))
 
         with pytest.raises(SimulationError, match="does not fit"):
             run_spmd(platform4_single_site, prog)
@@ -167,8 +167,8 @@ class TestPdorgqr:
         def prog(ctx):
             desc = RowBlockDescriptor(4096, 16, ctx.comm.size)
             start, stop = desc.row_range(ctx.comm.rank)
-            fact = pdgeqrf(ctx, ctx.comm, VirtualMatrix(stop - start, 16))
-            return pdorgqr(ctx, ctx.comm, fact, row_start=start)
+            fact = yield from pdgeqrf(ctx, ctx.comm, VirtualMatrix(stop - start, 16))
+            return (yield from pdorgqr(ctx, ctx.comm, fact, row_start=start))
 
         res = run_spmd(platform4_single_site, prog)
         assert all(isinstance(q, VirtualMatrix) for q in res.results)
@@ -220,11 +220,11 @@ class TestDriver:
         a = random_tall_skinny(120, 6, seed=8)
 
         def prog(ctx):
-            sub = ctx.comm.split(color=ctx.comm.rank % 2)
+            sub = yield from ctx.comm.split(color=ctx.comm.rank % 2)
             desc = RowBlockDescriptor(120, 6, sub.size)
             start, stop = desc.row_range(sub.rank)
             local = np.array(a[start:stop], copy=True)
-            fact = pdgeqrf(ctx, sub, local)
+            fact = yield from pdgeqrf(ctx, sub, local)
             return fact.r
 
         res = run_spmd(platform4_single_site, prog)

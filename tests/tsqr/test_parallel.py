@@ -163,7 +163,7 @@ class TestExplicitQMultiProcessDomains:
         original = parallel_mod.qcg_tsqr_program
 
         def dropping(ctx, config):
-            res = original(ctx, config)
+            res = yield from original(ctx, config)
             if res.rank in (3, 5):
                 res.q_local = None
             return res
@@ -267,7 +267,7 @@ class TestAllreduceFormulation:
         def prog(ctx):
             start, stop = block_ranges(320, ctx.comm.size)[ctx.comm.rank]
             local_r = geqrf(matrix8[start:stop, :]).r
-            return ctx.comm.allreduce(np.triu(local_r), op=op)
+            return (yield from ctx.comm.allreduce(np.triu(local_r), op=op))
 
         res = run_spmd(platform8, prog, collective_tree="hierarchical")
         reference = np.linalg.qr(matrix8, mode="r")
@@ -278,7 +278,7 @@ class TestAllreduceFormulation:
         op = tsqr_reduce_op(16)
 
         def prog(ctx):
-            return ctx.comm.allreduce(VirtualMatrix(16, 16, structure="upper"), op=op)
+            return (yield from ctx.comm.allreduce(VirtualMatrix(16, 16, structure="upper"), op=op))
 
         res = run_spmd(platform8, prog)
         assert all(isinstance(r, VirtualMatrix) for r in res.results)
