@@ -35,7 +35,10 @@ largest measured rank count.
 
 A 512-rank task-DAG CAQR point rides along under the same wall and events/s
 gates (its own baseline row in ``BENCH_engine.json``), so the dataflow
-runtime's engine cost is tracked next to the SPMD path's.
+runtime's engine cost is tracked next to the SPMD path's.  A 512-rank
+DAG-Cholesky point (the algorithm registry's first non-QR scenario, ~45k
+tasks) joins it under the same gates, so graph construction and scheduling
+cost is tracked for a dense 2-D dependence structure too.
 """
 
 from __future__ import annotations
@@ -43,7 +46,7 @@ from __future__ import annotations
 import os
 import time
 
-from repro.dag import DAGCAQRConfig, run_dag_caqr
+from repro.dag import DAGCAQRConfig, DAGFactorizationConfig, run_dag_caqr, run_dag_factorization
 from repro.gridsim import (
     ClusterSpec,
     GridSpec,
@@ -125,6 +128,7 @@ def test_engine_scaling_smoke(results_dir, bench_json):
     baseline = load_bench_json(bench_name, results_dir) or {}
     prev_rows = baseline.get("rows", [])
     prev_dag_rows = [r for r in [(baseline.get("dag") or {}).get("row")] if r]
+    prev_chol_rows = [r for r in [(baseline.get("dag_cholesky") or {}).get("row")] if r]
 
     # Per-rank-count speedup baselines: the seed constants, extended by
     # whatever earlier runs already pinned (JSON keys arrive as strings).
@@ -206,6 +210,37 @@ def test_engine_scaling_smoke(results_dir, bench_json):
     assert dag_result.critical_path_s <= dag_result.makespan_s
     assert dag_wall < 30.0
 
+    # The registry's first non-QR scenario on the same 512-rank platform:
+    # a 4096-point tiled Cholesky (64 x 64 tiles, ~45k tasks) whose trailing
+    # updates fan out quadratically — a denser dependence structure than the
+    # panel-chained CAQR graph, tracked under the same gates.
+    chol_config = DAGFactorizationConfig(
+        m=4096, n=4096, tile_size=64, priority="critical-path", algorithm="cholesky"
+    )
+    start = time.perf_counter()
+    chol_result = run_dag_factorization(dag_platform, chol_config, engine=ENGINE)
+    chol_wall = time.perf_counter() - start
+    chol_events = chol_result.trace.total_events
+    chol_row = {
+        "ranks": 512,
+        "wall_s": round(chol_wall, 4),
+        "simulated_s": round(chol_result.makespan_s, 6),
+        "critical_path_s": round(chol_result.critical_path_s, 6),
+        "tasks": chol_result.graph.n_tasks,
+        "events": chol_events,
+        "events_per_s": round(chol_events / chol_wall, 1) if chol_wall > 0 else None,
+    }
+    report_rows(
+        f"DAG-Cholesky runtime smoke (512 ranks, {ENGINE} engine)",
+        [chol_row],
+        results_dir,
+        "scaling_smoke_dag_cholesky.csv"
+        if ENGINE == "coroutine"
+        else f"scaling_smoke_dag_cholesky_{ENGINE}.csv",
+    )
+    assert chol_result.critical_path_s <= chol_result.makespan_s
+    assert chol_wall < 30.0
+
     # Gate limits derive from the baseline loaded *before* this run rewrote
     # the file; the fresh artifact records that baseline next to the fresh
     # numbers, so a CI failure uploads both (and git keeps the committed
@@ -233,6 +268,12 @@ def test_engine_scaling_smoke(results_dir, bench_json):
                 "recorded_row": prev_dag_rows[0] if prev_dag_rows else None,
                 "row": dag_row,
             },
+            "dag_cholesky": {
+                "workload": "virtual-payload DAG-Cholesky, N = 4096, tile 64, "
+                            "critical-path priority, block placement",
+                "recorded_row": prev_chol_rows[0] if prev_chol_rows else None,
+                "row": chol_row,
+            },
         },
     )
 
@@ -250,6 +291,15 @@ def test_engine_scaling_smoke(results_dir, bench_json):
     failures += events_gate_failures(
         [dag_row], prev_dag_rows,
         factor=REGRESSION_FACTOR, min_wall_s=EVENTS_GATE_MIN_WALL_S, label="DAG ",
+    )
+    failures += wall_gate_failures(
+        [chol_row], prev_chol_rows,
+        factor=REGRESSION_FACTOR, floor_s=REGRESSION_FLOOR_S, label="DAG-Cholesky ",
+    )
+    failures += events_gate_failures(
+        [chol_row], prev_chol_rows,
+        factor=REGRESSION_FACTOR, min_wall_s=EVENTS_GATE_MIN_WALL_S,
+        label="DAG-Cholesky ",
     )
     if ENGINE == "coroutine":
         # The reference thread backend collapses superlinearly by design

@@ -30,10 +30,12 @@ from repro.exceptions import ConfigurationError
 from repro.dag.placement import PLACEMENT_POLICIES, PRIORITY_POLICIES
 from repro.experiments import (
     CAQR_SWEEP_N,
+    DAG_CHOLESKY_SWEEP_N,
     DAG_SWEEP_N,
     ExperimentRunner,
     caqr_sweep,
     dag_caqr_sweep,
+    dag_cholesky_sweep,
     figure3_network,
     figure4,
     figure5,
@@ -70,6 +72,12 @@ examples:
       # task-DAG vs SPMD CAQR makespan, critical-path bound, idle fractions
   repro figure --id dag-caqr-sweep --placement block-cyclic --priority fifo \\
       --rows 16384 --cols 128 --tile-size 32   # a quick reduced policy study
+  repro simulate --algorithm cholesky --rows 8192 --cols 8192 --tile-size 128 \\
+      # one dataflow tiled-Cholesky point (square; the DAG runtime is implied)
+  repro simulate --algorithm lu --rows 4096 --cols 2048 --tile-size 64 \\
+      --placement owner-computes   # tiled LU without pivoting
+  repro figure --id dag-cholesky-sweep --cols 2048 --tile-size 64 \\
+      --csv results/dag_cholesky_sweep.csv   # reduced registry-scenario sweep
 """
 
 
@@ -99,11 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="run one evaluation point on the simulated grid")
     simulate.add_argument(
         "--algorithm",
-        choices=("tsqr", "scalapack", "caqr"),
+        choices=("tsqr", "scalapack", "caqr", "cholesky", "lu"),
         default="tsqr",
-        help="algorithm to run",
+        help="algorithm to run (cholesky and lu execute on the task-DAG runtime)",
     )
-    simulate.add_argument("--rows", type=int, default=1_048_576, help="number of rows M")
+    simulate.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="number of rows M (default: 1048576; cholesky: the --cols order)",
+    )
     simulate.add_argument("--cols", type=int, default=64, help="number of columns N")
     simulate.add_argument("--sites", type=int, choices=(1, 2, 4), default=4, help="grid sites used")
     simulate.add_argument(
@@ -115,10 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("spmd", "dag"),
         default=None,
         help="CAQR execution runtime: the bulk-synchronous SPMD program or "
-        "the task-DAG dataflow runtime (default: spmd)",
+        "the task-DAG dataflow runtime (default: spmd; cholesky/lu points "
+        "always run on the DAG runtime)",
     )
     simulate.add_argument(
-        "--tile-size", type=int, default=None, help="row/column tile size of a CAQR point"
+        "--tile-size",
+        type=int,
+        default=None,
+        help="row/column tile size of a tiled (caqr/cholesky/lu) point",
     )
     simulate.add_argument(
         "--placement",
@@ -141,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "table1", "table2", "table2-sweep", "caqr-sweep", "dag-caqr-sweep",
+            "dag-cholesky-sweep",
         ),
         help="which artefact to regenerate",
     )
@@ -149,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="column count N of the panel (default: 64; caqr-sweep and "
-        f"dag-caqr-sweep: the paper's widest N={CAQR_SWEEP_N})",
+        f"dag-caqr-sweep: the paper's widest N={CAQR_SWEEP_N}; "
+        f"dag-cholesky-sweep: the matrix order, default {DAG_CHOLESKY_SWEEP_N[0]})",
     )
     figure.add_argument(
         "--points",
@@ -180,8 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--tile-size",
         type=int,
         default=None,
-        help="row/column tile size of the caqr-sweep (default: 64) and "
-        "dag-caqr-sweep (default: 128) artefacts",
+        help="row/column tile size of the caqr-sweep (default: 64), "
+        "dag-caqr-sweep and dag-cholesky-sweep (default: 128) artefacts",
     )
     figure.add_argument(
         "--panel-tree",
@@ -194,14 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--placement",
         choices=PLACEMENT_POLICIES,
         default=None,
-        help="tile placement policy of the dag-caqr-sweep artefact (default: block)",
+        help="tile placement policy of the dag-caqr-sweep and "
+        "dag-cholesky-sweep artefacts (default: block)",
     )
     figure.add_argument(
         "--priority",
         choices=PRIORITY_POLICIES,
         default=None,
-        help="restrict the dag-caqr-sweep artefact to one ready-queue "
-        "priority (default: all three policies)",
+        help="restrict the dag-caqr-sweep / dag-cholesky-sweep artefacts to "
+        "one ready-queue priority (default: all three policies)",
     )
     figure.add_argument(
         "--jobs",
@@ -251,12 +271,23 @@ def _cmd_factor(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    tiled = ("caqr", "cholesky", "lu")
+    dag_only = ("cholesky", "lu")
     # Reject flags the requested algorithm would silently ignore.
-    if args.runtime is not None and args.algorithm != "caqr":
-        raise ConfigurationError("--runtime only applies to --algorithm caqr")
-    if args.tile_size is not None and args.algorithm != "caqr":
-        raise ConfigurationError("--tile-size only applies to --algorithm caqr")
-    if (args.placement or args.priority) and args.runtime != "dag":
+    if args.runtime is not None and args.algorithm not in tiled:
+        raise ConfigurationError(
+            "--runtime only applies to the tiled algorithms (--algorithm caqr/cholesky/lu)"
+        )
+    if args.runtime == "spmd" and args.algorithm in dag_only:
+        raise ConfigurationError(
+            f"tiled {args.algorithm} only exists on the DAG runtime; drop --runtime spmd"
+        )
+    if args.tile_size is not None and args.algorithm not in tiled:
+        raise ConfigurationError(
+            "--tile-size only applies to the tiled algorithms (--algorithm caqr/cholesky/lu)"
+        )
+    uses_dag = args.runtime == "dag" or args.algorithm in dag_only
+    if (args.placement or args.priority) and not uses_dag:
         raise ConfigurationError(
             "--placement/--priority only apply to --runtime dag (the SPMD "
             "program has a fixed schedule)"
@@ -265,23 +296,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         raise ConfigurationError("--domains-per-cluster only applies to --algorithm tsqr")
     if args.want_q and args.algorithm == "caqr":
         raise ConfigurationError("the distributed CAQR computes R only (its Q stays implicit)")
+    if args.want_q and args.algorithm in dag_only:
+        raise ConfigurationError(
+            f"tiled {args.algorithm} computes the factor only "
+            "(its Q/L inverses stay implicit); drop --want-q"
+        )
+    # Cholesky is square: the order comes from --cols unless --rows agrees.
+    rows = args.rows
+    if rows is None:
+        rows = args.cols if args.algorithm == "cholesky" else 1_048_576
+    if args.algorithm == "cholesky" and rows != args.cols:
+        raise ConfigurationError(
+            f"tiled cholesky needs a square matrix, got {rows} x {args.cols}; "
+            "pass matching --rows/--cols (or --cols alone)"
+        )
     runner = ExperimentRunner()
     if args.algorithm == "scalapack":
-        point = runner.scalapack_point(args.rows, args.cols, args.sites, want_q=args.want_q)
+        point = runner.scalapack_point(rows, args.cols, args.sites, want_q=args.want_q)
+    elif args.algorithm in dag_only:
+        tile = args.tile_size if args.tile_size is not None else 64
+        placement = args.placement or "block"
+        priority = args.priority or "critical-path"
+        if args.algorithm == "cholesky":
+            point = runner.dag_cholesky_point(
+                args.cols, args.sites, tile_size=tile,
+                placement=placement, priority=priority,
+            )
+        else:
+            point = runner.dag_lu_point(
+                rows, args.cols, args.sites, tile_size=tile,
+                placement=placement, priority=priority,
+            )
     elif args.algorithm == "caqr":
         tile = args.tile_size if args.tile_size is not None else 64
         if args.runtime == "dag":
             point = runner.dag_caqr_point(
-                args.rows, args.cols, args.sites, tile_size=tile,
+                rows, args.cols, args.sites, tile_size=tile,
                 placement=args.placement or "block",
                 priority=args.priority or "critical-path",
             )
         else:
-            point = runner.caqr_point(args.rows, args.cols, args.sites, tile_size=tile)
+            point = runner.caqr_point(rows, args.cols, args.sites, tile_size=tile)
     else:
         dpc = args.domains_per_cluster if args.domains_per_cluster is not None else 64
         point = runner.tsqr_point(
-            args.rows, args.cols, args.sites, dpc, want_q=args.want_q
+            rows, args.cols, args.sites, dpc, want_q=args.want_q
         )
     print(format_points([point.as_row()]))
     if point.critical_path_s is not None:
@@ -300,6 +359,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     ):
         raise ConfigurationError(
             "--rows only applies to --id table2-sweep, caqr-sweep and dag-caqr-sweep"
+            + (
+                " (tiled Cholesky is square; set the order with --cols)"
+                if args.figure_id == "dag-cholesky-sweep"
+                else ""
+            )
         )
     if args.want_q and args.figure_id not in ("fig4", "fig5", "fig6", "fig7", "fig8"):
         raise ConfigurationError(
@@ -312,23 +376,41 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "fig4", "fig5", "fig6", "fig7", "fig8"
     ):
         raise ConfigurationError("--points only applies to fig4..fig8")
-    if args.tile_size is not None and args.figure_id not in ("caqr-sweep", "dag-caqr-sweep"):
+    if args.tile_size is not None and args.figure_id not in (
+        "caqr-sweep", "dag-caqr-sweep", "dag-cholesky-sweep"
+    ):
         raise ConfigurationError(
-            "--tile-size only applies to --id caqr-sweep and dag-caqr-sweep"
+            "--tile-size only applies to --id caqr-sweep, dag-caqr-sweep "
+            "and dag-cholesky-sweep"
         )
     if args.panel_tree is not None and args.figure_id not in ("caqr-sweep", "dag-caqr-sweep"):
         raise ConfigurationError(
             "--panel-tree only applies to --id caqr-sweep and dag-caqr-sweep"
+            + (
+                " (tiled Cholesky eliminates single-tile panels and has "
+                "nothing to reduce)"
+                if args.figure_id == "dag-cholesky-sweep"
+                else ""
+            )
         )
-    if args.placement is not None and args.figure_id != "dag-caqr-sweep":
-        raise ConfigurationError("--placement only applies to --id dag-caqr-sweep")
-    if args.priority is not None and args.figure_id != "dag-caqr-sweep":
-        raise ConfigurationError("--priority only applies to --id dag-caqr-sweep")
+    if args.placement is not None and args.figure_id not in (
+        "dag-caqr-sweep", "dag-cholesky-sweep"
+    ):
+        raise ConfigurationError(
+            "--placement only applies to --id dag-caqr-sweep and dag-cholesky-sweep"
+        )
+    if args.priority is not None and args.figure_id not in (
+        "dag-caqr-sweep", "dag-cholesky-sweep"
+    ):
+        raise ConfigurationError(
+            "--priority only applies to --id dag-caqr-sweep and dag-cholesky-sweep"
+        )
     if args.jobs is not None:
         if args.figure_id in ("fig3", "table1", "table2"):
             raise ConfigurationError(
                 "--jobs only applies to the multi-point sweeps "
-                "(fig4..fig8, table2-sweep, caqr-sweep, dag-caqr-sweep)"
+                "(fig4..fig8, table2-sweep, caqr-sweep, dag-caqr-sweep, "
+                "dag-cholesky-sweep)"
             )
         if args.jobs < 1:
             raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
@@ -340,7 +422,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         n = (
             CAQR_SWEEP_N
             if args.figure_id == "caqr-sweep"
-            else DAG_SWEEP_N if args.figure_id == "dag-caqr-sweep" else 64
+            else DAG_SWEEP_N
+            if args.figure_id == "dag-caqr-sweep"
+            else DAG_CHOLESKY_SWEEP_N[0]
+            if args.figure_id == "dag-cholesky-sweep"
+            else 64
         )
     if args.figure_id == "fig3":
         rows = figure3_network(runner)
@@ -377,6 +463,15 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if args.priority is not None:
             kwargs["priorities"] = (args.priority,)
         rows = dag_caqr_sweep(runner, **kwargs)
+    elif args.figure_id == "dag-cholesky-sweep":
+        kwargs = {"n_values": (n,)}  # rejected by DAGFactorizationConfig if invalid
+        if args.tile_size is not None:
+            kwargs["tile_size"] = args.tile_size
+        if args.placement is not None:
+            kwargs["placement"] = args.placement
+        if args.priority is not None:
+            kwargs["priorities"] = (args.priority,)
+        rows = dag_cholesky_sweep(runner, **kwargs)
     else:
         builder = {"fig4": figure4, "fig5": figure5, "fig6": figure6, "fig7": figure7,
                    "fig8": figure8}[args.figure_id]

@@ -1,10 +1,16 @@
 """The task-DAG runtime: dataflow execution of tiled algorithms on gridsim.
 
-Three layers (see ``docs/architecture.md``, "The task-DAG runtime"):
+Four layers (see ``docs/architecture.md``, "The task-DAG runtime" and "The
+algorithm registry"):
 
+* :mod:`repro.dag.kernels` — the algorithm registry: per-kernel read/write
+  plans, flop counts and implementations, plus per-algorithm loop nests
+  (tiled QR, tiled Cholesky, tiled LU ship; new algorithms register here);
 * :mod:`repro.dag.graph` — tasks, tile handles and the automatic derivation
-  of dependency edges from read/write sets, plus the :func:`tiled_qr_graph`
-  and :func:`tsqr_graph` builders;
+  of dependency edges from read/write sets, plus the generic
+  :func:`build_tiled_graph` builder and its :func:`tiled_qr_graph` /
+  :func:`tiled_cholesky_graph` / :func:`tiled_lu_graph` / :func:`tsqr_graph`
+  instances;
 * :mod:`repro.dag.runtime` + :mod:`repro.dag.placement` — the SPMD
   ready-queue driver (eager sends, lazy receives) and the placement /
   priority policies it composes;
@@ -24,7 +30,24 @@ from repro.dag.analysis import (
     rank_utilization,
     write_gantt_csv,
 )
-from repro.dag.graph import Task, TaskGraph, tiled_qr_graph, tsqr_graph
+from repro.dag.graph import (
+    Task,
+    TaskGraph,
+    build_tiled_graph,
+    cached_graph,
+    tiled_cholesky_graph,
+    tiled_lu_graph,
+    tiled_qr_graph,
+    tsqr_graph,
+)
+from repro.dag.kernels import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    GraphStructure,
+    KERNELS,
+    KernelSpec,
+    algorithm_spec,
+)
 from repro.dag.placement import (
     PLACEMENT_POLICIES,
     PRIORITY_POLICIES,
@@ -32,7 +55,14 @@ from repro.dag.placement import (
     place_tasks,
     priority_order,
 )
-from repro.dag.runtime import DAGCAQRConfig, DAGRunResult, run_dag_caqr, run_dag_tsqr
+from repro.dag.runtime import (
+    DAGCAQRConfig,
+    DAGFactorizationConfig,
+    DAGRunResult,
+    run_dag_caqr,
+    run_dag_factorization,
+    run_dag_tsqr,
+)
 
 __all__ = [
     "CriticalPath",
@@ -47,15 +77,27 @@ __all__ = [
     "write_gantt_csv",
     "Task",
     "TaskGraph",
+    "build_tiled_graph",
+    "cached_graph",
     "tiled_qr_graph",
+    "tiled_cholesky_graph",
+    "tiled_lu_graph",
     "tsqr_graph",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "GraphStructure",
+    "KERNELS",
+    "KernelSpec",
+    "algorithm_spec",
     "PLACEMENT_POLICIES",
     "PRIORITY_POLICIES",
     "TaskPlacement",
     "place_tasks",
     "priority_order",
     "DAGCAQRConfig",
+    "DAGFactorizationConfig",
     "DAGRunResult",
     "run_dag_caqr",
+    "run_dag_factorization",
     "run_dag_tsqr",
 ]

@@ -9,17 +9,22 @@ any task whose inputs are ready may run, so independent work hides latency.
 
 This module is the graph half of that runtime:
 
-* a :class:`Task` names one kernel invocation (``geqrt``/``unmqr``/
-  ``tsqrt``/``tsmqr`` for tiled QR, leaf/combine for TSQR) together with its
-  analytic flop count (:mod:`repro.virtual.flops`) and the *handles* it
-  reads and writes;
+* a :class:`Task` names one kernel invocation together with its analytic
+  flop count (:mod:`repro.virtual.flops`) and the *handles* it reads and
+  writes;
 * a :class:`TaskGraph` derives dependency edges **automatically** from those
   read/write sets (read-after-write, write-after-read, write-after-write),
   so builders only state what each task touches, never who waits for whom;
-* :func:`tiled_qr_graph` emits the tiled-QR DAG of an ``M x N`` matrix —
-  with an elimination structure *identical* to the one the SPMD CAQR program
-  executes (per-group flat chains, then a configurable cross-group tree), so
-  a real-payload DAG execution reproduces the SPMD R factor **bit for bit**;
+* :func:`build_tiled_graph` emits the DAG of **any registered algorithm**
+  (:mod:`repro.dag.kernels`) by walking its loop nest and resolving each
+  task's read/write plan on the tile grid — tiled QR, tiled Cholesky and
+  tiled LU are three instances of the same builder;
+* :func:`tiled_qr_graph` is the QR instance — with an elimination structure
+  *identical* to the one the SPMD CAQR program executes (per-group flat
+  chains, then a configurable cross-group tree), so a real-payload DAG
+  execution reproduces the SPMD R factor **bit for bit**;
+* :func:`tiled_cholesky_graph` / :func:`tiled_lu_graph` instantiate the
+  tiled Cholesky and unpivoted-LU loop nests;
 * :func:`tsqr_graph` emits the reduction-tree DAG of plain TSQR.
 
 Handles are hashable keys: ``("A", i, j)`` is matrix tile ``(i, j)``,
@@ -34,40 +39,27 @@ byte-identical communication.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
+from repro.dag.kernels import KERNELS, GraphStructure, algorithm_spec
 from repro.exceptions import ConfigurationError, TreeError
 from repro.tsqr.trees import tree_for
 from repro.util.partition import TileGrid, block_ranges
+from repro.util.shapes import trapezoid_doubles
 from repro.util.units import DOUBLE_BYTES
-from repro.virtual.flops import (
-    geqrt_flops,
-    qr_flops,
-    stacked_triangle_qr_flops,
-    tsmqr_flops,
-    tsqrt_flops,
-    unmqr_flops,
-)
+from repro.virtual.flops import qr_flops, stacked_triangle_qr_flops
 
 __all__ = [
     "Task",
     "TaskGraph",
+    "build_tiled_graph",
     "tiled_qr_graph",
+    "tiled_cholesky_graph",
+    "tiled_lu_graph",
     "tsqr_graph",
+    "cached_graph",
     "cached_tiled_qr_graph",
 ]
-
-
-def _trapezoid_doubles(h: int, w: int) -> int:
-    """Stored doubles of an upper-trapezoidal ``h x w`` block.
-
-    For ``h >= w`` this is the paper's ``w (w + 1) / 2`` half triangle; short
-    blocks store ``w + (w-1) + ...`` down to their last row.  This is the
-    wire size of every panel-factor handle, identical on the virtual and the
-    real path.
-    """
-    t = min(h, w)
-    return t * w - t * (t - 1) // 2
 
 
 class Task:
@@ -285,7 +277,77 @@ class TaskGraph:
 
 
 # ---------------------------------------------------------------------------
-# Builders
+# The generic tiled builder
+# ---------------------------------------------------------------------------
+
+def build_tiled_graph(
+    algorithm: str,
+    m: int,
+    n: int,
+    tile_size: int,
+    *,
+    structure: GraphStructure | None = None,
+) -> TaskGraph:
+    """Emit the task DAG of any registered tiled algorithm.
+
+    The builder is a straight product of the registry
+    (:mod:`repro.dag.kernels`): it declares every matrix tile up front, then
+    walks the algorithm's loop nest in program order; for each yielded
+    ``(kernel, k, i, i2, j)`` it resolves the kernel's read/write plan on
+    the tile grid — declaring factor handles (``F``/``S``) at their first
+    write, exactly where a hand-written builder would — and appends the
+    task.  Dependency edges, task ids and wire sizes all fall out of the
+    declarations, so a new algorithm needs only kernels and a loop nest.
+    """
+    spec = algorithm_spec(algorithm)
+    if m <= 0 or n <= 0:
+        raise ConfigurationError(f"matrix dimensions must be positive, got {m} x {n}")
+    if spec.square_only and m != n:
+        raise ConfigurationError(
+            f"tiled {algorithm} needs a square matrix, got {m} x {n}"
+        )
+    if structure is None:
+        structure = GraphStructure()
+    grid = TileGrid(m, n, tile_size)
+    graph = TaskGraph(kind=spec.kind)
+    graph.grid = grid
+    graph.n_groups = structure.n_groups
+
+    # Declare every matrix tile up front (initial values are dense).
+    for i in range(grid.mt):
+        for j in range(grid.nt):
+            graph.handle(("A", i, j), grid.tile_shape(i, j))
+
+    for kname, k, i, i2, j in spec.loop_nest(grid, structure):
+        kspec = KERNELS[kname]
+        plan = kspec.plan(grid, k, i, i2, j)
+        write_ids: list[int] = []
+        wire_nbytes: list[int] = []
+        for w in plan.writes:
+            hid = graph.handle(w.key, w.shape, nbytes=w.handle_nbytes)
+            write_ids.append(hid)
+            wire_nbytes.append(
+                w.wire_nbytes if w.wire_nbytes is not None else graph.handle_nbytes[hid]
+            )
+        graph.add_task(
+            kname,
+            reads=tuple(graph.handle_id(key) for key in plan.reads),
+            writes=tuple(write_ids),
+            write_nbytes=tuple(wire_nbytes),
+            flops=plan.flops,
+            width=grid.col_width(k),
+            kernel_class=kspec.kernel_class,
+            host_row=i,
+            k=k,
+            i=i,
+            i2=i2,
+            j=j,
+        )
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Algorithm instances
 # ---------------------------------------------------------------------------
 
 def tiled_qr_graph(
@@ -316,156 +378,34 @@ def tiled_qr_graph(
         raise ConfigurationError(f"matrix dimensions must be positive, got {m} x {n}")
     if n_groups <= 0:
         raise ConfigurationError(f"group count must be positive, got {n_groups}")
-    grid = TileGrid(m, n, tile_size)
-    mt, nt = grid.mt, grid.nt
-    graph = TaskGraph(kind="tiled-qr")
-    graph.grid = grid
-    graph.n_groups = n_groups
-    owners = block_ranges(mt, n_groups)
-    clusters = (
-        list(group_clusters) if group_clusters is not None else ["local"] * n_groups
-    )
-    if len(clusters) != n_groups:
-        raise ConfigurationError(
-            f"{len(clusters)} cluster names for {n_groups} groups"
-        )
-
-    # Declare every matrix tile up front (initial values are dense).
-    a_of = [
-        [graph.handle(("A", i, j), grid.tile_shape(i, j)) for j in range(nt)]
-        for i in range(mt)
-    ]
-
-    height = grid.row_height
-    for k in range(grid.n_panels):
-        wk = grid.col_width(k)
-        trailing = range(k + 1, nt)
-        participants = [
-            g for g in range(n_groups) if owners[g][1] > k and owners[g][1] > owners[g][0]
-        ]
-        tops = {g: max(owners[g][0], k) for g in participants}
-
-        # ---------------- leaf stage: geqrt + same-row trailing updates
-        for g in participants:
-            t0, t1 = owners[g]
-            for i in range(tops[g], t1):
-                h = height(i)
-                kk = min(h, wk)
-                f = graph.handle(
-                    ("F", k, i),
-                    (h, kk),
-                    nbytes=(h * kk + kk * kk) * DOUBLE_BYTES,
-                )
-                graph.add_task(
-                    "geqrt",
-                    reads=(a_of[i][k],),
-                    writes=(a_of[i][k], f),
-                    write_nbytes=(
-                        _trapezoid_doubles(h, wk) * DOUBLE_BYTES,
-                        graph.handle_nbytes[f],
-                    ),
-                    flops=geqrt_flops(h, wk),
-                    width=wk,
-                    kernel_class="qr_leaf",
-                    host_row=i,
-                    k=k,
-                    i=i,
-                )
-                for j in trailing:
-                    graph.add_task(
-                        "unmqr",
-                        reads=(f, a_of[i][j]),
-                        writes=(a_of[i][j],),
-                        flops=unmqr_flops(h, grid.col_width(j), kk),
-                        width=wk,
-                        kernel_class="qr_leaf",
-                        host_row=i,
-                        k=k,
-                        i=i,
-                        j=j,
-                    )
-
-        # ---------------- intra-group flat elimination chains
-        for g in participants:
-            t0, t1 = owners[g]
-            i_top = tops[g]
-            for i in range(i_top + 1, t1):
-                _emit_combine(graph, grid, a_of, k, i_top, i, trailing)
-
-        # ---------------- cross-group reduction along the panel tree
-        tree = tree_for(
-            panel_tree, len(participants), [clusters[g] for g in participants]
-        )
-        if tree.root != 0:
-            raise TreeError("panel reduction tree must be rooted at the diagonal tile")
-
-        def _emit_tree(pos: int) -> None:
-            for child_pos in tree.children(pos):
-                _emit_tree(child_pos)
-                _emit_combine(
-                    graph,
-                    grid,
-                    a_of,
-                    k,
-                    tops[participants[pos]],
-                    tops[participants[child_pos]],
-                    trailing,
-                )
-
-        _emit_tree(tree.root)
-    return graph
-
-
-def _emit_combine(
-    graph: TaskGraph,
-    grid: TileGrid,
-    a_of: list[list[int]],
-    k: int,
-    i_top: int,
-    i_bot: int,
-    trailing: Iterable[int],
-) -> None:
-    """One ``tsqrt`` elimination of tile row ``i_bot`` into ``i_top`` plus
-    the ``tsmqr`` updates of their trailing tile pair."""
-    wk = grid.col_width(k)
-    h_top = grid.row_height(i_top)
-    h_bot = grid.row_height(i_bot)
-    kk = min(h_top + h_bot, wk)
-    s = graph.handle(
-        ("S", k, i_top, i_bot),
-        (h_top + h_bot, kk),
-        nbytes=((h_top + h_bot) * kk + kk * kk) * DOUBLE_BYTES,
-    )
-    graph.add_task(
-        "tsqrt",
-        reads=(a_of[i_top][k], a_of[i_bot][k]),
-        writes=(a_of[i_top][k], s),
-        write_nbytes=(
-            _trapezoid_doubles(h_top, wk) * DOUBLE_BYTES,
-            graph.handle_nbytes[s],
+    return build_tiled_graph(
+        "qr",
+        m,
+        n,
+        tile_size,
+        structure=GraphStructure(
+            n_groups=n_groups,
+            panel_tree=panel_tree,
+            group_clusters=tuple(group_clusters) if group_clusters is not None else None,
         ),
-        flops=tsqrt_flops(h_bot, wk),
-        width=wk,
-        kernel_class="qr_combine",
-        host_row=i_top,
-        k=k,
-        i=i_top,
-        i2=i_bot,
     )
-    for j in trailing:
-        graph.add_task(
-            "tsmqr",
-            reads=(s, a_of[i_top][j], a_of[i_bot][j]),
-            writes=(a_of[i_top][j], a_of[i_bot][j]),
-            flops=tsmqr_flops(h_bot, grid.col_width(j), wk),
-            width=wk,
-            kernel_class="qr_combine",
-            host_row=i_top,
-            k=k,
-            i=i_top,
-            i2=i_bot,
-            j=j,
-        )
+
+
+def tiled_cholesky_graph(n: int, tile_size: int) -> TaskGraph:
+    """The tiled-Cholesky DAG of an ``N x N`` SPD matrix (potrf/trsm/syrk/gemm).
+
+    Lower-triangular convention (``A = L L^T``); the classical right-looking
+    tile loop nest, so the DAG executes the exact kernel sequence of the
+    sequential blocked algorithm on every tile.
+    """
+    return build_tiled_graph("cholesky", n, n, tile_size)
+
+
+def tiled_lu_graph(m: int, n: int, tile_size: int) -> TaskGraph:
+    """The tiled-LU DAG of an ``M x N`` matrix, right-looking, no pivoting
+    (getrf/trsm_row/trsm_col/gemm_nn); for diagonally dominant matrices,
+    where skipping partial pivoting is numerically safe."""
+    return build_tiled_graph("lu", m, n, tile_size)
 
 
 def tsqr_graph(
@@ -495,7 +435,7 @@ def tsqr_graph(
     graph = TaskGraph(kind="tsqr")
     graph.n_groups = n_domains
     graph.domain_ranges = tuple(ranges)
-    tri_nbytes = _trapezoid_doubles(n, n) * DOUBLE_BYTES
+    tri_nbytes = trapezoid_doubles(n, n) * DOUBLE_BYTES
     r_of = []
     for d, (r0, r1) in enumerate(ranges):
         a = graph.handle(("A", d), (r1 - r0, n))
@@ -534,7 +474,51 @@ def tsqr_graph(
     return graph
 
 
-@lru_cache(maxsize=4)
+# ---------------------------------------------------------------------------
+# The graph cache
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=8)
+def cached_graph(
+    algorithm: str,
+    m: int,
+    n: int,
+    tile_size: int,
+    n_groups: int = 1,
+    panel_tree: str = "binary",
+    group_clusters: tuple[str, ...] | None = None,
+) -> TaskGraph:
+    """Memoised :func:`build_tiled_graph` (paper-scale graphs take seconds).
+
+    The cache key is the algorithm name plus **every** shape parameter, so
+    two algorithms (or two elimination structures) can never collide on a
+    cache entry.  The returned graph is shared: callers must treat it as
+    immutable — the runtime's placement/priority memos key on the graph
+    object's identity, which is exactly what the sharing preserves.
+    """
+    if algorithm == "qr":
+        # Through the QR wrapper so its n_groups validation applies.
+        return tiled_qr_graph(
+            m,
+            n,
+            tile_size,
+            n_groups=n_groups,
+            panel_tree=panel_tree,
+            group_clusters=group_clusters,
+        )
+    return build_tiled_graph(
+        algorithm,
+        m,
+        n,
+        tile_size,
+        structure=GraphStructure(
+            n_groups=n_groups,
+            panel_tree=panel_tree,
+            group_clusters=group_clusters,
+        ),
+    )
+
+
 def cached_tiled_qr_graph(
     m: int,
     n: int,
@@ -543,15 +527,7 @@ def cached_tiled_qr_graph(
     panel_tree: str,
     group_clusters: tuple[str, ...] | None,
 ) -> TaskGraph:
-    """Memoised :func:`tiled_qr_graph` (paper-scale graphs take seconds to build).
-
-    The returned graph is shared: callers must treat it as immutable.
-    """
-    return tiled_qr_graph(
-        m,
-        n,
-        tile_size,
-        n_groups=n_groups,
-        panel_tree=panel_tree,
-        group_clusters=group_clusters,
+    """Memoised :func:`tiled_qr_graph` (the QR entry of :func:`cached_graph`)."""
+    return cached_graph(
+        "qr", m, n, tile_size, n_groups, panel_tree, group_clusters
     )

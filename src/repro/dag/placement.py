@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.dag.analysis import downstream_seconds
 from repro.dag.graph import TaskGraph
+from repro.dag.kernels import panel_kernel_names
 from repro.exceptions import ConfigurationError
 from repro.gridsim.kernelmodel import KernelRateModel
 from repro.util.partition import block_ranges
@@ -47,8 +48,10 @@ __all__ = [
 PLACEMENT_POLICIES = ("block", "block-cyclic", "owner-computes")
 PRIORITY_POLICIES = ("critical-path", "panel", "fifo")
 
-#: Kernels that advance a panel factorization (preferred by ``panel``).
-_PANEL_KERNELS = frozenset({"geqrt", "tsqrt", "tsqr_leaf", "tsqr_combine"})
+#: Kernels that advance a panel factorization (preferred by ``panel``),
+#: straight from the registry's per-kernel ``panel`` flags — a newly
+#: registered algorithm gets the panel priority policy for free.
+_PANEL_KERNELS = panel_kernel_names()
 
 
 @dataclass(frozen=True)

@@ -47,7 +47,8 @@ from repro.dag.analysis import (
     critical_path,
     iter_messages,
 )
-from repro.dag.graph import TaskGraph, cached_tiled_qr_graph, tsqr_graph
+from repro.dag.graph import TaskGraph, cached_graph, tsqr_graph
+from repro.dag.kernels import AlgorithmSpec, algorithm_spec, execute_kernel
 from repro.dag.placement import (
     PLACEMENT_POLICIES,
     PRIORITY_POLICIES,
@@ -60,16 +61,17 @@ from repro.gridsim.executor import RankContext, SimulationResult
 from repro.gridsim.kernelmodel import KernelRateModel
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
-from repro.kernels.tiled import geqrt, tsmqr, tsqrt, unmqr
-from repro.programs.caqr import PANEL_TREE_KINDS, _padded_triangle
+from repro.programs.caqr import PANEL_TREE_KINDS
 from repro.programs.spmd import run_program
 from repro.virtual.flops import qr_flops
 from repro.virtual.matrix import VirtualMatrix
 
 __all__ = [
     "DAGCAQRConfig",
+    "DAGFactorizationConfig",
     "DAGRunResult",
     "run_dag_caqr",
+    "run_dag_factorization",
     "run_dag_tsqr",
 ]
 
@@ -79,13 +81,16 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
-class DAGCAQRConfig:
-    """Configuration of one DAG-CAQR run.
+class DAGFactorizationConfig:
+    """Configuration of one DAG factorization run, any registered algorithm.
 
     The matrix/tiling fields mirror :class:`repro.programs.caqr.CAQRConfig`
-    (the two runtimes factor the same problem with the same kernels and the
-    same elimination structure); ``placement`` and ``priority`` select the
-    dataflow policies of :mod:`repro.dag.placement`.
+    (for QR the two runtimes factor the same problem with the same kernels
+    and the same elimination structure); ``placement`` and ``priority``
+    select the dataflow policies of :mod:`repro.dag.placement`;
+    ``algorithm`` names the :mod:`repro.dag.kernels` registry entry
+    (``qr``, ``cholesky`` or ``lu``).  ``panel_tree`` only applies to QR —
+    the single-tile panels of Cholesky and LU have nothing to reduce.
     """
 
     m: int
@@ -96,17 +101,29 @@ class DAGCAQRConfig:
     priority: str = "critical-path"
     nb: int = 32
     matrix: np.ndarray | None = field(default=None, repr=False, compare=False)
+    algorithm: str = "qr"
 
     def __post_init__(self) -> None:
+        spec = algorithm_spec(self.algorithm)  # raises for unknown names
         if self.m <= 0 or self.n <= 0:
             raise ConfigurationError(
                 f"matrix dimensions must be positive, got {self.m} x {self.n}"
             )
+        if spec.square_only and self.m != self.n:
+            raise ConfigurationError(
+                f"tiled {self.algorithm} needs a square matrix, got {self.m} x {self.n}"
+            )
         if self.tile_size <= 0:
             raise ConfigurationError(f"tile size must be positive, got {self.tile_size}")
-        if self.panel_tree not in PANEL_TREE_KINDS:
+        if spec.uses_panel_tree:
+            if self.panel_tree not in PANEL_TREE_KINDS:
+                raise ConfigurationError(
+                    f"unknown panel tree {self.panel_tree!r}; choose from {PANEL_TREE_KINDS}"
+                )
+        elif self.panel_tree != "binary":
             raise ConfigurationError(
-                f"unknown panel tree {self.panel_tree!r}; choose from {PANEL_TREE_KINDS}"
+                f"the panel tree only applies to QR; tiled {self.algorithm} "
+                "eliminates single-tile panels and has nothing to reduce"
             )
         if self.placement not in PLACEMENT_POLICIES:
             raise ConfigurationError(
@@ -130,7 +147,20 @@ class DAGCAQRConfig:
 
     def flop_count(self) -> float:
         """Useful flops credited to the run (the Gflop/s denominator)."""
-        return qr_flops(self.m, self.n)
+        return algorithm_spec(self.algorithm).total_flops(self.m, self.n)
+
+
+@dataclass(frozen=True)
+class DAGCAQRConfig(DAGFactorizationConfig):
+    """Configuration of one DAG-CAQR run (``algorithm="qr"`` fixed)."""
+
+    def __post_init__(self) -> None:
+        if self.algorithm != "qr":
+            raise ConfigurationError(
+                f"DAGCAQRConfig is the QR entry point, got algorithm={self.algorithm!r}; "
+                "use DAGFactorizationConfig for other algorithms"
+            )
+        super().__post_init__()
 
 
 @dataclass(frozen=True)
@@ -310,39 +340,13 @@ def _initial_value(graph: TaskGraph, h: int, spec: _ExecSpec):
 def _execute_task(task, inputs: list, spec: _ExecSpec) -> list:
     """Run one kernel on its input values and return the written values.
 
-    Read/write orderings follow the builder conventions of
-    :mod:`repro.dag.graph`; the arithmetic is byte-for-byte the SPMD CAQR
-    program's (same kernels, same padding helpers), which is what makes the
-    real-mode factors bit-identical.
+    A thin alias of the registry dispatch
+    (:func:`repro.dag.kernels.execute_kernel`): read/write orderings follow
+    the registry's kernel plans, and the arithmetic is byte-for-byte the
+    SPMD programs' (same kernels, same padding helpers), which is what
+    makes the real-mode factors bit-identical.
     """
-    kern = task.kernel
-    if kern == "geqrt":
-        (a,) = inputs
-        fact = geqrt(a, block_size=spec.inner_b)
-        return [_padded_triangle(a, fact.r), fact]
-    if kern == "unmqr":
-        fact, c = inputs
-        return [unmqr(fact, c, transpose=True)]
-    if kern == "tsqrt":
-        top, bottom = inputs
-        ts = tsqrt(top, bottom, block_size=spec.inner_b)
-        return [_padded_triangle(top, ts.r), ts]
-    if kern == "tsmqr":
-        ts, c_top, c_bottom = inputs
-        new_top, new_bottom = tsmqr(ts, c_top, c_bottom, transpose=True)
-        return [new_top, new_bottom]
-    if kern == "tsqr_leaf":
-        (a,) = inputs
-        if isinstance(a, VirtualMatrix):
-            return [VirtualMatrix(min(a.m, a.n), a.n, structure="upper")]
-        return [np.linalg.qr(np.asarray(a), mode="r")]
-    if kern == "tsqr_combine":
-        r_top, r_bottom = inputs
-        if isinstance(r_top, VirtualMatrix) or isinstance(r_bottom, VirtualMatrix):
-            return [VirtualMatrix(r_top.shape[0], r_top.shape[1], structure="upper")]
-        stacked = np.vstack([np.asarray(r_top), np.asarray(r_bottom)])
-        return [np.linalg.qr(stacked, mode="r")]
-    raise ConfigurationError(f"unknown task kernel {kern!r}")
+    return execute_kernel(task, inputs, spec)
 
 
 # ---------------------------------------------------------------------------
@@ -502,7 +506,12 @@ def dag_program(
 
 @dataclass
 class DAGRunResult:
-    """Harness-level outcome of one DAG run."""
+    """Harness-level outcome of one DAG run.
+
+    ``r`` is the assembled factor of a real-payload run (upper-triangular
+    ``R`` for QR/TSQR, lower-triangular ``L`` for Cholesky, the packed
+    ``L\\U`` for LU; ``None`` in virtual mode).
+    """
 
     r: np.ndarray | None
     makespan_s: float
@@ -513,7 +522,7 @@ class DAGRunResult:
     placement: TaskPlacement = field(repr=False)
     schedule: tuple[ScheduleEntry, ...] | None = field(default=None, repr=False)
     simulation: SimulationResult | None = field(default=None, repr=False)
-    config: DAGCAQRConfig | None = None
+    config: DAGFactorizationConfig | None = None
 
     @property
     def time_s(self) -> float:
@@ -535,34 +544,38 @@ def _merge_schedules(results) -> tuple[ScheduleEntry, ...]:
     return tuple(entries)
 
 
-def run_dag_caqr(
+def run_dag_factorization(
     platform: Platform,
-    config: DAGCAQRConfig,
+    config: DAGFactorizationConfig,
     *,
     record_messages: bool = False,
     record_schedule: bool = False,
     engine: str | None = None,
 ) -> DAGRunResult:
-    """Run DAG-CAQR on ``platform`` and summarise its performance.
+    """Run any registered DAG factorization on ``platform``.
 
-    Real payloads return the global R factor — bit-identical to the SPMD
-    CAQR program's (and therefore matching ``numpy.linalg.qr`` at machine
-    precision) for *every* placement and priority policy; virtual payloads
-    return ``r=None`` and the trace/critical-path summary only.
+    One harness for every algorithm in the registry: the graph comes from
+    :func:`repro.dag.graph.cached_graph` keyed on the algorithm name, the
+    result tiles and their assembly from the :class:`AlgorithmSpec` — the
+    ready loop, placement, priority and communication layers in between are
+    untouched by construction.  Real payloads return the assembled factor
+    (``R``/``L``/``L\\U``); virtual payloads return ``r=None`` and the
+    trace/critical-path summary only.
     """
+    alg: AlgorithmSpec = algorithm_spec(config.algorithm)
     p = platform.n_processes
-    clusters = tuple(platform.placement.cluster_of(r) for r in range(p))
-    graph = cached_tiled_qr_graph(
-        config.m, config.n, config.tile_size, p, config.panel_tree, clusters
-    )
+    if alg.uses_panel_tree:
+        clusters = tuple(platform.placement.cluster_of(r) for r in range(p))
+        graph = cached_graph(
+            config.algorithm, config.m, config.n, config.tile_size,
+            p, config.panel_tree, clusters,
+        )
+    else:
+        graph = cached_graph(config.algorithm, config.m, config.n, config.tile_size)
     placement, plan = _plan_for(graph, config.placement, p)
     order = _order_for(graph, config.priority, platform.kernel_model)
     grid = graph.grid
-    wanted = [
-        graph.handle_id(("A", i, j))
-        for i in range(grid.n_panels)
-        for j in range(i, grid.nt)
-    ]
+    wanted = [graph.handle_id(key) for key in alg.result_keys(grid)]
     collect = plan.collect_by_rank(wanted if not config.virtual else [])
     spec = _ExecSpec(
         matrix=config.matrix,
@@ -583,14 +596,11 @@ def run_dag_caqr(
     )
     r = None
     if not config.virtual:
-        cover = grid.row_ranges[grid.n_panels - 1][1]
-        assembled = np.zeros((cover, config.n))
+        tiles_by_key = {}
         for tiles, _sched in run.results:
             for h, value in tiles.items():
-                _, i, j = graph.handle_keys[h]
-                grid.set_tile(assembled, i, j, np.asarray(value))
-        kmin = min(config.m, config.n)
-        r = np.triu(assembled[:kmin, :])
+                tiles_by_key[graph.handle_keys[h]] = value
+        r = alg.assemble(grid, config.m, config.n, tiles_by_key)
     return DAGRunResult(
         r=r,
         makespan_s=run.makespan_s,
@@ -602,6 +612,35 @@ def run_dag_caqr(
         schedule=_merge_schedules(run.results) if record_schedule else None,
         simulation=run.simulation,
         config=config,
+    )
+
+
+def run_dag_caqr(
+    platform: Platform,
+    config: DAGCAQRConfig,
+    *,
+    record_messages: bool = False,
+    record_schedule: bool = False,
+    engine: str | None = None,
+) -> DAGRunResult:
+    """Run DAG-CAQR on ``platform`` and summarise its performance.
+
+    The QR entry of :func:`run_dag_factorization`.  Real payloads return
+    the global R factor — bit-identical to the SPMD CAQR program's (and
+    therefore matching ``numpy.linalg.qr`` at machine precision) for
+    *every* placement and priority policy; virtual payloads return
+    ``r=None`` and the trace/critical-path summary only.
+    """
+    if config.algorithm != "qr":
+        raise ConfigurationError(
+            f"run_dag_caqr is the QR entry point, got algorithm={config.algorithm!r}"
+        )
+    return run_dag_factorization(
+        platform,
+        config,
+        record_messages=record_messages,
+        record_schedule=record_schedule,
+        engine=engine,
     )
 
 

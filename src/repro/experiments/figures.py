@@ -35,6 +35,9 @@ from repro.experiments.workloads import (
     CAQR_SWEEP_N,
     CAQR_SWEEP_SITES,
     CAQR_SWEEP_TILE,
+    DAG_CHOLESKY_SWEEP_N,
+    DAG_CHOLESKY_SWEEP_SITES,
+    DAG_CHOLESKY_SWEEP_TILE,
     DAG_SWEEP_M,
     DAG_SWEEP_N,
     DAG_SWEEP_PRIORITIES,
@@ -49,7 +52,7 @@ from repro.experiments.workloads import (
     reduced_m_values,
 )
 from repro.gridsim.executor import run_spmd
-from repro.model.costs import caqr_costs, scalapack_costs, tsqr_costs
+from repro.model.costs import caqr_costs, dag_cholesky_costs, scalapack_costs, tsqr_costs
 from repro.util.units import DOUBLE_BYTES
 
 __all__ = [
@@ -66,6 +69,7 @@ __all__ = [
     "table2_sweep",
     "caqr_sweep",
     "dag_caqr_sweep",
+    "dag_cholesky_sweep",
 ]
 
 
@@ -651,6 +655,94 @@ def dag_caqr_sweep(
                     "msgs (SPMD)": spmd.total_messages,
                     "inter-cluster msgs": dag.inter_cluster_messages,
                     "Gflop/s": round(dag.gflops, 2),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# DAG-Cholesky sweep: the first non-QR scenario of the algorithm registry
+# ---------------------------------------------------------------------------
+
+def dag_cholesky_sweep(
+    runner: ExperimentRunner,
+    *,
+    n_values: tuple[int, ...] | list[int] | None = None,
+    n_sites: int = DAG_CHOLESKY_SWEEP_SITES,
+    tile_size: int = DAG_CHOLESKY_SWEEP_TILE,
+    placement: str = "block",
+    priorities: tuple[str, ...] = DAG_SWEEP_PRIORITIES,
+) -> list[dict[str, object]]:
+    """Task-DAG tiled Cholesky per priority, measured counts next to the model.
+
+    The registry's first non-QR scenario at paper-reservation scale: for
+    every matrix order and priority policy a virtual tiled Cholesky runs
+    through the task-DAG runtime, and the row records the makespan against
+    the exact flop-weighted critical path plus the measured message count
+    and exchanged volume as ratios against
+    :func:`repro.model.costs.dag_cholesky_costs`.  Both derive from the same
+    communication plan, so the ratios are exactly 1.0 — the benchmark gate
+    allows 10% — while the idle and critical-path columns show how the
+    ``potrf`` chain, far shorter than QR's panel reductions, leaves the
+    priority policies much closer together.
+    """
+    p = runner.processes(n_sites)
+
+    def _ratio(measured: float, predicted: float) -> float:
+        if predicted == 0:
+            return 1.0 if measured == 0 else float("inf")
+        return round(measured / predicted, 3)
+
+    sweep_n = tuple(n_values) if n_values is not None else DAG_CHOLESKY_SWEEP_N
+    runner.prefetch(
+        PointSpec(
+            algorithm="cholesky", m=n, n=n, n_sites=n_sites,
+            tile_size=tile_size, runtime="dag",
+            placement=placement, priority=prio,
+        )
+        for n in sweep_n
+        for prio in priorities
+    )
+    rows: list[dict[str, object]] = []
+    for n in sweep_n:
+        model = dag_cholesky_costs(n, p, tile_size=tile_size, placement=placement)
+        for prio in priorities:
+            point = runner.dag_cholesky_point(
+                n, n_sites, tile_size=tile_size, placement=placement, priority=prio
+            )
+            active = _active_ranks(point.trace)
+            usage = rank_utilization(point.trace, point.time_s, active)
+            idle_mean = mean_idle_fraction(point.trace, point.time_s, active)
+            idle_max = max((u.idle_fraction() for u in usage), default=0.0)
+            cp = point.critical_path_s or 0.0
+            measured_msgs = point.trace.total_messages
+            measured_volume = sum(point.trace.bytes_by_link.values()) / DOUBLE_BYTES
+            rows.append(
+                {
+                    "algorithm": "DAG-Cholesky",
+                    "N": n,
+                    "P": p,
+                    "tile": tile_size,
+                    "placement": placement,
+                    "priority": prio,
+                    "makespan (s)": round(point.time_s, 4),
+                    "critical path (s)": round(cp, 4),
+                    "CP / makespan": round(cp / point.time_s, 3)
+                    if point.time_s > 0
+                    else 0.0,
+                    "idle fraction (mean)": round(idle_mean, 4),
+                    "idle fraction (max)": round(idle_max, 4),
+                    "comm wait max (s)": round(
+                        max(point.trace.comm_wait_s_per_rank, default=0.0), 4
+                    ),
+                    "msgs (measured)": measured_msgs,
+                    "msgs (model)": round(model.messages, 0),
+                    "msg ratio": _ratio(measured_msgs, model.messages),
+                    "volume (doubles, measured)": round(measured_volume, 0),
+                    "volume (doubles, model)": round(model.volume_doubles, 0),
+                    "volume ratio": _ratio(measured_volume, model.volume_doubles),
+                    "inter-cluster msgs": point.inter_cluster_messages,
+                    "Gflop/s": round(point.gflops, 2),
                 }
             )
     return rows

@@ -26,7 +26,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.dag.placement import PLACEMENT_POLICIES, PRIORITY_POLICIES
-from repro.dag.runtime import DAGCAQRConfig, run_dag_caqr
+from repro.dag.runtime import (
+    DAGCAQRConfig,
+    DAGFactorizationConfig,
+    run_dag_caqr,
+    run_dag_factorization,
+)
 from repro.exceptions import ConfigurationError
 from repro.experiments.grid5000 import Grid5000Settings, grid5000_platform
 from repro.gridsim.platform import Platform
@@ -42,7 +47,7 @@ __all__ = ["PointSpec", "ExperimentPoint", "ExperimentRunner"]
 class PointSpec:
     """One measured configuration (an x-value of one curve of one figure)."""
 
-    algorithm: str  # "tsqr", "scalapack" or "caqr"
+    algorithm: str  # "tsqr", "scalapack", "caqr", "cholesky" or "lu"
     m: int
     n: int
     n_sites: int
@@ -56,25 +61,42 @@ class PointSpec:
     placement: str | None = None  # DAG runtime only
     priority: str | None = None  # DAG runtime only
 
+    #: Algorithms executed as tile DAGs (they need a tile_size).
+    _TILED = ("caqr", "cholesky", "lu")
+    #: Algorithms that exist only on the DAG runtime.
+    _DAG_ONLY = ("cholesky", "lu")
+
     def __post_init__(self) -> None:
-        if self.algorithm not in ("tsqr", "scalapack", "caqr"):
+        if self.algorithm not in ("tsqr", "scalapack", "caqr", "cholesky", "lu"):
             raise ConfigurationError(f"unknown algorithm {self.algorithm!r}")
         if self.algorithm == "tsqr" and self.domains_per_cluster is None:
             raise ConfigurationError("TSQR points need a domains_per_cluster value")
-        if self.algorithm == "caqr" and self.tile_size is None:
-            raise ConfigurationError("CAQR points need a tile_size value")
-        if self.algorithm != "caqr" and self.tile_size is not None:
-            raise ConfigurationError("tile_size only applies to CAQR points")
-        if self.algorithm == "caqr" and self.want_q:
+        if self.algorithm in self._TILED and self.tile_size is None:
             raise ConfigurationError(
-                "the distributed CAQR computes R only (its Q stays implicit)"
+                f"{self.algorithm} points need a tile_size value"
+            )
+        if self.algorithm not in self._TILED and self.tile_size is not None:
+            raise ConfigurationError(
+                "tile_size only applies to tiled (caqr/cholesky/lu) points"
+            )
+        if self.algorithm in self._TILED and self.want_q:
+            raise ConfigurationError(
+                "the tiled factorizations compute the factor only "
+                "(their Q/L inverses stay implicit)"
             )
         if self.runtime not in ("spmd", "dag"):
             raise ConfigurationError(
                 f"unknown runtime {self.runtime!r}; choose from ('spmd', 'dag')"
             )
-        if self.runtime == "dag" and self.algorithm != "caqr":
-            raise ConfigurationError("the DAG runtime only executes CAQR points")
+        if self.runtime == "dag" and self.algorithm not in self._TILED:
+            raise ConfigurationError(
+                "the DAG runtime only executes tiled (caqr/cholesky/lu) points"
+            )
+        if self.algorithm in self._DAG_ONLY and self.runtime != "dag":
+            raise ConfigurationError(
+                f"tiled {self.algorithm} only exists on the DAG runtime; "
+                "pass runtime='dag'"
+            )
         if self.runtime != "dag" and (self.placement or self.priority):
             raise ConfigurationError(
                 "placement/priority policies only apply to DAG-runtime points"
@@ -187,6 +209,25 @@ class ExperimentRunner:
             )
             point = ExperimentPoint(
                 spec=spec, gflops=result.gflops, time_s=result.makespan_s, trace=result.trace
+            )
+        elif spec.algorithm in PointSpec._DAG_ONLY:
+            dag_result = run_dag_factorization(
+                platform,
+                DAGFactorizationConfig(
+                    m=spec.m,
+                    n=spec.n,
+                    tile_size=spec.tile_size,
+                    placement=spec.placement or "block",
+                    priority=spec.priority or "critical-path",
+                    algorithm=spec.algorithm,
+                ),
+            )
+            point = ExperimentPoint(
+                spec=spec,
+                gflops=dag_result.gflops,
+                time_s=dag_result.makespan_s,
+                trace=dag_result.trace,
+                critical_path_s=dag_result.critical_path_s,
             )
         elif spec.algorithm == "caqr" and spec.runtime == "dag":
             dag_result = run_dag_caqr(
@@ -378,6 +419,53 @@ class ExperimentRunner:
                 n=n,
                 n_sites=n_sites,
                 tree_kind=panel_tree,
+                tile_size=tile_size,
+                runtime="dag",
+                placement=placement,
+                priority=priority,
+            )
+        )
+
+    def dag_cholesky_point(
+        self,
+        n: int,
+        n_sites: int,
+        *,
+        tile_size: int = 64,
+        placement: str = "block",
+        priority: str = "critical-path",
+    ) -> ExperimentPoint:
+        """DAG-runtime tiled Cholesky at one (N, sites, tile, policies) point."""
+        return self.run_point(
+            PointSpec(
+                algorithm="cholesky",
+                m=n,
+                n=n,
+                n_sites=n_sites,
+                tile_size=tile_size,
+                runtime="dag",
+                placement=placement,
+                priority=priority,
+            )
+        )
+
+    def dag_lu_point(
+        self,
+        m: int,
+        n: int,
+        n_sites: int,
+        *,
+        tile_size: int = 64,
+        placement: str = "block",
+        priority: str = "critical-path",
+    ) -> ExperimentPoint:
+        """DAG-runtime tiled LU (no pivoting) at one (M, N, sites, ...) point."""
+        return self.run_point(
+            PointSpec(
+                algorithm="lu",
+                m=m,
+                n=n,
+                n_sites=n_sites,
                 tile_size=tile_size,
                 runtime="dag",
                 placement=placement,

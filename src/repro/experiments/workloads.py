@@ -33,6 +33,9 @@ __all__ = [
     "DAG_SWEEP_TILE",
     "DAG_SWEEP_SITES",
     "DAG_SWEEP_PRIORITIES",
+    "DAG_CHOLESKY_SWEEP_N",
+    "DAG_CHOLESKY_SWEEP_TILE",
+    "DAG_CHOLESKY_SWEEP_SITES",
     "paper_m_values",
     "reduced_m_values",
     "figure67_m_values",
@@ -81,6 +84,15 @@ DAG_SWEEP_N = 512
 DAG_SWEEP_TILE = 128
 DAG_SWEEP_SITES = 4
 DAG_SWEEP_PRIORITIES = ("critical-path", "panel", "fifo")
+
+#: DAG-Cholesky workload: the first non-QR scenario of the algorithm
+#: registry on the full four-site reservation.  A square 8192-point matrix
+#: at tile 128 yields a 64 x 64 tile grid (~45k potrf/trsm/syrk/gemm tasks)
+#: — large enough that the priority policies separate, small enough that one
+#: figure run covering all three stays in CLI territory.
+DAG_CHOLESKY_SWEEP_N = (8_192,)
+DAG_CHOLESKY_SWEEP_TILE = 128
+DAG_CHOLESKY_SWEEP_SITES = 4
 
 #: Element cap of the sweeps: the widest matrix of the study is
 #: 8,388,608 x 512 (Fig. 4d/5d), i.e. 2**32 double-precision elements.

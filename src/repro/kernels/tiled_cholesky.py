@@ -1,0 +1,93 @@
+"""Tile kernels for the tiled (right-looking) Cholesky factorization.
+
+The classical tile Cholesky kernel set (PLASMA naming), operating on the
+lower-triangular convention ``A = L L^T``:
+
+``potrf``  Cholesky of a diagonal tile: ``A_kk = L_kk L_kk^T``.
+``trsm``   Panel-column solve ``L_ik = A_ik L_kk^{-T}`` below the diagonal.
+``syrk``   Symmetric trailing update ``A_ii - L_ik L_ik^T`` of a diagonal tile.
+``gemm``   General trailing update ``A_ij - L_ik L_jk^T`` (``i > j > k``).
+
+The dependency edges of the task graph pin each tile's operation sequence,
+so any topological execution of these kernels produces the *same floating-
+point result* as the sequential loop nest — which is what the DAG tests
+compare bit for bit (and against ``numpy.linalg.cholesky`` at machine
+precision; summation order differs from LAPACK's full-matrix POTRF, so the
+agreement there is close, not bitwise).
+
+Every kernel also accepts :class:`~repro.virtual.matrix.VirtualMatrix`
+payloads — shape checks still apply, the arithmetic is skipped — with the
+structured flop counts in :mod:`repro.virtual.flops`
+(:func:`~repro.virtual.flops.potrf_flops` and friends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FactorizationError, ShapeError
+from repro.virtual.matrix import MatrixLike, VirtualMatrix, is_virtual, shape_of
+
+__all__ = ["potrf", "trsm", "syrk", "gemm"]
+
+
+def _require_square(name: str, tile: MatrixLike) -> int:
+    m, n = shape_of(tile)
+    if m != n:
+        raise ShapeError(f"{name} expects a square tile, got {m} x {n}")
+    return n
+
+
+def potrf(a_kk: MatrixLike) -> MatrixLike:
+    """Cholesky-factor a diagonal tile, returning the full lower-triangular
+    ``L_kk`` (zeros above the diagonal, like LAPACK's dense output)."""
+    n = _require_square("potrf", a_kk)
+    if is_virtual(a_kk):
+        return VirtualMatrix(n, n)
+    try:
+        return np.linalg.cholesky(np.asarray(a_kk, dtype=np.float64))
+    except np.linalg.LinAlgError as exc:
+        raise FactorizationError(f"diagonal tile is not positive definite: {exc}") from exc
+
+
+def trsm(l_kk: MatrixLike, a_ik: MatrixLike) -> MatrixLike:
+    """Panel-column solve: ``L_ik = A_ik L_kk^{-T}`` for a subdiagonal tile."""
+    w = _require_square("trsm", l_kk)
+    h, w_a = shape_of(a_ik)
+    if w_a != w:
+        raise ShapeError(f"trsm operand has {w_a} columns but the triangle is {w} x {w}")
+    if is_virtual(l_kk) or is_virtual(a_ik):
+        return VirtualMatrix(h, w)
+    l_kk = np.asarray(l_kk, dtype=np.float64)
+    a_ik = np.asarray(a_ik, dtype=np.float64)
+    # X L^T = A  <=>  L X^T = A^T; the solve keeps the triangle exact.
+    return np.linalg.solve(l_kk, a_ik.T).T
+
+
+def syrk(l_ik: MatrixLike, a_ii: MatrixLike) -> MatrixLike:
+    """Symmetric trailing update of a diagonal tile: ``A_ii - L_ik L_ik^T``."""
+    n = _require_square("syrk", a_ii)
+    h, _k = shape_of(l_ik)
+    if h != n:
+        raise ShapeError(f"syrk panel has {h} rows but the tile is {n} x {n}")
+    if is_virtual(l_ik) or is_virtual(a_ii):
+        return VirtualMatrix(n, n)
+    l_ik = np.asarray(l_ik, dtype=np.float64)
+    return np.asarray(a_ii, dtype=np.float64) - l_ik @ l_ik.T
+
+
+def gemm(l_ik: MatrixLike, l_jk: MatrixLike, a_ij: MatrixLike) -> MatrixLike:
+    """General trailing update: ``A_ij - L_ik L_jk^T`` (``i > j > k``)."""
+    m, n = shape_of(a_ij)
+    mi, ki = shape_of(l_ik)
+    mj, kj = shape_of(l_jk)
+    if mi != m or mj != n or ki != kj:
+        raise ShapeError(
+            f"gemm shapes do not chain: ({mi} x {ki}) @ ({mj} x {kj})^T vs {m} x {n}"
+        )
+    if is_virtual(l_ik) or is_virtual(l_jk) or is_virtual(a_ij):
+        return VirtualMatrix(m, n)
+    return (
+        np.asarray(a_ij, dtype=np.float64)
+        - np.asarray(l_ik, dtype=np.float64) @ np.asarray(l_jk, dtype=np.float64).T
+    )

@@ -1,0 +1,103 @@
+"""Tile kernels for the tiled right-looking LU factorization (no pivoting).
+
+The classical tile LU kernel set with pivoting disabled across (and inside)
+tiles — the variant the tile-algorithm literature uses on diagonally
+dominant matrices, where partial pivoting is provably unnecessary:
+
+``getrf``     Unpivoted LU of the diagonal tile, packed LAPACK-style:
+              ``U`` on and above the diagonal, unit-lower ``L`` (implicit
+              unit diagonal) strictly below.
+``trsm_row``  Row update ``U_kj = L_kk^{-1} A_kj`` right of the diagonal.
+``trsm_col``  Column update ``L_ik = A_ik U_kk^{-1}`` below the diagonal.
+``gemm``      Trailing update ``A_ij - L_ik U_kj`` (``i, j > k``).
+
+As with the QR and Cholesky kernel sets, the dependency edges pin each
+tile's operation sequence, so a DAG execution is bit-identical to the
+sequential loop nest running the same kernels (the blocked reference of the
+tests).  Every kernel accepts :class:`~repro.virtual.matrix.VirtualMatrix`
+payloads; the structured counts live in :mod:`repro.virtual.flops`
+(:func:`~repro.virtual.flops.getrf_flops` and friends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FactorizationError, ShapeError
+from repro.virtual.matrix import MatrixLike, VirtualMatrix, is_virtual, shape_of
+
+__all__ = ["getrf", "trsm_row", "trsm_col", "gemm"]
+
+
+def getrf(a_kk: MatrixLike) -> MatrixLike:
+    """Unpivoted right-looking LU of a tile, returning the packed ``L\\U``."""
+    m, n = shape_of(a_kk)
+    if is_virtual(a_kk):
+        return VirtualMatrix(m, n)
+    lu = np.array(a_kk, dtype=np.float64, copy=True)
+    for j in range(min(m, n)):
+        piv = lu[j, j]
+        if piv == 0.0:
+            raise FactorizationError(
+                f"zero pivot at tile position {j}; unpivoted LU needs a "
+                "matrix whose leading minors are nonsingular (e.g. "
+                "diagonally dominant)"
+            )
+        lu[j + 1 :, j] /= piv
+        lu[j + 1 :, j + 1 :] -= np.outer(lu[j + 1 :, j], lu[j, j + 1 :])
+    return lu
+
+
+def _unit_lower(lu_kk: np.ndarray, k: int) -> np.ndarray:
+    """The ``k x k`` unit-lower ``L`` factor packed in a getrf output."""
+    return np.tril(lu_kk[:k, :k], -1) + np.eye(k)
+
+
+def trsm_row(lu_kk: MatrixLike, a_kj: MatrixLike) -> MatrixLike:
+    """Row update right of the diagonal: ``U_kj = L_kk^{-1} A_kj``."""
+    h, w = shape_of(lu_kk)
+    m, n_cols = shape_of(a_kj)
+    if m != h:
+        raise ShapeError(f"trsm_row operand has {m} rows but the tile has {h}")
+    if h > w:
+        # A tall diagonal tile only happens in the last tile *column*, where
+        # there is nothing to the right of it — no row update reads it.
+        raise ShapeError(f"trsm_row needs h <= w on the diagonal tile, got {h} x {w}")
+    if is_virtual(lu_kk) or is_virtual(a_kj):
+        return VirtualMatrix(m, n_cols)
+    lu_kk = np.asarray(lu_kk, dtype=np.float64)
+    return np.linalg.solve(_unit_lower(lu_kk, h), np.asarray(a_kj, dtype=np.float64))
+
+
+def trsm_col(lu_kk: MatrixLike, a_ik: MatrixLike) -> MatrixLike:
+    """Column update below the diagonal: ``L_ik = A_ik U_kk^{-1}``."""
+    h, w = shape_of(lu_kk)
+    m, n_cols = shape_of(a_ik)
+    if n_cols != w:
+        raise ShapeError(f"trsm_col operand has {n_cols} columns but the tile has {w}")
+    if w > h:
+        # A wide diagonal tile only happens in the last tile *row*, where
+        # there is nothing below it — no column update reads it.
+        raise ShapeError(f"trsm_col needs w <= h on the diagonal tile, got {h} x {w}")
+    if is_virtual(lu_kk) or is_virtual(a_ik):
+        return VirtualMatrix(m, n_cols)
+    u_kk = np.triu(np.asarray(lu_kk, dtype=np.float64)[:w, :])
+    # X U = A  <=>  U^T X^T = A^T.
+    return np.linalg.solve(u_kk.T, np.asarray(a_ik, dtype=np.float64).T).T
+
+
+def gemm(l_ik: MatrixLike, u_kj: MatrixLike, a_ij: MatrixLike) -> MatrixLike:
+    """Trailing update: ``A_ij - L_ik U_kj`` (``i, j > k``)."""
+    m, n = shape_of(a_ij)
+    mi, ki = shape_of(l_ik)
+    kj, nj = shape_of(u_kj)
+    if mi != m or nj != n or ki != kj:
+        raise ShapeError(
+            f"gemm shapes do not chain: ({mi} x {ki}) @ ({kj} x {nj}) vs {m} x {n}"
+        )
+    if is_virtual(l_ik) or is_virtual(u_kj) or is_virtual(a_ij):
+        return VirtualMatrix(m, n)
+    return (
+        np.asarray(a_ij, dtype=np.float64)
+        - np.asarray(l_ik, dtype=np.float64) @ np.asarray(u_kj, dtype=np.float64)
+    )

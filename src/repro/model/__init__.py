@@ -5,6 +5,8 @@ from repro.model.costs import (
     caqr_costs,
     cost_table,
     dag_caqr_costs,
+    dag_cholesky_costs,
+    dag_lu_costs,
     scalapack_costs,
     tsqr_costs,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "caqr_costs",
     "cost_table",
     "dag_caqr_costs",
+    "dag_cholesky_costs",
+    "dag_lu_costs",
     "scalapack_costs",
     "tsqr_costs",
     "MachineParameters",

@@ -47,6 +47,8 @@ __all__ = [
     "tsqr_costs",
     "caqr_costs",
     "dag_caqr_costs",
+    "dag_cholesky_costs",
+    "dag_lu_costs",
     "cost_table",
 ]
 
@@ -255,17 +257,25 @@ def dag_caqr_costs(
     # Imported here, not at module level: repro.dag builds on the kernels and
     # partition layers this module also serves, and the model must stay
     # importable without pulling the whole runtime in.
-    from repro.dag.analysis import communication_counts, flop_critical_path
     from repro.dag.graph import cached_tiled_qr_graph
-    from repro.dag.placement import place_tasks
 
     cluster_names = tuple(clusters) if clusters is not None else tuple(["local"] * p)
     if len(cluster_names) != p:
         raise ConfigurationError(f"{len(cluster_names)} cluster names for {p} ranks")
     graph = cached_tiled_qr_graph(m, n, tile_size, p, panel_tree, cluster_names)
+    return _graph_costs("DAG-CAQR", graph, m, n, p, placement)
+
+
+def _graph_costs(
+    display: str, graph, m: int, n: int, p: int, placement: str
+) -> CostBreakdown:
+    """Critical-path flops + exact message/volume counts of a task graph."""
+    from repro.dag.analysis import communication_counts, flop_critical_path
+    from repro.dag.placement import place_tasks
+
     messages, nbytes = communication_counts(graph, place_tasks(graph, placement, p))
     return CostBreakdown(
-        algorithm="DAG-CAQR",
+        algorithm=display,
         m=m,
         n=n,
         p=p,
@@ -274,6 +284,48 @@ def dag_caqr_costs(
         volume_doubles=nbytes / 8.0,
         flops=flop_critical_path(graph),
     )
+
+
+def dag_cholesky_costs(
+    n: int,
+    p: int,
+    *,
+    tile_size: int = 64,
+    placement: str = "block",
+) -> CostBreakdown:
+    """Counts of a dataflow tiled-Cholesky execution (see :func:`dag_caqr_costs`).
+
+    Same semantics as the CAQR predictor: the flop term is the longest
+    flop-weighted dependence chain of the ``potrf``/``trsm``/``syrk``/
+    ``gemm`` graph, messages and volume the exact per-(value, consumer-rank)
+    counts of the runtime's communication plan under ``placement`` — so
+    measured traces match them identically.
+    """
+    _validate(n, n, p)
+    from repro.dag.graph import cached_graph
+
+    graph = cached_graph("cholesky", n, n, tile_size)
+    return _graph_costs("DAG-Cholesky", graph, n, n, p, placement)
+
+
+def dag_lu_costs(
+    m: int,
+    n: int,
+    p: int,
+    *,
+    tile_size: int = 64,
+    placement: str = "block",
+) -> CostBreakdown:
+    """Counts of a dataflow tiled-LU (no pivoting) execution.
+
+    Same semantics as :func:`dag_cholesky_costs`, for the ``getrf``/
+    ``trsm_row``/``trsm_col``/``gemm_nn`` graph.
+    """
+    _validate(m, n, p)
+    from repro.dag.graph import cached_graph
+
+    graph = cached_graph("lu", m, n, tile_size)
+    return _graph_costs("DAG-LU", graph, m, n, p, placement)
 
 
 def cost_table(m: int, n: int, p: int, *, want_q: bool = False) -> list[CostBreakdown]:

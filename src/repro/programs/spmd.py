@@ -44,6 +44,7 @@ from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
 from repro.scalapack.descriptor import RowBlockDescriptor
 from repro.util.partition import block_ranges, partition_rows_weighted
+from repro.util.shapes import triangle_doubles
 from repro.util.units import DOUBLE_BYTES, gflops_rate
 from repro.virtual.matrix import MatrixLike, VirtualMatrix
 
@@ -66,7 +67,7 @@ __all__ = [
 
 def triangle_nbytes(n: int) -> int:
     """Bytes of an upper-triangular ``n x n`` factor (the paper's N^2/2 term)."""
-    return n * (n + 1) // 2 * DOUBLE_BYTES
+    return triangle_doubles(n) * DOUBLE_BYTES
 
 
 def resolve_domain_count(n_domains: int | None, n_processes: int) -> int:

@@ -1,0 +1,32 @@
+"""Shared shape counting: stored elements of triangular and trapezoidal blocks.
+
+The paper's ``N^2/2``-style triangular terms appear in three places — the
+wire sizes of the task-DAG graph builders (:mod:`repro.dag.graph`), the
+message-volume formulas of :mod:`repro.virtual.flops`, and the SPMD
+programs' triangular sends (:mod:`repro.programs.spmd`).  This module is the
+single home of that counting, so the three consumers cannot drift apart.
+
+Counts are in *doubles* (stored elements); callers multiply by
+:data:`repro.util.units.DOUBLE_BYTES` for wire sizes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["trapezoid_doubles", "triangle_doubles"]
+
+
+def trapezoid_doubles(h: int, w: int) -> int:
+    """Stored doubles of an upper-trapezoidal ``h x w`` block.
+
+    For ``h >= w`` this is the paper's ``w (w + 1) / 2`` half triangle; short
+    blocks store ``w + (w-1) + ...`` down to their last row.  This is the
+    wire size of every panel-factor handle, identical on the virtual and the
+    real path.
+    """
+    t = min(h, w)
+    return t * w - t * (t - 1) // 2
+
+
+def triangle_doubles(n: int) -> int:
+    """Stored doubles of an ``n x n`` triangle (the paper's ``N^2/2`` term)."""
+    return n * (n + 1) // 2

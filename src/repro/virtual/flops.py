@@ -22,6 +22,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.exceptions import ShapeError
+from repro.util.shapes import triangle_doubles
 
 __all__ = [
     "qr_flops",
@@ -35,6 +36,12 @@ __all__ = [
     "unmqr_flops",
     "tsqrt_flops",
     "tsmqr_flops",
+    "potrf_flops",
+    "trsm_flops",
+    "syrk_flops",
+    "getrf_flops",
+    "cholesky_flops",
+    "lu_flops",
     "caqr_panel_leaf_flops",
     "caqr_combine_flops",
     "caqr_up_message_doubles",
@@ -178,6 +185,68 @@ def tsmqr_flops(m_bottom: int, n_cols: int, k: int) -> float:
     return 4.0 * (m_bottom + 1.0) * k * n_cols
 
 
+@lru_cache(maxsize=4096)
+def potrf_flops(n: int) -> float:
+    """Flops of ``POTRF``: Cholesky factorization of an ``n x n`` SPD tile.
+
+    The textbook count ``n^3/3 + n^2/2 + n/6`` (one symmetric rank-1 sweep
+    per column), i.e. one sixth of the GEMM cube — the classical Cholesky
+    third of LU's ``2/3 n^3``.
+    """
+    _require_nonnegative(n=n)
+    return n**3 / 3.0 + n * n / 2.0 + n / 6.0
+
+
+@lru_cache(maxsize=4096)
+def trsm_flops(n_triangle, n_rhs) -> float:
+    """Flops of ``TRSM``: an ``n_triangle``-sized triangular solve against
+    ``n_rhs`` right-hand sides (``n_triangle^2`` per vector, multiplications
+    plus additions).
+
+    Side-agnostic: the Cholesky panel update ``A_ik L_kk^{-T}`` charges
+    ``trsm_flops(w_k, h_i)``, the LU row update ``L_kk^{-1} A_kj`` charges
+    ``trsm_flops(h_k, w_j)``.
+    """
+    _require_nonnegative(n_triangle=n_triangle, n_rhs=n_rhs)
+    return float(n_triangle) * n_triangle * n_rhs
+
+
+@lru_cache(maxsize=4096)
+def syrk_flops(n: int, k: int) -> float:
+    """Flops of ``SYRK``: the symmetric update ``C - A A^T`` of an ``n x n``
+    tile from an ``n x k`` panel column, exploiting symmetry: ``n (n+1) k``.
+    """
+    _require_nonnegative(n=n, k=k)
+    return float(n) * (n + 1.0) * k
+
+
+@lru_cache(maxsize=4096)
+def getrf_flops(m: int, n: int) -> float:
+    """Flops of ``GETRF``: right-looking LU of an ``m x n`` tile (no pivot search).
+
+    Summing the rank-1 trailing updates over the ``k = min(m, n)`` steps
+    gives ``2 m n k - (m + n) k^2 + 2/3 k^3`` — the classical ``2/3 n^3``
+    for square tiles, and exactly half the Householder QR count of
+    :func:`qr_flops` term for term.
+    """
+    _require_nonnegative(m=m, n=n)
+    k = min(m, n)
+    return 2.0 * m * n * k - (m + n) * float(k) * k + (2.0 / 3.0) * k**3
+
+
+def cholesky_flops(n: int) -> float:
+    """Useful flops of a full ``n x n`` Cholesky factorization (paper-style
+    leading term ``n^3/3``) — the Gflop/s denominator of a Cholesky run."""
+    _require_nonnegative(n=n)
+    return n**3 / 3.0
+
+
+def lu_flops(m: int, n: int) -> float:
+    """Useful flops of a full ``m x n`` LU factorization without pivoting
+    (``mn^2 - n^3/3``-style count; the same closed form as one tile)."""
+    return getrf_flops(m, n)
+
+
 def caqr_panel_leaf_flops(heights, panel_width: int, trail_cols: int) -> float:
     """Leaf-stage flops of one rank in one CAQR panel.
 
@@ -212,10 +281,11 @@ def caqr_up_message_doubles(panel_width: int, height: int, trail_cols: int) -> i
     """Doubles of a CAQR up message: half triangle plus the trailing tile row.
 
     ``panel_width (panel_width + 1) / 2`` is the paper's ``N^2/2``-style
-    triangular term for the panel factor; the trailing row travels dense.
+    triangular term for the panel factor (counted once, in
+    :mod:`repro.util.shapes`); the trailing row travels dense.
     """
     _require_nonnegative(panel_width=panel_width, height=height, trail_cols=trail_cols)
-    return panel_width * (panel_width + 1) // 2 + height * trail_cols
+    return triangle_doubles(panel_width) + height * trail_cols
 
 
 def caqr_down_message_doubles(height: int, trail_cols: int) -> int:

@@ -1,0 +1,282 @@
+"""Tests for the registry's non-QR scenarios: tiled Cholesky and tiled LU.
+
+The tentpole claim of the algorithm registry: the runtime, placement,
+priority and analysis layers are algorithm-agnostic, so a new factorization
+registered in ``dag/kernels.py`` is *exact* (bit-identical to a sequential
+execution of the same kernels, numerically correct against LAPACK) under
+every placement x priority policy, and its measured communication matches
+the analytic model to the message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    DAGFactorizationConfig,
+    cached_graph,
+    run_dag_factorization,
+)
+from repro.exceptions import ConfigurationError
+from repro.kernels import tiled_cholesky as chol
+from repro.kernels import tiled_lu as lu
+from repro.model.costs import dag_cholesky_costs, dag_lu_costs
+from repro.util.partition import TileGrid
+from repro.util.random_matrices import random_matrix
+from repro.virtual.flops import cholesky_flops, lu_flops
+
+PLACEMENTS = ("block", "block-cyclic", "owner-computes")
+PRIORITIES = ("critical-path", "panel", "fifo")
+
+
+def spd_matrix(n: int, *, seed: int = 0) -> np.ndarray:
+    """A well-conditioned symmetric positive-definite test matrix."""
+    a = random_matrix(n, n, seed=seed)
+    return a @ a.T + n * np.eye(n)
+
+
+def dominant_matrix(m: int, n: int, *, seed: int = 0) -> np.ndarray:
+    """A diagonally dominant matrix (unpivoted LU is stable on these)."""
+    a = random_matrix(m, n, seed=seed)
+    k = min(m, n)
+    a[:k, :k] += (m + n) * np.eye(k)
+    return a
+
+
+def reference_cholesky(a: np.ndarray, tile_size: int) -> np.ndarray:
+    """Sequential tiled Cholesky: the same kernels in loop-nest order."""
+    n = a.shape[0]
+    grid = TileGrid(m=n, n=n, tile_size=tile_size)
+    t = [[grid.tile(a, i, j).copy() for j in range(grid.nt)] for i in range(grid.mt)]
+    for k in range(grid.nt):
+        t[k][k] = chol.potrf(t[k][k])
+        for i in range(k + 1, grid.mt):
+            t[i][k] = chol.trsm(t[k][k], t[i][k])
+        for j in range(k + 1, grid.nt):
+            t[j][j] = chol.syrk(t[j][k], t[j][j])
+            for i in range(j + 1, grid.mt):
+                t[i][j] = chol.gemm(t[i][k], t[j][k], t[i][j])
+    out = np.zeros((n, n))
+    for i in range(grid.mt):
+        for j in range(i + 1):
+            grid.set_tile(out, i, j, t[i][j])
+    return np.tril(out)
+
+
+def reference_lu(a: np.ndarray, tile_size: int) -> np.ndarray:
+    """Sequential tiled right-looking LU (no pivoting), packed ``L\\U``."""
+    m, n = a.shape
+    grid = TileGrid(m=m, n=n, tile_size=tile_size)
+    t = [[grid.tile(a, i, j).copy() for j in range(grid.nt)] for i in range(grid.mt)]
+    for k in range(grid.n_panels):
+        t[k][k] = lu.getrf(t[k][k])
+        for j in range(k + 1, grid.nt):
+            t[k][j] = lu.trsm_row(t[k][k], t[k][j])
+        for i in range(k + 1, grid.mt):
+            t[i][k] = lu.trsm_col(t[k][k], t[i][k])
+        for j in range(k + 1, grid.nt):
+            for i in range(k + 1, grid.mt):
+                t[i][j] = lu.gemm(t[i][k], t[k][j], t[i][j])
+    out = np.zeros((m, n))
+    for i in range(grid.mt):
+        for j in range(grid.nt):
+            grid.set_tile(out, i, j, t[i][j])
+    return out
+
+
+def unpack_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a packed ``L\\U`` into the unit-lower ``L`` and upper ``U``."""
+    m, n = packed.shape
+    k = min(m, n)
+    l_factor = np.tril(packed[:, :k], -1) + np.eye(m, k)
+    u_factor = np.triu(packed[:k, :])
+    return l_factor, u_factor
+
+
+class TestConfigValidation:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            DAGFactorizationConfig(m=8, n=8, algorithm="qlp")
+
+    def test_cholesky_requires_square(self):
+        with pytest.raises(ConfigurationError, match="square"):
+            DAGFactorizationConfig(m=16, n=8, algorithm="cholesky")
+
+    def test_panel_tree_rejected_off_qr(self):
+        with pytest.raises(ConfigurationError, match="panel tree"):
+            DAGFactorizationConfig(m=8, n=8, algorithm="cholesky", panel_tree="flat")
+        with pytest.raises(ConfigurationError, match="panel tree"):
+            DAGFactorizationConfig(m=16, n=8, algorithm="lu", panel_tree="flat")
+
+    def test_policy_validation_covers_new_algorithms(self):
+        with pytest.raises(ConfigurationError, match="placement"):
+            DAGFactorizationConfig(m=8, n=8, algorithm="cholesky", placement="striped")
+        with pytest.raises(ConfigurationError, match="priority"):
+            DAGFactorizationConfig(m=16, n=8, algorithm="lu", priority="lifo")
+
+    def test_matrix_shape_checked(self):
+        with pytest.raises(ConfigurationError, match="does not match"):
+            DAGFactorizationConfig(
+                m=8, n=8, algorithm="cholesky", matrix=np.zeros((8, 4))
+            )
+
+
+class TestCholeskyExactness:
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("priority", PRIORITIES)
+    def test_bitwise_identical_to_sequential_reference(
+        self, platform8, placement, priority
+    ):
+        """The graph's edges pin each tile's operation sequence, so every
+        schedule reproduces the sequential tiled factorization bit for bit."""
+        n, tile = 96, 16
+        a = spd_matrix(n, seed=3)
+        run = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(
+                m=n, n=n, tile_size=tile, placement=placement, priority=priority,
+                matrix=a, algorithm="cholesky",
+            ),
+        )
+        assert np.array_equal(run.r, reference_cholesky(a, tile))
+
+    @pytest.mark.parametrize("n,tile", [(64, 16), (96, 32), (130, 24)])
+    def test_matches_lapack(self, platform8, n, tile):
+        a = spd_matrix(n, seed=n)
+        run = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(m=n, n=n, tile_size=tile, matrix=a,
+                                   algorithm="cholesky"),
+        )
+        l_ref = np.linalg.cholesky(a)
+        assert np.linalg.norm(run.r - l_ref) / np.linalg.norm(l_ref) < 1e-12
+        assert np.linalg.norm(run.r @ run.r.T - a) / np.linalg.norm(a) < 1e-12
+
+
+class TestLUExactness:
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    @pytest.mark.parametrize("priority", PRIORITIES)
+    def test_bitwise_identical_to_sequential_reference(
+        self, platform8, placement, priority
+    ):
+        m, n, tile = 120, 88, 16
+        a = dominant_matrix(m, n, seed=5)
+        run = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(
+                m=m, n=n, tile_size=tile, placement=placement, priority=priority,
+                matrix=a, algorithm="lu",
+            ),
+        )
+        assert np.array_equal(run.r, reference_lu(a, tile))
+
+    @pytest.mark.parametrize("m,n,tile", [(64, 64, 16), (96, 48, 16), (60, 96, 16),
+                                          (130, 70, 24)])
+    def test_factors_reconstruct_the_matrix(self, platform8, m, n, tile):
+        """Tall, square and wide shapes: ``L U`` recovers ``A`` to roundoff."""
+        a = dominant_matrix(m, n, seed=m + n)
+        run = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(m=m, n=n, tile_size=tile, matrix=a, algorithm="lu"),
+        )
+        l_factor, u_factor = unpack_lu(run.r)
+        err = np.linalg.norm(l_factor @ u_factor - a) / np.linalg.norm(a)
+        assert err < 1e-12
+
+
+class TestCountsMatchModel:
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    def test_cholesky_counts_exact(self, platform8, placement):
+        n, tile = 1024, 64
+        p = platform8.n_processes
+        run = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(m=n, n=n, tile_size=tile, placement=placement,
+                                   algorithm="cholesky"),
+        )
+        model = dag_cholesky_costs(n, p, tile_size=tile, placement=placement)
+        assert run.trace.total_messages == model.messages
+        measured_volume = sum(run.trace.bytes_by_link.values()) / 8.0
+        assert measured_volume == pytest.approx(model.volume_doubles, rel=1e-12)
+
+    @pytest.mark.parametrize("placement", PLACEMENTS)
+    def test_lu_counts_exact(self, platform8, placement):
+        m, n, tile = 1536, 1024, 128
+        p = platform8.n_processes
+        run = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(m=m, n=n, tile_size=tile, placement=placement,
+                                   algorithm="lu"),
+        )
+        model = dag_lu_costs(m, n, p, tile_size=tile, placement=placement)
+        assert run.trace.total_messages == model.messages
+        measured_volume = sum(run.trace.bytes_by_link.values()) / 8.0
+        assert measured_volume == pytest.approx(model.volume_doubles, rel=1e-12)
+
+    def test_graph_flops_within_10pct_of_closed_form(self):
+        """Summed per-task flop counts agree with the ``n^3/3`` / LU closed
+        forms (the gap is the structured small-order terms of the tiles)."""
+        n, tile = 2048, 128
+        g = cached_graph("cholesky", n, n, tile)
+        total = sum(t.flops for t in g.tasks)
+        assert total == pytest.approx(cholesky_flops(n), rel=0.10)
+        m = 3072
+        g = cached_graph("lu", m, n, tile)
+        total = sum(t.flops for t in g.tasks)
+        assert total == pytest.approx(lu_flops(m, n), rel=0.10)
+
+    def test_critical_path_bounds_makespan(self, platform8):
+        for algorithm, m, n in (("cholesky", 2048, 2048), ("lu", 2048, 1024)):
+            run = run_dag_factorization(
+                platform8,
+                DAGFactorizationConfig(m=m, n=n, tile_size=128, algorithm=algorithm),
+            )
+            assert 0.0 < run.critical_path_s <= run.makespan_s
+
+
+class TestGraphCache:
+    def test_same_arguments_return_the_same_object(self):
+        a = cached_graph("cholesky", 512, 512, 64)
+        b = cached_graph("cholesky", 512, 512, 64)
+        assert a is b  # the analyses' per-graph caches key on identity
+
+    def test_algorithms_cannot_collide(self):
+        """The cache key includes the algorithm kind: identical shape
+        parameters for different algorithms are distinct entries."""
+        chol_graph = cached_graph("cholesky", 512, 512, 64)
+        lu_graph = cached_graph("lu", 512, 512, 64)
+        qr_graph = cached_graph("qr", 512, 512, 64)
+        assert chol_graph is not lu_graph
+        assert chol_graph is not qr_graph
+        assert {g.kind for g in (chol_graph, lu_graph, qr_graph)} == {
+            "tiled-cholesky", "tiled-lu", "tiled-qr"
+        }
+
+    def test_shape_parameters_are_all_keyed(self):
+        assert cached_graph("cholesky", 512, 512, 64) is not cached_graph(
+            "cholesky", 512, 512, 32
+        )
+        assert cached_graph("qr", 512, 256, 64, 2) is not cached_graph(
+            "qr", 512, 256, 64, 2, "flat"
+        )
+
+
+class TestVirtualPayloads:
+    def test_virtual_and_real_runs_trace_identically(self, platform8):
+        """Virtual Cholesky charges the same flops and bytes as a real run."""
+        n, tile = 256, 64
+        a = spd_matrix(n, seed=9)
+        real = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(m=n, n=n, tile_size=tile, matrix=a,
+                                   algorithm="cholesky"),
+            record_messages=True,
+        )
+        virtual = run_dag_factorization(
+            platform8,
+            DAGFactorizationConfig(m=n, n=n, tile_size=tile, algorithm="cholesky"),
+            record_messages=True,
+        )
+        assert real.simulation.events == virtual.simulation.events
+        assert real.makespan_s == virtual.makespan_s

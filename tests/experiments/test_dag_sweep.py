@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.experiments.figures import dag_caqr_sweep
+from repro.experiments.figures import dag_caqr_sweep, dag_cholesky_sweep
 from repro.experiments.runner import ExperimentRunner, PointSpec
 
 #: Reduced workload: same shape as the paper-scale artefact, CI-sized.
@@ -31,6 +31,21 @@ class TestPointSpec:
             )
         with pytest.raises(ConfigurationError, match="runtime"):
             PointSpec(algorithm="caqr", m=64, n=8, n_sites=1, tile_size=8, runtime="mpi")
+
+    def test_cholesky_lu_points_are_dag_only(self):
+        with pytest.raises(ConfigurationError, match="runtime"):
+            PointSpec(algorithm="cholesky", m=64, n=64, n_sites=1, tile_size=8)
+        with pytest.raises(ConfigurationError, match="runtime"):
+            PointSpec(
+                algorithm="lu", m=64, n=32, n_sites=1, tile_size=8, runtime="spmd"
+            )
+        with pytest.raises(ConfigurationError, match="tile_size"):
+            PointSpec(algorithm="cholesky", m=64, n=64, n_sites=1, runtime="dag")
+        with pytest.raises(ConfigurationError, match="factor only"):
+            PointSpec(
+                algorithm="lu", m=64, n=32, n_sites=1, tile_size=8,
+                runtime="dag", want_q=True,
+            )
 
 
 class TestSweep:
@@ -58,3 +73,26 @@ class TestSweep:
         assert 0.0 < point.critical_path_s <= point.time_s
         spmd = runner.caqr_point(16384, 128, 4, tile_size=32)
         assert spmd.critical_path_s is None
+
+
+class TestCholeskySweep:
+    def test_rows_report_exact_model_agreement(self):
+        rows = dag_cholesky_sweep(
+            ExperimentRunner(), n_values=(1024,), tile_size=128
+        )
+        assert len(rows) == 3  # one per priority policy
+        for row in rows:
+            assert row["algorithm"] == "DAG-Cholesky"
+            assert row["msg ratio"] == 1.0
+            assert row["volume ratio"] == 1.0
+            assert row["critical path (s)"] <= row["makespan (s)"]
+            assert 0.0 <= row["idle fraction (mean)"] <= 1.0
+
+    def test_cholesky_and_lu_points_run(self):
+        runner = ExperimentRunner()
+        chol = runner.dag_cholesky_point(512, 2, tile_size=64)
+        assert chol.critical_path_s is not None
+        assert 0.0 < chol.critical_path_s <= chol.time_s
+        lu = runner.dag_lu_point(1024, 512, 2, tile_size=64)
+        assert 0.0 < lu.critical_path_s <= lu.time_s
+        assert lu.gflops > 0

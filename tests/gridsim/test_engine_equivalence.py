@@ -12,7 +12,13 @@ graph in the error message).  These tests pin that contract, plus:
 * repeated runs in one process (pool reuse must not leak state);
 * ``jobs=1`` vs ``jobs=N`` figure sweeps, and event streams produced in a
   worker process vs the parent process;
-* the ``reuse_threads`` deprecation shim forwarding onto ``engine=``.
+* the ``reuse_threads`` deprecation shim forwarding onto ``engine=``;
+* the registry refactor contract: the generic graph builder emits tiled-QR
+  graphs *identical* (task ids, edges, handles, wire sizes — hard-coded
+  golden fingerprints captured from the hand-written builder it replaced)
+  and the runtime's event streams stay bit-identical (golden trace hashes,
+  all placements x priorities), plus coroutine-vs-threads parity for the
+  Cholesky and LU graphs.
 """
 
 from __future__ import annotations
@@ -199,6 +205,98 @@ class TestRepeatedRunsShareNoState:
         after = _run(platform8, engine="coroutine")
         assert other.events != before.events  # actually a different schedule
         assert _event_hash(before) == _event_hash(after)
+
+
+def _graph_fingerprint(graph) -> str:
+    """Canonical digest of a graph's full structure: handles, tasks, edges."""
+    parts = [
+        ("kind", graph.kind),
+        ("n_groups", graph.n_groups),
+        (
+            "handles",
+            tuple(zip(graph.handle_keys, graph.handle_shapes, graph.handle_nbytes)),
+        ),
+    ]
+    for t in graph.tasks:
+        parts.append(
+            (
+                t.id, t.kernel, t.kernel_class, t.k, t.i, t.i2, t.j,
+                t.flops, t.width, t.host_row,
+                t.reads, t.read_producers, t.writes, t.write_nbytes,
+                tuple(graph.preds[t.id]),
+            )
+        )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
+
+
+#: Golden fingerprints of the hand-written tiled-QR builder the generic
+#: registry-driven builder replaced, captured immediately before the swap.
+#: A drift in any task id, edge, handle key/shape or wire size fails here.
+GRAPH_FINGERPRINTS = [
+    ((('m', 96), ('n', 96), ('n_groups', 3), ('panel_tree', 'binary'), ('tile_size', 16)),
+     '58f3e35dabad0f7d2dbff107651898cd826e8160e1eb9788cda1d4cbc37c016a'),
+    ((('m', 64), ('n', 32), ('n_groups', 2), ('panel_tree', 'flat'), ('tile_size', 16)),
+     '17d65341a6e654d0415e54e0554a6a275517915b6f4102909f4cbbcdd4dc4ff0'),
+    ((('m', 200), ('n', 56), ('n_groups', 4), ('panel_tree', 'binary'), ('tile_size', 8)),
+     '765f0264ef964cad6f5ba2b959ec1d9021e0fc0e1691202eece55af850dc85d3'),
+    ((('group_clusters', (0, 0, 1, 1)), ('m', 200), ('n', 56), ('n_groups', 4), ('panel_tree', 'grid-hierarchical'), ('tile_size', 8)),
+     'a557345fc969e8483466c6d40ef2384578069c64c731fe7b5919449aaae05478'),
+    ((('m', 4096), ('n', 96), ('n_groups', 8), ('panel_tree', 'binary'), ('tile_size', 32)),
+     '48204dc3cbeb73a94551f24a775e5802246f16c68b9537cf0dfb989dcb8b5d29'),
+    ((('m', 33), ('n', 17), ('n_groups', 1), ('panel_tree', 'flat'), ('tile_size', 5)),
+     '437381051527d3eb61ca7a57f32e86b96bd541bf6d4f4f48f35b7556e36d594d'),
+]
+
+#: Golden event-stream hashes of ``DAGCAQRConfig(m=32768, n=96, tile_size=32)``
+#: on the 8-rank test platform, captured from the pre-refactor runtime: the
+#: registry swap must not move a single event, under any placement x priority.
+TRACE_HASHES = [
+    (('block', 'critical-path'), 'cd79c27802ee292c61039992de2a0f50cacee65de9ab0ecf4a2548762c12c91b'),
+    (('block', 'panel'), '420ef39d8ba26bf713677d611d02ae14423ffdd84e5af924d5d6830e50914488'),
+    (('block', 'fifo'), 'c092e74003caae95860faa68513b311f53d00cbe45a73227b10054758a9fc6f0'),
+    (('block-cyclic', 'critical-path'), 'e3dace64f29b9b15082008332656fde0b885b240df7d9c5acfad35c8ce6fc2a2'),
+    (('block-cyclic', 'panel'), '96f4e2b34820ddfdf94bde3e7b646e1ddd6363f71a6a0adcf623da765fdf2e03'),
+    (('block-cyclic', 'fifo'), 'aba463589fd3b68b311453af745985f2e6e5aed957987a5dcc07bbcf260ae684'),
+    (('owner-computes', 'critical-path'), '8b0a57873b175eef7e93b0a3a158d8cdc51d18d55773a1d7610d08ca4bd8db81'),
+    (('owner-computes', 'panel'), '7e36fda2d4b2f08707105963acd02fc3e7dbf45e7068fbe7caea5747d9a8388c'),
+    (('owner-computes', 'fifo'), 'ce1ae3eb6132db06328810a5dabb650530a5a6bd2ec63ee8f5e36d2073328c2d'),
+]
+
+
+class TestRegistryRefactorEquivalence:
+    """The generic builder's QR output is the legacy builder's, bit for bit."""
+
+    @pytest.mark.parametrize("params,expected", GRAPH_FINGERPRINTS)
+    def test_qr_graph_fingerprints_unchanged(self, params, expected):
+        from repro.dag.graph import tiled_qr_graph
+
+        kwargs = dict(params)
+        kwargs["group_clusters"] = kwargs.pop("group_clusters", None)
+        assert _graph_fingerprint(tiled_qr_graph(**kwargs)) == expected
+
+    @pytest.mark.parametrize("policies,expected", TRACE_HASHES)
+    def test_qr_trace_hashes_unchanged(self, platform8, policies, expected):
+        placement, priority = policies
+        config = DAGCAQRConfig(
+            m=32_768, n=96, tile_size=32, placement=placement, priority=priority
+        )
+        result = run_dag_caqr(platform8, config, record_messages=True)
+        assert _event_hash(result.simulation) == expected
+
+    @pytest.mark.parametrize("algorithm,m,n", [("cholesky", 768, 768), ("lu", 1024, 768)])
+    def test_new_algorithms_bit_identical_across_engines(self, platform8, algorithm, m, n):
+        from repro.dag.runtime import DAGFactorizationConfig, run_dag_factorization
+
+        config = DAGFactorizationConfig(
+            m=m, n=n, tile_size=128, placement="block-cyclic", algorithm=algorithm
+        )
+        runs = {
+            engine: run_dag_factorization(
+                platform8, config, record_messages=True, engine=engine
+            ).simulation
+            for engine in ("coroutine", "threads")
+        }
+        _assert_identical(runs["coroutine"], runs["threads"])
 
 
 def _make_platform8():

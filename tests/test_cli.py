@@ -194,6 +194,62 @@ class TestCommands:
         with pytest.raises(ConfigurationError, match="R only"):
             main(["simulate", "--algorithm", "caqr", "--want-q"])
 
+    def test_simulate_rejects_inapplicable_cholesky_lu_flags(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="DAG runtime"):
+            main(["simulate", "--algorithm", "cholesky", "--runtime", "spmd"])
+        with pytest.raises(ConfigurationError, match="square"):
+            main(["simulate", "--algorithm", "cholesky", "--rows", "128",
+                  "--cols", "64"])
+        with pytest.raises(ConfigurationError, match="factor only"):
+            main(["simulate", "--algorithm", "lu", "--want-q"])
+        with pytest.raises(ConfigurationError, match="--domains-per-cluster"):
+            main(["simulate", "--algorithm", "lu", "--domains-per-cluster", "4"])
+
+    def test_figure_rejects_inapplicable_cholesky_sweep_flags(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--panel-tree"):
+            main(["figure", "--id", "dag-cholesky-sweep", "--panel-tree", "binary"])
+        with pytest.raises(ConfigurationError, match="--rows"):
+            main(["figure", "--id", "dag-cholesky-sweep", "--rows", "4096"])
+        with pytest.raises(ConfigurationError, match="--placement"):
+            main(["figure", "--id", "caqr-sweep", "--placement", "block"])
+
+    def test_simulate_dag_cholesky_and_lu(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "cholesky", "--cols", "512",
+             "--sites", "2", "--tile-size", "64", "--priority", "fifo"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cholesky" in out
+        assert "critical-path lower bound" in out
+        code = main(
+            ["simulate", "--algorithm", "lu", "--rows", "1024", "--cols", "512",
+             "--sites", "2", "--tile-size", "64", "--placement", "owner-computes"]
+        )
+        assert code == 0
+        assert "lu" in capsys.readouterr().out
+
+    def test_figure_dag_cholesky_sweep_to_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "chol.csv"
+        code = main(
+            ["figure", "--id", "dag-cholesky-sweep", "--cols", "1024",
+             "--tile-size", "128", "--priority", "critical-path",
+             "--csv", str(csv_path)]
+        )
+        assert code == 0
+        import csv
+
+        with csv_path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows and rows[0]["algorithm"] == "DAG-Cholesky"
+        # measured-vs-model agreement is exact for the dataflow counts
+        for col in ("msg ratio", "volume ratio"):
+            assert 0.9 <= float(rows[0][col]) <= 1.1, col
+
     def test_simulate_dag_caqr(self, capsys):
         code = main(
             ["simulate", "--algorithm", "caqr", "--runtime", "dag",
