@@ -14,6 +14,11 @@ Three subcommands cover the common workflows without writing Python:
 ``figure``
     Regenerate one of the paper's figures or tables and print/save its series.
 
+``serve`` / ``query``
+    Run the simulation service (shared result cache, single-flight batched
+    serving) and query it — one point, a duplicate burst, or a best-config
+    question answered by the Eq. (1) predictor with top-k escalation.
+
 Usage examples live in one place — the parser epilog (:data:`_EPILOG`),
 printed by ``python -m repro --help``.
 """
@@ -21,6 +26,8 @@ printed by ``python -m repro --help``.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from typing import Sequence
 
@@ -50,6 +57,15 @@ from repro.experiments import (
     table2_sweep,
     write_csv,
 )
+from repro.service import (
+    EscalationPolicy,
+    ResultCache,
+    SimulationService,
+    remote_burst,
+    remote_query,
+    remote_stats,
+    spec_from_config,
+)
 from repro.tsqr.sequential import tsqr
 from repro.util.random_matrices import random_tall_skinny
 from repro.util.validation import factorization_residual, orthogonality_error, r_factors_match
@@ -78,6 +94,15 @@ examples:
       --placement owner-computes   # tiled LU without pivoting
   repro figure --id dag-cholesky-sweep --cols 2048 --tile-size 64 \\
       --csv results/dag_cholesky_sweep.csv   # reduced registry-scenario sweep
+  repro figure --id fig5 --points 2   # re-running answers from results/cache
+  repro figure --id fig5 --points 2 --no-cache   # bypass the persistent cache
+  repro serve --port 8642 --jobs 4   # simulation service on the result cache
+  repro query --connect 127.0.0.1:8642 --algorithm caqr --runtime dag \\
+      --rows 16384 --cols 128 --tile-size 32   # warm keys answer in microseconds
+  repro query --connect 127.0.0.1:8642 --burst 8 --algorithm tsqr --cols 64 \\
+      # 8 identical concurrent queries; single-flight runs ONE simulation
+  repro query --algorithm caqr --runtime dag --rows 16384 --cols 128 \\
+      --best-tile --candidates 16,32,64 --top-k 2   # Eq.(1) ranks, top-k simulate
 """
 
 
@@ -105,50 +130,8 @@ def build_parser() -> argparse.ArgumentParser:
     factor.add_argument("--seed", type=int, default=0, help="random seed of the test matrix")
 
     simulate = sub.add_parser("simulate", help="run one evaluation point on the simulated grid")
-    simulate.add_argument(
-        "--algorithm",
-        choices=("tsqr", "scalapack", "caqr", "cholesky", "lu"),
-        default="tsqr",
-        help="algorithm to run (cholesky and lu execute on the task-DAG runtime)",
-    )
-    simulate.add_argument(
-        "--rows",
-        type=int,
-        default=None,
-        help="number of rows M (default: 1048576; cholesky: the --cols order)",
-    )
-    simulate.add_argument("--cols", type=int, default=64, help="number of columns N")
-    simulate.add_argument("--sites", type=int, choices=(1, 2, 4), default=4, help="grid sites used")
-    simulate.add_argument(
-        "--domains-per-cluster", type=int, default=None, help="TSQR domains per cluster"
-    )
-    simulate.add_argument("--want-q", action="store_true", help="also produce the Q factor")
-    simulate.add_argument(
-        "--runtime",
-        choices=("spmd", "dag"),
-        default=None,
-        help="CAQR execution runtime: the bulk-synchronous SPMD program or "
-        "the task-DAG dataflow runtime (default: spmd; cholesky/lu points "
-        "always run on the DAG runtime)",
-    )
-    simulate.add_argument(
-        "--tile-size",
-        type=int,
-        default=None,
-        help="row/column tile size of a tiled (caqr/cholesky/lu) point",
-    )
-    simulate.add_argument(
-        "--placement",
-        choices=PLACEMENT_POLICIES,
-        default=None,
-        help="tile placement policy of a DAG-runtime point (default: block)",
-    )
-    simulate.add_argument(
-        "--priority",
-        choices=PRIORITY_POLICIES,
-        default=None,
-        help="ready-queue priority of a DAG-runtime point (default: critical-path)",
-    )
+    _add_point_flags(simulate)
+    _add_cache_flags(simulate)
 
     figure = sub.add_parser("figure", help="regenerate a figure or table of the paper")
     figure.add_argument(
@@ -232,7 +215,152 @@ def build_parser() -> argparse.ArgumentParser:
         "byte-identical to a serial run)",
     )
     figure.add_argument("--csv", type=str, default=None, help="write the series to this CSV file")
+    _add_cache_flags(figure)
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation service (JSON-lines protocol over TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="interface to listen on")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes a batch of cold misses fans out over",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="how long to hold the first cold miss for batch-mates (default: 5)",
+    )
+    _add_cache_flags(serve)
+
+    query = sub.add_parser(
+        "query", help="query the simulation service (local, or --connect to a server)"
+    )
+    _add_point_flags(query)
+    query.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="send the query to a running `repro serve` instead of answering locally",
+    )
+    query.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="send this many identical concurrent queries (single-flight probe; "
+        "needs --connect)",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="fetch the server's cache/dedup counters instead of querying "
+        "(needs --connect)",
+    )
+    query.add_argument(
+        "--best-tile",
+        action="store_true",
+        help="best-config query: rank the --candidates tile sizes by the "
+        "Eq. (1) predictor and simulate only the top-k shortlist",
+    )
+    query.add_argument(
+        "--candidates",
+        type=str,
+        default=None,
+        help="comma-separated tile-size candidates of --best-tile "
+        "(default: 16,32,64,128)",
+    )
+    query.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="most candidates allowed to escalate to full simulation (default: 3)",
+    )
+    query.add_argument(
+        "--margin",
+        type=float,
+        default=0.5,
+        help="predictor error band of the escalation shortlist (default: 0.5)",
+    )
+    _add_cache_flags(query)
     return parser
+
+
+def _add_point_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting one evaluation point (shared by simulate and query)."""
+    parser.add_argument(
+        "--algorithm",
+        choices=("tsqr", "scalapack", "caqr", "cholesky", "lu"),
+        default="tsqr",
+        help="algorithm to run (cholesky and lu execute on the task-DAG runtime)",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=None,
+        help="number of rows M (default: 1048576; cholesky: the --cols order)",
+    )
+    parser.add_argument("--cols", type=int, default=64, help="number of columns N")
+    parser.add_argument("--sites", type=int, choices=(1, 2, 4), default=4, help="grid sites used")
+    parser.add_argument(
+        "--domains-per-cluster", type=int, default=None, help="TSQR domains per cluster"
+    )
+    parser.add_argument("--want-q", action="store_true", help="also produce the Q factor")
+    parser.add_argument(
+        "--runtime",
+        choices=("spmd", "dag"),
+        default=None,
+        help="CAQR execution runtime: the bulk-synchronous SPMD program or "
+        "the task-DAG dataflow runtime (default: spmd; cholesky/lu points "
+        "always run on the DAG runtime)",
+    )
+    parser.add_argument(
+        "--tile-size",
+        type=int,
+        default=None,
+        help="row/column tile size of a tiled (caqr/cholesky/lu) point",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=PLACEMENT_POLICIES,
+        default=None,
+        help="tile placement policy of a DAG-runtime point (default: block)",
+    )
+    parser.add_argument(
+        "--priority",
+        choices=PRIORITY_POLICIES,
+        default=None,
+        help="ready-queue priority of a DAG-runtime point (default: critical-path)",
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """The persistent result-cache switches (shared by the simulating commands)."""
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache entirely",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="persistent result-cache directory "
+        "(default: $REPRO_CACHE_DIR or results/cache)",
+    )
+
+
+def _store_from_args(args: argparse.Namespace) -> ResultCache | None:
+    """The persistent store selected by the cache flags (None = bypass)."""
+    if args.no_cache:
+        if args.cache_dir is not None:
+            raise ConfigurationError("--cache-dir and --no-cache are mutually exclusive")
+        return None
+    return ResultCache(args.cache_dir)
 
 
 def _parse_domains(spec: str) -> tuple[int, ...]:
@@ -270,7 +398,12 @@ def _cmd_factor(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _point_config_from_args(args: argparse.Namespace) -> dict[str, object]:
+    """Validate the point flags and build the query configuration they select.
+
+    Shared by ``simulate`` and ``query`` so both commands fill the same
+    defaults — and therefore hash to the same cache key for the same flags.
+    """
     tiled = ("caqr", "cholesky", "lu")
     dag_only = ("cholesky", "lu")
     # Reject flags the requested algorithm would silently ignore.
@@ -310,38 +443,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"tiled cholesky needs a square matrix, got {rows} x {args.cols}; "
             "pass matching --rows/--cols (or --cols alone)"
         )
-    runner = ExperimentRunner()
-    if args.algorithm == "scalapack":
-        point = runner.scalapack_point(rows, args.cols, args.sites, want_q=args.want_q)
-    elif args.algorithm in dag_only:
-        tile = args.tile_size if args.tile_size is not None else 64
-        placement = args.placement or "block"
-        priority = args.priority or "critical-path"
-        if args.algorithm == "cholesky":
-            point = runner.dag_cholesky_point(
-                args.cols, args.sites, tile_size=tile,
-                placement=placement, priority=priority,
-            )
-        else:
-            point = runner.dag_lu_point(
-                rows, args.cols, args.sites, tile_size=tile,
-                placement=placement, priority=priority,
-            )
-    elif args.algorithm == "caqr":
-        tile = args.tile_size if args.tile_size is not None else 64
-        if args.runtime == "dag":
-            point = runner.dag_caqr_point(
-                rows, args.cols, args.sites, tile_size=tile,
-                placement=args.placement or "block",
-                priority=args.priority or "critical-path",
-            )
-        else:
-            point = runner.caqr_point(rows, args.cols, args.sites, tile_size=tile)
-    else:
-        dpc = args.domains_per_cluster if args.domains_per_cluster is not None else 64
-        point = runner.tsqr_point(
-            rows, args.cols, args.sites, dpc, want_q=args.want_q
+    config: dict[str, object] = {
+        "algorithm": args.algorithm,
+        "m": rows,
+        "n": args.cols,
+        "n_sites": args.sites,
+        "want_q": args.want_q,
+    }
+    if args.algorithm == "tsqr":
+        config["domains_per_cluster"] = (
+            args.domains_per_cluster if args.domains_per_cluster is not None else 64
         )
+    if args.algorithm in tiled:
+        config["tile_size"] = args.tile_size if args.tile_size is not None else 64
+        config["runtime"] = "dag" if uses_dag else "spmd"
+        if args.algorithm == "caqr":
+            config["tree_kind"] = "binary"  # the CLI's panel-tree default
+    if uses_dag:
+        config["placement"] = args.placement or "block"
+        config["priority"] = args.priority or "critical-path"
+    return config
+
+
+def _print_cache_line(runner: ExperimentRunner) -> None:
+    """One-line cache summary: how much work the persistent store saved."""
+    store = runner.store
+    if store is None:
+        return
+    print(f"\ncache: {runner.simulations_run} simulated, "
+          f"{store.stats.hits} warm ({store.root})")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = spec_from_config(_point_config_from_args(args))
+    runner = ExperimentRunner(store=_store_from_args(args))
+    point = runner.run_point(spec)
     print(format_points([point.as_row()]))
     if point.critical_path_s is not None:
         print(f"\ncritical-path lower bound: {point.critical_path_s:.4f} s "
@@ -349,6 +485,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     peak = runner.platform(args.sites).practical_peak_gflops()
     print(f"\npractical peak of the reservation: {peak:.0f} Gflop/s "
           f"({point.gflops / peak * 100:.1f}% achieved)")
+    _print_cache_line(runner)
     return 0
 
 
@@ -414,7 +551,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
         if args.jobs < 1:
             raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
-    runner = ExperimentRunner(jobs=args.jobs or 1)
+    runner = ExperimentRunner(jobs=args.jobs or 1, store=_store_from_args(args))
     if args.cols is not None:
         n = args.cols
     else:
@@ -489,9 +626,137 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"{fig.figure_id}: {fig.title}")
         rows = fig.as_rows()
     print(format_points(rows))
+    _print_cache_line(runner)
     if args.csv:
         path = write_csv(args.csv, rows)
         print(f"\nseries written to {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
+    runner = ExperimentRunner(jobs=args.jobs, store=_store_from_args(args))
+    service = SimulationService(runner, batch_window_s=args.batch_window_ms / 1e3)
+    cache = service.cache
+
+    async def _run() -> None:
+        server = await service.serve(args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        where = cache.root if cache is not None else "memory only"
+        print(f"repro service listening on {host}:{port} (cache: {where})", flush=True)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_hostport(spec: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` --connect target."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(f"--connect expects HOST:PORT, got {spec!r}")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid port in --connect {spec!r}: {exc}") from exc
+
+
+def _parse_tiles(spec: str) -> tuple[int, ...]:
+    """Parse the comma-separated tile-size candidates of --best-tile."""
+    try:
+        tiles = tuple(dict.fromkeys(int(t) for t in spec.split(",") if t.strip()))
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid tile size in {spec!r}: {exc}") from exc
+    if not tiles:
+        raise ConfigurationError(f"no tile sizes in {spec!r}")
+    return tiles
+
+
+def _cmd_query_best_tile(args: argparse.Namespace, runner: ExperimentRunner) -> int:
+    """Best-config query: Eq. (1) ranks the candidates, top-k escalate."""
+    if args.algorithm not in ("caqr", "cholesky", "lu"):
+        raise ConfigurationError(
+            "--best-tile only applies to the tiled algorithms "
+            "(--algorithm caqr/cholesky/lu)"
+        )
+    if args.tile_size is not None:
+        raise ConfigurationError("--best-tile sweeps --candidates; drop --tile-size")
+    base = _point_config_from_args(args)
+    tiles = _parse_tiles(args.candidates or "16,32,64,128")
+    policy = EscalationPolicy(top_k=args.top_k, margin=args.margin)
+    candidates = [spec_from_config({**base, "tile_size": t}) for t in tiles]
+    result = policy.best_config(candidates, runner)
+    simulated = {p.spec.tile_size: p for p in result.simulated}
+    best_tile = result.best.spec.tile_size
+    print(f"best-tile query: {args.algorithm} m={base['m']} n={base['n']} "
+          f"sites={base['n_sites']} over {len(tiles)} candidates")
+    print(f"{'tile':>6} {'predicted_s':>12} {'simulated_s':>12}")
+    for candidate in result.ranked:
+        tile = candidate.spec.tile_size
+        point = simulated.get(tile)
+        sim_txt = f"{point.time_s:.4f}" if point is not None else "-"
+        mark = "   <- best" if tile == best_tile else ""
+        print(f"{tile:>6} {candidate.predicted_s:>12.4f} {sim_txt:>12}{mark}")
+    print(f"escalated {result.simulations} of {len(tiles)} candidates "
+          f"(top_k={policy.top_k}, margin={policy.margin})")
+    print(f"best tile size: {best_tile} ({result.best.time_s:.4f} s simulated)")
+    _print_cache_line(runner)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    if args.burst is not None and args.burst < 1:
+        raise ConfigurationError(f"--burst must be >= 1, got {args.burst}")
+    if args.stats and (args.burst is not None or args.best_tile):
+        raise ConfigurationError("--stats is a request of its own; drop --burst/--best-tile")
+    if args.candidates is not None and not args.best_tile:
+        raise ConfigurationError("--candidates only applies to --best-tile")
+    if args.connect is not None:
+        # Remote mode: the server owns the cache; local cache flags are noise.
+        if args.no_cache or args.cache_dir is not None:
+            raise ConfigurationError(
+                "--no-cache/--cache-dir configure the local cache; with "
+                "--connect the server owns the cache"
+            )
+        if args.best_tile:
+            raise ConfigurationError(
+                "--best-tile queries are answered locally; drop --connect"
+            )
+        host, port = _parse_hostport(args.connect)
+        if args.stats:
+            print(json.dumps(remote_stats(host, port), indent=2, sort_keys=True))
+            return 0
+        config = _point_config_from_args(args)
+        if args.burst is not None:
+            replies = remote_burst(host, port, config, args.burst)
+            counts: dict[str, int] = {}
+            for reply in replies:
+                source = str(reply.get("source", "error"))
+                counts[source] = counts.get(source, 0) + 1
+            print(json.dumps(
+                {"burst": args.burst, "sources": counts, "reply": replies[0]},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        print(json.dumps(remote_query(host, port, config), indent=2, sort_keys=True))
+        return 0
+    if args.stats:
+        raise ConfigurationError("--stats needs --connect (it reads a running server)")
+    if args.burst is not None:
+        raise ConfigurationError(
+            "--burst needs --connect (the single-flight probe is a client-side test)"
+        )
+    runner = ExperimentRunner(store=_store_from_args(args))
+    if args.best_tile:
+        return _cmd_query_best_tile(args, runner)
+    service = SimulationService(runner, batch_window_s=0.0)
+    reply = asyncio.run(service.submit(_point_config_from_args(args)))
+    print(json.dumps(reply.as_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -499,7 +764,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of ``python -m repro`` and the ``repro-grid`` script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"factor": _cmd_factor, "simulate": _cmd_simulate, "figure": _cmd_figure}
+    handlers = {
+        "factor": _cmd_factor,
+        "simulate": _cmd_simulate,
+        "figure": _cmd_figure,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
+    }
     return handlers[args.command](args)
 
 

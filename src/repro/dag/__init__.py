@@ -35,6 +35,9 @@ from repro.dag.graph import (
     TaskGraph,
     build_tiled_graph,
     cached_graph,
+    clear_graph_cache,
+    graph_cache_info,
+    set_graph_cache_size,
     tiled_cholesky_graph,
     tiled_lu_graph,
     tiled_qr_graph,
@@ -79,6 +82,9 @@ __all__ = [
     "TaskGraph",
     "build_tiled_graph",
     "cached_graph",
+    "clear_graph_cache",
+    "graph_cache_info",
+    "set_graph_cache_size",
     "tiled_qr_graph",
     "tiled_cholesky_graph",
     "tiled_lu_graph",

@@ -38,6 +38,7 @@ byte-identical communication.
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from typing import Hashable, Sequence
 
@@ -59,6 +60,9 @@ __all__ = [
     "tsqr_graph",
     "cached_graph",
     "cached_tiled_qr_graph",
+    "clear_graph_cache",
+    "graph_cache_info",
+    "set_graph_cache_size",
 ]
 
 
@@ -478,8 +482,31 @@ def tsqr_graph(
 # The graph cache
 # ---------------------------------------------------------------------------
 
-@lru_cache(maxsize=8)
-def cached_graph(
+#: Default capacity of the graph cache.  A best-config sweep touches one
+#: graph per (algorithm, shape, tile) candidate, so the old capacity of 8
+#: thrashed as soon as a sweep crossed two tile sizes x a few M values.
+_DEFAULT_GRAPH_CACHE_SIZE = 32
+
+
+def _initial_graph_cache_size() -> int:
+    """Capacity at import: ``$REPRO_GRAPH_CACHE_SIZE`` or the default."""
+    raw = os.environ.get("REPRO_GRAPH_CACHE_SIZE")
+    if raw is None:
+        return _DEFAULT_GRAPH_CACHE_SIZE
+    try:
+        size = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"REPRO_GRAPH_CACHE_SIZE must be an integer, got {raw!r}"
+        ) from exc
+    if size < 0:
+        raise ConfigurationError(
+            f"REPRO_GRAPH_CACHE_SIZE must be >= 0, got {size}"
+        )
+    return size
+
+
+def _build_graph(
     algorithm: str,
     m: int,
     n: int,
@@ -488,14 +515,6 @@ def cached_graph(
     panel_tree: str = "binary",
     group_clusters: tuple[str, ...] | None = None,
 ) -> TaskGraph:
-    """Memoised :func:`build_tiled_graph` (paper-scale graphs take seconds).
-
-    The cache key is the algorithm name plus **every** shape parameter, so
-    two algorithms (or two elimination structures) can never collide on a
-    cache entry.  The returned graph is shared: callers must treat it as
-    immutable — the runtime's placement/priority memos key on the graph
-    object's identity, which is exactly what the sharing preserves.
-    """
     if algorithm == "qr":
         # Through the QR wrapper so its n_groups validation applies.
         return tiled_qr_graph(
@@ -517,6 +536,55 @@ def cached_graph(
             group_clusters=group_clusters,
         ),
     )
+
+
+_cached_build = lru_cache(maxsize=_initial_graph_cache_size())(_build_graph)
+
+
+def cached_graph(
+    algorithm: str,
+    m: int,
+    n: int,
+    tile_size: int,
+    n_groups: int = 1,
+    panel_tree: str = "binary",
+    group_clusters: tuple[str, ...] | None = None,
+) -> TaskGraph:
+    """Memoised :func:`build_tiled_graph` (paper-scale graphs take seconds).
+
+    The cache key is the algorithm name plus **every** shape parameter, so
+    two algorithms (or two elimination structures) can never collide on a
+    cache entry.  The returned graph is shared: callers must treat it as
+    immutable — the runtime's placement/priority memos key on the graph
+    object's identity, which is exactly what the sharing preserves.
+
+    The capacity is ``$REPRO_GRAPH_CACHE_SIZE`` (default
+    ``_DEFAULT_GRAPH_CACHE_SIZE``) and can be resized at runtime with
+    :func:`set_graph_cache_size`.  Eviction is safe: a rebuilt graph is
+    structurally identical to the evicted one, merely a new object (the
+    runtime's identity-keyed memos then miss once and recompute).
+    """
+    return _cached_build(
+        algorithm, m, n, tile_size, n_groups, panel_tree, group_clusters
+    )
+
+
+def set_graph_cache_size(maxsize: int) -> None:
+    """Resize the graph cache (drops every currently cached graph)."""
+    global _cached_build
+    if maxsize < 0:
+        raise ConfigurationError(f"graph cache size must be >= 0, got {maxsize}")
+    _cached_build = lru_cache(maxsize=maxsize)(_build_graph)
+
+
+def graph_cache_info():
+    """``functools.lru_cache`` statistics of the graph cache."""
+    return _cached_build.cache_info()
+
+
+def clear_graph_cache() -> None:
+    """Drop every cached graph (the capacity is kept)."""
+    _cached_build.cache_clear()
 
 
 def cached_tiled_qr_graph(

@@ -1,0 +1,75 @@
+"""Simulation-as-a-service: cached, batched, tiered query answering.
+
+The paper's end use is a *query*: "what is the best tree / tile size /
+domain placement for my (M, N, P, network)?".  After the generator-core
+engine (PR 6) made one simulation fast, the bottleneck became the volume of
+simulations — every figure re-run and sweep point re-simulated from
+scratch.  This package turns simulate/predict into a service:
+
+* :mod:`repro.service.keys`   — canonical config keys: a stable content
+  hash over the fully-canonicalised simulation config, with dict-order,
+  default-filling and irrelevant-field invariance, versioned by the
+  engine-semantics tag;
+* :mod:`repro.service.cache`  — two-level result cache: in-memory LRU in
+  front of an on-disk content-addressed store under ``results/cache/``
+  (atomic writes, survives across CLI invocations and worker processes);
+* :mod:`repro.service.server` — asyncio front-end: warm queries answer on
+  the event loop, identical in-flight queries are deduplicated
+  (single-flight), cold misses are batched to the runner's prefetch
+  machinery; plus the JSON-lines TCP protocol of ``repro serve``/``repro
+  query``;
+* :mod:`repro.service.policy` — tiered auto-escalation for best-config
+  queries: every candidate ranked by the Eq. (1) closed forms, only the
+  top-k within the predictor's error band escalated to full DAG/SPMD
+  simulation.
+"""
+
+from repro.service.cache import CacheStats, ResultCache, default_cache_root
+from repro.service.keys import (
+    ENGINE_SEMANTICS_VERSION,
+    canonical_config,
+    canonical_spec,
+    config_key,
+    spec_from_config,
+)
+from repro.service.policy import (
+    BestConfigResult,
+    EscalationPolicy,
+    RankedCandidate,
+    machine_for,
+    predict_spec,
+    predicted_time,
+    rank_candidates,
+)
+from repro.service.server import (
+    ServiceReply,
+    ServiceStats,
+    SimulationService,
+    remote_burst,
+    remote_query,
+    remote_stats,
+)
+
+__all__ = [
+    "ENGINE_SEMANTICS_VERSION",
+    "canonical_config",
+    "canonical_spec",
+    "config_key",
+    "spec_from_config",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_root",
+    "BestConfigResult",
+    "EscalationPolicy",
+    "RankedCandidate",
+    "machine_for",
+    "predict_spec",
+    "predicted_time",
+    "rank_candidates",
+    "ServiceReply",
+    "ServiceStats",
+    "SimulationService",
+    "remote_burst",
+    "remote_query",
+    "remote_stats",
+]

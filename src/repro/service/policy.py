@@ -1,0 +1,203 @@
+"""Tiered auto-escalation: Eq. (1) predictor first, full simulation second.
+
+A "best config" query ("which tile size / tree / domain count is fastest
+for my (M, N, P, network)?") does not need every candidate simulated.  The
+paper's Eq. (1) closed forms cost microseconds and rank candidates well;
+full DAG/SPMD simulation costs seconds and ranks them exactly.  The policy
+joins the two tiers:
+
+1. every candidate is ranked by its predicted time (:func:`predicted_time`,
+   dispatching to the :mod:`repro.model.costs` closed form of its
+   algorithm);
+2. only the *shortlist* escalates to full simulation — the candidates whose
+   predicted time lies within ``(1 + margin)`` of the predicted best,
+   truncated to ``top_k``;
+3. the answer is the simulated-fastest of the shortlist.
+
+The safety argument, tested on a pinned sweep: as long as the predictor's
+relative error against simulation stays within ``margin`` (its measured
+error band), the *true* best candidate's predicted time cannot exceed
+``(1 + margin)`` times the predicted best — so it is in the shortlist and
+the policy returns exactly the exhaustive-simulation answer while running
+at most ``top_k`` simulations.  Escalated points go through the runner, so
+they land in the shared result cache like any other query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid5000 import (
+    PAPER_LATENCY_MS,
+    PAPER_THROUGHPUT_MBITS,
+    Grid5000Settings,
+    grid5000_kernel_model,
+)
+from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
+from repro.model.costs import (
+    caqr_costs,
+    dag_caqr_costs,
+    dag_cholesky_costs,
+    dag_lu_costs,
+    scalapack_costs,
+    tsqr_costs,
+)
+from repro.model.predictor import MachineParameters, Prediction, predict
+from repro.service.keys import canonical_spec
+
+__all__ = [
+    "BestConfigResult",
+    "EscalationPolicy",
+    "RankedCandidate",
+    "machine_for",
+    "predict_spec",
+    "predicted_time",
+    "rank_candidates",
+]
+
+
+def machine_for(
+    spec: PointSpec, settings: Grid5000Settings | None = None
+) -> MachineParameters:
+    """Eq. (1) constants for one configuration on the simulated platform.
+
+    Multi-site runs are dominated by the wide-area links (milliseconds,
+    tens of Mb/s — the worst published pair, conservatively); single-site
+    runs by the cluster interconnect.  The domain rate is the calibrated
+    ``qr_leaf`` kernel rate at the panel width, the same curve the
+    simulator charges.
+    """
+    settings = settings or Grid5000Settings()
+    if spec.n_sites > 1:
+        latency_s = max(PAPER_LATENCY_MS.values()) / 1e3
+        bandwidth = min(PAPER_THROUGHPUT_MBITS.values()) * 1e6 / 8.0
+    else:
+        site = ("orsay", "orsay")
+        latency_s = PAPER_LATENCY_MS[site] / 1e3
+        bandwidth = PAPER_THROUGHPUT_MBITS[site] * 1e6 / 8.0
+    width = spec.tile_size if spec.tile_size is not None else spec.n
+    rate = grid5000_kernel_model(settings).rate("qr_leaf", width)
+    return MachineParameters.from_link(
+        latency_s=latency_s,
+        bandwidth_bytes_per_s=bandwidth,
+        domain_gflops=rate / 1e9,
+    )
+
+
+def _processes(spec: PointSpec, settings: Grid5000Settings) -> int:
+    return spec.n_sites * settings.nodes_per_cluster * settings.processes_per_node
+
+
+def predict_spec(
+    spec: PointSpec, settings: Grid5000Settings | None = None
+) -> Prediction:
+    """Eq. (1) prediction for one :class:`PointSpec` (any algorithm)."""
+    settings = settings or Grid5000Settings()
+    spec = canonical_spec(spec)
+    p = _processes(spec, settings)
+    if spec.algorithm == "scalapack":
+        costs = scalapack_costs(spec.m, spec.n, p, want_q=spec.want_q)
+    elif spec.algorithm == "tsqr":
+        n_domains = (spec.domains_per_cluster or 1) * spec.n_sites
+        costs = tsqr_costs(spec.m, spec.n, n_domains, want_q=spec.want_q)
+    elif spec.algorithm == "caqr" and spec.runtime == "dag":
+        costs = dag_caqr_costs(
+            spec.m, spec.n, p, tile_size=spec.tile_size,
+            panel_tree=spec.tree_kind, placement=spec.placement,
+        )
+    elif spec.algorithm == "caqr":
+        costs = caqr_costs(
+            spec.m, spec.n, p, tile_size=spec.tile_size, panel_tree=spec.tree_kind
+        )
+    elif spec.algorithm == "cholesky":
+        costs = dag_cholesky_costs(
+            spec.n, p, tile_size=spec.tile_size, placement=spec.placement
+        )
+    elif spec.algorithm == "lu":
+        costs = dag_lu_costs(
+            spec.m, spec.n, p, tile_size=spec.tile_size, placement=spec.placement
+        )
+    else:  # pragma: no cover - PointSpec validation forbids this
+        raise ConfigurationError(f"no predictor for algorithm {spec.algorithm!r}")
+    return predict(costs, machine_for(spec, settings))
+
+
+def predicted_time(
+    spec: PointSpec, settings: Grid5000Settings | None = None
+) -> float:
+    """Predicted wall time (seconds) of one configuration."""
+    return predict_spec(spec, settings).time_s
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate with its cheap-tier prediction."""
+
+    spec: PointSpec
+    predicted_s: float
+
+
+def rank_candidates(
+    candidates: Iterable[PointSpec], settings: Grid5000Settings | None = None
+) -> list[RankedCandidate]:
+    """All candidates sorted by predicted time, fastest first."""
+    ranked = [
+        RankedCandidate(spec=s, predicted_s=predicted_time(s, settings))
+        for s in candidates
+    ]
+    if not ranked:
+        raise ConfigurationError("a best-config query needs at least one candidate")
+    return sorted(ranked, key=lambda c: (c.predicted_s, repr(c.spec)))
+
+
+@dataclass(frozen=True)
+class BestConfigResult:
+    """Outcome of one escalated best-config query."""
+
+    best: ExperimentPoint
+    ranked: tuple[RankedCandidate, ...]
+    simulated: tuple[ExperimentPoint, ...]
+
+    @property
+    def simulations(self) -> int:
+        """Number of candidates that escalated to full simulation."""
+        return len(self.simulated)
+
+
+@dataclass(frozen=True)
+class EscalationPolicy:
+    """Explicit escalation knobs: shortlist size and predictor error band.
+
+    ``top_k`` bounds how many candidates may escalate; ``margin`` is the
+    predictor's trusted relative error band — candidates predicted more
+    than ``(1 + margin)`` times slower than the predicted best are ruled
+    out without simulating them.
+    """
+
+    top_k: int = 3
+    margin: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {self.top_k}")
+        if self.margin < 0:
+            raise ConfigurationError(f"margin must be >= 0, got {self.margin}")
+
+    def shortlist(
+        self, ranked: Sequence[RankedCandidate]
+    ) -> list[RankedCandidate]:
+        """The candidates worth simulating: within the band, at most top_k."""
+        cutoff = (1.0 + self.margin) * ranked[0].predicted_s
+        return [c for c in ranked if c.predicted_s <= cutoff][: self.top_k]
+
+    def best_config(
+        self, candidates: Iterable[PointSpec], runner: ExperimentRunner
+    ) -> BestConfigResult:
+        """Answer a best-config query with at most ``top_k`` simulations."""
+        ranked = rank_candidates(candidates, runner.settings)
+        shortlist = self.shortlist(ranked)
+        simulated = tuple(runner.run_point(c.spec) for c in shortlist)
+        best = min(simulated, key=lambda p: p.time_s)
+        return BestConfigResult(best=best, ranked=tuple(ranked), simulated=simulated)

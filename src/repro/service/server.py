@@ -1,0 +1,323 @@
+"""Async batched serving of simulation queries (single-flight, two tiers).
+
+:class:`SimulationService` is the asyncio front-end of the result cache:
+
+* **warm path** — a query whose canonical key is already in the cache (or
+  the runner's in-process memo) answers immediately, without leaving the
+  event loop;
+* **single-flight** — identical queries arriving while one simulation of
+  that key is in flight *join* the pending future instead of starting a
+  duplicate simulation, so a thundering herd of N equal queries runs
+  exactly one simulation;
+* **batched cold misses** — distinct cold keys arriving within one batch
+  window are dispatched together to the runner (whose ``prefetch()``
+  machinery simulates them in parallel worker processes when ``jobs > 1``),
+  amortising process-pool start-up over the batch.
+
+Simulations run on a worker thread (one batch at a time — the runner is not
+thread-safe), so the event loop keeps accepting, deduplicating and
+answering queries while a batch computes.
+
+The same object also speaks a line-oriented JSON protocol over TCP
+(:meth:`SimulationService.serve`): one request object per line —
+``{"op": "query", "config": {...}}``, ``{"op": "stats"}`` or
+``{"op": "ping"}`` — one response object per line.  ``python -m repro
+serve`` runs it; ``python -m repro query --connect host:port`` and the
+:func:`remote_query`/:func:`remote_burst` helpers are the client side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
+from repro.service.cache import ResultCache, point_to_payload
+from repro.service.keys import canonical_spec, config_key, spec_from_config
+
+__all__ = [
+    "ServiceReply",
+    "ServiceStats",
+    "SimulationService",
+    "remote_burst",
+    "remote_query",
+    "remote_stats",
+]
+
+#: Where a query's answer came from, in decreasing order of warmth.
+SOURCES = ("memory", "disk", "single-flight", "simulated")
+
+
+@dataclass
+class ServiceStats:
+    """Counters of one service instance (exported by the ``stats`` op)."""
+
+    queries: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    single_flight_joins: int = 0
+    simulations: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    def count(self, source: str) -> None:
+        """Record where one answered query came from."""
+        self.queries += 1
+        if source == "memory":
+            self.memory_hits += 1
+        elif source == "disk":
+            self.disk_hits += 1
+        elif source == "single-flight":
+            self.single_flight_joins += 1
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat dictionary for the ``stats`` protocol reply."""
+        return {
+            "queries": self.queries,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "single_flight_joins": self.single_flight_joins,
+            "simulations": self.simulations,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceReply:
+    """One answered query: the result plus its provenance."""
+
+    point: ExperimentPoint = field(compare=False)
+    source: str  # one of SOURCES
+    key: str
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable protocol reply."""
+        payload = point_to_payload(self.point)
+        return {
+            "ok": True,
+            "source": self.source,
+            "key": self.key,
+            "config": payload["spec"],
+            "gflops": self.point.gflops,
+            "time_s": self.point.time_s,
+            "critical_path_s": self.point.critical_path_s,
+            "total_messages": self.point.total_messages,
+            "inter_cluster_messages": self.point.inter_cluster_messages,
+        }
+
+
+class SimulationService:
+    """Asyncio front-end over one :class:`ExperimentRunner` and its cache.
+
+    Parameters
+    ----------
+    runner:
+        The runner that simulates cold misses; its ``store`` (when set) is
+        the shared persistent cache, and its ``jobs`` setting decides how
+        many worker processes a cold batch fans out over.
+    batch_window_s:
+        How long the dispatcher waits after the first cold miss for more
+        misses to share the batch.  Zero still batches whatever arrives in
+        the same event-loop turn.
+    """
+
+    def __init__(
+        self, runner: ExperimentRunner | None = None, *, batch_window_s: float = 0.005
+    ) -> None:
+        if batch_window_s < 0:
+            raise ConfigurationError(
+                f"batch_window_s must be >= 0, got {batch_window_s}"
+            )
+        self.runner = runner or ExperimentRunner(store=ResultCache())
+        self.batch_window_s = batch_window_s
+        self.stats = ServiceStats()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending: list[tuple[str, PointSpec, asyncio.Future]] = []
+        self._flusher: asyncio.Task | None = None
+        # One batch simulates at a time: the runner (platform caches, engine
+        # globals) is not thread-safe, and the simulations are CPU-bound
+        # anyway — concurrency lives at the prefetch process level.
+        self._sim_lock = asyncio.Lock()
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The persistent result cache (the runner's store), if any."""
+        return self.runner.store
+
+    # ----------------------------------------------------------- the query
+    async def submit(
+        self, config: Mapping[str, object] | PointSpec
+    ) -> ServiceReply:
+        """Answer one query: warm levels, join-in-flight, or batched cold miss."""
+        spec = config if isinstance(config, PointSpec) else spec_from_config(config)
+        spec = canonical_spec(spec)
+        key = config_key(spec, self.runner.settings)
+        reply = self._warm_reply(spec, key)
+        if reply is None and key in self._inflight:
+            point = await asyncio.shield(self._inflight[key])
+            reply = ServiceReply(point=point, source="single-flight", key=key)
+        if reply is None:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            self._pending.append((key, spec, future))
+            if self._flusher is None or self._flusher.done():
+                self._flusher = asyncio.ensure_future(self._flush_soon())
+            point = await asyncio.shield(future)
+            reply = ServiceReply(point=point, source="simulated", key=key)
+        self.stats.count(reply.source)
+        return reply
+
+    def _warm_reply(self, spec: PointSpec, key: str) -> ServiceReply | None:
+        """Cache/memo lookup without ever simulating on the event loop."""
+        memo = self.runner.memoised(spec)
+        if memo is not None:
+            return ServiceReply(point=memo, source="memory", key=key)
+        cache = self.cache
+        if cache is None:
+            return None
+        point, source = cache.lookup(key)
+        if point is None:
+            return None
+        self.runner.remember(spec, point)
+        return ServiceReply(point=point, source=source, key=key)
+
+    # ------------------------------------------------------ batch dispatch
+    async def _flush_soon(self) -> None:
+        if self.batch_window_s > 0:
+            await asyncio.sleep(self.batch_window_s)
+        while self._pending:
+            batch, self._pending = self._pending, []
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            specs = [spec for _, spec, _ in batch]
+            try:
+                async with self._sim_lock:
+                    points = await asyncio.get_running_loop().run_in_executor(
+                        None, self._simulate_batch, specs
+                    )
+            except BaseException as exc:
+                for key, _, future in batch:
+                    self._inflight.pop(key, None)
+                    if not future.done():
+                        future.set_exception(
+                            exc if isinstance(exc, ReproError) else
+                            ReproError(f"simulation batch failed: {exc!r}")
+                        )
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+                continue
+            self.stats.simulations += len(points)
+            for (key, _, future), point in zip(batch, points):
+                self._inflight.pop(key, None)
+                if not future.done():
+                    future.set_result(point)
+
+    def _simulate_batch(self, specs: Sequence[PointSpec]) -> list[ExperimentPoint]:
+        """Worker-thread body: prefetch (parallel when jobs>1), then collect."""
+        self.runner.prefetch(specs)
+        return [self.runner.run_point(spec) for spec in specs]
+
+    # -------------------------------------------------------- TCP protocol
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client: JSON-lines requests in, JSON-lines replies out."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    reply = await self._handle_request(json.loads(line))
+                except ReproError as exc:
+                    reply = {"ok": False, "error": str(exc)}
+                except (json.JSONDecodeError, TypeError, KeyError) as exc:
+                    reply = {"ok": False, "error": f"malformed request: {exc!r}"}
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, request: dict) -> dict:
+        op = request.get("op", "query")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            stats = self.stats.as_dict()
+            stats["runner_simulations"] = self.runner.simulations_run
+            if self.cache is not None:
+                stats["cache"] = self.cache.stats.as_dict()
+            return {"ok": True, "stats": stats}
+        if op == "query":
+            reply = await self.submit(request["config"])
+            return reply.as_dict()
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def serve(self, host: str = "127.0.0.1", port: int = 8642):
+        """Start the TCP listener and return the asyncio server object."""
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+
+# ---------------------------------------------------------------------------
+# Client helpers (synchronous; used by ``repro query`` and the CI smoke)
+# ---------------------------------------------------------------------------
+
+async def _roundtrip(
+    host: str, port: int, requests: Sequence[dict], *, concurrent: bool
+) -> list[dict]:
+    async def _one(request: dict) -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not line:
+            raise ConfigurationError(f"server at {host}:{port} closed the connection")
+        return json.loads(line)
+
+    if concurrent:
+        return list(await asyncio.gather(*(_one(r) for r in requests)))
+    return [await _one(r) for r in requests]
+
+
+def remote_query(host: str, port: int, config: Mapping[str, object]) -> dict:
+    """Send one query to a running server and return its reply dict."""
+    return asyncio.run(
+        _roundtrip(host, port, [{"op": "query", "config": dict(config)}],
+                   concurrent=False)
+    )[0]
+
+
+def remote_burst(
+    host: str, port: int, config: Mapping[str, object], n: int
+) -> list[dict]:
+    """Send ``n`` identical queries concurrently (the single-flight probe).
+
+    All ``n`` connections are opened and their requests written before any
+    reply is awaited, so a cold key exercises the server's single-flight
+    deduplication: the replies report 1 ``simulated`` source and ``n - 1``
+    ``single-flight`` joins.
+    """
+    if n < 1:
+        raise ConfigurationError(f"burst size must be >= 1, got {n}")
+    request = {"op": "query", "config": dict(config)}
+    return asyncio.run(_roundtrip(host, port, [request] * n, concurrent=True))
+
+
+def remote_stats(host: str, port: int) -> dict:
+    """Fetch the server's counters (queries, dedup joins, cache hits)."""
+    return asyncio.run(_roundtrip(host, port, [{"op": "stats"}], concurrent=False))[0]

@@ -10,6 +10,21 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a session tmp dir.
+
+    CLI invocations under test default to ``results/cache`` in the working
+    tree; redirecting ``REPRO_CACHE_DIR`` keeps test runs from writing (or
+    reading!) the developer's real cache.  Tests that need a fresh store
+    still pass an explicit ``--cache-dir``.
+    """
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("result-cache")))
+    yield
+    mp.undo()
+
 from repro.gridsim import (
     ClusterSpec,
     GridSpec,

@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
+import hashlib
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.dag.graph import TaskGraph, tiled_qr_graph, tsqr_graph
+from repro.dag.graph import (
+    TaskGraph,
+    cached_graph,
+    graph_cache_info,
+    set_graph_cache_size,
+    tiled_qr_graph,
+    tsqr_graph,
+)
 from repro.exceptions import ConfigurationError
 from repro.util.units import DOUBLE_BYTES
 
@@ -127,3 +139,91 @@ class TestTSQRGraph:
     def test_rejects_short_domains(self):
         with pytest.raises(ConfigurationError, match="fewer"):
             tsqr_graph(100, 60, 2)
+
+
+class TestGraphCache:
+    """The configurable cached_graph front (capacity, eviction, env knob)."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_capacity(self):
+        """Every test resizes freely; the suite's capacity is put back after."""
+        before = graph_cache_info().maxsize
+        yield
+        set_graph_cache_size(before)
+
+    def test_hit_returns_the_same_object(self):
+        set_graph_cache_size(4)
+        assert cached_graph("qr", 64, 32, 16) is cached_graph("qr", 64, 32, 16)
+
+    def test_eviction_then_rebuild_is_structurally_identical(self):
+        """An evicted graph rebuilds to the exact same structure.
+
+        Capacity 1 forces the eviction deterministically: building any
+        second graph drops the first.  The rebuilt first graph is a *new
+        object* (the eviction really happened) with an *identical
+        fingerprint* (handles, tasks, edges, wire sizes) — eviction can
+        change performance, never results.
+        """
+        set_graph_cache_size(1)
+        first = cached_graph("qr", 96, 96, 16, 3, "binary", None)
+        fingerprint = _graph_fingerprint(first)
+        cached_graph("cholesky", 64, 64, 16)  # evicts the QR graph
+        rebuilt = cached_graph("qr", 96, 96, 16, 3, "binary", None)
+        assert rebuilt is not first
+        assert _graph_fingerprint(rebuilt) == fingerprint
+
+    def test_capacity_zero_disables_caching(self):
+        set_graph_cache_size(0)
+        assert cached_graph("qr", 64, 32, 16) is not cached_graph("qr", 64, 32, 16)
+
+    def test_resize_rejects_negative(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            set_graph_cache_size(-1)
+
+    def test_env_var_sets_the_import_time_capacity(self):
+        code = (
+            "from repro.dag.graph import graph_cache_info; "
+            "print(graph_cache_info().maxsize)"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "REPRO_GRAPH_CACHE_SIZE": "5"},
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == "5"
+
+    def test_env_var_rejects_garbage(self):
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro.dag.graph"],
+            env={**os.environ, "REPRO_GRAPH_CACHE_SIZE": "many"},
+            capture_output=True, text=True,
+        )
+        assert proc.returncode != 0
+        assert "REPRO_GRAPH_CACHE_SIZE" in proc.stderr
+
+
+def _graph_fingerprint(graph) -> str:
+    """Canonical digest of a graph's full structure: handles, tasks, edges.
+
+    Mirrors the fingerprint of tests/gridsim/test_engine_equivalence.py so
+    a cache-eviction rebuild is checked against the same notion of
+    structural identity the golden-graph tests pin.
+    """
+    parts = [
+        ("kind", graph.kind),
+        ("n_groups", graph.n_groups),
+        (
+            "handles",
+            tuple(zip(graph.handle_keys, graph.handle_shapes, graph.handle_nbytes)),
+        ),
+    ]
+    for t in graph.tasks:
+        parts.append(
+            (
+                t.id, t.kernel, t.kernel_class, t.k, t.i, t.i2, t.j,
+                t.flops, t.width, t.host_row,
+                t.reads, t.read_producers, t.writes, t.write_nbytes,
+                tuple(graph.preds[t.id]),
+            )
+        )
+    return hashlib.sha256(repr(parts).encode()).hexdigest()

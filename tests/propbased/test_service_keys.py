@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the canonical service keys.
+
+The cache key must be a pure function of the simulation semantics.  These
+properties drive randomly drawn valid configurations through every spelling
+a query might use and assert:
+
+* dict-order invariance — any permutation of the config fields hashes the
+  same;
+* default-filling invariance — a config and its fully-canonicalised explicit
+  form share one key;
+* alias invariance — the CLI spellings (``rows``/``cols``/``sites``) hash
+  like the spec field names;
+* irrelevant-field invariance — fields an algorithm never consumes do not
+  enter its key;
+* no collisions — two configurations that canonicalise differently never
+  share a key (they would silently serve each other's results).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dag.placement import PLACEMENT_POLICIES, PRIORITY_POLICIES
+from repro.service.keys import (
+    _SPEC_FIELDS,
+    canonical_spec,
+    config_key,
+    spec_from_config,
+)
+
+FAST = settings(max_examples=60, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+_TREES = ("flat", "binary", "grid-hierarchical")
+
+
+@st.composite
+def spec_configs(draw) -> dict:
+    """One valid query configuration, with optional fields randomly present."""
+    algorithm = draw(st.sampled_from(("tsqr", "scalapack", "caqr", "cholesky", "lu")))
+    config: dict[str, object] = {
+        "algorithm": algorithm,
+        "m": draw(st.integers(1, 1 << 25)),
+        "n": draw(st.integers(1, 512)),
+        "n_sites": draw(st.sampled_from((1, 2, 4))),
+    }
+    if algorithm == "cholesky":
+        config["m"] = config["n"]
+    if algorithm == "tsqr":
+        config["domains_per_cluster"] = draw(st.sampled_from((1, 2, 4, 8, 16, 32, 64)))
+    if algorithm in ("tsqr", "scalapack") and draw(st.booleans()):
+        config["want_q"] = draw(st.booleans())
+    if algorithm in ("tsqr", "caqr") and draw(st.booleans()):
+        config["tree_kind"] = draw(st.sampled_from(_TREES))
+    runtime = "spmd"
+    if algorithm in ("caqr", "cholesky", "lu"):
+        config["tile_size"] = draw(st.sampled_from((8, 16, 32, 64, 128)))
+        runtime = "dag" if algorithm != "caqr" else draw(st.sampled_from(("spmd", "dag")))
+        if algorithm == "caqr" or draw(st.booleans()):
+            config["runtime"] = runtime
+    if runtime == "dag":
+        if draw(st.booleans()):
+            config["placement"] = draw(st.sampled_from(PLACEMENT_POLICIES))
+        if draw(st.booleans()):
+            config["priority"] = draw(st.sampled_from(PRIORITY_POLICIES))
+    return config
+
+
+@FAST
+@given(config=spec_configs(), seed=st.randoms(use_true_random=False))
+def test_dict_order_invariance(config, seed):
+    items = list(config.items())
+    seed.shuffle(items)
+    assert config_key(dict(items)) == config_key(config)
+
+
+@FAST
+@given(config=spec_configs())
+def test_default_filling_invariance(config):
+    """A config and its fully-explicit canonical form share one key."""
+    canon = canonical_spec(spec_from_config(config))
+    explicit = {f: getattr(canon, f) for f in _SPEC_FIELDS}
+    assert config_key(explicit) == config_key(config)
+
+
+@FAST
+@given(config=spec_configs())
+def test_cli_alias_invariance(config):
+    aliased = {
+        {"m": "rows", "n": "cols", "n_sites": "sites",
+         "tree_kind": "panel_tree"}.get(k, k): v
+        for k, v in config.items()
+    }
+    assert config_key(aliased) == config_key(config)
+
+
+@FAST
+@given(config=spec_configs(), dpc=st.sampled_from((1, 2, 64)))
+def test_irrelevant_domains_never_enter_the_key(config, dpc):
+    """domains_per_cluster is TSQR's field; every other algorithm ignores it."""
+    if config["algorithm"] == "tsqr":
+        return
+    assert config_key({**config, "domains_per_cluster": dpc}) == config_key(config)
+
+
+@FAST
+@given(config=spec_configs(), tree=st.sampled_from(_TREES))
+def test_irrelevant_tree_never_enters_the_key(config, tree):
+    """ScaLAPACK and the DAG-only algorithms have no panel reduction tree."""
+    if config["algorithm"] not in ("scalapack", "cholesky", "lu"):
+        return
+    assert config_key({**config, "tree_kind": tree}) == config_key(config)
+
+
+@FAST
+@given(a=spec_configs(), b=spec_configs())
+def test_no_collisions_across_configs(a, b):
+    """Different canonical configurations never share a key, equal ones always do."""
+    canon_a = canonical_spec(spec_from_config(a))
+    canon_b = canonical_spec(spec_from_config(b))
+    if canon_a == canon_b:
+        assert config_key(a) == config_key(b)
+    else:
+        assert config_key(a) != config_key(b)
+
+
+@FAST
+@given(config=spec_configs())
+def test_key_shape_and_determinism(config):
+    key = config_key(config)
+    assert key == config_key(config)
+    assert len(key) == 64
+    assert set(key) <= set("0123456789abcdef")

@@ -1,0 +1,180 @@
+"""Tests for the two-level result cache (repro.service.cache)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid5000 import Grid5000Settings
+from repro.experiments.runner import ExperimentRunner, PointSpec
+from repro.service.cache import ResultCache, point_from_payload, point_to_payload
+from repro.service.keys import canonical_spec
+
+
+@pytest.fixture(scope="module")
+def settings() -> Grid5000Settings:
+    return Grid5000Settings(nodes_per_cluster=2, processes_per_node=2)
+
+
+@pytest.fixture(scope="module")
+def sample_point(settings):
+    """One small simulated point (module-scoped: simulate once, test many)."""
+    runner = ExperimentRunner(settings)
+    return runner.tsqr_point(65536, 32, 2, 4)
+
+
+class TestSerialisation:
+    def test_payload_round_trip(self, sample_point):
+        rebuilt = point_from_payload(point_to_payload(sample_point))
+        assert rebuilt.spec == sample_point.spec
+        assert rebuilt.gflops == sample_point.gflops
+        assert rebuilt.time_s == sample_point.time_s
+        assert rebuilt.critical_path_s == sample_point.critical_path_s
+        assert rebuilt.trace == sample_point.trace
+
+    def test_payload_is_json_clean(self, sample_point):
+        assert json.loads(json.dumps(point_to_payload(sample_point)))
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path, sample_point, settings):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(sample_point.spec, settings)
+        assert cache.get(key) is None
+        cache.put(key, sample_point)
+        assert cache.get(key).trace == sample_point.trace
+
+    def test_disk_layout_is_fanned_out(self, tmp_path, sample_point, settings):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(sample_point.spec, settings)
+        cache.put(key, sample_point)
+        path = cache.path_for(key)
+        assert path.exists()
+        assert path.parent.name == key[:2]
+
+    def test_survives_a_fresh_instance(self, tmp_path, sample_point, settings):
+        key = ResultCache(tmp_path).key_for(sample_point.spec, settings)
+        ResultCache(tmp_path).put(key, sample_point)
+        fresh = ResultCache(tmp_path)
+        point, source = fresh.lookup(key)
+        assert source == "disk"
+        assert point.trace == sample_point.trace
+        # the disk hit is promoted into the memory front
+        assert fresh.lookup(key)[1] == "memory"
+
+    def test_lru_front_evicts_but_disk_keeps(self, tmp_path, sample_point):
+        cache = ResultCache(tmp_path, memory_entries=2)
+        for i in range(3):
+            cache.put(f"{i:02d}key", sample_point)
+        assert len(cache) == 2  # "00key" was evicted from the front...
+        point, source = cache.lookup("00key")
+        assert source == "disk"  # ...but the disk level still has it
+        assert point is not None
+
+    def test_zero_memory_entries_disables_the_front(self, tmp_path, sample_point):
+        cache = ResultCache(tmp_path, memory_entries=0)
+        cache.put("00key", sample_point)
+        assert len(cache) == 0
+        assert cache.lookup("00key")[1] == "disk"
+
+    def test_negative_memory_entries_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            ResultCache(tmp_path, memory_entries=-1)
+
+    def test_stale_engine_tag_is_a_miss(self, tmp_path, sample_point, settings):
+        cache = ResultCache(tmp_path, memory_entries=0)
+        key = cache.key_for(sample_point.spec, settings)
+        cache.put(key, sample_point)
+        payload = json.loads(cache.path_for(key).read_text())
+        payload["engine_semantics"] = "pr0-ancient.0"
+        cache.path_for(key).write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert cache.stats.stale_entries == 1
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, sample_point, settings):
+        cache = ResultCache(tmp_path, memory_entries=0)
+        key = cache.key_for(sample_point.spec, settings)
+        cache.put(key, sample_point)
+        cache.path_for(key).write_text("{ torn write")
+        assert cache.get(key) is None
+
+    def test_stats_count_every_level(self, tmp_path, sample_point, settings):
+        cache = ResultCache(tmp_path)
+        key = cache.key_for(sample_point.spec, settings)
+        cache.get(key)  # miss
+        cache.put(key, sample_point)  # store
+        cache.get(key)  # memory hit
+        cache.clear_memory()
+        cache.get(key)  # disk hit
+        stats = cache.stats.as_dict()
+        assert stats == {"memory_hits": 1, "disk_hits": 1, "misses": 1,
+                         "stores": 1, "stale_entries": 0}
+        assert cache.stats.hits == 2
+
+    def test_put_spec_stores_the_canonical_spec(self, tmp_path, settings):
+        runner = ExperimentRunner(settings)
+        spec = PointSpec(algorithm="caqr", m=512, n=128, n_sites=1,
+                         tile_size=64, runtime="dag")
+        point = runner.run_point(spec)
+        cache = ResultCache(tmp_path)
+        cache.put_spec(spec, point, settings)
+        stored = cache.get_spec(spec, settings)
+        assert stored.spec == canonical_spec(spec)
+        assert stored.spec.placement == "block"
+
+
+class TestRunnerIntegration:
+    def test_second_runner_simulates_zero_points(self, tmp_path, settings):
+        spec = PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=2,
+                         domains_per_cluster=4)
+        first = ExperimentRunner(settings, store=ResultCache(tmp_path))
+        p1 = first.run_point(spec)
+        assert first.simulations_run == 1
+
+        second = ExperimentRunner(settings, store=ResultCache(tmp_path))
+        p2 = second.run_point(spec)
+        assert second.simulations_run == 0
+        assert p2.trace == p1.trace
+        assert p2.time_s == p1.time_s
+
+    def test_store_spelling_differences_still_hit(self, tmp_path, settings):
+        """Canonically equal specs share one stored entry."""
+        implicit = PointSpec(algorithm="caqr", m=512, n=128, n_sites=1,
+                             tile_size=64, runtime="dag")
+        explicit = PointSpec(algorithm="caqr", m=512, n=128, n_sites=1,
+                             tile_size=64, runtime="dag",
+                             placement="block", priority="critical-path")
+        first = ExperimentRunner(settings, store=ResultCache(tmp_path))
+        first.run_point(implicit)
+        second = ExperimentRunner(settings, store=ResultCache(tmp_path))
+        second.run_point(explicit)
+        assert first.simulations_run == 1
+        assert second.simulations_run == 0
+
+    def test_no_store_still_simulates(self, settings):
+        runner = ExperimentRunner(settings)
+        spec = PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=2,
+                         domains_per_cluster=4)
+        runner.run_point(spec)
+        runner.run_point(spec)  # in-process memo, not the store
+        assert runner.store is None
+        assert runner.simulations_run == 1
+
+    def test_prefetch_pulls_warm_points_from_the_store(self, tmp_path, settings):
+        specs = [
+            PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=2,
+                      domains_per_cluster=d)
+            for d in (1, 2, 4)
+        ]
+        first = ExperimentRunner(settings, jobs=2, store=ResultCache(tmp_path))
+        first.prefetch(specs)
+        assert first.simulations_run == 3
+
+        second = ExperimentRunner(settings, jobs=2, store=ResultCache(tmp_path))
+        second.prefetch(specs)
+        assert second.simulations_run == 0
+        for spec in specs:
+            assert second.run_point(spec).trace == first.run_point(spec).trace
+        assert second.simulations_run == 0

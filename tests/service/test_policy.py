@@ -1,0 +1,128 @@
+"""Tests for the tiered best-config escalation policy (repro.service.policy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid5000 import Grid5000Settings
+from repro.experiments.runner import ExperimentRunner, PointSpec
+from repro.service.policy import (
+    EscalationPolicy,
+    RankedCandidate,
+    machine_for,
+    predict_spec,
+    predicted_time,
+    rank_candidates,
+)
+
+
+@pytest.fixture(scope="module")
+def settings() -> Grid5000Settings:
+    return Grid5000Settings(nodes_per_cluster=2, processes_per_node=2)
+
+
+def _caqr_candidates(tiles, settings) -> list[PointSpec]:
+    return [
+        PointSpec(algorithm="caqr", m=2048, n=128, n_sites=1, tile_size=t)
+        for t in tiles
+    ]
+
+
+class TestPredictor:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=2,
+                      domains_per_cluster=4),
+            PointSpec(algorithm="scalapack", m=65536, n=32, n_sites=2),
+            PointSpec(algorithm="caqr", m=2048, n=128, n_sites=1, tile_size=64),
+            PointSpec(algorithm="caqr", m=2048, n=128, n_sites=1, tile_size=64,
+                      runtime="dag"),
+            PointSpec(algorithm="cholesky", m=512, n=512, n_sites=1, tile_size=64,
+                      runtime="dag"),
+            PointSpec(algorithm="lu", m=512, n=256, n_sites=1, tile_size=64,
+                      runtime="dag"),
+        ],
+        ids=lambda s: f"{s.algorithm}-{s.runtime}",
+    )
+    def test_every_algorithm_predicts_a_positive_time(self, spec, settings):
+        prediction = predict_spec(spec, settings)
+        assert prediction.time_s > 0
+        assert predicted_time(spec, settings) == prediction.time_s
+
+    def test_multi_site_pays_wide_area_constants(self, settings):
+        one = PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=1,
+                        domains_per_cluster=4)
+        four = PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=4,
+                         domains_per_cluster=4)
+        assert machine_for(four, settings).latency_s > machine_for(one, settings).latency_s
+        assert (machine_for(four, settings).inverse_bandwidth_s_per_double
+                > machine_for(one, settings).inverse_bandwidth_s_per_double)
+
+
+class TestRanking:
+    def test_sorted_fastest_first(self, settings):
+        ranked = rank_candidates(_caqr_candidates((16, 32, 64), settings), settings)
+        times = [c.predicted_s for c in ranked]
+        assert times == sorted(times)
+
+    def test_empty_candidate_list_rejected(self, settings):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            rank_candidates([], settings)
+
+
+class TestEscalationPolicy:
+    def test_knob_validation(self):
+        with pytest.raises(ConfigurationError, match="top_k"):
+            EscalationPolicy(top_k=0)
+        with pytest.raises(ConfigurationError, match="margin"):
+            EscalationPolicy(margin=-0.1)
+
+    def test_shortlist_is_margin_band_then_top_k(self):
+        spec = PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=1,
+                         domains_per_cluster=4)
+        ranked = [RankedCandidate(spec, t) for t in (1.0, 1.2, 1.4, 2.0, 9.0)]
+        # margin 0.5 -> cutoff 1.5 rules out 2.0 and 9.0; top_k truncates
+        assert [c.predicted_s for c in EscalationPolicy(top_k=3, margin=0.5)
+                .shortlist(ranked)] == [1.0, 1.2, 1.4]
+        assert [c.predicted_s for c in EscalationPolicy(top_k=2, margin=0.5)
+                .shortlist(ranked)] == [1.0, 1.2]
+        # margin 0 keeps only the predicted best
+        assert [c.predicted_s for c in EscalationPolicy(top_k=3, margin=0.0)
+                .shortlist(ranked)] == [1.0]
+
+    def test_matches_exhaustive_simulation_on_the_pinned_sweep(self, settings):
+        """Acceptance: the policy answer equals brute force, at <= top_k sims.
+
+        The pinned sweep is the CLI's default best-tile candidate set on the
+        reduced platform.  Exhaustive simulation of all candidates is the
+        ground truth; the policy must return the same best config while
+        escalating at most ``top_k`` candidates.
+        """
+        candidates = _caqr_candidates((16, 32, 64, 128), settings)
+        exhaustive_runner = ExperimentRunner(settings)
+        exhaustive_best = min(
+            (exhaustive_runner.run_point(s) for s in candidates),
+            key=lambda p: p.time_s,
+        )
+
+        policy = EscalationPolicy(top_k=2, margin=0.5)
+        runner = ExperimentRunner(settings)
+        result = policy.best_config(candidates, runner)
+        assert result.simulations <= policy.top_k
+        assert result.simulations < len(candidates)  # it actually pruned
+        assert result.best.spec.tile_size == exhaustive_best.spec.tile_size
+        assert result.best.time_s == exhaustive_best.time_s
+
+    def test_escalated_points_land_in_the_shared_store(self, settings, tmp_path):
+        from repro.service.cache import ResultCache
+
+        runner = ExperimentRunner(settings, store=ResultCache(tmp_path))
+        policy = EscalationPolicy(top_k=1, margin=0.0)
+        result = policy.best_config(_caqr_candidates((32, 64), settings), runner)
+        assert runner.simulations_run == 1
+        again = ExperimentRunner(settings, store=ResultCache(tmp_path))
+        rerun = policy.best_config(_caqr_candidates((32, 64), settings), again)
+        assert again.simulations_run == 0
+        assert rerun.best.time_s == result.best.time_s

@@ -1,0 +1,206 @@
+"""Tests for the async single-flight batched server (repro.service.server)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.experiments.grid5000 import Grid5000Settings
+from repro.experiments.runner import ExperimentRunner
+from repro.service.cache import ResultCache
+from repro.service.server import (
+    SimulationService,
+    remote_burst,
+    remote_query,
+    remote_stats,
+)
+
+CONFIG = {"algorithm": "tsqr", "m": 65536, "n": 32, "n_sites": 2,
+          "domains_per_cluster": 4}
+OTHER = {**CONFIG, "domains_per_cluster": 2}
+
+
+def _small_settings() -> Grid5000Settings:
+    return Grid5000Settings(nodes_per_cluster=2, processes_per_node=2)
+
+
+def _service(tmp_path=None, **kwargs) -> SimulationService:
+    store = ResultCache(tmp_path) if tmp_path is not None else None
+    runner = ExperimentRunner(_small_settings(), store=store)
+    return SimulationService(runner, **kwargs)
+
+
+class TestSubmit:
+    def test_cold_then_memory_warm(self, tmp_path):
+        service = _service(tmp_path)
+
+        async def scenario():
+            first = await service.submit(CONFIG)
+            second = await service.submit(CONFIG)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.source == "simulated"
+        assert second.source == "memory"
+        assert first.key == second.key
+        assert first.point.trace == second.point.trace
+        assert service.runner.simulations_run == 1
+
+    def test_disk_warm_across_service_instances(self, tmp_path):
+        asyncio.run(_service(tmp_path).submit(CONFIG))
+        service = _service(tmp_path)
+        reply = asyncio.run(service.submit(CONFIG))
+        assert reply.source == "disk"
+        assert service.runner.simulations_run == 0
+
+    def test_identical_burst_runs_exactly_one_simulation(self, tmp_path):
+        service = _service(tmp_path)
+
+        async def scenario():
+            return await asyncio.gather(*(service.submit(CONFIG) for _ in range(8)))
+
+        replies = asyncio.run(scenario())
+        sources = sorted(r.source for r in replies)
+        assert sources.count("simulated") == 1
+        assert sources.count("single-flight") == 7
+        assert service.runner.simulations_run == 1
+        assert service.stats.single_flight_joins == 7
+        times = {r.point.time_s for r in replies}
+        assert len(times) == 1
+
+    def test_distinct_cold_misses_share_a_batch(self, tmp_path):
+        service = _service(tmp_path, batch_window_s=0.01)
+
+        async def scenario():
+            return await asyncio.gather(service.submit(CONFIG), service.submit(OTHER))
+
+        replies = asyncio.run(scenario())
+        assert {r.source for r in replies} == {"simulated"}
+        assert service.stats.largest_batch == 2
+        assert service.stats.batches == 1
+        assert service.runner.simulations_run == 2
+
+    def test_bad_config_raises_before_any_future_is_created(self):
+        service = _service()
+        with pytest.raises(ConfigurationError, match="unknown config field"):
+            asyncio.run(service.submit({**CONFIG, "tilesize": 8}))
+        assert not service._inflight
+
+    def test_negative_batch_window_rejected(self):
+        with pytest.raises(ConfigurationError, match="batch_window_s"):
+            _service(batch_window_s=-0.1)
+
+    def test_simulation_failure_rejects_the_batch(self, monkeypatch):
+        service = _service()
+
+        def boom(specs):
+            raise ReproError("engine exploded")
+
+        monkeypatch.setattr(service, "_simulate_batch", boom)
+        with pytest.raises(ReproError, match="engine exploded"):
+            asyncio.run(service.submit(CONFIG))
+        assert not service._inflight  # a failed key retries cold next time
+
+    def test_reply_dict_shape(self, tmp_path):
+        reply = asyncio.run(_service(tmp_path).submit(CONFIG))
+        payload = reply.as_dict()
+        assert payload["ok"] is True
+        assert payload["source"] == "simulated"
+        assert payload["config"]["algorithm"] == "tsqr"
+        assert payload["time_s"] > 0
+        assert len(payload["key"]) == 64
+
+
+class TestProtocol:
+    def _roundtrip(self, service, requests):
+        """Start the server on an ephemeral port, send requests, stop it."""
+
+        async def scenario():
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                replies = []
+                for request in requests:
+                    line = request if isinstance(request, bytes) \
+                        else json.dumps(request).encode() + b"\n"
+                    writer.write(line)
+                    await writer.drain()
+                    replies.append(json.loads(await reader.readline()))
+                writer.close()
+                await writer.wait_closed()
+                return replies
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        return asyncio.run(scenario())
+
+    def test_ping(self):
+        (reply,) = self._roundtrip(_service(), [{"op": "ping"}])
+        assert reply == {"ok": True, "pong": True}
+
+    def test_query_and_stats(self, tmp_path):
+        service = _service(tmp_path)
+        query = {"op": "query", "config": CONFIG}
+        replies = self._roundtrip(service, [query, query, {"op": "stats"}])
+        assert replies[0]["ok"] and replies[0]["source"] == "simulated"
+        assert replies[1]["source"] == "memory"
+        stats = replies[2]["stats"]
+        assert stats["queries"] == 2
+        assert stats["memory_hits"] == 1
+        assert stats["runner_simulations"] == 1
+        assert stats["cache"]["stores"] == 1
+
+    def test_malformed_and_unknown_requests_answer_errors(self):
+        service = _service()
+        replies = self._roundtrip(
+            service,
+            [b"not json at all\n", {"op": "warp"},
+             {"op": "query", "config": {"algorithm": "nosuch", "m": 1, "n": 1,
+                                        "n_sites": 1}}],
+        )
+        assert all(r["ok"] is False for r in replies)
+        assert "malformed" in replies[0]["error"]
+        assert "unknown op" in replies[1]["error"]
+        # a ReproError reply keeps the connection usable, the server alive
+        (pong,) = self._roundtrip(service, [{"op": "ping"}])
+        assert pong["ok"] is True
+
+
+class TestClientHelpers:
+    def test_remote_query_burst_and_stats(self, tmp_path):
+        service = _service(tmp_path)
+
+        async def scenario():
+            server = await service.serve("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            loop = asyncio.get_running_loop()
+            try:
+                # The sync client helpers spin their own event loop; run them
+                # on a worker thread so this loop keeps serving.
+                burst = await loop.run_in_executor(
+                    None, remote_burst, "127.0.0.1", port, CONFIG, 6)
+                single = await loop.run_in_executor(
+                    None, remote_query, "127.0.0.1", port, CONFIG)
+                stats = await loop.run_in_executor(
+                    None, remote_stats, "127.0.0.1", port)
+                return burst, single, stats
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        burst, single, stats = asyncio.run(scenario())
+        sources = sorted(r["source"] for r in burst)
+        assert sources.count("simulated") == 1
+        assert sources.count("single-flight") == 5
+        assert single["source"] == "memory"
+        assert stats["stats"]["single_flight_joins"] == 5
+        assert service.runner.simulations_run == 1
+
+    def test_burst_size_validated(self):
+        with pytest.raises(ConfigurationError, match="burst size"):
+            remote_burst("127.0.0.1", 1, CONFIG, 0)

@@ -309,3 +309,115 @@ class TestCommands:
         assert "msg ratio" in out
         header = target.read_text().splitlines()[0]
         assert "volume ratio" in header and "flop ratio" in header
+
+
+class TestServiceCommands:
+    """The service tier at CLI level: serve/query plus the persistent cache."""
+
+    def test_serve_and_query_parser_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--batch-window-ms", "1"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0 and args.jobs == 2
+        args = build_parser().parse_args(
+            ["query", "--connect", "localhost:8642", "--burst", "8"]
+        )
+        assert args.connect == "localhost:8642"
+        assert args.burst == 8
+        args = build_parser().parse_args(
+            ["query", "--best-tile", "--candidates", "16,32", "--top-k", "2"]
+        )
+        assert args.best_tile and args.candidates == "16,32" and args.top_k == 2
+
+    def test_epilog_mentions_the_service(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "repro serve" in out
+        assert "--best-tile" in out
+
+    def test_repeated_figure_simulates_zero_points(self, capsys, tmp_path):
+        """The satellite pin: a re-run answers entirely from the store."""
+        args = ["figure", "--id", "table1", "--cols", "64",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cache: " in first
+        assert "cache: 0 simulated" not in first  # the first run did the work
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache: 0 simulated" in second  # the re-run simulated NOTHING
+
+    def test_no_cache_escape_hatch(self, capsys, tmp_path):
+        args = ["figure", "--id", "table1", "--cols", "64", "--no-cache"]
+        assert main(args) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_simulate_warm_across_invocations(self, capsys, tmp_path):
+        args = ["simulate", "--algorithm", "tsqr", "--rows", "262144",
+                "--cols", "64", "--sites", "1", "--domains-per-cluster", "16",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "cache: 1 simulated, 0 warm" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache: 0 simulated, 1 warm" in capsys.readouterr().out
+
+    def test_query_local_answers_json(self, capsys, tmp_path):
+        import json
+
+        args = ["query", "--algorithm", "tsqr", "--rows", "262144",
+                "--cols", "64", "--sites", "1", "--domains-per-cluster", "16",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["ok"] and cold["source"] == "simulated"
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["source"] == "disk"  # a fresh process: the disk tier answered
+        assert warm["time_s"] == cold["time_s"]
+        assert warm["key"] == cold["key"]
+
+    def test_query_best_tile(self, capsys, tmp_path):
+        args = ["query", "--algorithm", "caqr", "--runtime", "dag",
+                "--rows", "16384", "--cols", "128", "--sites", "4",
+                "--best-tile", "--candidates", "16,32", "--top-k", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "best tile size:" in out
+        assert "escalated 1 of 2 candidates" in out
+
+    def test_query_rejects_inapplicable_flags(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--burst needs --connect"):
+            main(["query", "--burst", "4"])
+        with pytest.raises(ConfigurationError, match="--stats needs --connect"):
+            main(["query", "--stats"])
+        with pytest.raises(ConfigurationError, match="--burst must be >= 1"):
+            main(["query", "--connect", "localhost:1", "--burst", "0"])
+        with pytest.raises(ConfigurationError, match="--candidates"):
+            main(["query", "--candidates", "16,32"])
+        with pytest.raises(ConfigurationError, match="drop --connect"):
+            main(["query", "--connect", "localhost:1", "--best-tile"])
+        with pytest.raises(ConfigurationError, match="server owns the cache"):
+            main(["query", "--connect", "localhost:1", "--no-cache"])
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            main(["query", "--connect", "nocolon"])
+        with pytest.raises(ConfigurationError, match="tiled algorithms"):
+            main(["query", "--best-tile", "--algorithm", "tsqr"])
+        with pytest.raises(ConfigurationError, match="drop --tile-size"):
+            main(["query", "--algorithm", "caqr", "--best-tile",
+                  "--tile-size", "32"])
+
+    def test_serve_rejects_bad_flags(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            main(["serve", "--jobs", "0"])
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            main(["serve", "--no-cache", "--cache-dir", "somewhere"])
+        with pytest.raises(ConfigurationError, match="batch_window_s"):
+            main(["serve", "--batch-window-ms", "-1"])
