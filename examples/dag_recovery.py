@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Rank-failure recovery on the task-DAG runtime: kill ranks, keep the bits.
+
+The paper's setting is a *grid* — federated, volatile resources where
+processes disappear mid-run.  This example injects deterministic rank
+deaths into a real tiled Cholesky factorization and demonstrates the
+fault-tolerance contract end to end:
+
+1. under every tested failure schedule the recovered factor is
+   **bit-identical** to the failure-free run — survivors recompute exactly
+   the lost-version closure from the versions they still hold;
+2. the recovery accounting (rounds, tasks re-executed, makespan overhead)
+   is exactly-once and fully deterministic: the same ``(config, schedule)``
+   reproduces the same trace, to the byte;
+3. the same schedule against SPMD CAQR deterministically *aborts* with
+   ``RankFailedError`` — the communication structure of an SPMD program is
+   baked into its text, so there is nothing to re-place lost work onto.
+   The task graph is what makes recovery possible.
+
+Run with::
+
+    python examples/dag_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag import DAGFactorizationConfig, run_dag_factorization
+from repro.exceptions import RankFailedError
+from repro.experiments.grid5000 import grid5000_platform
+from repro.gridsim.failures import FailureSchedule, RankFailure
+from repro.programs.caqr import CAQRConfig, run_parallel_caqr
+from repro.util.random_matrices import random_matrix
+
+
+def spd_matrix(n: int, *, seed: int = 0) -> np.ndarray:
+    """A well-conditioned symmetric positive-definite test matrix."""
+    a = random_matrix(n, n, seed=seed)
+    return a @ a.T + n * np.eye(n)
+
+
+def main() -> None:
+    platform = grid5000_platform(2)
+    print(f"platform: {platform.n_processes} ranks over {platform.n_sites} sites\n")
+
+    # ---- real payload: bit-identical L under every schedule
+    n, tile = 384, 16
+    a = spd_matrix(n, seed=7)
+    config = DAGFactorizationConfig(m=n, n=n, tile_size=tile, matrix=a,
+                                    algorithm="cholesky")
+    baseline = run_dag_factorization(platform, config)
+    print(f"real {n} x {n} Cholesky, tile {tile}: "
+          f"failure-free makespan {baseline.makespan_s:.4f} s")
+
+    schedules = (
+        # death at startup: every task of the dead rank runs on survivors
+        FailureSchedule([RankFailure(3, at_time=0.0)]),
+        # death mid-run, pinned deterministically by event count: recovery
+        # executes only the lost-version closure — work whose outputs
+        # survive on other ranks is never redone (the exactly-once contract,
+        # visible as the re-executed count staying at/near zero)
+        FailureSchedule([RankFailure(5, after_events=40)]),
+        # two deaths at different moments: two recovery rounds, the second
+        # on a smaller survivor set
+        FailureSchedule([RankFailure(2, at_time=0.0),
+                         RankFailure(9, after_events=60)]),
+    )
+    for schedule in schedules:
+        run = run_dag_factorization(
+            platform, config,
+            failures=schedule,
+            baseline_makespan_s=baseline.makespan_s,
+        )
+        # This example doubles as a CI smoke gate: fail loudly, don't print.
+        assert run.recovery is not None, "the schedule never fired"
+        assert np.array_equal(run.r, baseline.r), "recovery changed the bits"
+        rec = run.recovery
+        dead = " ".join(str(r) for r in rec.dead_ranks)
+        print(f"  kill rank(s) {dead:5s}: L bit-identical, "
+              f"{rec.rounds} round(s), {rec.tasks_reexecuted} task(s) "
+              f"re-executed, overhead {rec.makespan_overhead_s:.4f} s "
+              f"({rec.makespan_overhead_pct:.1f}%)")
+
+    # ---- determinism: same (config, schedule) -> same trace, same report
+    schedule = FailureSchedule([RankFailure(2, at_time=0.0),
+                                RankFailure(9, after_events=60)])
+    once = run_dag_factorization(platform, config, failures=schedule)
+    again = run_dag_factorization(platform, config, failures=schedule)
+    assert once.makespan_s == again.makespan_s
+    assert once.trace == again.trace
+    assert once.recovery.as_dict() == again.recovery.as_dict()
+    print("\nsame (config, schedule) twice: traces byte-identical: True")
+
+    # ---- the capability gap: SPMD CAQR cannot recover, by construction
+    m_spmd = 4 * tile * platform.n_processes
+    spmd_config = CAQRConfig(m=m_spmd, n=64, tile_size=tile)
+    try:
+        run_parallel_caqr(
+            platform, spmd_config,
+            failures=FailureSchedule.from_pairs(((3, 0.0),)),
+        )
+    except RankFailedError as exc:
+        print(f"SPMD CAQR under the same death: aborts as designed\n  ({exc})")
+    else:
+        raise AssertionError("SPMD CAQR survived a rank death it cannot handle")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,11 +38,13 @@ from repro.dag.placement import PLACEMENT_POLICIES, PRIORITY_POLICIES
 from repro.experiments import (
     CAQR_SWEEP_N,
     DAG_CHOLESKY_SWEEP_N,
+    DAG_FAILURES_SWEEP_N,
     DAG_SWEEP_N,
     ExperimentRunner,
     caqr_sweep,
     dag_caqr_sweep,
     dag_cholesky_sweep,
+    dag_failures_sweep,
     figure3_network,
     figure4,
     figure5,
@@ -103,6 +105,13 @@ examples:
       # 8 identical concurrent queries; single-flight runs ONE simulation
   repro query --algorithm caqr --runtime dag --rows 16384 --cols 128 \\
       --best-tile --candidates 16,32,64 --top-k 2   # Eq.(1) ranks, top-k simulate
+  repro simulate --algorithm cholesky --cols 4096 --tile-size 128 \\
+      --fail-rank 5 --fail-at 0.02 --fail-rank 11 --fail-at 0.05 \\
+      # two deterministic rank deaths; the DAG runtime re-executes lost work
+  repro figure --id dag-failures --failure-counts 0,1,2,4 \\
+      # recovery-overhead curve, written to results/dag_failures.csv
+  repro query --connect 127.0.0.1:8642 --retries 4 --timeout 2.0 --cols 64 \\
+      # bounded retry with exponential backoff against a flaky server
 """
 
 
@@ -131,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="run one evaluation point on the simulated grid")
     _add_point_flags(simulate)
+    simulate.add_argument(
+        "--fail-rank",
+        type=int,
+        action="append",
+        metavar="R",
+        help="kill this rank mid-run (repeatable; each use pairs with one "
+        "--fail-at; needs a DAG-runtime point, which recovers by "
+        "re-executing the lost work)",
+    )
+    simulate.add_argument(
+        "--fail-at",
+        type=float,
+        action="append",
+        metavar="T",
+        help="virtual time in seconds of the matching --fail-rank death "
+        "(repeatable)",
+    )
     _add_cache_flags(simulate)
 
     figure = sub.add_parser("figure", help="regenerate a figure or table of the paper")
@@ -141,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "table1", "table2", "table2-sweep", "caqr-sweep", "dag-caqr-sweep",
-            "dag-cholesky-sweep",
+            "dag-cholesky-sweep", "dag-failures",
         ),
         help="which artefact to regenerate",
     )
@@ -151,7 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="column count N of the panel (default: 64; caqr-sweep and "
         f"dag-caqr-sweep: the paper's widest N={CAQR_SWEEP_N}; "
-        f"dag-cholesky-sweep: the matrix order, default {DAG_CHOLESKY_SWEEP_N[0]})",
+        f"dag-cholesky-sweep: the matrix order, default {DAG_CHOLESKY_SWEEP_N[0]}; "
+        f"dag-failures: the matrix order, default {DAG_FAILURES_SWEEP_N[0]})",
     )
     figure.add_argument(
         "--points",
@@ -183,7 +210,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="row/column tile size of the caqr-sweep (default: 64), "
-        "dag-caqr-sweep and dag-cholesky-sweep (default: 128) artefacts",
+        "dag-caqr-sweep, dag-cholesky-sweep and dag-failures (default: 128) "
+        "artefacts",
     )
     figure.add_argument(
         "--panel-tree",
@@ -214,7 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
         "processes (fig4-fig8, table2-sweep, caqr-sweep; results are "
         "byte-identical to a serial run)",
     )
-    figure.add_argument("--csv", type=str, default=None, help="write the series to this CSV file")
+    figure.add_argument(
+        "--failure-counts",
+        type=str,
+        default=None,
+        help="comma-separated failure counts of the dag-failures sweep "
+        "(default: 0,1,2,4)",
+    )
+    figure.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="write the series to this CSV file "
+        "(dag-failures default: results/dag_failures.csv)",
+    )
     _add_cache_flags(figure)
 
     serve = sub.add_parser(
@@ -285,6 +326,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         help="predictor error band of the escalation shortlist (default: 0.5)",
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="transport retry budget of a --connect request: up to this many "
+        "re-attempts with exponential backoff after a connect/read failure "
+        "(default: 2; queries are idempotent, so retrying is safe)",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="connect/read timeout of each --connect attempt (default: 10)",
     )
     _add_cache_flags(query)
     return parser
@@ -371,6 +427,19 @@ def _parse_domains(spec: str) -> tuple[int, ...]:
         raise ConfigurationError(f"invalid domain count in {spec!r}: {exc}") from exc
     if not counts:
         raise ConfigurationError(f"no domain counts in {spec!r}")
+    return counts
+
+
+def _parse_failure_counts(spec: str) -> tuple[int, ...]:
+    """Parse a comma-separated failure-count sweep such as ``"0,1,2,4"``."""
+    try:
+        counts = tuple(int(c) for c in spec.split(",") if c.strip())
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid failure count in {spec!r}: {exc}") from exc
+    if not counts:
+        raise ConfigurationError(f"no failure counts in {spec!r}")
+    if any(c < 0 for c in counts):
+        raise ConfigurationError(f"failure counts must be >= 0, got {spec!r}")
     return counts
 
 
@@ -462,6 +531,26 @@ def _point_config_from_args(args: argparse.Namespace) -> dict[str, object]:
     if uses_dag:
         config["placement"] = args.placement or "block"
         config["priority"] = args.priority or "critical-path"
+    # Failure injection (the simulate command only; query has no such flags).
+    fail_ranks = getattr(args, "fail_rank", None)
+    fail_times = getattr(args, "fail_at", None)
+    if fail_ranks or fail_times:
+        if not uses_dag:
+            raise ConfigurationError(
+                "--fail-rank/--fail-at need the task-DAG runtime: an SPMD "
+                "program's communication structure is fixed in its text, so "
+                "a rank death strands every survivor in a revoked collective "
+                "with no way to re-place the lost work; run with --runtime "
+                "dag (or --algorithm cholesky/lu) to get re-execution "
+                "recovery"
+            )
+        if len(fail_ranks or ()) != len(fail_times or ()):
+            raise ConfigurationError(
+                "--fail-rank and --fail-at come in pairs: got "
+                f"{len(fail_ranks or ())} rank(s) and {len(fail_times or ())} "
+                "time(s)"
+            )
+        config["failures"] = tuple(zip(fail_ranks, fail_times))
     return config
 
 
@@ -482,6 +571,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if point.critical_path_s is not None:
         print(f"\ncritical-path lower bound: {point.critical_path_s:.4f} s "
               f"({point.critical_path_s / point.time_s * 100:.1f}% of the makespan)")
+    if point.recovery:
+        rec = point.recovery
+        dead = " ".join(str(r) for r in rec["dead_ranks"])
+        print(f"\nrecovered from rank death(s) {dead}: "
+              f"{rec['rounds']} round(s), {rec['tasks_reexecuted']} task(s) "
+              f"re-executed ({rec['tasks_executed']} executed in recovery), "
+              f"overhead {rec['makespan_overhead_s']:.4f} s "
+              f"({rec['makespan_overhead_pct']:.1f}% of the failure-free run)")
     peak = runner.platform(args.sites).practical_peak_gflops()
     print(f"\npractical peak of the reservation: {peak:.0f} Gflop/s "
           f"({point.gflops / peak * 100:.1f}% achieved)")
@@ -498,7 +595,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             "--rows only applies to --id table2-sweep, caqr-sweep and dag-caqr-sweep"
             + (
                 " (tiled Cholesky is square; set the order with --cols)"
-                if args.figure_id == "dag-cholesky-sweep"
+                if args.figure_id in ("dag-cholesky-sweep", "dag-failures")
                 else ""
             )
         )
@@ -514,11 +611,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     ):
         raise ConfigurationError("--points only applies to fig4..fig8")
     if args.tile_size is not None and args.figure_id not in (
-        "caqr-sweep", "dag-caqr-sweep", "dag-cholesky-sweep"
+        "caqr-sweep", "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures"
     ):
         raise ConfigurationError(
-            "--tile-size only applies to --id caqr-sweep, dag-caqr-sweep "
-            "and dag-cholesky-sweep"
+            "--tile-size only applies to --id caqr-sweep, dag-caqr-sweep, "
+            "dag-cholesky-sweep and dag-failures"
         )
     if args.panel_tree is not None and args.figure_id not in ("caqr-sweep", "dag-caqr-sweep"):
         raise ConfigurationError(
@@ -531,17 +628,21 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
         )
     if args.placement is not None and args.figure_id not in (
-        "dag-caqr-sweep", "dag-cholesky-sweep"
+        "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures"
     ):
         raise ConfigurationError(
-            "--placement only applies to --id dag-caqr-sweep and dag-cholesky-sweep"
+            "--placement only applies to --id dag-caqr-sweep, "
+            "dag-cholesky-sweep and dag-failures"
         )
     if args.priority is not None and args.figure_id not in (
-        "dag-caqr-sweep", "dag-cholesky-sweep"
+        "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures"
     ):
         raise ConfigurationError(
-            "--priority only applies to --id dag-caqr-sweep and dag-cholesky-sweep"
+            "--priority only applies to --id dag-caqr-sweep, "
+            "dag-cholesky-sweep and dag-failures"
         )
+    if args.failure_counts is not None and args.figure_id != "dag-failures":
+        raise ConfigurationError("--failure-counts only applies to --id dag-failures")
     if args.jobs is not None:
         if args.figure_id in ("fig3", "table1", "table2"):
             raise ConfigurationError(
@@ -563,6 +664,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             if args.figure_id == "dag-caqr-sweep"
             else DAG_CHOLESKY_SWEEP_N[0]
             if args.figure_id == "dag-cholesky-sweep"
+            else DAG_FAILURES_SWEEP_N[0]
+            if args.figure_id == "dag-failures"
             else 64
         )
     if args.figure_id == "fig3":
@@ -609,6 +712,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if args.priority is not None:
             kwargs["priorities"] = (args.priority,)
         rows = dag_cholesky_sweep(runner, **kwargs)
+    elif args.figure_id == "dag-failures":
+        kwargs = {"n": n}  # rejected by DAGFactorizationConfig if invalid
+        if args.tile_size is not None:
+            kwargs["tile_size"] = args.tile_size
+        if args.placement is not None:
+            kwargs["placement"] = args.placement
+        if args.priority is not None:
+            kwargs["priority"] = args.priority
+        if args.failure_counts is not None:
+            kwargs["failure_counts"] = _parse_failure_counts(args.failure_counts)
+        rows = dag_failures_sweep(runner, **kwargs)
     else:
         builder = {"fig4": figure4, "fig5": figure5, "fig6": figure6, "fig7": figure7,
                    "fig8": figure8}[args.figure_id]
@@ -627,8 +741,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         rows = fig.as_rows()
     print(format_points(rows))
     _print_cache_line(runner)
-    if args.csv:
-        path = write_csv(args.csv, rows)
+    # The fault-tolerance sweep is an acceptance artefact: it always leaves
+    # its CSV behind (CI uploads it), --csv only moves it elsewhere.
+    csv_path = args.csv
+    if csv_path is None and args.figure_id == "dag-failures":
+        csv_path = "results/dag_failures.csv"
+    if csv_path:
+        path = write_csv(csv_path, rows)
         print(f"\nseries written to {path}")
     return 0
 
@@ -692,7 +811,7 @@ def _cmd_query_best_tile(args: argparse.Namespace, runner: ExperimentRunner) -> 
     candidates = [spec_from_config({**base, "tile_size": t}) for t in tiles]
     result = policy.best_config(candidates, runner)
     simulated = {p.spec.tile_size: p for p in result.simulated}
-    best_tile = result.best.spec.tile_size
+    best_tile = result.best_candidate.spec.tile_size
     print(f"best-tile query: {args.algorithm} m={base['m']} n={base['n']} "
           f"sites={base['n_sites']} over {len(tiles)} candidates")
     print(f"{'tile':>6} {'predicted_s':>12} {'simulated_s':>12}")
@@ -704,7 +823,16 @@ def _cmd_query_best_tile(args: argparse.Namespace, runner: ExperimentRunner) -> 
         print(f"{tile:>6} {candidate.predicted_s:>12.4f} {sim_txt:>12}{mark}")
     print(f"escalated {result.simulations} of {len(tiles)} candidates "
           f"(top_k={policy.top_k}, margin={policy.margin})")
-    print(f"best tile size: {best_tile} ({result.best.time_s:.4f} s simulated)")
+    if result.degraded:
+        print("degraded: true (simulation tier failed for "
+              f"{len(result.errors)} shortlisted candidate(s): "
+              + "; ".join(result.errors) + ")")
+    if result.best is not None:
+        print(f"best tile size: {best_tile} ({result.best.time_s:.4f} s simulated)")
+    else:
+        print(f"best tile size: {best_tile} "
+              f"({result.best_candidate.predicted_s:.4f} s predicted — "
+              "predictor-only answer)")
     _print_cache_line(runner)
     return 0
 
@@ -716,6 +844,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ConfigurationError("--stats is a request of its own; drop --burst/--best-tile")
     if args.candidates is not None and not args.best_tile:
         raise ConfigurationError("--candidates only applies to --best-tile")
+    if (args.retries is not None or args.timeout is not None) and args.connect is None:
+        raise ConfigurationError(
+            "--retries/--timeout shape the TCP client; a local query never "
+            "leaves the process — drop them or add --connect"
+        )
+    if args.retries is not None and args.retries < 0:
+        raise ConfigurationError(f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise ConfigurationError(f"--timeout must be > 0 seconds, got {args.timeout}")
     if args.connect is not None:
         # Remote mode: the server owns the cache; local cache flags are noise.
         if args.no_cache or args.cache_dir is not None:
@@ -728,12 +865,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "--best-tile queries are answered locally; drop --connect"
             )
         host, port = _parse_hostport(args.connect)
+        client = {}
+        if args.retries is not None:
+            client["retries"] = args.retries
+        if args.timeout is not None:
+            client["timeout_s"] = args.timeout
         if args.stats:
-            print(json.dumps(remote_stats(host, port), indent=2, sort_keys=True))
+            print(json.dumps(remote_stats(host, port, **client),
+                             indent=2, sort_keys=True))
             return 0
         config = _point_config_from_args(args)
         if args.burst is not None:
-            replies = remote_burst(host, port, config, args.burst)
+            replies = remote_burst(host, port, config, args.burst, **client)
             counts: dict[str, int] = {}
             for reply in replies:
                 source = str(reply.get("source", "error"))
@@ -743,7 +886,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 indent=2, sort_keys=True,
             ))
             return 0
-        print(json.dumps(remote_query(host, port, config), indent=2, sort_keys=True))
+        print(json.dumps(remote_query(host, port, config, **client),
+                         indent=2, sort_keys=True))
         return 0
     if args.stats:
         raise ConfigurationError("--stats needs --connect (it reads a running server)")

@@ -58,6 +58,12 @@ from repro.dag.placement import (
     place_tasks,
     priority_order,
 )
+from repro.dag.recovery import (
+    RecoveryPlan,
+    RecoveryReport,
+    build_recovery_plan,
+    lost_version_closure,
+)
 from repro.dag.runtime import (
     DAGCAQRConfig,
     DAGFactorizationConfig,
@@ -100,6 +106,10 @@ __all__ = [
     "TaskPlacement",
     "place_tasks",
     "priority_order",
+    "RecoveryPlan",
+    "RecoveryReport",
+    "build_recovery_plan",
+    "lost_version_closure",
     "DAGCAQRConfig",
     "DAGFactorizationConfig",
     "DAGRunResult",

@@ -1,0 +1,245 @@
+"""DAG recovery planning: what to re-execute after rank deaths, and where.
+
+The DAG runtime can do what SPMD fundamentally cannot: after a rank dies,
+the task graph's read/write sets say exactly which *versions* of which tiles
+were lost and which surviving versions suffice to recompute them.  This
+module holds the pure planning half of the recovery path (the execution
+half lives in :mod:`repro.dag.runtime`):
+
+* :func:`lost_version_closure` — the definitional fixpoint: starting from
+  the tasks never effectively executed, repeatedly add the producer of any
+  needed version that no survivor holds.  Already-consumed versions whose
+  consumers all completed are *not* recomputed — the closure only chases
+  versions some pending task (or the result set) still needs.  Initial
+  versions (producer ``-1``) are durable input data, re-materialisable
+  anywhere for free, so they never force a producer in.
+* :func:`build_recovery_plan` — assignment of the closure's tasks onto
+  survivors (original rank when alive, round-robin otherwise), the
+  pre-seeding moves of surviving versions, the in-round message routes, and
+  the re-routed result-tile delivery.
+* :class:`RecoveryReport` — the exactly-once effective-execution
+  accounting surfaced on :class:`~repro.dag.runtime.DAGRunResult`.
+
+Everything here is deterministic: survivors, holders and assignments are
+iterated in sorted order, so two runs of the same ``(config, schedule)``
+build identical plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dag.graph import TaskGraph
+
+__all__ = [
+    "RecoveryReport",
+    "RecoveryPlan",
+    "build_recovery_plan",
+    "lost_version_closure",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Exactly-once accounting of one fault-tolerant DAG run.
+
+    ``tasks_reexecuted`` counts executions of tasks that had *already*
+    effectively executed on a survivor (their work was redone because a
+    version they produced was lost); ``tasks_executed`` counts every task
+    execution performed by recovery rounds, including the dead ranks'
+    never-finished tasks (executed for the first effective time).  Both are
+    cumulative over ``rounds`` (one round per distinct set of dead ranks).
+    """
+
+    dead_ranks: tuple[int, ...]
+    death_times: tuple[float, ...]
+    rounds: int
+    tasks_reexecuted: int
+    tasks_executed: int
+    makespan_s: float
+    baseline_makespan_s: float
+
+    @property
+    def makespan_overhead_s(self) -> float:
+        """Extra simulated seconds paid for surviving the failures."""
+        return self.makespan_s - self.baseline_makespan_s
+
+    @property
+    def makespan_overhead_pct(self) -> float:
+        """Overhead as a percentage of the failure-free makespan."""
+        if self.baseline_makespan_s <= 0.0:
+            return 0.0
+        return 100.0 * self.makespan_overhead_s / self.baseline_makespan_s
+
+    def as_dict(self) -> dict:
+        """JSON-safe view (cached result payloads and CLI reports)."""
+        return {
+            "dead_ranks": list(self.dead_ranks),
+            "death_times": list(self.death_times),
+            "rounds": self.rounds,
+            "tasks_reexecuted": self.tasks_reexecuted,
+            "tasks_executed": self.tasks_executed,
+            "makespan_s": self.makespan_s,
+            "baseline_makespan_s": self.baseline_makespan_s,
+            "makespan_overhead_s": self.makespan_overhead_s,
+            "makespan_overhead_pct": self.makespan_overhead_pct,
+        }
+
+
+def lost_version_closure(
+    graph: "TaskGraph",
+    done: set[int],
+    available_vkeys: set[int],
+    wanted_vkeys: set[int],
+) -> set[int]:
+    """Tasks that must (re-)execute given what survived.
+
+    ``done`` is the set of tasks effectively executed on survivors;
+    ``available_vkeys`` the versioned values (``(producer+1)*H + handle``)
+    any survivor still holds; ``wanted_vkeys`` the final versions of the
+    result tiles.  The fixpoint starts from the never-executed tasks and
+    adds the producer of any version that is needed (as an input of a task
+    in the set, or as a result tile) but neither survives nor is already
+    being recomputed.  Initial versions (``vkey < n_handles``) are durable
+    input data and never force anything in.
+    """
+    H = graph.n_handles
+    tasks = graph.tasks
+    closure = {t for t in range(len(tasks)) if t not in done}
+    while True:
+        needed = set(wanted_vkeys)
+        for t in closure:
+            task = tasks[t]
+            for h, p in zip(task.reads, task.read_producers):
+                needed.add((p + 1) * H + h)
+        grew = False
+        for vkey in needed:
+            producer = vkey // H - 1
+            if (
+                producer >= 0
+                and vkey not in available_vkeys
+                and producer not in closure
+            ):
+                closure.add(producer)
+                grew = True
+        if not grew:
+            return closure
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """One recovery round: what runs where, and every message of the round.
+
+    ``tasks`` is the lost-version closure in task-id (topological) order;
+    the round executes it with a blocking send/recv protocol over the
+    survivors-only communicator that is deadlock-free by the standard
+    induction on topological order.  ``preseed`` moves surviving versions
+    to the ranks that will consume them *before* any task runs (eager
+    sends, so the phase cannot block); ``sends``/``recvs`` route versions
+    produced within the round; ``materialize`` lists durable initial
+    versions a rank rebuilds locally; ``deliver`` re-routes result tiles
+    whose original final rank died.
+    """
+
+    tasks: tuple[int, ...]
+    assign: dict[int, int]
+    preseed: tuple[tuple[int, int, int], ...]  # (vkey, src rank, dest rank)
+    sends: dict[int, tuple[tuple[int, int], ...]]  # producer -> ((vkey, dest), ...)
+    recvs: dict[int, tuple[tuple[int, int], ...]]  # task -> ((vkey, src), ...)
+    materialize: dict[int, tuple[int, ...]]  # task -> initial vkeys to rebuild
+    deliver: dict[int, tuple[tuple[int, int], ...]]  # rank -> ((handle, vkey), ...)
+    tasks_reexecuted: int
+
+
+def build_recovery_plan(
+    graph: "TaskGraph",
+    survivors: Sequence[int],
+    registry: Mapping[int, dict],
+    wanted: Sequence[tuple[int, int]],
+    original_rank_of: Sequence[int],
+) -> RecoveryPlan:
+    """Plan one recovery round from the survivors' registered partial state.
+
+    ``registry`` maps each survivor to its live ``{"store": {vkey: value},
+    "done": {task ids}}``; ``wanted`` is the global ``(handle, final
+    vkey)`` result set; ``original_rank_of`` the failure-free placement.
+    Built exactly once per round (through the simulation-state memo) by
+    whichever survivor arrives first — the idealised global-knowledge
+    coordinator of the model.
+    """
+    H = graph.n_handles
+    surv_sorted = tuple(sorted(survivors))
+    alive = set(surv_sorted)
+    done_global: set[int] = set()
+    for r in surv_sorted:
+        done_global |= registry[r]["done"]
+    holders: dict[int, int] = {}
+    for r in surv_sorted:
+        for vkey in registry[r]["store"]:
+            if vkey not in holders:
+                holders[vkey] = r
+
+    wanted_vkeys = {vkey for _h, vkey in wanted}
+    closure = lost_version_closure(graph, done_global, set(holders), wanted_vkeys)
+    tasks = tuple(sorted(closure))
+
+    assign: dict[int, int] = {}
+    for t in tasks:
+        origin = original_rank_of[t]
+        assign[t] = origin if origin in alive else surv_sorted[t % len(surv_sorted)]
+
+    preseed: list[tuple[int, int, int]] = []
+    sends: dict[int, list[tuple[int, int]]] = {}
+    recvs: dict[int, list[tuple[int, int]]] = {}
+    materialize: dict[int, list[int]] = {}
+    routed: set[tuple[int, int]] = set()  # (vkey, dest) already travelling
+    for t in tasks:
+        dest = assign[t]
+        dest_store = registry[dest]["store"]
+        task = graph.tasks[t]
+        for h, p in zip(task.reads, task.read_producers):
+            vkey = (p + 1) * H + h
+            if (vkey, dest) in routed:
+                continue
+            if p >= 0 and p in closure:
+                # Produced within this round; route it if it crosses ranks.
+                src = assign[p]
+                if src != dest:
+                    routed.add((vkey, dest))
+                    sends.setdefault(p, []).append((vkey, dest))
+                    recvs.setdefault(t, []).append((vkey, src))
+            elif p >= 0:
+                if vkey in dest_store:
+                    continue
+                holder = holders[vkey]  # the closure guarantees a holder
+                routed.add((vkey, dest))
+                preseed.append((vkey, holder, dest))
+            else:
+                if vkey not in dest_store:
+                    routed.add((vkey, dest))
+                    materialize.setdefault(t, []).append(vkey)
+
+    deliver: dict[int, list[tuple[int, int]]] = {}
+    for h, vkey in wanted:
+        producer = vkey // H - 1
+        if producer >= 0 and producer in closure:
+            deliver.setdefault(assign[producer], []).append((h, vkey))
+        elif vkey in holders:
+            deliver.setdefault(holders[vkey], []).append((h, vkey))
+        else:
+            # A durable initial version nobody holds: the first survivor
+            # re-materialises it at delivery time.
+            deliver.setdefault(surv_sorted[0], []).append((h, vkey))
+
+    return RecoveryPlan(
+        tasks=tasks,
+        assign=assign,
+        preseed=tuple(preseed),
+        sends={t: tuple(v) for t, v in sends.items()},
+        recvs={t: tuple(v) for t, v in recvs.items()},
+        materialize={t: tuple(v) for t, v in materialize.items()},
+        deliver={r: tuple(v) for r, v in deliver.items()},
+        tasks_reexecuted=len(closure & done_global),
+    )

@@ -56,8 +56,11 @@ from repro.dag.placement import (
     place_tasks,
     priority_order,
 )
-from repro.exceptions import ConfigurationError
+from repro.dag.recovery import RecoveryReport, build_recovery_plan
+from repro.exceptions import ConfigurationError, RankFailedError
+from repro.gridsim.communicator import CommCore, CommHandle
 from repro.gridsim.executor import RankContext, SimulationResult
+from repro.gridsim.failures import FailureSchedule
 from repro.gridsim.kernelmodel import KernelRateModel
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
@@ -360,11 +363,15 @@ def dag_program(
     order: tuple[int, ...],
     spec: _ExecSpec,
     collect: list[list[tuple[int, int]]],
+    _capture: dict | None = None,
 ):
     """Dataflow execution of ``graph`` on one simulated rank.
 
     A generator: blocking receives and the per-task ``yield_turn`` suspend
-    via ``yield from``.
+    via ``yield from``.  ``_capture``, when given, receives references to
+    this rank's live ``store``/``done``/``schedule`` so the fault-tolerant
+    wrapper can salvage partial state after a :class:`RankFailedError`;
+    the no-failure execution path is unchanged.
     """
     comm = ctx.comm
     me = comm.rank
@@ -381,6 +388,10 @@ def dag_program(
     keep = {vkey for _h, vkey in collect[me]}
     done: set[int] = set()
     schedule: list[ScheduleEntry] | None = [] if spec.record_schedule else None
+    if _capture is not None:
+        _capture["store"] = store
+        _capture["done"] = done
+        _capture["schedule"] = schedule
 
     def _consume(vkey: int) -> None:
         # One use of a stored version; the last use frees it (result tiles
@@ -501,6 +512,160 @@ def dag_program(
 
 
 # ---------------------------------------------------------------------------
+# Fault-tolerant execution (the DAG recovery protocol)
+# ---------------------------------------------------------------------------
+
+def dag_program_ft(
+    ctx: RankContext,
+    graph: TaskGraph,
+    plan: _CommPlan,
+    order: tuple[int, ...],
+    spec: _ExecSpec,
+    collect: list[list[tuple[int, int]]],
+    report: dict,
+):
+    """Fault-tolerant dataflow execution: ``dag_program`` plus recovery.
+
+    Round zero is the ordinary ready loop; a rank that observes a death
+    (its communicator raises :class:`RankFailedError`) keeps its partial
+    state — completed tasks and the versions still in its store — and joins
+    a recovery round with the other survivors.  The trailing completion
+    barrier pins the exit protocol: no rank returns while a peer might
+    still fail and need this rank's surviving versions (deadlines fire at
+    operation entries only, so a completed world barrier means no further
+    deaths are possible).
+
+    Each recovery round re-executes the lost-version closure on a
+    survivors-only communicator; further deaths revoke *that* communicator
+    and simply start the next round with the smaller survivor set.
+    ``report`` (one shared dict, harness-owned) accumulates the
+    exactly-once accounting across rounds.
+    """
+    capture: dict = {}
+    try:
+        tiles, schedule = yield from dag_program(
+            ctx, graph, plan, order, spec, collect, _capture=capture
+        )
+        yield from ctx.comm.barrier()
+        return tiles, schedule
+    except RankFailedError:
+        pass
+    while True:
+        try:
+            return (yield from _recovery_round(
+                ctx, graph, plan, spec, collect, capture, report
+            ))
+        except RankFailedError:
+            continue
+
+
+def _recovery_round(
+    ctx: RankContext,
+    graph: TaskGraph,
+    plan: _CommPlan,
+    spec: _ExecSpec,
+    collect: list[list[tuple[int, int]]],
+    capture: dict,
+    report: dict,
+):
+    """One recovery round over the current survivor set.
+
+    The model is an idealised, instantaneous failure detector: the set of
+    dead ranks is global knowledge (``state.dead_ranks``), so every
+    survivor independently computes the same survivor list and the round's
+    plan is built exactly once through the simulation-state memo — the
+    global-knowledge coordinator a real ULFM recovery would elect.
+
+    Execution is deliberately simple (recovery is the cold path): first the
+    surviving versions the plan needs elsewhere are pre-seeded with eager
+    sends, then the closure's tasks run in task-id — topological — order
+    with blocking tag-matched receives, which is deadlock-free by the usual
+    induction on that order.  Versions produced in recovery are never
+    freed; the round ends with a completion barrier and re-routed result
+    delivery.
+    """
+    state = ctx.state
+    me = ctx.rank
+    dead = tuple(sorted(state.dead_ranks))
+    world_ranks = ctx.comm.core.world_ranks
+    survivors = tuple(r for r in world_ranks if r not in state.dead_ranks)
+    era = ("dag-recovery", dead)
+
+    registry = state.shared((*era, "registry"), dict)
+    registry[me] = capture
+    core = state.shared(
+        (*era, "comm"),
+        lambda: CommCore(state, survivors, name=f"dag-recovery-{len(dead)}"),
+    )
+    comm = CommHandle(core, survivors.index(me))
+    # Everyone has registered once this barrier completes; the plan below
+    # therefore sees a consistent global snapshot.
+    yield from comm.barrier()
+
+    wanted = tuple((h, vkey) for per_rank in collect for (h, vkey) in per_rank)
+
+    def _build_plan():
+        rplan = build_recovery_plan(
+            graph, survivors, registry, wanted, plan.placement.task_rank
+        )
+        report["dead_ranks"] = list(dead)
+        report["death_times"] = [state.death_time[r] for r in dead]
+        report["rounds"] = report.get("rounds", 0) + 1
+        report["tasks_reexecuted"] = (
+            report.get("tasks_reexecuted", 0) + rplan.tasks_reexecuted
+        )
+        report["tasks_executed"] = report.get("tasks_executed", 0) + len(rplan.tasks)
+        return rplan
+
+    rplan = state.shared((*era, "plan"), _build_plan)
+    local = {wr: i for i, wr in enumerate(survivors)}
+    store: dict[int, object] = capture["store"]
+    done: set[int] = capture["done"]
+    H = plan.n_handles
+
+    # Pre-seed surviving versions (eager sends first — this phase cannot
+    # block — then the matching receives).
+    for vkey, src, dest in rplan.preseed:
+        if src == me:
+            comm.send(store[vkey], dest=local[dest], tag=vkey)
+    for vkey, src, dest in rplan.preseed:
+        if dest == me:
+            store[vkey] = yield from comm.recv(source=local[src], tag=vkey)
+
+    for tid in rplan.tasks:
+        if rplan.assign[tid] != me:
+            continue
+        for vkey, src in rplan.recvs.get(tid, ()):
+            store[vkey] = yield from comm.recv(source=local[src], tag=vkey)
+        for vkey in rplan.materialize.get(tid, ()):
+            store[vkey] = _initial_value(graph, vkey, spec)
+        task = graph.tasks[tid]
+        inputs = [
+            store[(prod + 1) * H + h]
+            for h, prod in zip(task.reads, task.read_producers)
+        ]
+        outputs = _execute_task(task, inputs, spec)
+        ctx.compute(task.flops, kernel=task.kernel_class, n=task.width)
+        base = (tid + 1) * H
+        for h, value in zip(task.writes, outputs):
+            store[base + h] = value
+        done.add(tid)
+        for vkey, dest in rplan.sends.get(tid, ()):
+            comm.send(store[vkey], dest=local[dest], tag=vkey)
+        yield from ctx.yield_turn()
+
+    # Completion barrier of the round: same exit-protocol argument as the
+    # fault-free path's (no deaths are possible once it completes).
+    yield from comm.barrier()
+    tiles = {}
+    for h, vkey in rplan.deliver.get(me, ()):
+        if vkey not in store and vkey < H:
+            store[vkey] = _initial_value(graph, vkey, spec)
+        tiles[h] = store[vkey]
+    return tiles, capture.get("schedule")
+
+
+# ---------------------------------------------------------------------------
 # Harnesses
 # ---------------------------------------------------------------------------
 
@@ -510,7 +675,9 @@ class DAGRunResult:
 
     ``r`` is the assembled factor of a real-payload run (upper-triangular
     ``R`` for QR/TSQR, lower-triangular ``L`` for Cholesky, the packed
-    ``L\\U`` for LU; ``None`` in virtual mode).
+    ``L\\U`` for LU; ``None`` in virtual mode).  ``recovery`` is the
+    fault-tolerance accounting of a run with an injected failure schedule
+    (``None`` on ordinary runs, and also when the schedule never fired).
     """
 
     r: np.ndarray | None
@@ -523,6 +690,7 @@ class DAGRunResult:
     schedule: tuple[ScheduleEntry, ...] | None = field(default=None, repr=False)
     simulation: SimulationResult | None = field(default=None, repr=False)
     config: DAGFactorizationConfig | None = None
+    recovery: RecoveryReport | None = None
 
     @property
     def time_s(self) -> float:
@@ -537,7 +705,10 @@ class DAGRunResult:
 
 def _merge_schedules(results) -> tuple[ScheduleEntry, ...]:
     entries: list[ScheduleEntry] = []
-    for _tiles, sched in results:
+    for res in results:
+        if res is None:  # a rank that died mid-run returns nothing
+            continue
+        _tiles, sched = res
         if sched:
             entries.extend(sched)
     entries.sort(key=lambda e: (e.start_s, e.rank, e.task))
@@ -551,6 +722,8 @@ def run_dag_factorization(
     record_messages: bool = False,
     record_schedule: bool = False,
     engine: str | None = None,
+    failures: FailureSchedule | None = None,
+    baseline_makespan_s: float | None = None,
 ) -> DAGRunResult:
     """Run any registered DAG factorization on ``platform``.
 
@@ -561,9 +734,21 @@ def run_dag_factorization(
     untouched by construction.  Real payloads return the assembled factor
     (``R``/``L``/``L\\U``); virtual payloads return ``r=None`` and the
     trace/critical-path summary only.
+
+    ``failures`` switches the run to the fault-tolerant program: scheduled
+    ranks die mid-run and the survivors re-execute the lost work, so real
+    payloads still return the bit-identical factor.  The failure-free
+    baseline needed for the overhead accounting is simulated internally
+    unless ``baseline_makespan_s`` is supplied (sweeps pass the cached
+    baseline to avoid re-simulating it per schedule).
     """
     alg: AlgorithmSpec = algorithm_spec(config.algorithm)
     p = platform.n_processes
+    if failures is not None and set(failures.ranks) >= set(range(p)):
+        raise ConfigurationError(
+            "the failure schedule names every rank of the platform; "
+            "at least one rank must survive to run the recovery"
+        )
     if alg.uses_panel_tree:
         clusters = tuple(platform.placement.cluster_of(r) for r in range(p))
         graph = cached_graph(
@@ -582,22 +767,57 @@ def run_dag_factorization(
         inner_b=min(config.nb, config.tile_size),
         record_schedule=record_schedule,
     )
-    run = run_program(
-        platform,
-        dag_program,
-        graph,
-        plan,
-        order,
-        spec,
-        collect,
-        flop_count=config.flop_count(),
-        record_messages=record_messages,
-        engine=engine,
-    )
+    recovery = None
+    if failures is None:
+        run = run_program(
+            platform,
+            dag_program,
+            graph,
+            plan,
+            order,
+            spec,
+            collect,
+            flop_count=config.flop_count(),
+            record_messages=record_messages,
+            engine=engine,
+        )
+    else:
+        if baseline_makespan_s is None:
+            baseline_makespan_s = run_dag_factorization(
+                platform, config, engine=engine
+            ).makespan_s
+        report: dict = {}
+        run = run_program(
+            platform,
+            dag_program_ft,
+            graph,
+            plan,
+            order,
+            spec,
+            collect,
+            report,
+            flop_count=config.flop_count(),
+            record_messages=record_messages,
+            engine=engine,
+            failures=failures,
+        )
+        if report:
+            recovery = RecoveryReport(
+                dead_ranks=tuple(report["dead_ranks"]),
+                death_times=tuple(report["death_times"]),
+                rounds=report["rounds"],
+                tasks_reexecuted=report["tasks_reexecuted"],
+                tasks_executed=report["tasks_executed"],
+                makespan_s=run.makespan_s,
+                baseline_makespan_s=baseline_makespan_s,
+            )
     r = None
     if not config.virtual:
         tiles_by_key = {}
-        for tiles, _sched in run.results:
+        for res in run.results:
+            if res is None:  # a dead rank; its tiles were re-routed
+                continue
+            tiles, _sched = res
             for h, value in tiles.items():
                 tiles_by_key[graph.handle_keys[h]] = value
         r = alg.assemble(grid, config.m, config.n, tiles_by_key)
@@ -612,6 +832,7 @@ def run_dag_factorization(
         schedule=_merge_schedules(run.results) if record_schedule else None,
         simulation=run.simulation,
         config=config,
+        recovery=recovery,
     )
 
 
@@ -622,6 +843,8 @@ def run_dag_caqr(
     record_messages: bool = False,
     record_schedule: bool = False,
     engine: str | None = None,
+    failures: FailureSchedule | None = None,
+    baseline_makespan_s: float | None = None,
 ) -> DAGRunResult:
     """Run DAG-CAQR on ``platform`` and summarise its performance.
 
@@ -641,6 +864,8 @@ def run_dag_caqr(
         record_messages=record_messages,
         record_schedule=record_schedule,
         engine=engine,
+        failures=failures,
+        baseline_makespan_s=baseline_makespan_s,
     )
 
 

@@ -17,6 +17,8 @@ __all__ = [
     "CommunicatorError",
     "SimulationError",
     "DeadlockError",
+    "RankFailedError",
+    "ServiceUnavailableError",
     "DistributionError",
     "FactorizationError",
     "TreeError",
@@ -55,6 +57,28 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """The SPMD execution stalled: some ranks are blocked forever."""
+
+
+class RankFailedError(SimulationError):
+    """A communicator operation involved a rank that died mid-simulation.
+
+    Raised *inside* a surviving rank's program (in virtual time) when it
+    touches a communicator whose group contains a failed rank — the
+    simulated analogue of ULFM's ``MPI_ERR_PROC_FAILED`` /
+    ``MPI_ERR_REVOKED``.  Fault-tolerant programs (the DAG runtime's
+    recovery path) catch it and rebuild on a survivors-only communicator;
+    everything else (the SPMD programs) lets it propagate, which aborts the
+    run with this same type."""
+
+
+class ServiceUnavailableError(ReproError):
+    """The simulation service could not be reached.
+
+    Raised by the TCP client helpers after the bounded retry budget
+    (connect/read timeouts, exponential backoff between attempts) is
+    exhausted.  Carries the last underlying transport error in its
+    message; queries are pure cache lookups/simulations, so the retries
+    that preceded it were safe to issue."""
 
 
 class DistributionError(ReproError):

@@ -23,9 +23,11 @@ Index
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.experiments.grid5000 import CLUSTER_NAMES, PAPER_LATENCY_MS, PAPER_THROUGHPUT_MBITS
 from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
 from repro.dag.analysis import mean_idle_fraction, rank_utilization
@@ -38,6 +40,10 @@ from repro.experiments.workloads import (
     DAG_CHOLESKY_SWEEP_N,
     DAG_CHOLESKY_SWEEP_SITES,
     DAG_CHOLESKY_SWEEP_TILE,
+    DAG_FAILURES_COUNTS,
+    DAG_FAILURES_SWEEP_N,
+    DAG_FAILURES_SWEEP_SITES,
+    DAG_FAILURES_SWEEP_TILE,
     DAG_SWEEP_M,
     DAG_SWEEP_N,
     DAG_SWEEP_PRIORITIES,
@@ -70,6 +76,7 @@ __all__ = [
     "caqr_sweep",
     "dag_caqr_sweep",
     "dag_cholesky_sweep",
+    "dag_failures_sweep",
 ]
 
 
@@ -745,4 +752,113 @@ def dag_cholesky_sweep(
                     "Gflop/s": round(point.gflops, 2),
                 }
             )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# DAG-failures sweep: the cost of surviving rank deaths
+# ---------------------------------------------------------------------------
+
+def failure_schedule_pairs(
+    count: int, p: int, busy_s_per_rank: Sequence[float]
+) -> tuple[tuple[int, float], ...]:
+    """Deterministic ``(rank, at_time)`` pairs for a ``count``-failure point.
+
+    Victims walk the rank space with a stride coprime to any power-of-two
+    rank count (so they never collide and never all share one node).  Each
+    death time sits inside *that rank's own* compute window — between 25%
+    and 75% of its failure-free busy seconds — which guarantees the
+    deadline fires: deadlines are checked at op entries and compute
+    charges, and a rank's clock at its trailing-barrier entry is at least
+    its total busy time.  A victim that computed nothing in the baseline
+    dies at its first operation instead.  The construction is a pure
+    function of ``(count, p, busy_s_per_rank)``: the sweep is exactly
+    reproducible and the failing points hash to stable cache keys.
+    """
+    pairs = []
+    for i in range(count):
+        rank = (7 * i + 3) % p
+        busy = busy_s_per_rank[rank] if rank < len(busy_s_per_rank) else 0.0
+        pairs.append((rank, round(busy * (0.25 + 0.5 * i / count), 9)))
+    return tuple(pairs)
+
+
+def dag_failures_sweep(
+    runner: ExperimentRunner,
+    *,
+    n: int | None = None,
+    n_sites: int = DAG_FAILURES_SWEEP_SITES,
+    tile_size: int = DAG_FAILURES_SWEEP_TILE,
+    placement: str = "block",
+    priority: str = "critical-path",
+    failure_counts: tuple[int, ...] | list[int] = DAG_FAILURES_COUNTS,
+) -> list[dict[str, object]]:
+    """Re-execution recovery cost versus the number of injected rank deaths.
+
+    For every failure count a tiled Cholesky runs through the fault-tolerant
+    DAG runtime under the deterministic schedule of
+    :func:`failure_schedule_pairs`, and the row records the recovered
+    makespan against the memoised failure-free baseline: absolute and
+    relative overhead, recovery rounds, and the exactly-once re-execution
+    accounting (tasks re-executed = lost-version closure ∩ already-done
+    work; tasks executed additionally counts the never-started work the
+    dead ranks abandoned).  The zero-failure row *is* the baseline, so the
+    curve starts at zero overhead by construction.
+    """
+    p = runner.processes(n_sites)
+    order = n if n is not None else DAG_FAILURES_SWEEP_N[0]
+    base = runner.dag_cholesky_point(
+        order, n_sites, tile_size=tile_size, placement=placement, priority=priority
+    )
+    rows: list[dict[str, object]] = []
+    for count in failure_counts:
+        if count >= p:
+            raise ConfigurationError(
+                f"{count} failures on a {p}-rank reservation leaves no survivor"
+            )
+        if count == 0:
+            point, recovery = base, None
+        else:
+            pairs = failure_schedule_pairs(
+                count, p, base.trace.busy_s_per_rank
+            )
+            point = runner.dag_cholesky_point(
+                order,
+                n_sites,
+                tile_size=tile_size,
+                placement=placement,
+                priority=priority,
+                failures=pairs,
+            )
+            recovery = point.recovery
+            scheduled = sorted(r for r, _ in pairs)
+            died = sorted((recovery or {}).get("dead_ranks", ()))
+            if died != scheduled:
+                # Artifact integrity: a row labelled "count failures" must
+                # have simulated exactly those deaths, never silently fewer.
+                raise SimulationError(
+                    f"failure schedule only partially fired: scheduled ranks "
+                    f"{scheduled}, died {died}"
+                )
+        rec = recovery or {}
+        rows.append(
+            {
+                "algorithm": "DAG-Cholesky",
+                "N": order,
+                "P": p,
+                "tile": tile_size,
+                "placement": placement,
+                "priority": priority,
+                "failures": count,
+                "dead ranks": " ".join(str(r) for r in rec.get("dead_ranks", ())) or "-",
+                "makespan (s)": round(point.time_s, 4),
+                "failure-free (s)": round(base.time_s, 4),
+                "overhead (s)": round(rec.get("makespan_overhead_s", 0.0), 4),
+                "overhead (%)": round(rec.get("makespan_overhead_pct", 0.0), 2),
+                "recovery rounds": rec.get("rounds", 0),
+                "tasks re-executed": rec.get("tasks_reexecuted", 0),
+                "tasks executed in recovery": rec.get("tasks_executed", 0),
+                "Gflop/s": round(point.gflops, 2),
+            }
+        )
     return rows

@@ -22,7 +22,7 @@ the jobs-equivalence tests.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # service imports the runner; the reverse stays lazy
@@ -37,6 +37,7 @@ from repro.dag.runtime import (
 )
 from repro.exceptions import ConfigurationError
 from repro.experiments.grid5000 import Grid5000Settings, grid5000_platform
+from repro.gridsim.failures import FailureSchedule
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
 from repro.programs.caqr import CAQRConfig, run_parallel_caqr
@@ -63,6 +64,9 @@ class PointSpec:
     runtime: str = "spmd"
     placement: str | None = None  # DAG runtime only
     priority: str | None = None  # DAG runtime only
+    #: Deterministic rank-death schedule as ``(rank, at_time)`` pairs; DAG
+    #: runtime only (the SPMD programs have no recovery path).
+    failures: tuple[tuple[int, float], ...] | None = None
 
     #: Algorithms executed as tile DAGs (they need a tile_size).
     _TILED = ("caqr", "cholesky", "lu")
@@ -112,6 +116,31 @@ class PointSpec:
             raise ConfigurationError(
                 f"unknown priority {self.priority!r}; choose from {PRIORITY_POLICIES}"
             )
+        if self.failures is not None and len(self.failures) == 0:
+            # An empty schedule is the same simulation as no schedule; fold
+            # them together so they share one cache key.
+            object.__setattr__(self, "failures", None)
+        if self.failures is not None:
+            if self.runtime != "dag":
+                raise ConfigurationError(
+                    "failure injection needs the DAG runtime: an SPMD program's "
+                    "communication structure is baked into its text, so a dead "
+                    "rank leaves every peer stuck in a revoked collective with "
+                    "no way to re-place the lost work; the task graph is what "
+                    "makes recovery possible (pass runtime='dag')"
+                )
+            # Normalise eagerly so equal schedules hash equally in the memo.
+            object.__setattr__(
+                self,
+                "failures",
+                tuple(sorted((int(r), float(t)) for r, t in self.failures)),
+            )
+            for rank, at_time in self.failures:
+                if rank < 0 or at_time < 0.0:
+                    raise ConfigurationError(
+                        f"failure ({rank}, {at_time}) must have a non-negative "
+                        "rank and death time"
+                    )
 
 
 @dataclass(frozen=True)
@@ -124,6 +153,9 @@ class ExperimentPoint:
     trace: TraceSummary = field(compare=False, repr=False)
     #: Exact dependence-chain lower bound of the run (DAG-runtime points).
     critical_path_s: float | None = field(default=None, compare=False)
+    #: JSON-safe :meth:`~repro.dag.recovery.RecoveryReport.as_dict` of the
+    #: failure recovery, when the spec injected failures that actually fired.
+    recovery: dict | None = field(default=None, compare=False, repr=False)
 
     @property
     def total_messages(self) -> int:
@@ -223,6 +255,23 @@ class ExperimentRunner:
         self._cache[spec] = point
 
     # ----------------------------------------------------------------- runs
+    @staticmethod
+    def _failure_schedule(spec: PointSpec) -> FailureSchedule | None:
+        """The spec's deterministic failure schedule, or None when unset."""
+        if spec.failures is None:
+            return None
+        return FailureSchedule.from_pairs(spec.failures)
+
+    def _baseline_makespan(self, spec: PointSpec) -> float | None:
+        """Failure-free makespan for a failing spec's overhead accounting.
+
+        Routed through :meth:`run_point` on the ``failures=None`` twin of the
+        spec, so a whole failure sweep shares one memoised baseline instead
+        of each point simulating its own."""
+        if spec.failures is None:
+            return None
+        return self.run_point(replace(spec, failures=None)).time_s
+
     def run_point(self, spec: PointSpec) -> ExperimentPoint:
         """Simulate (or fetch from memo/persistent cache) one configuration."""
         cached = self._cache.get(spec)
@@ -252,6 +301,8 @@ class ExperimentRunner:
                     priority=spec.priority or "critical-path",
                     algorithm=spec.algorithm,
                 ),
+                failures=self._failure_schedule(spec),
+                baseline_makespan_s=self._baseline_makespan(spec),
             )
             point = ExperimentPoint(
                 spec=spec,
@@ -259,6 +310,7 @@ class ExperimentRunner:
                 time_s=dag_result.makespan_s,
                 trace=dag_result.trace,
                 critical_path_s=dag_result.critical_path_s,
+                recovery=dag_result.recovery.as_dict() if dag_result.recovery else None,
             )
         elif spec.algorithm == "caqr" and spec.runtime == "dag":
             dag_result = run_dag_caqr(
@@ -271,6 +323,8 @@ class ExperimentRunner:
                     placement=spec.placement or "block",
                     priority=spec.priority or "critical-path",
                 ),
+                failures=self._failure_schedule(spec),
+                baseline_makespan_s=self._baseline_makespan(spec),
             )
             point = ExperimentPoint(
                 spec=spec,
@@ -278,6 +332,7 @@ class ExperimentRunner:
                 time_s=dag_result.makespan_s,
                 trace=dag_result.trace,
                 critical_path_s=dag_result.critical_path_s,
+                recovery=dag_result.recovery.as_dict() if dag_result.recovery else None,
             )
         elif spec.algorithm == "caqr":
             result = run_parallel_caqr(
@@ -458,6 +513,7 @@ class ExperimentRunner:
         panel_tree: str = "binary",
         placement: str = "block",
         priority: str = "critical-path",
+        failures: tuple[tuple[int, float], ...] | None = None,
     ) -> ExperimentPoint:
         """DAG-runtime CAQR at one (M, N, sites, tile, placement, priority) point."""
         return self.run_point(
@@ -471,6 +527,7 @@ class ExperimentRunner:
                 runtime="dag",
                 placement=placement,
                 priority=priority,
+                failures=failures,
             )
         )
 
@@ -482,6 +539,7 @@ class ExperimentRunner:
         tile_size: int = 64,
         placement: str = "block",
         priority: str = "critical-path",
+        failures: tuple[tuple[int, float], ...] | None = None,
     ) -> ExperimentPoint:
         """DAG-runtime tiled Cholesky at one (N, sites, tile, policies) point."""
         return self.run_point(
@@ -494,6 +552,7 @@ class ExperimentRunner:
                 runtime="dag",
                 placement=placement,
                 priority=priority,
+                failures=failures,
             )
         )
 

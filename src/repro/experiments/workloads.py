@@ -36,6 +36,10 @@ __all__ = [
     "DAG_CHOLESKY_SWEEP_N",
     "DAG_CHOLESKY_SWEEP_TILE",
     "DAG_CHOLESKY_SWEEP_SITES",
+    "DAG_FAILURES_SWEEP_N",
+    "DAG_FAILURES_SWEEP_TILE",
+    "DAG_FAILURES_SWEEP_SITES",
+    "DAG_FAILURES_COUNTS",
     "paper_m_values",
     "reduced_m_values",
     "figure67_m_values",
@@ -93,6 +97,19 @@ DAG_SWEEP_PRIORITIES = ("critical-path", "panel", "fifo")
 DAG_CHOLESKY_SWEEP_N = (8_192,)
 DAG_CHOLESKY_SWEEP_TILE = 128
 DAG_CHOLESKY_SWEEP_SITES = 4
+
+#: DAG-failures workload: the fault-tolerance sweep (makespan overhead of
+#: re-execution recovery versus the number of injected rank deaths).  A
+#: 4096-point tiled Cholesky on the full reservation — half the order of the
+#: policy sweep, because every failing point simulates a full recovery on
+#: top of its memoised failure-free baseline.  Deaths are staggered across
+#: the first three quarters of the baseline makespan so early failures (most
+#: lost work) and late failures (most completed work to re-execute) both
+#: appear in one curve.
+DAG_FAILURES_SWEEP_N = (4_096,)
+DAG_FAILURES_SWEEP_TILE = 128
+DAG_FAILURES_SWEEP_SITES = 4
+DAG_FAILURES_COUNTS = (0, 1, 2, 4)
 
 #: Element cap of the sweeps: the widest matrix of the study is
 #: 8,388,608 x 512 (Fig. 4d/5d), i.e. 2**32 double-precision elements.

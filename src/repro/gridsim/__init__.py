@@ -28,6 +28,7 @@ from repro.gridsim.collectives import (
 )
 from repro.gridsim.communicator import MAX, SUM, CommCore, CommHandle, ReduceOp, payload_nbytes
 from repro.gridsim.executor import RankContext, SimulationResult, SPMDExecutor, run_spmd
+from repro.gridsim.failures import FailureSchedule, RankFailure
 from repro.gridsim.kernelmodel import KernelEfficiency, KernelRateModel
 from repro.gridsim.machine import ClusterSpec, GridSpec, NodeSpec, ProcessorSpec
 from repro.gridsim.middleware import (
@@ -67,6 +68,8 @@ __all__ = [
     "SimulationResult",
     "SPMDExecutor",
     "run_spmd",
+    "FailureSchedule",
+    "RankFailure",
     "KernelEfficiency",
     "KernelRateModel",
     "ClusterSpec",

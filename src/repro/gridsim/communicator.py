@@ -41,7 +41,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.exceptions import CommunicatorError
+from repro.exceptions import CommunicatorError, RankFailedError
 from repro.gridsim.collectives import (
     TreeSchedule,
     binary_tree,
@@ -200,6 +200,45 @@ class CommCore:
         if self.state.aborted:
             self.state.scheduler.check_abort()
 
+    def _failure_checks(self, local_rank: int) -> None:
+        """Failure checkpoint + revocation check at one operation *entry*.
+
+        Called (guarded by ``state.failures is not None`` — runs without a
+        schedule never branch here) at every operation entry.  First the
+        calling rank's own deadline is checked (it may die here); then the
+        revocation check of :meth:`_revocation_check`.  Park wake-ups run
+        the revocation check only: deadlines fire at operation entries and
+        compute charges, never on the way out of a completed rendezvous —
+        so a completed collective is a consistent cut, which the DAG
+        recovery protocol relies on for its completion barriers.
+        """
+        state = self.state
+        state.failure_checkpoint(self.world_ranks[local_rank])
+        self._revocation_check(local_rank)
+
+    def _revocation_check(self, local_rank: int) -> None:
+        """Raise if any group member has died (the ULFM 'revoked' state).
+
+        The operation raises :class:`~repro.exceptions.RankFailedError` in
+        virtual time, with the caller's clock already advanced past the
+        death it observed.  Undelivered mailbox entries of a revoked
+        communicator are tombstones — never consumed, never traced.
+        """
+        state = self.state
+        if state.dead_ranks:
+            dead = [r for r in self.world_ranks if r in state.dead_ranks]
+            if dead:
+                me = self.world_ranks[local_rank]
+                # Detection happens in virtual time: the survivor learns of
+                # the death no earlier than the death itself.
+                detect = max(state.death_time[r] for r in dead)
+                if detect > state._clocks[me]:
+                    state._clocks[me] = detect
+                times = ", ".join(f"{r} at t={state.death_time[r]:.6g}s" for r in dead)
+                raise RankFailedError(
+                    f"communicator {self.name!r} is revoked: rank(s) {times} failed"
+                )
+
     def _edge_time_recorder(self, nbytes_of: Callable[[object], int], tag: str):
         """Return an ``edge_time(src_pos, dst_pos, payload)`` callback that
         prices the link between the corresponding world ranks and records the
@@ -267,6 +306,8 @@ class CommCore:
         state = self.state
         if state.aborted:
             state.scheduler.check_abort()
+        if state.failures is not None:
+            self._failure_checks(local_rank)
         if not 0 <= dest < self.size:
             raise CommunicatorError(f"send to invalid rank {dest} (size {self.size})")
         size = payload_nbytes(payload) if nbytes is None else int(nbytes)
@@ -287,6 +328,8 @@ class CommCore:
         state = self.state
         if state.aborted:
             state.scheduler.check_abort()
+        if state.failures is not None:
+            self._failure_checks(local_rank)
         if not 0 <= source < self.size:
             raise CommunicatorError(f"recv from invalid rank {source} (size {self.size})")
         key = (local_rank, source, tag)
@@ -303,6 +346,8 @@ class CommCore:
                 lambda: f"recv(source={source}, tag={tag!r}) on communicator {self.name!r}",
             )
             self._check_abort()
+            if state.failures is not None:
+                self._revocation_check(local_rank)
         src_world = self.world_ranks[source]
         # Fused price-and-record: classify the link once (memoised per rank
         # pair), charge the alpha-beta cost, and append to the trace directly.
@@ -332,6 +377,8 @@ class CommCore:
         state = self.state
         if state.aborted:
             state.scheduler.check_abort()
+        if state.failures is not None:
+            self._failure_checks(local_rank)
         if not 0 <= source < self.size:
             raise CommunicatorError(f"probe of invalid rank {source} (size {self.size})")
         queue = self._mailbox.get((local_rank, source, tag))
@@ -362,6 +409,8 @@ class CommCore:
         state = self.state
         if state.aborted:
             state.scheduler.check_abort()
+        if state.failures is not None:
+            self._failure_checks(local_rank)
         rv = self._rendezvous
         my_gen = rv.generation
         if local_rank in rv.entries:
@@ -393,6 +442,8 @@ class CommCore:
                     f"({len(rv.entries)}/{self.size} ranks arrived)",
                 )
                 self._check_abort()
+                if state.failures is not None:
+                    self._revocation_check(local_rank)
         result = rv.results[my_gen][local_rank]
         rv.pending_reads[my_gen] -= 1
         if rv.pending_reads[my_gen] == 0:

@@ -43,6 +43,7 @@ from types import GeneratorType
 from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
 from repro.exceptions import DeadlockError
+from repro.gridsim.failures import _RankDeath
 from repro.gridsim.scheduler import (
     RankStatus,
     WaitInfo,
@@ -240,6 +241,13 @@ class CoroutineScheduler:
                 gens[rank] = None
                 on_result(rank, stop.value)
                 self._finish(rank)
+            except _RankDeath:
+                # Injected death: retire the rank quietly — no result, no
+                # error, no abort.  Survivors keep running; their next
+                # operation on a communicator containing this rank raises
+                # RankFailedError.
+                gens[rank] = None
+                self._finish(rank)
             except BaseException as exc:  # noqa: BLE001 - surfaced by the executor
                 gens[rank] = None
                 on_error(rank, exc)
@@ -311,6 +319,16 @@ class CoroutineScheduler:
                 status[rank] = RankStatus.READY
                 self._waiting.pop(rank, None)
                 self._enqueue_ready((clock_of(rank), rank))
+
+    def requeue_blocked(self) -> None:
+        """Requeue every parked rank after an injected rank death.
+
+        On this backend a woken rank only ever resumes through the main
+        loop, so the selective wake used for aborts is already safe for
+        live (non-abort) use; the threads backend needs a separate
+        implementation because its abort wake floods semaphores.
+        """
+        self.wake_all_blocked()
 
     def status(self, rank: int) -> str:
         """Current lifecycle state of ``rank`` (for tests and debugging)."""

@@ -46,9 +46,15 @@ from queue import SimpleQueue
 from types import GeneratorType
 from typing import Callable, Hashable, Sequence, TypeVar
 
-from repro.exceptions import ConfigurationError, DeadlockError, SimulationError
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlockError,
+    RankFailedError,
+    SimulationError,
+)
 from repro.gridsim.communicator import CommCore, CommHandle
 from repro.gridsim.engine import SWITCH, drive_on_thread
+from repro.gridsim.failures import FailureSchedule, _RankDeath
 from repro.gridsim.platform import Platform, SimulationState
 from repro.gridsim.topology import ProcessLocation
 from repro.gridsim.trace import TraceSummary
@@ -274,6 +280,13 @@ class SPMDExecutor:
     reuse_threads:
         Deprecated alias for the engine selector: ``True`` maps to
         ``engine="threads"``, ``False`` to ``engine="threads-fresh"``.
+    failures:
+        Optional :class:`~repro.gridsim.failures.FailureSchedule` injecting
+        deterministic rank deaths.  A dead rank is retired quietly (its
+        result stays ``None``); survivors touching a communicator that
+        contains it get :class:`~repro.exceptions.RankFailedError`, which
+        aborts the run with that type unless the program catches it (the
+        DAG runtime's recovery path does).
     """
 
     def __init__(
@@ -284,6 +297,7 @@ class SPMDExecutor:
         collective_tree: str = "binary",
         engine: str | None = None,
         reuse_threads: bool | None = None,
+        failures: FailureSchedule | None = None,
     ) -> None:
         if reuse_threads is not None:
             warnings.warn(
@@ -303,10 +317,15 @@ class SPMDExecutor:
             raise ConfigurationError(
                 f"unknown engine {engine!r} (expected one of {ENGINES})"
             )
+        if failures is not None and not isinstance(failures, FailureSchedule):
+            raise ConfigurationError(
+                f"failures must be a FailureSchedule, got {failures!r}"
+            )
         self.platform = platform
         self.record_messages = record_messages
         self.collective_tree = collective_tree
         self.engine = engine
+        self.failures = failures
 
     def run(
         self,
@@ -332,6 +351,7 @@ class SPMDExecutor:
             record_messages=self.record_messages,
             active_ranks=active,
             engine="coroutine" if self.engine == "coroutine" else "threads",
+            failures=self.failures,
         )
         scheduler = state.scheduler
         world = CommCore(
@@ -381,6 +401,10 @@ class SPMDExecutor:
                         if isinstance(out, GeneratorType):
                             out = drive_on_thread(out, scheduler, world_rank)
                         results[local_rank] = out
+                except _RankDeath:
+                    # Injected death: retire the rank quietly — no error, no
+                    # abort.  finish() below hands the CPU to the next rank.
+                    pass
                 except BaseException as exc:  # noqa: BLE001 - propagated to the caller
                     with errors_lock:
                         errors.append((world_rank, exc))
@@ -409,7 +433,9 @@ class SPMDExecutor:
                     t.join()
 
         if errors:
-            if isinstance(state.failure, DeadlockError):
+            # Deadlocks and rank failures keep their precise type: callers
+            # (tests, the recovery layer, the CLI) match on them.
+            if isinstance(state.failure, (DeadlockError, RankFailedError)):
                 raise state.failure
             # Prefer the root cause: the failure that tripped the abort flag
             # (every other rank only raised a secondary "simulation aborted").
@@ -441,6 +467,7 @@ def run_spmd(
     collective_tree: str = "binary",
     engine: str | None = None,
     reuse_threads: bool | None = None,
+    failures: FailureSchedule | None = None,
     **kwargs: object,
 ) -> SimulationResult:
     """Convenience wrapper: build an executor and run ``program`` once."""
@@ -450,5 +477,6 @@ def run_spmd(
         collective_tree=collective_tree,
         engine=engine,
         reuse_threads=reuse_threads,
+        failures=failures,
     )
     return executor.run(program, *args, **kwargs)

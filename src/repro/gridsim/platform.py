@@ -17,6 +17,7 @@ from typing import Callable, Hashable, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError
 from repro.gridsim.engine import CoroutineScheduler
+from repro.gridsim.failures import FailureSchedule, _RankDeath
 from repro.gridsim.kernelmodel import KernelRateModel
 from repro.gridsim.machine import GridSpec
 from repro.gridsim.network import LinkClass, LinkSpec, NetworkModel
@@ -99,6 +100,7 @@ class SimulationState:
         record_messages: bool = False,
         active_ranks: Sequence[int] | None = None,
         engine: str = "coroutine",
+        failures: FailureSchedule | None = None,
     ) -> None:
         self.platform = platform
         self.trace = Trace(platform.n_processes, record_messages=record_messages)
@@ -110,6 +112,19 @@ class SimulationState:
         #: invariant / before the threads backend wakes anyone).
         self.aborted = False
         self.failure: BaseException | None = None
+        #: Injected-failure machinery.  ``failures is None`` (the default)
+        #: keeps every hot path on its pre-fault-tolerance branch — the
+        #: engine equivalence suite pins failure-free runs bit-identical.
+        self.failures = failures
+        #: World ranks that have died, and their virtual death times.  A
+        #: communicator whose group intersects :attr:`dead_ranks` is
+        #: *revoked*: every operation on it raises
+        #: :class:`~repro.exceptions.RankFailedError`.
+        self.dead_ranks: set[int] = set()
+        self.death_time: dict[int, float] = {}
+        self._failure_checkpoints = (
+            [0] * platform.n_processes if failures is not None else []
+        )
         self._next_comm_id = 0
         #: Memo of kernel rates per ``(kernel, n)`` — the kernel model is
         #: immutable for the lifetime of a simulation, and the efficiency
@@ -237,6 +252,8 @@ class SimulationState:
         """Charge ``flops`` of ``kernel`` to ``rank`` and return the elapsed time."""
         if flops < 0:
             raise ConfigurationError(f"negative flop count: {flops}")
+        if self.failures is not None:
+            self.failure_checkpoint(rank)
         rate = self._rate_cache.get((kernel, n))
         if rate is None:
             rate = self.platform.kernel_model.rate(kernel, n)
@@ -246,6 +263,42 @@ class SimulationState:
         self._clocks[rank] += dt
         self.trace.record_flops(rank, flops, kernel, dt)
         return dt
+
+    # ------------------------------------------------------- injected death
+    def failure_checkpoint(self, rank: int) -> None:
+        """Kill ``rank`` if its scheduled deadline has been reached.
+
+        Called (guarded by ``failures is not None``) at every communicator
+        operation entry, park wake-up and compute charge.  A rank dies at
+        its *first* checkpoint whose virtual clock is at or past its
+        ``at_time``, or at its ``after_events + 1``-th checkpoint — both
+        pure functions of simulation state, hence bit-deterministic on
+        either backend.  Death raises :class:`_RankDeath`, which unwinds
+        the rank's program; the engine retires it quietly.
+        """
+        deadline = self.failures.deadline(rank)
+        if deadline is None:
+            return
+        counts = self._failure_checkpoints
+        counts[rank] += 1
+        if (
+            deadline.at_time is not None and self._clocks[rank] >= deadline.at_time
+        ) or (
+            deadline.after_events is not None and counts[rank] > deadline.after_events
+        ):
+            self._kill_rank(rank)
+
+    def _kill_rank(self, rank: int) -> None:
+        """Retire ``rank`` at its current clock and notify the survivors."""
+        self.dead_ranks.add(rank)
+        time = self._clocks[rank]
+        self.death_time[rank] = time
+        self.trace.record_rank_failure(rank, time)
+        # Failure-detector broadcast: every parked survivor is requeued (in
+        # virtual-clock order, no abort) so it re-checks its wait and
+        # observes the revoked communicator.
+        self.scheduler.requeue_blocked()
+        raise _RankDeath(rank)
 
     # --------------------------------------------------------------- abort
     def record_failure(self, exc: BaseException) -> None:

@@ -278,6 +278,28 @@ class VirtualTimeScheduler:
             if self._granted is None:
                 self._dispatch_locked()
 
+    # ------------------------------------------------------- failure wakes
+    def requeue_blocked(self) -> None:
+        """Move every BLOCKED rank back to READY, re-keyed by its clock.
+
+        The live (non-abort) counterpart of :meth:`wake_all_blocked`, used
+        by the failure-detector broadcast after an injected rank death: the
+        requeued ranks re-check their wait condition when the dispatcher
+        reaches them and either re-park or observe the revoked communicator.
+        Crucially this releases **no semaphores** — a spare token would let
+        a second rank run concurrently with the (dying) caller and break
+        determinism; a requeued rank resumes only through a normal grant.
+        Stale waiter-table entries are skipped by :meth:`unpark` exactly as
+        on the coroutine backend.
+        """
+        with self._mu:
+            clock_of = self._state.clock
+            for rank in self._ranks:
+                if self._status[rank] is RankStatus.BLOCKED:
+                    self._status[rank] = RankStatus.READY
+                    self._waiting.pop(rank, None)
+                    self._enqueue_ready_locked((clock_of(rank), rank))
+
     # ---------------------------------------------------------------- abort
     def wake_all_blocked(self) -> None:
         """Wake every parked rank so it can observe the abort flag and raise."""

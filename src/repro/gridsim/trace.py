@@ -69,6 +69,10 @@ class TraceSummary:
     #: Zero wait means the message had already arrived when the rank asked
     #: for it — communication fully hidden behind computation.
     comm_wait_s_per_rank: tuple[float, ...] = ()
+    #: ``(rank, virtual death time)`` of every injected rank failure, in
+    #: death order.  Empty for runs without a failure schedule, so summaries
+    #: of failure-free runs compare equal to pre-fault-tolerance ones.
+    rank_failures: tuple[tuple[int, float], ...] = ()
 
     def idle_s_per_rank(self, makespan: float) -> tuple[float, ...]:
         """Per-rank idle seconds: makespan minus compute minus p2p waits.
@@ -142,6 +146,10 @@ class Trace:
         self._flop_events = 0
         self._busy_s_per_rank = [0.0] * n_ranks
         self._comm_wait_s_per_rank = [0.0] * n_ranks
+        #: Injected rank deaths, in death order (always kept — failures are
+        #: rare and the recovery accounting needs them even when message
+        #: recording is off).
+        self.rank_failures: list[tuple[int, float]] = []
 
     # ----------------------------------------------------------- recording
     def record_message(
@@ -201,6 +209,12 @@ class Trace:
         if self.record_messages:
             self.events.append(("flops", rank, flops, kernel))
 
+    def record_rank_failure(self, rank: int, time: float) -> None:
+        """Record the injected death of ``rank`` at virtual ``time``."""
+        self.rank_failures.append((rank, time))
+        if self.record_messages:
+            self.events.append(("rank_failure", rank, time))
+
     # ------------------------------------------------------------- queries
     def message_count(self, link: LinkClass | None = None) -> int:
         """Number of messages, optionally restricted to one link class."""
@@ -244,6 +258,7 @@ class Trace:
                 flop_events=self._flop_events,
                 busy_s_per_rank=tuple(self._busy_s_per_rank),
                 comm_wait_s_per_rank=tuple(self._comm_wait_s_per_rank),
+                rank_failures=tuple(self.rank_failures),
             )
 
     def reset(self) -> None:
@@ -260,3 +275,4 @@ class Trace:
             self._flop_events = 0
             self._busy_s_per_rank = [0.0] * self.n_ranks
             self._comm_wait_s_per_rank = [0.0] * self.n_ranks
+            self.rank_failures = []

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, TreeError
 from repro.gridsim.executor import RankContext, SimulationResult
+from repro.gridsim.failures import FailureSchedule
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
 from repro.kernels.tiled import geqrt, tsmqr, tsqrt, unmqr
@@ -349,12 +350,20 @@ def run_parallel_caqr(
     collective_tree: str = "binary",
     record_messages: bool = False,
     engine: str | None = None,
+    failures: "FailureSchedule | None" = None,
 ) -> CAQRRunResult:
     """Run distributed CAQR on ``platform`` and summarise its performance.
 
     With a real payload the global R factor (``min(M, N) x N``, validated
     against LAPACK by the tests) is assembled from the per-rank block-rows;
     virtual runs return ``r=None`` and the cost/trace summary only.
+
+    ``failures`` injects a deterministic rank-death schedule.  SPMD CAQR
+    has no recovery path — by design: its communication structure is baked
+    into the program text, so a death surfaces as an uncaught
+    :class:`~repro.exceptions.RankFailedError`.  The DAG runtime's
+    graph-driven recovery (``run_dag_factorization(..., failures=...)``)
+    is the capability this gap demonstrates.
     """
     run = run_program(
         platform,
@@ -364,6 +373,7 @@ def run_parallel_caqr(
         collective_tree=collective_tree,
         record_messages=record_messages,
         engine=engine,
+        failures=failures,
     )
     results: list[CAQRRankResult] = list(run.results)
     r = None

@@ -40,6 +40,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, FactorizationError
 from repro.gridsim.communicator import CommHandle
 from repro.gridsim.executor import RankProgram, SimulationResult, SPMDExecutor
+from repro.gridsim.failures import FailureSchedule
 from repro.gridsim.platform import Platform
 from repro.gridsim.trace import TraceSummary
 from repro.scalapack.descriptor import RowBlockDescriptor
@@ -300,6 +301,7 @@ def run_program(
     collective_tree: str = "binary",
     record_messages: bool = False,
     engine: str | None = None,
+    failures: "FailureSchedule | None" = None,
     **kwargs: object,
 ) -> ProgramRun:
     """Run an SPMD program on ``platform`` and summarise its performance.
@@ -307,13 +309,15 @@ def run_program(
     ``flop_count`` is the number of *useful* flops credited to the run (the
     paper's Gflop/s denominator), not the number executed — TSQR's redundant
     combine flops, for instance, are excluded by convention.  ``engine``
-    selects the executor backend (``None`` = the executor default).
+    selects the executor backend (``None`` = the executor default);
+    ``failures`` injects a deterministic rank-death schedule.
     """
     executor = SPMDExecutor(
         platform,
         record_messages=record_messages,
         collective_tree=collective_tree,
         engine=engine,
+        failures=failures,
     )
     sim = executor.run(program, *args, **kwargs)
     return ProgramRun(

@@ -48,6 +48,8 @@ class CacheStats:
     stores: int = 0
     #: Stored payloads rejected for carrying a stale engine-semantics tag.
     stale_entries: int = 0
+    #: Unparseable on-disk entries quarantined as ``*.corrupt`` files.
+    corrupt_entries: int = 0
 
     @property
     def hits(self) -> int:
@@ -62,6 +64,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "stale_entries": self.stale_entries,
+            "corrupt_entries": self.corrupt_entries,
         }
 
 
@@ -71,7 +74,7 @@ class CacheStats:
 
 _SPEC_FIELDS = (
     "algorithm", "m", "n", "n_sites", "domains_per_cluster", "tree_kind",
-    "want_q", "tile_size", "runtime", "placement", "priority",
+    "want_q", "tile_size", "runtime", "placement", "priority", "failures",
 )
 _TUPLE_FIELDS = ("busy_s_per_rank", "comm_wait_s_per_rank")
 
@@ -85,6 +88,7 @@ def point_to_payload(point: ExperimentPoint) -> dict:
         "gflops": point.gflops,
         "time_s": point.time_s,
         "critical_path_s": point.critical_path_s,
+        "recovery": point.recovery,
         "trace": {
             "n_messages": trace.n_messages,
             "bytes_by_link": trace.bytes_by_link,
@@ -111,6 +115,7 @@ def point_from_payload(payload: dict) -> ExperimentPoint:
         time_s=payload["time_s"],
         trace=TraceSummary(**trace_fields),
         critical_path_s=payload.get("critical_path_s"),
+        recovery=payload.get("recovery"),
     )
 
 
@@ -185,13 +190,33 @@ class ResultCache:
     def _read_payload(self, key: str) -> dict | None:
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None  # absent or torn/corrupt: re-simulate
+            text = path.read_text()
+        except OSError:
+            return None  # absent (or unreadable): a plain miss
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+        except ValueError:
+            # Corrupt entry (torn write survived a crash, disk damage,
+            # manual editing): quarantine it for post-mortem inspection and
+            # answer "miss" — a broken file must never take the service down,
+            # and must never be retried on every lookup either.
+            self._quarantine(path)
+            self.stats.corrupt_entries += 1
+            return None
         if payload.get("engine_semantics") != ENGINE_SEMANTICS_VERSION:
             self.stats.stale_entries += 1
             return None
         return payload
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside as ``<name>.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass  # raced with a concurrent writer/quarantine: nothing to do
 
     # ----------------------------------------------------------------- store
     def put(self, key: str, point: ExperimentPoint) -> None:
@@ -259,5 +284,6 @@ class ResultCache:
                 time_s=point.time_s,
                 trace=point.trace,
                 critical_path_s=point.critical_path_s,
+                recovery=point.recovery,
             )
         self.put(self.key_for(spec, settings), point)

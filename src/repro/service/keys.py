@@ -48,7 +48,7 @@ __all__ = [
 #: configuration (new cost charging, different schedule decision rule, trace
 #: accounting changes): every result stored under the old tag then stops
 #: matching and is re-simulated on next request.
-ENGINE_SEMANTICS_VERSION = "pr6-generator-core.1"
+ENGINE_SEMANTICS_VERSION = "pr9-fault-tolerance.1"
 
 #: Effective policy defaults the runner applies to DAG points (run_point
 #: passes these when the spec leaves the fields as None).
@@ -64,7 +64,7 @@ _FIELD_ALIASES = {
 }
 _SPEC_FIELDS = (
     "algorithm", "m", "n", "n_sites", "domains_per_cluster", "tree_kind",
-    "want_q", "tile_size", "runtime", "placement", "priority",
+    "want_q", "tile_size", "runtime", "placement", "priority", "failures",
 )
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.grid5000 import (
     PAPER_LATENCY_MS,
     PAPER_THROUGHPUT_MBITS,
@@ -154,16 +154,38 @@ def rank_candidates(
 
 @dataclass(frozen=True)
 class BestConfigResult:
-    """Outcome of one escalated best-config query."""
+    """Outcome of one escalated best-config query.
 
-    best: ExperimentPoint
+    When the simulation tier is unavailable (every shortlisted escalation
+    raised), the answer degrades to the predictor ranking alone: ``best``
+    is None, ``degraded`` is True and :attr:`best_candidate` carries the
+    predicted-fastest configuration.  A *partially* failed escalation (some
+    shortlist members simulated, some raised) still returns a simulated
+    ``best`` but keeps the ``degraded`` flag, because the failed candidates
+    were never compared."""
+
+    best: ExperimentPoint | None
     ranked: tuple[RankedCandidate, ...]
     simulated: tuple[ExperimentPoint, ...]
+    #: True when the answer rests (partly) on the predictor tier only.
+    degraded: bool = False
+    #: One message per shortlisted candidate whose simulation raised.
+    errors: tuple[str, ...] = ()
 
     @property
     def simulations(self) -> int:
         """Number of candidates that escalated to full simulation."""
         return len(self.simulated)
+
+    @property
+    def best_candidate(self) -> RankedCandidate:
+        """The winning configuration: simulated best, else predicted best."""
+        if self.best is not None:
+            spec = canonical_spec(self.best.spec)
+            for candidate in self.ranked:
+                if canonical_spec(candidate.spec) == spec:
+                    return candidate
+        return self.ranked[0]
 
 
 @dataclass(frozen=True)
@@ -195,9 +217,33 @@ class EscalationPolicy:
     def best_config(
         self, candidates: Iterable[PointSpec], runner: ExperimentRunner
     ) -> BestConfigResult:
-        """Answer a best-config query with at most ``top_k`` simulations."""
+        """Answer a best-config query with at most ``top_k`` simulations.
+
+        Escalation failures are isolated per candidate: a shortlisted spec
+        whose simulation raises is recorded in ``errors`` and skipped, the
+        remaining shortlist still competes.  If *no* escalation survives,
+        the predictor-only answer is returned flagged ``degraded`` instead
+        of failing the whole query — the cheap tier costs microseconds and
+        is always available.  Configuration errors (an invalid candidate)
+        still raise: they are the caller's bug, not a tier outage.
+        """
         ranked = rank_candidates(candidates, runner.settings)
         shortlist = self.shortlist(ranked)
-        simulated = tuple(runner.run_point(c.spec) for c in shortlist)
-        best = min(simulated, key=lambda p: p.time_s)
-        return BestConfigResult(best=best, ranked=tuple(ranked), simulated=simulated)
+        simulated: list[ExperimentPoint] = []
+        errors: list[str] = []
+        for candidate in shortlist:
+            try:
+                simulated.append(runner.run_point(candidate.spec))
+            except ConfigurationError:
+                raise
+            except ReproError as exc:
+                errors.append(f"{candidate.spec.algorithm} "
+                              f"tile={candidate.spec.tile_size}: {exc}")
+        best = min(simulated, key=lambda p: p.time_s) if simulated else None
+        return BestConfigResult(
+            best=best,
+            ranked=tuple(ranked),
+            simulated=tuple(simulated),
+            degraded=bool(errors),
+            errors=tuple(errors),
+        )

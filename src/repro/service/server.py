@@ -33,7 +33,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import ConfigurationError, ReproError, ServiceUnavailableError
 from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
 from repro.service.cache import ResultCache, point_to_payload
 from repro.service.keys import canonical_spec, config_key, spec_from_config
@@ -62,6 +62,8 @@ class ServiceStats:
     simulations: int = 0
     batches: int = 0
     largest_batch: int = 0
+    #: Batched specs whose simulation raised (siblings were unaffected).
+    failed_simulations: int = 0
 
     def count(self, source: str) -> None:
         """Record where one answered query came from."""
@@ -83,6 +85,7 @@ class ServiceStats:
             "simulations": self.simulations,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
+            "failed_simulations": self.failed_simulations,
         }
 
 
@@ -196,10 +199,13 @@ class SimulationService:
             specs = [spec for _, spec, _ in batch]
             try:
                 async with self._sim_lock:
-                    points = await asyncio.get_running_loop().run_in_executor(
+                    outcomes = await asyncio.get_running_loop().run_in_executor(
                         None, self._simulate_batch, specs
                     )
             except BaseException as exc:
+                # Catastrophic dispatch failure (executor gone, cancellation):
+                # the whole batch is lost.  Per-spec simulation errors never
+                # land here — _simulate_batch turns them into outcomes.
                 for key, _, future in batch:
                     self._inflight.pop(key, None)
                     if not future.done():
@@ -210,16 +216,43 @@ class SimulationService:
                 if isinstance(exc, asyncio.CancelledError):
                     raise
                 continue
-            self.stats.simulations += len(points)
-            for (key, _, future), point in zip(batch, points):
+            for (key, _, future), (point, error) in zip(batch, outcomes):
                 self._inflight.pop(key, None)
-                if not future.done():
+                if error is None:
+                    self.stats.simulations += 1
+                else:
+                    self.stats.failed_simulations += 1
+                if future.done():
+                    continue
+                if error is None:
                     future.set_result(point)
+                else:
+                    future.set_exception(error)
 
-    def _simulate_batch(self, specs: Sequence[PointSpec]) -> list[ExperimentPoint]:
-        """Worker-thread body: prefetch (parallel when jobs>1), then collect."""
-        self.runner.prefetch(specs)
-        return [self.runner.run_point(spec) for spec in specs]
+    def _simulate_batch(
+        self, specs: Sequence[PointSpec]
+    ) -> list[tuple[ExperimentPoint | None, ReproError | None]]:
+        """Worker-thread body: prefetch (parallel when jobs>1), then collect.
+
+        Failures are isolated per spec: one configuration whose simulation
+        raises yields an error *outcome* for its own key only — its batch
+        mates still get their results.  A failing prefetch (one bad spec can
+        sink a parallel worker pool) degrades to the serial per-spec loop
+        below, which re-raises precisely for the guilty spec.
+        """
+        try:
+            self.runner.prefetch(specs)
+        except Exception:
+            pass  # the per-spec loop pins the error on the spec that owns it
+        outcomes: list[tuple[ExperimentPoint | None, ReproError | None]] = []
+        for spec in specs:
+            try:
+                outcomes.append((self.runner.run_point(spec), None))
+            except ReproError as exc:
+                outcomes.append((None, exc))
+            except Exception as exc:
+                outcomes.append((None, ReproError(f"simulation failed: {exc!r}")))
+        return outcomes
 
     # -------------------------------------------------------- TCP protocol
     async def handle_connection(
@@ -270,54 +303,125 @@ class SimulationService:
 # Client helpers (synchronous; used by ``repro query`` and the CI smoke)
 # ---------------------------------------------------------------------------
 
-async def _roundtrip(
-    host: str, port: int, requests: Sequence[dict], *, concurrent: bool
-) -> list[dict]:
-    async def _one(request: dict) -> dict:
-        reader, writer = await asyncio.open_connection(host, port)
+#: Client-side resilience defaults: total attempts = 1 + DEFAULT_RETRIES,
+#: every connect *and* read bounded by the timeout, exponential backoff
+#: (doubling from BACKOFF_BASE_S) between attempts.  Queries are pure cache
+#: lookups/simulations — idempotent — so retrying a torn request is safe.
+DEFAULT_RETRIES = 2
+DEFAULT_TIMEOUT_S = 10.0
+BACKOFF_BASE_S = 0.05
+
+#: Transport failures worth retrying: the server was down, restarting, or
+#: dropped the connection mid-request.  A ``ReproError`` reply is *not* in
+#: this set — the server answered, retrying would re-ask the same question.
+_RETRYABLE = (ConnectionError, OSError, asyncio.TimeoutError, EOFError)
+
+
+async def _attempt(host: str, port: int, request: dict, timeout_s: float) -> dict:
+    """One request/reply exchange; every await is bounded by the timeout."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout_s
+    )
+    try:
+        writer.write(json.dumps(request).encode() + b"\n")
+        await asyncio.wait_for(writer.drain(), timeout_s)
+        line = await asyncio.wait_for(reader.readline(), timeout_s)
+    finally:
+        writer.close()
         try:
-            writer.write(json.dumps(request).encode() + b"\n")
-            await writer.drain()
-            line = await reader.readline()
-        finally:
-            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    if not line:
+        raise EOFError(f"server at {host}:{port} closed the connection")
+    return json.loads(line)
+
+
+async def _roundtrip(
+    host: str,
+    port: int,
+    requests: Sequence[dict],
+    *,
+    concurrent: bool,
+    retries: int = DEFAULT_RETRIES,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> list[dict]:
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout_s <= 0:
+        raise ConfigurationError(f"timeout must be > 0 seconds, got {timeout_s}")
+
+    async def _one(request: dict) -> dict:
+        delay = BACKOFF_BASE_S
+        last: Exception | None = None
+        for attempt in range(retries + 1):
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-        if not line:
-            raise ConfigurationError(f"server at {host}:{port} closed the connection")
-        return json.loads(line)
+                return await _attempt(host, port, request, timeout_s)
+            except _RETRYABLE as exc:
+                last = exc
+                if attempt < retries:
+                    await asyncio.sleep(delay)
+                    delay *= 2.0
+        raise ServiceUnavailableError(
+            f"server at {host}:{port} unreachable after {retries + 1} "
+            f"attempt(s) (timeout {timeout_s}s per attempt): {last!r}"
+        )
 
     if concurrent:
         return list(await asyncio.gather(*(_one(r) for r in requests)))
     return [await _one(r) for r in requests]
 
 
-def remote_query(host: str, port: int, config: Mapping[str, object]) -> dict:
+def remote_query(
+    host: str,
+    port: int,
+    config: Mapping[str, object],
+    *,
+    retries: int = DEFAULT_RETRIES,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> dict:
     """Send one query to a running server and return its reply dict."""
     return asyncio.run(
         _roundtrip(host, port, [{"op": "query", "config": dict(config)}],
-                   concurrent=False)
+                   concurrent=False, retries=retries, timeout_s=timeout_s)
     )[0]
 
 
 def remote_burst(
-    host: str, port: int, config: Mapping[str, object], n: int
+    host: str,
+    port: int,
+    config: Mapping[str, object],
+    n: int,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
 ) -> list[dict]:
     """Send ``n`` identical queries concurrently (the single-flight probe).
 
     All ``n`` connections are opened and their requests written before any
     reply is awaited, so a cold key exercises the server's single-flight
     deduplication: the replies report 1 ``simulated`` source and ``n - 1``
-    ``single-flight`` joins.
+    ``single-flight`` joins.  Each of the ``n`` streams retries its own
+    transport failures independently.
     """
     if n < 1:
         raise ConfigurationError(f"burst size must be >= 1, got {n}")
     request = {"op": "query", "config": dict(config)}
-    return asyncio.run(_roundtrip(host, port, [request] * n, concurrent=True))
+    return asyncio.run(
+        _roundtrip(host, port, [request] * n, concurrent=True,
+                   retries=retries, timeout_s=timeout_s)
+    )
 
 
-def remote_stats(host: str, port: int) -> dict:
+def remote_stats(
+    host: str,
+    port: int,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> dict:
     """Fetch the server's counters (queries, dedup joins, cache hits)."""
-    return asyncio.run(_roundtrip(host, port, [{"op": "stats"}], concurrent=False))[0]
+    return asyncio.run(
+        _roundtrip(host, port, [{"op": "stats"}], concurrent=False,
+                   retries=retries, timeout_s=timeout_s)
+    )[0]

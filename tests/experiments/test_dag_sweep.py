@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.experiments.figures import dag_caqr_sweep, dag_cholesky_sweep
+from repro.experiments.figures import (
+    dag_caqr_sweep,
+    dag_cholesky_sweep,
+    dag_failures_sweep,
+    failure_schedule_pairs,
+)
 from repro.experiments.runner import ExperimentRunner, PointSpec
 
 #: Reduced workload: same shape as the paper-scale artefact, CI-sized.
@@ -88,6 +93,26 @@ class TestCholeskySweep:
             assert row["critical path (s)"] <= row["makespan (s)"]
             assert 0.0 <= row["idle fraction (mean)"] <= 1.0
 
+    def test_failures_need_the_dag_runtime(self):
+        with pytest.raises(ConfigurationError, match="runtime='dag'"):
+            PointSpec(algorithm="tsqr", m=65536, n=32, n_sites=1,
+                      domains_per_cluster=4, failures=((0, 0.1),))
+
+    def test_failure_schedule_normalised(self):
+        spec = PointSpec(algorithm="cholesky", m=512, n=512, n_sites=1,
+                         tile_size=64, runtime="dag",
+                         failures=[[2, 0.2], (0, 0.1)])
+        assert spec.failures == ((0, 0.1), (2, 0.2))
+        empty = PointSpec(algorithm="cholesky", m=512, n=512, n_sites=1,
+                          tile_size=64, runtime="dag", failures=())
+        assert empty.failures is None  # same simulation, same cache key
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            PointSpec(algorithm="cholesky", m=512, n=512, n_sites=1,
+                      tile_size=64, runtime="dag", failures=((-1, 0.1),))
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            PointSpec(algorithm="cholesky", m=512, n=512, n_sites=1,
+                      tile_size=64, runtime="dag", failures=((0, -0.1),))
+
     def test_cholesky_and_lu_points_run(self):
         runner = ExperimentRunner()
         chol = runner.dag_cholesky_point(512, 2, tile_size=64)
@@ -96,3 +121,55 @@ class TestCholeskySweep:
         lu = runner.dag_lu_point(1024, 512, 2, tile_size=64)
         assert 0.0 < lu.critical_path_s <= lu.time_s
         assert lu.gflops > 0
+
+
+class TestFailuresSweep:
+    def test_schedule_pairs_are_deterministic_and_in_window(self):
+        busy = tuple(1.0 + 0.1 * r for r in range(16))
+        pairs = failure_schedule_pairs(4, 16, busy)
+        assert pairs == failure_schedule_pairs(4, 16, busy)
+        ranks = [r for r, _ in pairs]
+        assert len(set(ranks)) == len(ranks)  # stride 7 never repeats a rank
+        assert all(0 <= r < 16 for r in ranks)
+        # each death sits inside its own rank's busy window, so the
+        # deadline is guaranteed to fire at an op entry or compute charge
+        for rank, at_time in pairs:
+            assert 0.0 < at_time < busy[rank]
+
+    def test_schedule_pairs_idle_rank_dies_at_startup(self):
+        busy = [1.0] * 16
+        busy[3] = 0.0  # the first stride victim computed nothing
+        assert failure_schedule_pairs(1, 16, busy)[0] == (3, 0.0)
+
+    def test_rows_account_for_every_failure(self):
+        runner = ExperimentRunner()
+        rows = dag_failures_sweep(
+            runner, n=1024, tile_size=128, failure_counts=(0, 1, 2)
+        )
+        assert [row["failures"] for row in rows] == [0, 1, 2]
+        baseline = rows[0]
+        assert baseline["dead ranks"] == "-"
+        assert baseline["overhead (s)"] == 0.0
+        assert baseline["tasks re-executed"] == 0
+        for row in rows[1:]:
+            assert len(row["dead ranks"].split()) == row["failures"]
+            assert row["recovery rounds"] >= 1
+            assert row["makespan (s)"] >= baseline["makespan (s)"]
+            assert row["failure-free (s)"] == baseline["makespan (s)"]
+            assert row["tasks re-executed"] >= 0
+        # overhead grows (weakly) with the number of deaths on this workload
+        overheads = [row["overhead (s)"] for row in rows]
+        assert overheads[0] <= overheads[-1]
+
+    def test_no_survivor_rejected(self):
+        with pytest.raises(ConfigurationError, match="no survivor"):
+            dag_failures_sweep(
+                ExperimentRunner(), n=1024, tile_size=128,
+                failure_counts=(10**6,),
+            )
+
+    def test_sweep_is_reproducible(self):
+        kwargs = dict(n=1024, tile_size=128, failure_counts=(1,))
+        first = dag_failures_sweep(ExperimentRunner(), **kwargs)
+        second = dag_failures_sweep(ExperimentRunner(), **kwargs)
+        assert first == second

@@ -1,0 +1,192 @@
+"""Engine failure model: deterministic rank deaths and revoked communicators.
+
+The contract under test: a :class:`FailureSchedule` kills each scheduled
+rank at its first failure checkpoint at/past its deadline, the dead rank is
+retired quietly (no abort), survivors touching a communicator containing it
+get :class:`RankFailedError` in virtual time, every death is recorded as a
+``rank_failure`` trace event — and all of it is bit-deterministic given
+``(program, schedule)`` on both engine backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, RankFailedError
+from repro.gridsim.executor import run_spmd
+from repro.gridsim.failures import FailureSchedule, RankFailure
+
+BACKENDS = ("coroutine", "threads")
+
+
+def _compute_only(ctx):
+    """Plain (never-blocking) program: ten compute charges, no communication."""
+    for _ in range(10):
+        ctx.compute(1e6)
+    return ctx.comm.rank
+
+
+def _ring(ctx):
+    """Compute, send to the next rank, receive from the previous one."""
+    comm = ctx.comm
+    nxt = (comm.rank + 1) % comm.size
+    prev = (comm.rank - 1) % comm.size
+    try:
+        ctx.compute(1e6)
+        comm.send(comm.rank, nxt)
+        yield from comm.recv(source=prev)
+        return "completed"
+    except RankFailedError:
+        return "survived"
+
+
+def _two_allreduces(ctx):
+    yield from ctx.comm.allreduce(1.0)
+    ctx.compute(1e9)  # pushes every clock past the scheduled death time
+    return (yield from ctx.comm.allreduce(1.0))
+
+
+class TestFailureSchedule:
+    def test_needs_a_deadline(self):
+        with pytest.raises(ConfigurationError, match="deadline"):
+            RankFailure(rank=0)
+
+    def test_rejects_duplicate_ranks(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FailureSchedule(
+                [RankFailure(0, at_time=1.0), RankFailure(0, at_time=2.0)]
+            )
+
+    def test_rejects_negative_deadlines(self):
+        with pytest.raises(ConfigurationError):
+            RankFailure(0, at_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            RankFailure(0, after_events=-1)
+
+    def test_from_pairs_and_key(self):
+        schedule = FailureSchedule.from_pairs([(3, 0.5), (1, 0.25)])
+        assert schedule.ranks == (1, 3)
+        assert schedule.key() == ((1, 0.25, None), (3, 0.5, None))
+        assert schedule == FailureSchedule.from_pairs([(1, 0.25), (3, 0.5)])
+
+
+class TestQuietRetirement:
+    @pytest.mark.parametrize("engine", BACKENDS)
+    def test_dead_rank_never_poisons_a_communication_free_run(
+        self, platform4_single_site, engine
+    ):
+        """A death with no communicator use afterwards: survivors just finish."""
+        schedule = FailureSchedule([RankFailure(1, after_events=3)])
+        result = run_spmd(
+            platform4_single_site, _compute_only, engine=engine, failures=schedule
+        )
+        assert result.results == [0, None, 2, 3]
+        summary = result.trace
+        # Died at its 4th checkpoint: exactly 3 compute charges landed.
+        [(rank, death_time)] = summary.rank_failures
+        assert rank == 1
+        assert death_time == result.clocks[1] > 0.0
+
+    @pytest.mark.parametrize("engine", BACKENDS)
+    def test_at_time_zero_kills_before_any_work(self, platform4_single_site, engine):
+        schedule = FailureSchedule([RankFailure(2, at_time=0.0)])
+        result = run_spmd(
+            platform4_single_site, _compute_only, engine=engine, failures=schedule
+        )
+        assert result.results == [0, 1, None, 3]
+        assert result.trace.rank_failures == ((2, 0.0),)
+        assert result.clocks[2] == 0.0
+
+
+class TestRevokedCommunicators:
+    @pytest.mark.parametrize("engine", BACKENDS)
+    def test_survivors_observe_rank_failed_error(self, platform4_single_site, engine):
+        """Every survivor of the ring — parked or not — gets RankFailedError."""
+        schedule = FailureSchedule([RankFailure(1, at_time=0.0)])
+        result = run_spmd(
+            platform4_single_site, _ring, engine=engine, failures=schedule
+        )
+        assert result.results == ["survived", None, "survived", "survived"]
+
+    @pytest.mark.parametrize("engine", BACKENDS)
+    def test_uncaught_failure_raises_with_precise_type(
+        self, platform4_single_site, engine
+    ):
+        schedule = FailureSchedule([RankFailure(2, at_time=0.1)])
+        with pytest.raises(RankFailedError, match="revoked"):
+            run_spmd(
+                platform4_single_site, _two_allreduces, engine=engine, failures=schedule
+            )
+
+    @pytest.mark.parametrize("engine", BACKENDS)
+    def test_detection_happens_in_virtual_time(self, platform4_single_site, engine):
+        """A survivor's clock never observes a death before it happened."""
+        schedule = FailureSchedule([RankFailure(1, at_time=0.05)])
+
+        def prog(ctx):
+            if ctx.comm.rank == 1:
+                ctx.compute(1e9)  # dies at the send below (clock ~0.27 >= 0.05)
+                ctx.comm.send("never-delivered", 0)
+                return None
+            try:
+                return (yield from ctx.comm.recv(source=1))
+            except RankFailedError:
+                return ctx.clock()
+
+        result = run_spmd(platform4_single_site, prog, engine=engine, failures=schedule)
+        [(_, death_time)] = result.trace.rank_failures
+        assert death_time >= 0.05
+        for rank in (0, 2, 3):
+            assert result.results[rank] >= death_time
+
+    def test_failure_free_schedule_path_is_inert(self, platform4_single_site):
+        """A schedule naming a rank that finishes first changes nothing."""
+        baseline = run_spmd(platform4_single_site, _ring, record_messages=True)
+        late = FailureSchedule([RankFailure(0, at_time=1e9)])
+        shadowed = run_spmd(
+            platform4_single_site, _ring, record_messages=True, failures=late
+        )
+        assert shadowed.results == baseline.results
+        assert shadowed.events == baseline.events
+        assert shadowed.clocks == baseline.clocks
+        assert shadowed.trace == baseline.trace
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("program", [_ring, _compute_only])
+    def test_backends_agree_bit_for_bit_under_failures(
+        self, platform4_single_site, program
+    ):
+        schedule = FailureSchedule(
+            [RankFailure(1, at_time=0.0), RankFailure(3, after_events=5)]
+        )
+        runs = [
+            run_spmd(
+                platform4_single_site,
+                program,
+                engine=engine,
+                record_messages=True,
+                failures=schedule,
+            )
+            for engine in BACKENDS
+            for _ in range(2)  # repeated runs per backend must agree too
+        ]
+        first = runs[0]
+        for other in runs[1:]:
+            assert other.results == first.results
+            assert other.events == first.events
+            assert other.clocks == first.clocks
+            assert other.makespan == first.makespan
+            assert other.trace == first.trace
+            assert other.trace.rank_failures == first.trace.rank_failures
+
+    def test_rank_failure_appears_in_the_event_stream(self, platform4_single_site):
+        schedule = FailureSchedule([RankFailure(1, after_events=2)])
+        result = run_spmd(
+            platform4_single_site,
+            _compute_only,
+            record_messages=True,
+            failures=schedule,
+        )
+        failure_events = [e for e in result.events if e[0] == "rank_failure"]
+        assert failure_events == [("rank_failure", 1, result.clocks[1])]

@@ -100,6 +100,33 @@ class TestResultCache:
         cache.path_for(key).write_text("{ torn write")
         assert cache.get(key) is None
 
+    def test_corrupt_file_is_quarantined(self, tmp_path, sample_point, settings):
+        cache = ResultCache(tmp_path, memory_entries=0)
+        key = cache.key_for(sample_point.spec, settings)
+        cache.put(key, sample_point)
+        path = cache.path_for(key)
+        path.write_text("{ torn write")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_entries == 1
+        # the bad bytes are preserved for a post-mortem, off the lookup path
+        quarantined = path.with_suffix(path.suffix + ".corrupt")
+        assert not path.exists()
+        assert quarantined.read_text() == "{ torn write"
+        # the key is now an ordinary miss, so a fresh put repairs the entry
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_entries == 1
+        cache.put(key, sample_point)
+        assert cache.get(key).trace == sample_point.trace
+
+    def test_non_object_json_is_quarantined(self, tmp_path, sample_point,
+                                            settings):
+        cache = ResultCache(tmp_path, memory_entries=0)
+        key = cache.key_for(sample_point.spec, settings)
+        cache.put(key, sample_point)
+        cache.path_for(key).write_text(json.dumps([1, 2, 3]))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt_entries == 1
+
     def test_stats_count_every_level(self, tmp_path, sample_point, settings):
         cache = ResultCache(tmp_path)
         key = cache.key_for(sample_point.spec, settings)
@@ -110,7 +137,7 @@ class TestResultCache:
         cache.get(key)  # disk hit
         stats = cache.stats.as_dict()
         assert stats == {"memory_hits": 1, "disk_hits": 1, "misses": 1,
-                         "stores": 1, "stale_entries": 0}
+                         "stores": 1, "stale_entries": 0, "corrupt_entries": 0}
         assert cache.stats.hits == 2
 
     def test_put_spec_stores_the_canonical_spec(self, tmp_path, settings):

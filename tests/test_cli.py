@@ -421,3 +421,93 @@ class TestServiceCommands:
             main(["serve", "--no-cache", "--cache-dir", "somewhere"])
         with pytest.raises(ConfigurationError, match="batch_window_s"):
             main(["serve", "--batch-window-ms", "-1"])
+
+
+class TestFailureCommands:
+    """Fault injection at CLI level: --fail-rank/--fail-at, dag-failures,
+    client resilience knobs."""
+
+    def test_simulate_with_failure_reports_recovery(self, capsys):
+        code = main(
+            ["simulate", "--algorithm", "cholesky", "--cols", "512",
+             "--sites", "2", "--tile-size", "64",
+             "--fail-rank", "2", "--fail-at", "0.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered from rank death(s) 2" in out
+        assert "re-executed" in out
+        assert "of the failure-free run" in out
+
+    def test_simulate_failure_flags_rejected_for_spmd(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--runtime dag"):
+            main(["simulate", "--algorithm", "tsqr",
+                  "--fail-rank", "0", "--fail-at", "0.1"])
+        with pytest.raises(ConfigurationError, match="--runtime dag"):
+            main(["simulate", "--algorithm", "caqr", "--runtime", "spmd",
+                  "--fail-rank", "0", "--fail-at", "0.1"])
+
+    def test_simulate_failure_flags_come_in_pairs(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="pairs"):
+            main(["simulate", "--algorithm", "cholesky", "--cols", "512",
+                  "--tile-size", "64", "--fail-rank", "0"])
+        with pytest.raises(ConfigurationError, match="pairs"):
+            main(["simulate", "--algorithm", "cholesky", "--cols", "512",
+                  "--tile-size", "64", "--fail-rank", "0", "--fail-at", "0.1",
+                  "--fail-at", "0.2"])
+
+    def test_figure_dag_failures_to_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "failures.csv"
+        code = main(
+            ["figure", "--id", "dag-failures", "--cols", "1024",
+             "--tile-size", "128", "--failure-counts", "0,1",
+             "--csv", str(csv_path)]
+        )
+        assert code == 0
+        import csv
+
+        with csv_path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert [r["failures"] for r in rows] == ["0", "1"]
+        baseline, failing = rows
+        assert baseline["dead ranks"] == "-"
+        assert float(baseline["overhead (s)"]) == 0.0
+        assert failing["dead ranks"] != "-"
+        assert int(failing["recovery rounds"]) >= 1
+        # the failing run pays for re-execution on fewer ranks
+        assert float(failing["makespan (s)"]) >= float(baseline["makespan (s)"])
+        assert float(failing["failure-free (s)"]) == float(baseline["makespan (s)"])
+
+    def test_figure_failure_counts_rejected_elsewhere(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--failure-counts"):
+            main(["figure", "--id", "fig4", "--failure-counts", "0,1"])
+        with pytest.raises(ConfigurationError, match="no failure counts"):
+            main(["figure", "--id", "dag-failures", "--failure-counts", ""])
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            main(["figure", "--id", "dag-failures", "--failure-counts", "0,-1"])
+
+    def test_query_resilience_flags_need_connect(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--connect"):
+            main(["query", "--algorithm", "tsqr", "--retries", "2"])
+        with pytest.raises(ConfigurationError, match="--connect"):
+            main(["query", "--algorithm", "tsqr", "--timeout", "1.0"])
+        with pytest.raises(ConfigurationError, match="retries"):
+            main(["query", "--connect", "localhost:1", "--retries", "-1"])
+        with pytest.raises(ConfigurationError, match="timeout"):
+            main(["query", "--connect", "localhost:1", "--timeout", "0"])
+
+    def test_epilog_mentions_failure_injection(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "--fail-rank" in out
+        assert "dag-failures" in out
+        assert "--retries" in out
