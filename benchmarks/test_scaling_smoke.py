@@ -39,6 +39,14 @@ runtime's engine cost is tracked next to the SPMD path's.  A 512-rank
 DAG-Cholesky point (the algorithm registry's first non-QR scenario, ~45k
 tasks) joins it under the same gates, so graph construction and scheduling
 cost is tracked for a dense 2-D dependence structure too.
+
+A fourth section measures the always-on streaming-observability layer: the
+512- and 2048-rank TSQR rows re-run with ``streaming_stats=False`` next to a
+streaming run, best of paired measurements, and the streaming wall must stay
+within 10% (plus a small absolute slack) of the bare run — the overhead
+budget the observability layer was designed against.  Rows go to
+``results/scaling_smoke_tracing.csv`` and ``BENCH_engine.json`` under
+``tracing_overhead``.
 """
 
 from __future__ import annotations
@@ -96,6 +104,16 @@ REGRESSION_FLOOR_S = 1.0
 EVENTS_GATE_MIN_WALL_S = 0.01
 #: Flatness gate: no rank count below this fraction of the sweep's best rate.
 FLATNESS_COLLAPSE_RATIO = 0.5
+
+#: Rank counts of the streaming-stats overhead comparison.
+TRACING_OVERHEAD_RANKS = (512, 2048)
+#: Streaming on may cost at most 10% over streaming off…
+TRACING_OVERHEAD_FACTOR = 1.10
+#: …plus a small absolute slack so sub-second rows cannot flake on
+#: scheduler jitter.
+TRACING_OVERHEAD_SLACK_S = 0.15
+#: Each mode is measured this many times; the best wall is kept.
+TRACING_OVERHEAD_REPEATS = 2
 
 
 def _platform(n_ranks: int) -> Platform:
@@ -241,6 +259,51 @@ def test_engine_scaling_smoke(results_dir, bench_json):
     assert chol_result.critical_path_s <= chol_result.makespan_s
     assert chol_wall < 30.0
 
+    # Streaming-observability overhead: the always-on statistics layer may
+    # cost at most TRACING_OVERHEAD_FACTOR over a run with streaming off.
+    # Paired best-of-N runs per rank count (same platform, same config,
+    # alternating modes) keep CI noise out of the ratio; a small absolute
+    # slack keeps sub-second rows from flaking on scheduler jitter.
+    overhead_rows = []
+    overhead_failures = []
+    for n_ranks in TRACING_OVERHEAD_RANKS:
+        if ENGINE == "threads" and n_ranks > THREADS_MAX_RANKS:
+            continue
+        platform = _platform(n_ranks)
+        config = TSQRConfig(m=n_ranks * 4096, n=64)
+        wall_on = wall_off = float("inf")
+        for _ in range(TRACING_OVERHEAD_REPEATS):
+            start = time.perf_counter()
+            run_parallel_tsqr(platform, config, engine=ENGINE, streaming_stats=False)
+            wall_off = min(wall_off, time.perf_counter() - start)
+            start = time.perf_counter()
+            result = run_parallel_tsqr(platform, config, engine=ENGINE, streaming_stats=True)
+            wall_on = min(wall_on, time.perf_counter() - start)
+        assert result.trace.stats is not None  # streaming mode actually ran
+        limit = wall_off * TRACING_OVERHEAD_FACTOR + TRACING_OVERHEAD_SLACK_S
+        overhead_rows.append(
+            {
+                "ranks": n_ranks,
+                "wall_streaming_s": round(wall_on, 4),
+                "wall_no_streaming_s": round(wall_off, 4),
+                "overhead_pct": round((wall_on / wall_off - 1.0) * 100, 1)
+                if wall_off > 0 else None,
+            }
+        )
+        if wall_on > limit:
+            overhead_failures.append(
+                f"tracing overhead at {n_ranks} ranks: {wall_on:.3f}s streaming "
+                f"vs {wall_off:.3f}s without (limit {limit:.3f}s)"
+            )
+    report_rows(
+        f"Streaming-stats overhead (wall on vs off, {ENGINE} engine)",
+        overhead_rows,
+        results_dir,
+        "scaling_smoke_tracing.csv"
+        if ENGINE == "coroutine"
+        else f"scaling_smoke_tracing_{ENGINE}.csv",
+    )
+
     # Gate limits derive from the baseline loaded *before* this run rewrote
     # the file; the fresh artifact records that baseline next to the fresh
     # numbers, so a CI failure uploads both (and git keeps the committed
@@ -273,6 +336,15 @@ def test_engine_scaling_smoke(results_dir, bench_json):
                             "critical-path priority, block placement",
                 "recorded_row": prev_chol_rows[0] if prev_chol_rows else None,
                 "row": chol_row,
+            },
+            "tracing_overhead": {
+                "workload": "virtual-payload TSQR, streaming stats on vs off, "
+                            "best of paired runs",
+                "gate": {
+                    "factor": TRACING_OVERHEAD_FACTOR,
+                    "slack_s": TRACING_OVERHEAD_SLACK_S,
+                },
+                "rows": overhead_rows,
             },
         },
     )
@@ -312,4 +384,5 @@ def test_engine_scaling_smoke(results_dir, bench_json):
             collapse_ratio=FLATNESS_COLLAPSE_RATIO,
             min_wall_s=EVENTS_GATE_MIN_WALL_S,
         )
+    failures += overhead_failures
     assert not failures, "engine regression gate:\n  " + "\n  ".join(failures)

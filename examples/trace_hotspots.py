@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Streaming observability: where did a contended grid run spend its waits?
+
+The trace layer keeps streaming statistics *while the simulation runs* —
+log-bucketed latency/size histograms per link class, per-rank busy/wait
+timelines in coarse virtual-time windows, and a bounded table of contention
+sites ranked by accumulated p2p wait — all in fixed memory, with no event
+list retained.  This example runs a deliberately contended DAG-CAQR
+factorization (a small tile size on 4 geographical sites maximises
+inter-cluster traffic), then
+
+* prints the top-K hot links ("which (link, source, dest) pairs do I fix
+  first"), exactly what ``repro figure --id trace-hotspots`` tabulates;
+* writes the per-rank busy/wait timeline as a Chrome-trace / Perfetto JSON
+  (open it at https://ui.perfetto.dev) and as a CSV, into ``results/``.
+
+Run with::
+
+    python examples/trace_hotspots.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import ascii_table
+from repro.experiments.grid5000 import Grid5000Settings
+from repro.experiments.runner import ExperimentRunner
+from repro.obs.export import write_perfetto_trace, write_timeline_csv
+
+M, N, TILE, SITES = 16_384, 128, 32, 4
+TOP_K = 8
+
+
+def main() -> None:
+    # A reduced reservation keeps the run quick; the streaming layer is the
+    # same one that carries the 2048-rank benchmark smoke.
+    settings = Grid5000Settings(nodes_per_cluster=2, processes_per_node=2)
+    runner = ExperimentRunner(settings)  # no store: always a live run
+    point = runner.dag_caqr_point(M, N, SITES, tile_size=TILE)
+    trace = point.trace
+
+    print(
+        f"DAG-CAQR, M={M:,} N={N} tile={TILE} on {SITES} sites: "
+        f"{point.time_s:.4f} s simulated, {trace.total_messages:,} messages"
+    )
+
+    # ---- top-K contention sites, accumulated online in bounded memory
+    total_wait = sum(trace.comm_wait_s_per_rank)
+    rows = [
+        {
+            "#": i,
+            "link": spot.link,
+            "source": spot.source,
+            "dest": spot.dest,
+            "wait (s)": round(spot.wait_s, 6),
+            "wait share": round(spot.wait_s / total_wait, 4) if total_wait else 0.0,
+            "messages": spot.messages,
+            "MB": round(spot.nbytes / 1e6, 3),
+        }
+        for i, spot in enumerate(trace.hot_spots[:TOP_K], 1)
+    ]
+    print(f"\ntop {len(rows)} contention sites by accumulated p2p wait:\n")
+    print(ascii_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
+
+    # ---- the same streaming windows feed the exporters
+    out = Path("results")
+    out.mkdir(exist_ok=True)
+    perfetto = write_perfetto_trace(
+        out / "trace_hotspots.perfetto.json", trace, title="dag-caqr-contended"
+    )
+    csv_path = write_timeline_csv(out / "trace_hotspots_timeline.csv", trace)
+    stats = trace.stats
+    print(f"\nstreaming timeline: {stats.n_ranks} ranks, "
+          f"{stats.window_s * 1e3:.3f} ms windows over a "
+          f"{stats.horizon_s:.4f} s horizon")
+    print(f"  perfetto : {perfetto}  (open at https://ui.perfetto.dev)")
+    print(f"  csv      : {csv_path}")
+
+    # The head of the table concentrates the waiting: that is the contract
+    # that makes a top-K report actionable.
+    head_share = sum(r["wait share"] for r in rows)
+    assert trace.hot_spots, "a contended run must register contention sites"
+    assert head_share > 0.05, "top-K sites should carry a visible wait share"
+    print(f"\ntop-{len(rows)} sites carry {head_share:.1%} of all p2p wait")
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,7 @@ from repro.experiments import (
     table1,
     table2,
     table2_sweep,
+    trace_hotspots_report,
     write_csv,
 )
 from repro.service import (
@@ -112,6 +113,12 @@ examples:
       # recovery-overhead curve, written to results/dag_failures.csv
   repro query --connect 127.0.0.1:8642 --retries 4 --timeout 2.0 --cols 64 \\
       # bounded retry with exponential backoff against a flaky server
+  repro figure --id trace-hotspots --rows 16384 --cols 128 --tile-size 32 \\
+      # top contention sites by accumulated wait; results/trace_hotspots.csv
+  repro simulate --algorithm caqr --runtime dag --rows 16384 --cols 128 \\
+      --tile-size 32 --trace-out results/trace_caqr.perfetto.json \\
+      # Chrome-trace/Perfetto export of the streaming busy/wait windows
+  repro query --connect 127.0.0.1:8642 --stats   # pretty service counters
 """
 
 
@@ -157,6 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="virtual time in seconds of the matching --fail-rank death "
         "(repeatable)",
     )
+    simulate.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export the run's streaming busy/wait timeline: *.csv writes the "
+        "windowed per-rank CSV, anything else a Chrome-trace/Perfetto JSON "
+        "(forces a fresh simulation — cached points carry no timeline)",
+    )
     _add_cache_flags(simulate)
 
     figure = sub.add_parser("figure", help="regenerate a figure or table of the paper")
@@ -167,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
             "table1", "table2", "table2-sweep", "caqr-sweep", "dag-caqr-sweep",
-            "dag-cholesky-sweep", "dag-failures",
+            "dag-cholesky-sweep", "dag-failures", "trace-hotspots",
         ),
         help="which artefact to regenerate",
     )
@@ -301,6 +316,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fetch the server's cache/dedup counters instead of querying "
         "(needs --connect)",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        dest="raw_json",
+        help="print the raw --stats reply as JSON instead of the pretty report",
     )
     query.add_argument(
         "--best-tile",
@@ -565,9 +586,23 @@ def _print_cache_line(runner: ExperimentRunner) -> None:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = spec_from_config(_point_config_from_args(args))
-    runner = ExperimentRunner(store=_store_from_args(args))
+    # A trace export needs the full streaming snapshot (histograms,
+    # timelines), which is deliberately not serialised into the result
+    # cache — force a live simulation instead of a warm answer.
+    store = None if args.trace_out else _store_from_args(args)
+    runner = ExperimentRunner(store=store)
     point = runner.run_point(spec)
     print(format_points([point.as_row()]))
+    if args.trace_out:
+        from repro.obs.export import write_perfetto_trace, write_timeline_csv
+
+        if args.trace_out.endswith(".csv"):
+            path = write_timeline_csv(args.trace_out, point.trace)
+        else:
+            path = write_perfetto_trace(
+                args.trace_out, point.trace, title=f"repro-{spec.algorithm}"
+            )
+        print(f"\nstreaming timeline written to {path}")
     if point.critical_path_s is not None:
         print(f"\ncritical-path lower bound: {point.critical_path_s:.4f} s "
               f"({point.critical_path_s / point.time_s * 100:.1f}% of the makespan)")
@@ -589,10 +624,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     # Reject flags that the requested artefact would silently ignore.
     if args.rows is not None and args.figure_id not in (
-        "table2-sweep", "caqr-sweep", "dag-caqr-sweep"
+        "table2-sweep", "caqr-sweep", "dag-caqr-sweep", "trace-hotspots"
     ):
         raise ConfigurationError(
-            "--rows only applies to --id table2-sweep, caqr-sweep and dag-caqr-sweep"
+            "--rows only applies to --id table2-sweep, caqr-sweep, "
+            "dag-caqr-sweep and trace-hotspots"
             + (
                 " (tiled Cholesky is square; set the order with --cols)"
                 if args.figure_id in ("dag-cholesky-sweep", "dag-failures")
@@ -611,15 +647,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     ):
         raise ConfigurationError("--points only applies to fig4..fig8")
     if args.tile_size is not None and args.figure_id not in (
-        "caqr-sweep", "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures"
+        "caqr-sweep", "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures",
+        "trace-hotspots",
     ):
         raise ConfigurationError(
             "--tile-size only applies to --id caqr-sweep, dag-caqr-sweep, "
-            "dag-cholesky-sweep and dag-failures"
+            "dag-cholesky-sweep, dag-failures and trace-hotspots"
         )
-    if args.panel_tree is not None and args.figure_id not in ("caqr-sweep", "dag-caqr-sweep"):
+    if args.panel_tree is not None and args.figure_id not in (
+        "caqr-sweep", "dag-caqr-sweep", "trace-hotspots"
+    ):
         raise ConfigurationError(
-            "--panel-tree only applies to --id caqr-sweep and dag-caqr-sweep"
+            "--panel-tree only applies to --id caqr-sweep, dag-caqr-sweep "
+            "and trace-hotspots"
             + (
                 " (tiled Cholesky eliminates single-tile panels and has "
                 "nothing to reduce)"
@@ -628,18 +668,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
         )
     if args.placement is not None and args.figure_id not in (
-        "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures"
+        "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures", "trace-hotspots"
     ):
         raise ConfigurationError(
             "--placement only applies to --id dag-caqr-sweep, "
-            "dag-cholesky-sweep and dag-failures"
+            "dag-cholesky-sweep, dag-failures and trace-hotspots"
         )
     if args.priority is not None and args.figure_id not in (
-        "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures"
+        "dag-caqr-sweep", "dag-cholesky-sweep", "dag-failures", "trace-hotspots"
     ):
         raise ConfigurationError(
             "--priority only applies to --id dag-caqr-sweep, "
-            "dag-cholesky-sweep and dag-failures"
+            "dag-cholesky-sweep, dag-failures and trace-hotspots"
         )
     if args.failure_counts is not None and args.figure_id != "dag-failures":
         raise ConfigurationError("--failure-counts only applies to --id dag-failures")
@@ -666,6 +706,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             if args.figure_id == "dag-cholesky-sweep"
             else DAG_FAILURES_SWEEP_N[0]
             if args.figure_id == "dag-failures"
+            else DAG_SWEEP_N
+            if args.figure_id == "trace-hotspots"
             else 64
         )
     if args.figure_id == "fig3":
@@ -723,6 +765,19 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         if args.failure_counts is not None:
             kwargs["failure_counts"] = _parse_failure_counts(args.failure_counts)
         rows = dag_failures_sweep(runner, **kwargs)
+    elif args.figure_id == "trace-hotspots":
+        kwargs = {"n": n}
+        if args.rows is not None:
+            kwargs["m"] = args.rows  # rejected by DAGCAQRConfig if invalid
+        if args.tile_size is not None:
+            kwargs["tile_size"] = args.tile_size
+        if args.panel_tree is not None:
+            kwargs["panel_tree"] = args.panel_tree
+        if args.placement is not None:
+            kwargs["placement"] = args.placement
+        if args.priority is not None:
+            kwargs["priority"] = args.priority
+        rows = trace_hotspots_report(runner, **kwargs)
     else:
         builder = {"fig4": figure4, "fig5": figure5, "fig6": figure6, "fig7": figure7,
                    "fig8": figure8}[args.figure_id]
@@ -746,6 +801,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     csv_path = args.csv
     if csv_path is None and args.figure_id == "dag-failures":
         csv_path = "results/dag_failures.csv"
+    if csv_path is None and args.figure_id == "trace-hotspots":
+        csv_path = "results/trace_hotspots.csv"
     if csv_path:
         path = write_csv(csv_path, rows)
         print(f"\nseries written to {path}")
@@ -837,11 +894,55 @@ def _cmd_query_best_tile(args: argparse.Namespace, runner: ExperimentRunner) -> 
     return 0
 
 
+def _format_quantiles(q: dict) -> str:
+    """One-line ``n/mean/p50/p95/p99/max`` rendering of a histogram summary."""
+    return (f"n={q.get('n', 0)}  mean={q.get('mean', 0.0):.6g}  "
+            f"p50={q.get('p50', 0.0):.6g}  p95={q.get('p95', 0.0):.6g}  "
+            f"p99={q.get('p99', 0.0):.6g}  max={q.get('max', 0.0):.6g}")
+
+
+def _print_service_stats(target: str, reply: dict) -> None:
+    """Human-readable report of one ``stats`` protocol reply."""
+    stats = reply.get("stats", {})
+    print(f"service stats ({target})")
+    print(f"  queries ............... {stats.get('queries', 0)}")
+    print(f"  memory hits ........... {stats.get('memory_hits', 0)}")
+    print(f"  disk hits ............. {stats.get('disk_hits', 0)}")
+    print(f"  single-flight joins ... {stats.get('single_flight_joins', 0)}")
+    print(f"  simulations ........... {stats.get('simulations', 0)} "
+          f"(runner total: {stats.get('runner_simulations', 0)})")
+    print(f"  batches ............... {stats.get('batches', 0)} "
+          f"(largest: {stats.get('largest_batch', 0)})")
+    print(f"  failed simulations .... {stats.get('failed_simulations', 0)}")
+    cache = stats.get("cache")
+    if cache is not None:
+        print("\ncache (memory LRU over the content-addressed disk store)")
+        print(f"  memory hits {cache.get('memory_hits', 0)} | "
+              f"disk hits {cache.get('disk_hits', 0)} | "
+              f"misses {cache.get('misses', 0)} | "
+              f"stores {cache.get('stores', 0)} | "
+              f"stale {cache.get('stale_entries', 0)} | "
+              f"corrupt {cache.get('corrupt_entries', 0)}")
+    metrics = stats.get("metrics")
+    if metrics is not None:
+        latencies = metrics.get("request_latency_s", {})
+        if latencies:
+            print("\nrequest latency (wall seconds)")
+            for op, q in latencies.items():
+                print(f"  {op:<12} {_format_quantiles(q)}")
+        print("\nqueue depth at enqueue")
+        print(f"  {_format_quantiles(metrics.get('queue_depth', {}))}")
+        print("batch size at flush")
+        print(f"  {_format_quantiles(metrics.get('batch_size', {}))}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.burst is not None and args.burst < 1:
         raise ConfigurationError(f"--burst must be >= 1, got {args.burst}")
     if args.stats and (args.burst is not None or args.best_tile):
         raise ConfigurationError("--stats is a request of its own; drop --burst/--best-tile")
+    if args.raw_json and not args.stats:
+        raise ConfigurationError("--json only applies to --stats")
     if args.candidates is not None and not args.best_tile:
         raise ConfigurationError("--candidates only applies to --best-tile")
     if (args.retries is not None or args.timeout is not None) and args.connect is None:
@@ -871,8 +972,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.timeout is not None:
             client["timeout_s"] = args.timeout
         if args.stats:
-            print(json.dumps(remote_stats(host, port, **client),
-                             indent=2, sort_keys=True))
+            reply = remote_stats(host, port, **client)
+            if args.raw_json:
+                print(json.dumps(reply, indent=2, sort_keys=True))
+            else:
+                _print_service_stats(args.connect, reply)
             return 0
         config = _point_config_from_args(args)
         if args.burst is not None:

@@ -16,7 +16,14 @@ Three questions a dataflow schedule raises, answered from first principles:
   :class:`~repro.gridsim.trace.TraceSummary`.
 * **What did the schedule look like?**  :func:`write_gantt_csv` exports the
   per-task ``(task, kernel, rank, start, end)`` records the runtime collects
-  with ``record_schedule=True`` — a Gantt chart in CSV form.
+  with ``record_schedule=True`` — a Gantt chart in CSV form.  For runs that
+  did *not* retain per-task records (the default at scale), the streaming
+  observability layer provides the bounded-memory equivalent:
+  :func:`write_utilization_timeline_csv` and
+  :func:`write_utilization_perfetto` render the per-rank busy/wait windows
+  that :class:`~repro.obs.stats.StreamingTraceStats` accumulates online, so
+  a Gantt-like utilisation view no longer requires ``record_schedule`` or
+  ``record=True``.
 """
 
 from __future__ import annotations
@@ -42,6 +49,8 @@ __all__ = [
     "rank_utilization",
     "mean_idle_fraction",
     "write_gantt_csv",
+    "write_utilization_perfetto",
+    "write_utilization_timeline_csv",
 ]
 
 
@@ -261,3 +270,30 @@ def write_gantt_csv(
                 [entry.task, entry.kernel, entry.rank, entry.start_s, entry.end_s]
             )
     return path
+
+
+def write_utilization_timeline_csv(trace: TraceSummary, path: str | Path) -> Path:
+    """Export the streaming busy/wait/bytes windows of a live run as CSV.
+
+    The windowed counterpart of :func:`write_gantt_csv` for runs without
+    ``record_schedule``: memory-bounded, always on, one row per active
+    ``(rank, window)``.  Requires a summary from a live simulation
+    (``trace.stats`` is None for cache-rebuilt summaries — re-simulate).
+    """
+    from repro.obs.export import write_timeline_csv
+
+    return write_timeline_csv(path, trace)
+
+
+def write_utilization_perfetto(
+    trace: TraceSummary, path: str | Path, *, title: str = "repro-dag"
+) -> Path:
+    """Export the streaming windows as Chrome-trace/Perfetto JSON.
+
+    Loads in ``ui.perfetto.dev`` / ``chrome://tracing``: one thread track
+    per rank, a ``busy`` and a ``comm-wait`` slice per active window, hot
+    spots and latency quantiles in ``otherData``.
+    """
+    from repro.obs.export import write_perfetto_trace
+
+    return write_perfetto_trace(path, trace, title=title)

@@ -862,3 +862,60 @@ def dag_failures_sweep(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Trace hot spots: where the waiting happened (streaming observability)
+# ---------------------------------------------------------------------------
+
+def trace_hotspots_report(
+    runner: ExperimentRunner,
+    *,
+    m: int = DAG_SWEEP_M[0],
+    n: int = DAG_SWEEP_N,
+    n_sites: int = DAG_SWEEP_SITES,
+    tile_size: int = DAG_SWEEP_TILE,
+    panel_tree: str = "binary",
+    placement: str = "block",
+    priority: str = "critical-path",
+    top_k: int = 8,
+) -> list[dict[str, object]]:
+    """Rank the top-K contention sites of a contended DAG-CAQR run.
+
+    The streaming trace layer accumulates p2p wait seconds per
+    ``(link class, source, dest)`` site online, in fixed memory, with no
+    event retention — so this report works unchanged at 2048+ ranks.  Each
+    row is one site, ordered by accumulated wait; "wait share" is its
+    fraction of the run's total p2p wait, so the head of the table answers
+    "which links do I fix first".  The sentinel pair ``source = dest = -1``
+    is the bounded accumulator's overflow site (all sites past the cap).
+
+    Works from warm cache entries too: the top-K sites are serialised with
+    the cached point (unlike the full histogram/timeline snapshot, which
+    needs a live run).
+    """
+    point = runner.dag_caqr_point(
+        m, n, n_sites, tile_size=tile_size, panel_tree=panel_tree,
+        placement=placement, priority=priority,
+    )
+    total_wait = sum(point.trace.comm_wait_s_per_rank)
+    rows: list[dict[str, object]] = []
+    for i, spot in enumerate(point.trace.hot_spots[:top_k], 1):
+        rows.append(
+            {
+                "#": i,
+                "M": m,
+                "N": n,
+                "tile": tile_size,
+                "link": spot.link,
+                "source": spot.source,
+                "dest": spot.dest,
+                "wait (s)": round(spot.wait_s, 6),
+                "wait share": round(spot.wait_s / total_wait, 4)
+                if total_wait > 0
+                else 0.0,
+                "messages": spot.messages,
+                "MB": round(spot.nbytes / 1e6, 3),
+            }
+        )
+    return rows

@@ -524,7 +524,7 @@ class CommCore:
             tree, list(values), clocks, edge_time, self._combine_maker(op)
         )
         # Record the combine flops against the world rank of each internal node.
-        self._charge_reduce_flops(tree, values, op)
+        self._charge_reduce_flops(tree, values, clocks, op)
         out = [None] * self.size
         out[root] = result
         return out, exit_clocks
@@ -539,18 +539,24 @@ class CommCore:
         result, up_clocks = simulate_reduce(
             tree, list(values), clocks, edge_up, self._combine_maker(op)
         )
-        self._charge_reduce_flops(tree, values, op)
+        self._charge_reduce_flops(tree, values, clocks, op)
         results, exit_clocks = simulate_broadcast(
             tree, result, up_clocks, edge_down, root_ready=up_clocks[tree.root]
         )
         return results, exit_clocks
 
-    def _charge_reduce_flops(self, tree: TreeSchedule, values, op: ReduceOp) -> None:
+    def _charge_reduce_flops(
+        self, tree: TreeSchedule, values, clocks, op: ReduceOp
+    ) -> None:
         """Replay the reduce combine order to attribute flops to parent ranks.
 
         The seconds passed along are the same ``dt`` the reduce simulation
         charged to the parent's exit clock, so the per-rank busy accounting
-        of the trace covers collective compute too.
+        of the trace covers collective compute too.  The streaming busy
+        timeline places each combine at the parent's *entry* clock — a
+        deliberately coarse attribution (the exact exit clock lives inside
+        the reduce simulation), deterministic across backends because
+        ``clocks`` is the same entry snapshot on both.
         """
         acc = list(values)
         kernel_model = self.state.platform.kernel_model
@@ -560,7 +566,9 @@ class CommCore:
                 _walk(child)
                 flops, n = op.combine_cost(acc[pos], acc[child])
                 dt = kernel_model.time(flops, op.kernel, n)
-                self.state.trace.record_flops(self.world_rank(pos), flops, op.kernel, dt)
+                self.state.trace.record_flops(
+                    self.world_rank(pos), flops, op.kernel, dt, clocks[pos]
+                )
                 acc[pos] = op.func(acc[pos], acc[child])
 
         _walk(tree.root)

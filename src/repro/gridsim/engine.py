@@ -153,6 +153,12 @@ class CoroutineScheduler:
         self._direct: tuple[float, int] | None = None
         self._started: set[int] = set()
         self._gens: list[GeneratorType | None] = [None] * n_slots
+        #: Streaming-stats window ticks: one float compare per dispatch when
+        #: streaming is on, a compare against +inf when it is off.  Pure
+        #: observer (max-only horizon update) — never affects pop order.
+        stats = state.trace.stats
+        self._obs = stats
+        self._obs_tick = stats.next_tick if stats is not None else float("inf")
 
     # ------------------------------------------------------------ main loop
     def run(
@@ -281,12 +287,15 @@ class CoroutineScheduler:
             top = self._ready[0] if self._ready else None
             if direct is not None and (top is None or direct < top):
                 self._direct = None
-                rank = direct[1]
+                entry = direct
             elif top is not None:
-                rank = heapq.heappop(self._ready)[1]
+                entry = heapq.heappop(self._ready)
             else:
                 return None
+            rank = entry[1]
             if self._status[rank] is RankStatus.READY:
+                if entry[0] >= self._obs_tick:
+                    self._obs_tick = self._obs.on_tick(entry[0])
                 return rank
 
     # ----------------------------------------------- shared scheduler surface

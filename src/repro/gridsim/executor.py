@@ -298,6 +298,7 @@ class SPMDExecutor:
         engine: str | None = None,
         reuse_threads: bool | None = None,
         failures: FailureSchedule | None = None,
+        streaming_stats: bool | None = None,
     ) -> None:
         if reuse_threads is not None:
             warnings.warn(
@@ -326,6 +327,9 @@ class SPMDExecutor:
         self.collective_tree = collective_tree
         self.engine = engine
         self.failures = failures
+        #: None = process default (on unless REPRO_STREAMING_STATS=0); the
+        #: benchmark overhead gate passes False explicitly.
+        self.streaming_stats = streaming_stats
 
     def run(
         self,
@@ -352,6 +356,7 @@ class SPMDExecutor:
             active_ranks=active,
             engine="coroutine" if self.engine == "coroutine" else "threads",
             failures=self.failures,
+            streaming_stats=self.streaming_stats,
         )
         scheduler = state.scheduler
         world = CommCore(
@@ -446,9 +451,13 @@ class SPMDExecutor:
             raise SimulationError(
                 f"{len(errors)} rank(s) failed; first failure on rank {rank}: {first!r}"
             ) from first
+        # Pin the streaming-stats horizon to the makespan before
+        # snapshotting, so the timeline window width is backend-independent.
+        makespan = state.makespan()
+        state.trace.finalize(makespan)
         return SimulationResult(
             results=results,
-            makespan=state.makespan(),
+            makespan=makespan,
             trace=state.trace.summary(),
             clocks=state.clocks(),
             # The trace accumulates events only when recording is on; the
@@ -468,6 +477,7 @@ def run_spmd(
     engine: str | None = None,
     reuse_threads: bool | None = None,
     failures: FailureSchedule | None = None,
+    streaming_stats: bool | None = None,
     **kwargs: object,
 ) -> SimulationResult:
     """Convenience wrapper: build an executor and run ``program`` once."""
@@ -478,5 +488,6 @@ def run_spmd(
         engine=engine,
         reuse_threads=reuse_threads,
         failures=failures,
+        streaming_stats=streaming_stats,
     )
     return executor.run(program, *args, **kwargs)

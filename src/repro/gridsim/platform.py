@@ -101,9 +101,14 @@ class SimulationState:
         active_ranks: Sequence[int] | None = None,
         engine: str = "coroutine",
         failures: FailureSchedule | None = None,
+        streaming_stats: bool | None = None,
     ) -> None:
         self.platform = platform
-        self.trace = Trace(platform.n_processes, record_messages=record_messages)
+        self.trace = Trace(
+            platform.n_processes,
+            record_messages=record_messages,
+            streaming=streaming_stats,
+        )
         self._clocks = [0.0] * platform.n_processes
         self.abort = threading.Event()
         #: Plain-bool mirror of the abort event, read on every hot-path abort
@@ -260,8 +265,9 @@ class SimulationState:
             self._rate_cache[(kernel, n)] = rate
         dt = float(flops) / rate if flops else 0.0
         # Inlined advance(): dt >= 0 by construction (flops >= 0, rate > 0).
-        self._clocks[rank] += dt
-        self.trace.record_flops(rank, flops, kernel, dt)
+        clock = self._clocks[rank] + dt
+        self._clocks[rank] = clock
+        self.trace.record_flops(rank, flops, kernel, dt, clock)
         return dt
 
     # ------------------------------------------------------- injected death

@@ -166,6 +166,11 @@ class VirtualTimeScheduler:
         #: runnable set is always ``heap entries + direct slot``.
         self._direct: tuple[float, int] | None = None
         self._granted: int | None = None
+        #: Streaming-stats window ticks (same observer contract as the
+        #: coroutine backend: one float compare per pop, max-only update).
+        stats = state.trace.stats
+        self._obs = stats
+        self._obs_tick = stats.next_tick if stats is not None else float("inf")
         with self._mu:
             self._dispatch_locked()
 
@@ -326,12 +331,18 @@ class VirtualTimeScheduler:
             top = self._ready[0] if self._ready else None
             if direct is not None and (top is None or direct < top):
                 self._direct = None
-                rank = direct[1]
+                entry = direct
             elif top is not None:
-                rank = heapq.heappop(self._ready)[1]
+                entry = heapq.heappop(self._ready)
             else:
                 return None
+            rank = entry[1]
             if self._status[rank] is RankStatus.READY:
+                # Streaming-stats window tick: max-only horizon update, so
+                # differing dispatch patterns between backends cannot perturb
+                # the snapshot (finalize() pins the horizon regardless).
+                if entry[0] >= self._obs_tick:
+                    self._obs_tick = self._obs.on_tick(entry[0])
                 return rank
 
     def _dispatch_locked(self) -> None:

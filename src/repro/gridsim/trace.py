@@ -21,16 +21,32 @@ Because events are appended in a single global order that is a pure function
 of the simulated program, two identical runs produce identical ``events``
 streams (and therefore byte-identical summaries), which the determinism
 tests assert.
+
+**Streaming statistics.**  Independently of event recording, the trace feeds
+a :class:`~repro.obs.stats.StreamingTraceStats` observer inline from the same
+single-writer hot path (``streaming=True``, the default): log-bucketed
+latency/size/flop histograms, windowed busy/wait timelines and contention
+hot spots, all in fixed memory with no event list.  The observer never feeds
+back into pricing or scheduling — pinned trace hashes are untouched — and it
+can be switched off (``streaming=False`` or ``REPRO_STREAMING_STATS=0``) for
+overhead measurements.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 
 from repro.gridsim.network import LinkClass
+from repro.obs.stats import HotSpot, StreamingTraceStats, TraceStats
 
 __all__ = ["MessageRecord", "Trace", "TraceSummary"]
+
+
+def _streaming_default() -> bool:
+    """Session-wide default for streaming stats (env kill switch for benches)."""
+    return os.environ.get("REPRO_STREAMING_STATS", "1") not in ("0", "false", "off")
 
 
 @dataclass(frozen=True)
@@ -73,6 +89,17 @@ class TraceSummary:
     #: death order.  Empty for runs without a failure schedule, so summaries
     #: of failure-free runs compare equal to pre-fault-tolerance ones.
     rank_failures: tuple[tuple[int, float], ...] = ()
+    #: Top-K contention sites by accumulated p2p wait time (streaming
+    #: observability; empty when streaming stats are off).  Excluded from
+    #: equality so summaries round-tripped through the persistent cache —
+    #: which serialises the spots but not the full snapshot — and summaries
+    #: from streaming-off runs still compare equal.
+    hot_spots: tuple[HotSpot, ...] = field(default=(), compare=False)
+    #: Full streaming snapshot (histograms, timelines, link traffic) for
+    #: live runs; None when streaming is off or the summary was rebuilt from
+    #: the persistent cache.  Observer output only — excluded from equality
+    #: and repr like :attr:`hot_spots`.
+    stats: TraceStats | None = field(default=None, compare=False, repr=False)
 
     def idle_s_per_rank(self, makespan: float) -> tuple[float, ...]:
         """Per-rank idle seconds: makespan minus compute minus p2p waits.
@@ -118,11 +145,32 @@ class Trace:
         When True, every message is kept as a :class:`MessageRecord` (useful
         for debugging and for the fine-grained tree tests); when False only
         the counters are maintained, which is what the large benchmarks use.
+    streaming:
+        When True (the default, overridable per-process with
+        ``REPRO_STREAMING_STATS=0``), an always-on
+        :class:`~repro.obs.stats.StreamingTraceStats` observer is fed inline
+        from the recording hot path: histograms, windowed timelines and hot
+        spots in fixed memory, independent of ``record_messages``.
     """
 
-    def __init__(self, n_ranks: int, *, record_messages: bool = False) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        *,
+        record_messages: bool = False,
+        streaming: bool | None = None,
+    ) -> None:
         self.n_ranks = n_ranks
         self.record_messages = record_messages
+        if streaming is None:
+            streaming = _streaming_default()
+        self.stats: StreamingTraceStats | None = (
+            StreamingTraceStats(n_ranks) if streaming else None
+        )
+        # Bound-method caches: one attribute load on the hot path instead of
+        # two, and a plain None test when streaming is off.
+        self._on_message = self.stats.on_message if streaming else None
+        self._on_flops = self.stats.on_flops if streaming else None
         # Guards summary()/reset() boundaries only; recording is lock-free
         # (single-writer under the cooperative scheduler).
         self._lock = threading.Lock()
@@ -174,8 +222,9 @@ class Trace:
         if link is LinkClass.SELF:
             return
         idx = link.index
+        nbytes = int(nbytes)
         self._msg_count[idx] += 1
-        self._bytes[idx] += int(nbytes)
+        self._bytes[idx] += nbytes
         self._msgs_per_rank[source] += 1
         self._msgs_per_rank[dest] += 1
         if wait_s > 0.0:
@@ -183,20 +232,33 @@ class Trace:
         if link is LinkClass.INTER_CLUSTER:
             self._inter_msgs_per_rank[source] += 1
             self._inter_msgs_per_rank[dest] += 1
+        if self._on_message is not None:
+            self._on_message(
+                source, dest, nbytes, idx, tag, send_time, recv_time, wait_s
+            )
         if self.record_messages:
             record = MessageRecord(
-                source, dest, int(nbytes), link, tag, send_time, recv_time
+                source, dest, nbytes, link, tag, send_time, recv_time
             )
             self.messages.append(record)
             self.events.append(("message", record))
 
     def record_flops(
-        self, rank: int, flops: float, kernel: str = "unknown", seconds: float = 0.0
+        self,
+        rank: int,
+        flops: float,
+        kernel: str = "unknown",
+        seconds: float = 0.0,
+        end_time: float | None = None,
     ) -> None:
         """Account for ``flops`` floating-point operations executed by ``rank``.
 
         ``seconds`` is the virtual time those flops took on the rank's clock
         (the busy-time component of the per-rank utilisation breakdown).
+        ``end_time`` is the rank's clock when the charge completed; it only
+        places the charge on the streaming busy timeline (None leaves the
+        timeline untouched) and is deliberately absent from the pinned event
+        tuple format.
         """
         if flops <= 0:
             return
@@ -206,6 +268,8 @@ class Trace:
         kernels = self._flops_by_kernel
         kernels[kernel] = kernels.get(kernel, 0.0) + flops
         self._flop_events += 1
+        if self._on_flops is not None:
+            self._on_flops(rank, flops, kernel, seconds, end_time)
         if self.record_messages:
             self.events.append(("flops", rank, flops, kernel))
 
@@ -214,6 +278,17 @@ class Trace:
         self.rank_failures.append((rank, time))
         if self.record_messages:
             self.events.append(("rank_failure", rank, time))
+
+    def finalize(self, makespan: float) -> None:
+        """Pin the streaming horizon to the run's makespan.
+
+        Called by the executor once every rank has finished, so the
+        timeline snapshot width is a pure function of the makespan —
+        identical across backends and recording modes regardless of how
+        often the schedulers ticked.
+        """
+        if self.stats is not None:
+            self.stats.finalize(makespan)
 
     # ------------------------------------------------------------- queries
     def message_count(self, link: LinkClass | None = None) -> int:
@@ -259,6 +334,10 @@ class Trace:
                 busy_s_per_rank=tuple(self._busy_s_per_rank),
                 comm_wait_s_per_rank=tuple(self._comm_wait_s_per_rank),
                 rank_failures=tuple(self.rank_failures),
+                hot_spots=(
+                    self.stats.top_hotspots() if self.stats is not None else ()
+                ),
+                stats=self.stats.snapshot() if self.stats is not None else None,
             )
 
     def reset(self) -> None:
@@ -276,3 +355,7 @@ class Trace:
             self._busy_s_per_rank = [0.0] * self.n_ranks
             self._comm_wait_s_per_rank = [0.0] * self.n_ranks
             self.rank_failures = []
+            if self.stats is not None:
+                self.stats = StreamingTraceStats(self.n_ranks)
+                self._on_message = self.stats.on_message
+                self._on_flops = self.stats.on_flops

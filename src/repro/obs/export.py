@@ -1,0 +1,180 @@
+"""Structured exports of streaming trace statistics.
+
+Emitters here are fed purely from :class:`~repro.obs.stats.TraceStats`
+snapshots — the fixed-memory windows maintained online — so a full
+utilisation timeline of a 2048+-rank run can be exported without ever
+having retained an event list (``record_messages`` stays off).
+
+Formats:
+
+* :func:`write_perfetto_trace` — Chrome trace-event JSON (the ``[catapult]``
+  flavour Perfetto and ``chrome://tracing`` both load).  Each rank becomes a
+  thread track; every timeline window with activity contributes a ``busy``
+  slice followed by a ``comm-wait`` slice, which renders as a Gantt-like
+  utilisation view.  Hot spots and histogram quantiles ride along in
+  ``otherData``.
+* :func:`write_timeline_csv` — the raw windows, one row per
+  ``(rank, window)``.
+* :func:`write_hotspots_csv` — the top-K contention sites.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.obs.stats import TraceStats
+
+__all__ = [
+    "resolve_stats",
+    "write_hotspots_csv",
+    "write_perfetto_trace",
+    "write_timeline_csv",
+]
+
+
+def resolve_stats(source) -> TraceStats:
+    """Accept a :class:`TraceStats` or anything with a ``.stats`` attribute.
+
+    ``TraceSummary`` (and ``ExperimentPoint.trace``) carry their snapshot in
+    ``.stats``; summaries rebuilt from the persistent cache have ``None``
+    there, which is an error for export — the caller must re-simulate.
+    """
+    if isinstance(source, TraceStats):
+        return source
+    stats = getattr(source, "stats", None)
+    if isinstance(stats, TraceStats):
+        return stats
+    raise ValueError(
+        "no streaming statistics attached: trace exports need a live "
+        "simulation (cached summaries carry only the top-K hot spots)"
+    )
+
+
+def write_perfetto_trace(path: str | Path, source, *, title: str = "repro-sim") -> Path:
+    """Write a Chrome trace-event JSON file of the windowed timelines."""
+    stats = resolve_stats(source)
+    window_us = stats.window_s * 1e6
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": title},
+        }
+    ]
+    ranks = sorted(set(stats.busy_timeline) | set(stats.wait_timeline))
+    for rank in ranks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        busy = stats.busy_timeline.get(rank, ())
+        wait = stats.wait_timeline.get(rank, ())
+        n = max(len(busy), len(wait))
+        for i in range(n):
+            start_us = i * window_us
+            busy_s = busy[i] if i < len(busy) else 0.0
+            wait_s = wait[i] if i < len(wait) else 0.0
+            if busy_s > 0.0:
+                events.append(
+                    {
+                        "name": "busy",
+                        "cat": "compute",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": rank,
+                        "ts": start_us,
+                        "dur": min(busy_s, stats.window_s) * 1e6,
+                        "args": {
+                            "busy_s": busy_s,
+                            "utilization": busy_s / stats.window_s,
+                        },
+                    }
+                )
+            if wait_s > 0.0:
+                events.append(
+                    {
+                        "name": "comm-wait",
+                        "cat": "comm",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": rank,
+                        "ts": start_us + min(busy_s, stats.window_s) * 1e6,
+                        "dur": min(wait_s, stats.window_s) * 1e6,
+                        "args": {"wait_s": wait_s},
+                    }
+                )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "title": title,
+            "n_ranks": stats.n_ranks,
+            "horizon_s": stats.horizon_s,
+            "window_s": stats.window_s,
+            "hot_spots": [h.as_dict() for h in stats.hot_spots],
+            "latency_by_link": {
+                k: v.as_dict() for k, v in stats.latency_by_link.items()
+            },
+            "link_traffic": stats.link_traffic,
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_timeline_csv(path: str | Path, source) -> Path:
+    """Write one row per (rank, window) with busy/wait/received-bytes columns."""
+    stats = resolve_stats(source)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ranks = sorted(
+        set(stats.busy_timeline)
+        | set(stats.wait_timeline)
+        | set(stats.recv_bytes_timeline)
+    )
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["rank", "window", "t_start_s", "t_end_s", "busy_s", "comm_wait_s", "recv_bytes"]
+        )
+        w = stats.window_s
+        for rank in ranks:
+            busy = stats.busy_timeline.get(rank, ())
+            wait = stats.wait_timeline.get(rank, ())
+            nbytes = stats.recv_bytes_timeline.get(rank, ())
+            for i in range(max(len(busy), len(wait), len(nbytes))):
+                busy_s = busy[i] if i < len(busy) else 0.0
+                wait_s = wait[i] if i < len(wait) else 0.0
+                recv = nbytes[i] if i < len(nbytes) else 0
+                if busy_s == 0.0 and wait_s == 0.0 and recv == 0:
+                    continue
+                writer.writerow(
+                    [rank, i, repr(i * w), repr((i + 1) * w), repr(busy_s), repr(wait_s), recv]
+                )
+    return path
+
+
+def write_hotspots_csv(path: str | Path, hot_spots) -> Path:
+    """Write the top-K contention sites (``HotSpot`` sequence) as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["rank", "link", "source", "dest", "wait_s", "messages", "nbytes"])
+        for i, spot in enumerate(hot_spots, 1):
+            writer.writerow(
+                [i, spot.link, spot.source, spot.dest, repr(spot.wait_s),
+                 spot.messages, spot.nbytes]
+            )
+    return path

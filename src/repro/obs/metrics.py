@@ -1,0 +1,106 @@
+"""Operational metrics for the simulation service tier.
+
+Where :class:`~repro.obs.stats.StreamingTraceStats` observes *virtual* time
+inside a simulation, :class:`ServiceMetrics` observes *wall-clock* behaviour
+of the ``repro serve`` process: request latency per operation, queue depth at
+enqueue, and batch sizes at flush — all as bounded log-bucketed histograms,
+never per-request records.
+
+All observation points run on the server's asyncio event loop (the blocking
+simulation work happens in an executor, but the measurements bracket it from
+the loop), so like the trace layer this is single-writer and lock-free.
+
+:meth:`ServiceMetrics.maybe_log` emits a single-line structured JSON log
+record at most every ``log_every_s`` wall seconds — cheap enough to call per
+request, greppable in service logs (``event=service-metrics``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+from repro.obs.stats import LogHistogram
+
+__all__ = ["ServiceMetrics"]
+
+logger = logging.getLogger("repro.service")
+
+
+class ServiceMetrics:
+    """Bounded wall-clock metrics for one service process.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``; only
+    used for log pacing — latencies are measured by the caller).
+    """
+
+    def __init__(self, *, log_every_s: float = 60.0, clock=time.monotonic) -> None:
+        self.log_every_s = log_every_s
+        self._clock = clock
+        self._last_log = clock()
+        #: op name -> latency histogram (seconds).
+        self._latency: dict[str, LogHistogram] = {}
+        self._latency_max: dict[str, float] = {}
+        self._queue_depth = LogHistogram()
+        self._queue_depth_max = 0
+        self._batch_size = LogHistogram()
+        self._batch_size_max = 0
+
+    # ------------------------------------------------------------- observe
+    def observe_request(self, op: str, seconds: float) -> None:
+        """Record the wall latency of one handled request."""
+        hist = self._latency.get(op)
+        if hist is None:
+            hist = self._latency[op] = LogHistogram()
+        hist.add(seconds)
+        if seconds > self._latency_max.get(op, 0.0):
+            self._latency_max[op] = seconds
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Record the pending-queue depth seen at enqueue time."""
+        self._queue_depth.add(depth)
+        if depth > self._queue_depth_max:
+            self._queue_depth_max = depth
+
+    def observe_batch(self, size: int) -> None:
+        """Record the size of one simulation batch at flush time."""
+        self._batch_size.add(size)
+        if size > self._batch_size_max:
+            self._batch_size_max = size
+
+    # -------------------------------------------------------------- export
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (nested under the stats reply's "metrics" key)."""
+
+        def _quantiles(hist: LogHistogram, maximum) -> dict:
+            frozen = hist.freeze()
+            return {
+                "n": frozen.n,
+                "mean": frozen.mean,
+                "p50": frozen.p50,
+                "p95": frozen.p95,
+                "p99": frozen.p99,
+                "max": maximum,
+            }
+
+        return {
+            "request_latency_s": {
+                op: _quantiles(hist, self._latency_max.get(op, 0.0))
+                for op, hist in sorted(self._latency.items())
+            },
+            "queue_depth": _quantiles(self._queue_depth, self._queue_depth_max),
+            "batch_size": _quantiles(self._batch_size, self._batch_size_max),
+        }
+
+    def maybe_log(self, extra: dict | None = None) -> bool:
+        """Emit one structured log line if ``log_every_s`` has elapsed."""
+        now = self._clock()
+        if now - self._last_log < self.log_every_s:
+            return False
+        self._last_log = now
+        record = {"event": "service-metrics", **self.as_dict()}
+        if extra:
+            record.update(extra)
+        logger.info("%s", json.dumps(record, sort_keys=True))
+        return True

@@ -302,6 +302,7 @@ def run_program(
     record_messages: bool = False,
     engine: str | None = None,
     failures: "FailureSchedule | None" = None,
+    streaming_stats: bool | None = None,
     **kwargs: object,
 ) -> ProgramRun:
     """Run an SPMD program on ``platform`` and summarise its performance.
@@ -310,7 +311,9 @@ def run_program(
     paper's Gflop/s denominator), not the number executed — TSQR's redundant
     combine flops, for instance, are excluded by convention.  ``engine``
     selects the executor backend (``None`` = the executor default);
-    ``failures`` injects a deterministic rank-death schedule.
+    ``failures`` injects a deterministic rank-death schedule;
+    ``streaming_stats`` overrides the always-on streaming observability
+    (the benchmark overhead gate passes False).
     """
     executor = SPMDExecutor(
         platform,
@@ -318,6 +321,7 @@ def run_program(
         collective_tree=collective_tree,
         engine=engine,
         failures=failures,
+        streaming_stats=streaming_stats,
     )
     sim = executor.run(program, *args, **kwargs)
     return ProgramRun(

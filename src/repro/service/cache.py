@@ -28,6 +28,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.grid5000 import Grid5000Settings
 from repro.experiments.runner import ExperimentPoint, PointSpec
 from repro.gridsim.trace import TraceSummary
+from repro.obs.stats import HotSpot
 from repro.service.keys import ENGINE_SEMANTICS_VERSION, canonical_spec, config_key
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_root"]
@@ -100,6 +101,14 @@ def point_to_payload(point: ExperimentPoint) -> dict:
             "flop_events": trace.flop_events,
             "busy_s_per_rank": list(trace.busy_s_per_rank),
             "comm_wait_s_per_rank": list(trace.comm_wait_s_per_rank),
+            # Top-K contention sites (small and JSON-safe) ride along so
+            # `figure --id trace-hotspots` works on warm cache entries; the
+            # full streaming snapshot (histograms, timelines) is deliberately
+            # not serialised — exports that need it force a live simulation.
+            "hot_spots": [
+                [h.link, h.source, h.dest, h.wait_s, h.messages, h.nbytes]
+                for h in trace.hot_spots
+            ],
         },
     }
 
@@ -109,6 +118,12 @@ def point_from_payload(payload: dict) -> ExperimentPoint:
     trace_fields = dict(payload["trace"])
     for name in _TUPLE_FIELDS:
         trace_fields[name] = tuple(trace_fields.get(name, ()))
+    trace_fields["hot_spots"] = tuple(
+        HotSpot(link, source, dest, wait_s, messages, nbytes)
+        for link, source, dest, wait_s, messages, nbytes in trace_fields.get(
+            "hot_spots", ()
+        )
+    )
     return ExperimentPoint(
         spec=PointSpec(**payload["spec"]),
         gflops=payload["gflops"],

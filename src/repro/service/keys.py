@@ -48,7 +48,7 @@ __all__ = [
 #: configuration (new cost charging, different schedule decision rule, trace
 #: accounting changes): every result stored under the old tag then stops
 #: matching and is re-simulated on next request.
-ENGINE_SEMANTICS_VERSION = "pr9-fault-tolerance.1"
+ENGINE_SEMANTICS_VERSION = "pr10-streaming-obs.1"
 
 #: Effective policy defaults the runner applies to DAG points (run_point
 #: passes these when the spec leaves the fields as None).

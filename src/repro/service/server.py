@@ -30,11 +30,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.exceptions import ConfigurationError, ReproError, ServiceUnavailableError
 from repro.experiments.runner import ExperimentPoint, ExperimentRunner, PointSpec
+from repro.obs.metrics import ServiceMetrics
 from repro.service.cache import ResultCache, point_to_payload
 from repro.service.keys import canonical_spec, config_key, spec_from_config
 
@@ -138,6 +140,9 @@ class SimulationService:
         self.runner = runner or ExperimentRunner(store=ResultCache())
         self.batch_window_s = batch_window_s
         self.stats = ServiceStats()
+        #: Wall-clock histograms (request latency per op, queue depth, batch
+        #: size); observed on the event loop only — single-writer, no lock.
+        self.metrics = ServiceMetrics()
         self._inflight: dict[str, asyncio.Future] = {}
         self._pending: list[tuple[str, PointSpec, asyncio.Future]] = []
         self._flusher: asyncio.Task | None = None
@@ -167,6 +172,7 @@ class SimulationService:
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self._inflight[key] = future
             self._pending.append((key, spec, future))
+            self.metrics.observe_queue_depth(len(self._pending))
             if self._flusher is None or self._flusher.done():
                 self._flusher = asyncio.ensure_future(self._flush_soon())
             point = await asyncio.shield(future)
@@ -196,6 +202,7 @@ class SimulationService:
             batch, self._pending = self._pending, []
             self.stats.batches += 1
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+            self.metrics.observe_batch(len(batch))
             specs = [spec for _, spec, _ in batch]
             try:
                 async with self._sim_lock:
@@ -281,18 +288,26 @@ class SimulationService:
 
     async def _handle_request(self, request: dict) -> dict:
         op = request.get("op", "query")
-        if op == "ping":
-            return {"ok": True, "pong": True}
-        if op == "stats":
-            stats = self.stats.as_dict()
-            stats["runner_simulations"] = self.runner.simulations_run
-            if self.cache is not None:
-                stats["cache"] = self.cache.stats.as_dict()
-            return {"ok": True, "stats": stats}
-        if op == "query":
-            reply = await self.submit(request["config"])
-            return reply.as_dict()
-        return {"ok": False, "error": f"unknown op {op!r}"}
+        started = time.perf_counter()
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "stats":
+                stats = self.stats.as_dict()
+                stats["runner_simulations"] = self.runner.simulations_run
+                if self.cache is not None:
+                    stats["cache"] = self.cache.stats.as_dict()
+                # Additive extension: the pinned top-level keys are untouched,
+                # clients that predate the metrics simply ignore the nest.
+                stats["metrics"] = self.metrics.as_dict()
+                return {"ok": True, "stats": stats}
+            if op == "query":
+                reply = await self.submit(request["config"])
+                return reply.as_dict()
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        finally:
+            self.metrics.observe_request(op, time.perf_counter() - started)
+            self.metrics.maybe_log({"queries": self.stats.queries})
 
     async def serve(self, host: str = "127.0.0.1", port: int = 8642):
         """Start the TCP listener and return the asyncio server object."""

@@ -375,6 +375,7 @@ def run_parallel_tsqr(
     collective_tree: str = "binary",
     record_messages: bool = False,
     engine: str | None = None,
+    streaming_stats: bool | None = None,
 ) -> TSQRRunResult:
     """Run QCG-TSQR on ``platform`` and summarise its performance."""
     run = run_program(
@@ -385,6 +386,7 @@ def run_parallel_tsqr(
         collective_tree=collective_tree,
         record_messages=record_messages,
         engine=engine,
+        streaming_stats=streaming_stats,
     )
     results: list[TSQRRankResult] = list(run.results)
     r = next((res.r for res in results if res.r is not None), None)

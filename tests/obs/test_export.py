@@ -1,0 +1,108 @@
+"""Tests of the Perfetto / CSV exporters over a real simulated run."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.gridsim.executor import SPMDExecutor
+from repro.gridsim.trace import TraceSummary
+from repro.obs.export import (
+    resolve_stats,
+    write_hotspots_csv,
+    write_perfetto_trace,
+    write_timeline_csv,
+)
+from repro.tsqr.parallel import TSQRConfig, qcg_tsqr_program
+
+CONFIG = TSQRConfig(m=262_144, n=32, n_domains=4, tree_kind="grid-hierarchical")
+
+
+@pytest.fixture(scope="module")
+def sim(platform8):
+    return SPMDExecutor(platform8).run(qcg_tsqr_program, CONFIG)
+
+
+class TestResolveStats:
+    def test_accepts_summary_and_raw_stats(self, sim):
+        assert resolve_stats(sim.trace) is sim.trace.stats
+        assert resolve_stats(sim.trace.stats) is sim.trace.stats
+
+    def test_rejects_cache_rebuilt_summaries(self):
+        with pytest.raises(ValueError, match="no streaming statistics"):
+            resolve_stats(TraceSummary())
+
+
+class TestPerfetto:
+    def test_chrome_trace_shape(self, sim, tmp_path):
+        path = write_perfetto_trace(tmp_path / "t.json", sim.trace, title="unit")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert payload["otherData"]["title"] == "unit"
+        assert payload["otherData"]["n_ranks"] == sim.trace.stats.n_ranks
+        assert {e["ph"] for e in events} <= {"M", "X"}
+        names = {e["name"] for e in events}
+        assert {"process_name", "thread_name", "busy"} <= names
+        # Every duration event starts within the horizon (wait slices are
+        # placed after the window's busy time, hence the one-window slack).
+        limit_us = (sim.trace.stats.horizon_s + sim.trace.stats.window_s) * 1e6
+        for e in events:
+            if e["ph"] == "X":
+                assert 0 <= e["ts"] <= limit_us
+                assert e["dur"] >= 0
+
+    def test_busy_slices_sum_to_the_timeline(self, sim, tmp_path):
+        path = write_perfetto_trace(tmp_path / "t.json", sim.trace)
+        events = json.loads(path.read_text())["traceEvents"]
+        by_rank: dict[int, float] = {}
+        for e in events:
+            if e["ph"] == "X" and e["name"] == "busy":
+                by_rank[e["tid"]] = by_rank.get(e["tid"], 0.0) + e["args"]["busy_s"]
+        stats = sim.trace.stats
+        for rank, series in stats.busy_timeline.items():
+            assert by_rank[rank] == pytest.approx(sum(series))
+
+
+class TestTimelineCsv:
+    def test_rows_reproduce_the_snapshot(self, sim, tmp_path):
+        path = write_timeline_csv(tmp_path / "t.csv", sim.trace)
+        with path.open(newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows  # the run had activity
+        stats = sim.trace.stats
+        busy_total = sum(float(r["busy_s"]) for r in rows)
+        assert busy_total == pytest.approx(
+            sum(sum(s) for s in stats.busy_timeline.values())
+        )
+        recv_total = sum(int(r["recv_bytes"]) for r in rows)
+        assert recv_total == sum(
+            sum(s) for s in stats.recv_bytes_timeline.values()
+        )
+        for r in rows:  # window edges are consistent with window_s
+            assert float(r["t_end_s"]) == pytest.approx(
+                float(r["t_start_s"]) + stats.window_s
+            )
+
+    def test_all_zero_windows_are_skipped(self, sim, tmp_path):
+        path = write_timeline_csv(tmp_path / "t.csv", sim.trace)
+        with path.open(newline="") as fh:
+            for r in csv.DictReader(fh):
+                assert (
+                    float(r["busy_s"]) != 0.0
+                    or float(r["comm_wait_s"]) != 0.0
+                    or int(r["recv_bytes"]) != 0
+                )
+
+
+class TestHotspotsCsv:
+    def test_rows_match_the_summary(self, sim, tmp_path):
+        path = write_hotspots_csv(tmp_path / "h.csv", sim.trace.hot_spots)
+        with path.open(newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(sim.trace.hot_spots)
+        for i, (row, spot) in enumerate(zip(rows, sim.trace.hot_spots), 1):
+            assert int(row["rank"]) == i
+            assert row["link"] == spot.link
+            assert float(row["wait_s"]) == spot.wait_s

@@ -1,0 +1,101 @@
+"""Unit tests of the log-bucketed histogram primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.stats import HistogramSummary, LogHistogram
+
+
+class TestLogHistogram:
+    def test_integer_bucketing_uses_bit_length(self):
+        h = LogHistogram()
+        for v in (1, 2, 3, 4, 7, 8):
+            h.add(v)
+        # 1 -> bucket 1; 2,3 -> bucket 2; 4..7 -> bucket 3; 8 -> bucket 4.
+        assert dict(h.counts) == {1: 1, 2: 2, 3: 2, 4: 1}
+        assert h.n == 6
+        assert h.total == 25
+
+    def test_float_bucketing_uses_frexp(self):
+        h = LogHistogram()
+        h.add(0.75)  # [0.5, 1)  -> exponent 0
+        h.add(1.5)   # [1, 2)    -> exponent 1
+        h.add(3.0)   # [2, 4)    -> exponent 2
+        assert dict(h.counts) == {0: 1, 1: 1, 2: 1}
+
+    def test_bucket_edges_are_half_open(self):
+        # An exact power of two belongs to the bucket it is the LOWER edge
+        # of: [2**(i-1), 2**i) means 2.0 -> exponent 2, not 1.
+        h = LogHistogram()
+        h.add(2.0)
+        assert dict(h.counts) == {2: 1}
+        assert math.frexp(2.0)[1] == 2
+
+    def test_tiny_latencies_do_not_clamp(self):
+        # Sub-microsecond latencies get honest negative exponents instead of
+        # piling into a clamped bucket 0 (the dict-keyed design's point).
+        h = LogHistogram()
+        h.add(1e-7)
+        (exponent,) = h.counts
+        assert exponent < 0
+        assert 2.0 ** (exponent - 1) <= 1e-7 < 2.0 ** exponent
+
+    def test_nonpositive_values_land_in_bucket_zero(self):
+        h = LogHistogram()
+        h.add(0)
+        h.add(0.0)
+        assert dict(h.counts) == {0: 2}
+
+    def test_freeze_sorts_buckets(self):
+        h = LogHistogram()
+        for v in (8, 1, 3):
+            h.add(v)
+        frozen = h.freeze()
+        assert frozen.buckets == ((1, 1), (2, 1), (4, 1))
+        assert frozen.n == 3
+        assert frozen.total == 12
+
+
+class TestHistogramSummary:
+    def test_quantiles_return_upper_bucket_edges(self):
+        h = LogHistogram()
+        for _ in range(99):
+            h.add(1.5)  # bucket 1, upper edge 2.0
+        h.add(100.0)  # bucket 7, upper edge 128.0
+        frozen = h.freeze()
+        assert frozen.p50 == 2.0
+        assert frozen.p95 == 2.0
+        assert frozen.p99 == 2.0
+        assert frozen.quantile(1.0) == 128.0
+        assert frozen.max_edge == 128.0
+
+    def test_quantile_is_conservative_within_2x(self):
+        h = LogHistogram()
+        values = [0.001 * (i + 1) for i in range(100)]
+        for v in values:
+            h.add(v)
+        frozen = h.freeze()
+        true_p95 = sorted(values)[94]
+        assert true_p95 <= frozen.p95 <= 2.0 * true_p95
+
+    def test_empty_summary_is_all_zero(self):
+        frozen = HistogramSummary()
+        assert frozen.p50 == 0.0
+        assert frozen.mean == 0.0
+        assert frozen.max_edge == 0.0
+
+    def test_mean_is_exact_not_bucketed(self):
+        h = LogHistogram()
+        h.add(1.0)
+        h.add(3.0)
+        assert h.freeze().mean == pytest.approx(2.0)
+
+    def test_as_dict_round_trips_the_buckets(self):
+        h = LogHistogram()
+        h.add(4)
+        d = h.freeze().as_dict()
+        assert d["buckets"] == [[3, 1]]
+        assert set(d) == {"n", "total", "mean", "p50", "p95", "p99", "max", "buckets"}

@@ -1,0 +1,78 @@
+"""Tests of the service tier's wall-clock metrics."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.metrics import ServiceMetrics
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestObservation:
+    def test_latency_histograms_are_per_op(self):
+        m = ServiceMetrics()
+        m.observe_request("query", 0.010)
+        m.observe_request("query", 0.030)
+        m.observe_request("stats", 0.001)
+        d = m.as_dict()
+        assert d["request_latency_s"]["query"]["n"] == 2
+        assert d["request_latency_s"]["stats"]["n"] == 1
+
+    def test_max_is_exact_not_bucketed(self):
+        m = ServiceMetrics()
+        m.observe_request("query", 0.0123)
+        assert m.as_dict()["request_latency_s"]["query"]["max"] == 0.0123
+        m.observe_queue_depth(7)
+        m.observe_queue_depth(3)
+        assert m.as_dict()["queue_depth"]["max"] == 7
+        m.observe_batch(5)
+        assert m.as_dict()["batch_size"]["max"] == 5
+
+    def test_quantiles_bound_the_observations(self):
+        m = ServiceMetrics()
+        for _ in range(100):
+            m.observe_request("query", 0.003)
+        q = m.as_dict()["request_latency_s"]["query"]
+        assert 0.003 <= q["p99"] <= 0.006  # upper bucket edge, <= 2x
+
+    def test_empty_metrics_serialise(self):
+        d = ServiceMetrics().as_dict()
+        assert d["request_latency_s"] == {}
+        assert d["queue_depth"]["n"] == 0
+        json.dumps(d)  # JSON-safe as the stats reply requires
+
+
+class TestLogging:
+    def test_maybe_log_paces_itself(self, caplog):
+        clock = FakeClock()
+        m = ServiceMetrics(log_every_s=60.0, clock=clock)
+        with caplog.at_level(logging.INFO, logger="repro.service"):
+            assert not m.maybe_log()  # within the first interval
+            clock.now = 61.0
+            assert m.maybe_log()
+            assert not m.maybe_log()  # interval restarted
+            clock.now = 122.0
+            assert m.maybe_log()
+        assert len(caplog.records) == 2
+
+    def test_log_line_is_structured_json(self, caplog):
+        clock = FakeClock()
+        m = ServiceMetrics(log_every_s=1.0, clock=clock)
+        m.observe_request("query", 0.01)
+        clock.now = 2.0
+        with caplog.at_level(logging.INFO, logger="repro.service"):
+            assert m.maybe_log({"queries": 12})
+        record = json.loads(caplog.records[0].message)
+        assert record["event"] == "service-metrics"
+        assert record["queries"] == 12
+        assert record["request_latency_s"]["query"]["n"] == 1

@@ -155,6 +155,21 @@ class TestProtocol:
         assert stats["runner_simulations"] == 1
         assert stats["cache"]["stores"] == 1
 
+    def test_stats_reply_carries_service_metrics(self, tmp_path):
+        service = _service(tmp_path)
+        query = {"op": "query", "config": CONFIG}
+        replies = self._roundtrip(service, [query, {"op": "stats"}])
+        metrics = replies[1]["stats"]["metrics"]
+        # The earlier query left a latency observation and went through the
+        # pending queue and a flush batch (the in-flight stats op records
+        # its own latency only after building this reply).
+        assert metrics["request_latency_s"]["query"]["n"] == 1
+        assert metrics["request_latency_s"]["query"]["max"] > 0.0
+        assert metrics["queue_depth"]["n"] == 1
+        assert metrics["queue_depth"]["max"] == 1
+        assert metrics["batch_size"]["n"] == 1
+        assert metrics["batch_size"]["max"] == 1
+
     def test_malformed_and_unknown_requests_answer_errors(self):
         service = _service()
         replies = self._roundtrip(

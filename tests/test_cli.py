@@ -511,3 +511,85 @@ class TestFailureCommands:
         assert "--fail-rank" in out
         assert "dag-failures" in out
         assert "--retries" in out
+
+
+class TestObservabilityCommands:
+    def test_figure_trace_hotspots_to_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "hotspots.csv"
+        code = main(
+            ["figure", "--id", "trace-hotspots", "--rows", "16384",
+             "--cols", "128", "--tile-size", "32", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wait (s)" in out
+        assert "wait share" in out
+        import csv
+
+        with csv_path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows
+        waits = [float(r["wait (s)"]) for r in rows]
+        assert waits == sorted(waits, reverse=True)
+        assert all(0.0 <= float(r["wait share"]) <= 1.0 for r in rows)
+        assert all(
+            r["link"] in ("intra-node", "intra-cluster", "inter-cluster")
+            for r in rows
+        )
+
+    def test_figure_trace_hotspots_accepts_policy_flags(self, capsys, tmp_path):
+        code = main(
+            ["figure", "--id", "trace-hotspots", "--rows", "16384",
+             "--cols", "128", "--tile-size", "32", "--placement",
+             "block-cyclic", "--priority", "fifo", "--panel-tree", "binary",
+             "--csv", str(tmp_path / "h.csv")]
+        )
+        assert code == 0
+
+    def test_figure_trace_hotspots_rejects_inapplicable_flags(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--failure-counts"):
+            main(["figure", "--id", "trace-hotspots", "--failure-counts", "0,1"])
+        with pytest.raises(ConfigurationError, match="--want-q"):
+            main(["figure", "--id", "trace-hotspots", "--want-q"])
+        with pytest.raises(ConfigurationError, match="--points"):
+            main(["figure", "--id", "trace-hotspots", "--points", "2"])
+
+    def test_simulate_trace_out_perfetto(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.perfetto.json"
+        code = main(
+            ["simulate", "--algorithm", "caqr", "--runtime", "dag",
+             "--rows", "16384", "--cols", "128", "--tile-size", "32",
+             "--trace-out", str(out_path)]
+        )
+        assert code == 0
+        assert "streaming timeline written to" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["n_ranks"] > 0
+
+    def test_simulate_trace_out_csv(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.csv"
+        code = main(
+            ["simulate", "--algorithm", "tsqr", "--cols", "64",
+             "--trace-out", str(out_path)]
+        )
+        assert code == 0
+        header = out_path.read_text().splitlines()[0]
+        assert header == "rank,window,t_start_s,t_end_s,busy_s,comm_wait_s,recv_bytes"
+
+    def test_query_stats_json_needs_stats(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="--json only applies"):
+            main(["query", "--connect", "localhost:1", "--json"])
+
+    def test_epilog_mentions_observability(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "trace-hotspots" in out
+        assert "--trace-out" in out
